@@ -1,0 +1,204 @@
+//! Acceptance-targeted adaptive cooling (extension).
+//!
+//! Fixed geometric schedules need per-problem tuning (the paper uses
+//! different iteration budgets per game). An adaptive controller instead
+//! regulates temperature to track a *target acceptance ratio* that decays
+//! over the run — hot enough to move early, cold enough to settle late —
+//! with no per-game constants. This is the classic Lam–Delosme idea in a
+//! simple proportional form.
+
+/// Proportional acceptance-ratio temperature controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveSchedule {
+    /// Initial temperature.
+    pub t_init: f64,
+    /// Acceptance ratio targeted at the start of the run.
+    pub accept_start: f64,
+    /// Acceptance ratio targeted at the end of the run.
+    pub accept_end: f64,
+    /// Multiplicative adjustment step per window (e.g. 1.05).
+    pub gain: f64,
+    /// Observation window (moves per adjustment).
+    pub window: usize,
+}
+
+impl Default for AdaptiveSchedule {
+    fn default() -> Self {
+        Self {
+            t_init: 1.0,
+            accept_start: 0.8,
+            accept_end: 0.02,
+            gain: 1.1,
+            window: 50,
+        }
+    }
+}
+
+/// Stateful controller driving one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveController {
+    config: AdaptiveSchedule,
+    temperature: f64,
+    accepted_in_window: usize,
+    moves_in_window: usize,
+    adjustments: usize,
+}
+
+impl AdaptiveController {
+    /// Creates a controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive temperature/gain ≤ 1/zero window, or
+    /// acceptance targets outside `(0, 1)`.
+    pub fn new(config: AdaptiveSchedule) -> Self {
+        assert!(config.t_init > 0.0, "temperature must be positive");
+        assert!(config.gain > 1.0, "gain must exceed 1");
+        assert!(config.window > 0, "window must be positive");
+        assert!(
+            (0.0..=1.0).contains(&config.accept_start)
+                && (0.0..=1.0).contains(&config.accept_end),
+            "acceptance targets in [0, 1]"
+        );
+        Self {
+            config,
+            temperature: config.t_init,
+            accepted_in_window: 0,
+            moves_in_window: 0,
+            adjustments: 0,
+        }
+    }
+
+    /// Current temperature.
+    pub fn temperature(&self) -> f64 {
+        self.temperature
+    }
+
+    /// Target acceptance ratio at run progress `frac ∈ [0, 1]`
+    /// (geometric interpolation).
+    pub fn target(&self, frac: f64) -> f64 {
+        let f = frac.clamp(0.0, 1.0);
+        self.config.accept_start * (self.config.accept_end / self.config.accept_start).powf(f)
+    }
+
+    /// Records one proposal outcome at run progress `frac` and adjusts
+    /// the temperature at window boundaries: too many acceptances ⇒
+    /// cool, too few ⇒ heat.
+    pub fn record(&mut self, accepted: bool, frac: f64) {
+        self.moves_in_window += 1;
+        if accepted {
+            self.accepted_in_window += 1;
+        }
+        if self.moves_in_window >= self.config.window {
+            let ratio = self.accepted_in_window as f64 / self.moves_in_window as f64;
+            let target = self.target(frac);
+            if ratio > target {
+                self.temperature /= self.config.gain;
+            } else {
+                self.temperature *= self.config.gain;
+            }
+            self.temperature = self.temperature.clamp(1e-12, 1e12);
+            self.moves_in_window = 0;
+            self.accepted_in_window = 0;
+            self.adjustments += 1;
+        }
+    }
+
+    /// Number of adjustments made so far.
+    pub fn adjustments(&self) -> usize {
+        self.adjustments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn target_interpolates_geometrically() {
+        let c = AdaptiveController::new(AdaptiveSchedule::default());
+        assert!((c.target(0.0) - 0.8).abs() < 1e-12);
+        assert!((c.target(1.0) - 0.02).abs() < 1e-12);
+        let mid = c.target(0.5);
+        assert!((mid - (0.8f64 * 0.02).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cools_when_everything_accepts() {
+        let mut c = AdaptiveController::new(AdaptiveSchedule::default());
+        let t0 = c.temperature();
+        for _ in 0..500 {
+            c.record(true, 0.5);
+        }
+        assert!(c.temperature() < t0, "should cool under 100% acceptance");
+        assert!(c.adjustments() == 10);
+    }
+
+    #[test]
+    fn heats_when_everything_rejects() {
+        let mut c = AdaptiveController::new(AdaptiveSchedule::default());
+        let t0 = c.temperature();
+        for _ in 0..500 {
+            c.record(false, 0.2);
+        }
+        assert!(c.temperature() > t0, "should heat under 0% acceptance");
+    }
+
+    #[test]
+    fn regulates_acceptance_on_a_real_walk() {
+        // Metropolis walk on |x| with adaptive control: over the middle
+        // of the run the realised acceptance should sit near the target.
+        let mut c = AdaptiveController::new(AdaptiveSchedule {
+            t_init: 50.0,
+            ..AdaptiveSchedule::default()
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut x: i64 = 50;
+        let total = 20_000;
+        let mut mid_accepts = 0;
+        let mut mid_moves = 0;
+        for k in 0..total {
+            let frac = k as f64 / total as f64;
+            let cand = if rng.random::<bool>() { x + 1 } else { x - 1 };
+            let delta = (cand.abs() - x.abs()) as f64;
+            let accept =
+                delta <= 0.0 || rng.random::<f64>() < (-delta / c.temperature()).exp();
+            if accept {
+                x = cand;
+            }
+            c.record(accept, frac);
+            if (0.4..0.6).contains(&frac) {
+                mid_moves += 1;
+                if accept {
+                    mid_accepts += 1;
+                }
+            }
+        }
+        let realised = mid_accepts as f64 / mid_moves as f64;
+        let target = c.target(0.5);
+        assert!(
+            (realised - target).abs() < 0.15,
+            "realised {realised:.3} vs target {target:.3}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "gain must exceed 1")]
+    fn rejects_bad_gain() {
+        let _ = AdaptiveController::new(AdaptiveSchedule {
+            gain: 1.0,
+            ..AdaptiveSchedule::default()
+        });
+    }
+
+    #[test]
+    fn temperature_stays_clamped() {
+        let mut c = AdaptiveController::new(AdaptiveSchedule::default());
+        for _ in 0..1_000_000 {
+            c.record(true, 1.0);
+        }
+        assert!(c.temperature() >= 1e-12);
+    }
+}

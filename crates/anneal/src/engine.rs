@@ -1,0 +1,278 @@
+//! Generic seeded Metropolis/simulated-annealing driver (Algorithm 1).
+//!
+//! The driver is generic over the state type and the (possibly
+//! hardware-in-the-loop) energy function; C-Nash instantiates it with
+//! [`crate::moves::GridStrategyPair`] states whose energy is the
+//! bi-crossbar + WTA evaluation of Eq. 9.
+
+use crate::schedule::Schedule;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Options of one SA run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaOptions {
+    /// Iteration budget (Algorithm 1 loops until `T < T_min`; with a
+    /// schedule over a fixed budget the two formulations coincide).
+    pub iterations: usize,
+    /// Cooling schedule.
+    pub schedule: Schedule,
+    /// RNG seed (runs are fully reproducible).
+    pub seed: u64,
+    /// If set, record the first iteration whose energy is `≤ target`
+    /// (used for time-to-solution) — the run still continues to the full
+    /// budget, tracking the best state.
+    pub target_energy: Option<f64>,
+    /// Record the per-iteration energy trace (costs memory).
+    pub record_trace: bool,
+    /// Record every *distinct* visited state whose energy is `≤ target`
+    /// (capped at [`MAX_HIT_STATES`]). C-Nash's SA logic logs each zero-
+    /// objective state it passes through, which is how one run can report
+    /// several equilibria (paper Fig. 9).
+    pub record_hits: bool,
+}
+
+/// Cap on recorded hit states per run.
+pub const MAX_HIT_STATES: usize = 64;
+
+impl Default for SaOptions {
+    fn default() -> Self {
+        Self {
+            iterations: 10_000,
+            schedule: Schedule::default(),
+            seed: 0,
+            target_energy: None,
+            record_trace: false,
+            record_hits: false,
+        }
+    }
+}
+
+/// Result of one SA run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaRun<S> {
+    /// Best state encountered.
+    pub best_state: S,
+    /// Energy of the best state.
+    pub best_energy: f64,
+    /// Final accepted state when the schedule ran out (what Algorithm 1
+    /// returns as its solution).
+    pub final_state: S,
+    /// Energy of the final state.
+    pub final_energy: f64,
+    /// Iteration (0-based) at which `target_energy` was first reached.
+    pub first_hit: Option<usize>,
+    /// Number of accepted proposals.
+    pub accepted: usize,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Energy trace (empty unless `record_trace`).
+    pub trace: Vec<f64>,
+    /// Distinct states visited with energy `≤ target_energy` (empty
+    /// unless `record_hits`), in visit order.
+    pub hit_states: Vec<S>,
+}
+
+impl<S> SaRun<S> {
+    /// Acceptance ratio over the run.
+    pub fn acceptance_ratio(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.iterations as f64
+        }
+    }
+}
+
+/// Runs simulated annealing from `init`, proposing `neighbour` moves with
+/// Metropolis acceptance at the scheduled temperature (Algorithm 1).
+///
+/// `energy` may be stateful (hardware in the loop); it is invoked once for
+/// the initial state and once per proposal.
+pub fn simulated_annealing<S: Clone + PartialEq>(
+    init: S,
+    mut energy: impl FnMut(&S) -> f64,
+    mut neighbour: impl FnMut(&S, &mut StdRng) -> S,
+    opts: &SaOptions,
+) -> SaRun<S> {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut current = init;
+    let mut current_energy = energy(&current);
+    let mut best_state = current.clone();
+    let mut best_energy = current_energy;
+    let mut first_hit = None;
+    let mut accepted = 0;
+    let mut trace = Vec::new();
+    let mut hit_states: Vec<S> = Vec::new();
+
+    let hit = |e: f64| opts.target_energy.is_some_and(|t| e <= t);
+    let record_hit = |s: &S, hits: &mut Vec<S>| {
+        if opts.record_hits && hits.len() < MAX_HIT_STATES && !hits.contains(s) {
+            hits.push(s.clone());
+        }
+    };
+    if hit(current_energy) {
+        first_hit = Some(0);
+        record_hit(&current, &mut hit_states);
+    }
+
+    for iter in 0..opts.iterations {
+        let temp = opts.schedule.temperature(iter, opts.iterations);
+        let candidate = neighbour(&current, &mut rng);
+        let cand_energy = energy(&candidate);
+        let delta = cand_energy - current_energy;
+        // Algorithm 1 lines 9–13: accept improvements, else with
+        // probability e^{−ΔE/T}.
+        if delta <= 0.0 || rng.random::<f64>() < (-delta / temp).exp() {
+            current = candidate;
+            current_energy = cand_energy;
+            accepted += 1;
+            if current_energy < best_energy {
+                best_energy = current_energy;
+                best_state = current.clone();
+            }
+            if hit(current_energy) {
+                if first_hit.is_none() {
+                    first_hit = Some(iter + 1);
+                }
+                record_hit(&current, &mut hit_states);
+            }
+        }
+        if opts.record_trace {
+            trace.push(current_energy);
+        }
+    }
+
+    SaRun {
+        best_state,
+        best_energy,
+        final_state: current,
+        final_energy: current_energy,
+        first_hit,
+        accepted,
+        iterations: opts.iterations,
+        trace,
+        hit_states,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_opts(seed: u64) -> SaOptions {
+        SaOptions {
+            iterations: 5000,
+            schedule: Schedule::geometric(10.0, 1e-3),
+            seed,
+            target_energy: Some(0.0),
+            record_trace: false,
+            record_hits: false,
+        }
+    }
+
+    fn run_quadratic(seed: u64) -> SaRun<i64> {
+        simulated_annealing(
+            50i64,
+            |&x| (x * x) as f64,
+            |&x, rng| if rng.random::<bool>() { x + 1 } else { x - 1 },
+            &quadratic_opts(seed),
+        )
+    }
+
+    #[test]
+    fn minimises_quadratic() {
+        let run = run_quadratic(1);
+        assert_eq!(run.best_state, 0);
+        assert_eq!(run.best_energy, 0.0);
+        assert!(run.first_hit.is_some());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run_quadratic(7);
+        let b = run_quadratic(7);
+        assert_eq!(a.best_state, b.best_state);
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.first_hit, b.first_hit);
+    }
+
+    #[test]
+    fn first_hit_recorded_at_start_if_initial_state_hits() {
+        let opts = SaOptions {
+            target_energy: Some(1e9),
+            iterations: 1,
+            ..SaOptions::default()
+        };
+        let run = simulated_annealing(0i64, |&x| x as f64, |&x, _| x, &opts);
+        assert_eq!(run.first_hit, Some(0));
+    }
+
+    #[test]
+    fn no_target_means_no_hit() {
+        let opts = SaOptions {
+            iterations: 100,
+            target_energy: None,
+            ..SaOptions::default()
+        };
+        let run = simulated_annealing(
+            5i64,
+            |&x| (x * x) as f64,
+            |&x, rng| if rng.random::<bool>() { x + 1 } else { x - 1 },
+            &opts,
+        );
+        assert_eq!(run.first_hit, None);
+    }
+
+    #[test]
+    fn trace_recorded_when_requested() {
+        let opts = SaOptions {
+            iterations: 50,
+            record_trace: true,
+            ..SaOptions::default()
+        };
+        let run = simulated_annealing(
+            10i64,
+            |&x| (x * x) as f64,
+            |&x, rng| if rng.random::<bool>() { x + 1 } else { x - 1 },
+            &opts,
+        );
+        assert_eq!(run.trace.len(), 50);
+    }
+
+    #[test]
+    fn acceptance_ratio_bounds() {
+        let run = run_quadratic(3);
+        let r = run.acceptance_ratio();
+        assert!(r > 0.0 && r <= 1.0);
+    }
+
+    #[test]
+    fn high_constant_temperature_accepts_more() {
+        let hot = SaOptions {
+            iterations: 2000,
+            schedule: Schedule::constant(1e6),
+            seed: 5,
+            target_energy: None,
+            record_trace: false,
+            record_hits: false,
+        };
+        let cold = SaOptions {
+            schedule: Schedule::constant(1e-9),
+            ..hot
+        };
+        let e = |x: &i64| (x * x) as f64;
+        let m = |x: &i64, rng: &mut StdRng| if rng.random::<bool>() { x + 1 } else { x - 1 };
+        let hot_run = simulated_annealing(100i64, e, m, &hot);
+        let cold_run = simulated_annealing(100i64, e, m, &cold);
+        assert!(hot_run.accepted > cold_run.accepted);
+    }
+
+    #[test]
+    fn best_energy_never_worse_than_initial() {
+        for seed in 0..10 {
+            let run = run_quadratic(seed);
+            assert!(run.best_energy <= 2500.0);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Simplex-grid strategy states and moves (Algorithm 1, line 6).
+//!
+//! A state is a pair of grid strategies: integer unit counts per action
+//! summing to `I` for each player. The SA neighbourhood "randomly
+//! increments/decrements action probabilities by the value of the
+//! interval": one move transfers a single `1/I` unit from one action to
+//! another of the same player, so `Σp = Σq = 1` is preserved *exactly* —
+//! no renormalisation, no penalty terms.
+
+use cnash_game::{GameError, MixedStrategy};
+use rand::{Rng, RngExt};
+
+/// A strategy pair on the `1/I` probability grid.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GridStrategyPair {
+    intervals: u32,
+    p: Vec<u32>,
+    q: Vec<u32>,
+}
+
+impl GridStrategyPair {
+    /// Creates a state from unit counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidStrategy`] if either count vector does
+    /// not sum to `intervals` or is empty.
+    pub fn new(p: Vec<u32>, q: Vec<u32>, intervals: u32) -> Result<Self, GameError> {
+        // Reuse strategy validation for both sides.
+        MixedStrategy::from_grid_counts(&p, intervals)?;
+        MixedStrategy::from_grid_counts(&q, intervals)?;
+        Ok(Self { intervals, p, q })
+    }
+
+    /// A deterministic starting state: all mass on action 0 for both
+    /// players.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidStrategy`] for empty action sets or
+    /// zero intervals.
+    pub fn all_on_first(n: usize, m: usize, intervals: u32) -> Result<Self, GameError> {
+        if n == 0 || m == 0 {
+            return Err(GameError::InvalidStrategy("empty action set".into()));
+        }
+        let mut p = vec![0; n];
+        p[0] = intervals;
+        let mut q = vec![0; m];
+        q[0] = intervals;
+        Self::new(p, q, intervals)
+    }
+
+    /// A random grid state: units distributed uniformly at random.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidStrategy`] for empty action sets.
+    pub fn random<R: Rng + ?Sized>(
+        n: usize,
+        m: usize,
+        intervals: u32,
+        rng: &mut R,
+    ) -> Result<Self, GameError> {
+        if n == 0 || m == 0 {
+            return Err(GameError::InvalidStrategy("empty action set".into()));
+        }
+        let mut p = vec![0u32; n];
+        for _ in 0..intervals {
+            p[rng.random_range(0..n)] += 1;
+        }
+        let mut q = vec![0u32; m];
+        for _ in 0..intervals {
+            q[rng.random_range(0..m)] += 1;
+        }
+        Self::new(p, q, intervals)
+    }
+
+    /// Interval count `I`.
+    pub fn intervals(&self) -> u32 {
+        self.intervals
+    }
+
+    /// Row player's unit counts.
+    pub fn p_counts(&self) -> &[u32] {
+        &self.p
+    }
+
+    /// Column player's unit counts.
+    pub fn q_counts(&self) -> &[u32] {
+        &self.q
+    }
+
+    /// Row player's strategy as probabilities.
+    pub fn p_strategy(&self) -> MixedStrategy {
+        MixedStrategy::from_grid_counts(&self.p, self.intervals)
+            .expect("invariant: counts sum to intervals")
+    }
+
+    /// Column player's strategy as probabilities.
+    pub fn q_strategy(&self) -> MixedStrategy {
+        MixedStrategy::from_grid_counts(&self.q, self.intervals)
+            .expect("invariant: counts sum to intervals")
+    }
+
+    /// Proposes a neighbour: transfers one unit between two distinct
+    /// actions of a uniformly chosen player. With a single action per
+    /// player no move exists and the state is returned unchanged.
+    pub fn neighbour<R: Rng + ?Sized>(&self, rng: &mut R) -> Self {
+        let mut next = self.clone();
+        let move_row = if self.p.len() > 1 && self.q.len() > 1 {
+            rng.random::<bool>()
+        } else {
+            self.p.len() > 1
+        };
+        let counts = if move_row { &mut next.p } else { &mut next.q };
+        if counts.len() <= 1 {
+            return next;
+        }
+        // Donor: uniform among actions holding at least one unit.
+        let donors: Vec<usize> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, _)| i)
+            .collect();
+        let from = donors[rng.random_range(0..donors.len())];
+        // Recipient: uniform among the other actions.
+        let mut to = rng.random_range(0..counts.len() - 1);
+        if to >= from {
+            to += 1;
+        }
+        counts[from] -= 1;
+        counts[to] += 1;
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn new_validates_sums() {
+        assert!(GridStrategyPair::new(vec![6, 6], vec![12, 0], 12).is_ok());
+        assert!(GridStrategyPair::new(vec![6, 5], vec![12, 0], 12).is_err());
+        assert!(GridStrategyPair::new(vec![], vec![12], 12).is_err());
+    }
+
+    #[test]
+    fn all_on_first_state() {
+        let s = GridStrategyPair::all_on_first(3, 2, 12).unwrap();
+        assert_eq!(s.p_counts(), &[12, 0, 0]);
+        assert_eq!(s.q_counts(), &[12, 0]);
+        assert_eq!(s.p_strategy().prob(0), 1.0);
+    }
+
+    #[test]
+    fn random_state_sums_to_intervals() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let s = GridStrategyPair::random(4, 5, 12, &mut rng).unwrap();
+            assert_eq!(s.p_counts().iter().sum::<u32>(), 12);
+            assert_eq!(s.q_counts().iter().sum::<u32>(), 12);
+        }
+    }
+
+    #[test]
+    fn neighbour_preserves_simplex_invariant() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut s = GridStrategyPair::random(3, 3, 12, &mut rng).unwrap();
+        for _ in 0..1000 {
+            s = s.neighbour(&mut rng);
+            assert_eq!(s.p_counts().iter().sum::<u32>(), 12);
+            assert_eq!(s.q_counts().iter().sum::<u32>(), 12);
+        }
+    }
+
+    #[test]
+    fn neighbour_moves_exactly_one_unit() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = GridStrategyPair::random(3, 3, 12, &mut rng).unwrap();
+        let n = s.neighbour(&mut rng);
+        let dp: i64 = s
+            .p_counts()
+            .iter()
+            .zip(n.p_counts())
+            .map(|(&a, &b)| (a as i64 - b as i64).abs())
+            .sum();
+        let dq: i64 = s
+            .q_counts()
+            .iter()
+            .zip(n.q_counts())
+            .map(|(&a, &b)| (a as i64 - b as i64).abs())
+            .sum();
+        // Exactly one player moved one unit between two actions.
+        assert_eq!(dp + dq, 2, "move changed {dp}+{dq} units");
+    }
+
+    #[test]
+    fn single_action_player_never_moves() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = GridStrategyPair::new(vec![12], vec![4, 8], 12).unwrap();
+        for _ in 0..50 {
+            let n = s.neighbour(&mut rng);
+            assert_eq!(n.p_counts(), &[12]);
+        }
+    }
+
+    #[test]
+    fn degenerate_one_by_one_game_is_fixed_point() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = GridStrategyPair::new(vec![12], vec![12], 12).unwrap();
+        let n = s.neighbour(&mut rng);
+        assert_eq!(n, s);
+    }
+
+    #[test]
+    fn neighbourhood_is_reversible() {
+        // If s' is a neighbour of s, then s is reachable back from s'
+        // (same |move| structure) — needed for SA detailed balance.
+        let mut rng = StdRng::seed_from_u64(8);
+        let s = GridStrategyPair::random(3, 3, 6, &mut rng).unwrap();
+        let n = s.neighbour(&mut rng);
+        // Search: some neighbour of n equals s.
+        let mut found = false;
+        for _ in 0..2000 {
+            if n.neighbour(&mut rng) == s {
+                found = true;
+                break;
+            }
+        }
+        assert!(found || n == s);
+    }
+
+    #[test]
+    fn strategies_are_on_grid() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let s = GridStrategyPair::random(5, 4, 12, &mut rng).unwrap();
+        assert!(s.p_strategy().is_on_grid(12, 1e-12));
+        assert!(s.q_strategy().is_on_grid(12, 1e-12));
+    }
+}

@@ -1,0 +1,135 @@
+//! Temperature schedules (`T = D(T)` of Algorithm 1, line 14).
+
+/// A cooling schedule mapping iteration progress to temperature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Schedule {
+    /// Geometric decay from `t_max` to `t_min` (the classic SA choice).
+    Geometric {
+        /// Starting temperature.
+        t_max: f64,
+        /// Final temperature.
+        t_min: f64,
+    },
+    /// Linear interpolation from `t_max` down to `t_min`.
+    Linear {
+        /// Starting temperature.
+        t_max: f64,
+        /// Final temperature.
+        t_min: f64,
+    },
+    /// Constant temperature (Metropolis sampling; useful for ablations).
+    Constant {
+        /// The fixed temperature.
+        t: f64,
+    },
+}
+
+impl Schedule {
+    /// Geometric schedule with validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t_max ≥ t_min > 0`.
+    pub fn geometric(t_max: f64, t_min: f64) -> Self {
+        assert!(t_min > 0.0 && t_max >= t_min, "need t_max >= t_min > 0");
+        Schedule::Geometric { t_max, t_min }
+    }
+
+    /// Linear schedule with validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t_max ≥ t_min > 0`.
+    pub fn linear(t_max: f64, t_min: f64) -> Self {
+        assert!(t_min > 0.0 && t_max >= t_min, "need t_max >= t_min > 0");
+        Schedule::Linear { t_max, t_min }
+    }
+
+    /// Constant schedule with validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t > 0`.
+    pub fn constant(t: f64) -> Self {
+        assert!(t > 0.0, "temperature must be positive");
+        Schedule::Constant { t }
+    }
+
+    /// Temperature at iteration `iter` of `total` (0-based; `total ≥ 1`).
+    pub fn temperature(&self, iter: usize, total: usize) -> f64 {
+        let frac = if total <= 1 {
+            1.0
+        } else {
+            iter as f64 / (total - 1) as f64
+        };
+        match *self {
+            Schedule::Geometric { t_max, t_min } => t_max * (t_min / t_max).powf(frac),
+            Schedule::Linear { t_max, t_min } => t_max + (t_min - t_max) * frac,
+            Schedule::Constant { t } => t,
+        }
+    }
+}
+
+impl Default for Schedule {
+    /// A broadly useful geometric schedule.
+    fn default() -> Self {
+        Schedule::Geometric {
+            t_max: 1.0,
+            t_min: 1e-3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_endpoints() {
+        let s = Schedule::geometric(10.0, 0.1);
+        assert!((s.temperature(0, 100) - 10.0).abs() < 1e-12);
+        assert!((s.temperature(99, 100) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_is_monotone_decreasing() {
+        let s = Schedule::geometric(5.0, 0.05);
+        let mut last = f64::INFINITY;
+        for k in 0..50 {
+            let t = s.temperature(k, 50);
+            assert!(t < last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn linear_midpoint() {
+        let s = Schedule::linear(2.0, 1.0);
+        assert!((s.temperature(50, 101) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let s = Schedule::constant(0.7);
+        assert_eq!(s.temperature(0, 10), 0.7);
+        assert_eq!(s.temperature(9, 10), 0.7);
+    }
+
+    #[test]
+    fn single_iteration_uses_final_temperature() {
+        let s = Schedule::geometric(10.0, 0.1);
+        assert!((s.temperature(0, 1) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "t_max >= t_min")]
+    fn rejects_inverted_range() {
+        let _ = Schedule::geometric(0.1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_constant() {
+        let _ = Schedule::constant(0.0);
+    }
+}

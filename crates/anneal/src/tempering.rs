@@ -1,0 +1,241 @@
+//! Parallel tempering / replica exchange (extension).
+//!
+//! The paper's future-work direction of improving SA convergence maps
+//! naturally onto replica exchange: `K` replicas walk the same landscape
+//! at a geometric ladder of constant temperatures; periodically, adjacent
+//! replicas propose to swap states with the Metropolis exchange rule
+//! `min(1, exp((1/T_i − 1/T_j)(E_i − E_j)))`. Cold replicas exploit, hot
+//! replicas keep crossing barriers — useful on many-equilibria games
+//! where plain SA freezes into one basin.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Options of a parallel-tempering run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemperingOptions {
+    /// Number of replicas (temperature rungs).
+    pub replicas: usize,
+    /// Coldest temperature.
+    pub t_cold: f64,
+    /// Hottest temperature.
+    pub t_hot: f64,
+    /// Total sweeps; each sweep advances every replica one step.
+    pub sweeps: usize,
+    /// Propose swaps every `swap_interval` sweeps.
+    pub swap_interval: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Record every distinct state whose energy is `≤ target` (any rung).
+    pub target_energy: Option<f64>,
+}
+
+impl Default for TemperingOptions {
+    fn default() -> Self {
+        Self {
+            replicas: 6,
+            t_cold: 0.01,
+            t_hot: 2.0,
+            sweeps: 2000,
+            swap_interval: 10,
+            seed: 0,
+            target_energy: None,
+        }
+    }
+}
+
+/// Result of a parallel-tempering run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemperingRun<S> {
+    /// Best state across all replicas.
+    pub best_state: S,
+    /// Best energy.
+    pub best_energy: f64,
+    /// Accepted replica swaps.
+    pub swaps_accepted: usize,
+    /// Proposed replica swaps.
+    pub swaps_proposed: usize,
+    /// Distinct states that hit the target energy (visit order, ≤ 64).
+    pub hit_states: Vec<S>,
+}
+
+/// Runs replica-exchange Metropolis over the given energy/neighbour
+/// functions.
+///
+/// # Panics
+///
+/// Panics if `replicas < 2`, `sweeps == 0`, `swap_interval == 0` or the
+/// temperature ladder is invalid.
+pub fn parallel_tempering<S: Clone + PartialEq>(
+    init: S,
+    mut energy: impl FnMut(&S) -> f64,
+    mut neighbour: impl FnMut(&S, &mut StdRng) -> S,
+    opts: &TemperingOptions,
+) -> TemperingRun<S> {
+    assert!(opts.replicas >= 2, "need at least two replicas");
+    assert!(opts.sweeps > 0 && opts.swap_interval > 0, "bad budget");
+    assert!(
+        opts.t_cold > 0.0 && opts.t_hot >= opts.t_cold,
+        "bad temperature ladder"
+    );
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    // Geometric temperature ladder, cold to hot.
+    let k = opts.replicas;
+    let temps: Vec<f64> = (0..k)
+        .map(|i| {
+            let frac = i as f64 / (k - 1) as f64;
+            opts.t_cold * (opts.t_hot / opts.t_cold).powf(frac)
+        })
+        .collect();
+
+    let mut states: Vec<S> = vec![init; k];
+    let mut energies: Vec<f64> = states.iter().map(|s| energy(s)).collect();
+    let mut best_state = states[0].clone();
+    let mut best_energy = energies[0];
+    let mut swaps_accepted = 0;
+    let mut swaps_proposed = 0;
+    let mut hit_states: Vec<S> = Vec::new();
+
+    let hit = |e: f64| opts.target_energy.is_some_and(|t| e <= t);
+    for (s, &e) in states.iter().zip(&energies) {
+        if hit(e) && !hit_states.contains(s) && hit_states.len() < 64 {
+            hit_states.push(s.clone());
+        }
+    }
+
+    for sweep in 0..opts.sweeps {
+        for r in 0..k {
+            let cand = neighbour(&states[r], &mut rng);
+            let e = energy(&cand);
+            let delta = e - energies[r];
+            if delta <= 0.0 || rng.random::<f64>() < (-delta / temps[r]).exp() {
+                states[r] = cand;
+                energies[r] = e;
+                if e < best_energy {
+                    best_energy = e;
+                    best_state = states[r].clone();
+                }
+                if hit(e) && hit_states.len() < 64 && !hit_states.contains(&states[r]) {
+                    hit_states.push(states[r].clone());
+                }
+            }
+        }
+        if sweep % opts.swap_interval == opts.swap_interval - 1 {
+            for r in 0..k - 1 {
+                swaps_proposed += 1;
+                let arg = (1.0 / temps[r] - 1.0 / temps[r + 1]) * (energies[r] - energies[r + 1]);
+                if arg >= 0.0 || rng.random::<f64>() < arg.exp() {
+                    states.swap(r, r + 1);
+                    energies.swap(r, r + 1);
+                    swaps_accepted += 1;
+                }
+            }
+        }
+    }
+
+    TemperingRun {
+        best_state,
+        best_energy,
+        swaps_accepted,
+        swaps_proposed,
+        hit_states,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Double-well landscape over integers: minima at ±20, barrier at 0.
+    fn double_well(x: i64) -> f64 {
+        let x = x as f64;
+        // Quartic with minima at +-20 and a barrier of height 400 at 0.
+        ((x * x - 400.0) / 40.0).powi(2)
+    }
+
+    fn step(x: &i64, rng: &mut StdRng) -> i64 {
+        if rng.random::<bool>() {
+            x + 1
+        } else {
+            x - 1
+        }
+    }
+
+    #[test]
+    fn finds_global_minimum_of_double_well() {
+        let run = parallel_tempering(
+            35i64,
+            |&x| double_well(x),
+            step,
+            &TemperingOptions {
+                sweeps: 3000,
+                target_energy: Some(0.0),
+                ..TemperingOptions::default()
+            },
+        );
+        assert_eq!(run.best_energy, 0.0);
+        assert!(run.best_state == 20 || run.best_state == -20);
+    }
+
+    #[test]
+    fn crosses_barriers_to_find_both_minima() {
+        // Plain cold dynamics starting at +35 only ever sees +20; the
+        // tempered ensemble must record both wells among its hits.
+        let run = parallel_tempering(
+            35i64,
+            |&x| double_well(x),
+            step,
+            &TemperingOptions {
+                sweeps: 30_000,
+                t_hot: 30.0,
+                target_energy: Some(0.0),
+                seed: 3,
+                ..TemperingOptions::default()
+            },
+        );
+        assert!(
+            run.hit_states.contains(&20) && run.hit_states.contains(&-20),
+            "hits: {:?}",
+            run.hit_states
+        );
+    }
+
+    #[test]
+    fn swap_bookkeeping() {
+        let run = parallel_tempering(
+            5i64,
+            |&x| (x * x) as f64,
+            step,
+            &TemperingOptions::default(),
+        );
+        assert!(run.swaps_proposed > 0);
+        assert!(run.swaps_accepted <= run.swaps_proposed);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let opts = TemperingOptions {
+            seed: 9,
+            ..TemperingOptions::default()
+        };
+        let a = parallel_tempering(7i64, |&x| (x * x) as f64, step, &opts);
+        let b = parallel_tempering(7i64, |&x| (x * x) as f64, step, &opts);
+        assert_eq!(a.best_state, b.best_state);
+        assert_eq!(a.swaps_accepted, b.swaps_accepted);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two replicas")]
+    fn rejects_single_replica() {
+        let _ = parallel_tempering(
+            0i64,
+            |&x| x as f64,
+            step,
+            &TemperingOptions {
+                replicas: 1,
+                ..TemperingOptions::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks of the crossbar read paths: the prefix-sum
+//! fast path used inside the SA loop vs the naive cell-by-cell sum, plus
+//! the Phase-1 MV read and full hardware construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cnash_crossbar::{BiCrossbar, Crossbar, CrossbarConfig, MappingSpec, QuantizedPayoffs};
+use cnash_device::cell::CellParams;
+use cnash_device::variability::VariabilityModel;
+use cnash_game::games;
+
+fn build_mpd_crossbar() -> Crossbar {
+    let g = games::modified_prisoners_dilemma();
+    let q = QuantizedPayoffs::from_integer_matrix(g.row_payoffs()).expect("integer payoffs");
+    let spec = MappingSpec::new(12, q.max_element()).expect("valid spec");
+    Crossbar::build(
+        q,
+        spec,
+        CellParams::default(),
+        VariabilityModel::paper(),
+        7,
+    )
+    .expect("valid build")
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let xbar = build_mpd_crossbar();
+    let p = [1u32, 0, 2, 0, 3, 0, 6, 0];
+    let q = [0u32, 2, 0, 1, 0, 0, 3, 6];
+
+    c.bench_function("crossbar/vmv_fast_8x8", |b| {
+        b.iter(|| xbar.read_vmv(black_box(&p), black_box(&q)).expect("read"))
+    });
+    c.bench_function("crossbar/vmv_naive_8x8", |b| {
+        b.iter(|| {
+            xbar.read_vmv_naive(black_box(&p), black_box(&q))
+                .expect("read")
+        })
+    });
+    c.bench_function("crossbar/mv_phase1_8x8", |b| {
+        b.iter(|| xbar.read_mv(black_box(&q)).expect("read"))
+    });
+}
+
+fn bench_build(c: &mut Criterion) {
+    let g = games::modified_prisoners_dilemma();
+    c.bench_function("crossbar/build_bicrossbar_8x8", |b| {
+        b.iter(|| BiCrossbar::build(black_box(&g), &CrossbarConfig::paper(12), 7).expect("build"))
+    });
+}
+
+criterion_group!(benches, bench_reads, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmarks of the ground-truth solvers: support enumeration
+//! (the Nashpy substitute) and Lemke–Howson.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cnash_game::games;
+use cnash_game::lemke_howson::lemke_howson;
+use cnash_game::support_enum::enumerate_equilibria;
+
+fn bench_enumeration(c: &mut Criterion) {
+    for game in [
+        games::battle_of_the_sexes(),
+        games::bird_game(),
+        games::modified_prisoners_dilemma(),
+    ] {
+        let label = format!(
+            "ground_truth/support_enum_{}_actions",
+            game.row_actions()
+        );
+        c.bench_function(&label, |b| {
+            b.iter(|| enumerate_equilibria(black_box(&game), 1e-9))
+        });
+    }
+}
+
+fn bench_lemke_howson(c: &mut Criterion) {
+    let game = games::modified_prisoners_dilemma();
+    c.bench_function("ground_truth/lemke_howson_8_actions", |b| {
+        b.iter(|| lemke_howson(black_box(&game), 0).expect("terminates"))
+    });
+}
+
+criterion_group!(benches, bench_enumeration, bench_lemke_howson);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benchmarks of the S-QUBO machinery: construction, energy
+//! evaluation, flip deltas, and one emulated annealing read.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cnash_game::games;
+use cnash_qubo::annealer::{anneal, AnnealParams};
+use cnash_qubo::squbo::{SQubo, SQuboWeights};
+
+fn bench_squbo(c: &mut Criterion) {
+    let game = games::modified_prisoners_dilemma();
+    c.bench_function("qubo/build_squbo_8x8", |b| {
+        b.iter(|| SQubo::build(black_box(&game), &SQuboWeights::default()).expect("builds"))
+    });
+
+    let s = SQubo::build(&game, &SQuboWeights::default()).expect("builds");
+    let x: Vec<bool> = (0..s.num_vars()).map(|k| k % 3 == 0).collect();
+    c.bench_function("qubo/energy_70_vars", |b| {
+        b.iter(|| s.qubo().energy(black_box(&x)))
+    });
+    c.bench_function("qubo/flip_delta_70_vars", |b| {
+        b.iter(|| s.qubo().flip_delta(black_box(&x), black_box(13)))
+    });
+}
+
+fn bench_anneal(c: &mut Criterion) {
+    let game = games::bird_game();
+    let s = SQubo::build(&game, &SQuboWeights::default()).expect("builds");
+    let params = AnnealParams::new(100, 30.0, 0.1);
+    let mut seed = 0u64;
+    c.bench_function("qubo/anneal_100_sweeps_bird", |b| {
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            anneal(s.qubo(), &params, black_box(seed))
+        })
+    });
+}
+
+criterion_group!(benches, bench_squbo, bench_anneal);
+criterion_main!(benches);

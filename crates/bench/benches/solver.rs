@@ -1,0 +1,54 @@
+//! Criterion benchmarks of end-to-end solver runs on the three paper
+//! benchmarks (reduced iteration budgets — these are throughput
+//! benchmarks of the simulator, not success-rate experiments).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cnash_core::baselines::DWaveNashSolver;
+use cnash_core::{CNashConfig, CNashSolver, NashSolver};
+use cnash_game::games;
+use cnash_qubo::dwave::DWaveModel;
+
+fn bench_cnash_runs(c: &mut Criterion) {
+    for bench in games::paper_benchmarks() {
+        let cfg = CNashConfig::paper(12).with_iterations(1000);
+        let solver = CNashSolver::new(&bench.game, cfg, 0).expect("maps");
+        let label = format!(
+            "solver/cnash_1k_iters_{}_actions",
+            bench.game.row_actions()
+        );
+        let mut seed = 0u64;
+        c.bench_function(&label, |b| {
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                solver.run(black_box(seed))
+            })
+        });
+    }
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    use cnash_anneal::moves::GridStrategyPair;
+    let game = games::modified_prisoners_dilemma();
+    let solver = CNashSolver::new(&game, CNashConfig::paper(12), 0).expect("maps");
+    let state = GridStrategyPair::all_on_first(8, 8, 12).expect("valid");
+    c.bench_function("solver/two_phase_evaluate_8x8", |b| {
+        b.iter(|| solver.evaluate(black_box(&state)))
+    });
+}
+
+fn bench_dwave_read(c: &mut Criterion) {
+    let game = games::bird_game();
+    let solver = DWaveNashSolver::new(&game, DWaveModel::advantage_4_1(), 1).expect("builds");
+    let mut seed = 0u64;
+    c.bench_function("solver/dwave_advantage_single_read_bird", |b| {
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            solver.run(black_box(seed))
+        })
+    });
+}
+
+criterion_group!(benches, bench_cnash_runs, bench_evaluate, bench_dwave_read);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion micro-benchmarks of WTA tree evaluation at the paper's
+//! benchmark sizes (2, 3 and 8 inputs) and a larger 64-input tree.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cnash_wta::{WtaConfig, WtaTree};
+
+fn bench_wta(c: &mut Criterion) {
+    for inputs in [2usize, 3, 8, 64] {
+        let tree = WtaTree::build(inputs, &WtaConfig::nominal(), 1);
+        let currents: Vec<f64> = (0..inputs).map(|k| (k + 1) as f64 * 1e-6).collect();
+        c.bench_function(&format!("wta/eval_{inputs}_inputs"), |b| {
+            b.iter(|| tree.eval(black_box(&currents)))
+        });
+    }
+}
+
+fn bench_build(c: &mut Criterion) {
+    c.bench_function("wta/build_8_inputs", |b| {
+        b.iter(|| WtaTree::build(8, &WtaConfig::nominal(), black_box(3)))
+    });
+}
+
+criterion_group!(benches, bench_wta, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Reproduces **Fig. 7**: robustness validation of the crossbar and WTA
+//! components.
+//!
+//! * Fig. 7a — 100 Monte-Carlo instances of a 64×64 crossbar column with
+//!   σ(V_TH) = 40 mV and 8 % resistor spread; output current linearity vs
+//!   the number of activated cells.
+//! * Fig. 7b — WTA settling waveforms across the five process corners.
+//!
+//! `cargo run -p cnash-bench --bin fig7_robustness --release`
+
+use cnash_core::report::render_table;
+use cnash_crossbar::stats::column_linearity_sweep;
+use cnash_device::cell::CellParams;
+use cnash_device::montecarlo::Stats;
+use cnash_device::variability::VariabilityModel;
+use cnash_wta::transient::corner_sweep;
+
+fn main() {
+    // ---- Fig. 7a: crossbar linearity Monte Carlo ----
+    let trials = 100;
+    let size = 64;
+    let mut r2 = Vec::with_capacity(trials);
+    let mut maxdev = Vec::with_capacity(trials);
+    let mut slope = Vec::with_capacity(trials);
+    for seed in 0..trials as u64 {
+        let sweep =
+            column_linearity_sweep(size, VariabilityModel::paper(), CellParams::default(), seed);
+        r2.push(sweep.r_squared());
+        maxdev.push(sweep.max_relative_deviation());
+        slope.push(sweep.slope());
+    }
+    let r2s = Stats::from_samples(&r2);
+    let devs = Stats::from_samples(&maxdev);
+    let slopes = Stats::from_samples(&slope);
+    print!(
+        "{}",
+        render_table(
+            &format!(
+                "Fig. 7a — {size}-cell column linearity, {trials} Monte-Carlo runs \
+                 (sigma_VTH = 40 mV, 8% resistor)"
+            ),
+            &["metric", "mean", "std", "min", "max"],
+            &[
+                vec![
+                    "R^2 of linear fit".into(),
+                    format!("{:.6}", r2s.mean),
+                    format!("{:.2e}", r2s.std),
+                    format!("{:.6}", r2s.min),
+                    format!("{:.6}", r2s.max),
+                ],
+                vec![
+                    "max relative deviation".into(),
+                    format!("{:.4}", devs.mean),
+                    format!("{:.2e}", devs.std),
+                    format!("{:.4}", devs.min),
+                    format!("{:.4}", devs.max),
+                ],
+                vec![
+                    "slope (uA/cell)".into(),
+                    format!("{:.4}", slopes.mean * 1e6),
+                    format!("{:.2e}", slopes.std * 1e6),
+                    format!("{:.4}", slopes.min * 1e6),
+                    format!("{:.4}", slopes.max * 1e6),
+                ],
+            ],
+        )
+    );
+
+    // A small current-vs-activation excerpt (the figure's x/y data).
+    let sweep = column_linearity_sweep(size, VariabilityModel::paper(), CellParams::default(), 0);
+    println!("\nexcerpt of sweep 0 (activated cells -> current uA):");
+    for &k in &[0usize, 8, 16, 24, 32, 40, 48, 56, 64] {
+        println!("  {:2} -> {:.3}", k, sweep.current[k] * 1e6);
+    }
+
+    // ---- Fig. 7b: WTA across process corners ----
+    println!();
+    let rows: Vec<Vec<String>> = corner_sweep(10e-6, 1e-12, 2e-9)
+        .into_iter()
+        .map(|c| {
+            vec![
+                c.corner.to_string(),
+                format!("{:.3}", c.settling_time * 1e9),
+                format!("{:.3}", c.waveform.final_value() * 1e6),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Fig. 7b — WTA transient across process corners (10 uA step)",
+            &["corner", "1% settling (ns)", "final (uA)"],
+            &rows,
+        )
+    );
+    println!(
+        "\nReproduced claims: linearity stays near-ideal under the paper's\n\
+         device variability, and the WTA settles correctly at every corner\n\
+         (slow corners later, fast corners earlier)."
+    );
+}

@@ -1,0 +1,53 @@
+//! Runs the three-solver × three-game evaluation **once** and prints every
+//! run-based artefact of the paper's Sec. 4 from it: Table 1, Fig. 8,
+//! Fig. 9 and Fig. 10. Use this instead of the individual binaries when
+//! regenerating all results (each individual binary re-runs the full
+//! evaluation).
+//!
+//! `cargo run -p cnash-bench --bin repro_all --release [-- --runs N | --full]`
+
+use cnash_bench::{evaluate_paper_benchmarks, Cli};
+use cnash_core::report::{coverage_row, distribution_row, render_table, success_row, tts_row};
+
+fn main() {
+    let cli = Cli::parse();
+    let evals = evaluate_paper_benchmarks(&cli);
+    let all: Vec<&cnash_core::GameReport> =
+        evals.iter().flat_map(|e| e.reports.iter()).collect();
+
+    print!(
+        "{}",
+        render_table(
+            &format!("Table 1 — success rates ({} runs)", cli.runs),
+            &["solver", "game", "success %"],
+            &all.iter().map(|r| success_row(r)).collect::<Vec<_>>(),
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        render_table(
+            "Fig. 8 — solution distribution (%)",
+            &["solver", "game", "error", "pure NE", "mixed NE"],
+            &all.iter().map(|r| distribution_row(r)).collect::<Vec<_>>(),
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        render_table(
+            "Fig. 9 — distinct solutions found",
+            &["solver", "game", "found", "%"],
+            &all.iter().map(|r| coverage_row(r)).collect::<Vec<_>>(),
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        render_table(
+            "Fig. 10 — time to solution",
+            &["solver", "game", "mean TTS", "TTS99"],
+            &all.iter().map(|r| tts_row(r)).collect::<Vec<_>>(),
+        )
+    );
+}

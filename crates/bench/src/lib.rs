@@ -1,0 +1,167 @@
+//! Shared plumbing for the reproduction binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--runs N` — independent runs per (solver, game) pair (default 500),
+//! * `--full` — the paper's full 5000 runs with the paper's iteration
+//!   budgets (slow!),
+//! * `--seed S` — base RNG seed (default 0).
+//!
+//! Paper-vs-measured numbers for every artefact are recorded in
+//! `EXPERIMENTS.md` at the repository root.
+
+use cnash_core::baselines::DWaveNashSolver;
+use cnash_core::{CNashConfig, CNashSolver, ExperimentRunner, GameReport, NashSolver};
+use cnash_game::games::{paper_benchmarks, PaperBenchmark};
+use cnash_game::support_enum::enumerate_equilibria;
+use cnash_game::Equilibrium;
+use cnash_qubo::dwave::DWaveModel;
+
+/// Parsed command-line options of a reproduction binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cli {
+    /// Runs per (solver, game) pair.
+    pub runs: usize,
+    /// Use the paper's full budgets.
+    pub full: bool,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Cli {
+    /// Parses `std::env::args`. Unknown flags abort with a usage message.
+    pub fn parse() -> Self {
+        let mut cli = Cli {
+            runs: 500,
+            full: false,
+            seed: 0,
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--runs" => {
+                    i += 1;
+                    cli.runs = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--runs needs a positive integer"));
+                }
+                "--seed" => {
+                    i += 1;
+                    cli.seed = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs an integer"));
+                }
+                "--full" => cli.full = true,
+                other => usage(&format!("unknown flag {other}")),
+            }
+            i += 1;
+        }
+        if cli.full {
+            cli.runs = 5000;
+        }
+        cli
+    }
+
+    /// SA iteration budget for a benchmark: the paper's figure when
+    /// `--full`, otherwise a 5× reduced budget for turnaround.
+    pub fn iterations(&self, bench: &PaperBenchmark) -> usize {
+        if self.full {
+            bench.paper_iterations
+        } else {
+            (bench.paper_iterations / 5).max(1000)
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: <bin> [--runs N] [--seed S] [--full]");
+    std::process::exit(2);
+}
+
+/// One benchmark's evaluation bundle: the game, its ground truth and the
+/// per-solver reports (C-Nash, D-Wave 2000Q6, Advantage 4.1 — same order
+/// as the paper's tables).
+pub struct BenchmarkEvaluation {
+    /// The benchmark definition.
+    pub bench: PaperBenchmark,
+    /// Ground-truth equilibria (support enumeration).
+    pub ground_truth: Vec<Equilibrium>,
+    /// Reports in solver order [C-Nash, 2000Q6, Advantage 4.1].
+    pub reports: Vec<GameReport>,
+}
+
+/// Runs the full three-solver × three-game evaluation used by Table 1 and
+/// Figs. 8–10.
+///
+/// # Panics
+///
+/// Panics if a benchmark game fails to map onto the hardware (cannot
+/// happen for the built-in benchmarks).
+pub fn evaluate_paper_benchmarks(cli: &Cli) -> Vec<BenchmarkEvaluation> {
+    let runner = ExperimentRunner::new(cli.runs, cli.seed);
+    paper_benchmarks()
+        .into_iter()
+        .map(|bench| {
+            let game = bench.game.clone();
+            let ground_truth = enumerate_equilibria(&game, 1e-9);
+            let cfg = CNashConfig::paper(12).with_iterations(cli.iterations(&bench));
+            let cnash =
+                CNashSolver::new(&game, cfg, cli.seed).expect("benchmark maps onto hardware");
+            let q2000 = DWaveNashSolver::new(&game, DWaveModel::dwave_2000q(), 1)
+                .expect("integer payoffs");
+            let advantage = DWaveNashSolver::new(&game, DWaveModel::advantage_4_1(), 1)
+                .expect("integer payoffs");
+            let reports = [&cnash as &dyn NashSolver, &q2000, &advantage]
+                .into_iter()
+                .map(|s| runner.evaluate(s, &ground_truth))
+                .collect();
+            BenchmarkEvaluation {
+                bench,
+                ground_truth,
+                reports,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iterations_scaling() {
+        let bench = &paper_benchmarks()[0];
+        let quick = Cli {
+            runs: 10,
+            full: false,
+            seed: 0,
+        };
+        let full = Cli {
+            runs: 10,
+            full: true,
+            seed: 0,
+        };
+        assert_eq!(quick.iterations(bench), 2000);
+        assert_eq!(full.iterations(bench), 10_000);
+    }
+
+    #[test]
+    fn evaluation_produces_three_reports_per_game() {
+        let cli = Cli {
+            runs: 3,
+            full: false,
+            seed: 1,
+        };
+        let evals = evaluate_paper_benchmarks(&cli);
+        assert_eq!(evals.len(), 3);
+        for e in &evals {
+            assert_eq!(e.reports.len(), 3);
+            assert_eq!(e.reports[0].solver, "C-Nash");
+            assert!(!e.ground_truth.is_empty());
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Equilibrium verification certificates (extension).
+//!
+//! A solver's answer is only as good as its audit trail. A
+//! [`Certificate`] packages everything needed to check a claimed
+//! equilibrium *without trusting the solver*: per-action payoffs against
+//! the claimed opponent strategy, per-player regrets, the support, and
+//! the best-response action sets. `Display` renders a human-readable
+//! verification report.
+
+use cnash_game::{BimatrixGame, GameError, MixedStrategy};
+use std::fmt;
+
+/// A self-contained verification record for a claimed equilibrium.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Certificate {
+    /// Game name.
+    pub game: String,
+    /// Claimed row strategy.
+    pub row: MixedStrategy,
+    /// Claimed column strategy.
+    pub col: MixedStrategy,
+    /// Row player's payoff per action against `col` (`Mq`).
+    pub row_action_payoffs: Vec<f64>,
+    /// Column player's payoff per action against `row` (`Nᵀp`).
+    pub col_action_payoffs: Vec<f64>,
+    /// Achieved payoffs `(pᵀMq, pᵀNq)`.
+    pub achieved: (f64, f64),
+    /// Per-player regrets (best response minus achieved).
+    pub regrets: (f64, f64),
+    /// Verification tolerance used.
+    pub tolerance: f64,
+}
+
+impl Certificate {
+    /// Builds the certificate by evaluating the game exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::ShapeMismatch`] if the strategies do not
+    /// match the game.
+    pub fn build(
+        game: &BimatrixGame,
+        row: MixedStrategy,
+        col: MixedStrategy,
+        tolerance: f64,
+    ) -> Result<Self, GameError> {
+        let row_action_payoffs = game.row_payoff_vector(&col)?;
+        let col_action_payoffs = game.col_payoff_vector(&row)?;
+        let achieved = game.payoffs(&row, &col)?;
+        let regrets = game.regrets(&row, &col)?;
+        Ok(Self {
+            game: game.name().to_string(),
+            row,
+            col,
+            row_action_payoffs,
+            col_action_payoffs,
+            achieved,
+            regrets,
+            tolerance,
+        })
+    }
+
+    /// `true` if the certificate proves an ε-equilibrium at its
+    /// tolerance.
+    pub fn is_valid(&self) -> bool {
+        self.regrets.0 <= self.tolerance && self.regrets.1 <= self.tolerance
+    }
+
+    /// The key *support condition*: every action played with positive
+    /// probability must be a best response (within tolerance). This is
+    /// the textbook characterisation the crossbar's MAX terms encode.
+    pub fn support_condition_holds(&self) -> bool {
+        let best_row = self
+            .row_action_payoffs
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let best_col = self
+            .col_action_payoffs
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let row_ok = self
+            .row
+            .support(1e-9)
+            .into_iter()
+            .all(|i| self.row_action_payoffs[i] >= best_row - self.tolerance);
+        let col_ok = self
+            .col
+            .support(1e-9)
+            .into_iter()
+            .all(|j| self.col_action_payoffs[j] >= best_col - self.tolerance);
+        row_ok && col_ok
+    }
+}
+
+impl fmt::Display for Certificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "equilibrium certificate — {}", self.game)?;
+        writeln!(f, "  p* = {}", self.row)?;
+        writeln!(f, "  q* = {}", self.col)?;
+        writeln!(
+            f,
+            "  achieved payoffs: f1 = {:.4}, f2 = {:.4}",
+            self.achieved.0, self.achieved.1
+        )?;
+        writeln!(f, "  row action payoffs vs q*:")?;
+        for (i, v) in self.row_action_payoffs.iter().enumerate() {
+            let mark = if self.row.prob(i) > 1e-9 { "*" } else { " " };
+            writeln!(f, "    {mark} a{i}: {v:.4}")?;
+        }
+        writeln!(f, "  col action payoffs vs p*:")?;
+        for (j, v) in self.col_action_payoffs.iter().enumerate() {
+            let mark = if self.col.prob(j) > 1e-9 { "*" } else { " " };
+            writeln!(f, "    {mark} b{j}: {v:.4}")?;
+        }
+        writeln!(
+            f,
+            "  regrets: ({:.2e}, {:.2e}) at tolerance {:.1e}",
+            self.regrets.0, self.regrets.1, self.tolerance
+        )?;
+        write!(
+            f,
+            "  verdict: {}",
+            if self.is_valid() { "VALID" } else { "INVALID" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnash_game::games;
+
+    #[test]
+    fn valid_certificate_for_true_equilibrium() {
+        let g = games::battle_of_the_sexes();
+        let p = MixedStrategy::new(vec![2.0 / 3.0, 1.0 / 3.0]).unwrap();
+        let q = MixedStrategy::new(vec![1.0 / 3.0, 2.0 / 3.0]).unwrap();
+        let c = Certificate::build(&g, p, q, 1e-9).unwrap();
+        assert!(c.is_valid());
+        assert!(c.support_condition_holds());
+        assert!(c.regrets.0.abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_certificate_for_non_equilibrium() {
+        let g = games::battle_of_the_sexes();
+        let p = MixedStrategy::pure(2, 0).unwrap();
+        let q = MixedStrategy::pure(2, 1).unwrap();
+        let c = Certificate::build(&g, p, q, 1e-9).unwrap();
+        assert!(!c.is_valid());
+    }
+
+    #[test]
+    fn support_condition_detects_bad_support() {
+        // Uniform p in BoS plays action 1 while action 0 is strictly
+        // better against q = pure(0): support condition fails.
+        let g = games::battle_of_the_sexes();
+        let p = MixedStrategy::uniform(2).unwrap();
+        let q = MixedStrategy::pure(2, 0).unwrap();
+        let c = Certificate::build(&g, p, q, 1e-9).unwrap();
+        assert!(!c.support_condition_holds());
+    }
+
+    #[test]
+    fn display_reports_verdict_and_support() {
+        let g = games::prisoners_dilemma();
+        let p = MixedStrategy::pure(2, 1).unwrap();
+        let c = Certificate::build(&g, p.clone(), p, 1e-9).unwrap();
+        let s = c.to_string();
+        assert!(s.contains("VALID"));
+        assert!(s.contains("* a1"));
+        assert!(s.contains("  a0") || s.contains("   a0"));
+    }
+
+    #[test]
+    fn certificates_for_all_enumerated_equilibria() {
+        for b in games::paper_benchmarks() {
+            for e in cnash_game::support_enum::enumerate_equilibria(&b.game, 1e-9) {
+                let c = Certificate::build(&b.game, e.row, e.col, 1e-7).unwrap();
+                assert!(c.is_valid(), "{}: {c}", b.game.name());
+                assert!(c.support_condition_holds());
+            }
+        }
+    }
+}

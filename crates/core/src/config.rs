@@ -1,0 +1,117 @@
+//! Solver configuration.
+
+use cnash_anneal::Schedule;
+use cnash_crossbar::CrossbarConfig;
+use cnash_device::corners::ProcessCorner;
+use cnash_wta::WtaConfig;
+
+/// Full configuration of a [`crate::CNashSolver`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CNashConfig {
+    /// Probability grid intervals `I` (paper Sec. 3.2). All benchmark
+    /// equilibria are representable at `I = 12`.
+    pub intervals: u32,
+    /// SA iterations per run (paper: 10000/15000/50000 per game).
+    pub iterations: usize,
+    /// Temperature schedule of the SA logic.
+    pub schedule: Schedule,
+    /// Crossbar hardware model.
+    pub crossbar: CrossbarConfig,
+    /// WTA tree hardware model.
+    pub wta: WtaConfig,
+    /// Route Phase-1 maxima through the WTA tree model (`false` = exact
+    /// max, an ablation).
+    pub use_wta: bool,
+    /// Measured-gap threshold below which the SA logic declares a
+    /// solution hit (sets time-to-solution; final verification is exact).
+    pub gap_tolerance: f64,
+}
+
+impl CNashConfig {
+    /// Fully idealised pipeline: no device variability, ideal ADC, exact
+    /// max. The algorithmic skeleton of C-Nash.
+    pub fn ideal(intervals: u32) -> Self {
+        Self {
+            intervals,
+            iterations: 10_000,
+            schedule: Schedule::geometric(1.0, 1e-3),
+            crossbar: CrossbarConfig::ideal(intervals),
+            wta: WtaConfig::ideal(),
+            use_wta: false,
+            gap_tolerance: 1e-6,
+        }
+    }
+
+    /// The paper's hardware assumptions: 40 mV V_TH σ, 8 % resistor σ,
+    /// 8-bit ADC, WTA trees with 0.25 % offset at the tt corner.
+    pub fn paper(intervals: u32) -> Self {
+        Self {
+            intervals,
+            iterations: 10_000,
+            schedule: Schedule::geometric(1.0, 1e-3),
+            crossbar: CrossbarConfig::paper(intervals),
+            wta: WtaConfig::nominal(),
+            use_wta: true,
+            gap_tolerance: 0.05,
+        }
+    }
+
+    /// Paper hardware at a specific process corner.
+    pub fn paper_at_corner(intervals: u32, corner: ProcessCorner) -> Self {
+        Self {
+            wta: WtaConfig::at_corner(corner),
+            ..Self::paper(intervals)
+        }
+    }
+
+    /// Returns a copy with a different iteration budget.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Returns a copy with a different schedule.
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_has_no_noise_sources() {
+        let c = CNashConfig::ideal(12);
+        assert_eq!(c.crossbar.variability.sigma_vth, 0.0);
+        assert_eq!(c.crossbar.adc_bits, None);
+        assert!(!c.use_wta);
+        assert_eq!(c.intervals, 12);
+    }
+
+    #[test]
+    fn paper_has_all_noise_sources() {
+        let c = CNashConfig::paper(12);
+        assert_eq!(c.crossbar.variability.sigma_vth, 0.040);
+        assert_eq!(c.crossbar.adc_bits, Some(8));
+        assert!(c.use_wta);
+        assert!(c.gap_tolerance > 0.0);
+    }
+
+    #[test]
+    fn corner_config_scales_wta() {
+        let tt = CNashConfig::paper(12);
+        let skew = CNashConfig::paper_at_corner(12, ProcessCorner::Snfp);
+        assert!(skew.wta.effective_offset() > tt.wta.effective_offset());
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let c = CNashConfig::ideal(12)
+            .with_iterations(99)
+            .with_schedule(Schedule::constant(0.5));
+        assert_eq!(c.iterations, 99);
+        assert_eq!(c.schedule, Schedule::constant(0.5));
+    }
+}

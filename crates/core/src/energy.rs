@@ -1,0 +1,152 @@
+//! Energy model of the C-Nash pipeline (extension).
+//!
+//! The paper motivates FeFETs over ReRAM/MTJ with their voltage-driven,
+//! energy-efficient reads (Sec. 2.3) but reports no energy numbers. This
+//! module provides first-order estimates so design-space studies (cell
+//! count vs interval count vs ADC width) can reason about energy:
+//!
+//! * crossbar read energy: every *activated* '1' cell conducts its
+//!   clamped ON current from the `V_DL` supply for the settle time,
+//! * ADC energy: a per-conversion constant scaled exponentially with
+//!   resolution (`E ∝ 2^bits`, the usual SAR scaling),
+//! * WTA energy: the mirrored currents flow for the tree's settle time,
+//! * SA logic: a small digital constant.
+
+use cnash_crossbar::BiCrossbar;
+use cnash_game::MixedStrategy;
+
+/// First-order per-component energy constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CimEnergyModel {
+    /// Data-line read voltage (V) — the supply the cell currents draw
+    /// from.
+    pub v_read: f64,
+    /// Crossbar settle time per phase (s).
+    pub settle_time: f64,
+    /// ADC energy per conversion at 1 bit (J); scales as `2^bits`.
+    pub adc_unit_energy: f64,
+    /// Digital SA-logic energy per iteration (J).
+    pub sa_logic_energy: f64,
+    /// WTA tree settle time (s) and bias current (A) per cell.
+    pub wta_settle: f64,
+    /// WTA per-cell bias current (A).
+    pub wta_bias_current: f64,
+}
+
+impl CimEnergyModel {
+    /// Nominal 28 nm constants: 0.1 V reads, 2 ns settles, ~50 fJ/8-bit
+    /// conversion, 10 fJ digital update, µA-scale WTA biasing.
+    pub fn nominal() -> Self {
+        Self {
+            v_read: 0.1,
+            settle_time: 2e-9,
+            adc_unit_energy: 0.2e-15,
+            sa_logic_energy: 10e-15,
+            wta_settle: 0.24e-9,
+            wta_bias_current: 10e-6,
+        }
+    }
+
+    /// Energy of one analog read that draws `current` (A) for one settle.
+    pub fn read_energy(&self, current: f64) -> f64 {
+        current * self.v_read * self.settle_time
+    }
+
+    /// ADC conversion energy at `bits` resolution.
+    pub fn adc_energy(&self, bits: u32) -> f64 {
+        self.adc_unit_energy * (1u64 << bits) as f64
+    }
+
+    /// WTA tree energy for `cells` 2-input cells settling once.
+    pub fn wta_energy(&self, cells: usize) -> f64 {
+        cells as f64 * self.wta_bias_current * self.v_read * self.wta_settle
+    }
+
+    /// Full two-phase iteration energy for a given bi-crossbar and
+    /// strategy pair: Phase 1 reads both arrays with all word lines up,
+    /// Phase 2 with the strategy activation; 2 conversions per phase per
+    /// array; both WTA trees fire in Phase 1.
+    ///
+    /// # Errors
+    ///
+    /// Propagates crossbar activation errors.
+    pub fn iteration_energy(
+        &self,
+        hw: &BiCrossbar,
+        p: &MixedStrategy,
+        q: &MixedStrategy,
+        adc_bits: u32,
+        wta_cells: usize,
+    ) -> Result<f64, cnash_crossbar::CrossbarError> {
+        let (pc, qc) = hw.activations(p, q)?;
+        // Phase 1: all WLs active on both arrays.
+        let phase1_m: f64 = hw.array_m().read_mv(&qc)?.iter().sum();
+        let phase1_nt: f64 = hw.array_nt().read_mv(&pc)?.iter().sum();
+        // Phase 2: VMV activations.
+        let phase2_m = hw.array_m().read_vmv(&pc, &qc)?;
+        let phase2_nt = hw.array_nt().read_vmv(&qc, &pc)?;
+        let analog = self.read_energy(phase1_m + phase1_nt + phase2_m + phase2_nt);
+        let conversions = 2 * (hw.array_m().payoffs().rows() + hw.array_nt().payoffs().rows()) + 2;
+        let digital =
+            conversions as f64 * self.adc_energy(adc_bits) + self.sa_logic_energy;
+        Ok(analog + self.wta_energy(wta_cells) + digital)
+    }
+}
+
+impl Default for CimEnergyModel {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnash_crossbar::CrossbarConfig;
+    use cnash_game::games;
+
+    #[test]
+    fn read_energy_scales_with_current() {
+        let e = CimEnergyModel::nominal();
+        assert_eq!(e.read_energy(2e-6), 2.0 * e.read_energy(1e-6));
+        // 1 µA for 2 ns at 0.1 V = 0.2 fJ.
+        assert!((e.read_energy(1e-6) - 0.2e-15).abs() < 1e-20);
+    }
+
+    #[test]
+    fn adc_energy_exponential_in_bits() {
+        let e = CimEnergyModel::nominal();
+        assert_eq!(e.adc_energy(9), 2.0 * e.adc_energy(8));
+    }
+
+    #[test]
+    fn iteration_energy_positive_and_sane() {
+        let g = games::bird_game();
+        let hw = BiCrossbar::build(&g, &CrossbarConfig::ideal(12), 0).expect("maps");
+        let e = CimEnergyModel::nominal();
+        let p = MixedStrategy::uniform(3).expect("valid");
+        let q = MixedStrategy::uniform(3).expect("valid");
+        let energy = e.iteration_energy(&hw, &p, &q, 8, 3 + 3).expect("reads");
+        // Sub-nanojoule per iteration at these scales.
+        assert!(energy > 0.0);
+        assert!(energy < 1e-9, "iteration energy {energy} J too large");
+    }
+
+    #[test]
+    fn larger_games_cost_more_energy() {
+        let e = CimEnergyModel::nominal();
+        let small = {
+            let g = games::battle_of_the_sexes();
+            let hw = BiCrossbar::build(&g, &CrossbarConfig::ideal(12), 0).expect("maps");
+            let u = MixedStrategy::uniform(2).expect("valid");
+            e.iteration_energy(&hw, &u, &u, 8, 2).expect("reads")
+        };
+        let large = {
+            let g = games::modified_prisoners_dilemma();
+            let hw = BiCrossbar::build(&g, &CrossbarConfig::ideal(12), 0).expect("maps");
+            let u = MixedStrategy::uniform(8).expect("valid");
+            e.iteration_energy(&hw, &u, &u, 8, 14).expect("reads")
+        };
+        assert!(large > small);
+    }
+}

@@ -1,0 +1,76 @@
+//! Unified error type of the C-Nash pipeline.
+
+use std::fmt;
+
+/// Errors surfaced by the end-to-end solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Game-side error (shapes, strategies).
+    Game(cnash_game::GameError),
+    /// Crossbar mapping/read error.
+    Crossbar(cnash_crossbar::CrossbarError),
+    /// S-QUBO construction error.
+    SQubo(String),
+    /// Invalid solver configuration.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Game(e) => write!(f, "game error: {e}"),
+            CoreError::Crossbar(e) => write!(f, "crossbar error: {e}"),
+            CoreError::SQubo(msg) => write!(f, "s-qubo error: {msg}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Game(e) => Some(e),
+            CoreError::Crossbar(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cnash_game::GameError> for CoreError {
+    fn from(e: cnash_game::GameError) -> Self {
+        CoreError::Game(e)
+    }
+}
+
+impl From<cnash_crossbar::CrossbarError> for CoreError {
+    fn from(e: cnash_crossbar::CrossbarError) -> Self {
+        CoreError::Crossbar(e)
+    }
+}
+
+impl From<cnash_qubo::squbo::SQuboError> for CoreError {
+    fn from(e: cnash_qubo::squbo::SQuboError) -> Self {
+        CoreError::SQubo(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        use std::error::Error;
+        let e = CoreError::from(cnash_game::GameError::EmptyActionSet);
+        assert!(e.to_string().contains("game error"));
+        assert!(e.source().is_some());
+        let e = CoreError::InvalidConfig("bad".into());
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,253 @@
+//! Evaluation harness reproducing the paper's Sec. 4 artefacts.
+//!
+//! For each (game, solver) pair the runner executes many independent
+//! seeded runs and aggregates:
+//!
+//! * **success rate** — fraction of runs whose returned solution is a true
+//!   equilibrium (Table 1),
+//! * **solution distribution** — error / pure-NE / mixed-NE percentages
+//!   (Fig. 8),
+//! * **coverage** — distinct equilibria found vs the support-enumeration
+//!   ground truth (Fig. 9),
+//! * **time to solution** — mean model time per found solution and the
+//!   99 %-confidence restart TTS (Fig. 10).
+
+use crate::solver::NashSolver;
+use crate::timing::tts99;
+use cnash_game::equilibrium::{coverage, dedup_equilibria, StrategyKind};
+use cnash_game::{BimatrixGame, Equilibrium};
+
+/// Per-run solution classification tallies (Fig. 8 buckets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolutionDistribution {
+    /// Runs whose solution is not an equilibrium (or undecodable).
+    pub error: usize,
+    /// Runs that returned a pure equilibrium.
+    pub pure_ne: usize,
+    /// Runs that returned a mixed equilibrium.
+    pub mixed_ne: usize,
+}
+
+impl SolutionDistribution {
+    /// Total classified runs.
+    pub fn total(&self) -> usize {
+        self.error + self.pure_ne + self.mixed_ne
+    }
+
+    /// `(error %, pure %, mixed %)` of total runs.
+    pub fn percentages(&self) -> (f64, f64, f64) {
+        let t = self.total().max(1) as f64;
+        (
+            100.0 * self.error as f64 / t,
+            100.0 * self.pure_ne as f64 / t,
+            100.0 * self.mixed_ne as f64 / t,
+        )
+    }
+}
+
+/// Aggregated report of one (solver, game) evaluation.
+#[derive(Debug, Clone)]
+pub struct GameReport {
+    /// Solver name.
+    pub solver: String,
+    /// Game name.
+    pub game: String,
+    /// Number of runs executed.
+    pub runs: usize,
+    /// Fraction of runs returning a true equilibrium, in percent
+    /// (Table 1).
+    pub success_rate: f64,
+    /// Fig. 8 buckets.
+    pub distribution: SolutionDistribution,
+    /// Distinct true equilibria found across all runs.
+    pub distinct_found: Vec<Equilibrium>,
+    /// Ground-truth equilibrium count.
+    pub target_count: usize,
+    /// How many ground-truth equilibria were found (Fig. 9).
+    pub covered: usize,
+    /// Mean model time per found solution (s): total model time spent
+    /// divided by the number of successful runs (∞ if none succeeded).
+    pub mean_time_to_solution: f64,
+    /// 99 %-confidence restart TTS (s) based on per-run success
+    /// probability and mean run time.
+    pub tts99: f64,
+    /// Mean model time of one full run (s).
+    pub mean_run_time: f64,
+}
+
+impl GameReport {
+    /// Coverage as a fraction in `[0, 1]`.
+    pub fn coverage_fraction(&self) -> f64 {
+        if self.target_count == 0 {
+            1.0
+        } else {
+            self.covered as f64 / self.target_count as f64
+        }
+    }
+}
+
+/// Runs repeated solver evaluations with sequential seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentRunner {
+    /// Independent runs per (solver, game) pair (paper: 5000).
+    pub runs: usize,
+    /// First seed; run `k` uses `base_seed + k`.
+    pub base_seed: u64,
+}
+
+impl ExperimentRunner {
+    /// Creates a runner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs == 0`.
+    pub fn new(runs: usize, base_seed: u64) -> Self {
+        assert!(runs > 0, "need at least one run");
+        Self { runs, base_seed }
+    }
+
+    /// Evaluates `solver` against `ground_truth` equilibria of its game.
+    pub fn evaluate(&self, solver: &dyn NashSolver, ground_truth: &[Equilibrium]) -> GameReport {
+        let game: &BimatrixGame = solver.game();
+        let mut dist = SolutionDistribution::default();
+        let mut found: Vec<Equilibrium> = Vec::new();
+        let mut successes = 0usize;
+        let mut total_model_time = 0.0;
+        let mut time_to_hits = 0.0;
+        let mut run_time_sum = 0.0;
+
+        for k in 0..self.runs {
+            let out = solver.run(self.base_seed.wrapping_add(k as u64));
+            run_time_sum += out.total_time;
+            match (&out.profile, out.is_equilibrium) {
+                (Some((p, q)), true) => {
+                    successes += 1;
+                    let eq = Equilibrium::from_profile(game, p.clone(), q.clone());
+                    match eq.kind(1e-6) {
+                        StrategyKind::Pure => dist.pure_ne += 1,
+                        StrategyKind::Mixed => dist.mixed_ne += 1,
+                    }
+                    found.push(eq);
+                    total_model_time += out.hit_time.unwrap_or(out.total_time);
+                    time_to_hits += out.hit_time.unwrap_or(out.total_time);
+                }
+                _ => {
+                    dist.error += 1;
+                    total_model_time += out.total_time;
+                }
+            }
+            // Every solver-flagged solution the run passed through counts
+            // toward coverage, after exact verification.
+            for (p, q) in &out.solutions {
+                if game.is_equilibrium(p, q, 1e-6) {
+                    found.push(Equilibrium::from_profile(game, p.clone(), q.clone()));
+                }
+            }
+        }
+        let _ = time_to_hits;
+
+        let distinct_found = dedup_equilibria(found, 1e-6);
+        let covered = coverage(&distinct_found, ground_truth, 1e-6);
+        let p_success = successes as f64 / self.runs as f64;
+        let mean_run_time = run_time_sum / self.runs as f64;
+
+        GameReport {
+            solver: solver.name().to_string(),
+            game: game.name().to_string(),
+            runs: self.runs,
+            success_rate: 100.0 * p_success,
+            distribution: dist,
+            distinct_found,
+            target_count: ground_truth.len(),
+            covered,
+            mean_time_to_solution: if successes > 0 {
+                total_model_time / successes as f64
+            } else {
+                f64::INFINITY
+            },
+            tts99: tts99(mean_run_time, p_success),
+            mean_run_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::DWaveNashSolver;
+    use crate::config::CNashConfig;
+    use crate::solver::CNashSolver;
+    use cnash_game::games;
+    use cnash_game::support_enum::enumerate_equilibria;
+    use cnash_qubo::dwave::DWaveModel;
+
+    #[test]
+    fn distribution_percentages() {
+        let d = SolutionDistribution {
+            error: 1,
+            pure_ne: 2,
+            mixed_ne: 1,
+        };
+        let (e, p, m) = d.percentages();
+        assert_eq!((e, p, m), (25.0, 50.0, 25.0));
+        assert_eq!(d.total(), 4);
+    }
+
+    #[test]
+    fn cnash_bos_report_is_perfect() {
+        let g = games::battle_of_the_sexes();
+        let gt = enumerate_equilibria(&g, 1e-9);
+        let solver = CNashSolver::new(&g, CNashConfig::ideal(12), 0).unwrap();
+        let runner = ExperimentRunner::new(30, 100);
+        let r = runner.evaluate(&solver, &gt);
+        assert_eq!(r.success_rate, 100.0);
+        assert_eq!(r.distribution.error, 0);
+        assert!(r.covered >= 2, "covered {} of {}", r.covered, r.target_count);
+        assert!(r.mean_time_to_solution.is_finite());
+        assert!(r.tts99.is_finite());
+    }
+
+    #[test]
+    fn cnash_finds_both_pure_and_mixed_on_bos() {
+        let g = games::battle_of_the_sexes();
+        let gt = enumerate_equilibria(&g, 1e-9);
+        let solver = CNashSolver::new(&g, CNashConfig::ideal(12), 0).unwrap();
+        let runner = ExperimentRunner::new(60, 0);
+        let r = runner.evaluate(&solver, &gt);
+        assert!(r.distribution.pure_ne > 0);
+        // The walk passes through the mixed NE during runs even though the
+        // returned best state is usually pure — coverage catches it.
+        assert_eq!(r.covered, 3, "should cover all 3 BoS equilibria");
+    }
+
+    #[test]
+    fn baseline_never_reports_mixed() {
+        let g = games::battle_of_the_sexes();
+        let gt = enumerate_equilibria(&g, 1e-9);
+        let solver = DWaveNashSolver::new(&g, DWaveModel::dwave_2000q(), 20).unwrap();
+        let runner = ExperimentRunner::new(20, 5);
+        let r = runner.evaluate(&solver, &gt);
+        assert_eq!(r.distribution.mixed_ne, 0);
+        assert!(r.covered <= 2, "baseline cannot cover the mixed NE");
+    }
+
+    #[test]
+    fn coverage_fraction_bounds() {
+        let g = games::matching_pennies();
+        let gt = enumerate_equilibria(&g, 1e-9);
+        let solver = DWaveNashSolver::new(&g, DWaveModel::advantage_4_1(), 5).unwrap();
+        let runner = ExperimentRunner::new(5, 0);
+        let r = runner.evaluate(&solver, &gt);
+        assert_eq!(r.covered, 0);
+        assert_eq!(r.coverage_fraction(), 0.0);
+        assert_eq!(r.success_rate, 0.0);
+        assert!(r.mean_time_to_solution.is_infinite());
+        assert!(r.tts99.is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_rejected() {
+        let _ = ExperimentRunner::new(0, 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Dominance-reduced C-Nash solving (extension).
+//!
+//! Strictly dominated actions never appear in equilibria, so eliminating
+//! them *before* mapping the game onto the crossbar shrinks the hardware
+//! without changing the answer: the 8-action Modified Prisoner's Dilemma
+//! drops to its 4-action defect block, quartering the cell count and
+//! deepening nothing. [`ReducedCNashSolver`] performs the reduction,
+//! solves on the small crossbar, and lifts every returned strategy back
+//! to the original action space.
+
+use crate::config::CNashConfig;
+use crate::error::CoreError;
+use crate::solver::{CNashSolver, NashSolver, RunOutcome};
+use cnash_game::reduction::{eliminate_dominated, ReducedGame};
+use cnash_game::{BimatrixGame, MixedStrategy};
+
+/// C-Nash on the dominance-reduced game, reporting in the original
+/// action space.
+#[derive(Debug, Clone)]
+pub struct ReducedCNashSolver {
+    name: String,
+    original: BimatrixGame,
+    reduction: ReducedGame,
+    inner: CNashSolver,
+}
+
+impl ReducedCNashSolver {
+    /// Reduces `game` and builds the hardware for the reduced instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reduction and hardware-mapping errors.
+    pub fn new(
+        game: &BimatrixGame,
+        config: CNashConfig,
+        hardware_seed: u64,
+    ) -> Result<Self, CoreError> {
+        let reduction = eliminate_dominated(game)?;
+        let inner = CNashSolver::new(&reduction.game, config, hardware_seed)?;
+        Ok(Self {
+            name: "C-Nash (dominance-reduced)".into(),
+            original: game.clone(),
+            reduction,
+            inner,
+        })
+    }
+
+    /// The reduction applied (for inspecting savings).
+    pub fn reduction(&self) -> &ReducedGame {
+        &self.reduction
+    }
+
+    /// Physical cells of the reduced `M` array vs the cells a direct
+    /// mapping would need: `(reduced, direct)`.
+    pub fn cell_savings(&self) -> (usize, usize) {
+        let (r, c) = self.inner.hardware().array_m().physical_size();
+        let reduced = r * c;
+        // Direct mapping uses the same I and t on the full action counts.
+        let scale_rows = self.original.row_actions() as f64
+            / self.reduction.game.row_actions() as f64;
+        let scale_cols = self.original.col_actions() as f64
+            / self.reduction.game.col_actions() as f64;
+        let direct = (reduced as f64 * scale_rows * scale_cols).round() as usize;
+        (reduced, direct)
+    }
+
+    fn lift(&self, p: &MixedStrategy, q: &MixedStrategy) -> (MixedStrategy, MixedStrategy) {
+        let lifted_p = self
+            .reduction
+            .lift_row(p, self.original.row_actions())
+            .expect("reduced profile lifts");
+        let lifted_q = self
+            .reduction
+            .lift_col(q, self.original.col_actions())
+            .expect("reduced profile lifts");
+        (lifted_p, lifted_q)
+    }
+}
+
+impl NashSolver for ReducedCNashSolver {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn game(&self) -> &BimatrixGame {
+        &self.original
+    }
+
+    fn run(&self, seed: u64) -> RunOutcome {
+        let inner_out = self.inner.run(seed);
+        let profile = inner_out.profile.map(|(p, q)| self.lift(&p, &q));
+        let is_eq = profile
+            .as_ref()
+            .map(|(p, q)| self.original.is_equilibrium(p, q, 1e-6))
+            .unwrap_or(false);
+        let solutions = inner_out
+            .solutions
+            .iter()
+            .map(|(p, q)| self.lift(p, q))
+            .collect();
+        RunOutcome {
+            profile,
+            is_equilibrium: is_eq,
+            hit_time: inner_out.hit_time,
+            total_time: inner_out.total_time,
+            measured_objective: inner_out.measured_objective,
+            solutions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::ExperimentRunner;
+    use cnash_game::games;
+    use cnash_game::support_enum::enumerate_equilibria;
+
+    #[test]
+    fn reduced_solver_solves_mpd8_in_original_space() {
+        let g = games::modified_prisoners_dilemma();
+        let s = ReducedCNashSolver::new(
+            &g,
+            CNashConfig::paper(12).with_iterations(5000),
+            0,
+        )
+        .unwrap();
+        let out = s.run(1);
+        let (p, q) = out.profile.expect("profile");
+        assert_eq!(p.len(), 8, "profile must be in the original action space");
+        assert_eq!(q.len(), 8);
+        assert!(out.is_equilibrium);
+        // All mass on the defect block.
+        for a in p.support(1e-9) {
+            assert!(a >= 4);
+        }
+    }
+
+    #[test]
+    fn cell_savings_are_4x_for_mpd8() {
+        let g = games::modified_prisoners_dilemma();
+        let s = ReducedCNashSolver::new(&g, CNashConfig::paper(12), 0).unwrap();
+        let (reduced, direct) = s.cell_savings();
+        assert_eq!(direct, reduced * 4, "8->4 actions on both sides");
+    }
+
+    #[test]
+    fn coverage_matches_unreduced_ground_truth() {
+        let g = games::modified_prisoners_dilemma();
+        let truth = enumerate_equilibria(&g, 1e-9);
+        let s = ReducedCNashSolver::new(
+            &g,
+            CNashConfig::paper(12).with_iterations(10_000),
+            0,
+        )
+        .unwrap();
+        let runner = ExperimentRunner::new(30, 0);
+        let r = runner.evaluate(&s, &truth);
+        assert!(r.success_rate > 80.0, "success {}", r.success_rate);
+        assert!(
+            r.covered >= 10,
+            "reduced solver covered only {}/{}",
+            r.covered,
+            r.target_count
+        );
+    }
+
+    #[test]
+    fn undominated_games_pass_through() {
+        let g = games::battle_of_the_sexes();
+        let s = ReducedCNashSolver::new(&g, CNashConfig::ideal(12), 0).unwrap();
+        assert_eq!(s.reduction().rounds, 0);
+        assert!(s.run(3).is_equilibrium);
+    }
+}

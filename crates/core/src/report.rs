@@ -1,0 +1,172 @@
+//! Plain-text table rendering for the experiment binaries.
+
+use crate::experiment::GameReport;
+
+/// Renders an aligned text table.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    for r in rows {
+        assert_eq!(r.len(), headers.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (k, cell) in r.iter().enumerate() {
+            widths[k] = widths[k].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        let mut s = String::from("| ");
+        for (k, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:width$} | ", c, width = widths[k]));
+        }
+        s.trim_end().to_string()
+    };
+    let sep: String = {
+        let mut s = String::from("|");
+        for w in &widths {
+            s.push_str(&"-".repeat(w + 2));
+            s.push('|');
+        }
+        s
+    };
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&fmt_row(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for r in rows {
+        out.push_str(&fmt_row(r));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats seconds with an adaptive unit.
+pub fn format_time(seconds: f64) -> String {
+    if !seconds.is_finite() {
+        return "inf".to_string();
+    }
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.3} ns", seconds * 1e9)
+    }
+}
+
+/// One row of the Table-1-style success-rate table.
+pub fn success_row(r: &GameReport) -> Vec<String> {
+    vec![
+        r.solver.clone(),
+        r.game.clone(),
+        format!("{:.2}", r.success_rate),
+    ]
+}
+
+/// One row of the Fig. 8 solution-distribution table.
+pub fn distribution_row(r: &GameReport) -> Vec<String> {
+    let (e, p, m) = r.distribution.percentages();
+    vec![
+        r.solver.clone(),
+        r.game.clone(),
+        format!("{e:.2}"),
+        format!("{p:.2}"),
+        format!("{m:.2}"),
+    ]
+}
+
+/// One row of the Fig. 9 coverage table.
+pub fn coverage_row(r: &GameReport) -> Vec<String> {
+    vec![
+        r.solver.clone(),
+        r.game.clone(),
+        format!("{}/{}", r.covered, r.target_count),
+        format!("{:.1}", 100.0 * r.coverage_fraction()),
+    ]
+}
+
+/// One row of the Fig. 10 time-to-solution table.
+pub fn tts_row(r: &GameReport) -> Vec<String> {
+    vec![
+        r.solver.clone(),
+        r.game.clone(),
+        format_time(r.mean_time_to_solution),
+        format_time(r.tts99),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::SolutionDistribution;
+
+    fn dummy_report() -> GameReport {
+        GameReport {
+            solver: "X".into(),
+            game: "G".into(),
+            runs: 10,
+            success_rate: 90.0,
+            distribution: SolutionDistribution {
+                error: 1,
+                pure_ne: 5,
+                mixed_ne: 4,
+            },
+            distinct_found: vec![],
+            target_count: 3,
+            covered: 2,
+            mean_time_to_solution: 1.5e-5,
+            tts99: 2.0e-4,
+            mean_run_time: 7e-5,
+        }
+    }
+
+    #[test]
+    fn table_is_aligned() {
+        let t = render_table(
+            "T",
+            &["a", "bb"],
+            &[
+                vec!["xxx".into(), "y".into()],
+                vec!["1".into(), "22222".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5); // title + header + separator + 2 rows
+        assert_eq!(lines[1].len(), lines[3].len());
+        assert!(lines[2].starts_with("|--"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = render_table("T", &["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn time_units() {
+        assert_eq!(format_time(2.5), "2.500 s");
+        assert_eq!(format_time(2.5e-3), "2.500 ms");
+        assert_eq!(format_time(2.5e-6), "2.500 us");
+        assert_eq!(format_time(2.5e-9), "2.500 ns");
+        assert_eq!(format_time(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn report_rows() {
+        let r = dummy_report();
+        assert_eq!(success_row(&r)[2], "90.00");
+        assert_eq!(distribution_row(&r)[2], "10.00");
+        assert_eq!(coverage_row(&r)[2], "2/3");
+        assert!(tts_row(&r)[2].contains("us"));
+    }
+}

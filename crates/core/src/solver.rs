@@ -1,0 +1,432 @@
+//! The C-Nash solver: hardware-in-the-loop two-phase SA (Fig. 3, Alg. 1).
+
+use crate::config::CNashConfig;
+use crate::error::CoreError;
+use crate::timing::CimTimingModel;
+use cnash_anneal::engine::{simulated_annealing, SaOptions};
+use cnash_anneal::moves::GridStrategyPair;
+use cnash_crossbar::BiCrossbar;
+use cnash_game::{BimatrixGame, MixedStrategy};
+use cnash_wta::WtaTree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Outcome of one solver run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// The best strategy profile returned by the run (`None` when a
+    /// baseline's decoded assignment violates the one-hot constraints —
+    /// an "error solution" in the paper's Fig. 8 vocabulary).
+    pub profile: Option<(MixedStrategy, MixedStrategy)>,
+    /// Exact (software-verified) equilibrium check of the profile.
+    pub is_equilibrium: bool,
+    /// Model time until the solver first *detected* a solution (s).
+    pub hit_time: Option<f64>,
+    /// Model time of the complete run (s).
+    pub total_time: f64,
+    /// Solver-measured objective of the returned profile (noisy for
+    /// hardware solvers).
+    pub measured_objective: f64,
+    /// All distinct candidate solutions the run *passed through* (states
+    /// the solver's own detector flagged). One run can discover several
+    /// equilibria; Fig. 9 coverage unions these across runs.
+    pub solutions: Vec<(MixedStrategy, MixedStrategy)>,
+}
+
+/// Common interface of C-Nash and the baselines.
+pub trait NashSolver {
+    /// Human-readable solver name (used in reports).
+    fn name(&self) -> &str;
+
+    /// The game being solved.
+    fn game(&self) -> &BimatrixGame;
+
+    /// Executes one independent run with the given seed.
+    fn run(&self, seed: u64) -> RunOutcome;
+}
+
+/// The full C-Nash architecture: FeFET bi-crossbar + WTA trees + two-phase
+/// SA logic.
+#[derive(Debug, Clone)]
+pub struct CNashSolver {
+    name: String,
+    game: BimatrixGame,
+    config: CNashConfig,
+    hardware: BiCrossbar,
+    wta_row: WtaTree,
+    wta_col: WtaTree,
+    timing: CimTimingModel,
+}
+
+impl CNashSolver {
+    /// Builds the hardware for `game`. `hardware_seed` selects the
+    /// silicon instance (device variability and WTA mismatch samples).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Crossbar`] if the game cannot be mapped (e.g.
+    /// non-integer payoffs at the configured scale).
+    pub fn new(game: &BimatrixGame, config: CNashConfig, hardware_seed: u64) -> Result<Self, CoreError> {
+        let hardware = BiCrossbar::build(game, &config.crossbar, hardware_seed)?;
+        let wta_row = WtaTree::build(
+            game.row_actions(),
+            &config.wta,
+            hardware_seed.wrapping_add(0xA11CE),
+        );
+        let wta_col = WtaTree::build(
+            game.col_actions(),
+            &config.wta,
+            hardware_seed.wrapping_add(0xB0B0),
+        );
+        Ok(Self {
+            name: "C-Nash".into(),
+            game: game.clone(),
+            config,
+            hardware,
+            wta_row,
+            wta_col,
+            timing: CimTimingModel::nominal(),
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CNashConfig {
+        &self.config
+    }
+
+    /// The underlying bi-crossbar (for inspection / fault injection
+    /// studies via its arrays).
+    pub fn hardware(&self) -> &BiCrossbar {
+        &self.hardware
+    }
+
+    /// Hardware evaluation of the MAX-QUBO objective at a grid state:
+    /// Phase 1 (MV reads + WTA maxima) then Phase 2 (VMV reads), combined
+    /// by the SA logic (Fig. 6). Offsets cancel, so the value estimates
+    /// the true Nash gap.
+    pub fn evaluate(&self, state: &GridStrategyPair) -> f64 {
+        let pc = state.p_counts();
+        let qc = state.q_counts();
+        let ph1 = self
+            .hardware
+            .phase_one(pc, qc)
+            .expect("state geometry matches the hardware");
+        let ph2 = self
+            .hardware
+            .phase_two(pc, qc)
+            .expect("state geometry matches the hardware");
+        let (alpha, beta) = if self.config.use_wta {
+            (
+                self.wta_row.eval(&ph1.row_payoffs).value,
+                self.wta_col.eval(&ph1.col_payoffs).value,
+            )
+        } else {
+            let exact_max =
+                |v: &[f64]| v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            (exact_max(&ph1.row_payoffs), exact_max(&ph1.col_payoffs))
+        };
+        alpha + beta - ph2.row_value - ph2.col_value
+    }
+
+    /// Per-iteration latency of this instance (s).
+    pub fn iteration_latency(&self) -> f64 {
+        self.timing
+            .iteration_latency(self.game.row_actions(), self.game.col_actions())
+    }
+
+    fn initial_state(&self, seed: u64) -> GridStrategyPair {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_0101);
+        GridStrategyPair::random(
+            self.game.row_actions(),
+            self.game.col_actions(),
+            self.config.intervals,
+            &mut rng,
+        )
+        .expect("benchmark games have non-empty action sets")
+    }
+
+    /// Runs a *replica-exchange* (parallel tempering) search instead of
+    /// plain SA — an extension exploring the paper's convergence
+    /// future-work. The replicas time-multiplex the single bi-crossbar,
+    /// so the model time charges `replicas × sweeps` iterations.
+    pub fn run_tempered(&self, seed: u64, replicas: usize) -> RunOutcome {
+        use cnash_anneal::tempering::{parallel_tempering, TemperingOptions};
+        let sweeps = (self.config.iterations / replicas.max(1)).max(1);
+        let opts = TemperingOptions {
+            replicas,
+            t_cold: 0.005,
+            t_hot: 1.5,
+            sweeps,
+            swap_interval: 10,
+            seed,
+            target_energy: Some(self.config.gap_tolerance),
+        };
+        let run = parallel_tempering(
+            self.initial_state(seed),
+            |s| self.evaluate(s),
+            |s, rng| s.neighbour(rng),
+            &opts,
+        );
+        let p = run.best_state.p_strategy();
+        let q = run.best_state.q_strategy();
+        let lat = self.iteration_latency();
+        let solutions = run
+            .hit_states
+            .iter()
+            .map(|s| (s.p_strategy(), s.q_strategy()))
+            .collect();
+        RunOutcome {
+            is_equilibrium: self.game.is_equilibrium(&p, &q, 1e-6),
+            profile: Some((p, q)),
+            hit_time: None, // exchange steps break the linear-time mapping
+            total_time: (sweeps * replicas) as f64 * lat,
+            measured_objective: run.best_energy,
+            solutions,
+        }
+    }
+}
+
+impl NashSolver for CNashSolver {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn game(&self) -> &BimatrixGame {
+        &self.game
+    }
+
+    fn run(&self, seed: u64) -> RunOutcome {
+        let opts = SaOptions {
+            iterations: self.config.iterations,
+            schedule: self.config.schedule,
+            seed,
+            target_energy: Some(self.config.gap_tolerance),
+            record_trace: false,
+            record_hits: true,
+        };
+        let init = self.initial_state(seed);
+        let sa = simulated_annealing(
+            init,
+            |s| self.evaluate(s),
+            |s, rng| s.neighbour(rng),
+            &opts,
+        );
+        // Algorithm 1 returns the final accepted strategy pair. (Tracking
+        // the measured-best state instead would let static read-noise
+        // outliers dominate — a solver on real hardware cannot tell a
+        // noise-depressed reading from a true optimum.)
+        let p = sa.final_state.p_strategy();
+        let q = sa.final_state.q_strategy();
+        let lat = self.iteration_latency();
+        let solutions = sa
+            .hit_states
+            .iter()
+            .map(|s| (s.p_strategy(), s.q_strategy()))
+            .collect();
+        RunOutcome {
+            is_equilibrium: self.game.is_equilibrium(&p, &q, 1e-6),
+            profile: Some((p, q)),
+            hit_time: sa.first_hit.map(|k| k as f64 * lat),
+            total_time: sa.iterations as f64 * lat,
+            measured_objective: sa.final_energy,
+            solutions,
+        }
+    }
+}
+
+/// Exact-arithmetic ablation of C-Nash: identical SA walk on the same
+/// grid, but the objective is evaluated in software (no crossbar, ADC or
+/// WTA non-idealities). Quantifies what the analog hardware costs.
+#[derive(Debug, Clone)]
+pub struct IdealSolver {
+    name: String,
+    game: BimatrixGame,
+    config: CNashConfig,
+    timing: CimTimingModel,
+}
+
+impl IdealSolver {
+    /// Wraps a game with an ideal-evaluation solver.
+    pub fn new(game: &BimatrixGame, config: CNashConfig) -> Self {
+        Self {
+            name: "C-Nash (ideal eval)".into(),
+            game: game.clone(),
+            config,
+            timing: CimTimingModel::nominal(),
+        }
+    }
+
+    fn evaluate(&self, state: &GridStrategyPair) -> f64 {
+        self.game
+            .nash_gap(&state.p_strategy(), &state.q_strategy())
+            .expect("state dimensions match the game")
+    }
+}
+
+impl NashSolver for IdealSolver {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn game(&self) -> &BimatrixGame {
+        &self.game
+    }
+
+    fn run(&self, seed: u64) -> RunOutcome {
+        let opts = SaOptions {
+            iterations: self.config.iterations,
+            schedule: self.config.schedule,
+            seed,
+            target_energy: Some(self.config.gap_tolerance.max(1e-9)),
+            record_trace: false,
+            record_hits: true,
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_0101);
+        let init = GridStrategyPair::random(
+            self.game.row_actions(),
+            self.game.col_actions(),
+            self.config.intervals,
+            &mut rng,
+        )
+        .expect("non-empty action sets");
+        let sa = simulated_annealing(
+            init,
+            |s| self.evaluate(s),
+            |s, rng| s.neighbour(rng),
+            &opts,
+        );
+        let p = sa.final_state.p_strategy();
+        let q = sa.final_state.q_strategy();
+        let lat = self
+            .timing
+            .iteration_latency(self.game.row_actions(), self.game.col_actions());
+        let solutions = sa
+            .hit_states
+            .iter()
+            .map(|s| (s.p_strategy(), s.q_strategy()))
+            .collect();
+        RunOutcome {
+            is_equilibrium: self.game.is_equilibrium(&p, &q, 1e-6),
+            profile: Some((p, q)),
+            hit_time: sa.first_hit.map(|k| k as f64 * lat),
+            total_time: sa.iterations as f64 * lat,
+            measured_objective: sa.final_energy,
+            solutions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnash_game::games;
+
+    #[test]
+    fn ideal_cnash_solves_bos() {
+        let g = games::battle_of_the_sexes();
+        let s = CNashSolver::new(&g, CNashConfig::ideal(12), 0).unwrap();
+        let out = s.run(1);
+        assert!(out.is_equilibrium);
+        assert!(out.hit_time.is_some());
+        assert!(out.measured_objective.abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_config_cnash_solves_bos() {
+        let g = games::battle_of_the_sexes();
+        let s = CNashSolver::new(&g, CNashConfig::paper(12), 3).unwrap();
+        let mut successes = 0;
+        for seed in 0..10 {
+            if s.run(seed).is_equilibrium {
+                successes += 1;
+            }
+        }
+        assert!(successes >= 8, "only {successes}/10 noisy runs succeeded");
+    }
+
+    #[test]
+    fn cnash_finds_mixed_equilibria() {
+        // Matching pennies has ONLY a mixed equilibrium — the capability
+        // that distinguishes C-Nash from the S-QUBO baselines.
+        let g = games::matching_pennies();
+        let s = CNashSolver::new(&g, CNashConfig::ideal(12), 0).unwrap();
+        let out = s.run(5);
+        assert!(out.is_equilibrium);
+        let (p, _) = out.profile.expect("cnash always returns a profile");
+        assert!(!p.is_pure(1e-6), "matching pennies NE is mixed");
+    }
+
+    #[test]
+    fn evaluate_matches_exact_gap_when_ideal() {
+        let g = games::bird_game();
+        let s = CNashSolver::new(&g, CNashConfig::ideal(12), 0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let state = GridStrategyPair::random(3, 3, 12, &mut rng).unwrap();
+            let hw = s.evaluate(&state);
+            let exact = g
+                .nash_gap(&state.p_strategy(), &state.q_strategy())
+                .unwrap();
+            assert!((hw - exact).abs() < 1e-4, "hw {hw} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let g = games::battle_of_the_sexes();
+        let s = CNashSolver::new(&g, CNashConfig::paper(12), 7).unwrap();
+        assert_eq!(s.run(3), s.run(3));
+    }
+
+    #[test]
+    fn different_hardware_seeds_differ_under_noise() {
+        let g = games::bird_game();
+        let a = CNashSolver::new(&g, CNashConfig::paper(12), 1).unwrap();
+        let b = CNashSolver::new(&g, CNashConfig::paper(12), 2).unwrap();
+        let state = GridStrategyPair::all_on_first(3, 3, 12).unwrap();
+        assert_ne!(a.evaluate(&state), b.evaluate(&state));
+    }
+
+    #[test]
+    fn ideal_solver_matches_cnash_ideal_semantics() {
+        let g = games::stag_hunt();
+        let cfg = CNashConfig::ideal(12);
+        let ideal = IdealSolver::new(&g, cfg);
+        let out = ideal.run(4);
+        assert!(out.is_equilibrium);
+        assert!(out.total_time > 0.0);
+    }
+
+    #[test]
+    fn tempered_mode_solves_benchmarks() {
+        let g = games::bird_game();
+        let s = CNashSolver::new(
+            &g,
+            CNashConfig::paper(12).with_iterations(12_000),
+            0,
+        )
+        .unwrap();
+        let mut ok = 0;
+        for seed in 0..5 {
+            let out = s.run_tempered(seed, 6);
+            if out.is_equilibrium {
+                ok += 1;
+            }
+            // Time model charges all replicas.
+            assert!(out.total_time > 0.0);
+        }
+        assert!(ok >= 3, "tempered mode solved only {ok}/5");
+    }
+
+    #[test]
+    fn timing_fields_consistent() {
+        let g = games::battle_of_the_sexes();
+        let s = CNashSolver::new(&g, CNashConfig::ideal(12), 0).unwrap();
+        let out = s.run(0);
+        if let Some(h) = out.hit_time {
+            assert!(h <= out.total_time);
+        }
+        let expected = s.iteration_latency() * s.config().iterations as f64;
+        assert!((out.total_time - expected).abs() < 1e-15);
+    }
+}

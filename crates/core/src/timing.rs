@@ -1,0 +1,121 @@
+//! Time-to-solution models (paper Fig. 10).
+//!
+//! The paper derives C-Nash run times from the operational frequency of
+//! the FeFET crossbar array demonstrated by Soliman et al. [29], scaled to
+//! 1-bit/1-bit precision, and compares against D-Wave QPU access times.
+//! This module holds the per-iteration latency model of the CiM pipeline;
+//! the QPU model lives in [`cnash_qubo::dwave::DWaveModel`].
+
+use cnash_wta::WtaConfig;
+
+/// Per-component latencies of one two-phase SA iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CimTimingModel {
+    /// Crossbar read settling time per phase (s). Derived from the
+    /// ~500 MHz 1-bit array operation of [29] plus DESTINY-extracted
+    /// 28 nm wiring parasitics.
+    pub crossbar_settle: f64,
+    /// ADC conversion time per phase (s).
+    pub adc_time: f64,
+    /// SA logic update (add/sub, compare, accept) time (s).
+    pub sa_logic_time: f64,
+    /// One WTA cell's settling latency (s); the tree adds
+    /// `⌈log₂D⌉ × latency` to Phase 1 (Fig. 5c: 0.08 ns).
+    pub wta_cell_latency: f64,
+}
+
+impl CimTimingModel {
+    /// Nominal 28 nm model.
+    pub fn nominal() -> Self {
+        Self {
+            crossbar_settle: 2e-9,
+            adc_time: 1e-9,
+            sa_logic_time: 1e-9,
+            wta_cell_latency: WtaConfig::nominal().latency,
+        }
+    }
+
+    /// Latency of one SA iteration for a game with `n × m` actions:
+    /// Phase 1 (crossbar + WTA tree + ADC) followed by Phase 2
+    /// (crossbar + ADC) and the SA logic update.
+    pub fn iteration_latency(&self, row_actions: usize, col_actions: usize) -> f64 {
+        let depth = |d: usize| (d.max(2) as f64).log2().ceil();
+        let wta = depth(row_actions).max(depth(col_actions)) * self.wta_cell_latency;
+        let phase1 = self.crossbar_settle + wta + self.adc_time;
+        let phase2 = self.crossbar_settle + self.adc_time;
+        phase1 + phase2 + self.sa_logic_time
+    }
+
+    /// Model time of a full SA run.
+    pub fn run_time(&self, iterations: usize, row_actions: usize, col_actions: usize) -> f64 {
+        iterations as f64 * self.iteration_latency(row_actions, col_actions)
+    }
+}
+
+impl Default for CimTimingModel {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+/// Classic restart-based expected time to solution at 99 % confidence:
+/// `TTS₉₉ = t_run · ln(1 − 0.99) / ln(1 − p)` for success probability `p`
+/// per run. Returns `t_run` if `p ≥ 1`, infinity if `p ≤ 0`.
+pub fn tts99(t_run: f64, p_success: f64) -> f64 {
+    if p_success >= 1.0 {
+        t_run
+    } else if p_success <= 0.0 {
+        f64::INFINITY
+    } else {
+        t_run * (1.0 - 0.99f64).ln() / (1.0 - p_success).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_latency_breakdown() {
+        let t = CimTimingModel::nominal();
+        // 2x2 game: depth 1 -> 2 + 0.08 + 1 + 2 + 1 + 1 = 7.08 ns.
+        let lat = t.iteration_latency(2, 2);
+        assert!((lat - 7.08e-9).abs() < 1e-12, "{lat}");
+    }
+
+    #[test]
+    fn larger_games_have_deeper_wta() {
+        let t = CimTimingModel::nominal();
+        assert!(t.iteration_latency(8, 8) > t.iteration_latency(2, 2));
+        // 8 actions: depth 3 -> +0.24 ns over the 2-action 0.08 ns.
+        let d = t.iteration_latency(8, 8) - t.iteration_latency(2, 2);
+        assert!((d - 0.16e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_time_scales_linearly() {
+        let t = CimTimingModel::nominal();
+        let one = t.run_time(1, 2, 2);
+        assert!((t.run_time(1000, 2, 2) - 1000.0 * one).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cim_runs_are_orders_of_magnitude_below_qpu_access() {
+        // The mechanism behind Fig. 10: one full 10000-iteration C-Nash
+        // run is far cheaper than even a handful of QPU samples.
+        let t = CimTimingModel::nominal();
+        let cim = t.run_time(10_000, 2, 2);
+        let qpu = cnash_qubo::dwave::DWaveModel::dwave_2000q().qpu_access_time(100);
+        assert!(qpu / cim > 100.0, "qpu {qpu} vs cim {cim}");
+    }
+
+    #[test]
+    fn tts99_properties() {
+        assert_eq!(tts99(1.0, 1.0), 1.0);
+        assert!(tts99(1.0, 0.0).is_infinite());
+        // p = 0.5: ln(0.01)/ln(0.5) ≈ 6.64 runs.
+        assert!((tts99(1.0, 0.5) - 6.6438).abs() < 1e-3);
+        // Higher success, lower TTS.
+        assert!(tts99(1.0, 0.9) < tts99(1.0, 0.5));
+    }
+}

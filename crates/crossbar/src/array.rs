@@ -1,0 +1,520 @@
+//! One physical FeFET crossbar storing one payoff matrix.
+//!
+//! Every physical cell is a [`OneFeFetOneR`] with its own sampled device
+//! deviations. Because the read currents only ever appear in *sums over
+//! activated rectangles* (the unary mapping activates row and column-group
+//! prefixes), the array pre-computes 2-D prefix sums per payoff element:
+//! a full VMV read then costs `O(n·m)` lookups. The naive cell-by-cell
+//! readers are kept for verification and fault-injection studies and the
+//! tests assert the two paths agree to floating-point accuracy.
+
+use crate::error::CrossbarError;
+use crate::mapping::MappingSpec;
+use crate::offset::QuantizedPayoffs;
+use cnash_device::cell::{CellParams, OneFeFetOneR};
+use cnash_device::fefet::FeFetState;
+use cnash_device::variability::VariabilityModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The calibrated unit current: the selected-'1' current of a *nominal*
+/// (deviation-free) cell. Sense amplification is referenced to this value,
+/// so the systematic channel-resistance drop does not bias read values.
+pub fn unit_current(params: &CellParams) -> f64 {
+    OneFeFetOneR::new(
+        FeFetState::LowVth,
+        *params,
+        cnash_device::variability::DeviceSample::default(),
+    )
+    .output_current(true, true)
+}
+
+/// A simulated FeFET crossbar storing one (quantized) payoff matrix.
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    spec: MappingSpec,
+    payoffs: QuantizedPayoffs,
+    /// Per-cell selected current (WL and DL active), row-major over the
+    /// physical `(I·n) × (I·t·m)` array.
+    cell_current: Vec<f64>,
+    /// Per-element `(I+1)×(I+1)` prefix tables, element-major.
+    prefix: Vec<f64>,
+    phys_rows: usize,
+    phys_cols: usize,
+    nominal_on: f64,
+}
+
+impl Crossbar {
+    /// Builds a crossbar from quantized payoffs.
+    ///
+    /// Device deviations are sampled from `variability` with the given
+    /// `seed`, one sample per physical cell, so the same seed reproduces
+    /// the same silicon instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::ElementOverflow`] if an element exceeds
+    /// `spec.cells_per_element`.
+    pub fn build(
+        payoffs: QuantizedPayoffs,
+        spec: MappingSpec,
+        cell_params: CellParams,
+        variability: VariabilityModel,
+        seed: u64,
+    ) -> Result<Self, CrossbarError> {
+        let (n, m) = (payoffs.rows(), payoffs.cols());
+        let (phys_rows, phys_cols) = spec.physical_size(n, m);
+        let i = spec.intervals as usize;
+        let t = spec.cells_per_element as usize;
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cell_current = vec![0.0; phys_rows * phys_cols];
+        for ei in 0..n {
+            for ej in 0..m {
+                let value = payoffs.entry(ei, ej);
+                let pattern = spec.unary_pattern(value)?;
+                for r in 0..i {
+                    let phys_r = ei * i + r;
+                    for g in 0..i {
+                        for (k, &bit) in pattern.iter().enumerate() {
+                            let phys_c = ej * i * t + g * t + k;
+                            let sample = variability.sample(&mut rng);
+                            let cell = OneFeFetOneR::new(
+                                FeFetState::from_bit(bit),
+                                cell_params,
+                                sample,
+                            );
+                            cell_current[phys_r * phys_cols + phys_c] =
+                                cell.output_current(true, true);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut xbar = Self {
+            spec,
+            payoffs,
+            cell_current,
+            prefix: Vec::new(),
+            phys_rows,
+            phys_cols,
+            nominal_on: unit_current(&cell_params),
+        };
+        xbar.rebuild_prefix();
+        Ok(xbar)
+    }
+
+    /// Recomputes the prefix tables from the raw cell currents. Call after
+    /// fault injection.
+    pub fn rebuild_prefix(&mut self) {
+        let (n, m) = (self.payoffs.rows(), self.payoffs.cols());
+        let i = self.spec.intervals as usize;
+        let t = self.spec.cells_per_element as usize;
+        let side = i + 1;
+        let mut prefix = vec![0.0; n * m * side * side];
+        for ei in 0..n {
+            for ej in 0..m {
+                let base = (ei * m + ej) * side * side;
+                for r in 1..=i {
+                    let phys_r = ei * i + (r - 1);
+                    for g in 1..=i {
+                        let mut block = 0.0;
+                        for k in 0..t {
+                            let phys_c = ej * i * t + (g - 1) * t + k;
+                            block += self.cell_current[phys_r * self.phys_cols + phys_c];
+                        }
+                        prefix[base + r * side + g] = block
+                            + prefix[base + (r - 1) * side + g]
+                            + prefix[base + r * side + (g - 1)]
+                            - prefix[base + (r - 1) * side + (g - 1)];
+                    }
+                }
+            }
+        }
+        self.prefix = prefix;
+    }
+
+    fn prefix_at(&self, ei: usize, ej: usize, r: u32, g: u32) -> f64 {
+        let side = self.spec.intervals as usize + 1;
+        let base = (ei * self.payoffs.cols() + ej) * side * side;
+        self.prefix[base + r as usize * side + g as usize]
+    }
+
+    /// Mapping spec.
+    pub fn spec(&self) -> MappingSpec {
+        self.spec
+    }
+
+    /// Stored payoffs.
+    pub fn payoffs(&self) -> &QuantizedPayoffs {
+        &self.payoffs
+    }
+
+    /// Physical array size `(rows, cols)`.
+    pub fn physical_size(&self) -> (usize, usize) {
+        (self.phys_rows, self.phys_cols)
+    }
+
+    /// Nominal selected-cell ON current (A).
+    pub fn nominal_on_current(&self) -> f64 {
+        self.nominal_on
+    }
+
+    fn check_counts(&self, p: &[u32], q: &[u32]) -> Result<(), CrossbarError> {
+        let i = self.spec.intervals;
+        if p.len() != self.payoffs.rows() {
+            return Err(CrossbarError::ActivationMismatch(format!(
+                "{} row counts for {} actions",
+                p.len(),
+                self.payoffs.rows()
+            )));
+        }
+        if q.len() != self.payoffs.cols() {
+            return Err(CrossbarError::ActivationMismatch(format!(
+                "{} col counts for {} actions",
+                q.len(),
+                self.payoffs.cols()
+            )));
+        }
+        if p.iter().chain(q).any(|&c| c > i) {
+            return Err(CrossbarError::ActivationMismatch(format!(
+                "activation count exceeds {i} intervals"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Total source-line current of a VMV read: row group `i` drives its
+    /// first `p[i]` word lines, column group `j` its first `q[j]`
+    /// `t`-wide data-line groups (Phase 2 of the operation flow).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::ActivationMismatch`] on bad counts.
+    pub fn read_vmv(&self, p: &[u32], q: &[u32]) -> Result<f64, CrossbarError> {
+        self.check_counts(p, q)?;
+        let mut total = 0.0;
+        for (ei, &pc) in p.iter().enumerate() {
+            if pc == 0 {
+                continue;
+            }
+            for (ej, &qc) in q.iter().enumerate() {
+                total += self.prefix_at(ei, ej, pc, qc);
+            }
+        }
+        Ok(total)
+    }
+
+    /// Per-row-group source-line currents with *all* word lines active —
+    /// Phase 1's matrix-vector read producing `M q` (one current per
+    /// action of the row player).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::ActivationMismatch`] on bad counts.
+    pub fn read_mv(&self, q: &[u32]) -> Result<Vec<f64>, CrossbarError> {
+        let full = vec![self.spec.intervals; self.payoffs.rows()];
+        self.check_counts(&full, q)?;
+        let i = self.spec.intervals;
+        Ok((0..self.payoffs.rows())
+            .map(|ei| {
+                (0..self.payoffs.cols())
+                    .map(|ej| self.prefix_at(ei, ej, i, q[ej]))
+                    .sum()
+            })
+            .collect())
+    }
+
+    /// Converts a Phase-2 current to stored payoff units
+    /// (`current / (I² · i_on)` recovers `pᵀM'q`).
+    pub fn current_to_value(&self, current: f64) -> f64 {
+        current / self.spec.current_denominator(self.nominal_on)
+    }
+
+    /// Converts a Phase-1 per-row current to stored units. With all `I`
+    /// word lines of a group active the current is `I²·(M'q)_i·i_on` —
+    /// the same denominator as Phase 2.
+    pub fn mv_current_to_value(&self, current: f64) -> f64 {
+        self.current_to_value(current)
+    }
+
+    /// Largest read current of a *simplex-feasible* activation — the
+    /// natural ADC full scale. Because `p` and `q` each distribute `I`
+    /// activation units, both the per-row Phase-1 currents
+    /// (`I²·(M'q)ᵢ·i_on`) and the total Phase-2 current (`I²·pᵀM'q·i_on`)
+    /// are bounded by `I²·max(M')·i_on`; sizing the ADC to this bound
+    /// instead of the all-cells-on worst case keeps the LSB far below the
+    /// objective landscape's walls.
+    pub fn full_scale_current(&self) -> f64 {
+        let i = self.spec.intervals as f64;
+        i * i * f64::from(self.payoffs.max_element().max(1))
+            * self.nominal_on
+            * 1.2 // headroom for positive resistor deviations
+    }
+
+    // ------------------------------------------------------------------
+    // Verification / fault-injection paths
+    // ------------------------------------------------------------------
+
+    /// Naive cell-by-cell VMV read (bit-identical physics, `O(cells)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::ActivationMismatch`] on bad counts.
+    pub fn read_vmv_naive(&self, p: &[u32], q: &[u32]) -> Result<f64, CrossbarError> {
+        self.check_counts(p, q)?;
+        let i = self.spec.intervals as usize;
+        let t = self.spec.cells_per_element as usize;
+        let mut total = 0.0;
+        for (ei, &pc) in p.iter().enumerate() {
+            for r in 0..pc as usize {
+                let phys_r = ei * i + r;
+                for (ej, &qc) in q.iter().enumerate() {
+                    for g in 0..qc as usize {
+                        for k in 0..t {
+                            let phys_c = ej * i * t + g * t + k;
+                            total += self.cell_current[phys_r * self.phys_cols + phys_c];
+                        }
+                    }
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// Forces a physical cell's current to zero (dead cell).
+    ///
+    /// Call [`Crossbar::rebuild_prefix`] afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn inject_dead_cell(&mut self, row: usize, col: usize) {
+        assert!(row < self.phys_rows && col < self.phys_cols, "out of bounds");
+        self.cell_current[row * self.phys_cols + col] = 0.0;
+    }
+
+    /// Forces a physical cell permanently ON at the nominal current
+    /// (stuck-at-1 fault). Call [`Crossbar::rebuild_prefix`] afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn inject_stuck_on_cell(&mut self, row: usize, col: usize) {
+        assert!(row < self.phys_rows && col < self.phys_cols, "out of bounds");
+        self.cell_current[row * self.phys_cols + col] = self.nominal_on;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnash_game::games;
+    use cnash_game::Matrix;
+
+    fn ideal_xbar(m: &Matrix, intervals: u32) -> Crossbar {
+        let q = QuantizedPayoffs::from_integer_matrix(m).unwrap();
+        let t = q.max_element().max(1);
+        let spec = MappingSpec::new(intervals, t).unwrap();
+        Crossbar::build(
+            q,
+            spec,
+            CellParams::default(),
+            VariabilityModel::none(),
+            0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fig4c_example_counts() {
+        // 0.25 × 3 × 0.75 with I = 4, t = 4 activates 9 '1' cells.
+        let m = Matrix::from_rows(&[vec![3.0]]).unwrap();
+        let q = QuantizedPayoffs::from_integer_matrix(&m).unwrap();
+        let spec = MappingSpec::new(4, 4).unwrap();
+        let xbar = Crossbar::build(
+            q,
+            spec,
+            CellParams::default(),
+            VariabilityModel::none(),
+            0,
+        )
+        .unwrap();
+        assert_eq!(xbar.physical_size(), (4, 16));
+        let current = xbar.read_vmv(&[1], &[3]).unwrap();
+        let i_on = xbar.nominal_on_current();
+        assert!(
+            (current - 9.0 * i_on).abs() / i_on < 1e-3,
+            "expected 9 cell currents, got {}",
+            current / i_on
+        );
+        // Value: current / (I² i_on) = 9/16 = 0.25·3·0.75.
+        assert!((xbar.current_to_value(current) - 0.5625).abs() < 1e-3);
+    }
+
+    #[test]
+    fn vmv_matches_exact_bilinear_when_ideal() {
+        let g = games::battle_of_the_sexes();
+        let xbar = ideal_xbar(g.row_payoffs(), 12);
+        // p = (1/3, 2/3), q = (3/4, 1/4) on the 1/12 grid.
+        let p = [4u32, 8];
+        let q = [9u32, 3];
+        let val = xbar.current_to_value(xbar.read_vmv(&p, &q).unwrap());
+        let exact = g
+            .row_payoffs()
+            .bilinear(&[1.0 / 3.0, 2.0 / 3.0], &[0.75, 0.25])
+            .unwrap();
+        assert!((val - exact).abs() < 1e-3, "{val} vs {exact}");
+    }
+
+    #[test]
+    fn mv_matches_exact_product_when_ideal() {
+        let g = games::bird_game();
+        let xbar = ideal_xbar(g.row_payoffs(), 12);
+        let q = [8u32, 4, 0]; // (2/3, 1/3, 0)
+        let currents = xbar.read_mv(&q).unwrap();
+        let exact = g
+            .row_payoffs()
+            .mat_vec(&[2.0 / 3.0, 1.0 / 3.0, 0.0])
+            .unwrap();
+        for (c, e) in currents.iter().zip(exact) {
+            assert!((xbar.mv_current_to_value(*c) - e).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn fast_and_naive_reads_agree() {
+        let g = games::modified_prisoners_dilemma();
+        let q = QuantizedPayoffs::from_integer_matrix(g.row_payoffs()).unwrap();
+        let spec = MappingSpec::new(6, q.max_element()).unwrap();
+        let xbar = Crossbar::build(
+            q,
+            spec,
+            CellParams::default(),
+            VariabilityModel::paper(),
+            123,
+        )
+        .unwrap();
+        let p = [1u32, 0, 2, 0, 3, 0, 0, 0];
+        let qc = [0u32, 2, 0, 1, 0, 0, 3, 0];
+        let fast = xbar.read_vmv(&p, &qc).unwrap();
+        let naive = xbar.read_vmv_naive(&p, &qc).unwrap();
+        assert!((fast - naive).abs() <= 1e-15 + fast.abs() * 1e-10);
+    }
+
+    #[test]
+    fn variability_perturbs_but_stays_close() {
+        let g = games::battle_of_the_sexes();
+        let qp = QuantizedPayoffs::from_integer_matrix(g.row_payoffs()).unwrap();
+        let spec = MappingSpec::new(12, qp.max_element()).unwrap();
+        let noisy = Crossbar::build(
+            qp,
+            spec,
+            CellParams::default(),
+            VariabilityModel::paper(),
+            7,
+        )
+        .unwrap();
+        let p = [6u32, 6];
+        let q = [6u32, 6];
+        let val = noisy.current_to_value(noisy.read_vmv(&p, &q).unwrap());
+        let exact = g
+            .row_payoffs()
+            .bilinear(&[0.5, 0.5], &[0.5, 0.5])
+            .unwrap();
+        let rel = (val - exact).abs() / exact;
+        assert!(rel > 0.0, "variability should perturb the read");
+        assert!(rel < 0.05, "8% per-cell spread must average out: {rel}");
+    }
+
+    #[test]
+    fn activation_validation() {
+        let g = games::battle_of_the_sexes();
+        let xbar = ideal_xbar(g.row_payoffs(), 4);
+        assert!(xbar.read_vmv(&[1], &[1, 1]).is_err());
+        assert!(xbar.read_vmv(&[1, 1], &[1]).is_err());
+        assert!(xbar.read_vmv(&[5, 0], &[1, 1]).is_err()); // > I
+    }
+
+    #[test]
+    fn zero_activation_reads_zero() {
+        let g = games::battle_of_the_sexes();
+        let xbar = ideal_xbar(g.row_payoffs(), 4);
+        assert_eq!(xbar.read_vmv(&[0, 0], &[0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn dead_cell_reduces_current() {
+        let m = Matrix::from_rows(&[vec![2.0]]).unwrap();
+        let qp = QuantizedPayoffs::from_integer_matrix(&m).unwrap();
+        let spec = MappingSpec::new(2, 2).unwrap();
+        let mut xbar = Crossbar::build(
+            qp,
+            spec,
+            CellParams::default(),
+            VariabilityModel::none(),
+            0,
+        )
+        .unwrap();
+        let before = xbar.read_vmv(&[2], &[2]).unwrap();
+        xbar.inject_dead_cell(0, 0);
+        xbar.rebuild_prefix();
+        let after = xbar.read_vmv(&[2], &[2]).unwrap();
+        assert!(after < before);
+        assert!((before - after - xbar.nominal_on_current()).abs() < 1e-8 * before);
+    }
+
+    #[test]
+    fn stuck_on_cell_increases_current() {
+        let m = Matrix::from_rows(&[vec![0.0]]).unwrap();
+        let qp = QuantizedPayoffs::from_integer_matrix(&m).unwrap();
+        let spec = MappingSpec::new(2, 2).unwrap();
+        let mut xbar = Crossbar::build(
+            qp,
+            spec,
+            CellParams::default(),
+            VariabilityModel::none(),
+            0,
+        )
+        .unwrap();
+        let before = xbar.read_vmv(&[2], &[2]).unwrap();
+        xbar.inject_stuck_on_cell(1, 1);
+        xbar.rebuild_prefix();
+        let after = xbar.read_vmv(&[2], &[2]).unwrap();
+        assert!(after > before + 0.9 * xbar.nominal_on_current());
+    }
+
+    #[test]
+    fn full_scale_bounds_feasible_reads() {
+        // The ADC range covers every simplex-feasible activation: both
+        // players distribute exactly I units.
+        let g = games::bird_game();
+        let qp = QuantizedPayoffs::from_integer_matrix(g.row_payoffs()).unwrap();
+        let spec = MappingSpec::new(12, qp.max_element()).unwrap();
+        let xbar = Crossbar::build(
+            qp,
+            spec,
+            CellParams::default(),
+            VariabilityModel::paper(),
+            5,
+        )
+        .unwrap();
+        let fs = xbar.full_scale_current();
+        // Worst feasible case: all mass on the row/column of the largest
+        // element, plus some spread-out profiles.
+        for (p, q) in [
+            ([12u32, 0, 0], [0u32, 12, 0]),
+            ([0, 12, 0], [12, 0, 0]),
+            ([4, 4, 4], [4, 4, 4]),
+            ([6, 6, 0], [0, 6, 6]),
+        ] {
+            let read = xbar.read_vmv(&p, &q).unwrap();
+            assert!(read <= fs, "feasible read {read} exceeds full scale {fs}");
+        }
+        // Phase-1 MV row currents are bounded by the same full scale.
+        for c in xbar.read_mv(&[4, 4, 4]).unwrap() {
+            assert!(c <= fs);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Binary-weighted payoff mapping (extension / design alternative).
+//!
+//! The paper stores payoff elements in **unary**: `t = max(M)` cells per
+//! element, every cell equal. An alternative is **bit-slicing**: store
+//! `k = ⌈log₂(max+1)⌉` bit planes and weight each plane's current by its
+//! power of two at the sense amplifier. Cell count per element drops from
+//! `max(M)` to `log₂(max(M))`, at the price of `k` sequential (or `k`
+//! parallel, area-matched) reads and amplified sensitivity on the MSB
+//! plane.
+//!
+//! This module implements the bit-sliced read on top of the same
+//! 1FeFET1R cell model so the two mappings can be compared
+//! apples-to-apples; its tests quantify the area/noise trade.
+
+use crate::error::CrossbarError;
+use crate::mapping::MappingSpec;
+use crate::offset::QuantizedPayoffs;
+use cnash_device::cell::CellParams;
+use cnash_device::variability::VariabilityModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A bit-sliced crossbar: one plane of cells per payoff bit.
+#[derive(Debug, Clone)]
+pub struct BitSlicedCrossbar {
+    payoffs: QuantizedPayoffs,
+    intervals: u32,
+    bits: u32,
+    /// Per-plane per-block `(I+1)×(I+1)` prefix tables, plane-major then
+    /// element-major (same layout trick as the unary array, one cell per
+    /// (row, column-group) position per plane).
+    prefix: Vec<f64>,
+    nominal_on: f64,
+}
+
+impl BitSlicedCrossbar {
+    /// Builds the bit-sliced array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidConfig`] for zero intervals.
+    pub fn build(
+        payoffs: QuantizedPayoffs,
+        intervals: u32,
+        cell_params: CellParams,
+        variability: VariabilityModel,
+        seed: u64,
+    ) -> Result<Self, CrossbarError> {
+        if intervals == 0 {
+            return Err(CrossbarError::InvalidConfig("zero intervals".into()));
+        }
+        let max = payoffs.max_element();
+        let bits = (u32::BITS - max.leading_zeros()).max(1);
+        let (n, m) = (payoffs.rows(), payoffs.cols());
+        let i = intervals as usize;
+        let side = i + 1;
+        let nominal_on = crate::array::unit_current(&cell_params);
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut prefix = vec![0.0; bits as usize * n * m * side * side];
+        for plane in 0..bits as usize {
+            for ei in 0..n {
+                for ej in 0..m {
+                    let bit_set = payoffs.entry(ei, ej) & (1 << plane) != 0;
+                    let base = ((plane * n + ei) * m + ej) * side * side;
+                    for r in 1..=i {
+                        for g in 1..=i {
+                            let cell = cnash_device::cell::OneFeFetOneR::new(
+                                cnash_device::fefet::FeFetState::from_bit(bit_set),
+                                cell_params,
+                                variability.sample(&mut rng),
+                            );
+                            let block = cell.output_current(true, true);
+                            prefix[base + r * side + g] = block
+                                + prefix[base + (r - 1) * side + g]
+                                + prefix[base + r * side + (g - 1)]
+                                - prefix[base + (r - 1) * side + (g - 1)];
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Self {
+            payoffs,
+            intervals,
+            bits,
+            prefix,
+            nominal_on,
+        })
+    }
+
+    /// Bit planes used.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Physical cells of this mapping (`k` planes × `I²` per element).
+    pub fn cell_count(&self) -> usize {
+        let i = self.intervals as usize;
+        self.bits as usize * self.payoffs.rows() * self.payoffs.cols() * i * i
+    }
+
+    /// Physical cells the unary mapping needs for the same payoffs.
+    pub fn unary_cell_count(&self) -> usize {
+        let i = self.intervals as usize;
+        let spec = MappingSpec::new(self.intervals, self.payoffs.max_element().max(1))
+            .expect("valid");
+        let (r, c) = spec.physical_size(self.payoffs.rows(), self.payoffs.cols());
+        debug_assert_eq!(r, i * self.payoffs.rows());
+        r * c
+    }
+
+    fn prefix_at(&self, plane: usize, ei: usize, ej: usize, r: u32, g: u32) -> f64 {
+        let side = self.intervals as usize + 1;
+        let base = ((plane * self.payoffs.rows() + ei) * self.payoffs.cols() + ej) * side * side;
+        self.prefix[base + r as usize * side + g as usize]
+    }
+
+    /// Bit-sliced VMV read: each plane is read separately and its current
+    /// weighted by `2^plane` digitally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::ActivationMismatch`] on bad counts.
+    pub fn read_vmv(&self, p: &[u32], q: &[u32]) -> Result<f64, CrossbarError> {
+        if p.len() != self.payoffs.rows() || q.len() != self.payoffs.cols() {
+            return Err(CrossbarError::ActivationMismatch(
+                "activation lengths do not match the matrix".into(),
+            ));
+        }
+        if p.iter().chain(q).any(|&c| c > self.intervals) {
+            return Err(CrossbarError::ActivationMismatch(
+                "activation exceeds interval count".into(),
+            ));
+        }
+        let mut weighted = 0.0;
+        for plane in 0..self.bits as usize {
+            let mut plane_current = 0.0;
+            for (ei, &pc) in p.iter().enumerate() {
+                if pc == 0 {
+                    continue;
+                }
+                for (ej, &qc) in q.iter().enumerate() {
+                    plane_current += self.prefix_at(plane, ei, ej, pc, qc);
+                }
+            }
+            weighted += plane_current * (1u64 << plane) as f64;
+        }
+        Ok(weighted)
+    }
+
+    /// Converts a weighted bit-sliced current to stored payoff units.
+    pub fn current_to_value(&self, current: f64) -> f64 {
+        let i2 = self.intervals as f64 * self.intervals as f64;
+        current / (i2 * self.nominal_on)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnash_game::games;
+
+    fn build(intervals: u32, variability: VariabilityModel, seed: u64) -> BitSlicedCrossbar {
+        let g = games::modified_prisoners_dilemma();
+        let q = QuantizedPayoffs::from_integer_matrix(g.row_payoffs()).expect("integer");
+        BitSlicedCrossbar::build(q, intervals, CellParams::default(), variability, seed)
+            .expect("builds")
+    }
+
+    #[test]
+    fn ideal_bit_sliced_read_is_exact() {
+        let g = games::modified_prisoners_dilemma();
+        let x = build(6, VariabilityModel::none(), 0);
+        let p = [0u32, 0, 0, 0, 3, 3, 0, 0];
+        let q = [0u32, 0, 0, 0, 0, 6, 0, 0];
+        let val = x.current_to_value(x.read_vmv(&p, &q).expect("read"));
+        let pv: Vec<f64> = p.iter().map(|&c| c as f64 / 6.0).collect();
+        let qv: Vec<f64> = q.iter().map(|&c| c as f64 / 6.0).collect();
+        let exact = g.row_payoffs().bilinear(&pv, &qv).expect("shapes");
+        assert!((val - exact).abs() < 1e-3, "{val} vs {exact}");
+    }
+
+    #[test]
+    fn cell_savings_vs_unary() {
+        // MPD max element 5 -> unary t = 5 cells, binary k = 3 planes.
+        let x = build(12, VariabilityModel::none(), 0);
+        assert_eq!(x.bits(), 3);
+        assert_eq!(x.unary_cell_count(), x.cell_count() / 3 * 5);
+        assert!(x.cell_count() < x.unary_cell_count());
+    }
+
+    #[test]
+    fn msb_amplifies_noise_versus_unary() {
+        // The binary mapping multiplies the MSB plane's per-cell noise by
+        // 2^(k-1); at identical device variability its read error should
+        // exceed the unary mapping's on average.
+        use crate::array::Crossbar;
+        let g = games::modified_prisoners_dilemma();
+        let qp = QuantizedPayoffs::from_integer_matrix(g.row_payoffs()).expect("integer");
+        let spec = MappingSpec::new(6, qp.max_element()).expect("valid");
+        let p = [0u32, 0, 0, 0, 2, 2, 1, 1];
+        let q = [0u32, 0, 0, 0, 3, 1, 1, 1];
+        let pv: Vec<f64> = p.iter().map(|&c| c as f64 / 6.0).collect();
+        let qv: Vec<f64> = q.iter().map(|&c| c as f64 / 6.0).collect();
+        let exact = g.row_payoffs().bilinear(&pv, &qv).expect("shapes");
+
+        let mut unary_err = 0.0;
+        let mut binary_err = 0.0;
+        let trials = 20;
+        for seed in 0..trials {
+            let u = Crossbar::build(
+                qp.clone(),
+                spec,
+                CellParams::default(),
+                VariabilityModel::paper(),
+                seed,
+            )
+            .expect("builds");
+            unary_err +=
+                (u.current_to_value(u.read_vmv(&p, &q).expect("read")) - exact).abs();
+            let b = build(6, VariabilityModel::paper(), seed);
+            binary_err +=
+                (b.current_to_value(b.read_vmv(&p, &q).expect("read")) - exact).abs();
+        }
+        assert!(
+            binary_err > unary_err,
+            "binary {binary_err} should be noisier than unary {unary_err}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_activations() {
+        let x = build(6, VariabilityModel::none(), 0);
+        assert!(x.read_vmv(&[1, 2], &[0; 8]).is_err());
+        assert!(x.read_vmv(&[9; 8], &[0; 8]).is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type for crossbar construction and reads.
+
+use std::fmt;
+
+/// Errors from mapping games onto crossbars or driving reads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CrossbarError {
+    /// A payoff element does not fit in the configured `t` cells.
+    ElementOverflow {
+        /// The offending (already offset/scaled) element value.
+        value: u32,
+        /// Cells available per element.
+        cells_per_element: u32,
+    },
+    /// Payoffs are not integers at the configured scale.
+    NonIntegerPayoff {
+        /// Row of the offending element.
+        row: usize,
+        /// Column of the offending element.
+        col: usize,
+        /// The scaled value that failed to round cleanly.
+        scaled: f64,
+    },
+    /// Strategy activation counts do not match the crossbar geometry.
+    ActivationMismatch(String),
+    /// An invalid configuration parameter.
+    InvalidConfig(String),
+    /// An underlying game-side error.
+    Game(cnash_game::GameError),
+}
+
+impl fmt::Display for CrossbarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrossbarError::ElementOverflow {
+                value,
+                cells_per_element,
+            } => write!(
+                f,
+                "payoff element {value} exceeds {cells_per_element} unary cells"
+            ),
+            CrossbarError::NonIntegerPayoff { row, col, scaled } => write!(
+                f,
+                "payoff at ({row}, {col}) is not integer at this scale (got {scaled})"
+            ),
+            CrossbarError::ActivationMismatch(msg) => write!(f, "activation mismatch: {msg}"),
+            CrossbarError::InvalidConfig(msg) => write!(f, "invalid crossbar config: {msg}"),
+            CrossbarError::Game(e) => write!(f, "game error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CrossbarError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CrossbarError::Game(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cnash_game::GameError> for CrossbarError {
+    fn from(e: cnash_game::GameError) -> Self {
+        CrossbarError::Game(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CrossbarError::ElementOverflow {
+            value: 9,
+            cells_per_element: 4,
+        };
+        assert!(e.to_string().contains("exceeds 4"));
+        let e = CrossbarError::InvalidConfig("zero intervals".into());
+        assert!(e.to_string().contains("zero intervals"));
+    }
+
+    #[test]
+    fn from_game_error_keeps_source() {
+        use std::error::Error;
+        let e = CrossbarError::from(cnash_game::GameError::EmptyActionSet);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CrossbarError>();
+    }
+}

@@ -1,0 +1,155 @@
+//! Interval/unary mapping of strategies and payoffs onto the crossbar
+//! (paper Sec. 3.2, Fig. 4).
+
+use crate::error::CrossbarError;
+use cnash_game::MixedStrategy;
+
+/// Geometric mapping parameters of one crossbar.
+///
+/// A game element `m_ij` occupies a block of `intervals` rows ×
+/// `intervals × cells_per_element` columns; the whole `n × m` matrix needs
+/// `(I·n) × (I·t·m)` physical cells (Fig. 4a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MappingSpec {
+    /// `I`: probability quantization intervals. A probability must be a
+    /// multiple of `1/I` to be represented exactly.
+    pub intervals: u32,
+    /// `t`: unary cells per payoff element; bounds the largest element.
+    pub cells_per_element: u32,
+}
+
+impl MappingSpec {
+    /// Creates a spec, validating both parameters are non-zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidConfig`] if either is zero.
+    pub fn new(intervals: u32, cells_per_element: u32) -> Result<Self, CrossbarError> {
+        if intervals == 0 {
+            return Err(CrossbarError::InvalidConfig("zero intervals".into()));
+        }
+        if cells_per_element == 0 {
+            return Err(CrossbarError::InvalidConfig(
+                "zero cells per element".into(),
+            ));
+        }
+        Ok(Self {
+            intervals,
+            cells_per_element,
+        })
+    }
+
+    /// Physical crossbar size `(rows, cols)` for an `n × m` payoff matrix
+    /// (Fig. 4a: `(I·n) × (I·t·m)`).
+    pub fn physical_size(&self, n: usize, m: usize) -> (usize, usize) {
+        (
+            self.intervals as usize * n,
+            self.intervals as usize * self.cells_per_element as usize * m,
+        )
+    }
+
+    /// Unary cell pattern of one payoff element within a `t`-wide group:
+    /// the first `value` cells store '1'.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::ElementOverflow`] if `value > t`.
+    pub fn unary_pattern(&self, value: u32) -> Result<Vec<bool>, CrossbarError> {
+        if value > self.cells_per_element {
+            return Err(CrossbarError::ElementOverflow {
+                value,
+                cells_per_element: self.cells_per_element,
+            });
+        }
+        Ok((0..self.cells_per_element).map(|k| k < value).collect())
+    }
+
+    /// Word-line activation counts for a row strategy: action `i`
+    /// activates `round(p_i · I)` of its `I` rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates strategy-grid errors.
+    pub fn row_activation(&self, p: &MixedStrategy) -> Result<Vec<u32>, CrossbarError> {
+        Ok(p.to_grid_counts(self.intervals)?)
+    }
+
+    /// Column-group activation counts for a column strategy: action `j`
+    /// activates `round(q_j · I)` of its `I` groups (each `t` lines wide),
+    /// exactly as in the Fig. 4c example where `q = 0.75` activates 12 of
+    /// 16 columns (3 of 4 groups).
+    ///
+    /// # Errors
+    ///
+    /// Propagates strategy-grid errors.
+    pub fn col_activation(&self, q: &MixedStrategy) -> Result<Vec<u32>, CrossbarError> {
+        Ok(q.to_grid_counts(self.intervals)?)
+    }
+
+    /// Current normalisation: a stored value `v` read with full activation
+    /// contributes `I² · v` units of cell current, so analog currents are
+    /// divided by `I² · i_on` to recover payoff units.
+    pub fn current_denominator(&self, i_on: f64) -> f64 {
+        let i2 = self.intervals as f64 * self.intervals as f64;
+        i2 * i_on
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_parameters() {
+        assert!(MappingSpec::new(0, 4).is_err());
+        assert!(MappingSpec::new(4, 0).is_err());
+    }
+
+    #[test]
+    fn physical_size_matches_fig4a() {
+        let spec = MappingSpec::new(4, 4).unwrap();
+        // Fig. 4c example: one element (n=m=1) needs a 4 x 16 crossbar.
+        assert_eq!(spec.physical_size(1, 1), (4, 16));
+        // 8x8 game at I=12, t=5.
+        let spec = MappingSpec::new(12, 5).unwrap();
+        assert_eq!(spec.physical_size(8, 8), (96, 480));
+    }
+
+    #[test]
+    fn unary_pattern_stores_prefix() {
+        let spec = MappingSpec::new(4, 4).unwrap();
+        assert_eq!(
+            spec.unary_pattern(3).unwrap(),
+            vec![true, true, true, false]
+        );
+        assert_eq!(spec.unary_pattern(0).unwrap(), vec![false; 4]);
+        assert!(matches!(
+            spec.unary_pattern(5),
+            Err(CrossbarError::ElementOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn activations_match_fig4c() {
+        // p1 = 0.25 with I = 4 activates 1 row; q1 = 0.75 activates 3 groups.
+        let spec = MappingSpec::new(4, 4).unwrap();
+        let p = MixedStrategy::new(vec![0.25, 0.75]).unwrap();
+        assert_eq!(spec.row_activation(&p).unwrap(), vec![1, 3]);
+        let q = MixedStrategy::new(vec![0.75, 0.25]).unwrap();
+        assert_eq!(spec.col_activation(&q).unwrap(), vec![3, 1]);
+    }
+
+    #[test]
+    fn activation_counts_sum_to_intervals() {
+        let spec = MappingSpec::new(12, 5).unwrap();
+        let p = MixedStrategy::uniform(5).unwrap();
+        let counts = spec.row_activation(&p).unwrap();
+        assert_eq!(counts.iter().sum::<u32>(), 12);
+    }
+
+    #[test]
+    fn current_denominator() {
+        let spec = MappingSpec::new(4, 4).unwrap();
+        assert!((spec.current_denominator(1e-6) - 16e-6).abs() < 1e-18);
+    }
+}

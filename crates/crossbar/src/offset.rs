@@ -1,0 +1,200 @@
+//! Lossless affine payoff normalisation.
+//!
+//! Crossbar cells store non-negative unary integers, but game payoffs may
+//! be negative or fractional. We store `M' = round(s · (M − c·J))` with
+//! `c = min(M)` and a user-chosen integer scale `s`, and remember `(c, s)`.
+//!
+//! This is *lossless for the MAX-QUBO objective* (unlike the S-QUBO slack
+//! transformation): for strategies on the simplex,
+//! `max(M'q) = s(max(Mq) − c)` and `pᵀM'q = s(pᵀMq − c)`, so the regret
+//! `max(Mq) − pᵀMq` simply scales by `s` — the offset cancels exactly.
+//! The property-based tests of `cnash-game` verify this invariance.
+
+use crate::error::CrossbarError;
+use cnash_game::Matrix;
+
+/// A payoff matrix offset/scaled to non-negative integers for unary
+/// storage, together with the affine bookkeeping to undo it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedPayoffs {
+    rows: usize,
+    cols: usize,
+    entries: Vec<u32>,
+    offset: f64,
+    scale: f64,
+}
+
+impl QuantizedPayoffs {
+    /// Quantizes `m` with offset `min(min(m), 0)` and multiplicative
+    /// `scale`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::NonIntegerPayoff`] if any scaled entry is
+    /// farther than `1e-6` from an integer, and
+    /// [`CrossbarError::InvalidConfig`] if `scale <= 0`.
+    pub fn from_matrix(m: &Matrix, scale: f64) -> Result<Self, CrossbarError> {
+        if scale <= 0.0 {
+            return Err(CrossbarError::InvalidConfig(
+                "scale must be positive".into(),
+            ));
+        }
+        // Only shift when negative payoffs exist: non-negative matrices are
+        // stored verbatim (matching the paper's examples).
+        let offset = m.min().min(0.0);
+        let mut entries = Vec::with_capacity(m.rows() * m.cols());
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                let scaled = (m[(i, j)] - offset) * scale;
+                let rounded = scaled.round();
+                if (scaled - rounded).abs() > 1e-6 {
+                    return Err(CrossbarError::NonIntegerPayoff {
+                        row: i,
+                        col: j,
+                        scaled,
+                    });
+                }
+                entries.push(rounded as u32);
+            }
+        }
+        Ok(Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            entries,
+            offset,
+            scale,
+        })
+    }
+
+    /// Quantizes with unit scale (integer payoff matrices).
+    ///
+    /// # Errors
+    ///
+    /// See [`QuantizedPayoffs::from_matrix`].
+    pub fn from_integer_matrix(m: &Matrix) -> Result<Self, CrossbarError> {
+        Self::from_matrix(m, 1.0)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stored non-negative integer entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn entry(&self, i: usize, j: usize) -> u32 {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        self.entries[i * self.cols + j]
+    }
+
+    /// The subtracted offset `c = min(M)`.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// The multiplicative scale `s`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Largest stored element — determines the minimum `t` (cells per
+    /// element) of the mapping.
+    pub fn max_element(&self) -> u32 {
+        self.entries.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Converts a stored-unit value back to original payoff units:
+    /// `v / s + c`.
+    pub fn to_payoff(&self, stored: f64) -> f64 {
+        stored / self.scale + self.offset
+    }
+
+    /// Converts a stored-unit *difference* (e.g. a regret) back to payoff
+    /// units: the offset cancels, only the scale divides out.
+    pub fn to_payoff_delta(&self, stored_delta: f64) -> f64 {
+        stored_delta / self.scale
+    }
+
+    /// Reconstructs the original payoff matrix (up to rounding).
+    pub fn reconstruct(&self) -> Matrix {
+        let data: Vec<f64> = self.entries.iter().map(|&e| self.to_payoff(e as f64)).collect();
+        Matrix::new(self.rows, self.cols, data).expect("stored entries are finite")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnash_game::games;
+
+    #[test]
+    fn integer_matrix_round_trip() {
+        let m = games::battle_of_the_sexes().row_payoffs().clone();
+        let q = QuantizedPayoffs::from_integer_matrix(&m).unwrap();
+        assert_eq!(q.offset(), 0.0);
+        assert_eq!(q.max_element(), 2);
+        assert!(q.reconstruct().max_abs_diff(&m) < 1e-9);
+    }
+
+    #[test]
+    fn negative_payoffs_are_offset() {
+        let m = games::hawk_dove().row_payoffs().clone(); // min = -1
+        let q = QuantizedPayoffs::from_integer_matrix(&m).unwrap();
+        assert_eq!(q.offset(), -1.0);
+        assert_eq!(q.entry(0, 0), 0); // -1 - (-1)
+        assert_eq!(q.entry(0, 1), 3); // 2 - (-1)
+        assert!(q.reconstruct().max_abs_diff(&m) < 1e-9);
+    }
+
+    #[test]
+    fn fractional_payoffs_need_scale() {
+        let m = Matrix::from_rows(&[vec![0.5, 1.0], vec![1.5, 0.0]]).unwrap();
+        assert!(matches!(
+            QuantizedPayoffs::from_integer_matrix(&m),
+            Err(CrossbarError::NonIntegerPayoff { .. })
+        ));
+        let q = QuantizedPayoffs::from_matrix(&m, 2.0).unwrap();
+        assert_eq!(q.max_element(), 3);
+        assert!(q.reconstruct().max_abs_diff(&m) < 1e-9);
+    }
+
+    #[test]
+    fn rejects_nonpositive_scale() {
+        let m = Matrix::identity(2).unwrap();
+        assert!(QuantizedPayoffs::from_matrix(&m, 0.0).is_err());
+        assert!(QuantizedPayoffs::from_matrix(&m, -1.0).is_err());
+    }
+
+    #[test]
+    fn payoff_delta_ignores_offset() {
+        let m = games::hawk_dove().row_payoffs().clone();
+        let q = QuantizedPayoffs::from_matrix(&m, 2.0).unwrap();
+        // A stored-unit difference of 4 is a payoff difference of 2.
+        assert_eq!(q.to_payoff_delta(4.0), 2.0);
+    }
+
+    #[test]
+    fn all_benchmarks_quantize_at_unit_scale() {
+        for b in games::paper_benchmarks() {
+            let qm = QuantizedPayoffs::from_integer_matrix(b.game.row_payoffs());
+            let qn = QuantizedPayoffs::from_integer_matrix(b.game.col_payoffs());
+            assert!(qm.is_ok() && qn.is_ok(), "{}", b.game.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn entry_bounds_checked() {
+        let m = Matrix::identity(2).unwrap();
+        let q = QuantizedPayoffs::from_integer_matrix(&m).unwrap();
+        let _ = q.entry(2, 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Linearity statistics for the crossbar robustness study (Fig. 7a).
+//!
+//! The experiment of Sec. 4.1: a 64×64 crossbar of 1FeFET1R cells, each
+//! with σ(V_TH) = 40 mV and 8 % resistor spread, read while sweeping the
+//! number of activated cells in a column. Output current must stay linear
+//! in the activation count for the analog VMV products to be trustworthy.
+
+use cnash_device::cell::{CellParams, OneFeFetOneR};
+use cnash_device::fefet::FeFetState;
+use cnash_device::variability::VariabilityModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Result of one linearity sweep: current vs. activated-cell count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearitySweep {
+    /// Activated-cell counts (x-axis).
+    pub activated: Vec<usize>,
+    /// Summed column current per count (y-axis, A).
+    pub current: Vec<f64>,
+}
+
+impl LinearitySweep {
+    /// Least-squares slope of a through-origin fit (A per cell).
+    pub fn slope(&self) -> f64 {
+        let sxy: f64 = self
+            .activated
+            .iter()
+            .zip(&self.current)
+            .map(|(&x, &y)| x as f64 * y)
+            .sum();
+        let sxx: f64 = self.activated.iter().map(|&x| (x as f64).powi(2)).sum();
+        if sxx == 0.0 {
+            0.0
+        } else {
+            sxy / sxx
+        }
+    }
+
+    /// Coefficient of determination R² of the through-origin linear fit.
+    pub fn r_squared(&self) -> f64 {
+        let slope = self.slope();
+        let mean: f64 = self.current.iter().sum::<f64>() / self.current.len() as f64;
+        let ss_tot: f64 = self.current.iter().map(|y| (y - mean).powi(2)).sum();
+        let ss_res: f64 = self
+            .activated
+            .iter()
+            .zip(&self.current)
+            .map(|(&x, &y)| (y - slope * x as f64).powi(2))
+            .sum();
+        if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        }
+    }
+
+    /// Maximum relative deviation from the linear fit (excluding the
+    /// zero-activation point).
+    pub fn max_relative_deviation(&self) -> f64 {
+        let slope = self.slope();
+        self.activated
+            .iter()
+            .zip(&self.current)
+            .filter(|(&x, _)| x > 0)
+            .map(|(&x, &y)| {
+                let fit = slope * x as f64;
+                ((y - fit) / fit).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Builds a column of `size` 1FeFET1R cells (all storing '1') with the
+/// given variability and sweeps the number of activated cells from 0 to
+/// `size`, returning the summed current at each step.
+pub fn column_linearity_sweep(
+    size: usize,
+    variability: VariabilityModel,
+    params: CellParams,
+    seed: u64,
+) -> LinearitySweep {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cells: Vec<OneFeFetOneR> = (0..size)
+        .map(|_| OneFeFetOneR::new(FeFetState::LowVth, params, variability.sample(&mut rng)))
+        .collect();
+
+    let mut activated = Vec::with_capacity(size + 1);
+    let mut current = Vec::with_capacity(size + 1);
+    let mut running = 0.0;
+    activated.push(0);
+    current.push(0.0);
+    for (k, cell) in cells.iter().enumerate() {
+        running += cell.output_current(true, true);
+        activated.push(k + 1);
+        current.push(running);
+    }
+    LinearitySweep { activated, current }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_column_is_perfectly_linear() {
+        let s = column_linearity_sweep(
+            64,
+            VariabilityModel::none(),
+            CellParams::default(),
+            0,
+        );
+        assert!(s.r_squared() > 1.0 - 1e-9);
+        assert!(s.max_relative_deviation() < 1e-6);
+        // Slope is the calibrated unit cell current (≈ 1 µA minus the
+        // channel-resistance drop).
+        let unit = crate::array::unit_current(&CellParams::default());
+        assert!((s.slope() - unit).abs() / unit < 1e-9);
+    }
+
+    #[test]
+    fn paper_variability_keeps_good_linearity() {
+        // Fig. 7a: "robust linearity" under 40 mV / 8 % spreads.
+        let s = column_linearity_sweep(
+            64,
+            VariabilityModel::paper(),
+            CellParams::default(),
+            42,
+        );
+        assert!(s.r_squared() > 0.995, "R² {}", s.r_squared());
+        // Individual points deviate by at most a few percent once several
+        // cells average out.
+        assert!(s.max_relative_deviation() < 0.15);
+    }
+
+    #[test]
+    fn current_is_monotone_in_activation() {
+        let s = column_linearity_sweep(
+            32,
+            VariabilityModel::paper(),
+            CellParams::default(),
+            9,
+        );
+        for w in s.current.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn sweep_is_reproducible() {
+        let a = column_linearity_sweep(16, VariabilityModel::paper(), CellParams::default(), 5);
+        let b = column_linearity_sweep(16, VariabilityModel::paper(), CellParams::default(), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn extreme_variability_degrades_linearity() {
+        let mild = column_linearity_sweep(
+            64,
+            VariabilityModel::paper(),
+            CellParams::default(),
+            1,
+        );
+        let wild = column_linearity_sweep(
+            64,
+            VariabilityModel::paper().scaled(10.0),
+            CellParams::default(),
+            1,
+        );
+        assert!(wild.max_relative_deviation() > mild.max_relative_deviation());
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests of the crossbar simulator.
+
+use cnash_crossbar::{BiCrossbar, Crossbar, CrossbarConfig, MappingSpec, QuantizedPayoffs};
+use cnash_device::cell::CellParams;
+use cnash_device::variability::VariabilityModel;
+use cnash_game::{BimatrixGame, Matrix, MixedStrategy};
+use proptest::prelude::*;
+
+/// Arbitrary small integer payoff matrix.
+fn arb_int_matrix(n: usize, m: usize, max: u32) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(0..=max, n * m).prop_map(move |v| {
+        Matrix::new(n, m, v.into_iter().map(f64::from).collect()).expect("valid dims")
+    })
+}
+
+/// Activation counts summing to exactly `i` over `len` actions.
+fn arb_counts(len: usize, i: u32) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..=i, len).prop_map(move |mut v| {
+        // Repair to sum exactly i (deterministic largest-first trimming).
+        let mut total: u32 = v.iter().sum();
+        let mut k = 0;
+        while total > i {
+            if v[k % len] > 0 {
+                v[k % len] -= 1;
+                total -= 1;
+            }
+            k += 1;
+        }
+        let mut k = 0;
+        while total < i {
+            v[k % len] += 1;
+            total += 1;
+            k += 1;
+        }
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Noise-free crossbar VMV reads equal the exact bilinear form for any
+    /// integer matrix and any grid activation.
+    #[test]
+    fn ideal_vmv_is_exact(
+        m in arb_int_matrix(3, 3, 5),
+        p in arb_counts(3, 6),
+        q in arb_counts(3, 6),
+    ) {
+        let qp = QuantizedPayoffs::from_integer_matrix(&m).expect("integer");
+        let spec = MappingSpec::new(6, qp.max_element().max(1)).expect("valid");
+        let xbar = Crossbar::build(
+            qp, spec, CellParams::default(), VariabilityModel::none(), 0,
+        ).expect("builds");
+        let current = xbar.read_vmv(&p, &q).expect("read");
+        let val = xbar.current_to_value(current);
+        let pv: Vec<f64> = p.iter().map(|&c| c as f64 / 6.0).collect();
+        let qv: Vec<f64> = q.iter().map(|&c| c as f64 / 6.0).collect();
+        let exact = m.bilinear(&pv, &qv).expect("shapes");
+        prop_assert!((val - exact).abs() < 1e-3, "{val} vs {exact}");
+    }
+
+    /// Fast prefix-sum reads and naive cell sums agree bit-for-bit under
+    /// full device variability.
+    #[test]
+    fn fast_equals_naive(
+        m in arb_int_matrix(2, 4, 4),
+        p in arb_counts(2, 4),
+        q in arb_counts(4, 4),
+        seed in 0u64..100,
+    ) {
+        let qp = QuantizedPayoffs::from_integer_matrix(&m).expect("integer");
+        let spec = MappingSpec::new(4, qp.max_element().max(1)).expect("valid");
+        let xbar = Crossbar::build(
+            qp, spec, CellParams::default(), VariabilityModel::paper(), seed,
+        ).expect("builds");
+        let fast = xbar.read_vmv(&p, &q).expect("read");
+        let naive = xbar.read_vmv_naive(&p, &q).expect("read");
+        prop_assert!((fast - naive).abs() <= 1e-16 + fast.abs() * 1e-9);
+    }
+
+    /// Reads are monotone in activation: adding activation units never
+    /// decreases the current.
+    #[test]
+    fn reads_monotone_in_activation(
+        m in arb_int_matrix(3, 3, 4),
+        q in arb_counts(3, 6),
+        seed in 0u64..50,
+    ) {
+        let qp = QuantizedPayoffs::from_integer_matrix(&m).expect("integer");
+        let spec = MappingSpec::new(6, qp.max_element().max(1)).expect("valid");
+        let xbar = Crossbar::build(
+            qp, spec, CellParams::default(), VariabilityModel::paper(), seed,
+        ).expect("builds");
+        let low = xbar.read_vmv(&[1, 0, 0], &q).expect("read");
+        let high = xbar.read_vmv(&[6, 0, 0], &q).expect("read");
+        prop_assert!(high >= low);
+    }
+
+    /// The hardware Nash gap of the ideal bi-crossbar is non-negative (up
+    /// to numerical slack) everywhere on the grid, like the exact gap.
+    #[test]
+    fn ideal_hardware_gap_nonnegative(
+        a in arb_int_matrix(2, 2, 4),
+        b in arb_int_matrix(2, 2, 4),
+        p in arb_counts(2, 12),
+        q in arb_counts(2, 12),
+    ) {
+        let game = BimatrixGame::new("prop", a, b).expect("shapes");
+        let xbar = BiCrossbar::build(&game, &CrossbarConfig::ideal(12), 0).expect("builds");
+        let ps = MixedStrategy::from_grid_counts(&p, 12).expect("valid");
+        let qs = MixedStrategy::from_grid_counts(&q, 12).expect("valid");
+        let gap = xbar.nash_gap(&ps, &qs).expect("read");
+        prop_assert!(gap > -1e-3, "hardware gap {gap} substantially negative");
+    }
+
+    /// Quantized payoffs always reconstruct the original matrix.
+    #[test]
+    fn quantization_round_trip(m in arb_int_matrix(4, 3, 9)) {
+        let shifted = m.map(|x| x - 3.0); // introduce negatives
+        let qp = QuantizedPayoffs::from_integer_matrix(&shifted).expect("integer");
+        prop_assert!(qp.reconstruct().max_abs_diff(&shifted) < 1e-9);
+    }
+}

@@ -1,0 +1,205 @@
+//! The 1FeFET1R bit-cell (Fig. 2c/d).
+//!
+//! A 1FeFET1R cell puts a series resistor `R` under the FeFET's source.
+//! When the stored bit is '1' (low V_TH) and both the word line (gate) and
+//! the data line (drain) are driven, the FeFET channel resistance collapses
+//! far below `R`, so the cell current is clamped to `≈ V_DL / R`. The
+//! exponential sensitivity of the bare FeFET ON current to `V_TH`
+//! variations is thereby suppressed (Fig. 2d) — only the resistor's 8 %
+//! spread remains, which is what makes large analog current sums linear
+//! enough for VMV multiplication (Fig. 7a).
+//!
+//! The cell computes `i = p × m × q` "for free": the WL input gates on
+//! `p`, the DL input gates on `q`, and the stored bit provides `m`
+//! (paper Sec. 2.3).
+
+use crate::fefet::{FeFet, FeFetParams, FeFetState};
+use crate::variability::DeviceSample;
+
+/// Electrical parameters of the 1FeFET1R cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellParams {
+    /// Nominal series resistance (Ω).
+    pub resistance: f64,
+    /// Word-line read voltage applied for an active `p` input (V).
+    pub v_wl_read: f64,
+    /// Data-line read voltage applied for an active `q` input (V).
+    pub v_dl_read: f64,
+    /// FeFET electrical parameters.
+    pub fefet: FeFetParams,
+}
+
+impl Default for CellParams {
+    /// Nominal ON current `V_DL / R = 0.1 V / 100 kΩ = 1 µA`, matching the
+    /// µA-scale cell currents of Fig. 2d / Fig. 7a.
+    fn default() -> Self {
+        Self {
+            resistance: 100e3,
+            v_wl_read: 0.8,
+            v_dl_read: 0.1,
+            fefet: FeFetParams::default(),
+        }
+    }
+}
+
+/// One 1FeFET1R cell with its sampled device deviations.
+///
+/// # Example
+///
+/// ```
+/// use cnash_device::cell::OneFeFetOneR;
+/// use cnash_device::fefet::FeFetState;
+///
+/// let cell = OneFeFetOneR::ideal(FeFetState::LowVth);
+/// let i = cell.output_current(true, true);
+/// assert!((i - 1e-6).abs() / 1e-6 < 0.05); // ≈ 1 µA clamped ON current
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OneFeFetOneR {
+    fefet: FeFet,
+    params: CellParams,
+    resistance: f64,
+}
+
+impl OneFeFetOneR {
+    /// Creates a cell storing `state` with the given deviations.
+    pub fn new(state: FeFetState, params: CellParams, sample: DeviceSample) -> Self {
+        Self {
+            fefet: FeFet::new(state, params.fefet, sample.delta_vth),
+            resistance: params.resistance * sample.resistor_factor,
+            params,
+        }
+    }
+
+    /// Nominal cell without variability.
+    pub fn ideal(state: FeFetState) -> Self {
+        Self::new(state, CellParams::default(), DeviceSample::default())
+    }
+
+    /// Stored bit.
+    pub fn bit(&self) -> u8 {
+        self.fefet.state().bit()
+    }
+
+    /// Rewrites the stored bit (write pulse on the gate, Fig. 2a).
+    pub fn write(&mut self, bit: bool) {
+        self.fefet.program(FeFetState::from_bit(bit));
+    }
+
+    /// Nominal clamped ON current of this cell design (`V_DL / R`), before
+    /// per-device resistor deviation.
+    pub fn nominal_on_current(params: &CellParams) -> f64 {
+        params.v_dl_read / params.resistance
+    }
+
+    /// Cell output current for the given line drives.
+    ///
+    /// `wl_active` encodes one unary unit of the row strategy input `p`,
+    /// `dl_active` one unary unit of the column input `q`. The current is
+    /// the series combination of the (gate-dependent) channel resistance
+    /// and the resistor; a deselected or '0' cell only leaks.
+    pub fn output_current(&self, wl_active: bool, dl_active: bool) -> f64 {
+        if !dl_active {
+            return 0.0; // no drain bias, no current path
+        }
+        let vg = if wl_active { self.params.v_wl_read } else { 0.0 };
+        let r_ch = self.fefet.channel_resistance(vg, self.params.v_dl_read);
+        if !r_ch.is_finite() {
+            return 0.0;
+        }
+        self.params.v_dl_read / (r_ch + self.resistance)
+    }
+
+    /// Relative deviation of the selected-'1' current from the nominal
+    /// clamp (used to verify ON-current-variability suppression).
+    pub fn on_current_error(&self) -> f64 {
+        let nominal = Self::nominal_on_current(&self.params);
+        (self.output_current(true, true) - nominal) / nominal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variability::VariabilityModel;
+
+    #[test]
+    fn truth_table_of_selected_one() {
+        let c = OneFeFetOneR::ideal(FeFetState::LowVth);
+        let on = c.output_current(true, true);
+        assert!(on > 9e-7, "selected '1' current {on} too small");
+        assert!(c.output_current(false, true) < on / 100.0, "WL off must cut current");
+        assert_eq!(c.output_current(true, false), 0.0, "DL off means no path");
+        assert_eq!(c.output_current(false, false), 0.0);
+    }
+
+    #[test]
+    fn stored_zero_stays_off() {
+        let c = OneFeFetOneR::ideal(FeFetState::HighVth);
+        let on = OneFeFetOneR::ideal(FeFetState::LowVth).output_current(true, true);
+        assert!(c.output_current(true, true) < on / 100.0);
+    }
+
+    #[test]
+    fn write_flips_bit() {
+        let mut c = OneFeFetOneR::ideal(FeFetState::HighVth);
+        assert_eq!(c.bit(), 0);
+        c.write(true);
+        assert_eq!(c.bit(), 1);
+        assert!(c.output_current(true, true) > 9e-7);
+    }
+
+    #[test]
+    fn resistor_clamps_on_current_variability() {
+        // The whole point of the 1R: a ±3σ V_TH shift must barely move the
+        // selected-'1' current, while the bare FeFET current would change
+        // by orders of magnitude.
+        let nominal = OneFeFetOneR::ideal(FeFetState::LowVth).output_current(true, true);
+        let shifted = OneFeFetOneR::new(
+            FeFetState::LowVth,
+            CellParams::default(),
+            DeviceSample {
+                delta_vth: 0.120, // +3σ
+                resistor_factor: 1.0,
+            },
+        )
+        .output_current(true, true);
+        let rel = (shifted - nominal).abs() / nominal;
+        assert!(rel < 0.05, "ON current moved {rel:.3} under 3σ V_TH shift");
+    }
+
+    #[test]
+    fn on_current_spread_tracks_resistor_spread() {
+        // With the paper's variability the selected-'1' current spread
+        // should be close to the 8 % resistor spread (V_TH contributes ~0).
+        let v = VariabilityModel::paper();
+        let samples = v.sample_many(2000, 99);
+        let currents: Vec<f64> = samples
+            .iter()
+            .map(|&s| {
+                OneFeFetOneR::new(FeFetState::LowVth, CellParams::default(), s)
+                    .output_current(true, true)
+            })
+            .collect();
+        let n = currents.len() as f64;
+        let mean = currents.iter().sum::<f64>() / n;
+        let std = (currents.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / n).sqrt();
+        let rel = std / mean;
+        assert!(
+            (rel - 0.08).abs() < 0.02,
+            "ON-current spread {rel:.3} should be ≈ resistor spread 0.08"
+        );
+    }
+
+    #[test]
+    fn nominal_on_current_value() {
+        let p = CellParams::default();
+        assert!((OneFeFetOneR::nominal_on_current(&p) - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn on_current_error_near_zero_for_ideal() {
+        let c = OneFeFetOneR::ideal(FeFetState::LowVth);
+        assert!(c.on_current_error().abs() < 0.05);
+    }
+}

@@ -1,0 +1,149 @@
+//! Process corners for MOSFET periphery (WTA tree, drivers).
+//!
+//! The paper validates the WTA component across the five standard TSMC
+//! 28 nm corners (Fig. 7b): typical (tt), both-slow (ss), both-fast (ff)
+//! and the two skewed corners (snfp: slow NMOS / fast PMOS, fnsp: fast
+//! NMOS / slow PMOS). For the behavioural WTA model a corner manifests as
+//! a drive-current scale (affects settling speed) and an analog offset
+//! scale (mismatch between the cross-coupled pair worsens when the
+//! transistors skew).
+
+use std::fmt;
+
+/// A MOSFET process corner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProcessCorner {
+    /// Typical NMOS / typical PMOS — the nominal corner.
+    Tt,
+    /// Slow NMOS / slow PMOS.
+    Ss,
+    /// Fast NMOS / fast PMOS.
+    Ff,
+    /// Slow NMOS / fast PMOS (skewed).
+    Snfp,
+    /// Fast NMOS / slow PMOS (skewed).
+    Fnsp,
+}
+
+impl ProcessCorner {
+    /// All five corners in the order of Fig. 7b.
+    pub const ALL: [ProcessCorner; 5] = [
+        ProcessCorner::Ss,
+        ProcessCorner::Snfp,
+        ProcessCorner::Fnsp,
+        ProcessCorner::Ff,
+        ProcessCorner::Tt,
+    ];
+
+    /// NMOS drive-strength multiplier.
+    pub fn nmos_drive(self) -> f64 {
+        match self {
+            ProcessCorner::Tt => 1.00,
+            ProcessCorner::Ss => 0.85,
+            ProcessCorner::Ff => 1.15,
+            ProcessCorner::Snfp => 0.85,
+            ProcessCorner::Fnsp => 1.15,
+        }
+    }
+
+    /// PMOS drive-strength multiplier.
+    pub fn pmos_drive(self) -> f64 {
+        match self {
+            ProcessCorner::Tt => 1.00,
+            ProcessCorner::Ss => 0.85,
+            ProcessCorner::Ff => 1.15,
+            ProcessCorner::Snfp => 1.15,
+            ProcessCorner::Fnsp => 0.85,
+        }
+    }
+
+    /// Settling-delay multiplier of analog stages (slower corners settle
+    /// later): inverse of the geometric-mean drive.
+    pub fn delay_scale(self) -> f64 {
+        1.0 / (self.nmos_drive() * self.pmos_drive()).sqrt()
+    }
+
+    /// Multiplier on analog offset/mismatch errors. Skewed corners
+    /// unbalance the current mirrors, typical is best.
+    pub fn offset_scale(self) -> f64 {
+        let skew = (self.nmos_drive() - self.pmos_drive()).abs();
+        1.0 + 4.0 * skew
+    }
+}
+
+impl fmt::Display for ProcessCorner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProcessCorner::Tt => "tt",
+            ProcessCorner::Ss => "ss",
+            ProcessCorner::Ff => "ff",
+            ProcessCorner::Snfp => "snfp",
+            ProcessCorner::Fnsp => "fnsp",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl Default for ProcessCorner {
+    fn default() -> Self {
+        ProcessCorner::Tt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_five_unique_corners() {
+        let mut seen = std::collections::HashSet::new();
+        for c in ProcessCorner::ALL {
+            assert!(seen.insert(c));
+        }
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn typical_is_nominal() {
+        let tt = ProcessCorner::Tt;
+        assert_eq!(tt.nmos_drive(), 1.0);
+        assert_eq!(tt.pmos_drive(), 1.0);
+        assert_eq!(tt.delay_scale(), 1.0);
+        assert_eq!(tt.offset_scale(), 1.0);
+    }
+
+    #[test]
+    fn slow_corner_is_slowest() {
+        let ss = ProcessCorner::Ss.delay_scale();
+        for c in ProcessCorner::ALL {
+            assert!(ss >= c.delay_scale() - 1e-12, "{c} slower than ss");
+        }
+        assert!(ss > 1.0);
+    }
+
+    #[test]
+    fn fast_corner_is_fastest() {
+        let ff = ProcessCorner::Ff.delay_scale();
+        for c in ProcessCorner::ALL {
+            assert!(ff <= c.delay_scale() + 1e-12, "{c} faster than ff");
+        }
+        assert!(ff < 1.0);
+    }
+
+    #[test]
+    fn skewed_corners_have_worst_offsets() {
+        let skewed = ProcessCorner::Snfp.offset_scale();
+        assert!(skewed > ProcessCorner::Tt.offset_scale());
+        assert!(skewed > ProcessCorner::Ss.offset_scale());
+        assert_eq!(
+            ProcessCorner::Snfp.offset_scale(),
+            ProcessCorner::Fnsp.offset_scale()
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ProcessCorner::Snfp.to_string(), "snfp");
+        assert_eq!(ProcessCorner::default().to_string(), "tt");
+    }
+}

@@ -1,0 +1,293 @@
+//! FeFET ID–VG behavioural model.
+//!
+//! A FeFET stores a bit as a low/high threshold voltage programmed through
+//! its ferroelectric gate stack (Fig. 2a/b). For array simulation we model
+//! the drain current with the standard piecewise characteristic:
+//!
+//! * subthreshold (`V_G < V_TH`): exponential with a finite subthreshold
+//!   swing, floored at a leakage current,
+//! * ON region (`V_G ≥ V_TH`): saturation current with overdrive scaling.
+//!
+//! The bare FeFET ON current is exponentially sensitive to `V_TH`
+//! variations — exactly the problem the 1FeFET1R cell ([`crate::cell`])
+//! solves by clamping the current with a series resistor.
+
+use crate::preisach::Preisach;
+use std::fmt;
+
+/// Binary storage state of a FeFET (paper Fig. 2b: '1' = low V_TH
+/// conducts at the read voltage, '0' = high V_TH stays off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeFetState {
+    /// Programmed with a positive pulse; conducts at the read voltage.
+    LowVth,
+    /// Programmed (erased) with a negative pulse; off at the read voltage.
+    HighVth,
+}
+
+impl FeFetState {
+    /// The stored bit: `LowVth` ↦ 1, `HighVth` ↦ 0.
+    pub fn bit(self) -> u8 {
+        match self {
+            FeFetState::LowVth => 1,
+            FeFetState::HighVth => 0,
+        }
+    }
+
+    /// State storing the given bit.
+    pub fn from_bit(bit: bool) -> Self {
+        if bit {
+            FeFetState::LowVth
+        } else {
+            FeFetState::HighVth
+        }
+    }
+}
+
+impl fmt::Display for FeFetState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeFetState::LowVth => write!(f, "low-Vth ('1')"),
+            FeFetState::HighVth => write!(f, "high-Vth ('0')"),
+        }
+    }
+}
+
+/// Electrical parameters of the FeFET characteristic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeFetParams {
+    /// Threshold voltage of the low-V_TH (programmed) state (V).
+    pub vth_low: f64,
+    /// Threshold voltage of the high-V_TH (erased) state (V).
+    pub vth_high: f64,
+    /// Subthreshold swing (V per decade of current).
+    pub subthreshold_swing: f64,
+    /// Drain current at `V_G = V_TH` (edge of conduction, A).
+    pub i_threshold: f64,
+    /// Saturated ON current deep in the ON region (A).
+    pub i_on: f64,
+    /// Leakage floor (A).
+    pub i_leak: f64,
+    /// Gate overdrive at which the ON current saturates (V).
+    pub overdrive_sat: f64,
+}
+
+impl Default for FeFetParams {
+    /// Calibrated to the measured curves of Fig. 2b: ~5 decades between
+    /// the '0' and '1' currents at the 0.8 V read voltage.
+    fn default() -> Self {
+        Self {
+            vth_low: 0.4,
+            vth_high: 1.2,
+            subthreshold_swing: 0.09,
+            i_threshold: 1e-7,
+            i_on: 4e-5,
+            i_leak: 1e-12,
+            overdrive_sat: 0.5,
+        }
+    }
+}
+
+/// A binary-storage FeFET with its present threshold voltage.
+///
+/// `delta_vth` carries device-to-device variability sampled from
+/// [`crate::variability::VariabilityModel`].
+///
+/// # Example
+///
+/// ```
+/// use cnash_device::fefet::{FeFet, FeFetParams, FeFetState};
+///
+/// let on = FeFet::new(FeFetState::LowVth, FeFetParams::default(), 0.0);
+/// let off = FeFet::new(FeFetState::HighVth, FeFetParams::default(), 0.0);
+/// let vg = 0.8; // read voltage between the two thresholds
+/// assert!(on.drain_current(vg) / off.drain_current(vg) > 1e3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeFet {
+    state: FeFetState,
+    params: FeFetParams,
+    delta_vth: f64,
+}
+
+impl FeFet {
+    /// Creates a FeFET in `state` with threshold offset `delta_vth` (V).
+    pub fn new(state: FeFetState, params: FeFetParams, delta_vth: f64) -> Self {
+        Self {
+            state,
+            params,
+            delta_vth,
+        }
+    }
+
+    /// Nominal device without variability.
+    pub fn ideal(state: FeFetState) -> Self {
+        Self::new(state, FeFetParams::default(), 0.0)
+    }
+
+    /// Creates a FeFET whose threshold comes from a programmed
+    /// [`Preisach`] stack (positive saturation ⇒ low V_TH).
+    pub fn from_preisach(fe: &Preisach, params: FeFetParams, delta_vth: f64) -> Self {
+        let mid = fe.params().vth_mid;
+        let state = if fe.vth() < mid {
+            FeFetState::LowVth
+        } else {
+            FeFetState::HighVth
+        };
+        Self::new(state, params, delta_vth)
+    }
+
+    /// Programs the device to a new state (write pulse, Fig. 2a).
+    pub fn program(&mut self, state: FeFetState) {
+        self.state = state;
+    }
+
+    /// Stored state.
+    pub fn state(&self) -> FeFetState {
+        self.state
+    }
+
+    /// Effective threshold voltage including variability.
+    pub fn vth(&self) -> f64 {
+        let base = match self.state {
+            FeFetState::LowVth => self.params.vth_low,
+            FeFetState::HighVth => self.params.vth_high,
+        };
+        base + self.delta_vth
+    }
+
+    /// Drain current at gate voltage `vg` (drain at the nominal read
+    /// bias). Piecewise: leakage floor → subthreshold exponential →
+    /// saturating ON region.
+    pub fn drain_current(&self, vg: f64) -> f64 {
+        let p = &self.params;
+        let od = vg - self.vth();
+        if od < 0.0 {
+            // Subthreshold: i_threshold · 10^(od / SS), floored at leakage.
+            let i = p.i_threshold * 10f64.powf(od / p.subthreshold_swing);
+            i.max(p.i_leak)
+        } else {
+            // ON region: rise from i_threshold to i_on over `overdrive_sat`.
+            let frac = (od / p.overdrive_sat).min(1.0);
+            p.i_threshold + (p.i_on - p.i_threshold) * frac
+        }
+    }
+
+    /// Effective channel resistance at gate voltage `vg` for a small drain
+    /// bias `vd` (used by the 1FeFET1R divider).
+    pub fn channel_resistance(&self, vg: f64, vd: f64) -> f64 {
+        let i = self.drain_current(vg);
+        if i <= 0.0 {
+            f64::INFINITY
+        } else {
+            vd / i
+        }
+    }
+
+    /// Sweeps the ID–VG characteristic over `points` gate voltages in
+    /// `[vg_min, vg_max]` (reproduces Fig. 2b).
+    pub fn id_vg_sweep(&self, vg_min: f64, vg_max: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "need at least two sweep points");
+        (0..points)
+            .map(|k| {
+                let vg = vg_min + (vg_max - vg_min) * k as f64 / (points - 1) as f64;
+                (vg, self.drain_current(vg))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_bit_round_trip() {
+        assert_eq!(FeFetState::from_bit(true), FeFetState::LowVth);
+        assert_eq!(FeFetState::from_bit(false), FeFetState::HighVth);
+        assert_eq!(FeFetState::LowVth.bit(), 1);
+        assert_eq!(FeFetState::HighVth.bit(), 0);
+    }
+
+    #[test]
+    fn on_off_ratio_at_read_voltage() {
+        let on = FeFet::ideal(FeFetState::LowVth);
+        let off = FeFet::ideal(FeFetState::HighVth);
+        let ratio = on.drain_current(0.8) / off.drain_current(0.8);
+        assert!(ratio > 1e3, "on/off ratio {ratio} too small");
+    }
+
+    #[test]
+    fn current_monotonic_in_vg() {
+        let d = FeFet::ideal(FeFetState::LowVth);
+        let sweep = d.id_vg_sweep(0.0, 2.0, 101);
+        for w in sweep.windows(2) {
+            assert!(w[1].1 >= w[0].1, "non-monotonic at {:?}", w);
+        }
+    }
+
+    #[test]
+    fn leakage_floor_respected() {
+        let d = FeFet::ideal(FeFetState::HighVth);
+        assert!(d.drain_current(0.0) >= FeFetParams::default().i_leak);
+        assert!(d.drain_current(-1.0) >= FeFetParams::default().i_leak);
+    }
+
+    #[test]
+    fn on_current_saturates() {
+        let d = FeFet::ideal(FeFetState::LowVth);
+        let p = FeFetParams::default();
+        assert!((d.drain_current(2.0) - p.i_on).abs() < 1e-12);
+        assert!((d.drain_current(5.0) - p.i_on).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vth_shift_moves_current_exponentially() {
+        // +40 mV of V_TH costs ~1 decade / (SS/40mV) of subthreshold current.
+        let nom = FeFet::new(FeFetState::HighVth, FeFetParams::default(), 0.0);
+        let hot = FeFet::new(FeFetState::HighVth, FeFetParams::default(), 0.040);
+        let vg = 0.8;
+        let ratio = nom.drain_current(vg) / hot.drain_current(vg);
+        let expected = 10f64.powf(0.040 / 0.09);
+        assert!((ratio - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn program_changes_state() {
+        let mut d = FeFet::ideal(FeFetState::HighVth);
+        d.program(FeFetState::LowVth);
+        assert_eq!(d.state(), FeFetState::LowVth);
+        assert!((d.vth() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_preisach_maps_polarization_to_state() {
+        use crate::preisach::{Preisach, PreisachParams};
+        let mut fe = Preisach::new(PreisachParams::default());
+        fe.apply_voltage(4.0);
+        let d = FeFet::from_preisach(&fe, FeFetParams::default(), 0.0);
+        assert_eq!(d.state(), FeFetState::LowVth);
+        fe.apply_voltage(-4.0);
+        let d = FeFet::from_preisach(&fe, FeFetParams::default(), 0.0);
+        assert_eq!(d.state(), FeFetState::HighVth);
+    }
+
+    #[test]
+    fn channel_resistance_is_small_when_on() {
+        let d = FeFet::ideal(FeFetState::LowVth);
+        // Deep ON: R_ch = 0.1 V / 40 µA = 2.5 kΩ, far below the 100 kΩ clamp.
+        let r = d.channel_resistance(1.5, 0.1);
+        assert!(r < 1e4, "channel resistance {r} too large");
+    }
+
+    #[test]
+    fn display_state() {
+        assert!(FeFetState::LowVth.to_string().contains("low"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two sweep points")]
+    fn sweep_needs_points() {
+        FeFet::ideal(FeFetState::LowVth).id_vg_sweep(0.0, 1.0, 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! Multi-level-cell (MLC) FeFET storage (extension).
+//!
+//! The crossbar demonstration the paper derives its timing from (Soliman
+//! et al. [29]) is a *multi-level cell* FeFET array; C-Nash scales it "to
+//! a precision of 1-bit/1-bit". This module models the MLC device the
+//! paper scaled *down from*: partial-polarization programming yields
+//! several threshold levels per transistor, trading cells-per-element
+//! (`t`) against read margin. The level-confusion analysis quantifies why
+//! the paper's 1-bit operating point is the robust choice at
+//! `σ(V_TH) = 40 mV`.
+
+use crate::preisach::{Preisach, PreisachParams};
+use crate::variability::VariabilityModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A multi-level FeFET cell storing one of `levels` states as a partial
+/// polarization of its Preisach stack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlcFeFet {
+    params: PreisachParams,
+    levels: u8,
+    stored: u8,
+    delta_vth: f64,
+}
+
+impl MlcFeFet {
+    /// Creates a cell with `levels ≥ 2` states, storing level 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2`.
+    pub fn new(params: PreisachParams, levels: u8, delta_vth: f64) -> Self {
+        assert!(levels >= 2, "an MLC cell needs at least two levels");
+        Self {
+            params,
+            levels,
+            stored: 0,
+            delta_vth,
+        }
+    }
+
+    /// Number of levels.
+    pub fn levels(&self) -> u8 {
+        self.levels
+    }
+
+    /// Stored level.
+    pub fn stored(&self) -> u8 {
+        self.stored
+    }
+
+    /// Programs `level` via a partial-switching write pulse: the pulse
+    /// amplitude is chosen so the hysteron ensemble reaches the target
+    /// fractional polarization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= levels`.
+    pub fn program(&mut self, level: u8) {
+        assert!(level < self.levels, "level {level} out of range");
+        self.stored = level;
+    }
+
+    /// Target polarization of a level: equally spaced in `[-1, 1]`.
+    pub fn level_polarization(&self, level: u8) -> f64 {
+        -1.0 + 2.0 * level as f64 / (self.levels - 1) as f64
+    }
+
+    /// Nominal threshold voltage of a level.
+    pub fn level_vth(&self, level: u8) -> f64 {
+        self.params.vth_mid - self.level_polarization(level) * self.params.vth_window / 2.0
+    }
+
+    /// This cell's actual threshold voltage (level + device deviation).
+    pub fn vth(&self) -> f64 {
+        self.level_vth(self.stored) + self.delta_vth
+    }
+
+    /// Spacing between adjacent level thresholds (the read margin budget).
+    pub fn level_spacing(&self) -> f64 {
+        self.params.vth_window / (self.levels - 1) as f64
+    }
+
+    /// Reads the level back by nearest-threshold classification (ideal
+    /// sense amplifier with thresholds centred between levels).
+    pub fn read_level(&self) -> u8 {
+        let vth = self.vth();
+        let mut best = 0u8;
+        let mut best_d = f64::INFINITY;
+        for l in 0..self.levels {
+            let d = (vth - self.level_vth(l)).abs();
+            if d < best_d {
+                best_d = d;
+                best = l;
+            }
+        }
+        best
+    }
+
+    /// Writes the level through an actual Preisach partial-programming
+    /// pulse train and returns the achieved polarization (for validating
+    /// that partial switching can hit the targets).
+    pub fn program_via_preisach(&mut self, level: u8) -> f64 {
+        self.program(level);
+        let target = self.level_polarization(level);
+        let mut fe = Preisach::new(self.params);
+        // Reset down, then search the positive pulse amplitude that lands
+        // at (or just above) the target polarization.
+        fe.apply_voltage(-10.0);
+        let mut lo = 0.0;
+        let mut hi = self.params.coercive_voltage + self.params.coercive_spread + 1.0;
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            let mut probe = fe.clone();
+            probe.apply_voltage(mid);
+            if probe.polarization() < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        fe.apply_voltage(hi);
+        fe.polarization()
+    }
+}
+
+/// Monte-Carlo estimate of the probability that a random device confuses
+/// some written level on readback, at the given variability.
+pub fn level_confusion_rate(
+    levels: u8,
+    variability: &VariabilityModel,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut errors = 0usize;
+    let mut total = 0usize;
+    for _ in 0..trials {
+        let s = variability.sample(&mut rng);
+        for level in 0..levels {
+            let mut cell = MlcFeFet::new(PreisachParams::default(), levels, s.delta_vth);
+            cell.program(level);
+            if cell.read_level() != level {
+                errors += 1;
+            }
+            total += 1;
+        }
+    }
+    errors as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_span_the_window() {
+        let c = MlcFeFet::new(PreisachParams::default(), 4, 0.0);
+        assert!((c.level_vth(0) - 1.2).abs() < 1e-12); // fully down
+        assert!((c.level_vth(3) - 0.4).abs() < 1e-12); // fully up
+        assert!(c.level_vth(1) > c.level_vth(2));
+    }
+
+    #[test]
+    fn spacing_shrinks_with_level_count() {
+        let two = MlcFeFet::new(PreisachParams::default(), 2, 0.0);
+        let four = MlcFeFet::new(PreisachParams::default(), 4, 0.0);
+        assert!((two.level_spacing() - 0.8).abs() < 1e-12);
+        assert!((four.level_spacing() - 0.8 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ideal_readback_round_trip() {
+        let mut c = MlcFeFet::new(PreisachParams::default(), 4, 0.0);
+        for l in 0..4 {
+            c.program(l);
+            assert_eq!(c.read_level(), l);
+        }
+    }
+
+    #[test]
+    fn preisach_partial_programming_hits_targets() {
+        let mut c = MlcFeFet::new(PreisachParams::default(), 4, 0.0);
+        for l in 0..4 {
+            let achieved = c.program_via_preisach(l);
+            let target = c.level_polarization(l);
+            assert!(
+                (achieved - target).abs() < 0.05,
+                "level {l}: achieved {achieved} vs target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn confusion_grows_with_level_count() {
+        let v = VariabilityModel::paper();
+        let e2 = level_confusion_rate(2, &v, 2000, 1);
+        let e4 = level_confusion_rate(4, &v, 2000, 1);
+        let e8 = level_confusion_rate(8, &v, 2000, 1);
+        assert!(e2 <= e4 && e4 <= e8, "{e2} {e4} {e8}");
+        // Binary cells are essentially error-free at 40 mV sigma
+        // (800 mV window => 10-sigma margins)...
+        assert!(e2 < 1e-3);
+        // ...while 8 levels (57 mV half-spacing vs 40 mV sigma) confuse
+        // a noticeable fraction — the quantitative case for the paper's
+        // 1-bit scaling.
+        assert!(e8 > 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two levels")]
+    fn rejects_single_level() {
+        let _ = MlcFeFet::new(PreisachParams::default(), 1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_level() {
+        let mut c = MlcFeFet::new(PreisachParams::default(), 4, 0.0);
+        c.program(4);
+    }
+}

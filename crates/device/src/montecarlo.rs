@@ -1,0 +1,130 @@
+//! Seeded Monte-Carlo runner with summary statistics.
+//!
+//! The robustness experiments (Fig. 7a) run 100 Monte-Carlo instances of a
+//! crossbar, each with independently sampled device deviations. This module
+//! provides the generic runner plus the summary statistics reported in the
+//! figures.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Summary statistics of a scalar sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Number of samples.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (population form).
+    pub std: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+impl Stats {
+    /// Computes statistics of `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "statistics of an empty sample set");
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        Self {
+            count: samples.len(),
+            mean,
+            std: var.sqrt(),
+            min: samples.iter().copied().fold(f64::INFINITY, f64::min),
+            max: samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Coefficient of variation `std / |mean|` (∞ if the mean is 0).
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.std / self.mean.abs()
+        }
+    }
+}
+
+/// Runs `trials` evaluations of `f`, each with a fresh RNG derived from
+/// `base_seed` (trial `k` uses seed `base_seed + k`), and returns the
+/// per-trial outputs.
+///
+/// # Example
+///
+/// ```
+/// use cnash_device::montecarlo::{monte_carlo, Stats};
+/// use rand::RngExt;
+///
+/// let outs = monte_carlo(100, 7, |rng| rng.random_range(0.0..1.0));
+/// let stats = Stats::from_samples(&outs);
+/// assert!(stats.mean > 0.3 && stats.mean < 0.7);
+/// ```
+pub fn monte_carlo<T>(trials: usize, base_seed: u64, mut f: impl FnMut(&mut StdRng) -> T) -> Vec<T> {
+    (0..trials)
+        .map(|k| {
+            let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(k as u64));
+            f(&mut rng)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    #[test]
+    fn stats_of_constant() {
+        let s = Stats::from_samples(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn stats_of_known_set() {
+        let s = Stats::from_samples(&[1.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std, 1.0);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.cv(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn stats_of_empty_panics() {
+        let _ = Stats::from_samples(&[]);
+    }
+
+    #[test]
+    fn cv_of_zero_mean_is_infinite() {
+        let s = Stats::from_samples(&[-1.0, 1.0]);
+        assert!(s.cv().is_infinite());
+    }
+
+    #[test]
+    fn monte_carlo_reproducible_and_trial_independent() {
+        let a = monte_carlo(5, 11, |rng| rng.random_range(0u32..1000));
+        let b = monte_carlo(5, 11, |rng| rng.random_range(0u32..1000));
+        assert_eq!(a, b);
+        // Different trials see different RNG streams.
+        assert!(a.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn monte_carlo_different_seeds_differ() {
+        let a = monte_carlo(5, 1, |rng| rng.random_range(0u32..1000));
+        let b = monte_carlo(5, 2, |rng| rng.random_range(0u32..1000));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,252 @@
+//! Preisach hysteresis model of the ferroelectric layer.
+//!
+//! The Preisach model represents a ferroelectric as an ensemble of
+//! elementary square-loop switches ("hysterons"), each with its own up- and
+//! down-switching voltages. Sweeping the gate voltage flips the hysterons
+//! whose thresholds are crossed; the mean hysteron state is the normalised
+//! remnant polarization `P ∈ [−1, 1]`, which shifts the FeFET threshold
+//! voltage linearly (Ni et al. [27] use the same abstraction inside their
+//! circuit-compatible compact model).
+//!
+//! C-Nash only needs the two saturated states (binary storage), but the
+//! full minor-loop behaviour is implemented so partial programming and
+//! disturb studies are possible.
+
+use std::fmt;
+
+/// One elementary Preisach switch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Hysteron {
+    /// Gate voltage above which the hysteron switches up (polarization +1).
+    v_up: f64,
+    /// Gate voltage below which the hysteron switches down (−1).
+    v_down: f64,
+    /// Current state, `+1.0` or `−1.0`.
+    state: f64,
+}
+
+/// Parameters of the hysteron ensemble.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreisachParams {
+    /// Mean coercive voltage (V); hysterons switch up near `+vc` and down
+    /// near `−vc`.
+    pub coercive_voltage: f64,
+    /// Spread of switching voltages across the ensemble (V).
+    pub coercive_spread: f64,
+    /// Number of hysterons (granularity of the polarization curve).
+    pub hysteron_count: usize,
+    /// Threshold-voltage shift at saturated polarization (V). The FeFET
+    /// V_TH is `vth_mid − polarization × vth_window / 2`.
+    pub vth_window: f64,
+    /// Threshold voltage at zero polarization (V).
+    pub vth_mid: f64,
+}
+
+impl Default for PreisachParams {
+    /// Defaults produce the low-V_TH ≈ 0.4 V / high-V_TH ≈ 1.2 V binary
+    /// window of Fig. 2b with ±4 V write pulses.
+    fn default() -> Self {
+        Self {
+            coercive_voltage: 1.2,
+            coercive_spread: 0.5,
+            hysteron_count: 64,
+            vth_window: 0.8,
+            vth_mid: 0.8,
+        }
+    }
+}
+
+/// A Preisach hysteron-ensemble model of one ferroelectric capacitor.
+///
+/// # Example
+///
+/// ```
+/// use cnash_device::preisach::{Preisach, PreisachParams};
+///
+/// let mut fe = Preisach::new(PreisachParams::default());
+/// fe.apply_voltage(4.0);   // positive write pulse
+/// assert!(fe.polarization() > 0.99);
+/// assert!(fe.vth() < 0.5); // low-V_TH state
+/// fe.apply_voltage(-4.0);  // negative write pulse
+/// assert!(fe.polarization() < -0.99);
+/// assert!(fe.vth() > 1.1); // high-V_TH state
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Preisach {
+    params: PreisachParams,
+    hysterons: Vec<Hysteron>,
+}
+
+impl Preisach {
+    /// Creates the ensemble in the fully down-polarized (high-V_TH) state.
+    ///
+    /// Switching thresholds are spread deterministically (equally spaced
+    /// quantiles) so the polarization curve is smooth and reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hysteron_count == 0` or `coercive_spread < 0`.
+    pub fn new(params: PreisachParams) -> Self {
+        assert!(params.hysteron_count > 0, "need at least one hysteron");
+        assert!(params.coercive_spread >= 0.0, "negative spread");
+        let n = params.hysteron_count;
+        let hysterons = (0..n)
+            .map(|k| {
+                // Quantile in (−1, 1), symmetric around 0.
+                let u = (2.0 * (k as f64 + 0.5) / n as f64) - 1.0;
+                let offset = u * params.coercive_spread;
+                Hysteron {
+                    v_up: params.coercive_voltage + offset,
+                    v_down: -params.coercive_voltage + offset,
+                    state: -1.0,
+                }
+            })
+            .collect();
+        Self { params, hysterons }
+    }
+
+    /// Applies a quasi-static gate voltage (one write pulse amplitude),
+    /// flipping every hysteron whose threshold is crossed.
+    pub fn apply_voltage(&mut self, v: f64) {
+        for h in &mut self.hysterons {
+            if v >= h.v_up {
+                h.state = 1.0;
+            } else if v <= h.v_down {
+                h.state = -1.0;
+            }
+        }
+    }
+
+    /// Applies a sequence of pulse amplitudes in order.
+    pub fn apply_pulse_train(&mut self, pulses: &[f64]) {
+        for &v in pulses {
+            self.apply_voltage(v);
+        }
+    }
+
+    /// Normalised remnant polarization in `[−1, 1]`.
+    pub fn polarization(&self) -> f64 {
+        self.hysterons.iter().map(|h| h.state).sum::<f64>() / self.hysterons.len() as f64
+    }
+
+    /// Present threshold voltage implied by the polarization state.
+    pub fn vth(&self) -> f64 {
+        self.params.vth_mid - self.polarization() * self.params.vth_window / 2.0
+    }
+
+    /// Model parameters.
+    pub fn params(&self) -> &PreisachParams {
+        &self.params
+    }
+}
+
+impl fmt::Display for Preisach {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Preisach(P={:+.3}, Vth={:.3} V, {} hysterons)",
+            self.polarization(),
+            self.vth(),
+            self.hysterons.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> Preisach {
+        Preisach::new(PreisachParams::default())
+    }
+
+    #[test]
+    fn starts_fully_down() {
+        let fe = fresh();
+        assert_eq!(fe.polarization(), -1.0);
+        assert!((fe.vth() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturates_up_and_down() {
+        let mut fe = fresh();
+        fe.apply_voltage(4.0);
+        assert_eq!(fe.polarization(), 1.0);
+        assert!((fe.vth() - 0.4).abs() < 1e-12);
+        fe.apply_voltage(-4.0);
+        assert_eq!(fe.polarization(), -1.0);
+    }
+
+    #[test]
+    fn small_voltages_do_nothing() {
+        let mut fe = fresh();
+        fe.apply_voltage(0.3);
+        fe.apply_voltage(-0.3);
+        assert_eq!(fe.polarization(), -1.0);
+    }
+
+    #[test]
+    fn partial_switching_is_monotonic_in_amplitude() {
+        // Increasing positive amplitudes switch monotonically more hysterons.
+        let mut last = -1.0;
+        for amp in [0.8, 1.0, 1.2, 1.4, 1.6, 1.8] {
+            let mut fe = fresh();
+            fe.apply_voltage(amp);
+            let p = fe.polarization();
+            assert!(p >= last - 1e-12, "non-monotonic at {amp}: {p} < {last}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn minor_loop_hysteresis() {
+        // Partially program up, then a small negative pulse: the state
+        // must differ from a fresh device given the same final pulse
+        // (history dependence — the essence of hysteresis).
+        let mut a = fresh();
+        a.apply_pulse_train(&[1.4, -0.9]);
+        let mut b = fresh();
+        b.apply_voltage(-0.9);
+        assert!(a.polarization() > b.polarization());
+    }
+
+    #[test]
+    fn pulse_train_equivalent_to_sequence() {
+        let mut a = fresh();
+        a.apply_pulse_train(&[1.3, -1.1, 1.5]);
+        let mut b = fresh();
+        b.apply_voltage(1.3);
+        b.apply_voltage(-1.1);
+        b.apply_voltage(1.5);
+        assert_eq!(a.polarization(), b.polarization());
+    }
+
+    #[test]
+    fn vth_window_endpoints() {
+        let p = PreisachParams {
+            vth_mid: 1.0,
+            vth_window: 0.6,
+            ..PreisachParams::default()
+        };
+        let mut fe = Preisach::new(p);
+        fe.apply_voltage(10.0);
+        assert!((fe.vth() - 0.7).abs() < 1e-12);
+        fe.apply_voltage(-10.0);
+        assert!((fe.vth() - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hysteron")]
+    fn zero_hysterons_panics() {
+        let _ = Preisach::new(PreisachParams {
+            hysteron_count: 0,
+            ..PreisachParams::default()
+        });
+    }
+
+    #[test]
+    fn display_reports_state() {
+        let s = fresh().to_string();
+        assert!(s.contains("Vth"));
+    }
+}

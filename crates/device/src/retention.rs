@@ -1,0 +1,183 @@
+//! FeFET retention and endurance models (extension).
+//!
+//! Non-volatile storage is central to the paper's pitch (Sec. 2.3), but a
+//! deployed C-Nash accelerator must survive two ageing mechanisms:
+//!
+//! * **retention loss** — the remnant polarization depolarizes
+//!   logarithmically over time, shrinking the memory window,
+//! * **endurance degradation** — program/erase cycling causes wake-up
+//!   (early widening) followed by fatigue (window collapse), the
+//!   canonical HZO behaviour.
+//!
+//! Both reduce the low/high V_TH separation; the read fails once the
+//! window falls below the sense margin. These models let the
+//! fault-injection studies age a crossbar realistically.
+
+/// Retention model: window scale after `time` seconds at temperature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetentionModel {
+    /// Fractional polarization loss per decade of time (typ. 2–5 % for
+    /// HZO FeFETs).
+    pub loss_per_decade: f64,
+    /// Reference time where loss starts counting (s).
+    pub t0: f64,
+}
+
+impl Default for RetentionModel {
+    fn default() -> Self {
+        Self {
+            loss_per_decade: 0.03,
+            t0: 1.0,
+        }
+    }
+}
+
+impl RetentionModel {
+    /// Remaining window fraction after `time` seconds (clamped ≥ 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is negative.
+    pub fn window_fraction(&self, time: f64) -> f64 {
+        assert!(time >= 0.0, "negative retention time");
+        if time <= self.t0 {
+            return 1.0;
+        }
+        (1.0 - self.loss_per_decade * (time / self.t0).log10()).max(0.0)
+    }
+
+    /// Time (s) until the window shrinks to `fraction` of nominal.
+    pub fn time_to_fraction(&self, fraction: f64) -> f64 {
+        if fraction >= 1.0 {
+            return self.t0;
+        }
+        self.t0 * 10f64.powf((1.0 - fraction) / self.loss_per_decade)
+    }
+}
+
+/// Endurance model: wake-up then fatigue over program/erase cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnduranceModel {
+    /// Cycles at which wake-up peaks (typ. 1e3–1e4).
+    pub wakeup_cycles: f64,
+    /// Peak window gain from wake-up (e.g. 1.1 = +10 %).
+    pub wakeup_gain: f64,
+    /// Cycles at which fatigue halves the window (typ. 1e9–1e11).
+    pub fatigue_half_cycles: f64,
+}
+
+impl Default for EnduranceModel {
+    fn default() -> Self {
+        Self {
+            wakeup_cycles: 1e4,
+            wakeup_gain: 1.10,
+            fatigue_half_cycles: 1e10,
+        }
+    }
+}
+
+impl EnduranceModel {
+    /// Window scale after `cycles` program/erase cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is negative.
+    pub fn window_fraction(&self, cycles: f64) -> f64 {
+        assert!(cycles >= 0.0, "negative cycle count");
+        // Wake-up: smooth rise to `wakeup_gain` around wakeup_cycles.
+        let wake = 1.0
+            + (self.wakeup_gain - 1.0)
+                * (cycles / (cycles + self.wakeup_cycles)).min(1.0);
+        // Fatigue: logistic collapse centred at fatigue_half_cycles.
+        let fatigue = 1.0 / (1.0 + cycles / self.fatigue_half_cycles);
+        wake * fatigue
+    }
+
+    /// `true` while the window exceeds the sense margin `min_fraction`.
+    pub fn is_alive(&self, cycles: f64, min_fraction: f64) -> bool {
+        self.window_fraction(cycles) >= min_fraction
+    }
+}
+
+/// Combined ageing: retention after `time` on a device cycled `cycles`
+/// times. The SA loop's *read* traffic does not wear the ferroelectric —
+/// only writes do — so C-Nash's store-once/anneal-many usage sits in the
+/// friendly corner of this model.
+pub fn aged_window_fraction(
+    retention: &RetentionModel,
+    endurance: &EnduranceModel,
+    time: f64,
+    cycles: f64,
+) -> f64 {
+    retention.window_fraction(time) * endurance.window_fraction(cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_device_has_full_window() {
+        let r = RetentionModel::default();
+        assert_eq!(r.window_fraction(0.0), 1.0);
+        assert_eq!(r.window_fraction(0.5), 1.0);
+    }
+
+    #[test]
+    fn ten_year_retention_within_spec() {
+        // 10 years ≈ 3.15e8 s ≈ 8.5 decades: ~26 % loss at 3 %/decade —
+        // window still dominant, matching published HZO retention.
+        let r = RetentionModel::default();
+        let f = r.window_fraction(3.15e8);
+        assert!(f > 0.7 && f < 0.8, "10-year window fraction {f}");
+    }
+
+    #[test]
+    fn retention_is_monotone() {
+        let r = RetentionModel::default();
+        let mut last = 1.1;
+        for exp in 0..12 {
+            let f = r.window_fraction(10f64.powi(exp));
+            assert!(f <= last);
+            last = f;
+        }
+    }
+
+    #[test]
+    fn time_to_fraction_inverts_window() {
+        let r = RetentionModel::default();
+        let t = r.time_to_fraction(0.85);
+        assert!((r.window_fraction(t) - 0.85).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wakeup_then_fatigue() {
+        let e = EnduranceModel::default();
+        let fresh = e.window_fraction(0.0);
+        let woken = e.window_fraction(1e5);
+        let dead = e.window_fraction(1e12);
+        assert!(woken > fresh, "wake-up should widen the window");
+        assert!(dead < 0.2, "fatigue should collapse the window");
+    }
+
+    #[test]
+    fn alive_check() {
+        let e = EnduranceModel::default();
+        assert!(e.is_alive(1e6, 0.5));
+        assert!(!e.is_alive(1e12, 0.5));
+    }
+
+    #[test]
+    fn combined_ageing_multiplies() {
+        let r = RetentionModel::default();
+        let e = EnduranceModel::default();
+        let f = aged_window_fraction(&r, &e, 1e6, 1e6);
+        assert!((f - r.window_fraction(1e6) * e.window_fraction(1e6)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative retention time")]
+    fn rejects_negative_time() {
+        RetentionModel::default().window_fraction(-1.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Device-to-device variability sampling.
+//!
+//! The paper's robustness study (Sec. 4.1) assumes a `σ = 40 mV` FeFET
+//! threshold-voltage spread (from the multi-level-cell crossbar
+//! demonstration of Soliman et al. [29]) and an 8 % resistor spread (from
+//! the 1T1R analog CiM array of Saito et al. [30]). Every cell of a
+//! simulated crossbar draws one [`DeviceSample`] at construction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Gaussian device-to-device variability magnitudes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariabilityModel {
+    /// Standard deviation of the FeFET threshold voltage (V).
+    pub sigma_vth: f64,
+    /// Relative standard deviation of the series resistor.
+    pub sigma_resistor_rel: f64,
+}
+
+impl VariabilityModel {
+    /// The paper's values: `σ(V_TH) = 40 mV` [29], 8 % resistor σ [30].
+    pub fn paper() -> Self {
+        Self {
+            sigma_vth: 0.040,
+            sigma_resistor_rel: 0.08,
+        }
+    }
+
+    /// No variability (ideal devices).
+    pub fn none() -> Self {
+        Self {
+            sigma_vth: 0.0,
+            sigma_resistor_rel: 0.0,
+        }
+    }
+
+    /// Scales both spreads by `factor` (for stress studies).
+    pub fn scaled(self, factor: f64) -> Self {
+        Self {
+            sigma_vth: self.sigma_vth * factor,
+            sigma_resistor_rel: self.sigma_resistor_rel * factor,
+        }
+    }
+
+    /// Draws one device sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> DeviceSample {
+        DeviceSample {
+            delta_vth: gaussian(rng) * self.sigma_vth,
+            // Resistor factor clamped to stay physical (> 10 % of nominal).
+            resistor_factor: (1.0 + gaussian(rng) * self.sigma_resistor_rel).max(0.1),
+        }
+    }
+
+    /// Draws `n` samples from a dedicated seeded RNG (reproducible).
+    pub fn sample_many(&self, n: usize, seed: u64) -> Vec<DeviceSample> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| self.sample(&mut rng)).collect()
+    }
+}
+
+impl Default for VariabilityModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// One device's sampled deviations from nominal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSample {
+    /// Threshold-voltage offset (V).
+    pub delta_vth: f64,
+    /// Multiplicative resistor deviation (1.0 = nominal).
+    pub resistor_factor: f64,
+}
+
+impl Default for DeviceSample {
+    /// The nominal (no-deviation) sample.
+    fn default() -> Self {
+        Self {
+            delta_vth: 0.0,
+            resistor_factor: 1.0,
+        }
+    }
+}
+
+/// Standard normal via Box–Muller (avoids pulling in a distributions
+/// crate for a single use).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        let u2: f64 = rng.random();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values() {
+        let v = VariabilityModel::paper();
+        assert_eq!(v.sigma_vth, 0.040);
+        assert_eq!(v.sigma_resistor_rel, 0.08);
+    }
+
+    #[test]
+    fn none_produces_nominal_samples() {
+        let v = VariabilityModel::none();
+        for s in v.sample_many(10, 1) {
+            assert_eq!(s.delta_vth, 0.0);
+            assert_eq!(s.resistor_factor, 1.0);
+        }
+    }
+
+    #[test]
+    fn sampling_is_reproducible() {
+        let v = VariabilityModel::paper();
+        assert_eq!(v.sample_many(5, 42), v.sample_many(5, 42));
+        assert_ne!(v.sample_many(5, 42), v.sample_many(5, 43));
+    }
+
+    #[test]
+    fn sample_statistics_match_sigma() {
+        let v = VariabilityModel::paper();
+        let samples = v.sample_many(20_000, 7);
+        let n = samples.len() as f64;
+        let mean: f64 = samples.iter().map(|s| s.delta_vth).sum::<f64>() / n;
+        let var: f64 = samples
+            .iter()
+            .map(|s| (s.delta_vth - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        assert!(mean.abs() < 2e-3, "mean {mean} too far from 0");
+        assert!(
+            (var.sqrt() - 0.040).abs() < 2e-3,
+            "std {} too far from 40 mV",
+            var.sqrt()
+        );
+    }
+
+    #[test]
+    fn resistor_factor_stays_physical() {
+        // Even with an absurd 200 % spread the factor is clamped positive.
+        let v = VariabilityModel {
+            sigma_vth: 0.0,
+            sigma_resistor_rel: 2.0,
+        };
+        for s in v.sample_many(1000, 3) {
+            assert!(s.resistor_factor >= 0.1);
+        }
+    }
+
+    #[test]
+    fn scaled_spreads() {
+        let v = VariabilityModel::paper().scaled(0.5);
+        assert_eq!(v.sigma_vth, 0.020);
+        assert_eq!(v.sigma_resistor_rel, 0.04);
+    }
+
+    #[test]
+    fn default_sample_is_nominal() {
+        let s = DeviceSample::default();
+        assert_eq!(s.delta_vth, 0.0);
+        assert_eq!(s.resistor_factor, 1.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of the device models.
+
+use cnash_device::cell::{CellParams, OneFeFetOneR};
+use cnash_device::fefet::{FeFet, FeFetParams, FeFetState};
+use cnash_device::preisach::{Preisach, PreisachParams};
+use cnash_device::variability::{DeviceSample, VariabilityModel};
+use proptest::prelude::*;
+
+proptest! {
+    /// The Preisach polarization is always within [-1, 1] and vth within
+    /// the configured window, for any pulse train.
+    #[test]
+    fn preisach_state_bounded(pulses in prop::collection::vec(-5.0f64..5.0, 0..30)) {
+        let mut fe = Preisach::new(PreisachParams::default());
+        fe.apply_pulse_train(&pulses);
+        let p = fe.polarization();
+        prop_assert!((-1.0..=1.0).contains(&p));
+        let params = PreisachParams::default();
+        let lo = params.vth_mid - params.vth_window / 2.0;
+        let hi = params.vth_mid + params.vth_window / 2.0;
+        prop_assert!((lo - 1e-12..=hi + 1e-12).contains(&fe.vth()));
+    }
+
+    /// Saturating writes erase all history: any pulse train followed by a
+    /// strong positive pulse gives polarization +1.
+    #[test]
+    fn strong_write_erases_history(pulses in prop::collection::vec(-3.0f64..3.0, 0..20)) {
+        let mut fe = Preisach::new(PreisachParams::default());
+        fe.apply_pulse_train(&pulses);
+        fe.apply_voltage(10.0);
+        prop_assert_eq!(fe.polarization(), 1.0);
+    }
+
+    /// FeFET current is monotone non-decreasing in VG for any threshold
+    /// offset within ±5σ.
+    #[test]
+    fn fefet_current_monotone(delta in -0.2f64..0.2, state in prop::bool::ANY) {
+        let d = FeFet::new(
+            FeFetState::from_bit(state),
+            FeFetParams::default(),
+            delta,
+        );
+        let mut last = 0.0f64;
+        for k in 0..=40 {
+            let vg = k as f64 * 0.05;
+            let i = d.drain_current(vg);
+            prop_assert!(i >= last - 1e-18, "non-monotone at vg={vg}");
+            prop_assert!(i > 0.0);
+            last = i;
+        }
+    }
+
+    /// The 1FeFET1R selected-'1' current never exceeds the resistor-only
+    /// bound V/R and never drops below 60% of it for ±3σ devices.
+    #[test]
+    fn cell_current_clamped(
+        dvth in -0.12f64..0.12,
+        rfac in 0.76f64..1.24,
+    ) {
+        let params = CellParams::default();
+        let cell = OneFeFetOneR::new(
+            FeFetState::LowVth,
+            params,
+            DeviceSample { delta_vth: dvth, resistor_factor: rfac },
+        );
+        let i = cell.output_current(true, true);
+        let bound = params.v_dl_read / (params.resistance * rfac);
+        prop_assert!(i <= bound + 1e-18, "exceeds V/R bound");
+        prop_assert!(i >= 0.6 * bound, "far below clamp: {i} vs {bound}");
+    }
+
+    /// Deselected cells (WL or DL off) always carry (almost) no current.
+    #[test]
+    fn deselected_cells_leak_only(
+        dvth in -0.12f64..0.12,
+        rfac in 0.76f64..1.24,
+        bit in prop::bool::ANY,
+    ) {
+        let cell = OneFeFetOneR::new(
+            FeFetState::from_bit(bit),
+            CellParams::default(),
+            DeviceSample { delta_vth: dvth, resistor_factor: rfac },
+        );
+        prop_assert_eq!(cell.output_current(true, false), 0.0);
+        prop_assert!(cell.output_current(false, true) < 1e-9);
+    }
+
+    /// Variability sampling respects the configured spreads statistically
+    /// (loose 3-sigma-of-the-mean bound on batch means).
+    #[test]
+    fn variability_means_are_centred(seed in 0u64..1000) {
+        let v = VariabilityModel::paper();
+        let samples = v.sample_many(500, seed);
+        let mean_v: f64 = samples.iter().map(|s| s.delta_vth).sum::<f64>() / 500.0;
+        let mean_r: f64 = samples.iter().map(|s| s.resistor_factor).sum::<f64>() / 500.0;
+        prop_assert!(mean_v.abs() < 0.04 * 3.0 / (500f64).sqrt() * 2.0);
+        prop_assert!((mean_r - 1.0).abs() < 0.08 * 3.0 / (500f64).sqrt() * 2.0);
+    }
+}

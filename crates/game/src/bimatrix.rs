@@ -1,0 +1,396 @@
+//! Two-player games in strategic form.
+
+use crate::error::GameError;
+use crate::matrix::Matrix;
+use crate::strategy::MixedStrategy;
+use std::fmt;
+
+/// A two-player game in strategic form (paper Sec. 2.1).
+///
+/// The row player has `n` actions and payoff matrix `M` (`n x m`); the
+/// column player has `m` actions and payoff matrix `N` (`n x m`). Expected
+/// payoffs for strategies `(p, q)` are `f1 = pᵀ M q` and `f2 = pᵀ N q`
+/// (Eq. 2).
+///
+/// # Example
+///
+/// ```
+/// use cnash_game::{games, MixedStrategy};
+///
+/// # fn main() -> Result<(), cnash_game::GameError> {
+/// let g = games::battle_of_the_sexes();
+/// let p = MixedStrategy::pure(2, 0)?;
+/// let q = MixedStrategy::pure(2, 0)?;
+/// assert_eq!(g.payoffs(&p, &q)?, (2.0, 1.0));
+/// assert!(g.is_equilibrium(&p, &q, 1e-9));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BimatrixGame {
+    name: String,
+    m: Matrix,
+    n: Matrix,
+}
+
+impl BimatrixGame {
+    /// Creates a game from payoff matrices `M` (row player) and `N`
+    /// (column player). Both must be `n x m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::ShapeMismatch`] if the shapes differ.
+    pub fn new(name: impl Into<String>, m: Matrix, n: Matrix) -> Result<Self, GameError> {
+        if m.shape() != n.shape() {
+            return Err(GameError::ShapeMismatch {
+                left: m.shape(),
+                right: n.shape(),
+            });
+        }
+        Ok(Self {
+            name: name.into(),
+            m,
+            n,
+        })
+    }
+
+    /// Creates a zero-sum game (`N = −M`).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a valid matrix, but keeps the fallible signature for
+    /// symmetry with [`BimatrixGame::new`].
+    pub fn zero_sum(name: impl Into<String>, m: Matrix) -> Result<Self, GameError> {
+        let n = m.map(|x| -x);
+        Self::new(name, m, n)
+    }
+
+    /// Creates a symmetric game (`N = Mᵀ`); requires `M` square.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::ShapeMismatch`] if `M` is not square.
+    pub fn symmetric(name: impl Into<String>, m: Matrix) -> Result<Self, GameError> {
+        if m.rows() != m.cols() {
+            return Err(GameError::ShapeMismatch {
+                left: m.shape(),
+                right: (m.cols(), m.rows()),
+            });
+        }
+        let n = m.transposed();
+        Self::new(name, m, n)
+    }
+
+    /// Human-readable instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Row player's payoff matrix `M`.
+    pub fn row_payoffs(&self) -> &Matrix {
+        &self.m
+    }
+
+    /// Column player's payoff matrix `N`.
+    pub fn col_payoffs(&self) -> &Matrix {
+        &self.n
+    }
+
+    /// Number of row-player actions (`n`).
+    pub fn row_actions(&self) -> usize {
+        self.m.rows()
+    }
+
+    /// Number of column-player actions (`m`).
+    pub fn col_actions(&self) -> usize {
+        self.m.cols()
+    }
+
+    /// Expected payoffs `(f1, f2) = (pᵀ M q, pᵀ N q)` (Eq. 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::ShapeMismatch`] if the strategy lengths do not
+    /// match the action counts.
+    pub fn payoffs(&self, p: &MixedStrategy, q: &MixedStrategy) -> Result<(f64, f64), GameError> {
+        let f1 = self.m.bilinear(p.probs(), q.probs())?;
+        let f2 = self.n.bilinear(p.probs(), q.probs())?;
+        Ok((f1, f2))
+    }
+
+    /// Row player's payoff vector against `q`: `M q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::ShapeMismatch`] on a length mismatch.
+    pub fn row_payoff_vector(&self, q: &MixedStrategy) -> Result<Vec<f64>, GameError> {
+        self.m.mat_vec(q.probs())
+    }
+
+    /// Column player's payoff vector against `p`: `Nᵀ p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::ShapeMismatch`] on a length mismatch.
+    pub fn col_payoff_vector(&self, p: &MixedStrategy) -> Result<Vec<f64>, GameError> {
+        self.n.vec_mat(p.probs())
+    }
+
+    /// Best-response value for the row player against `q`: `max(M q)`
+    /// (this is the `α` of Eq. 7).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::ShapeMismatch`] on a length mismatch.
+    pub fn row_best_value(&self, q: &MixedStrategy) -> Result<f64, GameError> {
+        Ok(self
+            .row_payoff_vector(q)?
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max))
+    }
+
+    /// Best-response value for the column player against `p`: `max(Nᵀ p)`
+    /// (this is the `β` of Eq. 8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::ShapeMismatch`] on a length mismatch.
+    pub fn col_best_value(&self, p: &MixedStrategy) -> Result<f64, GameError> {
+        Ok(self
+            .col_payoff_vector(p)?
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max))
+    }
+
+    /// The MAX-QUBO objective of Eq. (9):
+    ///
+    /// `f(p,q) = max(Mq) + max(Nᵀp) − pᵀ(M+N)q`.
+    ///
+    /// Equals the sum of both players' regrets, so `f ≥ 0` always, with
+    /// `f = 0` exactly at Nash equilibria — this is why the transformation
+    /// is lossless.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::ShapeMismatch`] on a length mismatch.
+    pub fn nash_gap(&self, p: &MixedStrategy, q: &MixedStrategy) -> Result<f64, GameError> {
+        let (f1, f2) = self.payoffs(p, q)?;
+        Ok(self.row_best_value(q)? + self.col_best_value(p)? - f1 - f2)
+    }
+
+    /// Per-player regrets `(max(Mq) − pᵀMq, max(Nᵀp) − pᵀNq)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::ShapeMismatch`] on a length mismatch.
+    pub fn regrets(&self, p: &MixedStrategy, q: &MixedStrategy) -> Result<(f64, f64), GameError> {
+        let (f1, f2) = self.payoffs(p, q)?;
+        Ok((self.row_best_value(q)? - f1, self.col_best_value(p)? - f2))
+    }
+
+    /// `true` if `(p, q)` is an ε-Nash equilibrium: no player can gain more
+    /// than `eps` by unilateral deviation (Eq. 1 with slack `eps`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy lengths do not match the game (programming
+    /// error at call sites that constructed strategies for this game).
+    pub fn is_equilibrium(&self, p: &MixedStrategy, q: &MixedStrategy, eps: f64) -> bool {
+        let (r1, r2) = self
+            .regrets(p, q)
+            .expect("strategy lengths must match the game");
+        r1 <= eps && r2 <= eps
+    }
+
+    /// Pure best responses of the row player to `q` (argmax set of `Mq`
+    /// within `tol` of the maximum).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::ShapeMismatch`] on a length mismatch.
+    pub fn row_best_responses(
+        &self,
+        q: &MixedStrategy,
+        tol: f64,
+    ) -> Result<Vec<usize>, GameError> {
+        let v = self.row_payoff_vector(q)?;
+        let best = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Ok(v.iter()
+            .enumerate()
+            .filter(|(_, &x)| x >= best - tol)
+            .map(|(i, _)| i)
+            .collect())
+    }
+
+    /// Pure best responses of the column player to `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::ShapeMismatch`] on a length mismatch.
+    pub fn col_best_responses(
+        &self,
+        p: &MixedStrategy,
+        tol: f64,
+    ) -> Result<Vec<usize>, GameError> {
+        let v = self.col_payoff_vector(p)?;
+        let best = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Ok(v.iter()
+            .enumerate()
+            .filter(|(_, &x)| x >= best - tol)
+            .map(|(i, _)| i)
+            .collect())
+    }
+
+    /// Enumerates all pure-strategy equilibria by direct best-response
+    /// checking (`O(n·m·(n+m))`).
+    pub fn pure_equilibria(&self, eps: f64) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for i in 0..self.row_actions() {
+            for j in 0..self.col_actions() {
+                let col_j = self.m.col(j);
+                let best_row = col_j.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                if self.m[(i, j)] < best_row - eps {
+                    continue;
+                }
+                let row_i = self.n.row(i);
+                let best_col = row_i.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                if self.n[(i, j)] < best_col - eps {
+                    continue;
+                }
+                out.push((i, j));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for BimatrixGame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} ({}x{} bimatrix game)",
+            self.name,
+            self.row_actions(),
+            self.col_actions()
+        )?;
+        writeln!(f, "M =\n{}", self.m)?;
+        write!(f, "N =\n{}", self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bos() -> BimatrixGame {
+        let m = Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let n = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 2.0]]).unwrap();
+        BimatrixGame::new("BoS", m, n).unwrap()
+    }
+
+    #[test]
+    fn new_rejects_shape_mismatch() {
+        let m = Matrix::identity(2).unwrap();
+        let n = Matrix::identity(3).unwrap();
+        assert!(matches!(
+            BimatrixGame::new("bad", m, n),
+            Err(GameError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_sum_payoffs_cancel() {
+        let m = Matrix::from_rows(&[vec![1.0, -1.0], vec![-1.0, 1.0]]).unwrap();
+        let g = BimatrixGame::zero_sum("matching pennies", m).unwrap();
+        let p = MixedStrategy::uniform(2).unwrap();
+        let q = MixedStrategy::uniform(2).unwrap();
+        let (f1, f2) = g.payoffs(&p, &q).unwrap();
+        assert!((f1 + f2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_requires_square() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert!(BimatrixGame::symmetric("bad", m).is_err());
+    }
+
+    #[test]
+    fn payoffs_on_pure_profiles() {
+        let g = bos();
+        let p = MixedStrategy::pure(2, 1).unwrap();
+        let q = MixedStrategy::pure(2, 1).unwrap();
+        assert_eq!(g.payoffs(&p, &q).unwrap(), (1.0, 2.0));
+    }
+
+    #[test]
+    fn nash_gap_zero_at_pure_equilibrium() {
+        let g = bos();
+        let p = MixedStrategy::pure(2, 0).unwrap();
+        let q = MixedStrategy::pure(2, 0).unwrap();
+        assert!(g.nash_gap(&p, &q).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn nash_gap_zero_at_mixed_equilibrium() {
+        // BoS mixed NE: p = (2/3, 1/3), q = (1/3, 2/3).
+        let g = bos();
+        let p = MixedStrategy::new(vec![2.0 / 3.0, 1.0 / 3.0]).unwrap();
+        let q = MixedStrategy::new(vec![1.0 / 3.0, 2.0 / 3.0]).unwrap();
+        assert!(g.nash_gap(&p, &q).unwrap().abs() < 1e-12);
+        assert!(g.is_equilibrium(&p, &q, 1e-9));
+    }
+
+    #[test]
+    fn nash_gap_positive_off_equilibrium() {
+        let g = bos();
+        let p = MixedStrategy::pure(2, 0).unwrap();
+        let q = MixedStrategy::pure(2, 1).unwrap();
+        // (Opera, Football): both want to deviate.
+        let gap = g.nash_gap(&p, &q).unwrap();
+        assert!(gap > 0.5);
+        assert!(!g.is_equilibrium(&p, &q, 1e-9));
+    }
+
+    #[test]
+    fn nash_gap_equals_sum_of_regrets() {
+        let g = bos();
+        let p = MixedStrategy::new(vec![0.25, 0.75]).unwrap();
+        let q = MixedStrategy::new(vec![0.5, 0.5]).unwrap();
+        let (r1, r2) = g.regrets(&p, &q).unwrap();
+        assert!((g.nash_gap(&p, &q).unwrap() - (r1 + r2)).abs() < 1e-12);
+        assert!(r1 >= 0.0 && r2 >= 0.0);
+    }
+
+    #[test]
+    fn pure_equilibria_of_bos() {
+        let g = bos();
+        assert_eq!(g.pure_equilibria(1e-9), vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn best_responses() {
+        let g = bos();
+        let q = MixedStrategy::pure(2, 0).unwrap();
+        assert_eq!(g.row_best_responses(&q, 1e-9).unwrap(), vec![0]);
+        let p = MixedStrategy::pure(2, 1).unwrap();
+        assert_eq!(g.col_best_responses(&p, 1e-9).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn best_values_match_alpha_beta_definition() {
+        let g = bos();
+        let q = MixedStrategy::new(vec![0.5, 0.5]).unwrap();
+        // Mq = (1.0, 0.5) -> alpha = 1.0
+        assert_eq!(g.row_best_value(&q).unwrap(), 1.0);
+        let p = MixedStrategy::new(vec![0.5, 0.5]).unwrap();
+        // N^T p = (0.5, 1.0) -> beta = 1.0
+        assert_eq!(g.col_best_value(&p).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn display_mentions_name_and_size() {
+        let s = bos().to_string();
+        assert!(s.contains("BoS"));
+        assert!(s.contains("2x2"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Equilibrium records and solution classification.
+
+use crate::bimatrix::BimatrixGame;
+use crate::strategy::MixedStrategy;
+use std::fmt;
+
+/// Whether a strategy profile is pure or mixed (paper Sec. 2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Both players choose a single action deterministically.
+    Pure,
+    /// At least one player randomizes over several actions.
+    Mixed,
+}
+
+impl fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StrategyKind::Pure => write!(f, "pure"),
+            StrategyKind::Mixed => write!(f, "mixed"),
+        }
+    }
+}
+
+/// A (candidate) Nash equilibrium: a pair of strategies with its gap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Equilibrium {
+    /// Row player's strategy `p*`.
+    pub row: MixedStrategy,
+    /// Column player's strategy `q*`.
+    pub col: MixedStrategy,
+    /// Nash gap `f(p,q)` of Eq. (9) at this profile (≈ 0 for true NE).
+    pub gap: f64,
+}
+
+impl Equilibrium {
+    /// Builds an equilibrium record, computing the Nash gap from the game.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy lengths do not match the game.
+    pub fn from_profile(game: &BimatrixGame, row: MixedStrategy, col: MixedStrategy) -> Self {
+        let gap = game
+            .nash_gap(&row, &col)
+            .expect("strategy lengths must match the game");
+        Self { row, col, gap }
+    }
+
+    /// Classifies the profile as pure or mixed.
+    pub fn kind(&self, tol: f64) -> StrategyKind {
+        if self.row.is_pure(tol) && self.col.is_pure(tol) {
+            StrategyKind::Pure
+        } else {
+            StrategyKind::Mixed
+        }
+    }
+
+    /// `true` if this profile is the same equilibrium as `other` up to an
+    /// `L∞` distance of `tol` on both players' strategies.
+    pub fn same_profile(&self, other: &Equilibrium, tol: f64) -> bool {
+        self.row.linf_distance(&other.row) <= tol && self.col.linf_distance(&other.col) <= tol
+    }
+}
+
+impl fmt::Display for Equilibrium {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p*={}, q*={} (gap {:.2e})", self.row, self.col, self.gap)
+    }
+}
+
+/// Deduplicates a list of equilibria with an `L∞` profile tolerance,
+/// keeping the first representative of each cluster.
+pub fn dedup_equilibria(mut eqs: Vec<Equilibrium>, tol: f64) -> Vec<Equilibrium> {
+    let mut out: Vec<Equilibrium> = Vec::new();
+    for eq in eqs.drain(..) {
+        if !out.iter().any(|e| e.same_profile(&eq, tol)) {
+            out.push(eq);
+        }
+    }
+    out
+}
+
+/// Counts how many equilibria of `found` match some equilibrium of
+/// `targets` (each target counted at most once).
+pub fn coverage(found: &[Equilibrium], targets: &[Equilibrium], tol: f64) -> usize {
+    targets
+        .iter()
+        .filter(|t| found.iter().any(|f| f.same_profile(t, tol)))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::games;
+
+    #[test]
+    fn kind_classification() {
+        let g = games::battle_of_the_sexes();
+        let pure = Equilibrium::from_profile(
+            &g,
+            MixedStrategy::pure(2, 0).unwrap(),
+            MixedStrategy::pure(2, 0).unwrap(),
+        );
+        assert_eq!(pure.kind(1e-9), StrategyKind::Pure);
+
+        let mixed = Equilibrium::from_profile(
+            &g,
+            MixedStrategy::new(vec![2.0 / 3.0, 1.0 / 3.0]).unwrap(),
+            MixedStrategy::new(vec![1.0 / 3.0, 2.0 / 3.0]).unwrap(),
+        );
+        assert_eq!(mixed.kind(1e-9), StrategyKind::Mixed);
+        assert!(mixed.gap.abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_profile_tolerance() {
+        let g = games::battle_of_the_sexes();
+        let a = Equilibrium::from_profile(
+            &g,
+            MixedStrategy::new(vec![0.5, 0.5]).unwrap(),
+            MixedStrategy::new(vec![0.5, 0.5]).unwrap(),
+        );
+        let b = Equilibrium::from_profile(
+            &g,
+            MixedStrategy::new(vec![0.500001, 0.499999]).unwrap(),
+            MixedStrategy::new(vec![0.5, 0.5]).unwrap(),
+        );
+        assert!(a.same_profile(&b, 1e-3));
+        assert!(!a.same_profile(&b, 1e-9));
+    }
+
+    #[test]
+    fn dedup_collapses_duplicates() {
+        let g = games::battle_of_the_sexes();
+        let e = |p0: f64| {
+            Equilibrium::from_profile(
+                &g,
+                MixedStrategy::new(vec![p0, 1.0 - p0]).unwrap(),
+                MixedStrategy::new(vec![0.5, 0.5]).unwrap(),
+            )
+        };
+        let eqs = vec![e(0.5), e(0.5000001), e(0.9)];
+        let d = dedup_equilibria(eqs, 1e-3);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn coverage_counts_targets_once() {
+        let g = games::battle_of_the_sexes();
+        let pure0 = Equilibrium::from_profile(
+            &g,
+            MixedStrategy::pure(2, 0).unwrap(),
+            MixedStrategy::pure(2, 0).unwrap(),
+        );
+        let pure1 = Equilibrium::from_profile(
+            &g,
+            MixedStrategy::pure(2, 1).unwrap(),
+            MixedStrategy::pure(2, 1).unwrap(),
+        );
+        let found = vec![pure0.clone(), pure0.clone()];
+        let targets = vec![pure0, pure1];
+        assert_eq!(coverage(&found, &targets, 1e-9), 1);
+    }
+
+    #[test]
+    fn strategy_kind_display() {
+        assert_eq!(StrategyKind::Pure.to_string(), "pure");
+        assert_eq!(StrategyKind::Mixed.to_string(), "mixed");
+    }
+}

@@ -1,0 +1,111 @@
+//! Error type shared by the game-theory substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or manipulating games and strategies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GameError {
+    /// A matrix was constructed from data whose length does not match the
+    /// requested dimensions.
+    DimensionMismatch {
+        /// Number of rows requested.
+        rows: usize,
+        /// Number of columns requested.
+        cols: usize,
+        /// Length of the data actually supplied.
+        len: usize,
+    },
+    /// Two matrices (or a matrix and a vector) have incompatible shapes for
+    /// the requested operation.
+    ShapeMismatch {
+        /// Shape of the left operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// A probability vector does not describe a valid mixed strategy.
+    InvalidStrategy(String),
+    /// A payoff entry is not finite (NaN or infinite).
+    NonFinitePayoff {
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+    },
+    /// A game with an empty action set was requested.
+    EmptyActionSet,
+    /// A linear system had no (unique) solution.
+    SingularSystem,
+    /// A parameter was outside its documented domain.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for GameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GameError::DimensionMismatch { rows, cols, len } => write!(
+                f,
+                "matrix data of length {len} cannot fill {rows}x{cols} entries"
+            ),
+            GameError::ShapeMismatch { left, right } => write!(
+                f,
+                "incompatible shapes {}x{} and {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            GameError::InvalidStrategy(msg) => write!(f, "invalid mixed strategy: {msg}"),
+            GameError::NonFinitePayoff { row, col } => {
+                write!(f, "payoff at ({row}, {col}) is not finite")
+            }
+            GameError::EmptyActionSet => write!(f, "a player must have at least one action"),
+            GameError::SingularSystem => write!(f, "linear system is singular"),
+            GameError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = GameError::DimensionMismatch {
+            rows: 2,
+            cols: 3,
+            len: 5,
+        };
+        assert_eq!(
+            e.to_string(),
+            "matrix data of length 5 cannot fill 2x3 entries"
+        );
+    }
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = GameError::ShapeMismatch {
+            left: (2, 3),
+            right: (4, 1),
+        };
+        assert_eq!(e.to_string(), "incompatible shapes 2x3 and 4x1");
+    }
+
+    #[test]
+    fn display_invalid_strategy() {
+        let e = GameError::InvalidStrategy("sums to 0.5".into());
+        assert_eq!(e.to_string(), "invalid mixed strategy: sums to 0.5");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GameError>();
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(GameError::EmptyActionSet);
+        assert!(e.to_string().contains("at least one action"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Fictitious play (extension): a classic learning dynamic that provides
+//! a third, independent equilibrium-finding method.
+//!
+//! Each round, both players best-respond to the empirical mixture of the
+//! opponent's past play. The empirical mixtures converge to a Nash
+//! equilibrium for zero-sum games, 2×2 games, and potential/identical-
+//! interest games (Robinson 1951; Miyasawa 1961; Monderer–Shapley 1996).
+//! For general games convergence can fail (Shapley's famous 3×3 cycle),
+//! so the result reports the final Nash gap and lets the caller judge.
+
+use crate::bimatrix::BimatrixGame;
+use crate::error::GameError;
+use crate::strategy::MixedStrategy;
+
+/// Result of a fictitious-play run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FictitiousPlayResult {
+    /// Row player's empirical mixture.
+    pub row: MixedStrategy,
+    /// Column player's empirical mixture.
+    pub col: MixedStrategy,
+    /// Nash gap (Eq. 9 objective) of the final mixtures.
+    pub gap: f64,
+    /// Rounds played.
+    pub rounds: usize,
+}
+
+/// Runs `rounds` of simultaneous fictitious play from the given initial
+/// pure actions.
+///
+/// # Errors
+///
+/// Returns [`GameError::InvalidParameter`] if `rounds == 0` or the
+/// initial actions are out of range.
+///
+/// # Example
+///
+/// ```
+/// use cnash_game::{fictitious_play::fictitious_play, games};
+///
+/// # fn main() -> Result<(), cnash_game::GameError> {
+/// // Matching pennies is zero-sum: FP converges to the mixed NE.
+/// let g = games::matching_pennies();
+/// let r = fictitious_play(&g, 0, 0, 100_000)?;
+/// assert!(r.gap < 1e-2);
+/// assert!((r.row.prob(0) - 0.5).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fictitious_play(
+    game: &BimatrixGame,
+    init_row: usize,
+    init_col: usize,
+    rounds: usize,
+) -> Result<FictitiousPlayResult, GameError> {
+    let n = game.row_actions();
+    let m = game.col_actions();
+    if rounds == 0 {
+        return Err(GameError::InvalidParameter("zero rounds".into()));
+    }
+    if init_row >= n || init_col >= m {
+        return Err(GameError::InvalidParameter(
+            "initial action out of range".into(),
+        ));
+    }
+
+    // Cumulative action counts (start with the initial plays).
+    let mut row_counts = vec![0.0f64; n];
+    let mut col_counts = vec![0.0f64; m];
+    row_counts[init_row] = 1.0;
+    col_counts[init_col] = 1.0;
+
+    // Cumulative payoff vectors: row_payoff[i] = Σ_t M[i][a_col(t)],
+    // updated incrementally so each round is O(n + m).
+    let mut row_payoff: Vec<f64> = (0..n).map(|i| game.row_payoffs()[(i, init_col)]).collect();
+    let mut col_payoff: Vec<f64> = (0..m).map(|j| game.col_payoffs()[(init_row, j)]).collect();
+
+    for _ in 1..rounds {
+        let best_row = argmax(&row_payoff);
+        let best_col = argmax(&col_payoff);
+        row_counts[best_row] += 1.0;
+        col_counts[best_col] += 1.0;
+        for (i, rp) in row_payoff.iter_mut().enumerate() {
+            *rp += game.row_payoffs()[(i, best_col)];
+        }
+        for (j, cp) in col_payoff.iter_mut().enumerate() {
+            *cp += game.col_payoffs()[(best_row, j)];
+        }
+    }
+
+    let total = rounds as f64;
+    let row = MixedStrategy::new(row_counts.iter().map(|c| c / total).collect())?;
+    let col = MixedStrategy::new(col_counts.iter().map(|c| c / total).collect())?;
+    let gap = game.nash_gap(&row, &col)?;
+    Ok(FictitiousPlayResult {
+        row,
+        col,
+        gap,
+        rounds,
+    })
+}
+
+fn argmax(v: &[f64]) -> usize {
+    let mut best = 0;
+    for (k, &x) in v.iter().enumerate() {
+        if x > v[best] {
+            best = k;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::games;
+
+    #[test]
+    fn converges_on_matching_pennies() {
+        let g = games::matching_pennies();
+        let r = fictitious_play(&g, 0, 0, 200_000).unwrap();
+        assert!(r.gap < 5e-3, "gap {}", r.gap);
+        assert!((r.row.prob(0) - 0.5).abs() < 0.01);
+        assert!((r.col.prob(0) - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn converges_on_rock_paper_scissors() {
+        let g = games::rock_paper_scissors();
+        let r = fictitious_play(&g, 0, 1, 300_000).unwrap();
+        assert!(r.gap < 1e-2, "gap {}", r.gap);
+        for k in 0..3 {
+            assert!((r.row.prob(k) - 1.0 / 3.0).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn finds_pure_equilibrium_of_prisoners_dilemma() {
+        let g = games::prisoners_dilemma();
+        let r = fictitious_play(&g, 0, 0, 10_000).unwrap();
+        assert!(r.gap < 1e-3);
+        assert_eq!(r.row.pure_action(0.01), Some(1));
+    }
+
+    #[test]
+    fn coordination_reaches_an_equilibrium() {
+        let g = games::coordination(3).unwrap();
+        let r = fictitious_play(&g, 2, 2, 10_000).unwrap();
+        assert!(r.gap < 1e-6);
+        assert_eq!(r.row.pure_action(0.01), Some(2));
+    }
+
+    #[test]
+    fn agrees_with_enumeration_on_bos() {
+        // FP on BoS converges to one of the enumerated equilibria.
+        let g = games::battle_of_the_sexes();
+        let truth = crate::support_enum::enumerate_equilibria(&g, 1e-9);
+        let r = fictitious_play(&g, 0, 0, 100_000).unwrap();
+        assert!(r.gap < 1e-2);
+        assert!(truth.iter().any(|e| {
+            e.row.linf_distance(&r.row) < 0.02 && e.col.linf_distance(&r.col) < 0.02
+        }));
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let g = games::battle_of_the_sexes();
+        assert!(fictitious_play(&g, 0, 0, 0).is_err());
+        assert!(fictitious_play(&g, 2, 0, 10).is_err());
+        assert!(fictitious_play(&g, 0, 2, 10).is_err());
+    }
+
+    #[test]
+    fn rounds_recorded() {
+        let g = games::stag_hunt();
+        let r = fictitious_play(&g, 0, 0, 500).unwrap();
+        assert_eq!(r.rounds, 500);
+    }
+}

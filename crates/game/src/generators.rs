@@ -1,0 +1,173 @@
+//! Seeded random game generators for scaling and robustness studies.
+
+use crate::bimatrix::BimatrixGame;
+use crate::error::GameError;
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates a random bimatrix game with integer payoffs drawn uniformly
+/// from `0..=max_payoff`.
+///
+/// Integer payoffs keep the game exactly representable on the C-Nash
+/// crossbar (each element needs at most `max_payoff` unary cells).
+///
+/// # Errors
+///
+/// Returns [`GameError::EmptyActionSet`] if either action count is zero and
+/// [`GameError::InvalidParameter`] if `max_payoff == 0`.
+///
+/// # Example
+///
+/// ```
+/// use cnash_game::generators::random_integer_game;
+///
+/// # fn main() -> Result<(), cnash_game::GameError> {
+/// let g = random_integer_game(4, 4, 5, 42)?;
+/// assert_eq!(g.row_actions(), 4);
+/// assert!(g.row_payoffs().is_nonneg_integer(1e-9));
+/// # Ok(())
+/// # }
+/// ```
+pub fn random_integer_game(
+    rows: usize,
+    cols: usize,
+    max_payoff: u32,
+    seed: u64,
+) -> Result<BimatrixGame, GameError> {
+    if rows == 0 || cols == 0 {
+        return Err(GameError::EmptyActionSet);
+    }
+    if max_payoff == 0 {
+        return Err(GameError::InvalidParameter(
+            "max_payoff must be positive".into(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let draw = |rng: &mut StdRng| -> Vec<f64> {
+        (0..rows * cols)
+            .map(|_| rng.random_range(0..=max_payoff) as f64)
+            .collect()
+    };
+    let m = Matrix::new(rows, cols, draw(&mut rng))?;
+    let n = Matrix::new(rows, cols, draw(&mut rng))?;
+    BimatrixGame::new(format!("random-{rows}x{cols}-seed{seed}"), m, n)
+}
+
+/// Generates a random *coordination-flavoured* game: a diagonal coordination
+/// backbone plus integer noise of amplitude `noise`, producing games with
+/// several pure and mixed equilibria (useful for coverage studies).
+///
+/// # Errors
+///
+/// Returns [`GameError::EmptyActionSet`] if `n == 0`.
+pub fn random_coordination_game(
+    n: usize,
+    diag: u32,
+    noise: u32,
+    seed: u64,
+) -> Result<BimatrixGame, GameError> {
+    if n == 0 {
+        return Err(GameError::EmptyActionSet);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Matrix::filled(n, n, 0.0)?;
+    let mut b = Matrix::filled(n, n, 0.0)?;
+    for i in 0..n {
+        for j in 0..n {
+            let bonus = if i == j { diag as f64 } else { 0.0 };
+            m[(i, j)] = bonus + rng.random_range(0..=noise) as f64;
+            b[(i, j)] = bonus + rng.random_range(0..=noise) as f64;
+        }
+    }
+    BimatrixGame::new(format!("coord-{n}-seed{seed}"), m, b)
+}
+
+/// Generates a random zero-sum game with integer payoffs in
+/// `[-max_payoff, max_payoff]`.
+///
+/// # Errors
+///
+/// Returns [`GameError::EmptyActionSet`] if either dimension is zero.
+pub fn random_zero_sum_game(
+    rows: usize,
+    cols: usize,
+    max_payoff: u32,
+    seed: u64,
+) -> Result<BimatrixGame, GameError> {
+    if rows == 0 || cols == 0 {
+        return Err(GameError::EmptyActionSet);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let span = max_payoff as i64;
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|_| rng.random_range(-span..=span) as f64)
+        .collect();
+    let m = Matrix::new(rows, cols, data)?;
+    BimatrixGame::zero_sum(format!("zerosum-{rows}x{cols}-seed{seed}"), m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::support_enum::enumerate_equilibria;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = random_integer_game(3, 3, 9, 7).unwrap();
+        let b = random_integer_game(3, 3, 9, 7).unwrap();
+        assert_eq!(a.row_payoffs(), b.row_payoffs());
+        assert_eq!(a.col_payoffs(), b.col_payoffs());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_integer_game(4, 4, 9, 1).unwrap();
+        let b = random_integer_game(4, 4, 9, 2).unwrap();
+        assert_ne!(a.row_payoffs(), b.row_payoffs());
+    }
+
+    #[test]
+    fn payoffs_in_range() {
+        let g = random_integer_game(5, 3, 4, 11).unwrap();
+        assert!(g.row_payoffs().min() >= 0.0);
+        assert!(g.row_payoffs().max() <= 4.0);
+        assert!(g.row_payoffs().is_nonneg_integer(1e-9));
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(random_integer_game(0, 3, 4, 0).is_err());
+        assert!(random_integer_game(3, 3, 0, 0).is_err());
+        assert!(random_coordination_game(0, 1, 1, 0).is_err());
+        assert!(random_zero_sum_game(2, 0, 1, 0).is_err());
+    }
+
+    #[test]
+    fn random_games_have_equilibria() {
+        // Nash's theorem: every finite game has at least one NE; the
+        // enumerator must find one for nondegenerate random instances.
+        for seed in 0..5 {
+            let g = random_integer_game(3, 3, 20, seed).unwrap();
+            let eqs = enumerate_equilibria(&g, 1e-9);
+            assert!(!eqs.is_empty(), "seed {seed} found no equilibria");
+        }
+    }
+
+    #[test]
+    fn coordination_games_have_multiple_equilibria() {
+        let g = random_coordination_game(3, 10, 2, 3).unwrap();
+        let eqs = enumerate_equilibria(&g, 1e-9);
+        assert!(eqs.len() >= 3, "expected several equilibria, got {}", eqs.len());
+    }
+
+    #[test]
+    fn zero_sum_is_zero_sum() {
+        let g = random_zero_sum_game(3, 4, 5, 9).unwrap();
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(g.row_payoffs()[(i, j)], -g.col_payoffs()[(i, j)]);
+            }
+        }
+    }
+}

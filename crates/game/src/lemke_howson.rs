@@ -1,0 +1,273 @@
+//! Lemke–Howson path-following computation of one Nash equilibrium.
+//!
+//! Used as an independent cross-check of [`crate::support_enum`]: the two
+//! algorithms share no code, so agreement between them validates the
+//! ground-truth equilibrium sets used throughout the evaluation.
+//!
+//! The implementation follows the classic complementary-pivoting scheme on
+//! two tableaux (one per player) with floating-point arithmetic and a
+//! minimum-ratio test; it assumes a nondegenerate game and bails out with
+//! [`GameError::SingularSystem`] if pivoting cycles.
+
+use crate::bimatrix::BimatrixGame;
+use crate::equilibrium::Equilibrium;
+use crate::error::GameError;
+use crate::strategy::MixedStrategy;
+
+/// Maximum pivot steps before declaring a cycle (degenerate game).
+const MAX_PIVOTS: usize = 10_000;
+
+/// A pivoting tableau representing `basic = rhs − coeffs · nonbasic`.
+///
+/// Column layout: `n + m` variable columns (one per label) plus a trailing
+/// right-hand-side column. `basis[r]` is the label of the basic variable of
+/// row `r`.
+#[derive(Debug, Clone)]
+struct Tableau {
+    /// `rows x (labels + 1)` coefficients; last column is the RHS.
+    t: Vec<Vec<f64>>,
+    basis: Vec<usize>,
+}
+
+impl Tableau {
+    /// Pivots the variable with label `entering` into the basis.
+    /// Returns the label that leaves, or `None` if unbounded/singular.
+    fn pivot(&mut self, entering: usize) -> Option<usize> {
+        // Minimum ratio test over rows with positive entering coefficient.
+        let mut best_row = None;
+        let mut best_ratio = f64::INFINITY;
+        for (r, row) in self.t.iter().enumerate() {
+            let coef = row[entering];
+            if coef > 1e-12 {
+                let rhs = *row.last().expect("rhs column");
+                let ratio = rhs / coef;
+                if ratio < best_ratio - 1e-12
+                    || (ratio < best_ratio + 1e-12
+                        && best_row.is_none_or(|br: usize| self.basis[r] < self.basis[br]))
+                {
+                    best_ratio = ratio;
+                    best_row = Some(r);
+                }
+            }
+        }
+        let r = best_row?;
+        let leaving = self.basis[r];
+        let pivot = self.t[r][entering];
+
+        // Normalise the pivot row.
+        for x in &mut self.t[r] {
+            *x /= pivot;
+        }
+        // Eliminate the entering column from all other rows.
+        for rr in 0..self.t.len() {
+            if rr == r {
+                continue;
+            }
+            let factor = self.t[rr][entering];
+            if factor != 0.0 {
+                for c in 0..self.t[rr].len() {
+                    self.t[rr][c] -= factor * self.t[r][c];
+                }
+            }
+        }
+        self.basis[r] = entering;
+        Some(leaving)
+    }
+
+    /// Value of the basic variable with label `label` (0 if nonbasic).
+    fn value(&self, label: usize) -> f64 {
+        self.basis
+            .iter()
+            .position(|&b| b == label)
+            .map(|r| *self.t[r].last().expect("rhs column"))
+            .unwrap_or(0.0)
+    }
+}
+
+/// Runs Lemke–Howson from the artificial equilibrium, dropping `label`
+/// (`0..n` selects a row action, `n..n+m` a column action).
+///
+/// # Errors
+///
+/// * [`GameError::InvalidParameter`] if `label >= n + m`,
+/// * [`GameError::SingularSystem`] if pivoting fails to terminate
+///   (degenerate game) or a tableau becomes unbounded.
+///
+/// # Example
+///
+/// ```
+/// use cnash_game::{games, lemke_howson::lemke_howson};
+///
+/// # fn main() -> Result<(), cnash_game::GameError> {
+/// let g = games::battle_of_the_sexes();
+/// let eq = lemke_howson(&g, 0)?;
+/// assert!(g.is_equilibrium(&eq.row, &eq.col, 1e-7));
+/// # Ok(())
+/// # }
+/// ```
+pub fn lemke_howson(game: &BimatrixGame, label: usize) -> Result<Equilibrium, GameError> {
+    let n = game.row_actions();
+    let m = game.col_actions();
+    if label >= n + m {
+        return Err(GameError::InvalidParameter(format!(
+            "label {label} out of range for {n}+{m} labels"
+        )));
+    }
+
+    // Shift payoffs strictly positive (invariant under LH).
+    let shift = 1.0 - game.row_payoffs().min().min(game.col_payoffs().min());
+    let a = game.row_payoffs().map(|x| x + shift); // n x m, row player
+    let b = game.col_payoffs().map(|x| x + shift); // n x m, col player
+
+    let labels = n + m;
+
+    // Row tableau: slacks r_i (labels 0..n) basic; r = 1 − A y,
+    // nonbasic y_j carry labels n..n+m.
+    let row_tab = Tableau {
+        t: (0..n)
+            .map(|i| {
+                let mut row = vec![0.0; labels + 1];
+                row[i] = 1.0;
+                for j in 0..m {
+                    row[n + j] = a[(i, j)];
+                }
+                row[labels] = 1.0;
+                row
+            })
+            .collect(),
+        basis: (0..n).collect(),
+    };
+
+    // Column tableau: slacks s_j (labels n..n+m) basic; s = 1 − Bᵀ x,
+    // nonbasic x_i carry labels 0..n.
+    let col_tab = Tableau {
+        t: (0..m)
+            .map(|j| {
+                let mut row = vec![0.0; labels + 1];
+                row[n + j] = 1.0;
+                for i in 0..n {
+                    row[i] = b[(i, j)];
+                }
+                row[labels] = 1.0;
+                row
+            })
+            .collect(),
+        basis: (n..n + m).collect(),
+    };
+
+    let mut tabs = [row_tab, col_tab];
+    // x variables (labels 0..n) enter the *column* tableau; y variables
+    // (labels n..) enter the *row* tableau.
+    let tableau_for = |l: usize| if l < n { 1 } else { 0 };
+
+    let mut entering = label;
+    for _ in 0..MAX_PIVOTS {
+        let t = tableau_for(entering);
+        let leaving = tabs[t].pivot(entering).ok_or(GameError::SingularSystem)?;
+        if leaving == label {
+            // Complementarity restored: extract the equilibrium.
+            let x: Vec<f64> = (0..n).map(|i| tabs[1].value(i)).collect();
+            let y: Vec<f64> = (0..m).map(|j| tabs[0].value(n + j)).collect();
+            let norm = |v: Vec<f64>| -> Result<MixedStrategy, GameError> {
+                let s: f64 = v.iter().sum();
+                if s <= 0.0 {
+                    return Err(GameError::SingularSystem);
+                }
+                MixedStrategy::new(v.into_iter().map(|x| (x / s).max(0.0)).collect())
+            };
+            let p = norm(x)?;
+            let q = norm(y)?;
+            return Ok(Equilibrium::from_profile(game, p, q));
+        }
+        entering = leaving;
+    }
+    Err(GameError::SingularSystem)
+}
+
+/// Runs Lemke–Howson from every starting label and deduplicates the
+/// results — a cheap way to find *several* (not necessarily all)
+/// equilibria, used to cross-check support enumeration.
+pub fn lemke_howson_all_labels(game: &BimatrixGame) -> Vec<Equilibrium> {
+    let labels = game.row_actions() + game.col_actions();
+    let found: Vec<Equilibrium> = (0..labels)
+        .filter_map(|l| lemke_howson(game, l).ok())
+        .filter(|e| game.is_equilibrium(&e.row, &e.col, 1e-7))
+        .collect();
+    crate::equilibrium::dedup_equilibria(found, 1e-6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::games;
+    use crate::support_enum::enumerate_equilibria;
+
+    #[test]
+    fn finds_equilibrium_of_bos_from_every_label() {
+        let g = games::battle_of_the_sexes();
+        for l in 0..4 {
+            let eq = lemke_howson(&g, l).unwrap();
+            assert!(
+                g.is_equilibrium(&eq.row, &eq.col, 1e-7),
+                "label {l} gave non-equilibrium {eq}"
+            );
+        }
+    }
+
+    #[test]
+    fn finds_matching_pennies_mixed() {
+        let g = games::matching_pennies();
+        let eq = lemke_howson(&g, 0).unwrap();
+        assert!((eq.row.prob(0) - 0.5).abs() < 1e-9);
+        assert!((eq.col.prob(0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finds_prisoners_dilemma_defect() {
+        let g = games::prisoners_dilemma();
+        let eq = lemke_howson(&g, 0).unwrap();
+        assert_eq!(eq.row.pure_action(1e-9), Some(1));
+        assert_eq!(eq.col.pure_action(1e-9), Some(1));
+    }
+
+    #[test]
+    fn rejects_out_of_range_label() {
+        let g = games::battle_of_the_sexes();
+        assert!(matches!(
+            lemke_howson(&g, 4),
+            Err(GameError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn agrees_with_support_enumeration() {
+        // Every LH solution must appear in the enumerated set.
+        for g in [
+            games::battle_of_the_sexes(),
+            games::stag_hunt(),
+            games::hawk_dove(),
+            games::matching_pennies(),
+        ] {
+            let all = enumerate_equilibria(&g, 1e-9);
+            for eq in lemke_howson_all_labels(&g) {
+                assert!(
+                    all.iter().any(|t| t.same_profile(&eq, 1e-5)),
+                    "{}: LH found {eq} missing from enumeration",
+                    g.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_labels_dedup_nonempty() {
+        let g = games::bird_game();
+        let eqs = lemke_howson_all_labels(&g);
+        assert!(!eqs.is_empty());
+        for w in 0..eqs.len() {
+            for v in w + 1..eqs.len() {
+                assert!(!eqs[w].same_profile(&eqs[v], 1e-6));
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Small dense linear-system solver (Gaussian elimination with partial
+//! pivoting).
+//!
+//! Support enumeration repeatedly solves systems of the form
+//! `A x = b` for supports of size ≤ n, where n is a player's action count —
+//! tiny systems, so a straightforward `O(n³)` elimination is the right tool.
+
+use crate::error::GameError;
+use crate::matrix::Matrix;
+
+/// Solves `A x = b` for square `A` using Gaussian elimination with partial
+/// pivoting.
+///
+/// # Errors
+///
+/// Returns [`GameError::ShapeMismatch`] if `A` is not square or `b` has the
+/// wrong length, and [`GameError::SingularSystem`] if a pivot smaller than
+/// `1e-12` (relative to the largest row entry) is encountered.
+///
+/// # Example
+///
+/// ```
+/// use cnash_game::{linalg::solve, Matrix};
+///
+/// # fn main() -> Result<(), cnash_game::GameError> {
+/// let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]])?;
+/// let x = solve(&a, &[3.0, 4.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, GameError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(GameError::ShapeMismatch {
+            left: a.shape(),
+            right: a.shape(),
+        });
+    }
+    if b.len() != n {
+        return Err(GameError::ShapeMismatch {
+            left: a.shape(),
+            right: (b.len(), 1),
+        });
+    }
+
+    // Augmented system in a mutable working copy.
+    let mut w: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let mut row = a.row(i).to_vec();
+            row.push(b[i]);
+            row
+        })
+        .collect();
+
+    for col in 0..n {
+        // Partial pivot: pick the row with the largest magnitude in `col`.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                w[i][col]
+                    .abs()
+                    .partial_cmp(&w[j][col].abs())
+                    .expect("pivot magnitudes are finite")
+            })
+            .expect("non-empty pivot range");
+        let scale = w[pivot_row]
+            .iter()
+            .take(n)
+            .fold(0.0f64, |acc, &x| acc.max(x.abs()))
+            .max(1.0);
+        if w[pivot_row][col].abs() < 1e-12 * scale {
+            return Err(GameError::SingularSystem);
+        }
+        w.swap(col, pivot_row);
+
+        for row in col + 1..n {
+            let factor = w[row][col] / w[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..=n {
+                w[row][k] -= factor * w[col][k];
+            }
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = w[row][n];
+        for k in row + 1..n {
+            acc -= w[row][k] * x[k];
+        }
+        x[row] = acc / w[row][row];
+    }
+    Ok(x)
+}
+
+/// Computes the residual `‖A x − b‖∞` of a candidate solution.
+///
+/// # Errors
+///
+/// Returns [`GameError::ShapeMismatch`] if shapes are inconsistent.
+pub fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> Result<f64, GameError> {
+    let ax = a.mat_vec(x)?;
+    if ax.len() != b.len() {
+        return Err(GameError::ShapeMismatch {
+            left: (ax.len(), 1),
+            right: (b.len(), 1),
+        });
+    }
+    Ok(ax
+        .iter()
+        .zip(b)
+        .map(|(p, q)| (p - q).abs())
+        .fold(0.0, f64::max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = Matrix::identity(4).unwrap();
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(solve(&a, &b).unwrap(), b.to_vec());
+    }
+
+    #[test]
+    fn solves_with_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let x = solve(&a, &[5.0, 7.0]).unwrap();
+        assert_eq!(x, vec![7.0, 5.0]);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert_eq!(solve(&a, &[1.0, 2.0]), Err(GameError::SingularSystem));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert!(matches!(
+            solve(&a, &[1.0, 2.0]),
+            Err(GameError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_rhs_len() {
+        let a = Matrix::identity(2).unwrap();
+        assert!(matches!(
+            solve(&a, &[1.0]),
+            Err(GameError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn residual_of_exact_solution_is_zero() {
+        let a = Matrix::from_rows(&[vec![3.0, 1.0, -1.0], vec![1.0, 4.0, 1.0], vec![2.0, 1.0, 5.0]])
+            .unwrap();
+        let b = [2.0, 12.0, 10.0];
+        let x = solve(&a, &b).unwrap();
+        assert!(residual(&a, &x, &b).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn random_system_round_trip() {
+        // Deterministic pseudo-random coefficients; verify A·solve(A,b) = b.
+        let n = 6;
+        let mut seed = 42u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let data: Vec<f64> = (0..n * n).map(|_| next() * 10.0).collect();
+        let a = Matrix::new(n, n, data).unwrap();
+        let b: Vec<f64> = (0..n).map(|_| next() * 10.0).collect();
+        match solve(&a, &b) {
+            Ok(x) => assert!(residual(&a, &x, &b).unwrap() < 1e-8),
+            Err(GameError::SingularSystem) => (), // astronomically unlikely but legal
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+}

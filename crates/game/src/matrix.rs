@@ -1,0 +1,444 @@
+//! Dense row-major matrix used for payoff tables.
+//!
+//! The C-Nash pipeline only needs small dense matrices (payoff tables are at
+//! most tens of actions per side), so this type favours clarity and
+//! validation over raw performance.
+
+use crate::error::GameError;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f64` entries.
+///
+/// # Example
+///
+/// ```
+/// use cnash_game::Matrix;
+///
+/// # fn main() -> Result<(), cnash_game::GameError> {
+/// let m = Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 1.0]])?;
+/// assert_eq!(m[(0, 0)], 2.0);
+/// assert_eq!(m.mat_vec(&[1.0, 1.0])?, vec![2.0, 1.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::DimensionMismatch`] if `data.len() != rows*cols`,
+    /// [`GameError::EmptyActionSet`] if either dimension is zero, and
+    /// [`GameError::NonFinitePayoff`] if any entry is NaN or infinite.
+    pub fn new(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, GameError> {
+        if rows == 0 || cols == 0 {
+            return Err(GameError::EmptyActionSet);
+        }
+        if data.len() != rows * cols {
+            return Err(GameError::DimensionMismatch {
+                rows,
+                cols,
+                len: data.len(),
+            });
+        }
+        for (k, v) in data.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(GameError::NonFinitePayoff {
+                    row: k / cols,
+                    col: k % cols,
+                });
+            }
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::EmptyActionSet`] for an empty row set and
+    /// [`GameError::DimensionMismatch`] if the rows are ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, GameError> {
+        if rows.is_empty() {
+            return Err(GameError::EmptyActionSet);
+        }
+        let cols = rows[0].len();
+        for r in rows {
+            if r.len() != cols {
+                return Err(GameError::DimensionMismatch {
+                    rows: rows.len(),
+                    cols,
+                    len: r.len(),
+                });
+            }
+        }
+        let data: Vec<f64> = rows.iter().flatten().copied().collect();
+        Self::new(rows.len(), cols, data)
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::EmptyActionSet`] if either dimension is zero.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Result<Self, GameError> {
+        Self::new(rows, cols, vec![value; rows * cols])
+    }
+
+    /// Creates an `n x n` identity matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::EmptyActionSet`] if `n == 0`.
+    pub fn identity(n: usize) -> Result<Self, GameError> {
+        let mut m = Self::filled(n, n, 0.0)?;
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        Ok(m)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrow the row-major backing data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Returns row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Returns column `j` as an owned vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Returns the transposed matrix.
+    pub fn transposed(&self) -> Matrix {
+        let mut data = vec![0.0; self.data.len()];
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                data[j * self.rows + i] = self[(i, j)];
+            }
+        }
+        Matrix {
+            rows: self.cols,
+            cols: self.rows,
+            data,
+        }
+    }
+
+    /// Matrix-vector product `A v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::ShapeMismatch`] if `v.len() != cols`.
+    pub fn mat_vec(&self, v: &[f64]) -> Result<Vec<f64>, GameError> {
+        if v.len() != self.cols {
+            return Err(GameError::ShapeMismatch {
+                left: self.shape(),
+                right: (v.len(), 1),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Vector-matrix product `uᵀ A`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::ShapeMismatch`] if `u.len() != rows`.
+    pub fn vec_mat(&self, u: &[f64]) -> Result<Vec<f64>, GameError> {
+        if u.len() != self.rows {
+            return Err(GameError::ShapeMismatch {
+                left: (1, u.len()),
+                right: self.shape(),
+            });
+        }
+        Ok((0..self.cols)
+            .map(|j| (0..self.rows).map(|i| u[i] * self[(i, j)]).sum())
+            .collect())
+    }
+
+    /// Bilinear form `uᵀ A v` — the expected-payoff kernel of Eq. (2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::ShapeMismatch`] if the vector lengths do not
+    /// match the matrix shape.
+    pub fn bilinear(&self, u: &[f64], v: &[f64]) -> Result<f64, GameError> {
+        let av = self.mat_vec(v)?;
+        if u.len() != self.rows {
+            return Err(GameError::ShapeMismatch {
+                left: (1, u.len()),
+                right: self.shape(),
+            });
+        }
+        Ok(u.iter().zip(&av).map(|(a, b)| a * b).sum())
+    }
+
+    /// Element-wise sum `A + B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::ShapeMismatch`] if the shapes differ.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix, GameError> {
+        if self.shape() != other.shape() {
+            return Err(GameError::ShapeMismatch {
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Returns a copy with every entry mapped through `f`.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Minimum entry.
+    pub fn min(&self) -> f64 {
+        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum entry.
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// `true` if every entry is (approximately) a non-negative integer.
+    pub fn is_nonneg_integer(&self, tol: f64) -> bool {
+        self.data
+            .iter()
+            .all(|&x| x >= -tol && (x - x.round()).abs() <= tol)
+    }
+
+    /// Maximum absolute difference between two equally-shaped matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in diff");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:>8.3}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m22() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap()
+    }
+
+    #[test]
+    fn new_validates_length() {
+        assert!(matches!(
+            Matrix::new(2, 2, vec![1.0; 3]),
+            Err(GameError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn new_rejects_empty() {
+        assert_eq!(Matrix::new(0, 2, vec![]), Err(GameError::EmptyActionSet));
+        assert_eq!(Matrix::new(2, 0, vec![]), Err(GameError::EmptyActionSet));
+    }
+
+    #[test]
+    fn new_rejects_nan() {
+        assert!(matches!(
+            Matrix::new(1, 2, vec![1.0, f64::NAN]),
+            Err(GameError::NonFinitePayoff { row: 0, col: 1 })
+        ));
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(matches!(
+            Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]),
+            Err(GameError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn indexing_round_trip() {
+        let mut m = m22();
+        m[(1, 0)] = 9.0;
+        assert_eq!(m[(1, 0)], 9.0);
+        assert_eq!(m.row(1), &[9.0, 4.0]);
+        assert_eq!(m.col(0), vec![1.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn indexing_out_of_bounds_panics() {
+        let m = m22();
+        let _ = m[(2, 0)];
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let t = m.transposed();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transposed(), m);
+    }
+
+    #[test]
+    fn mat_vec_matches_hand_computation() {
+        let m = m22();
+        assert_eq!(m.mat_vec(&[1.0, 0.5]).unwrap(), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn vec_mat_matches_transpose_mat_vec() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let u = [0.25, 0.75];
+        assert_eq!(m.vec_mat(&u).unwrap(), m.transposed().mat_vec(&u).unwrap());
+    }
+
+    #[test]
+    fn bilinear_matches_expansion() {
+        let m = m22();
+        let v = m.bilinear(&[0.5, 0.5], &[0.5, 0.5]).unwrap();
+        // 0.25*(1+2+3+4)
+        assert!((v - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shape_errors_reported() {
+        let m = m22();
+        assert!(matches!(
+            m.mat_vec(&[1.0]),
+            Err(GameError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            m.vec_mat(&[1.0, 2.0, 3.0]),
+            Err(GameError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            m.bilinear(&[1.0], &[1.0, 0.0]),
+            Err(GameError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn add_and_map() {
+        let m = m22();
+        let s = m.add(&m).unwrap();
+        assert_eq!(s[(1, 1)], 8.0);
+        let neg = m.map(|x| -x);
+        assert_eq!(neg[(0, 0)], -1.0);
+    }
+
+    #[test]
+    fn min_max_and_integer_check() {
+        let m = m22();
+        assert_eq!(m.min(), 1.0);
+        assert_eq!(m.max(), 4.0);
+        assert!(m.is_nonneg_integer(1e-9));
+        assert!(!m.map(|x| x - 1.5).is_nonneg_integer(1e-9));
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let id = Matrix::identity(3).unwrap();
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(id.mat_vec(&v).unwrap(), v.to_vec());
+    }
+
+    #[test]
+    fn display_contains_entries() {
+        let s = m22().to_string();
+        assert!(s.contains("1.000"));
+        assert!(s.contains("4.000"));
+    }
+}

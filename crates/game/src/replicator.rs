@@ -1,0 +1,230 @@
+//! Discrete-time replicator dynamics (extension).
+//!
+//! The Bird Game is an evolutionary-games classic; replicator dynamics is
+//! *the* evolutionary lens on it: strategy shares grow in proportion to
+//! their payoff advantage over the population mean. Interior rest points
+//! of the dynamic are exactly the interior Nash equilibria, giving us yet
+//! another independent cross-check of the ground-truth solvers, plus a
+//! stability classification (an unstable mixed NE is exactly the kind SA
+//! can represent but population learning cannot reach).
+
+use crate::bimatrix::BimatrixGame;
+use crate::error::GameError;
+use crate::strategy::MixedStrategy;
+
+/// One trajectory of two-population replicator dynamics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicatorResult {
+    /// Row population's final mixture.
+    pub row: MixedStrategy,
+    /// Column population's final mixture.
+    pub col: MixedStrategy,
+    /// Nash gap at the final point.
+    pub gap: f64,
+    /// Steps taken.
+    pub steps: usize,
+    /// `true` if the trajectory moved less than `tol` in the final step.
+    pub converged: bool,
+}
+
+/// Runs discrete-time (Maynard Smith form) two-population replicator
+/// dynamics from `(p0, q0)` for at most `max_steps`, stopping early when
+/// the per-step movement falls below `tol`.
+///
+/// Payoffs are shifted positive internally (replicator ratios require
+/// positive fitness); the dynamic is invariant to the shift.
+///
+/// # Errors
+///
+/// Returns [`GameError::ShapeMismatch`] if the strategies do not match
+/// the game, or [`GameError::InvalidParameter`] for a zero step budget.
+pub fn replicator_dynamics(
+    game: &BimatrixGame,
+    p0: &MixedStrategy,
+    q0: &MixedStrategy,
+    max_steps: usize,
+    tol: f64,
+) -> Result<ReplicatorResult, GameError> {
+    if max_steps == 0 {
+        return Err(GameError::InvalidParameter("zero steps".into()));
+    }
+    let shift = 1.0 - game.row_payoffs().min().min(game.col_payoffs().min());
+    let m = game.row_payoffs().map(|x| x + shift);
+    let nt = game.col_payoffs().map(|x| x + shift).transposed();
+
+    let mut p = p0.probs().to_vec();
+    let mut q = q0.probs().to_vec();
+    let mut converged = false;
+    let mut steps = 0;
+
+    for _ in 0..max_steps {
+        steps += 1;
+        let fp = m.mat_vec(&q)?; // row fitnesses
+        let fq = nt.mat_vec(&p)?; // column fitnesses
+        let mean_p: f64 = p.iter().zip(&fp).map(|(x, f)| x * f).sum();
+        let mean_q: f64 = q.iter().zip(&fq).map(|(x, f)| x * f).sum();
+
+        let mut moved: f64 = 0.0;
+        for (x, f) in p.iter_mut().zip(&fp) {
+            let next = *x * f / mean_p;
+            moved = moved.max((next - *x).abs());
+            *x = next;
+        }
+        for (x, f) in q.iter_mut().zip(&fq) {
+            let next = *x * f / mean_q;
+            moved = moved.max((next - *x).abs());
+            *x = next;
+        }
+        if moved < tol {
+            converged = true;
+            break;
+        }
+    }
+
+    let row = MixedStrategy::new(normalise(p))?;
+    let col = MixedStrategy::new(normalise(q))?;
+    let gap = game.nash_gap(&row, &col)?;
+    Ok(ReplicatorResult {
+        row,
+        col,
+        gap,
+        steps,
+        converged,
+    })
+}
+
+fn normalise(mut v: Vec<f64>) -> Vec<f64> {
+    let s: f64 = v.iter().sum();
+    for x in &mut v {
+        *x = (*x / s).max(0.0);
+    }
+    let s: f64 = v.iter().sum();
+    for x in &mut v {
+        *x /= s;
+    }
+    v
+}
+
+/// Classifies the local stability of an interior equilibrium by nudging
+/// it and running the dynamic: returns `true` if trajectories return to
+/// within `2·delta` of the equilibrium (Lyapunov-style probe, not a
+/// formal eigenvalue test).
+///
+/// # Errors
+///
+/// Propagates dynamic errors.
+pub fn is_locally_stable(
+    game: &BimatrixGame,
+    p: &MixedStrategy,
+    q: &MixedStrategy,
+    delta: f64,
+    steps: usize,
+) -> Result<bool, GameError> {
+    let perturb = |s: &MixedStrategy, sign: f64| -> Result<MixedStrategy, GameError> {
+        let mut v = s.probs().to_vec();
+        if v.len() < 2 {
+            return MixedStrategy::new(v);
+        }
+        let (hi, _) = v
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty");
+        let (lo, _) = v
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty");
+        // Transfer delta of mass between the extreme entries, direction
+        // set by `sign` (clamped to stay on the simplex).
+        let (from, to) = if sign > 0.0 { (hi, lo) } else { (lo, hi) };
+        let d = delta.min(v[from]);
+        v[from] -= d;
+        v[to] += d;
+        MixedStrategy::new(v)
+    };
+    // A saddle returns along its stable manifold but escapes along the
+    // unstable one, so probe all four perturbation sign combinations and
+    // call the point stable only if every trajectory comes home.
+    for sp in [1.0, -1.0] {
+        for sq in [1.0, -1.0] {
+            let p1 = perturb(p, sp)?;
+            let q1 = perturb(q, sq)?;
+            let r = replicator_dynamics(game, &p1, &q1, steps, 1e-12)?;
+            if r.row.linf_distance(p) > 2.0 * delta || r.col.linf_distance(q) > 2.0 * delta {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::games;
+
+    #[test]
+    fn converges_to_pure_equilibrium_from_its_basin() {
+        let g = games::stag_hunt();
+        // Start heavily on stag: converge to (stag, stag).
+        let p0 = MixedStrategy::new(vec![0.9, 0.1]).unwrap();
+        let r = replicator_dynamics(&g, &p0, &p0, 10_000, 1e-12).unwrap();
+        assert!(r.gap < 1e-6);
+        assert!(r.row.prob(0) > 0.999);
+    }
+
+    #[test]
+    fn interior_equilibrium_is_a_rest_point() {
+        // Starting exactly at the BoS mixed NE, the dynamic stays put.
+        let g = games::battle_of_the_sexes();
+        let p = MixedStrategy::new(vec![2.0 / 3.0, 1.0 / 3.0]).unwrap();
+        let q = MixedStrategy::new(vec![1.0 / 3.0, 2.0 / 3.0]).unwrap();
+        let r = replicator_dynamics(&g, &p, &q, 100, 1e-15).unwrap();
+        assert!(r.row.linf_distance(&p) < 1e-9);
+        assert!(r.col.linf_distance(&q) < 1e-9);
+    }
+
+    #[test]
+    fn bos_mixed_equilibrium_is_unstable() {
+        let g = games::battle_of_the_sexes();
+        let p = MixedStrategy::new(vec![2.0 / 3.0, 1.0 / 3.0]).unwrap();
+        let q = MixedStrategy::new(vec![1.0 / 3.0, 2.0 / 3.0]).unwrap();
+        let stable = is_locally_stable(&g, &p, &q, 0.01, 50_000).unwrap();
+        assert!(!stable, "BoS mixed NE should repel trajectories");
+    }
+
+    #[test]
+    fn pure_coordination_equilibria_are_stable() {
+        let g = games::stag_hunt();
+        let p = MixedStrategy::new(vec![1.0 - 1e-9, 1e-9]).unwrap();
+        let stable = is_locally_stable(&g, &p, &p, 0.01, 50_000).unwrap();
+        assert!(stable, "(stag, stag) should attract");
+    }
+
+    #[test]
+    fn trajectory_stays_on_simplex() {
+        let g = games::bird_game();
+        let p0 = MixedStrategy::uniform(3).unwrap();
+        let r = replicator_dynamics(&g, &p0, &p0, 5000, 0.0).unwrap();
+        assert!((r.row.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((r.col.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_zero_steps() {
+        let g = games::battle_of_the_sexes();
+        let u = MixedStrategy::uniform(2).unwrap();
+        assert!(replicator_dynamics(&g, &u, &u, 0, 1e-9).is_err());
+    }
+
+    #[test]
+    fn negative_payoff_games_work() {
+        // Hawk-Dove has negative payoffs; the internal shift handles it.
+        let g = games::hawk_dove();
+        let p0 = MixedStrategy::new(vec![0.4, 0.6]).unwrap();
+        let r = replicator_dynamics(&g, &p0, &p0, 100_000, 1e-13).unwrap();
+        // The symmetric trajectory approaches the mixed ESS p = 1/2.
+        assert!((r.row.prob(0) - 0.5).abs() < 0.01, "{}", r.row);
+    }
+}

@@ -1,0 +1,358 @@
+//! Mixed strategies: validated probability vectors over a player's actions.
+
+use crate::error::GameError;
+use std::fmt;
+
+/// Tolerance used when validating that probabilities sum to one.
+pub const SIMPLEX_TOL: f64 = 1e-9;
+
+/// A mixed strategy: a probability distribution over a player's actions.
+///
+/// Invariants (enforced at construction):
+/// * at least one action,
+/// * every probability is finite and in `[0, 1]` (up to [`SIMPLEX_TOL`]),
+/// * probabilities sum to `1` (up to [`SIMPLEX_TOL`] scaled by length).
+///
+/// A *pure* strategy is the special case with a single unit entry
+/// (paper Sec. 2.1).
+///
+/// # Example
+///
+/// ```
+/// use cnash_game::MixedStrategy;
+///
+/// # fn main() -> Result<(), cnash_game::GameError> {
+/// let p = MixedStrategy::new(vec![2.0 / 3.0, 1.0 / 3.0])?;
+/// assert!(!p.is_pure(1e-9));
+/// assert_eq!(p.support(1e-9), vec![0, 1]);
+///
+/// let pure = MixedStrategy::pure(3, 1)?;
+/// assert!(pure.is_pure(1e-9));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedStrategy {
+    probs: Vec<f64>,
+}
+
+impl MixedStrategy {
+    /// Creates a mixed strategy from a probability vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidStrategy`] if the vector is empty, has
+    /// non-finite or out-of-range entries, or does not sum to one.
+    pub fn new(probs: Vec<f64>) -> Result<Self, GameError> {
+        if probs.is_empty() {
+            return Err(GameError::InvalidStrategy("empty action set".into()));
+        }
+        for (i, &p) in probs.iter().enumerate() {
+            if !p.is_finite() {
+                return Err(GameError::InvalidStrategy(format!(
+                    "probability {i} is not finite"
+                )));
+            }
+            if !(-SIMPLEX_TOL..=1.0 + SIMPLEX_TOL).contains(&p) {
+                return Err(GameError::InvalidStrategy(format!(
+                    "probability {i} = {p} is outside [0, 1]"
+                )));
+            }
+        }
+        let sum: f64 = probs.iter().sum();
+        if (sum - 1.0).abs() > SIMPLEX_TOL * probs.len() as f64 {
+            return Err(GameError::InvalidStrategy(format!(
+                "probabilities sum to {sum}, expected 1"
+            )));
+        }
+        Ok(Self { probs })
+    }
+
+    /// Creates the pure strategy selecting `action` among `n` actions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidStrategy`] if `n == 0` or
+    /// `action >= n`.
+    pub fn pure(n: usize, action: usize) -> Result<Self, GameError> {
+        if n == 0 {
+            return Err(GameError::InvalidStrategy("empty action set".into()));
+        }
+        if action >= n {
+            return Err(GameError::InvalidStrategy(format!(
+                "action {action} out of range for {n} actions"
+            )));
+        }
+        let mut probs = vec![0.0; n];
+        probs[action] = 1.0;
+        Ok(Self { probs })
+    }
+
+    /// Creates the uniform strategy over `n` actions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidStrategy`] if `n == 0`.
+    pub fn uniform(n: usize) -> Result<Self, GameError> {
+        if n == 0 {
+            return Err(GameError::InvalidStrategy("empty action set".into()));
+        }
+        Ok(Self {
+            probs: vec![1.0 / n as f64; n],
+        })
+    }
+
+    /// Creates a strategy from `counts` of `1/I` probability units,
+    /// mirroring the crossbar's interval quantization (paper Sec. 3.2).
+    ///
+    /// `counts` must sum to `intervals`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidStrategy`] if `intervals == 0`, the count
+    /// vector is empty, or the counts do not sum to `intervals`.
+    pub fn from_grid_counts(counts: &[u32], intervals: u32) -> Result<Self, GameError> {
+        if intervals == 0 {
+            return Err(GameError::InvalidStrategy("zero intervals".into()));
+        }
+        if counts.is_empty() {
+            return Err(GameError::InvalidStrategy("empty action set".into()));
+        }
+        let total: u32 = counts.iter().sum();
+        if total != intervals {
+            return Err(GameError::InvalidStrategy(format!(
+                "grid counts sum to {total}, expected {intervals}"
+            )));
+        }
+        Ok(Self {
+            probs: counts
+                .iter()
+                .map(|&c| c as f64 / intervals as f64)
+                .collect(),
+        })
+    }
+
+    /// Number of actions.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Always `false`: a valid strategy has at least one action.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Borrow the probability vector.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Probability of `action`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action >= len()`.
+    pub fn prob(&self, action: usize) -> f64 {
+        self.probs[action]
+    }
+
+    /// Indices of actions played with probability `> tol`.
+    pub fn support(&self, tol: f64) -> Vec<usize> {
+        self.probs
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p > tol)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// `true` if exactly one action carries (almost) all probability.
+    pub fn is_pure(&self, tol: f64) -> bool {
+        self.probs.iter().filter(|&&p| p > tol).count() == 1
+    }
+
+    /// If pure (within `tol`), the selected action.
+    pub fn pure_action(&self, tol: f64) -> Option<usize> {
+        let sup = self.support(tol);
+        if sup.len() == 1 {
+            Some(sup[0])
+        } else {
+            None
+        }
+    }
+
+    /// Maximum absolute probability difference to another strategy, or
+    /// `f64::INFINITY` if the lengths differ.
+    pub fn linf_distance(&self, other: &MixedStrategy) -> f64 {
+        if self.len() != other.len() {
+            return f64::INFINITY;
+        }
+        self.probs
+            .iter()
+            .zip(&other.probs)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Rounds the strategy onto the `1/intervals` grid, returning unit
+    /// counts per action. The rounding redistributes leftover units to the
+    /// largest fractional remainders so the counts always sum to
+    /// `intervals` (largest-remainder method).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidParameter`] if `intervals == 0`.
+    pub fn to_grid_counts(&self, intervals: u32) -> Result<Vec<u32>, GameError> {
+        if intervals == 0 {
+            return Err(GameError::InvalidParameter("zero intervals".into()));
+        }
+        let scaled: Vec<f64> = self.probs.iter().map(|p| p * intervals as f64).collect();
+        let mut counts: Vec<u32> = scaled.iter().map(|s| s.floor() as u32).collect();
+        let mut assigned: u32 = counts.iter().sum();
+        // Distribute the remaining units to largest remainders.
+        let mut order: Vec<usize> = (0..scaled.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ra = scaled[a] - scaled[a].floor();
+            let rb = scaled[b] - scaled[b].floor();
+            rb.partial_cmp(&ra).expect("finite remainders")
+        });
+        let mut k = 0;
+        while assigned < intervals {
+            counts[order[k % order.len()]] += 1;
+            assigned += 1;
+            k += 1;
+        }
+        Ok(counts)
+    }
+
+    /// `true` if every probability is an exact multiple of `1/intervals`
+    /// (within `tol`).
+    pub fn is_on_grid(&self, intervals: u32, tol: f64) -> bool {
+        self.probs.iter().all(|p| {
+            let scaled = p * intervals as f64;
+            (scaled - scaled.round()).abs() <= tol * intervals as f64
+        })
+    }
+
+    /// Shannon entropy (nats); `0` for a pure strategy.
+    pub fn entropy(&self) -> f64 {
+        -self
+            .probs
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.ln())
+            .sum::<f64>()
+    }
+}
+
+impl fmt::Display for MixedStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, p) in self.probs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p:.4}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl AsRef<[f64]> for MixedStrategy {
+    fn as_ref(&self) -> &[f64] {
+        &self.probs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_accepts_valid() {
+        let s = MixedStrategy::new(vec![0.3, 0.5, 0.2]).unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.prob(1), 0.5);
+    }
+
+    #[test]
+    fn new_rejects_bad_sum() {
+        assert!(MixedStrategy::new(vec![0.3, 0.3]).is_err());
+    }
+
+    #[test]
+    fn new_rejects_negative() {
+        assert!(MixedStrategy::new(vec![-0.1, 1.1]).is_err());
+    }
+
+    #[test]
+    fn new_rejects_nan() {
+        assert!(MixedStrategy::new(vec![f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn new_rejects_empty() {
+        assert!(MixedStrategy::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn pure_and_support() {
+        let s = MixedStrategy::pure(4, 2).unwrap();
+        assert!(s.is_pure(1e-12));
+        assert_eq!(s.pure_action(1e-12), Some(2));
+        assert_eq!(s.support(1e-12), vec![2]);
+        assert!(MixedStrategy::pure(4, 4).is_err());
+        assert!(MixedStrategy::pure(0, 0).is_err());
+    }
+
+    #[test]
+    fn uniform_is_on_grid() {
+        let s = MixedStrategy::uniform(3).unwrap();
+        assert!(s.is_on_grid(12, 1e-9));
+        assert!(!s.is_on_grid(4, 1e-9)); // 1/3 is not a multiple of 1/4
+    }
+
+    #[test]
+    fn grid_counts_round_trip() {
+        let s = MixedStrategy::from_grid_counts(&[3, 4, 5], 12).unwrap();
+        assert_eq!(s.probs(), &[0.25, 1.0 / 3.0, 5.0 / 12.0]);
+        assert_eq!(s.to_grid_counts(12).unwrap(), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn grid_counts_validation() {
+        assert!(MixedStrategy::from_grid_counts(&[1, 2], 12).is_err());
+        assert!(MixedStrategy::from_grid_counts(&[], 12).is_err());
+        assert!(MixedStrategy::from_grid_counts(&[12], 0).is_err());
+    }
+
+    #[test]
+    fn largest_remainder_rounding_sums_to_intervals() {
+        let s = MixedStrategy::uniform(3).unwrap();
+        let counts = s.to_grid_counts(4).unwrap();
+        assert_eq!(counts.iter().sum::<u32>(), 4);
+    }
+
+    #[test]
+    fn linf_distance() {
+        let a = MixedStrategy::pure(2, 0).unwrap();
+        let b = MixedStrategy::pure(2, 1).unwrap();
+        assert_eq!(a.linf_distance(&b), 1.0);
+        assert_eq!(a.linf_distance(&a), 0.0);
+        let c = MixedStrategy::pure(3, 0).unwrap();
+        assert_eq!(a.linf_distance(&c), f64::INFINITY);
+    }
+
+    #[test]
+    fn entropy_values() {
+        assert_eq!(MixedStrategy::pure(5, 0).unwrap().entropy(), 0.0);
+        let u = MixedStrategy::uniform(2).unwrap();
+        assert!((u.entropy() - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = MixedStrategy::new(vec![0.5, 0.5]).unwrap();
+        assert_eq!(s.to_string(), "(0.5000, 0.5000)");
+    }
+}

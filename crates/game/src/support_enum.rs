@@ -1,0 +1,277 @@
+//! Support-enumeration computation of all Nash equilibria.
+//!
+//! This is the ground-truth solver of the reproduction, playing the role
+//! Nashpy [31] plays in the paper: given a bimatrix game it enumerates every
+//! pair of equal-size supports `(S, T)`, solves the indifference conditions
+//! on each support, and keeps the solutions that satisfy feasibility and
+//! best-response conditions. For nondegenerate games this finds *all*
+//! equilibria (Nash's theorem guarantees at least one exists).
+//!
+//! Complexity is exponential in the number of actions, which is fine for
+//! the paper's benchmark sizes (≤ 8 actions per player).
+
+use crate::bimatrix::BimatrixGame;
+use crate::equilibrium::{dedup_equilibria, Equilibrium};
+use crate::linalg::solve;
+use crate::matrix::Matrix;
+use crate::strategy::MixedStrategy;
+
+/// Upper bound on actions per player accepted by the enumerator
+/// (`2^n` supports per side).
+pub const MAX_ENUM_ACTIONS: usize = 16;
+
+/// Enumerates all Nash equilibria of `game` via support enumeration.
+///
+/// `tol` is the numerical tolerance for feasibility (probabilities ≥ −tol)
+/// and best-response slack. Returned equilibria are deduplicated with an
+/// `L∞` profile tolerance of `1e-6` and sorted by (row support, col
+/// support) for reproducibility.
+///
+/// # Panics
+///
+/// Panics if either player has more than [`MAX_ENUM_ACTIONS`] actions.
+///
+/// # Example
+///
+/// ```
+/// use cnash_game::{games, support_enum::enumerate_equilibria};
+///
+/// let eqs = enumerate_equilibria(&games::battle_of_the_sexes(), 1e-9);
+/// assert_eq!(eqs.len(), 3); // 2 pure + 1 mixed
+/// ```
+pub fn enumerate_equilibria(game: &BimatrixGame, tol: f64) -> Vec<Equilibrium> {
+    let n = game.row_actions();
+    let m = game.col_actions();
+    assert!(
+        n <= MAX_ENUM_ACTIONS && m <= MAX_ENUM_ACTIONS,
+        "support enumeration limited to {MAX_ENUM_ACTIONS} actions per player"
+    );
+
+    let mut found = Vec::new();
+    let max_k = n.min(m);
+    for k in 1..=max_k {
+        for s in subsets_of_size(n, k) {
+            for t in subsets_of_size(m, k) {
+                if let Some((p, q)) = try_support_pair(game, &s, &t, tol) {
+                    if game.is_equilibrium(&p, &q, tol.max(1e-9)) {
+                        found.push(Equilibrium::from_profile(game, p, q));
+                    }
+                }
+            }
+        }
+    }
+    let mut out = dedup_equilibria(found, 1e-6);
+    out.sort_by(|a, b| {
+        let ka = profile_key(a);
+        let kb = profile_key(b);
+        ka.partial_cmp(&kb).expect("finite probabilities")
+    });
+    out
+}
+
+/// Counts equilibria by kind: `(pure, mixed)`.
+pub fn count_by_kind(eqs: &[Equilibrium], tol: f64) -> (usize, usize) {
+    let pure = eqs
+        .iter()
+        .filter(|e| e.kind(tol) == crate::equilibrium::StrategyKind::Pure)
+        .count();
+    (pure, eqs.len() - pure)
+}
+
+fn profile_key(e: &Equilibrium) -> Vec<f64> {
+    let mut k: Vec<f64> = e.row.probs().to_vec();
+    k.extend_from_slice(e.col.probs());
+    k
+}
+
+/// All subsets of `{0..n}` with exactly `k` elements, in lexicographic
+/// order of their bitmasks.
+fn subsets_of_size(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    for mask in 0u32..(1u32 << n) {
+        if mask.count_ones() as usize == k {
+            out.push((0..n).filter(|i| mask & (1 << i) != 0).collect());
+        }
+    }
+    out
+}
+
+/// Attempts to find an equilibrium with row support `s` and column support
+/// `t` (equal sizes). Returns `None` if the indifference system is singular
+/// or the solution is infeasible.
+fn try_support_pair(
+    game: &BimatrixGame,
+    s: &[usize],
+    t: &[usize],
+    tol: f64,
+) -> Option<(MixedStrategy, MixedStrategy)> {
+    let q = solve_indifference(game.row_payoffs(), s, t, game.col_actions(), tol)?;
+    // Column player's payoff matrix transposed: rows become column actions.
+    let nt = game.col_payoffs().transposed();
+    let p = solve_indifference(&nt, t, s, game.row_actions(), tol)?;
+
+    let p = MixedStrategy::new(p).ok()?;
+    let q = MixedStrategy::new(q).ok()?;
+    Some((p, q))
+}
+
+/// Solves for the *opponent* mixture `q` (length `opp_len`, support `t`)
+/// that makes the focal player indifferent across their support `s`, given
+/// the focal player's payoff matrix `a` (focal actions on rows).
+///
+/// Conditions: `(A q)_i` equal for all `i ∈ s`, `Σ_{j∈t} q_j = 1`,
+/// `q_j = 0` outside `t`, `q ≥ −tol`, and no action outside `s` strictly
+/// better than the support value.
+fn solve_indifference(
+    a: &Matrix,
+    s: &[usize],
+    t: &[usize],
+    opp_len: usize,
+    tol: f64,
+) -> Option<Vec<f64>> {
+    let k = s.len();
+    debug_assert_eq!(k, t.len());
+
+    // Unknowns: q_{t[0]}, ..., q_{t[k-1]}.
+    // Equations: (A q)_{s[0]} = (A q)_{s[r]} for r = 1..k, plus Σ q = 1.
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(k);
+    for r in 1..k {
+        let row: Vec<f64> = t
+            .iter()
+            .map(|&j| a[(s[0], j)] - a[(s[r], j)])
+            .collect();
+        rows.push(row);
+    }
+    rows.push(vec![1.0; k]);
+    let mut rhs = vec![0.0; k - 1];
+    rhs.push(1.0);
+
+    let sys = Matrix::from_rows(&rows).ok()?;
+    let sol = solve(&sys, &rhs).ok()?;
+
+    // Feasibility: probabilities in [0, 1] up to tolerance.
+    if sol.iter().any(|&x| x < -tol || x > 1.0 + tol) {
+        return None;
+    }
+
+    // Expand to full-length vector, clamping tiny negatives.
+    let mut q = vec![0.0; opp_len];
+    for (idx, &j) in t.iter().enumerate() {
+        q[j] = sol[idx].max(0.0);
+    }
+    // Renormalise the clamped vector (clamping can perturb the sum by tol).
+    let sum: f64 = q.iter().sum();
+    if sum <= 0.0 {
+        return None;
+    }
+    for x in &mut q {
+        *x /= sum;
+    }
+
+    // Best-response condition: actions off the support must not beat it.
+    let payoff = a.mat_vec(&q).ok()?;
+    let v = payoff[s[0]];
+    for (i, &u) in payoff.iter().enumerate() {
+        if !s.contains(&i) && u > v + tol.max(1e-9) {
+            return None;
+        }
+    }
+    Some(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equilibrium::StrategyKind;
+    use crate::games;
+
+    #[test]
+    fn subsets_counted_correctly() {
+        assert_eq!(subsets_of_size(4, 2).len(), 6);
+        assert_eq!(subsets_of_size(5, 0).len(), 1);
+        assert_eq!(subsets_of_size(3, 3), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn bos_has_three_equilibria() {
+        let eqs = enumerate_equilibria(&games::battle_of_the_sexes(), 1e-9);
+        assert_eq!(eqs.len(), 3);
+        let (pure, mixed) = count_by_kind(&eqs, 1e-6);
+        assert_eq!((pure, mixed), (2, 1));
+        for e in &eqs {
+            assert!(e.gap.abs() < 1e-9, "gap {} too large", e.gap);
+        }
+    }
+
+    #[test]
+    fn bos_mixed_equilibrium_values() {
+        let eqs = enumerate_equilibria(&games::battle_of_the_sexes(), 1e-9);
+        let mixed: Vec<_> = eqs
+            .iter()
+            .filter(|e| e.kind(1e-6) == StrategyKind::Mixed)
+            .collect();
+        assert_eq!(mixed.len(), 1);
+        let e = mixed[0];
+        assert!((e.row.prob(0) - 2.0 / 3.0).abs() < 1e-9);
+        assert!((e.col.prob(0) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matching_pennies_unique_mixed() {
+        let g = games::matching_pennies();
+        let eqs = enumerate_equilibria(&g, 1e-9);
+        assert_eq!(eqs.len(), 1);
+        assert_eq!(eqs[0].kind(1e-6), StrategyKind::Mixed);
+        assert!((eqs[0].row.prob(0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prisoners_dilemma_unique_pure() {
+        let g = games::prisoners_dilemma();
+        let eqs = enumerate_equilibria(&g, 1e-9);
+        assert_eq!(eqs.len(), 1);
+        assert_eq!(eqs[0].kind(1e-6), StrategyKind::Pure);
+        // Defect is action 1 in our convention.
+        assert_eq!(eqs[0].row.pure_action(1e-6), Some(1));
+        assert_eq!(eqs[0].col.pure_action(1e-6), Some(1));
+    }
+
+    #[test]
+    fn coordination3_has_seven() {
+        // Pure 3x3 coordination: 3 pure + 3 two-support + 1 uniform NE.
+        let g = games::coordination(3).unwrap();
+        let eqs = enumerate_equilibria(&g, 1e-9);
+        assert_eq!(eqs.len(), 7);
+        let (pure, mixed) = count_by_kind(&eqs, 1e-6);
+        assert_eq!((pure, mixed), (3, 4));
+    }
+
+    #[test]
+    fn all_enumerated_profiles_verify() {
+        for g in [
+            games::battle_of_the_sexes(),
+            games::bird_game(),
+            games::stag_hunt(),
+            games::hawk_dove(),
+        ] {
+            for e in enumerate_equilibria(&g, 1e-9) {
+                assert!(
+                    g.is_equilibrium(&e.row, &e.col, 1e-7),
+                    "{}: {e} fails verification",
+                    g.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_sorted_and_deduplicated() {
+        let eqs = enumerate_equilibria(&games::coordination(3).unwrap(), 1e-9);
+        for w in eqs.windows(2) {
+            assert!(
+                !w[0].same_profile(&w[1], 1e-6),
+                "duplicate equilibria in output"
+            );
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the game-theory substrate.
+
+use cnash_game::generators::random_integer_game;
+use cnash_game::support_enum::enumerate_equilibria;
+use cnash_game::{BimatrixGame, Matrix, MixedStrategy};
+use proptest::prelude::*;
+
+/// Strategy producing a valid probability vector of length `n`.
+fn arb_simplex(n: usize) -> impl Strategy<Value = MixedStrategy> {
+    prop::collection::vec(0.01f64..1.0, n).prop_map(|raw| {
+        let s: f64 = raw.iter().sum();
+        MixedStrategy::new(raw.into_iter().map(|x| x / s).collect())
+            .expect("normalised vector is a valid strategy")
+    })
+}
+
+fn arb_game(n: usize, m: usize) -> impl Strategy<Value = BimatrixGame> {
+    (
+        prop::collection::vec(-10.0f64..10.0, n * m),
+        prop::collection::vec(-10.0f64..10.0, n * m),
+    )
+        .prop_map(move |(a, b)| {
+            BimatrixGame::new(
+                "prop",
+                Matrix::new(n, m, a).expect("valid"),
+                Matrix::new(n, m, b).expect("valid"),
+            )
+            .expect("matching shapes")
+        })
+}
+
+proptest! {
+    /// Eq. (9) objective is a sum of regrets, hence non-negative everywhere.
+    #[test]
+    fn nash_gap_nonnegative(g in arb_game(3, 4), p in arb_simplex(3), q in arb_simplex(4)) {
+        let gap = g.nash_gap(&p, &q).unwrap();
+        prop_assert!(gap >= -1e-9, "gap {gap} negative");
+    }
+
+    /// The gap is invariant under affine offsets of the payoff matrices —
+    /// the property that makes the crossbar offset normalisation lossless.
+    #[test]
+    fn nash_gap_offset_invariant(
+        g in arb_game(3, 3),
+        p in arb_simplex(3),
+        q in arb_simplex(3),
+        c_m in -5.0f64..5.0,
+        c_n in -5.0f64..5.0,
+    ) {
+        let shifted = BimatrixGame::new(
+            "shifted",
+            g.row_payoffs().map(|x| x + c_m),
+            g.col_payoffs().map(|x| x + c_n),
+        ).unwrap();
+        let a = g.nash_gap(&p, &q).unwrap();
+        let b = shifted.nash_gap(&p, &q).unwrap();
+        prop_assert!((a - b).abs() < 1e-9, "offset changed gap: {a} vs {b}");
+    }
+
+    /// Positive scaling multiplies the gap by the same factor.
+    #[test]
+    fn nash_gap_scales_linearly(
+        g in arb_game(2, 3),
+        p in arb_simplex(2),
+        q in arb_simplex(3),
+        s in 0.1f64..10.0,
+    ) {
+        let scaled = BimatrixGame::new(
+            "scaled",
+            g.row_payoffs().map(|x| s * x),
+            g.col_payoffs().map(|x| s * x),
+        ).unwrap();
+        let a = g.nash_gap(&p, &q).unwrap();
+        let b = scaled.nash_gap(&p, &q).unwrap();
+        prop_assert!((s * a - b).abs() < 1e-8);
+    }
+
+    /// Grid round-trip: counts always sum to the interval count and the
+    /// reconstructed strategy is within 1/I of the original per action.
+    #[test]
+    fn grid_quantization_bounds(p in arb_simplex(5), intervals in 1u32..64) {
+        let counts = p.to_grid_counts(intervals).unwrap();
+        prop_assert_eq!(counts.iter().sum::<u32>(), intervals);
+        let q = MixedStrategy::from_grid_counts(&counts, intervals).unwrap();
+        // Largest-remainder rounding moves each coordinate at most 1 unit.
+        prop_assert!(p.linf_distance(&q) <= 1.0 / intervals as f64 + 1e-12);
+    }
+
+    /// Support enumeration output always verifies as an ε-equilibrium.
+    #[test]
+    fn enumeration_output_verifies(seed in 0u64..50) {
+        let g = random_integer_game(3, 3, 9, seed).unwrap();
+        for eq in enumerate_equilibria(&g, 1e-9) {
+            prop_assert!(g.is_equilibrium(&eq.row, &eq.col, 1e-7));
+        }
+    }
+
+    /// Bilinear payoff is bounded by the matrix extrema (convexity).
+    #[test]
+    fn payoff_within_matrix_bounds(g in arb_game(4, 3), p in arb_simplex(4), q in arb_simplex(3)) {
+        let (f1, _) = g.payoffs(&p, &q).unwrap();
+        prop_assert!(f1 <= g.row_payoffs().max() + 1e-9);
+        prop_assert!(f1 >= g.row_payoffs().min() - 1e-9);
+    }
+
+    /// `row_best_value` upper-bounds the achieved payoff for any p.
+    #[test]
+    fn best_value_dominates(g in arb_game(3, 3), p in arb_simplex(3), q in arb_simplex(3)) {
+        let (f1, f2) = g.payoffs(&p, &q).unwrap();
+        prop_assert!(g.row_best_value(&q).unwrap() >= f1 - 1e-9);
+        prop_assert!(g.col_best_value(&p).unwrap() >= f2 - 1e-9);
+    }
+
+    /// Pure strategies are on every grid.
+    #[test]
+    fn pure_strategies_on_grid(n in 1usize..8, intervals in 1u32..32) {
+        let p = MixedStrategy::pure(n, n - 1).unwrap();
+        prop_assert!(p.is_on_grid(intervals, 1e-12));
+    }
+}

@@ -1,0 +1,3 @@
+//! Placeholder library target; the integration tests of the workspace
+//! live in the repository-root `tests/` directory and are wired in via
+//! `[[test]]` path entries in this package's manifest.

@@ -1,0 +1,222 @@
+//! Single-flip simulated annealing over QUBOs.
+//!
+//! This is both (a) the classical core of the emulated D-Wave samplers
+//! (each "read" is modelled as a short thermal anneal, see
+//! [`crate::dwave`]) and (b) a general-purpose QUBO heuristic used in the
+//! ablation studies.
+
+use crate::model::Qubo;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters of one annealing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealParams {
+    /// Number of full sweeps (each sweep proposes `num_vars` flips).
+    pub sweeps: usize,
+    /// Starting temperature (energy units).
+    pub t_max: f64,
+    /// Final temperature.
+    pub t_min: f64,
+}
+
+impl AnnealParams {
+    /// Creates parameters, validating the temperature range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_max < t_min`, either is non-positive, or `sweeps == 0`.
+    pub fn new(sweeps: usize, t_max: f64, t_min: f64) -> Self {
+        assert!(sweeps > 0, "need at least one sweep");
+        assert!(t_min > 0.0 && t_max >= t_min, "bad temperature range");
+        Self {
+            sweeps,
+            t_max,
+            t_min,
+        }
+    }
+}
+
+impl Default for AnnealParams {
+    fn default() -> Self {
+        Self {
+            sweeps: 300,
+            t_max: 10.0,
+            t_min: 0.05,
+        }
+    }
+}
+
+/// Outcome of one annealing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnealResult {
+    /// Best assignment seen.
+    pub best_assignment: Vec<bool>,
+    /// Energy of the best assignment.
+    pub best_energy: f64,
+    /// Final (not necessarily best) assignment.
+    pub final_assignment: Vec<bool>,
+    /// Number of accepted flips.
+    pub accepted: usize,
+}
+
+/// Runs one seeded simulated-annealing descent on `qubo`.
+///
+/// The temperature decays geometrically from `t_max` to `t_min` over the
+/// configured sweeps; each sweep proposes one flip per variable in random
+/// order with Metropolis acceptance.
+///
+/// # Example
+///
+/// ```
+/// use cnash_qubo::model::Qubo;
+/// use cnash_qubo::annealer::{anneal, AnnealParams};
+///
+/// // Minimise (x0 + x1 − 1)²: ground states are the two one-hot vectors.
+/// let mut q = Qubo::new(2);
+/// q.add_squared_penalty(&[(0, 1.0), (1, 1.0)], -1.0, 1.0);
+/// let r = anneal(&q, &AnnealParams::default(), 1);
+/// assert_eq!(r.best_energy, 0.0);
+/// ```
+pub fn anneal(qubo: &Qubo, params: &AnnealParams, seed: u64) -> AnnealResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = qubo.num_vars();
+    let mut x: Vec<bool> = (0..n).map(|_| rng.random()).collect();
+    let mut energy = qubo.energy(&x);
+    let mut best = x.clone();
+    let mut best_energy = energy;
+    let mut accepted = 0;
+
+    let ratio = if params.sweeps > 1 {
+        (params.t_min / params.t_max).powf(1.0 / (params.sweeps - 1) as f64)
+    } else {
+        1.0
+    };
+    let mut temp = params.t_max;
+
+    for _ in 0..params.sweeps {
+        for _ in 0..n {
+            let k = rng.random_range(0..n);
+            let delta = qubo.flip_delta(&x, k);
+            if delta <= 0.0 || rng.random::<f64>() < (-delta / temp).exp() {
+                x[k] = !x[k];
+                energy += delta;
+                accepted += 1;
+                if energy < best_energy {
+                    best_energy = energy;
+                    best = x.clone();
+                }
+            }
+        }
+        temp *= ratio;
+    }
+
+    AnnealResult {
+        best_assignment: best,
+        best_energy,
+        final_assignment: x,
+        accepted,
+    }
+}
+
+/// Runs `runs` independent anneals (seeds `seed..seed+runs`) and returns
+/// all results (the emulated multi-read sampling of a QPU).
+pub fn anneal_many(qubo: &Qubo, params: &AnnealParams, runs: usize, seed: u64) -> Vec<AnnealResult> {
+    (0..runs)
+        .map(|k| anneal(qubo, params, seed.wrapping_add(k as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_hot_qubo(n: usize) -> Qubo {
+        let mut q = Qubo::new(n);
+        let terms: Vec<(usize, f64)> = (0..n).map(|i| (i, 1.0)).collect();
+        q.add_squared_penalty(&terms, -1.0, 1.0);
+        q
+    }
+
+    #[test]
+    fn finds_ground_state_of_one_hot() {
+        let q = one_hot_qubo(8);
+        let r = anneal(&q, &AnnealParams::default(), 42);
+        assert_eq!(r.best_energy, 0.0);
+        assert_eq!(r.best_assignment.iter().filter(|&&b| b).count(), 1);
+    }
+
+    #[test]
+    fn energy_bookkeeping_consistent() {
+        let q = one_hot_qubo(6);
+        let r = anneal(&q, &AnnealParams::new(50, 5.0, 0.1), 7);
+        assert!((q.energy(&r.best_assignment) - r.best_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let q = one_hot_qubo(10);
+        let p = AnnealParams::default();
+        let a = anneal(&q, &p, 5);
+        let b = anneal(&q, &p, 5);
+        assert_eq!(a.best_assignment, b.best_assignment);
+        assert_eq!(a.accepted, b.accepted);
+    }
+
+    #[test]
+    fn different_seeds_explore_differently() {
+        let q = one_hot_qubo(10);
+        let p = AnnealParams::default();
+        let a = anneal(&q, &p, 1);
+        let b = anneal(&q, &p, 2);
+        // Ground energies agree; trajectories generally differ.
+        assert_eq!(a.best_energy, b.best_energy);
+        assert_ne!(a.accepted, b.accepted);
+    }
+
+    #[test]
+    fn anneal_many_distinct_runs() {
+        let q = one_hot_qubo(5);
+        let rs = anneal_many(&q, &AnnealParams::default(), 10, 0);
+        assert_eq!(rs.len(), 10);
+        assert!(rs.iter().all(|r| r.best_energy == 0.0));
+        // Different runs can land on different one-hot ground states.
+        let winners: std::collections::HashSet<usize> = rs
+            .iter()
+            .map(|r| r.best_assignment.iter().position(|&b| b).expect("one bit"))
+            .collect();
+        assert!(winners.len() > 1, "runs should diversify");
+    }
+
+    #[test]
+    fn short_hot_anneal_is_worse_than_long_cold() {
+        // Statistical sanity: frustrated random QUBO, compare mean best
+        // energies.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 24;
+        let mut q = Qubo::new(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                q.add_coupling(i, j, rng.random_range(-1.0..1.0));
+            }
+        }
+        let weak = AnnealParams::new(2, 50.0, 40.0);
+        let strong = AnnealParams::new(200, 10.0, 0.01);
+        let mean = |p: &AnnealParams| {
+            anneal_many(&q, p, 20, 3)
+                .iter()
+                .map(|r| r.best_energy)
+                .sum::<f64>()
+                / 20.0
+        };
+        assert!(mean(&strong) < mean(&weak));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad temperature range")]
+    fn rejects_bad_temperatures() {
+        let _ = AnnealParams::new(10, 0.1, 1.0);
+    }
+}

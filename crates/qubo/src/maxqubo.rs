@@ -1,0 +1,208 @@
+//! The lossless MAX-QUBO form (Eq. 9) — C-Nash's transformation.
+//!
+//! `min f(p,q) = max(Mq) + max(Nᵀp) − pᵀ(M+N)q` over the product of
+//! simplices. Because `f` is the sum of both players' regrets it is
+//! non-negative and vanishes exactly at Nash equilibria: **no slack
+//! variables, no penalty weights, no deformation** — contrast with
+//! [`crate::squbo`].
+//!
+//! This module gives the exact reference evaluator plus an exhaustive
+//! grid minimiser used to validate that every grid-representable
+//! equilibrium is a global minimiser.
+
+use cnash_game::{BimatrixGame, GameError, MixedStrategy};
+
+/// Exact MAX-QUBO objective evaluator over a game.
+#[derive(Debug, Clone)]
+pub struct MaxQubo<'g> {
+    game: &'g BimatrixGame,
+}
+
+impl<'g> MaxQubo<'g> {
+    /// Wraps a game.
+    pub fn new(game: &'g BimatrixGame) -> Self {
+        Self { game }
+    }
+
+    /// The wrapped game.
+    pub fn game(&self) -> &BimatrixGame {
+        self.game
+    }
+
+    /// `α = max(Mq)` (Eq. 7).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn alpha(&self, q: &MixedStrategy) -> Result<f64, GameError> {
+        self.game.row_best_value(q)
+    }
+
+    /// `β = max(Nᵀp)` (Eq. 8).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn beta(&self, p: &MixedStrategy) -> Result<f64, GameError> {
+        self.game.col_best_value(p)
+    }
+
+    /// The full objective `f(p, q)` of Eq. 9.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn objective(&self, p: &MixedStrategy, q: &MixedStrategy) -> Result<f64, GameError> {
+        self.game.nash_gap(p, q)
+    }
+
+    /// Exhaustively minimises `f` over the `1/intervals` grid, returning
+    /// all grid points whose objective is within `tol` of the global grid
+    /// minimum. Cost is `C(I+n−1, n−1) × C(I+m−1, m−1)` evaluations —
+    /// use only for small games/intervals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape/strategy errors.
+    pub fn grid_minima(
+        &self,
+        intervals: u32,
+        tol: f64,
+    ) -> Result<Vec<(MixedStrategy, MixedStrategy, f64)>, GameError> {
+        let n = self.game.row_actions();
+        let m = self.game.col_actions();
+        let ps = compositions(intervals, n);
+        let qs = compositions(intervals, m);
+        let mut best = f64::INFINITY;
+        let mut hits: Vec<(MixedStrategy, MixedStrategy, f64)> = Vec::new();
+        for pc in &ps {
+            let p = MixedStrategy::from_grid_counts(pc, intervals)?;
+            for qc in &qs {
+                let q = MixedStrategy::from_grid_counts(qc, intervals)?;
+                let f = self.objective(&p, &q)?;
+                if f < best - tol {
+                    best = f;
+                    hits.clear();
+                    hits.push((p.clone(), q.clone(), f));
+                } else if f <= best + tol {
+                    hits.push((p.clone(), q.clone(), f));
+                    if f < best {
+                        best = f;
+                    }
+                }
+            }
+        }
+        // Second pass to drop entries that were within tol of an earlier,
+        // higher minimum.
+        hits.retain(|(_, _, f)| *f <= best + tol);
+        Ok(hits)
+    }
+}
+
+/// All ways to write `total` as an ordered sum of `parts` non-negative
+/// integers (grid points of the simplex).
+pub fn compositions(total: u32, parts: usize) -> Vec<Vec<u32>> {
+    fn rec(total: u32, parts: usize, prefix: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        if parts == 1 {
+            let mut v = prefix.clone();
+            v.push(total);
+            out.push(v);
+            return;
+        }
+        for k in 0..=total {
+            prefix.push(k);
+            rec(total - k, parts - 1, prefix, out);
+            prefix.pop();
+        }
+    }
+    let mut out = Vec::new();
+    if parts == 0 {
+        return out;
+    }
+    rec(total, parts, &mut Vec::new(), &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnash_game::games;
+    use cnash_game::support_enum::enumerate_equilibria;
+
+    #[test]
+    fn compositions_count() {
+        // C(I+n-1, n-1): I=4, n=2 -> 5; I=3, n=3 -> 10.
+        assert_eq!(compositions(4, 2).len(), 5);
+        assert_eq!(compositions(3, 3).len(), 10);
+        assert!(compositions(3, 0).is_empty());
+        for c in compositions(5, 3) {
+            assert_eq!(c.iter().sum::<u32>(), 5);
+        }
+    }
+
+    #[test]
+    fn objective_zero_iff_equilibrium_on_grid() {
+        let g = games::battle_of_the_sexes();
+        let mq = MaxQubo::new(&g);
+        let minima = mq.grid_minima(12, 1e-9).unwrap();
+        // Global grid minimum is 0, attained at the 3 equilibria (all on
+        // the 1/12 grid).
+        assert_eq!(minima.len(), 3);
+        for (p, q, f) in &minima {
+            assert!(f.abs() < 1e-9);
+            assert!(g.is_equilibrium(p, q, 1e-9));
+        }
+    }
+
+    #[test]
+    fn grid_minima_match_enumeration_for_bird_game() {
+        let g = games::bird_game();
+        let mq = MaxQubo::new(&g);
+        let minima = mq.grid_minima(12, 1e-9).unwrap();
+        let eqs = enumerate_equilibria(&g, 1e-9);
+        assert_eq!(minima.len(), eqs.len());
+        for (p, q, _) in &minima {
+            assert!(
+                eqs.iter().any(|e| {
+                    e.row.linf_distance(p) < 1e-6 && e.col.linf_distance(q) < 1e-6
+                }),
+                "grid minimum ({p}, {q}) is not an enumerated equilibrium"
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_beta_components() {
+        let g = games::battle_of_the_sexes();
+        let mq = MaxQubo::new(&g);
+        let q = MixedStrategy::new(vec![0.5, 0.5]).unwrap();
+        let p = MixedStrategy::new(vec![0.5, 0.5]).unwrap();
+        assert_eq!(mq.alpha(&q).unwrap(), 1.0);
+        assert_eq!(mq.beta(&p).unwrap(), 1.0);
+        let f = mq.objective(&p, &q).unwrap();
+        // f = 1 + 1 − 0.75 − 0.75 = 0.5.
+        assert!((f - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coarse_grid_misses_mixed_equilibria() {
+        // On a 1/4 grid the BoS mixed NE (2/3, 1/3) is unrepresentable:
+        // the grid minimum is still 0 (pure NE) but only 2 minima remain.
+        let g = games::battle_of_the_sexes();
+        let mq = MaxQubo::new(&g);
+        let minima = mq.grid_minima(4, 1e-9).unwrap();
+        assert_eq!(minima.len(), 2);
+    }
+
+    #[test]
+    fn lossless_no_extra_variables() {
+        // The MAX-QUBO form adds zero variables: objective is evaluated
+        // directly on (p, q). This is a structural assertion contrasting
+        // with SQubo::num_vars() > n + m.
+        use crate::squbo::{SQubo, SQuboWeights};
+        let g = games::battle_of_the_sexes();
+        let s = SQubo::build(&g, &SQuboWeights::default()).unwrap();
+        assert!(s.num_vars() > g.row_actions() + g.col_actions());
+        // MaxQubo by construction uses only the 4 strategy coordinates.
+    }
+}

@@ -1,0 +1,279 @@
+//! Dense QUBO container.
+
+use std::fmt;
+
+/// A quadratic unconstrained binary optimisation problem
+/// `E(x) = c + Σᵢ lᵢ xᵢ + Σ_{i<j} Q_{ij} xᵢ xⱼ`, `x ∈ {0,1}ⁿ` (Eq. 5 with
+/// an explicit constant so transformed objectives keep their offset).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Qubo {
+    n: usize,
+    /// Linear coefficients (diagonal of the canonical Q matrix).
+    linear: Vec<f64>,
+    /// Symmetric off-diagonal couplings, row-major `n × n`, zero diagonal.
+    quad: Vec<f64>,
+    constant: f64,
+}
+
+impl Qubo {
+    /// Creates an all-zero QUBO over `n` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "QUBO needs at least one variable");
+        Self {
+            n,
+            linear: vec![0.0; n],
+            quad: vec![0.0; n * n],
+            constant: 0.0,
+        }
+    }
+
+    /// Number of binary variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Constant energy offset.
+    pub fn constant(&self) -> f64 {
+        self.constant
+    }
+
+    /// Adds to the constant offset.
+    pub fn add_constant(&mut self, c: f64) {
+        self.constant += c;
+    }
+
+    /// Adds to a linear coefficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn add_linear(&mut self, i: usize, w: f64) {
+        assert!(i < self.n, "variable {i} out of range");
+        self.linear[i] += w;
+    }
+
+    /// Adds to the symmetric coupling between `i` and `j`. Adding to
+    /// `(i, i)` folds into the linear term (since `xᵢ² = xᵢ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn add_coupling(&mut self, i: usize, j: usize, w: f64) {
+        assert!(i < self.n && j < self.n, "coupling ({i},{j}) out of range");
+        if i == j {
+            self.linear[i] += w;
+        } else {
+            self.quad[i * self.n + j] += w / 2.0;
+            self.quad[j * self.n + i] += w / 2.0;
+        }
+    }
+
+    /// Adds `weight · (Σ coefs·x + c0)²`, the workhorse for penalty terms.
+    /// Uses `xᵢ² = xᵢ` to fold squares into linear terms.
+    pub fn add_squared_penalty(&mut self, terms: &[(usize, f64)], c0: f64, weight: f64) {
+        self.add_constant(weight * c0 * c0);
+        for &(i, a) in terms {
+            // a²xᵢ² = a²xᵢ, plus the 2·c0·a·xᵢ cross term.
+            self.add_linear(i, weight * (a * a + 2.0 * c0 * a));
+        }
+        for (k, &(i, a)) in terms.iter().enumerate() {
+            for &(j, b) in &terms[k + 1..] {
+                self.add_coupling(i, j, weight * 2.0 * a * b);
+            }
+        }
+    }
+
+    /// Linear coefficient of variable `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn linear(&self, i: usize) -> f64 {
+        assert!(i < self.n);
+        self.linear[i]
+    }
+
+    /// Symmetric coupling between `i` and `j` (the full `Q_{ij} + Q_{ji}`
+    /// weight applied when both bits are 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn coupling(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n);
+        if i == j {
+            0.0
+        } else {
+            self.quad[i * self.n + j] * 2.0
+        }
+    }
+
+    /// Full energy of an assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_vars()`.
+    pub fn energy(&self, x: &[bool]) -> f64 {
+        assert_eq!(x.len(), self.n, "assignment length mismatch");
+        let mut e = self.constant;
+        for i in 0..self.n {
+            if x[i] {
+                e += self.linear[i];
+                let row = &self.quad[i * self.n..(i + 1) * self.n];
+                for j in i + 1..self.n {
+                    if x[j] {
+                        e += 2.0 * row[j];
+                    }
+                }
+            }
+        }
+        e
+    }
+
+    /// Energy change from flipping bit `k` of `x` (O(n)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range or lengths mismatch.
+    pub fn flip_delta(&self, x: &[bool], k: usize) -> f64 {
+        assert_eq!(x.len(), self.n);
+        assert!(k < self.n);
+        let row = &self.quad[k * self.n..(k + 1) * self.n];
+        let mut field = self.linear[k];
+        for j in 0..self.n {
+            if x[j] && j != k {
+                field += 2.0 * row[j];
+            }
+        }
+        if x[k] {
+            -field
+        } else {
+            field
+        }
+    }
+
+    /// Exhaustively minimises the QUBO (for testing small instances).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars() > 24`.
+    pub fn brute_force_minimum(&self) -> (Vec<bool>, f64) {
+        assert!(self.n <= 24, "brute force limited to 24 variables");
+        let mut best = (vec![false; self.n], f64::INFINITY);
+        for mask in 0u64..(1u64 << self.n) {
+            let x: Vec<bool> = (0..self.n).map(|i| mask & (1 << i) != 0).collect();
+            let e = self.energy(&x);
+            if e < best.1 {
+                best = (x, e);
+            }
+        }
+        best
+    }
+}
+
+impl fmt::Display for Qubo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Qubo({} vars, constant {:.3})",
+            self.n, self.constant
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_of_simple_qubo() {
+        // E = 1 + 2x0 - 3x1 + 4x0x1
+        let mut q = Qubo::new(2);
+        q.add_constant(1.0);
+        q.add_linear(0, 2.0);
+        q.add_linear(1, -3.0);
+        q.add_coupling(0, 1, 4.0);
+        assert_eq!(q.energy(&[false, false]), 1.0);
+        assert_eq!(q.energy(&[true, false]), 3.0);
+        assert_eq!(q.energy(&[false, true]), -2.0);
+        assert_eq!(q.energy(&[true, true]), 4.0);
+    }
+
+    #[test]
+    fn coupling_is_symmetric() {
+        let mut q = Qubo::new(3);
+        q.add_coupling(0, 2, 5.0);
+        assert_eq!(q.coupling(0, 2), 5.0);
+        assert_eq!(q.coupling(2, 0), 5.0);
+        assert_eq!(q.coupling(1, 1), 0.0);
+    }
+
+    #[test]
+    fn self_coupling_folds_to_linear() {
+        let mut q = Qubo::new(2);
+        q.add_coupling(1, 1, 3.0);
+        assert_eq!(q.linear(1), 3.0);
+        assert_eq!(q.energy(&[false, true]), 3.0);
+    }
+
+    #[test]
+    fn flip_delta_matches_energy_difference() {
+        let mut q = Qubo::new(4);
+        q.add_linear(0, 1.5);
+        q.add_linear(3, -2.0);
+        q.add_coupling(0, 1, 2.0);
+        q.add_coupling(1, 2, -1.0);
+        q.add_coupling(2, 3, 0.5);
+        let x = [true, false, true, true];
+        for k in 0..4 {
+            let mut y = x;
+            y[k] = !y[k];
+            let delta = q.flip_delta(&x, k);
+            let direct = q.energy(&y) - q.energy(&x);
+            assert!((delta - direct).abs() < 1e-12, "bit {k}");
+        }
+    }
+
+    #[test]
+    fn squared_penalty_expansion() {
+        // weight·(x0 + 2x1 − 1)²: check all four assignments directly.
+        let mut q = Qubo::new(2);
+        q.add_squared_penalty(&[(0, 1.0), (1, 2.0)], -1.0, 3.0);
+        let expect = |x0: bool, x1: bool| {
+            let v = x0 as i32 as f64 + 2.0 * (x1 as i32 as f64) - 1.0;
+            3.0 * v * v
+        };
+        for (a, b) in [(false, false), (true, false), (false, true), (true, true)] {
+            assert!(
+                (q.energy(&[a, b]) - expect(a, b)).abs() < 1e-12,
+                "({a},{b})"
+            );
+        }
+    }
+
+    #[test]
+    fn brute_force_finds_minimum() {
+        let mut q = Qubo::new(3);
+        q.add_squared_penalty(&[(0, 1.0), (1, 1.0), (2, 1.0)], -2.0, 1.0);
+        // Minimum: exactly two bits set.
+        let (x, e) = q.brute_force_minimum();
+        assert_eq!(x.iter().filter(|&&b| b).count(), 2);
+        assert!(e.abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one variable")]
+    fn zero_vars_panics() {
+        let _ = Qubo::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment length mismatch")]
+    fn wrong_assignment_length_panics() {
+        Qubo::new(2).energy(&[true]);
+    }
+}

@@ -1,0 +1,490 @@
+//! The S-QUBO transformation (Eq. 6) — the baselines' *lossy* conversion.
+//!
+//! Starting from the Mangasarian–Stone program (Eq. 3/4), the inequality
+//! constraints `Mq ≤ αe` and `Nᵀp ≤ βl` are converted to equalities with
+//! non-negative slacks (`(Mq)ᵢ − α + ζᵢ = 0`, one per row, and likewise
+//! `ηⱼ` per column) and added as squared penalties; the simplex
+//! constraints become squared penalties too; `α`, `β` and the slacks are
+//! binary-encoded. Strategies `p, q` are single bits per action, so **only
+//! pure profiles are representable** — the first lossiness. The penalty
+//! weights and discretisation deform the landscape — the second.
+//!
+//! Payoffs are offset to non-negative integers before encoding (required
+//! for the binary encodings); on simplex-feasible assignments the offsets
+//! cancel identically, so the feasible restriction of the S-QUBO energy
+//! equals the pure-profile Nash gap (which the tests verify).
+
+use crate::model::Qubo;
+use cnash_game::{BimatrixGame, Matrix, MixedStrategy};
+use std::fmt;
+
+/// Penalty weights `A, B, C, D` of Eq. 6.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SQuboWeights {
+    /// Weight of the row-player simplex penalty `A(Σpᵢ−1)²`.
+    pub simplex_row: f64,
+    /// Weight of the column-player simplex penalty `B(Σqⱼ−1)²`.
+    pub simplex_col: f64,
+    /// Weight of the row best-response penalties `C Σᵢ(·)²`.
+    pub best_response_row: f64,
+    /// Weight of the column best-response penalties `D Σⱼ(·)²`.
+    pub best_response_col: f64,
+}
+
+impl Default for SQuboWeights {
+    /// `C = D = 4` breaks the integer tie between lowering `α` and paying
+    /// a unit constraint violation; the simplex weights are set per-game
+    /// by [`SQubo::build`] when left at this default scale factor.
+    fn default() -> Self {
+        Self {
+            simplex_row: 0.0, // 0 = auto-size from the game's payoff range
+            simplex_col: 0.0,
+            best_response_row: 4.0,
+            best_response_col: 4.0,
+        }
+    }
+}
+
+/// Error from building an S-QUBO.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SQuboError {
+    /// Payoffs must be integers (after offsetting) for binary encoding.
+    NonIntegerPayoffs,
+    /// Underlying game error.
+    Game(cnash_game::GameError),
+}
+
+impl fmt::Display for SQuboError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SQuboError::NonIntegerPayoffs => {
+                write!(f, "payoffs must be integers after offsetting")
+            }
+            SQuboError::Game(e) => write!(f, "game error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SQuboError {}
+
+impl From<cnash_game::GameError> for SQuboError {
+    fn from(e: cnash_game::GameError) -> Self {
+        SQuboError::Game(e)
+    }
+}
+
+/// Decoded S-QUBO assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedSQubo {
+    /// The pure strategy profile, if both one-hot constraints hold.
+    pub profile: Option<(MixedStrategy, MixedStrategy)>,
+    /// Decoded `α` (offset payoff units).
+    pub alpha: f64,
+    /// Decoded `β` (offset payoff units).
+    pub beta: f64,
+    /// Whether *all* penalties are exactly satisfied.
+    pub feasible: bool,
+    /// S-QUBO energy of the assignment.
+    pub energy: f64,
+}
+
+/// The S-QUBO instance for one game: variable layout + QUBO matrix.
+#[derive(Debug, Clone)]
+pub struct SQubo {
+    qubo: Qubo,
+    n: usize,
+    m: usize,
+    alpha_bits: usize,
+    beta_bits: usize,
+    m_hat: Matrix,
+    nt_hat: Matrix,
+    sum_hat: Matrix,
+    weights: SQuboWeights,
+}
+
+impl SQubo {
+    /// Builds the Eq. 6 QUBO for `game`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SQuboError::NonIntegerPayoffs`] if the offset payoffs are
+    /// not integers (binary slack encoding requires it).
+    pub fn build(game: &BimatrixGame, weights: &SQuboWeights) -> Result<Self, SQuboError> {
+        let n = game.row_actions();
+        let m = game.col_actions();
+
+        // Offset to non-negative integers.
+        let m_raw = game.row_payoffs();
+        let n_raw = game.col_payoffs();
+        let off_m = m_raw.min().min(0.0);
+        let off_n = n_raw.min().min(0.0);
+        let m_hat = m_raw.map(|x| x - off_m);
+        let nt_hat = n_raw.map(|x| x - off_n).transposed();
+        if !m_hat.is_nonneg_integer(1e-9) || !nt_hat.is_nonneg_integer(1e-9) {
+            return Err(SQuboError::NonIntegerPayoffs);
+        }
+        let sum_hat = m_hat.add(&n_raw.map(|x| x - off_n))?;
+
+        let max_m = m_hat.max().round() as u64;
+        let max_n = nt_hat.max().round() as u64;
+        let alpha_bits = bits_for(max_m);
+        let beta_bits = bits_for(max_n);
+
+        // Auto-size simplex weights if left at 0: they must dominate the
+        // largest payoff gain a simplex violation can unlock.
+        let auto = 8.0 * (m_hat.max() + nt_hat.max() + 1.0);
+        let w = SQuboWeights {
+            simplex_row: if weights.simplex_row > 0.0 {
+                weights.simplex_row
+            } else {
+                auto
+            },
+            simplex_col: if weights.simplex_col > 0.0 {
+                weights.simplex_col
+            } else {
+                auto
+            },
+            ..*weights
+        };
+
+        // Variable layout:
+        //   p: 0..n
+        //   q: n..n+m
+        //   alpha bits, beta bits,
+        //   zeta_i (n groups of alpha_bits), eta_j (m groups of beta_bits).
+        let alpha0 = n + m;
+        let beta0 = alpha0 + alpha_bits;
+        let zeta0 = beta0 + beta_bits;
+        let eta0 = zeta0 + n * alpha_bits;
+        let total = eta0 + m * beta_bits;
+
+        let mut qubo = Qubo::new(total);
+
+        // −pᵀ(M̂+N̂)q : bilinear couplings.
+        for i in 0..n {
+            for j in 0..m {
+                qubo.add_coupling(i, n + j, -sum_hat[(i, j)]);
+            }
+        }
+        // +α +β : linear on the encoding bits.
+        for k in 0..alpha_bits {
+            qubo.add_linear(alpha0 + k, (1u64 << k) as f64);
+        }
+        for k in 0..beta_bits {
+            qubo.add_linear(beta0 + k, (1u64 << k) as f64);
+        }
+        // A(Σp−1)², B(Σq−1)².
+        let p_terms: Vec<(usize, f64)> = (0..n).map(|i| (i, 1.0)).collect();
+        qubo.add_squared_penalty(&p_terms, -1.0, w.simplex_row);
+        let q_terms: Vec<(usize, f64)> = (0..m).map(|j| (n + j, 1.0)).collect();
+        qubo.add_squared_penalty(&q_terms, -1.0, w.simplex_col);
+
+        // C Σᵢ ((M̂q)ᵢ − α + ζᵢ)².
+        for i in 0..n {
+            let mut terms: Vec<(usize, f64)> = Vec::new();
+            for j in 0..m {
+                terms.push((n + j, m_hat[(i, j)]));
+            }
+            for k in 0..alpha_bits {
+                terms.push((alpha0 + k, -((1u64 << k) as f64)));
+            }
+            for k in 0..alpha_bits {
+                terms.push((zeta0 + i * alpha_bits + k, (1u64 << k) as f64));
+            }
+            qubo.add_squared_penalty(&terms, 0.0, w.best_response_row);
+        }
+        // D Σⱼ ((N̂ᵀp)ⱼ − β + ηⱼ)².
+        for j in 0..m {
+            let mut terms: Vec<(usize, f64)> = Vec::new();
+            for i in 0..n {
+                terms.push((i, nt_hat[(j, i)]));
+            }
+            for k in 0..beta_bits {
+                terms.push((beta0 + k, -((1u64 << k) as f64)));
+            }
+            for k in 0..beta_bits {
+                terms.push((eta0 + j * beta_bits + k, (1u64 << k) as f64));
+            }
+            qubo.add_squared_penalty(&terms, 0.0, w.best_response_col);
+        }
+
+        Ok(Self {
+            qubo,
+            n,
+            m,
+            alpha_bits,
+            beta_bits,
+            m_hat,
+            nt_hat,
+            sum_hat,
+            weights: w,
+        })
+    }
+
+    /// The assembled QUBO.
+    pub fn qubo(&self) -> &Qubo {
+        &self.qubo
+    }
+
+    /// Total binary variables (illustrates the slack-variable blow-up:
+    /// `n + m + k_α + k_β + n·k_α + m·k_β`).
+    pub fn num_vars(&self) -> usize {
+        self.qubo.num_vars()
+    }
+
+    /// Effective weights (after auto-sizing).
+    pub fn weights(&self) -> &SQuboWeights {
+        &self.weights
+    }
+
+    /// Direct (non-QUBO) evaluation of Eq. 6 for verification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment length mismatches.
+    pub fn direct_energy(&self, x: &[bool]) -> f64 {
+        assert_eq!(x.len(), self.num_vars());
+        let (n, m) = (self.n, self.m);
+        let p: Vec<f64> = (0..n).map(|i| x[i] as u8 as f64).collect();
+        let q: Vec<f64> = (0..m).map(|j| x[n + j] as u8 as f64).collect();
+        let alpha = self.decode_bits(x, n + m, self.alpha_bits);
+        let beta = self.decode_bits(x, n + m + self.alpha_bits, self.beta_bits);
+        let zeta0 = n + m + self.alpha_bits + self.beta_bits;
+        let eta0 = zeta0 + n * self.alpha_bits;
+
+        let w = &self.weights;
+        let mut e = alpha + beta;
+        for i in 0..n {
+            for j in 0..m {
+                e -= self.sum_hat[(i, j)] * p[i] * q[j];
+            }
+        }
+        let sp: f64 = p.iter().sum();
+        let sq: f64 = q.iter().sum();
+        e += w.simplex_row * (sp - 1.0).powi(2);
+        e += w.simplex_col * (sq - 1.0).powi(2);
+        for i in 0..n {
+            let mq: f64 = (0..m).map(|j| self.m_hat[(i, j)] * q[j]).sum();
+            let zeta = self.decode_bits(x, zeta0 + i * self.alpha_bits, self.alpha_bits);
+            e += w.best_response_row * (mq - alpha + zeta).powi(2);
+        }
+        for j in 0..m {
+            let ntp: f64 = (0..n).map(|i| self.nt_hat[(j, i)] * p[i]).sum();
+            let eta = self.decode_bits(x, eta0 + j * self.beta_bits, self.beta_bits);
+            e += w.best_response_col * (ntp - beta + eta).powi(2);
+        }
+        e
+    }
+
+    fn decode_bits(&self, x: &[bool], start: usize, bits: usize) -> f64 {
+        (0..bits)
+            .map(|k| if x[start + k] { (1u64 << k) as f64 } else { 0.0 })
+            .sum()
+    }
+
+    /// Decodes an assignment into a candidate strategy profile.
+    pub fn decode(&self, x: &[bool]) -> DecodedSQubo {
+        let (n, m) = (self.n, self.m);
+        let p_ones: Vec<usize> = (0..n).filter(|&i| x[i]).collect();
+        let q_ones: Vec<usize> = (0..m).filter(|&j| x[n + j]).collect();
+        let profile = if p_ones.len() == 1 && q_ones.len() == 1 {
+            Some((
+                MixedStrategy::pure(n, p_ones[0]).expect("index in range"),
+                MixedStrategy::pure(m, q_ones[0]).expect("index in range"),
+            ))
+        } else {
+            None
+        };
+        let alpha = self.decode_bits(x, n + m, self.alpha_bits);
+        let beta = self.decode_bits(x, n + m + self.alpha_bits, self.beta_bits);
+        let energy = self.qubo.energy(x);
+        // Feasible iff all penalties vanish: energy equals the bare
+        // objective −pᵀ(M̂+N̂)q + α + β.
+        let bare = {
+            let mut e = alpha + beta;
+            for &i in &p_ones {
+                for &j in &q_ones {
+                    e -= self.sum_hat[(i, j)];
+                }
+            }
+            e
+        };
+        let feasible = (energy - bare).abs() < 1e-6;
+        DecodedSQubo {
+            profile,
+            alpha,
+            beta,
+            feasible,
+            energy,
+        }
+    }
+}
+
+/// Bits needed to encode `0..=max_value`.
+fn bits_for(max_value: u64) -> usize {
+    (64 - max_value.leading_zeros() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnash_game::games;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn bits_for_ranges() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 3);
+        assert_eq!(bits_for(7), 3);
+    }
+
+    #[test]
+    fn variable_count_shows_slack_blowup() {
+        let g = games::battle_of_the_sexes();
+        let s = SQubo::build(&g, &SQuboWeights::default()).unwrap();
+        // n + m + kα + kβ + n·kα + m·kβ = 2+2+2+2+4+4 = 16 ≫ n+m = 4.
+        assert_eq!(s.num_vars(), 16);
+    }
+
+    #[test]
+    fn qubo_matches_direct_energy_on_random_assignments() {
+        let g = games::bird_game();
+        let s = SQubo::build(&g, &SQuboWeights::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let x: Vec<bool> = (0..s.num_vars()).map(|_| rng.random()).collect();
+            let a = s.qubo().energy(&x);
+            let b = s.direct_energy(&x);
+            assert!((a - b).abs() < 1e-6, "QUBO {a} vs direct {b}");
+        }
+    }
+
+    #[test]
+    fn bos_ground_states_are_pure_equilibria() {
+        let g = games::battle_of_the_sexes();
+        let s = SQubo::build(&g, &SQuboWeights::default()).unwrap();
+        let (x, e) = s.qubo().brute_force_minimum();
+        // Feasible optimum: pure NE with zero gap (constant included).
+        assert!(e.abs() < 1e-9, "ground energy {e}");
+        let d = s.decode(&x);
+        assert!(d.feasible);
+        let (p, q) = d.profile.expect("one-hot profile");
+        assert!(g.is_equilibrium(&p, &q, 1e-9));
+    }
+
+    #[test]
+    fn feasible_energy_equals_pure_nash_gap() {
+        // Construct the feasible assignment for each pure profile and
+        // check its S-QUBO energy equals the game's Nash gap — Eq. 6
+        // restricted to feasible points is lossless on pure profiles.
+        let g = games::battle_of_the_sexes();
+        let s = SQubo::build(&g, &SQuboWeights::default()).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                let x = feasible_assignment(&s, i, j);
+                let p = MixedStrategy::pure(2, i).unwrap();
+                let q = MixedStrategy::pure(2, j).unwrap();
+                let gap = g.nash_gap(&p, &q).unwrap();
+                let e = s.qubo().energy(&x);
+                assert!(
+                    (e - gap).abs() < 1e-9,
+                    "profile ({i},{j}): energy {e} vs gap {gap}"
+                );
+            }
+        }
+    }
+
+    /// Builds the exactly-feasible assignment for pure profile `(i, j)`.
+    fn feasible_assignment(s: &SQubo, pi: usize, qj: usize) -> Vec<bool> {
+        let (n, m) = (s.n, s.m);
+        let mut x = vec![false; s.num_vars()];
+        x[pi] = true;
+        x[n + qj] = true;
+        // α = max_i M̂[i][qj], ζ_i = α − M̂[i][qj].
+        let alpha = (0..n)
+            .map(|i| s.m_hat[(i, qj)].round() as u64)
+            .max()
+            .expect("non-empty");
+        let beta = (0..m)
+            .map(|j| s.nt_hat[(j, pi)].round() as u64)
+            .max()
+            .expect("non-empty");
+        let a0 = n + m;
+        let b0 = a0 + s.alpha_bits;
+        let z0 = b0 + s.beta_bits;
+        let e0 = z0 + n * s.alpha_bits;
+        set_bits(&mut x, a0, s.alpha_bits, alpha);
+        set_bits(&mut x, b0, s.beta_bits, beta);
+        for i in 0..n {
+            let zeta = alpha - s.m_hat[(i, qj)].round() as u64;
+            set_bits(&mut x, z0 + i * s.alpha_bits, s.alpha_bits, zeta);
+        }
+        for j in 0..m {
+            let eta = beta - s.nt_hat[(j, pi)].round() as u64;
+            set_bits(&mut x, e0 + j * s.beta_bits, s.beta_bits, eta);
+        }
+        x
+    }
+
+    fn set_bits(x: &mut [bool], start: usize, bits: usize, value: u64) {
+        for k in 0..bits {
+            x[start + k] = value & (1 << k) != 0;
+        }
+    }
+
+    #[test]
+    fn matching_pennies_ground_state_is_not_an_equilibrium() {
+        // No pure NE exists, so the S-QUBO minimum is a *fake* solution —
+        // the first lossiness mechanism of Sec. 2.2.
+        let g = games::matching_pennies();
+        let s = SQubo::build(&g, &SQuboWeights::default()).unwrap();
+        let (x, e) = s.qubo().brute_force_minimum();
+        let d = s.decode(&x);
+        assert!(e > 0.1, "minimum energy {e} should be positive (no pure NE)");
+        if let Some((p, q)) = d.profile {
+            assert!(!g.is_equilibrium(&p, &q, 1e-6));
+        }
+    }
+
+    #[test]
+    fn decode_flags_infeasible_assignments() {
+        let g = games::battle_of_the_sexes();
+        let s = SQubo::build(&g, &SQuboWeights::default()).unwrap();
+        // Both p bits on: not a one-hot profile.
+        let mut x = vec![false; s.num_vars()];
+        x[0] = true;
+        x[1] = true;
+        x[2] = true;
+        let d = s.decode(&x);
+        assert!(d.profile.is_none());
+        assert!(!d.feasible);
+    }
+
+    #[test]
+    fn rejects_fractional_payoffs() {
+        use cnash_game::{BimatrixGame, Matrix};
+        let m = Matrix::from_rows(&[vec![0.5, 0.0], vec![0.0, 1.0]]).unwrap();
+        let g = BimatrixGame::new("frac", m.clone(), m).unwrap();
+        assert!(matches!(
+            SQubo::build(&g, &SQuboWeights::default()),
+            Err(SQuboError::NonIntegerPayoffs)
+        ));
+    }
+
+    #[test]
+    fn negative_payoff_games_build() {
+        let g = games::hawk_dove();
+        let s = SQubo::build(&g, &SQuboWeights::default()).unwrap();
+        assert!(s.num_vars() > 4);
+        // Pure equilibria (H,D)/(D,H) are ground states with zero energy.
+        let (x, e) = s.qubo().brute_force_minimum();
+        assert!(e.abs() < 1e-9, "ground energy {e}");
+        let d = s.decode(&x);
+        let (p, q) = d.profile.expect("one-hot");
+        assert!(g.is_equilibrium(&p, &q, 1e-9));
+    }
+}

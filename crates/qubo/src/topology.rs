@@ -1,0 +1,130 @@
+//! Minor-embedding chain models for D-Wave QPU topologies.
+//!
+//! A QPU's qubit graph has bounded degree, so densely connected logical
+//! problems (the S-QUBO of Eq. 6 is nearly fully connected through the
+//! penalty terms) must be *minor-embedded*: each logical variable becomes
+//! a chain of physical qubits. Longer chains break more often during the
+//! anneal, corrupting samples — the dominant hardware noise mechanism this
+//! model captures. Chain-length scaling for clique embeddings:
+//! roughly `L/4 + 1` on Chimera (2000Q) and `L/12 + 1` on Pegasus
+//! (Advantage), reflecting their connectivities (6 vs 15).
+
+use std::fmt;
+
+/// A D-Wave qubit-graph family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// Chimera C16 (D-Wave 2000Q): 2048 qubits, degree 6.
+    Chimera,
+    /// Pegasus P16 (D-Wave Advantage): 5640 qubits, degree 15.
+    Pegasus,
+}
+
+impl Topology {
+    /// Physical qubit count of the flagship QPU of this family.
+    pub fn qubit_count(self) -> usize {
+        match self {
+            Topology::Chimera => 2048,
+            Topology::Pegasus => 5640,
+        }
+    }
+
+    /// Qubit connectivity (graph degree).
+    pub fn degree(self) -> usize {
+        match self {
+            Topology::Chimera => 6,
+            Topology::Pegasus => 15,
+        }
+    }
+
+    /// Estimated chain length for embedding a clique of `logical_vars`.
+    pub fn chain_length(self, logical_vars: usize) -> usize {
+        let denom = match self {
+            Topology::Chimera => 4,
+            Topology::Pegasus => 12,
+        };
+        logical_vars.div_ceil(denom) + 1
+    }
+
+    /// Physical qubits consumed by the embedding.
+    pub fn physical_qubits(self, logical_vars: usize) -> usize {
+        logical_vars * self.chain_length(logical_vars)
+    }
+
+    /// `true` if a clique of `logical_vars` fits on this QPU.
+    pub fn fits(self, logical_vars: usize) -> bool {
+        self.physical_qubits(logical_vars) <= self.qubit_count()
+    }
+
+    /// Probability that a chain of the embedding breaks during one
+    /// anneal, given a per-link break probability: a chain of length `c`
+    /// has `c − 1` internal couplers.
+    pub fn chain_break_probability(self, logical_vars: usize, link_break_prob: f64) -> f64 {
+        let c = self.chain_length(logical_vars);
+        1.0 - (1.0 - link_break_prob).powi(c as i32 - 1)
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Topology::Chimera => write!(f, "Chimera (2000Q)"),
+            Topology::Pegasus => write!(f, "Pegasus (Advantage)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_counts_and_degrees() {
+        assert_eq!(Topology::Chimera.qubit_count(), 2048);
+        assert_eq!(Topology::Pegasus.qubit_count(), 5640);
+        assert!(Topology::Pegasus.degree() > Topology::Chimera.degree());
+    }
+
+    #[test]
+    fn pegasus_chains_are_shorter() {
+        for l in [16, 40, 88] {
+            assert!(
+                Topology::Pegasus.chain_length(l) < Topology::Chimera.chain_length(l),
+                "L={l}"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_length_grows_with_problem() {
+        let t = Topology::Chimera;
+        assert!(t.chain_length(80) > t.chain_length(16));
+    }
+
+    #[test]
+    fn small_problems_fit_everywhere() {
+        assert!(Topology::Chimera.fits(16));
+        assert!(Topology::Pegasus.fits(88));
+    }
+
+    #[test]
+    fn break_probability_increases_with_chain_length() {
+        let p = 0.01;
+        let small = Topology::Chimera.chain_break_probability(8, p);
+        let big = Topology::Chimera.chain_break_probability(88, p);
+        assert!(big > small);
+        assert!((0.0..=1.0).contains(&small));
+        assert!((0.0..=1.0).contains(&big));
+    }
+
+    #[test]
+    fn zero_link_break_means_no_chain_break() {
+        assert_eq!(Topology::Pegasus.chain_break_probability(40, 0.0), 0.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert!(Topology::Chimera.to_string().contains("2000Q"));
+        assert!(Topology::Pegasus.to_string().contains("Advantage"));
+    }
+}

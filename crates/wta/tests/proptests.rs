@@ -1,0 +1,75 @@
+//! Property-based tests of the WTA tree.
+
+use cnash_device::corners::ProcessCorner;
+use cnash_wta::{WtaConfig, WtaTree};
+use proptest::prelude::*;
+
+fn arb_corner() -> impl Strategy<Value = ProcessCorner> {
+    prop::sample::select(ProcessCorner::ALL.to_vec())
+}
+
+proptest! {
+    /// Tree output is always within the compounded offset bound of the
+    /// true maximum, for any inputs, any corner, any silicon seed.
+    #[test]
+    fn output_within_error_bound(
+        inputs in prop::collection::vec(0.0f64..1e-4, 1..16),
+        corner in arb_corner(),
+        seed in 0u64..200,
+    ) {
+        let tree = WtaTree::build(inputs.len(), &WtaConfig::at_corner(corner), seed);
+        let out = tree.eval(&inputs);
+        let exact = inputs.iter().copied().fold(0.0f64, f64::max);
+        let bound = tree.error_bound();
+        prop_assert!(out.value <= exact * (1.0 + bound) + 1e-18);
+        prop_assert!(out.value >= exact * (1.0 - bound) - 1e-18);
+    }
+
+    /// The argmax always points at a genuine input position, and for an
+    /// ideal tree it is exactly the argmax.
+    #[test]
+    fn ideal_argmax_exact(inputs in prop::collection::vec(0.0f64..1e-4, 1..32)) {
+        let tree = WtaTree::ideal(inputs.len());
+        let out = tree.eval(&inputs);
+        prop_assert!(out.argmax < inputs.len());
+        let exact = inputs.iter().copied().fold(0.0f64, f64::max);
+        // Eq. 10 (min + |diff|) is exact in real arithmetic; floating
+        // point leaves at most a few ULPs.
+        prop_assert!((out.value - exact).abs() <= exact * 1e-12);
+        prop_assert!((inputs[out.argmax] - exact).abs() <= exact * 1e-12);
+    }
+
+    /// Latency depends only on the input count and corner, never on data.
+    #[test]
+    fn latency_data_independent(
+        a in prop::collection::vec(0.0f64..1e-4, 8),
+        b in prop::collection::vec(0.0f64..1e-4, 8),
+        corner in arb_corner(),
+    ) {
+        let tree = WtaTree::build(8, &WtaConfig::at_corner(corner), 0);
+        prop_assert_eq!(tree.eval(&a).latency, tree.eval(&b).latency);
+    }
+
+    /// Permuting the inputs of an ideal tree does not change the maximum.
+    #[test]
+    fn ideal_tree_permutation_invariant(
+        mut inputs in prop::collection::vec(0.0f64..1e-4, 4..12),
+        rot in 0usize..12,
+    ) {
+        let tree = WtaTree::ideal(inputs.len());
+        let before = tree.eval(&inputs).value;
+        let r = rot % inputs.len();
+        inputs.rotate_left(r);
+        let after = tree.eval(&inputs).value;
+        prop_assert!((after - before).abs() <= before.abs() * 1e-12);
+    }
+
+    /// Paper's sizing formula: cell count is 2^ceil(log2 D) − 1.
+    #[test]
+    fn cell_count_formula(d in 1usize..64) {
+        let tree = WtaTree::ideal(d);
+        let k = (d as f64).log2().ceil().max(1.0) as u32;
+        prop_assert_eq!(tree.cell_count(), (1usize << k) - 1);
+        prop_assert_eq!(tree.levels(), k as usize);
+    }
+}

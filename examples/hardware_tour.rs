@@ -1,0 +1,73 @@
+//! A tour of the simulated hardware stack, bottom-up: FeFET device →
+//! 1FeFET1R cell → crossbar mapping → WTA tree → full objective
+//! evaluation. Mirrors the paper's Sec. 2.3 and Sec. 3 narrative.
+//!
+//! Run with: `cargo run -p cnash-core --example hardware_tour`
+
+use cnash_anneal::moves::GridStrategyPair;
+use cnash_core::{CNashConfig, CNashSolver};
+use cnash_crossbar::stats::column_linearity_sweep;
+use cnash_device::cell::{CellParams, OneFeFetOneR};
+use cnash_device::fefet::{FeFet, FeFetState};
+use cnash_device::preisach::{Preisach, PreisachParams};
+use cnash_device::variability::VariabilityModel;
+use cnash_game::games;
+use cnash_wta::transient::corner_sweep;
+use cnash_wta::{WtaConfig, WtaTree};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Preisach ferroelectric stack (Fig. 2a) ---
+    let mut fe = Preisach::new(PreisachParams::default());
+    fe.apply_voltage(4.0);
+    println!("after +4 V write pulse:  {fe}");
+    fe.apply_voltage(-4.0);
+    println!("after -4 V write pulse:  {fe}");
+
+    // --- FeFET ID-VG (Fig. 2b) ---
+    let on = FeFet::ideal(FeFetState::LowVth);
+    let off = FeFet::ideal(FeFetState::HighVth);
+    println!("\nID-VG at the 0.8 V read point:");
+    println!("  '1' (low-Vth):  {:.3e} A", on.drain_current(0.8));
+    println!("  '0' (high-Vth): {:.3e} A", off.drain_current(0.8));
+
+    // --- 1FeFET1R ON-current clamping (Fig. 2c/d) ---
+    let cell = OneFeFetOneR::ideal(FeFetState::LowVth);
+    println!(
+        "\n1FeFET1R selected-'1' current: {:.3} uA (clamped by the series R)",
+        cell.output_current(true, true) * 1e6
+    );
+
+    // --- Crossbar linearity under variability (Fig. 7a) ---
+    let sweep = column_linearity_sweep(64, VariabilityModel::paper(), CellParams::default(), 7);
+    println!(
+        "64-cell column linearity with 40 mV / 8% spreads: R^2 = {:.5}",
+        sweep.r_squared()
+    );
+
+    // --- WTA tree (Fig. 5) ---
+    let tree = WtaTree::build(8, &WtaConfig::nominal(), 3);
+    let currents = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0].map(|x| x * 1e-6);
+    let out = tree.eval(&currents);
+    println!(
+        "\nWTA tree over 8 currents: max = {:.3} uA at input {} ({} cells, {:.2} ns)",
+        out.value * 1e6,
+        out.argmax,
+        tree.cell_count(),
+        out.latency * 1e9
+    );
+    println!("WTA settling across corners (Fig. 7b):");
+    for c in corner_sweep(10e-6, 1e-12, 1e-9) {
+        println!("  {:>4}: {:.3} ns", c.corner.to_string(), c.settling_time * 1e9);
+    }
+
+    // --- Full two-phase objective evaluation (Fig. 6) ---
+    let game = games::bird_game();
+    let solver = CNashSolver::new(&game, CNashConfig::paper(12), 0)?;
+    let state = GridStrategyPair::new(vec![8, 4, 0], vec![8, 4, 0], 12)?;
+    let hw_gap = solver.evaluate(&state);
+    let exact = game.nash_gap(&state.p_strategy(), &state.q_strategy())?;
+    println!(
+        "\ntwo-phase evaluation at the bird game's mixed NE: hardware {hw_gap:+.4}, exact {exact:+.4}"
+    );
+    Ok(())
+}

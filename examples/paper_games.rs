@@ -1,0 +1,68 @@
+//! Runs all three paper benchmarks (Sec. 4.2) against C-Nash and the two
+//! emulated D-Wave baselines, printing a compact Table-1-style comparison.
+//!
+//! This is the fast tour (100 runs each); the full reproduction binaries
+//! live in `cnash-bench` (`cargo run -p cnash-bench --bin table1`).
+//!
+//! Run with: `cargo run -p cnash-core --example paper_games --release`
+
+use cnash_core::baselines::DWaveNashSolver;
+use cnash_core::report::{render_table, tts_row};
+use cnash_core::{CNashConfig, CNashSolver, ExperimentRunner, NashSolver};
+use cnash_game::games;
+use cnash_game::support_enum::enumerate_equilibria;
+use cnash_qubo::dwave::DWaveModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let runner = ExperimentRunner::new(100, 0);
+    let mut success_rows = Vec::new();
+    let mut tts_rows = Vec::new();
+
+    for bench in games::paper_benchmarks() {
+        let game = &bench.game;
+        let truth = enumerate_equilibria(game, 1e-9);
+        println!(
+            "{} — {} actions, {} ground-truth equilibria",
+            game.name(),
+            game.row_actions(),
+            truth.len()
+        );
+
+        let cnash_cfg =
+            CNashConfig::paper(12).with_iterations(bench.paper_iterations / 5);
+        let cnash = CNashSolver::new(game, cnash_cfg, 0)?;
+        let q2000 = DWaveNashSolver::new(game, DWaveModel::dwave_2000q(), 1)?;
+        let advantage = DWaveNashSolver::new(game, DWaveModel::advantage_4_1(), 1)?;
+
+        for solver in [&cnash as &dyn NashSolver, &q2000, &advantage] {
+            let r = runner.evaluate(solver, &truth);
+            success_rows.push(vec![
+                r.solver.clone(),
+                r.game.clone(),
+                format!("{:.2}", r.success_rate),
+                format!("{}/{}", r.covered, r.target_count),
+            ]);
+            tts_rows.push(tts_row(&r));
+        }
+    }
+
+    println!();
+    print!(
+        "{}",
+        render_table(
+            "Success rate of finding an NE solution (cf. paper Table 1)",
+            &["solver", "game", "success %", "distinct found"],
+            &success_rows,
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        render_table(
+            "Time to solution (cf. paper Fig. 10)",
+            &["solver", "game", "mean TTS", "TTS99"],
+            &tts_rows,
+        )
+    );
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Quickstart: solve Battle of the Sexes end-to-end on the simulated
+//! C-Nash hardware.
+//!
+//! Run with: `cargo run -p cnash-core --example quickstart`
+
+use cnash_core::{CNashConfig, CNashSolver, NashSolver};
+use cnash_game::games;
+use cnash_game::support_enum::enumerate_equilibria;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A two-player game: Battle of the Sexes.
+    let game = games::battle_of_the_sexes();
+    println!("{game}");
+
+    // 2. Ground truth from support enumeration (what Nashpy provides in
+    //    the paper): BoS has two pure equilibria and one mixed.
+    let truth = enumerate_equilibria(&game, 1e-9);
+    println!("ground-truth equilibria:");
+    for eq in &truth {
+        println!("  {eq}");
+    }
+
+    // 3. Build the C-Nash hardware (paper configuration: FeFET
+    //    variability, 8-bit ADCs, WTA trees) and run the two-phase SA.
+    let config = CNashConfig::paper(12).with_iterations(10_000);
+    let solver = CNashSolver::new(&game, config, 42)?;
+
+    println!("\nC-Nash runs:");
+    for seed in 0..5 {
+        let out = solver.run(seed);
+        let (p, q) = out.profile.expect("C-Nash always returns a profile");
+        println!(
+            "  seed {seed}: p*={p} q*={q}  equilibrium={}  model-time={:.2} us",
+            out.is_equilibrium,
+            out.total_time * 1e6,
+        );
+    }
+
+    // 4. One run, inspected in detail.
+    let out = solver.run(7);
+    let (p, q) = out.profile.expect("profile");
+    let (f1, f2) = game.payoffs(&p, &q)?;
+    println!("\nselected solution: p*={p}, q*={q}");
+    println!("expected payoffs: player1={f1:.3}, player2={f2:.3}");
+    println!("exact Nash gap: {:.2e}", game.nash_gap(&p, &q)?);
+    if let Some(t) = out.hit_time {
+        println!("model time to first detection: {:.2} us", t * 1e6);
+    }
+    Ok(())
+}

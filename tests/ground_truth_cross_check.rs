@@ -1,0 +1,82 @@
+//! Agreement between the independent ground-truth solvers: support
+//! enumeration (the Nashpy substitute), Lemke–Howson and exhaustive
+//! MAX-QUBO grid search.
+
+use cnash_game::games;
+use cnash_game::generators::{random_coordination_game, random_integer_game};
+use cnash_game::lemke_howson::lemke_howson_all_labels;
+use cnash_game::support_enum::enumerate_equilibria;
+
+/// Every Lemke–Howson solution appears in the enumerated set, for all
+/// named games and a batch of random ones.
+#[test]
+fn lemke_howson_subset_of_enumeration() {
+    let mut checked = 0;
+    let named = vec![
+        games::battle_of_the_sexes(),
+        games::bird_game(),
+        games::prisoners_dilemma(),
+        games::stag_hunt(),
+        games::hawk_dove(),
+        games::matching_pennies(),
+        games::rock_paper_scissors(),
+    ];
+    let random: Vec<_> = (0..10)
+        .filter_map(|s| random_integer_game(3, 3, 9, s).ok())
+        .collect();
+    for game in named.into_iter().chain(random) {
+        let all = enumerate_equilibria(&game, 1e-9);
+        for eq in lemke_howson_all_labels(&game) {
+            assert!(
+                all.iter().any(|t| t.same_profile(&eq, 1e-5)),
+                "{}: LH solution {eq} missing from enumeration",
+                game.name()
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 10, "cross-check exercised too few solutions");
+}
+
+/// Enumeration output always verifies, and pure-equilibria enumeration by
+/// best-response scanning agrees with the support-size-1 results.
+#[test]
+fn pure_enumeration_consistency() {
+    for seed in 0..20 {
+        let game = random_coordination_game(4, 5, 3, seed).expect("valid");
+        let all = enumerate_equilibria(&game, 1e-9);
+        let pure_direct = game.pure_equilibria(1e-9);
+        let pure_from_enum: Vec<(usize, usize)> = all
+            .iter()
+            .filter_map(|e| {
+                Some((e.row.pure_action(1e-6)?, e.col.pure_action(1e-6)?))
+            })
+            .collect();
+        for ij in &pure_from_enum {
+            assert!(
+                pure_direct.contains(ij),
+                "seed {seed}: enumerated pure NE {ij:?} not found by scanning"
+            );
+        }
+        for ij in &pure_direct {
+            assert!(
+                pure_from_enum.contains(ij),
+                "seed {seed}: scanned pure NE {ij:?} not enumerated"
+            );
+        }
+    }
+}
+
+/// Every finite game has an equilibrium (Nash's theorem): the enumerator
+/// must return at least one for every (nondegenerate) random instance.
+#[test]
+fn enumeration_never_comes_up_empty() {
+    for seed in 100..130 {
+        let game = random_integer_game(4, 4, 12, seed).expect("valid");
+        let eqs = enumerate_equilibria(&game, 1e-9);
+        assert!(!eqs.is_empty(), "seed {seed}: no equilibrium found");
+        for e in &eqs {
+            assert!(game.is_equilibrium(&e.row, &e.col, 1e-7));
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Cross-crate consistency: the hardware pipeline must agree with exact
+//! game-theoretic arithmetic wherever the paper claims losslessness.
+
+use cnash_anneal::moves::GridStrategyPair;
+use cnash_core::{CNashConfig, CNashSolver};
+use cnash_crossbar::{BiCrossbar, CrossbarConfig};
+use cnash_game::{games, BimatrixGame, MixedStrategy};
+use cnash_qubo::maxqubo::{compositions, MaxQubo};
+use cnash_qubo::squbo::{SQubo, SQuboWeights};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Ideal-hardware Nash gap equals the exact gap on every grid point of
+/// every benchmark game (the lossless-transformation claim, end to end).
+#[test]
+fn ideal_hardware_gap_is_exact_on_the_full_grid() {
+    for game in [games::battle_of_the_sexes(), games::bird_game()] {
+        let intervals = 6; // keep the exhaustive sweep small
+        let xbar = BiCrossbar::build(&game, &CrossbarConfig::ideal(intervals), 0).expect("maps");
+        let n = game.row_actions();
+        let m = game.col_actions();
+        for pc in compositions(intervals, n) {
+            let p = MixedStrategy::from_grid_counts(&pc, intervals).expect("valid");
+            for qc in compositions(intervals, m) {
+                let q = MixedStrategy::from_grid_counts(&qc, intervals).expect("valid");
+                let hw = xbar.nash_gap(&p, &q).expect("read");
+                let exact = game.nash_gap(&p, &q).expect("shapes");
+                assert!(
+                    (hw - exact).abs() < 5e-4,
+                    "{}: ({p}, {q}): hw {hw} vs exact {exact}",
+                    game.name()
+                );
+            }
+        }
+    }
+}
+
+/// The noisy (paper-config) hardware evaluation stays within a small
+/// envelope of the exact objective — the robustness premise of Sec. 4.1.
+#[test]
+fn noisy_hardware_gap_stays_within_envelope() {
+    let game = games::modified_prisoners_dilemma();
+    let solver = CNashSolver::new(&game, CNashConfig::paper(12), 9).expect("maps");
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut worst: f64 = 0.0;
+    for _ in 0..200 {
+        let state = GridStrategyPair::random(8, 8, 12, &mut rng).expect("valid");
+        let hw = solver.evaluate(&state);
+        let exact = game
+            .nash_gap(&state.p_strategy(), &state.q_strategy())
+            .expect("shapes");
+        worst = worst.max((hw - exact).abs());
+    }
+    assert!(worst < 0.15, "worst hardware error {worst}");
+}
+
+/// MAX-QUBO grid minima coincide with the support-enumeration ground
+/// truth for every benchmark whose equilibria fit the 1/12 grid.
+#[test]
+fn grid_minima_equal_ground_truth() {
+    for game in [games::battle_of_the_sexes(), games::bird_game()] {
+        let truth = cnash_game::support_enum::enumerate_equilibria(&game, 1e-9);
+        let minima = MaxQubo::new(&game).grid_minima(12, 1e-9).expect("grid");
+        assert_eq!(minima.len(), truth.len(), "{}", game.name());
+        for (p, q, f) in &minima {
+            assert!(f.abs() < 1e-9);
+            assert!(
+                truth
+                    .iter()
+                    .any(|e| e.row.linf_distance(p) < 1e-6 && e.col.linf_distance(q) < 1e-6),
+                "{}: grid minimum not in ground truth",
+                game.name()
+            );
+        }
+    }
+}
+
+/// S-QUBO's feasible restriction equals the pure-profile Nash gap for all
+/// benchmarks — the lossiness lives in the binary-only representation and
+/// the penalty landscape, not in the feasible values themselves.
+#[test]
+fn squbo_pure_ground_states_match_pure_equilibria() {
+    for bench in games::paper_benchmarks() {
+        let game = &bench.game;
+        let squbo = SQubo::build(game, &SQuboWeights::default()).expect("integer payoffs");
+        if squbo.num_vars() > 24 {
+            continue; // brute force only where exhaustive search is sane
+        }
+        let (x, e) = squbo.qubo().brute_force_minimum();
+        let pure = game.pure_equilibria(1e-9);
+        if pure.is_empty() {
+            assert!(e > 1e-6, "{}: no pure NE but zero ground energy", game.name());
+        } else {
+            assert!(e.abs() < 1e-9, "{}: ground energy {e}", game.name());
+            let d = squbo.decode(&x);
+            let (p, q) = d.profile.expect("one-hot ground state");
+            let i = p.pure_action(1e-9).expect("pure");
+            let j = q.pure_action(1e-9).expect("pure");
+            assert!(pure.contains(&(i, j)), "{}: ({i},{j}) not a pure NE", game.name());
+        }
+    }
+}
+
+/// Offset invariance end to end: shifting all payoffs by a constant does
+/// not change what the hardware-solver measures (the crossbar stores the
+/// shifted matrix; the MAX-QUBO gap cancels the shift).
+#[test]
+fn payoff_offset_invariance_through_hardware() {
+    let base = games::bird_game();
+    let shifted = BimatrixGame::new(
+        "bird+7",
+        base.row_payoffs().map(|x| x + 7.0),
+        base.col_payoffs().map(|x| x + 7.0),
+    )
+    .expect("shapes");
+
+    let a = BiCrossbar::build(&base, &CrossbarConfig::ideal(12), 0).expect("maps");
+    let b = BiCrossbar::build(&shifted, &CrossbarConfig::ideal(12), 0).expect("maps");
+    let p = MixedStrategy::new(vec![0.5, 0.25, 0.25]).expect("valid");
+    let q = MixedStrategy::new(vec![0.25, 0.25, 0.5]).expect("valid");
+    let ga = a.nash_gap(&p, &q).expect("read");
+    let gb = b.nash_gap(&p, &q).expect("read");
+    assert!((ga - gb).abs() < 1e-4, "offset changed hardware gap: {ga} vs {gb}");
+}
+
+/// The WTA path and the exact-max path agree to within the tree's error
+/// bound on Phase-1 data, end to end through the solver.
+#[test]
+fn wta_and_exact_max_paths_agree_within_bound() {
+    let game = games::modified_prisoners_dilemma();
+    let mut cfg = CNashConfig::paper(12);
+    cfg.crossbar.variability = cnash_device::variability::VariabilityModel::none();
+    cfg.crossbar.adc_bits = None;
+
+    let with_wta = CNashSolver::new(&game, cfg, 3).expect("maps");
+    cfg.use_wta = false;
+    let without = CNashSolver::new(&game, cfg, 3).expect("maps");
+
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..50 {
+        let state = GridStrategyPair::random(8, 8, 12, &mut rng).expect("valid");
+        let a = with_wta.evaluate(&state);
+        let b = without.evaluate(&state);
+        // Two maxima of magnitude ≤ 6 payoff units, each with ≤ ~0.76%
+        // compounded tree offset (3 levels × 0.25%).
+        assert!((a - b).abs() < 0.1, "WTA {a} vs exact {b}");
+    }
+}
