@@ -56,8 +56,7 @@ impl AdaptiveController {
         assert!(config.gain > 1.0, "gain must exceed 1");
         assert!(config.window > 0, "window must be positive");
         assert!(
-            (0.0..=1.0).contains(&config.accept_start)
-                && (0.0..=1.0).contains(&config.accept_end),
+            (0.0..=1.0).contains(&config.accept_start) && (0.0..=1.0).contains(&config.accept_end),
             "acceptance targets in [0, 1]"
         );
         Self {
@@ -163,8 +162,7 @@ mod tests {
             let frac = k as f64 / total as f64;
             let cand = if rng.random::<bool>() { x + 1 } else { x - 1 };
             let delta = (cand.abs() - x.abs()) as f64;
-            let accept =
-                delta <= 0.0 || rng.random::<f64>() < (-delta / c.temperature()).exp();
+            let accept = delta <= 0.0 || rng.random::<f64>() < (-delta / c.temperature()).exp();
             if accept {
                 x = cand;
             }

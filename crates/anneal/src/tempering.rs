@@ -90,7 +90,7 @@ pub fn parallel_tempering<S: Clone + PartialEq>(
         .collect();
 
     let mut states: Vec<S> = vec![init; k];
-    let mut energies: Vec<f64> = states.iter().map(|s| energy(s)).collect();
+    let mut energies: Vec<f64> = states.iter().map(&mut energy).collect();
     let mut best_state = states[0].clone();
     let mut best_energy = energies[0];
     let mut swaps_accepted = 0;

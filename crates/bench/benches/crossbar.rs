@@ -14,14 +14,8 @@ fn build_mpd_crossbar() -> Crossbar {
     let g = games::modified_prisoners_dilemma();
     let q = QuantizedPayoffs::from_integer_matrix(g.row_payoffs()).expect("integer payoffs");
     let spec = MappingSpec::new(12, q.max_element()).expect("valid spec");
-    Crossbar::build(
-        q,
-        spec,
-        CellParams::default(),
-        VariabilityModel::paper(),
-        7,
-    )
-    .expect("valid build")
+    Crossbar::build(q, spec, CellParams::default(), VariabilityModel::paper(), 7)
+        .expect("valid build")
 }
 
 fn bench_reads(c: &mut Criterion) {

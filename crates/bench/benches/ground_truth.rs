@@ -14,10 +14,7 @@ fn bench_enumeration(c: &mut Criterion) {
         games::bird_game(),
         games::modified_prisoners_dilemma(),
     ] {
-        let label = format!(
-            "ground_truth/support_enum_{}_actions",
-            game.row_actions()
-        );
+        let label = format!("ground_truth/support_enum_{}_actions", game.row_actions());
         c.bench_function(&label, |b| {
             b.iter(|| enumerate_equilibria(black_box(&game), 1e-9))
         });

@@ -14,10 +14,7 @@ fn bench_cnash_runs(c: &mut Criterion) {
     for bench in games::paper_benchmarks() {
         let cfg = CNashConfig::paper(12).with_iterations(1000);
         let solver = CNashSolver::new(&bench.game, cfg, 0).expect("maps");
-        let label = format!(
-            "solver/cnash_1k_iters_{}_actions",
-            bench.game.row_actions()
-        );
+        let label = format!("solver/cnash_1k_iters_{}_actions", bench.game.row_actions());
         let mut seed = 0u64;
         c.bench_function(&label, |b| {
             b.iter(|| {

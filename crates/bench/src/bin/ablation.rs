@@ -68,7 +68,10 @@ fn main() {
     let mut cfg = CNashConfig::paper(12).with_iterations(15_000);
     cfg.use_wta = false;
     let no_wta = CNashSolver::new(&game, cfg, cli.seed).expect("maps");
-    push("hardware, exact max (no WTA)", runner.evaluate(&no_wta, &truth));
+    push(
+        "hardware, exact max (no WTA)",
+        runner.evaluate(&no_wta, &truth),
+    );
 
     let full = CNashSolver::new(
         &game,

@@ -1,0 +1,77 @@
+//! Batch/portfolio front-end: runs a JSON jobs file on the parallel
+//! runtime and emits a machine-readable JSON report on stdout.
+//!
+//! `cargo run -p cnash-bench --bin batch --release -- \
+//!      --jobs-file jobs.json [--threads T]`
+//!
+//! The jobs-file format is documented in `cnash_runtime::spec`; in
+//! `"portfolio"` mode the first job to reach its early-stop target
+//! cancels the rest.
+
+use cnash_bench::Cli;
+use cnash_runtime::report::portfolio_json;
+use cnash_runtime::{BatchSpec, PortfolioRunner};
+
+fn main() {
+    let cli = Cli::parse();
+    let Some(path) = &cli.jobs_file else {
+        eprintln!("error: the batch binary needs --jobs-file PATH");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let spec = match BatchSpec::from_json(&text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let jobs: Vec<_> = match spec.jobs.iter().map(|j| j.prepare()).collect() {
+        Ok(jobs) => jobs,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // --threads on the command line overrides the file's setting.
+    let threads = if cli.threads > 0 {
+        cli.threads
+    } else {
+        spec.threads
+    };
+    let outcome = PortfolioRunner::new()
+        .threads(threads)
+        .stop(spec.stop)
+        .run(&jobs);
+
+    for result in &outcome.results {
+        eprintln!(
+            "{:<40} runs {:>5}/{:<5} success {:>6.2}% coverage {}/{}{}",
+            result.label,
+            result.batch.executed_runs,
+            result.batch.scheduled_runs,
+            result.batch.report.success_rate,
+            result.batch.report.covered,
+            result.batch.report.target_count,
+            if result.batch.stopped_early {
+                "  [early stop]"
+            } else if result.batch.cancelled {
+                "  [cancelled]"
+            } else {
+                ""
+            }
+        );
+    }
+    if let Some(winner) = outcome.winner {
+        eprintln!("winner: {}", outcome.results[winner].label);
+    }
+    print!("{}", portfolio_json(&outcome).pretty());
+}

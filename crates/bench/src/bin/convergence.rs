@@ -27,13 +27,8 @@ fn main() {
             record_hits: false,
         };
         let mut rng = StdRng::seed_from_u64(1 ^ 0x5EED_0101);
-        let init = GridStrategyPair::random(
-            game.row_actions(),
-            game.col_actions(),
-            12,
-            &mut rng,
-        )
-        .expect("valid");
+        let init = GridStrategyPair::random(game.row_actions(), game.col_actions(), 12, &mut rng)
+            .expect("valid");
         let run = simulated_annealing(
             init,
             |s| solver.evaluate(s),

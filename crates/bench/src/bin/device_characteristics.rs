@@ -38,13 +38,13 @@ fn main() {
                 FeFet::new(FeFetState::LowVth, Default::default(), s.delta_vth).drain_current(vg)
             })
             .collect();
-        let mut params = CellParams::default();
-        params.v_wl_read = vg;
+        let params = CellParams {
+            v_wl_read: vg,
+            ..CellParams::default()
+        };
         let clamped: Vec<f64> = samples
             .iter()
-            .map(|&s| {
-                OneFeFetOneR::new(FeFetState::LowVth, params, s).output_current(true, true)
-            })
+            .map(|&s| OneFeFetOneR::new(FeFetState::LowVth, params, s).output_current(true, true))
             .collect();
         let bare_stats = Stats::from_samples(&bare);
         let clamp_stats = Stats::from_samples(&clamped);

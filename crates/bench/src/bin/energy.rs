@@ -48,7 +48,12 @@ fn main() {
         "{}",
         render_table(
             "Energy model (extension) — paper-config hardware, uniform-state iteration",
-            &["game", "E/iteration (pJ)", "iters to solution", "E/solution (nJ)"],
+            &[
+                "game",
+                "E/iteration (pJ)",
+                "iters to solution",
+                "E/solution (nJ)"
+            ],
             &rows,
         )
     );

@@ -31,7 +31,12 @@ fn main() {
     println!("\nDistinct solutions found by C-Nash:");
     for eval in &evals {
         let cnash = &eval.reports[0];
-        println!("  {} ({} of {}):", eval.bench.game.name(), cnash.covered, cnash.target_count);
+        println!(
+            "  {} ({} of {}):",
+            eval.bench.game.name(),
+            cnash.covered,
+            cnash.target_count
+        );
         for eq in &cnash.distinct_found {
             println!("    [{}] {eq}", eq.kind(1e-6));
         }

@@ -12,8 +12,7 @@ use cnash_core::report::{coverage_row, distribution_row, render_table, success_r
 fn main() {
     let cli = Cli::parse();
     let evals = evaluate_paper_benchmarks(&cli);
-    let all: Vec<&cnash_core::GameReport> =
-        evals.iter().flat_map(|e| e.reports.iter()).collect();
+    let all: Vec<&cnash_core::GameReport> = evals.iter().flat_map(|e| e.reports.iter()).collect();
 
     print!(
         "{}",

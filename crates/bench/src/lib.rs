@@ -5,20 +5,62 @@
 //! * `--runs N` — independent runs per (solver, game) pair (default 500),
 //! * `--full` — the paper's full 5000 runs with the paper's iteration
 //!   budgets (slow!),
-//! * `--seed S` — base RNG seed (default 0).
+//! * `--seed S` — base RNG seed (default 0),
+//! * `--threads T` — worker threads for the parallel runtime
+//!   (default 0 = all cores),
+//! * `--jobs-file PATH` — run a JSON jobs file through the portfolio
+//!   runtime instead of the built-in benchmarks (the `batch` binary).
 //!
 //! Paper-vs-measured numbers for every artefact are recorded in
 //! `EXPERIMENTS.md` at the repository root.
 
 use cnash_core::baselines::DWaveNashSolver;
-use cnash_core::{CNashConfig, CNashSolver, ExperimentRunner, GameReport, NashSolver};
+use cnash_core::{CNashConfig, CNashSolver, GameReport, NashSolver};
 use cnash_game::games::{paper_benchmarks, PaperBenchmark};
 use cnash_game::support_enum::enumerate_equilibria;
 use cnash_game::Equilibrium;
 use cnash_qubo::dwave::DWaveModel;
+use cnash_runtime::BatchRunner;
+
+/// One flag of the shared reproduction CLI.
+struct FlagSpec {
+    name: &'static str,
+    /// Placeholder of the flag's value (`None` = boolean switch).
+    value: Option<&'static str>,
+    help: &'static str,
+}
+
+/// The single flag table every reproduction binary shares.
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--runs",
+        value: Some("N"),
+        help: "independent runs per (solver, game) pair [500]",
+    },
+    FlagSpec {
+        name: "--seed",
+        value: Some("S"),
+        help: "base RNG seed [0]",
+    },
+    FlagSpec {
+        name: "--full",
+        value: None,
+        help: "the paper's full 5000-run budgets (slow!)",
+    },
+    FlagSpec {
+        name: "--threads",
+        value: Some("T"),
+        help: "worker threads for the parallel runtime [0 = all cores]",
+    },
+    FlagSpec {
+        name: "--jobs-file",
+        value: Some("PATH"),
+        help: "JSON jobs file to run through the portfolio runtime",
+    },
+];
 
 /// Parsed command-line options of a reproduction binary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Cli {
     /// Runs per (solver, game) pair.
     pub runs: usize,
@@ -26,43 +68,72 @@ pub struct Cli {
     pub full: bool,
     /// Base seed.
     pub seed: u64,
+    /// Worker threads (`0` = all cores).
+    pub threads: usize,
+    /// Optional JSON jobs file.
+    pub jobs_file: Option<String>,
 }
 
 impl Cli {
     /// Parses `std::env::args`. Unknown flags abort with a usage message.
     pub fn parse() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match Self::parse_from(&args) {
+            Ok(cli) => cli,
+            Err(msg) => usage(&msg),
+        }
+    }
+
+    /// Parses an explicit argument list.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid or unknown flag.
+    pub fn parse_from(args: &[String]) -> Result<Self, String> {
         let mut cli = Cli {
             runs: 500,
-            full: false,
-            seed: 0,
+            ..Cli::default()
         };
-        let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
-            match args[i].as_str() {
+            let arg = args[i].as_str();
+            let spec = FLAGS
+                .iter()
+                .find(|f| f.name == arg)
+                .ok_or_else(|| format!("unknown flag {arg}"))?;
+            let value = if spec.value.is_some() {
+                i += 1;
+                Some(
+                    args.get(i)
+                        .ok_or_else(|| format!("{arg} needs a value"))?
+                        .as_str(),
+                )
+            } else {
+                None
+            };
+            let parsed = |v: &str| -> Result<u64, String> {
+                v.parse::<u64>()
+                    .map_err(|_| format!("{arg} needs a non-negative integer, got `{v}`"))
+            };
+            match arg {
                 "--runs" => {
-                    i += 1;
-                    cli.runs = args
-                        .get(i)
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| usage("--runs needs a positive integer"));
+                    cli.runs = parsed(value.expect("has value"))? as usize;
+                    if cli.runs == 0 {
+                        return Err("--runs needs a positive integer".into());
+                    }
                 }
-                "--seed" => {
-                    i += 1;
-                    cli.seed = args
-                        .get(i)
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| usage("--seed needs an integer"));
-                }
+                "--seed" => cli.seed = parsed(value.expect("has value"))?,
+                "--threads" => cli.threads = parsed(value.expect("has value"))? as usize,
                 "--full" => cli.full = true,
-                other => usage(&format!("unknown flag {other}")),
+                "--jobs-file" => cli.jobs_file = Some(value.expect("has value").to_string()),
+                _ => unreachable!("flag table covers every match arm"),
             }
             i += 1;
         }
         if cli.full {
             cli.runs = 5000;
         }
-        cli
+        Ok(cli)
     }
 
     /// SA iteration budget for a benchmark: the paper's figure when
@@ -74,11 +145,22 @@ impl Cli {
             (bench.paper_iterations / 5).max(1000)
         }
     }
+
+    /// The batch runner these options describe.
+    pub fn runner(&self) -> BatchRunner {
+        BatchRunner::new(self.runs, self.seed).threads(self.threads)
+    }
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: <bin> [--runs N] [--seed S] [--full]");
+    eprintln!("usage: <bin> [flags]");
+    for f in FLAGS {
+        match f.value {
+            Some(v) => eprintln!("  {} {:<6} {}", f.name, v, f.help),
+            None => eprintln!("  {:<15} {}", f.name, f.help),
+        }
+    }
     std::process::exit(2);
 }
 
@@ -95,14 +177,18 @@ pub struct BenchmarkEvaluation {
 }
 
 /// Runs the full three-solver × three-game evaluation used by Table 1 and
-/// Figs. 8–10.
+/// Figs. 8–10, fanned across the parallel runtime (`--threads`).
+///
+/// The aggregates are bit-identical at any thread count (see
+/// `cnash_runtime`'s determinism contract), so `--threads` is purely a
+/// wall-clock knob.
 ///
 /// # Panics
 ///
 /// Panics if a benchmark game fails to map onto the hardware (cannot
 /// happen for the built-in benchmarks).
 pub fn evaluate_paper_benchmarks(cli: &Cli) -> Vec<BenchmarkEvaluation> {
-    let runner = ExperimentRunner::new(cli.runs, cli.seed);
+    let runner = cli.runner();
     paper_benchmarks()
         .into_iter()
         .map(|bench| {
@@ -111,13 +197,13 @@ pub fn evaluate_paper_benchmarks(cli: &Cli) -> Vec<BenchmarkEvaluation> {
             let cfg = CNashConfig::paper(12).with_iterations(cli.iterations(&bench));
             let cnash =
                 CNashSolver::new(&game, cfg, cli.seed).expect("benchmark maps onto hardware");
-            let q2000 = DWaveNashSolver::new(&game, DWaveModel::dwave_2000q(), 1)
-                .expect("integer payoffs");
+            let q2000 =
+                DWaveNashSolver::new(&game, DWaveModel::dwave_2000q(), 1).expect("integer payoffs");
             let advantage = DWaveNashSolver::new(&game, DWaveModel::advantage_4_1(), 1)
                 .expect("integer payoffs");
             let reports = [&cnash as &dyn NashSolver, &q2000, &advantage]
                 .into_iter()
-                .map(|s| runner.evaluate(s, &ground_truth))
+                .map(|s| runner.evaluate(s, &ground_truth).report)
                 .collect();
             BenchmarkEvaluation {
                 bench,
@@ -132,19 +218,64 @@ pub fn evaluate_paper_benchmarks(cli: &Cli) -> Vec<BenchmarkEvaluation> {
 mod tests {
     use super::*;
 
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let cli = Cli::parse_from(&args(&[
+            "--runs",
+            "12",
+            "--seed",
+            "9",
+            "--threads",
+            "4",
+            "--jobs-file",
+            "jobs.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cli,
+            Cli {
+                runs: 12,
+                full: false,
+                seed: 9,
+                threads: 4,
+                jobs_file: Some("jobs.json".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn full_overrides_runs() {
+        let cli = Cli::parse_from(&args(&["--runs", "7", "--full"])).unwrap();
+        assert!(cli.full);
+        assert_eq!(cli.runs, 5000);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Cli::parse_from(&args(&["--bogus"])).is_err());
+        assert!(Cli::parse_from(&args(&["--runs"])).is_err());
+        assert!(Cli::parse_from(&args(&["--runs", "x"])).is_err());
+        assert!(Cli::parse_from(&args(&["--runs", "0"])).is_err());
+        assert!(Cli::parse_from(&args(&["--seed", "-3"])).is_err());
+    }
+
+    #[test]
+    fn defaults() {
+        let cli = Cli::parse_from(&[]).unwrap();
+        assert_eq!(cli.runs, 500);
+        assert_eq!(cli.threads, 0);
+        assert_eq!(cli.jobs_file, None);
+    }
+
     #[test]
     fn iterations_scaling() {
         let bench = &paper_benchmarks()[0];
-        let quick = Cli {
-            runs: 10,
-            full: false,
-            seed: 0,
-        };
-        let full = Cli {
-            runs: 10,
-            full: true,
-            seed: 0,
-        };
+        let quick = Cli::parse_from(&args(&["--runs", "10"])).unwrap();
+        let full = Cli::parse_from(&args(&["--runs", "10", "--full"])).unwrap();
         assert_eq!(quick.iterations(bench), 2000);
         assert_eq!(full.iterations(bench), 10_000);
     }
@@ -153,8 +284,9 @@ mod tests {
     fn evaluation_produces_three_reports_per_game() {
         let cli = Cli {
             runs: 3,
-            full: false,
             seed: 1,
+            threads: 2,
+            ..Cli::default()
         };
         let evals = evaluate_paper_benchmarks(&cli);
         assert_eq!(evals.len(), 3);
@@ -163,5 +295,23 @@ mod tests {
             assert_eq!(e.reports[0].solver, "C-Nash");
             assert!(!e.ground_truth.is_empty());
         }
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential() {
+        use cnash_core::ExperimentRunner;
+        let game = cnash_game::games::battle_of_the_sexes();
+        let truth = enumerate_equilibria(&game, 1e-9);
+        let solver =
+            CNashSolver::new(&game, CNashConfig::paper(12).with_iterations(2000), 5).expect("maps");
+        let sequential = ExperimentRunner::new(8, 5).evaluate(&solver, &truth);
+        let cli = Cli {
+            runs: 8,
+            seed: 5,
+            threads: 4,
+            ..Cli::default()
+        };
+        let parallel = cli.runner().evaluate(&solver, &truth).report;
+        assert_eq!(parallel, sequential);
     }
 }

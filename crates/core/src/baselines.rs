@@ -73,11 +73,12 @@ impl NashSolver for DWaveNashSolver {
     }
 
     fn run(&self, seed: u64) -> RunOutcome {
-        let samples = self.model.sample(self.squbo.qubo(), self.reads_per_run, seed);
+        let samples = self
+            .model
+            .sample(self.squbo.qubo(), self.reads_per_run, seed);
         let mut best: Option<(usize, f64, Vec<bool>)> = None;
         let mut first_true_hit: Option<usize> = None;
-        let mut solutions: Vec<(cnash_game::MixedStrategy, cnash_game::MixedStrategy)> =
-            Vec::new();
+        let mut solutions: Vec<(cnash_game::MixedStrategy, cnash_game::MixedStrategy)> = Vec::new();
         for (k, x) in samples.into_iter().enumerate() {
             let e = self.squbo.qubo().energy(&x);
             if best.as_ref().is_none_or(|(_, be, _)| e < *be) {
@@ -117,8 +118,8 @@ impl NashSolver for DWaveNashSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cnash_game::games;
     use cnash_game::equilibrium::StrategyKind;
+    use cnash_game::games;
     use cnash_game::Equilibrium;
 
     #[test]

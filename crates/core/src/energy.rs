@@ -87,8 +87,7 @@ impl CimEnergyModel {
         let phase2_nt = hw.array_nt().read_vmv(&qc, &pc)?;
         let analog = self.read_energy(phase1_m + phase1_nt + phase2_m + phase2_nt);
         let conversions = 2 * (hw.array_m().payoffs().rows() + hw.array_nt().payoffs().rows()) + 2;
-        let digital =
-            conversions as f64 * self.adc_energy(adc_bits) + self.sa_logic_energy;
+        let digital = conversions as f64 * self.adc_energy(adc_bits) + self.sa_logic_energy;
         Ok(analog + self.wta_energy(wta_cells) + digital)
     }
 }

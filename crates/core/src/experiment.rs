@@ -12,9 +12,9 @@
 //! * **time to solution** — mean model time per found solution and the
 //!   99 %-confidence restart TTS (Fig. 10).
 
-use crate::solver::NashSolver;
+use crate::solver::{NashSolver, RunOutcome};
 use crate::timing::tts99;
-use cnash_game::equilibrium::{coverage, dedup_equilibria, StrategyKind};
+use cnash_game::equilibrium::{coverage, StrategyKind};
 use cnash_game::{BimatrixGame, Equilibrium};
 
 /// Per-run solution classification tallies (Fig. 8 buckets).
@@ -46,7 +46,7 @@ impl SolutionDistribution {
 }
 
 /// Aggregated report of one (solver, game) evaluation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GameReport {
     /// Solver name.
     pub solver: String,
@@ -108,60 +108,142 @@ impl ExperimentRunner {
 
     /// Evaluates `solver` against `ground_truth` equilibria of its game.
     pub fn evaluate(&self, solver: &dyn NashSolver, ground_truth: &[Equilibrium]) -> GameReport {
-        let game: &BimatrixGame = solver.game();
-        let mut dist = SolutionDistribution::default();
-        let mut found: Vec<Equilibrium> = Vec::new();
-        let mut successes = 0usize;
-        let mut total_model_time = 0.0;
-        let mut time_to_hits = 0.0;
-        let mut run_time_sum = 0.0;
-
+        let mut acc = ReportAccumulator::new(solver.name(), solver.game());
         for k in 0..self.runs {
-            let out = solver.run(self.base_seed.wrapping_add(k as u64));
-            run_time_sum += out.total_time;
-            match (&out.profile, out.is_equilibrium) {
-                (Some((p, q)), true) => {
-                    successes += 1;
-                    let eq = Equilibrium::from_profile(game, p.clone(), q.clone());
-                    match eq.kind(1e-6) {
-                        StrategyKind::Pure => dist.pure_ne += 1,
-                        StrategyKind::Mixed => dist.mixed_ne += 1,
-                    }
-                    found.push(eq);
-                    total_model_time += out.hit_time.unwrap_or(out.total_time);
-                    time_to_hits += out.hit_time.unwrap_or(out.total_time);
+            acc.fold(&solver.run(self.base_seed.wrapping_add(k as u64)));
+        }
+        acc.finish(ground_truth)
+    }
+}
+
+/// Streaming fold of [`RunOutcome`]s into the statistics of a
+/// [`GameReport`].
+///
+/// The accumulator holds O(distinct equilibria) state instead of all
+/// outcomes, so arbitrarily large batches aggregate in constant memory.
+/// Folding is *order-sensitive* in the floating-point sums; folding the
+/// same outcomes in the same order always produces bit-identical
+/// reports — the property the parallel runtime's deterministic
+/// aggregation builds on.
+#[derive(Debug, Clone)]
+pub struct ReportAccumulator {
+    solver: String,
+    game: BimatrixGame,
+    dist: SolutionDistribution,
+    distinct: Vec<Equilibrium>,
+    successes: usize,
+    folded: usize,
+    total_model_time: f64,
+    run_time_sum: f64,
+}
+
+impl ReportAccumulator {
+    /// Profile-matching tolerance used for classification, dedup and
+    /// coverage (the paper's exact-verification epsilon).
+    pub const TOL: f64 = 1e-6;
+
+    /// Creates an empty accumulator for a (solver, game) pair.
+    pub fn new(solver_name: &str, game: &BimatrixGame) -> Self {
+        Self {
+            solver: solver_name.to_string(),
+            game: game.clone(),
+            dist: SolutionDistribution::default(),
+            distinct: Vec::new(),
+            successes: 0,
+            folded: 0,
+            total_model_time: 0.0,
+            run_time_sum: 0.0,
+        }
+    }
+
+    /// Folds one run outcome into the aggregate.
+    ///
+    /// The outcome's `is_equilibrium` claim is re-verified against the
+    /// game in exact arithmetic: a solver that flags success with a
+    /// non-equilibrium profile (a contract violation) is tallied as an
+    /// error and contributes nothing to coverage — which is what makes
+    /// the runtime's early-stop conditions sound.
+    pub fn fold(&mut self, out: &RunOutcome) {
+        self.folded += 1;
+        self.run_time_sum += out.total_time;
+        let verified = out.is_equilibrium
+            && match &out.profile {
+                Some((p, q)) => self.game.is_equilibrium(p, q, Self::TOL),
+                None => false,
+            };
+        match (&out.profile, verified) {
+            (Some((p, q)), true) => {
+                self.successes += 1;
+                let eq = Equilibrium::from_profile(&self.game, p.clone(), q.clone());
+                match eq.kind(Self::TOL) {
+                    StrategyKind::Pure => self.dist.pure_ne += 1,
+                    StrategyKind::Mixed => self.dist.mixed_ne += 1,
                 }
-                _ => {
-                    dist.error += 1;
-                    total_model_time += out.total_time;
-                }
+                self.total_model_time += out.hit_time.unwrap_or(out.total_time);
+                self.insert_distinct(eq);
             }
-            // Every solver-flagged solution the run passed through counts
-            // toward coverage, after exact verification.
-            for (p, q) in &out.solutions {
-                if game.is_equilibrium(p, q, 1e-6) {
-                    found.push(Equilibrium::from_profile(game, p.clone(), q.clone()));
-                }
+            _ => {
+                self.dist.error += 1;
+                self.total_model_time += out.total_time;
             }
         }
-        let _ = time_to_hits;
+        // Every solver-flagged solution the run passed through counts
+        // toward coverage, after exact verification.
+        for (p, q) in &out.solutions {
+            if self.game.is_equilibrium(p, q, Self::TOL) {
+                let eq = Equilibrium::from_profile(&self.game, p.clone(), q.clone());
+                self.insert_distinct(eq);
+            }
+        }
+    }
 
-        let distinct_found = dedup_equilibria(found, 1e-6);
-        let covered = coverage(&distinct_found, ground_truth, 1e-6);
-        let p_success = successes as f64 / self.runs as f64;
-        let mean_run_time = run_time_sum / self.runs as f64;
+    fn insert_distinct(&mut self, eq: Equilibrium) {
+        if !self.distinct.iter().any(|e| e.same_profile(&eq, Self::TOL)) {
+            self.distinct.push(eq);
+        }
+    }
+
+    /// Runs folded so far.
+    pub fn folded_runs(&self) -> usize {
+        self.folded
+    }
+
+    /// Runs so far whose returned solution was a true equilibrium.
+    pub fn successes(&self) -> usize {
+        self.successes
+    }
+
+    /// Distinct verified equilibria seen so far (insertion order).
+    pub fn distinct_found(&self) -> &[Equilibrium] {
+        &self.distinct
+    }
+
+    /// How many of `ground_truth` the distinct found equilibria cover.
+    pub fn covered(&self, ground_truth: &[Equilibrium]) -> usize {
+        coverage(&self.distinct, ground_truth, Self::TOL)
+    }
+
+    /// Finalises the aggregate into a [`GameReport`].
+    ///
+    /// Zero folded runs (a batch cancelled before any work completed)
+    /// yields an empty report: zero rates, infinite times.
+    pub fn finish(self, ground_truth: &[Equilibrium]) -> GameReport {
+        let covered = coverage(&self.distinct, ground_truth, Self::TOL);
+        let denom = self.folded.max(1) as f64;
+        let p_success = self.successes as f64 / denom;
+        let mean_run_time = self.run_time_sum / denom;
 
         GameReport {
-            solver: solver.name().to_string(),
-            game: game.name().to_string(),
-            runs: self.runs,
+            solver: self.solver,
+            game: self.game.name().to_string(),
+            runs: self.folded,
             success_rate: 100.0 * p_success,
-            distribution: dist,
-            distinct_found,
+            distribution: self.dist,
+            distinct_found: self.distinct,
             target_count: ground_truth.len(),
             covered,
-            mean_time_to_solution: if successes > 0 {
-                total_model_time / successes as f64
+            mean_time_to_solution: if self.successes > 0 {
+                self.total_model_time / self.successes as f64
             } else {
                 f64::INFINITY
             },
@@ -202,7 +284,12 @@ mod tests {
         let r = runner.evaluate(&solver, &gt);
         assert_eq!(r.success_rate, 100.0);
         assert_eq!(r.distribution.error, 0);
-        assert!(r.covered >= 2, "covered {} of {}", r.covered, r.target_count);
+        assert!(
+            r.covered >= 2,
+            "covered {} of {}",
+            r.covered,
+            r.target_count
+        );
         assert!(r.mean_time_to_solution.is_finite());
         assert!(r.tts99.is_finite());
     }

@@ -56,10 +56,10 @@ impl ReducedCNashSolver {
         let (r, c) = self.inner.hardware().array_m().physical_size();
         let reduced = r * c;
         // Direct mapping uses the same I and t on the full action counts.
-        let scale_rows = self.original.row_actions() as f64
-            / self.reduction.game.row_actions() as f64;
-        let scale_cols = self.original.col_actions() as f64
-            / self.reduction.game.col_actions() as f64;
+        let scale_rows =
+            self.original.row_actions() as f64 / self.reduction.game.row_actions() as f64;
+        let scale_cols =
+            self.original.col_actions() as f64 / self.reduction.game.col_actions() as f64;
         let direct = (reduced as f64 * scale_rows * scale_cols).round() as usize;
         (reduced, direct)
     }
@@ -119,12 +119,8 @@ mod tests {
     #[test]
     fn reduced_solver_solves_mpd8_in_original_space() {
         let g = games::modified_prisoners_dilemma();
-        let s = ReducedCNashSolver::new(
-            &g,
-            CNashConfig::paper(12).with_iterations(5000),
-            0,
-        )
-        .unwrap();
+        let s =
+            ReducedCNashSolver::new(&g, CNashConfig::paper(12).with_iterations(5000), 0).unwrap();
         let out = s.run(1);
         let (p, q) = out.profile.expect("profile");
         assert_eq!(p.len(), 8, "profile must be in the original action space");
@@ -148,12 +144,8 @@ mod tests {
     fn coverage_matches_unreduced_ground_truth() {
         let g = games::modified_prisoners_dilemma();
         let truth = enumerate_equilibria(&g, 1e-9);
-        let s = ReducedCNashSolver::new(
-            &g,
-            CNashConfig::paper(12).with_iterations(10_000),
-            0,
-        )
-        .unwrap();
+        let s =
+            ReducedCNashSolver::new(&g, CNashConfig::paper(12).with_iterations(10_000), 0).unwrap();
         let runner = ExperimentRunner::new(30, 0);
         let r = runner.evaluate(&s, &truth);
         assert!(r.success_rate > 80.0, "success {}", r.success_rate);

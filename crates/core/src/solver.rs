@@ -34,7 +34,12 @@ pub struct RunOutcome {
 }
 
 /// Common interface of C-Nash and the baselines.
-pub trait NashSolver {
+///
+/// Solvers are `Send + Sync`: a run is a pure function of `(self, seed)`
+/// and mutates no solver state, so the batch runtime (`cnash-runtime`)
+/// can fan independent seeded runs of one solver instance across
+/// threads.
+pub trait NashSolver: Send + Sync {
     /// Human-readable solver name (used in reports).
     fn name(&self) -> &str;
 
@@ -66,7 +71,11 @@ impl CNashSolver {
     ///
     /// Returns [`CoreError::Crossbar`] if the game cannot be mapped (e.g.
     /// non-integer payoffs at the configured scale).
-    pub fn new(game: &BimatrixGame, config: CNashConfig, hardware_seed: u64) -> Result<Self, CoreError> {
+    pub fn new(
+        game: &BimatrixGame,
+        config: CNashConfig,
+        hardware_seed: u64,
+    ) -> Result<Self, CoreError> {
         let hardware = BiCrossbar::build(game, &config.crossbar, hardware_seed)?;
         let wta_row = WtaTree::build(
             game.row_actions(),
@@ -121,8 +130,7 @@ impl CNashSolver {
                 self.wta_col.eval(&ph1.col_payoffs).value,
             )
         } else {
-            let exact_max =
-                |v: &[f64]| v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let exact_max = |v: &[f64]| v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             (exact_max(&ph1.row_payoffs), exact_max(&ph1.col_payoffs))
         };
         alpha + beta - ph2.row_value - ph2.col_value
@@ -205,12 +213,7 @@ impl NashSolver for CNashSolver {
             record_hits: true,
         };
         let init = self.initial_state(seed);
-        let sa = simulated_annealing(
-            init,
-            |s| self.evaluate(s),
-            |s, rng| s.neighbour(rng),
-            &opts,
-        );
+        let sa = simulated_annealing(init, |s| self.evaluate(s), |s, rng| s.neighbour(rng), &opts);
         // Algorithm 1 returns the final accepted strategy pair. (Tracking
         // the measured-best state instead would let static read-noise
         // outliers dominate — a solver on real hardware cannot tell a
@@ -289,12 +292,7 @@ impl NashSolver for IdealSolver {
             &mut rng,
         )
         .expect("non-empty action sets");
-        let sa = simulated_annealing(
-            init,
-            |s| self.evaluate(s),
-            |s, rng| s.neighbour(rng),
-            &opts,
-        );
+        let sa = simulated_annealing(init, |s| self.evaluate(s), |s, rng| s.neighbour(rng), &opts);
         let p = sa.final_state.p_strategy();
         let q = sa.final_state.q_strategy();
         let lat = self
@@ -400,12 +398,7 @@ mod tests {
     #[test]
     fn tempered_mode_solves_benchmarks() {
         let g = games::bird_game();
-        let s = CNashSolver::new(
-            &g,
-            CNashConfig::paper(12).with_iterations(12_000),
-            0,
-        )
-        .unwrap();
+        let s = CNashSolver::new(&g, CNashConfig::paper(12).with_iterations(12_000), 0).unwrap();
         let mut ok = 0;
         for seed in 0..5 {
             let out = s.run_tempered(seed, 6);

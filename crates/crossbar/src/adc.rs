@@ -8,9 +8,10 @@
 use crate::error::CrossbarError;
 
 /// Analog-to-digital conversion applied to every crossbar read.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum AdcSpec {
     /// Infinite-precision conversion (ablation baseline).
+    #[default]
     Ideal,
     /// Uniform mid-tread quantizer with `bits` resolution over
     /// `[0, full_scale]`; inputs are clamped to the range.
@@ -60,16 +61,8 @@ impl AdcSpec {
     pub fn lsb(&self) -> f64 {
         match *self {
             AdcSpec::Ideal => 0.0,
-            AdcSpec::Uniform { bits, full_scale } => {
-                full_scale / ((1u64 << bits) as f64 - 1.0)
-            }
+            AdcSpec::Uniform { bits, full_scale } => full_scale / ((1u64 << bits) as f64 - 1.0),
         }
-    }
-}
-
-impl Default for AdcSpec {
-    fn default() -> Self {
-        AdcSpec::Ideal
     }
 }
 

@@ -79,11 +79,8 @@ impl Crossbar {
                         for (k, &bit) in pattern.iter().enumerate() {
                             let phys_c = ej * i * t + g * t + k;
                             let sample = variability.sample(&mut rng);
-                            let cell = OneFeFetOneR::new(
-                                FeFetState::from_bit(bit),
-                                cell_params,
-                                sample,
-                            );
+                            let cell =
+                                OneFeFetOneR::new(FeFetState::from_bit(bit), cell_params, sample);
                             cell_current[phys_r * phys_cols + phys_c] =
                                 cell.output_current(true, true);
                         }
@@ -248,9 +245,8 @@ impl Crossbar {
     /// objective landscape's walls.
     pub fn full_scale_current(&self) -> f64 {
         let i = self.spec.intervals as f64;
-        i * i * f64::from(self.payoffs.max_element().max(1))
-            * self.nominal_on
-            * 1.2 // headroom for positive resistor deviations
+        i * i * f64::from(self.payoffs.max_element().max(1)) * self.nominal_on * 1.2
+        // headroom for positive resistor deviations
     }
 
     // ------------------------------------------------------------------
@@ -291,7 +287,10 @@ impl Crossbar {
     ///
     /// Panics if the coordinates are out of bounds.
     pub fn inject_dead_cell(&mut self, row: usize, col: usize) {
-        assert!(row < self.phys_rows && col < self.phys_cols, "out of bounds");
+        assert!(
+            row < self.phys_rows && col < self.phys_cols,
+            "out of bounds"
+        );
         self.cell_current[row * self.phys_cols + col] = 0.0;
     }
 
@@ -302,7 +301,10 @@ impl Crossbar {
     ///
     /// Panics if the coordinates are out of bounds.
     pub fn inject_stuck_on_cell(&mut self, row: usize, col: usize) {
-        assert!(row < self.phys_rows && col < self.phys_cols, "out of bounds");
+        assert!(
+            row < self.phys_rows && col < self.phys_cols,
+            "out of bounds"
+        );
         self.cell_current[row * self.phys_cols + col] = self.nominal_on;
     }
 }
@@ -317,14 +319,7 @@ mod tests {
         let q = QuantizedPayoffs::from_integer_matrix(m).unwrap();
         let t = q.max_element().max(1);
         let spec = MappingSpec::new(intervals, t).unwrap();
-        Crossbar::build(
-            q,
-            spec,
-            CellParams::default(),
-            VariabilityModel::none(),
-            0,
-        )
-        .unwrap()
+        Crossbar::build(q, spec, CellParams::default(), VariabilityModel::none(), 0).unwrap()
     }
 
     #[test]
@@ -333,14 +328,8 @@ mod tests {
         let m = Matrix::from_rows(&[vec![3.0]]).unwrap();
         let q = QuantizedPayoffs::from_integer_matrix(&m).unwrap();
         let spec = MappingSpec::new(4, 4).unwrap();
-        let xbar = Crossbar::build(
-            q,
-            spec,
-            CellParams::default(),
-            VariabilityModel::none(),
-            0,
-        )
-        .unwrap();
+        let xbar =
+            Crossbar::build(q, spec, CellParams::default(), VariabilityModel::none(), 0).unwrap();
         assert_eq!(xbar.physical_size(), (4, 16));
         let current = xbar.read_vmv(&[1], &[3]).unwrap();
         let i_on = xbar.nominal_on_current();
@@ -419,10 +408,7 @@ mod tests {
         let p = [6u32, 6];
         let q = [6u32, 6];
         let val = noisy.current_to_value(noisy.read_vmv(&p, &q).unwrap());
-        let exact = g
-            .row_payoffs()
-            .bilinear(&[0.5, 0.5], &[0.5, 0.5])
-            .unwrap();
+        let exact = g.row_payoffs().bilinear(&[0.5, 0.5], &[0.5, 0.5]).unwrap();
         let rel = (val - exact).abs() / exact;
         assert!(rel > 0.0, "variability should perturb the read");
         assert!(rel < 0.05, "8% per-cell spread must average out: {rel}");
@@ -449,14 +435,8 @@ mod tests {
         let m = Matrix::from_rows(&[vec![2.0]]).unwrap();
         let qp = QuantizedPayoffs::from_integer_matrix(&m).unwrap();
         let spec = MappingSpec::new(2, 2).unwrap();
-        let mut xbar = Crossbar::build(
-            qp,
-            spec,
-            CellParams::default(),
-            VariabilityModel::none(),
-            0,
-        )
-        .unwrap();
+        let mut xbar =
+            Crossbar::build(qp, spec, CellParams::default(), VariabilityModel::none(), 0).unwrap();
         let before = xbar.read_vmv(&[2], &[2]).unwrap();
         xbar.inject_dead_cell(0, 0);
         xbar.rebuild_prefix();
@@ -470,14 +450,8 @@ mod tests {
         let m = Matrix::from_rows(&[vec![0.0]]).unwrap();
         let qp = QuantizedPayoffs::from_integer_matrix(&m).unwrap();
         let spec = MappingSpec::new(2, 2).unwrap();
-        let mut xbar = Crossbar::build(
-            qp,
-            spec,
-            CellParams::default(),
-            VariabilityModel::none(),
-            0,
-        )
-        .unwrap();
+        let mut xbar =
+            Crossbar::build(qp, spec, CellParams::default(), VariabilityModel::none(), 0).unwrap();
         let before = xbar.read_vmv(&[2], &[2]).unwrap();
         xbar.inject_stuck_on_cell(1, 1);
         xbar.rebuild_prefix();

@@ -103,8 +103,8 @@ impl BitSlicedCrossbar {
     /// Physical cells the unary mapping needs for the same payoffs.
     pub fn unary_cell_count(&self) -> usize {
         let i = self.intervals as usize;
-        let spec = MappingSpec::new(self.intervals, self.payoffs.max_element().max(1))
-            .expect("valid");
+        let spec =
+            MappingSpec::new(self.intervals, self.payoffs.max_element().max(1)).expect("valid");
         let (r, c) = spec.physical_size(self.payoffs.rows(), self.payoffs.cols());
         debug_assert_eq!(r, i * self.payoffs.rows());
         r * c
@@ -217,11 +217,9 @@ mod tests {
                 seed,
             )
             .expect("builds");
-            unary_err +=
-                (u.current_to_value(u.read_vmv(&p, &q).expect("read")) - exact).abs();
+            unary_err += (u.current_to_value(u.read_vmv(&p, &q).expect("read")) - exact).abs();
             let b = build(6, VariabilityModel::paper(), seed);
-            binary_err +=
-                (b.current_to_value(b.read_vmv(&p, &q).expect("read")) - exact).abs();
+            binary_err += (b.current_to_value(b.read_vmv(&p, &q).expect("read")) - exact).abs();
         }
         assert!(
             binary_err > unary_err,

@@ -38,8 +38,8 @@
 
 pub mod adc;
 pub mod array;
-pub mod binary_mapping;
 pub mod bicrossbar;
+pub mod binary_mapping;
 pub mod error;
 pub mod mapping;
 pub mod offset;

@@ -125,7 +125,11 @@ impl QuantizedPayoffs {
 
     /// Reconstructs the original payoff matrix (up to rounding).
     pub fn reconstruct(&self) -> Matrix {
-        let data: Vec<f64> = self.entries.iter().map(|&e| self.to_payoff(e as f64)).collect();
+        let data: Vec<f64> = self
+            .entries
+            .iter()
+            .map(|&e| self.to_payoff(e as f64))
+            .collect();
         Matrix::new(self.rows, self.cols, data).expect("stored entries are finite")
     }
 }

@@ -104,12 +104,7 @@ mod tests {
 
     #[test]
     fn ideal_column_is_perfectly_linear() {
-        let s = column_linearity_sweep(
-            64,
-            VariabilityModel::none(),
-            CellParams::default(),
-            0,
-        );
+        let s = column_linearity_sweep(64, VariabilityModel::none(), CellParams::default(), 0);
         assert!(s.r_squared() > 1.0 - 1e-9);
         assert!(s.max_relative_deviation() < 1e-6);
         // Slope is the calibrated unit cell current (≈ 1 µA minus the
@@ -121,12 +116,7 @@ mod tests {
     #[test]
     fn paper_variability_keeps_good_linearity() {
         // Fig. 7a: "robust linearity" under 40 mV / 8 % spreads.
-        let s = column_linearity_sweep(
-            64,
-            VariabilityModel::paper(),
-            CellParams::default(),
-            42,
-        );
+        let s = column_linearity_sweep(64, VariabilityModel::paper(), CellParams::default(), 42);
         assert!(s.r_squared() > 0.995, "R² {}", s.r_squared());
         // Individual points deviate by at most a few percent once several
         // cells average out.
@@ -135,12 +125,7 @@ mod tests {
 
     #[test]
     fn current_is_monotone_in_activation() {
-        let s = column_linearity_sweep(
-            32,
-            VariabilityModel::paper(),
-            CellParams::default(),
-            9,
-        );
+        let s = column_linearity_sweep(32, VariabilityModel::paper(), CellParams::default(), 9);
         for w in s.current.windows(2) {
             assert!(w[1] > w[0]);
         }
@@ -155,12 +140,7 @@ mod tests {
 
     #[test]
     fn extreme_variability_degrades_linearity() {
-        let mild = column_linearity_sweep(
-            64,
-            VariabilityModel::paper(),
-            CellParams::default(),
-            1,
-        );
+        let mild = column_linearity_sweep(64, VariabilityModel::paper(), CellParams::default(), 1);
         let wild = column_linearity_sweep(
             64,
             VariabilityModel::paper().scaled(10.0),

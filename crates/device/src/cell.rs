@@ -102,7 +102,11 @@ impl OneFeFetOneR {
         if !dl_active {
             return 0.0; // no drain bias, no current path
         }
-        let vg = if wl_active { self.params.v_wl_read } else { 0.0 };
+        let vg = if wl_active {
+            self.params.v_wl_read
+        } else {
+            0.0
+        };
         let r_ch = self.fefet.channel_resistance(vg, self.params.v_dl_read);
         if !r_ch.is_finite() {
             return 0.0;
@@ -128,7 +132,10 @@ mod tests {
         let c = OneFeFetOneR::ideal(FeFetState::LowVth);
         let on = c.output_current(true, true);
         assert!(on > 9e-7, "selected '1' current {on} too small");
-        assert!(c.output_current(false, true) < on / 100.0, "WL off must cut current");
+        assert!(
+            c.output_current(false, true) < on / 100.0,
+            "WL off must cut current"
+        );
         assert_eq!(c.output_current(true, false), 0.0, "DL off means no path");
         assert_eq!(c.output_current(false, false), 0.0);
     }

@@ -11,9 +11,10 @@
 use std::fmt;
 
 /// A MOSFET process corner.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ProcessCorner {
     /// Typical NMOS / typical PMOS — the nominal corner.
+    #[default]
     Tt,
     /// Slow NMOS / slow PMOS.
     Ss,
@@ -81,12 +82,6 @@ impl fmt::Display for ProcessCorner {
             ProcessCorner::Fnsp => "fnsp",
         };
         write!(f, "{s}")
-    }
-}
-
-impl Default for ProcessCorner {
-    fn default() -> Self {
-        ProcessCorner::Tt
     }
 }
 

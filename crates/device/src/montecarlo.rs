@@ -67,7 +67,11 @@ impl Stats {
 /// let stats = Stats::from_samples(&outs);
 /// assert!(stats.mean > 0.3 && stats.mean < 0.7);
 /// ```
-pub fn monte_carlo<T>(trials: usize, base_seed: u64, mut f: impl FnMut(&mut StdRng) -> T) -> Vec<T> {
+pub fn monte_carlo<T>(
+    trials: usize,
+    base_seed: u64,
+    mut f: impl FnMut(&mut StdRng) -> T,
+) -> Vec<T> {
     (0..trials)
         .map(|k| {
             let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(k as u64));

@@ -85,9 +85,8 @@ impl EnduranceModel {
     pub fn window_fraction(&self, cycles: f64) -> f64 {
         assert!(cycles >= 0.0, "negative cycle count");
         // Wake-up: smooth rise to `wakeup_gain` around wakeup_cycles.
-        let wake = 1.0
-            + (self.wakeup_gain - 1.0)
-                * (cycles / (cycles + self.wakeup_cycles)).min(1.0);
+        let wake =
+            1.0 + (self.wakeup_gain - 1.0) * (cycles / (cycles + self.wakeup_cycles)).min(1.0);
         // Fatigue: logistic collapse centred at fatigue_half_cycles.
         let fatigue = 1.0 / (1.0 + cycles / self.fatigue_half_cycles);
         wake * fatigue

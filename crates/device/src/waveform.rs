@@ -49,7 +49,9 @@ impl Waveform {
 
     /// Time axis (s).
     pub fn times(&self) -> Vec<f64> {
-        (0..self.samples.len()).map(|k| k as f64 * self.dt).collect()
+        (0..self.samples.len())
+            .map(|k| k as f64 * self.dt)
+            .collect()
     }
 
     /// Sample values.
@@ -73,10 +75,7 @@ impl Waveform {
         }
         let band = tolerance * swing;
         // Walk backwards: find the last sample outside the band.
-        let last_outside = self
-            .samples
-            .iter()
-            .rposition(|&v| (v - fin).abs() > band);
+        let last_outside = self.samples.iter().rposition(|&v| (v - fin).abs() > band);
         match last_outside {
             None => Some(0.0),
             Some(k) if k + 1 < self.samples.len() => Some((k + 1) as f64 * self.dt),
@@ -86,7 +85,10 @@ impl Waveform {
 
     /// Zips time and value pairs (for CSV/plot export).
     pub fn points(&self) -> Vec<(f64, f64)> {
-        self.times().into_iter().zip(self.samples.iter().copied()).collect()
+        self.times()
+            .into_iter()
+            .zip(self.samples.iter().copied())
+            .collect()
     }
 }
 

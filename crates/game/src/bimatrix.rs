@@ -208,11 +208,7 @@ impl BimatrixGame {
     /// # Errors
     ///
     /// Returns [`GameError::ShapeMismatch`] on a length mismatch.
-    pub fn row_best_responses(
-        &self,
-        q: &MixedStrategy,
-        tol: f64,
-    ) -> Result<Vec<usize>, GameError> {
+    pub fn row_best_responses(&self, q: &MixedStrategy, tol: f64) -> Result<Vec<usize>, GameError> {
         let v = self.row_payoff_vector(q)?;
         let best = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         Ok(v.iter()
@@ -227,11 +223,7 @@ impl BimatrixGame {
     /// # Errors
     ///
     /// Returns [`GameError::ShapeMismatch`] on a length mismatch.
-    pub fn col_best_responses(
-        &self,
-        p: &MixedStrategy,
-        tol: f64,
-    ) -> Result<Vec<usize>, GameError> {
+    pub fn col_best_responses(&self, p: &MixedStrategy, tol: f64) -> Result<Vec<usize>, GameError> {
         let v = self.col_payoff_vector(p)?;
         let best = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         Ok(v.iter()

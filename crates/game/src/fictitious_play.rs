@@ -157,9 +157,9 @@ mod tests {
         let truth = crate::support_enum::enumerate_equilibria(&g, 1e-9);
         let r = fictitious_play(&g, 0, 0, 100_000).unwrap();
         assert!(r.gap < 1e-2);
-        assert!(truth.iter().any(|e| {
-            e.row.linf_distance(&r.row) < 0.02 && e.col.linf_distance(&r.col) < 0.02
-        }));
+        assert!(truth
+            .iter()
+            .any(|e| { e.row.linf_distance(&r.row) < 0.02 && e.col.linf_distance(&r.col) < 0.02 }));
     }
 
     #[test]

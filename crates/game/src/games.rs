@@ -202,7 +202,11 @@ mod tests {
         let g = bird_game();
         let eqs = enumerate_equilibria(&g, 1e-9);
         let (pure, mixed) = count_by_kind(&eqs, 1e-6);
-        assert_eq!((pure, mixed), (2, 1), "bird game should have 2 pure + 1 mixed");
+        assert_eq!(
+            (pure, mixed),
+            (2, 1),
+            "bird game should have 2 pure + 1 mixed"
+        );
         // All equilibria on the 1/12 grid.
         for e in &eqs {
             assert!(e.row.is_on_grid(BENCHMARK_INTERVALS, 1e-9), "{e}");
@@ -275,8 +279,14 @@ mod tests {
 
     #[test]
     fn coordination_counts() {
-        assert_eq!(enumerate_equilibria(&coordination(2).unwrap(), 1e-9).len(), 3);
-        assert_eq!(enumerate_equilibria(&coordination(4).unwrap(), 1e-9).len(), 15);
+        assert_eq!(
+            enumerate_equilibria(&coordination(2).unwrap(), 1e-9).len(),
+            3
+        );
+        assert_eq!(
+            enumerate_equilibria(&coordination(4).unwrap(), 1e-9).len(),
+            15
+        );
     }
 
     #[test]

@@ -158,7 +158,11 @@ mod tests {
     fn coordination_games_have_multiple_equilibria() {
         let g = random_coordination_game(3, 10, 2, 3).unwrap();
         let eqs = enumerate_equilibria(&g, 1e-9);
-        assert!(eqs.len() >= 3, "expected several equilibria, got {}", eqs.len());
+        assert!(
+            eqs.len() >= 3,
+            "expected several equilibria, got {}",
+            eqs.len()
+        );
     }
 
     #[test]

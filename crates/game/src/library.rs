@@ -98,7 +98,11 @@ mod tests {
         // worker indifference (2 = 4(1−a)) gives audit a = 1/2.
         assert!(g.is_equilibrium(&e.row, &e.col, 1e-9));
         assert!((e.row.prob(0) - 0.5).abs() < 1e-9, "audit prob {}", e.row);
-        assert!((e.col.prob(1) - 1.0 / 3.0).abs() < 1e-9, "shirk prob {}", e.col);
+        assert!(
+            (e.col.prob(1) - 1.0 / 3.0).abs() < 1e-9,
+            "shirk prob {}",
+            e.col
+        );
     }
 
     #[test]

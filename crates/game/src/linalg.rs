@@ -79,8 +79,10 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, GameError> {
             if factor == 0.0 {
                 continue;
             }
-            for k in col..=n {
-                w[row][k] -= factor * w[col][k];
+            let (pivot, rest) = w.split_at_mut(row);
+            let (pivot_row, target_row) = (&pivot[col], &mut rest[0]);
+            for (t, p) in target_row[col..=n].iter_mut().zip(&pivot_row[col..=n]) {
+                *t -= factor * p;
             }
         }
     }
@@ -162,8 +164,12 @@ mod tests {
 
     #[test]
     fn residual_of_exact_solution_is_zero() {
-        let a = Matrix::from_rows(&[vec![3.0, 1.0, -1.0], vec![1.0, 4.0, 1.0], vec![2.0, 1.0, 5.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[
+            vec![3.0, 1.0, -1.0],
+            vec![1.0, 4.0, 1.0],
+            vec![2.0, 1.0, 5.0],
+        ])
+        .unwrap();
         let b = [2.0, 12.0, 10.0];
         let x = solve(&a, &b).unwrap();
         assert!(residual(&a, &x, &b).unwrap() < 1e-10);
@@ -175,7 +181,9 @@ mod tests {
         let n = 6;
         let mut seed = 42u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
         };
         let data: Vec<f64> = (0..n * n).map(|_| next() * 10.0).collect();

@@ -39,7 +39,11 @@ impl ReducedGame {
     /// # Errors
     ///
     /// Returns [`GameError::InvalidStrategy`] on a length mismatch.
-    pub fn lift_row(&self, p: &MixedStrategy, original_n: usize) -> Result<MixedStrategy, GameError> {
+    pub fn lift_row(
+        &self,
+        p: &MixedStrategy,
+        original_n: usize,
+    ) -> Result<MixedStrategy, GameError> {
         lift(p, &self.row_map, original_n)
     }
 
@@ -48,7 +52,11 @@ impl ReducedGame {
     /// # Errors
     ///
     /// Returns [`GameError::InvalidStrategy`] on a length mismatch.
-    pub fn lift_col(&self, q: &MixedStrategy, original_m: usize) -> Result<MixedStrategy, GameError> {
+    pub fn lift_col(
+        &self,
+        q: &MixedStrategy,
+        original_m: usize,
+    ) -> Result<MixedStrategy, GameError> {
         lift(q, &self.col_map, original_m)
     }
 }
@@ -147,9 +155,7 @@ fn dominated_actions(m: &Matrix, weak: bool) -> Vec<usize> {
                 if a == i || b == i {
                     continue;
                 }
-                let blend: Vec<f64> = (0..cols)
-                    .map(|j| 0.5 * (m[(a, j)] + m[(b, j)]))
-                    .collect();
+                let blend: Vec<f64> = (0..cols).map(|j| 0.5 * (m[(a, j)] + m[(b, j)])).collect();
                 if dominates(&blend, m.row(i), weak) {
                     out.push(i);
                     continue 'candidate;

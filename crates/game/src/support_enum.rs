@@ -136,10 +136,7 @@ fn solve_indifference(
     // Equations: (A q)_{s[0]} = (A q)_{s[r]} for r = 1..k, plus Σ q = 1.
     let mut rows: Vec<Vec<f64>> = Vec::with_capacity(k);
     for r in 1..k {
-        let row: Vec<f64> = t
-            .iter()
-            .map(|&j| a[(s[0], j)] - a[(s[r], j)])
-            .collect();
+        let row: Vec<f64> = t.iter().map(|&j| a[(s[0], j)] - a[(s[r], j)]).collect();
         rows.push(row);
     }
     rows.push(vec![1.0; k]);

@@ -121,7 +121,12 @@ pub fn anneal(qubo: &Qubo, params: &AnnealParams, seed: u64) -> AnnealResult {
 
 /// Runs `runs` independent anneals (seeds `seed..seed+runs`) and returns
 /// all results (the emulated multi-read sampling of a QPU).
-pub fn anneal_many(qubo: &Qubo, params: &AnnealParams, runs: usize, seed: u64) -> Vec<AnnealResult> {
+pub fn anneal_many(
+    qubo: &Qubo,
+    params: &AnnealParams,
+    runs: usize,
+    seed: u64,
+) -> Vec<AnnealResult> {
     (0..runs)
         .map(|k| anneal(qubo, params, seed.wrapping_add(k as u64)))
         .collect()

@@ -163,9 +163,8 @@ mod tests {
         assert_eq!(minima.len(), eqs.len());
         for (p, q, _) in &minima {
             assert!(
-                eqs.iter().any(|e| {
-                    e.row.linf_distance(p) < 1e-6 && e.col.linf_distance(q) < 1e-6
-                }),
+                eqs.iter()
+                    .any(|e| { e.row.linf_distance(p) < 1e-6 && e.col.linf_distance(q) < 1e-6 }),
                 "grid minimum ({p}, {q}) is not an enumerated equilibrium"
             );
         }

@@ -177,11 +177,7 @@ impl Qubo {
 
 impl fmt::Display for Qubo {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "Qubo({} vars, constant {:.3})",
-            self.n, self.constant
-        )
+        write!(f, "Qubo({} vars, constant {:.3})", self.n, self.constant)
     }
 }
 

@@ -254,9 +254,9 @@ impl SQubo {
 
         let w = &self.weights;
         let mut e = alpha + beta;
-        for i in 0..n {
-            for j in 0..m {
-                e -= self.sum_hat[(i, j)] * p[i] * q[j];
+        for (i, pi) in p.iter().enumerate().take(n) {
+            for (j, qj) in q.iter().enumerate().take(m) {
+                e -= self.sum_hat[(i, j)] * pi * qj;
             }
         }
         let sp: f64 = p.iter().sum();
@@ -278,7 +278,13 @@ impl SQubo {
 
     fn decode_bits(&self, x: &[bool], start: usize, bits: usize) -> f64 {
         (0..bits)
-            .map(|k| if x[start + k] { (1u64 << k) as f64 } else { 0.0 })
+            .map(|k| {
+                if x[start + k] {
+                    (1u64 << k) as f64
+                } else {
+                    0.0
+                }
+            })
             .sum()
     }
 
@@ -444,7 +450,10 @@ mod tests {
         let s = SQubo::build(&g, &SQuboWeights::default()).unwrap();
         let (x, e) = s.qubo().brute_force_minimum();
         let d = s.decode(&x);
-        assert!(e > 0.1, "minimum energy {e} should be positive (no pure NE)");
+        assert!(
+            e > 0.1,
+            "minimum energy {e} should be positive (no pure NE)"
+        );
         if let Some((p, q)) = d.profile {
             assert!(!g.is_equilibrium(&p, &q, 1e-6));
         }

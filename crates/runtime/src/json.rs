@@ -1,0 +1,531 @@
+//! Minimal JSON document model, parser and writer.
+//!
+//! The workspace builds in hermetic environments without crates.io
+//! access, so the instance library carries its own dependency-free JSON
+//! implementation instead of `serde_json`. It supports the full JSON
+//! grammar (objects, arrays, strings with escapes, numbers, booleans,
+//! null); numbers are modelled as `f64`, which is exact for every
+//! payoff, seed index and count this workspace serialises (< 2^53).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Keys are sorted (BTreeMap), so output is canonical.
+    Obj(BTreeMap<String, Json>),
+}
+
+/// Error produced by [`Json::parse`] or typed accessors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset of the error in the input (0 for accessor errors).
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn err<T>(message: impl Into<String>, offset: usize) -> Result<T, JsonError> {
+    Err(JsonError {
+        message: message.into(),
+        offset,
+    })
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn obj<const N: usize>(pairs: [(&str, Json); N]) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Builds a string node.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Builds a number node.
+    pub fn num(v: impl Into<f64>) -> Json {
+        Json::Num(v.into())
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] with a byte offset on malformed input or
+    /// trailing garbage.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return err("trailing characters after document", pos);
+        }
+        Ok(value)
+    }
+
+    /// Serialises with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => write_number(*v, out),
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_string(k, out);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    // ---- typed accessors -------------------------------------------------
+
+    /// The value of object key `key`.
+    ///
+    /// # Errors
+    ///
+    /// Errors if `self` is not an object or lacks the key.
+    pub fn get(&self, key: &str) -> Result<&Json, JsonError> {
+        match self {
+            Json::Obj(map) => map.get(key).ok_or_else(|| JsonError {
+                message: format!("missing key `{key}`"),
+                offset: 0,
+            }),
+            _ => err(format!("expected object with key `{key}`"), 0),
+        }
+    }
+
+    /// The value of object key `key`, if present and non-null.
+    pub fn opt(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => match map.get(key) {
+                Some(Json::Null) | None => None,
+                Some(v) => Some(v),
+            },
+            _ => None,
+        }
+    }
+
+    /// This node as a string.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the node is not a string.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => err(format!("expected string, found {}", other.kind()), 0),
+        }
+    }
+
+    /// This node as a number.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the node is not a number.
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            Json::Num(v) => Ok(*v),
+            other => err(format!("expected number, found {}", other.kind()), 0),
+        }
+    }
+
+    /// This node as a non-negative integer.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the node is not a non-negative integral number.
+    pub fn as_usize(&self) -> Result<usize, JsonError> {
+        let v = self.as_f64()?;
+        if v < 0.0 || v.fract() != 0.0 || v > (1u64 << 53) as f64 {
+            return err(format!("expected non-negative integer, found {v}"), 0);
+        }
+        Ok(v as usize)
+    }
+
+    /// This node as a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the node is not a non-negative integral number.
+    pub fn as_u64(&self) -> Result<u64, JsonError> {
+        Ok(self.as_usize()? as u64)
+    }
+
+    /// This node as a bool.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the node is not a boolean.
+    pub fn as_bool(&self) -> Result<bool, JsonError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => err(format!("expected bool, found {}", other.kind()), 0),
+        }
+    }
+
+    /// This node as an array slice.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the node is not an array.
+    pub fn as_arr(&self) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => err(format!("expected array, found {}", other.kind()), 0),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(v: f64, out: &mut String) {
+    if !v.is_finite() {
+        // JSON has no Infinity/NaN; encode as null like serde_json does.
+        out.push_str("null");
+    } else if v.fract() == 0.0 && v.abs() < (1u64 << 53) as f64 {
+        out.push_str(&format!("{}", v as i64));
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn read_hex4(bytes: &[u8], at: usize) -> Option<u32> {
+    bytes
+        .get(at..at + 4)
+        .and_then(|h| std::str::from_utf8(h).ok())
+        .and_then(|h| u32::from_str_radix(h, 16).ok())
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+/// Containers deeper than this abort parsing with an error instead of
+/// risking a stack overflow on hostile input.
+const MAX_DEPTH: usize = 512;
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+    if depth > MAX_DEPTH {
+        return err("maximum nesting depth exceeded", *pos);
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => err("unexpected end of input", *pos),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, JsonError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        err(format!("expected `{lit}`"), *pos)
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii digits");
+    match text.parse::<f64>() {
+        Ok(v) if v.is_finite() => Ok(Json::Num(v)),
+        _ => err(format!("invalid number `{text}`"), start),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return err("unterminated string", *pos),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'u') => {
+                        let Some(unit) = read_hex4(bytes, *pos + 1) else {
+                            return err("invalid \\u escape", *pos);
+                        };
+                        *pos += 4;
+                        let scalar = if (0xD800..0xDC00).contains(&unit) {
+                            // High surrogate: must pair with \uDC00-\uDFFF.
+                            if bytes.get(*pos + 1..*pos + 3) != Some(br"\u") {
+                                return err("unpaired surrogate in \\u escape", *pos);
+                            }
+                            let Some(low) = read_hex4(bytes, *pos + 3) else {
+                                return err("invalid \\u escape", *pos);
+                            };
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return err("unpaired surrogate in \\u escape", *pos);
+                            }
+                            *pos += 6;
+                            0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00)
+                        } else {
+                            unit
+                        };
+                        match char::from_u32(scalar) {
+                            Some(c) => out.push(c),
+                            None => return err("invalid \\u escape", *pos),
+                        }
+                    }
+                    _ => return err("invalid escape", *pos),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character (input is a &str, so the
+                // byte stream is valid UTF-8).
+                let rest = std::str::from_utf8(&bytes[*pos..]).expect("valid utf8");
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos, depth + 1)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return err("expected `,` or `]` in array", *pos),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+    *pos += 1; // consume '{'
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return err("expected string key", *pos);
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return err("expected `:` after key", *pos);
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos, depth + 1)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return err("expected `,` or `}` in object", *pos),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_documents() {
+        let text = r#"{"jobs": [{"runs": 500, "seed": 0, "full": false, "name": "b\"os\"", "ratio": -0.25, "extra": null}], "nested": [[1, 2], []]}"#;
+        let doc = Json::parse(text).unwrap();
+        let again = Json::parse(&doc.pretty()).unwrap();
+        assert_eq!(doc, again);
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let doc = Json::parse(r#""a\tbé\n""#).unwrap();
+        assert_eq!(doc, Json::Str("a\tb\u{e9}\n".into()));
+    }
+
+    #[test]
+    fn parses_surrogate_pairs() {
+        // Non-BMP characters escape as UTF-16 surrogate pairs (the form
+        // `ensure_ascii` serializers emit).
+        let doc = Json::parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(doc, Json::Str("😀".into()));
+        // Raw (unescaped) non-BMP characters pass through too.
+        assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::Str("😀".into()));
+        assert!(Json::parse(r#""\ud83d""#).is_err(), "unpaired high");
+        assert!(Json::parse(r#""\ud83dA""#).is_err(), "bad low");
+        assert!(Json::parse(r#""\ude00""#).is_err(), "lone low");
+    }
+
+    #[test]
+    fn depth_limit_rejects_hostile_nesting() {
+        let deep = "[".repeat(100_000);
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.message.contains("depth"), "{}", err.message);
+        // Sane nesting stays fine.
+        assert!(Json::parse(&("[".repeat(100) + &"]".repeat(100))).is_ok());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("true false").is_err());
+        assert!(Json::parse(r#"{"a": }"#).is_err());
+        assert!(Json::parse("").is_err());
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let doc = Json::parse(r#"{"n": 3, "s": "x", "b": true, "a": [1], "z": null}"#).unwrap();
+        assert_eq!(doc.get("n").unwrap().as_usize().unwrap(), 3);
+        assert_eq!(doc.get("s").unwrap().as_str().unwrap(), "x");
+        assert!(doc.get("b").unwrap().as_bool().unwrap());
+        assert_eq!(doc.get("a").unwrap().as_arr().unwrap().len(), 1);
+        assert!(doc.opt("z").is_none());
+        assert!(doc.opt("missing").is_none());
+        assert!(doc.get("missing").is_err());
+        assert!(doc.get("s").unwrap().as_f64().is_err());
+        assert!(Json::Num(1.5).as_usize().is_err());
+        assert!(Json::Num(-1.0).as_usize().is_err());
+    }
+
+    #[test]
+    fn number_formatting_is_integral_when_exact() {
+        assert_eq!(Json::Num(5000.0).pretty().trim(), "5000");
+        assert_eq!(Json::Num(0.25).pretty().trim(), "0.25");
+        assert_eq!(Json::Num(f64::INFINITY).pretty().trim(), "null");
+    }
+}

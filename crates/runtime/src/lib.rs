@@ -1,0 +1,64 @@
+//! # cnash-runtime: parallel portfolio-solving runtime
+//!
+//! The paper's evaluation (Table 1, Figs. 8–10) aggregates thousands of
+//! independent seeded solver runs per (game, solver) pair. This crate
+//! turns that embarrassingly parallel loop into a batch execution
+//! subsystem:
+//!
+//! * [`pool`] — a self-scheduling worker pool delivering results in
+//!   **index order**, the substrate for deterministic aggregation and
+//!   cancellation broadcast;
+//! * [`batch`] — [`BatchRunner`], the parallel
+//!   `cnash_core::ExperimentRunner`: deterministic seed assignment
+//!   (run `k` always gets `base_seed + k`), streaming fold into
+//!   `GameReport` statistics, and verified [`EarlyStop`] conditions;
+//! * [`portfolio`] — [`PortfolioRunner`] races solver variants and
+//!   broadcasts cancellation once one reaches its target;
+//! * [`spec`] / [`json`] — a serializable instance library: games,
+//!   solver configs and job files as JSON, plus machine-readable
+//!   reports ([`report`]).
+//!
+//! ## Determinism contract
+//!
+//! For a fixed `(runs, base_seed, early_stop)`, a batch produces a
+//! **bit-identical** `GameReport` at any thread count: seeds are
+//! assigned by run index, outcomes are folded in index order, and
+//! early-stop is decided on the folded prefix only. Early stop never
+//! fires on an unverified solution — the runtime re-checks every
+//! claimed equilibrium against the game in exact arithmetic.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cnash_core::{CNashConfig, CNashSolver};
+//! use cnash_game::{games, support_enum::enumerate_equilibria};
+//! use cnash_runtime::{BatchRunner, EarlyStop};
+//!
+//! let game = games::battle_of_the_sexes();
+//! let truth = enumerate_equilibria(&game, 1e-9);
+//! let solver =
+//!     CNashSolver::new(&game, CNashConfig::ideal(12).with_iterations(2000), 0).unwrap();
+//!
+//! let batch = BatchRunner::new(100, 0)
+//!     .threads(0) // all cores
+//!     .early_stop(EarlyStop::Coverage(2))
+//!     .evaluate(&solver, &truth);
+//!
+//! assert!(batch.report.covered >= 2);
+//! assert!(batch.executed_runs <= batch.scheduled_runs);
+//! ```
+
+pub mod batch;
+pub mod json;
+pub mod pool;
+pub mod portfolio;
+pub mod report;
+pub mod spec;
+
+pub use batch::{BatchReport, BatchRunner, EarlyStop};
+pub use json::{Json, JsonError};
+pub use pool::CancelToken;
+pub use portfolio::{
+    PortfolioJob, PortfolioJobResult, PortfolioOutcome, PortfolioRunner, PortfolioStop,
+};
+pub use spec::{BatchSpec, ConfigSpec, GameSpec, JobSpec, SolverSpec, SpecError};

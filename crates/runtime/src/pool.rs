@@ -1,0 +1,247 @@
+//! Self-scheduling worker pool with ordered, cancellable delivery.
+//!
+//! The pool fans an indexed set of independent work items across OS
+//! threads. Idle workers *steal* the next unclaimed index from a shared
+//! atomic counter (self-scheduling — the degenerate but optimal form of
+//! work stealing for independent equal-right items), so load balances
+//! automatically however long individual items run.
+//!
+//! Results are delivered to the caller's sink **in index order**
+//! regardless of completion order, which is what makes downstream
+//! floating-point aggregation bit-identical at any thread count.
+
+use std::collections::BTreeMap;
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// A cooperative cancellation flag shared between the scheduler, its
+/// workers, and — for portfolios — sibling jobs.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Broadcasts cancellation to every holder of this token.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// Picks a worker count: the explicit request, clamped to at least one
+/// thread, or all available cores when `requested` is 0.
+pub fn effective_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Executes `work(0..total)` on `threads` workers, delivering results to
+/// `sink` in strict index order.
+///
+/// `sink` returning [`ControlFlow::Break`] stops the batch: the token is
+/// cancelled, workers stop claiming new indices, and any result with a
+/// higher index is discarded. Because delivery is in index order, every
+/// index below the break point has already been delivered — the caller
+/// observes a deterministic prefix `0..=k` of the work, independent of
+/// thread count and scheduling.
+///
+/// An externally cancelled `cancel` token likewise stops claiming; the
+/// sink then sees some prefix of the work (deterministic in length only
+/// for a given interleaving — external cancellation is inherently
+/// timing-dependent).
+///
+/// Returns the number of items delivered to the sink.
+pub fn fan_out_ordered<T: Send>(
+    total: usize,
+    threads: usize,
+    cancel: &CancelToken,
+    work: impl Fn(usize) -> T + Sync,
+    mut sink: impl FnMut(usize, T) -> ControlFlow<()>,
+) -> usize {
+    if total == 0 {
+        return 0;
+    }
+    let threads = effective_threads(threads).min(total);
+    // Bound the reorder buffer: workers stop claiming indices more than
+    // `window` ahead of the fold watermark, so a single slow item keeps
+    // at most O(window) undelivered results in memory, not O(total).
+    let window = (threads * 8).max(64);
+    let next = AtomicUsize::new(0);
+    let watermark = AtomicUsize::new(0);
+    let mut delivered = 0usize;
+
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let watermark = &watermark;
+            let work = &work;
+            let cancel = cancel.clone();
+            scope.spawn(move || {
+                loop {
+                    if cancel.is_cancelled() {
+                        break;
+                    }
+                    // Wait (briefly) while the next unclaimed index is
+                    // outside the fold window. Indices inside the window
+                    // are always claimable, so the watermark item itself
+                    // is never starved and the watermark keeps advancing.
+                    if next.load(Ordering::Relaxed)
+                        >= watermark.load(Ordering::Relaxed).saturating_add(window)
+                    {
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= total {
+                        break;
+                    }
+                    // The aggregator may have hung up after a break;
+                    // losing the send is fine then.
+                    if tx.send((k, work(k))).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        // Reorder completion-order arrivals into index order.
+        let mut pending: BTreeMap<usize, T> = BTreeMap::new();
+        let mut next_fold = 0usize;
+        'recv: for (k, item) in rx {
+            pending.insert(k, item);
+            while let Some(item) = pending.remove(&next_fold) {
+                let idx = next_fold;
+                next_fold += 1;
+                watermark.store(next_fold, Ordering::Relaxed);
+                delivered += 1;
+                if sink(idx, item).is_break() {
+                    cancel.cancel();
+                    break 'recv;
+                }
+            }
+        }
+        // Receiver dropped here: workers unblock on send errors (and the
+        // cancelled flag) and the scope joins them.
+    });
+    delivered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_every_index_in_order() {
+        for threads in [1, 2, 8] {
+            let cancel = CancelToken::new();
+            let mut seen = Vec::new();
+            let n = fan_out_ordered(
+                100,
+                threads,
+                &cancel,
+                |k| k * 3,
+                |k, v| {
+                    seen.push((k, v));
+                    ControlFlow::Continue(())
+                },
+            );
+            assert_eq!(n, 100);
+            assert_eq!(seen.len(), 100);
+            for (i, (k, v)) in seen.iter().enumerate() {
+                assert_eq!(*k, i);
+                assert_eq!(*v, i * 3);
+            }
+        }
+    }
+
+    #[test]
+    fn break_stops_after_exact_prefix() {
+        for threads in [1, 3, 8] {
+            let cancel = CancelToken::new();
+            let mut seen = Vec::new();
+            let n = fan_out_ordered(
+                1000,
+                threads,
+                &cancel,
+                |k| k,
+                |_, v| {
+                    seen.push(v);
+                    if v == 17 {
+                        ControlFlow::Break(())
+                    } else {
+                        ControlFlow::Continue(())
+                    }
+                },
+            );
+            assert_eq!(n, 18, "threads={threads}");
+            assert_eq!(seen, (0..=17).collect::<Vec<_>>());
+            assert!(cancel.is_cancelled());
+        }
+    }
+
+    #[test]
+    fn slow_head_item_does_not_deadlock_the_window() {
+        // Item 0 finishes long after the rest: claiming must pause at
+        // the window bound and resume once the head folds, still
+        // delivering everything in order.
+        let cancel = CancelToken::new();
+        let mut seen = Vec::new();
+        let n = fan_out_ordered(
+            500,
+            4,
+            &cancel,
+            |k| {
+                if k == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                }
+                k
+            },
+            |_, v| {
+                seen.push(v);
+                ControlFlow::Continue(())
+            },
+        );
+        assert_eq!(n, 500);
+        assert_eq!(seen, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn external_cancel_stops_claiming() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let n = fan_out_ordered(50, 4, &cancel, |k| k, |_, _| ControlFlow::Continue(()));
+        assert!(n <= 50);
+    }
+
+    #[test]
+    fn zero_items_is_a_noop() {
+        let cancel = CancelToken::new();
+        let n = fan_out_ordered(
+            0,
+            4,
+            &cancel,
+            |k| k,
+            |_, _: usize| ControlFlow::Continue(()),
+        );
+        assert_eq!(n, 0);
+    }
+}

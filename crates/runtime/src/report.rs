@@ -1,0 +1,123 @@
+//! Machine-readable (JSON) views of batch and portfolio results.
+
+use crate::batch::BatchReport;
+use crate::json::Json;
+use crate::portfolio::PortfolioOutcome;
+use cnash_core::GameReport;
+use cnash_game::Equilibrium;
+
+fn equilibrium_json(eq: &Equilibrium) -> Json {
+    Json::obj([
+        (
+            "row",
+            Json::Arr(eq.row.probs().iter().map(|&p| Json::Num(p)).collect()),
+        ),
+        (
+            "col",
+            Json::Arr(eq.col.probs().iter().map(|&p| Json::Num(p)).collect()),
+        ),
+        ("gap", Json::Num(eq.gap)),
+    ])
+}
+
+/// Serialises an aggregated [`GameReport`].
+pub fn game_report_json(report: &GameReport) -> Json {
+    let (error_pct, pure_pct, mixed_pct) = report.distribution.percentages();
+    Json::obj([
+        ("solver", Json::str(report.solver.clone())),
+        ("game", Json::str(report.game.clone())),
+        ("runs", Json::num(report.runs as f64)),
+        ("success_rate_pct", Json::Num(report.success_rate)),
+        (
+            "distribution",
+            Json::obj([
+                ("error", Json::num(report.distribution.error as f64)),
+                ("pure_ne", Json::num(report.distribution.pure_ne as f64)),
+                ("mixed_ne", Json::num(report.distribution.mixed_ne as f64)),
+                ("error_pct", Json::Num(error_pct)),
+                ("pure_pct", Json::Num(pure_pct)),
+                ("mixed_pct", Json::Num(mixed_pct)),
+            ]),
+        ),
+        ("covered", Json::num(report.covered as f64)),
+        ("target_count", Json::num(report.target_count as f64)),
+        ("coverage_fraction", Json::Num(report.coverage_fraction())),
+        (
+            "distinct_found",
+            Json::Arr(report.distinct_found.iter().map(equilibrium_json).collect()),
+        ),
+        (
+            "mean_time_to_solution_s",
+            Json::Num(report.mean_time_to_solution),
+        ),
+        ("tts99_s", Json::Num(report.tts99)),
+        ("mean_run_time_s", Json::Num(report.mean_run_time)),
+    ])
+}
+
+/// Serialises a [`BatchReport`].
+pub fn batch_report_json(batch: &BatchReport) -> Json {
+    Json::obj([
+        ("report", game_report_json(&batch.report)),
+        ("scheduled_runs", Json::num(batch.scheduled_runs as f64)),
+        ("executed_runs", Json::num(batch.executed_runs as f64)),
+        ("stopped_early", Json::Bool(batch.stopped_early)),
+        ("cancelled", Json::Bool(batch.cancelled)),
+        ("threads", Json::num(batch.threads as f64)),
+        ("wall_seconds", Json::Num(batch.wall_seconds)),
+    ])
+}
+
+/// Serialises a whole [`PortfolioOutcome`].
+pub fn portfolio_json(outcome: &PortfolioOutcome) -> Json {
+    Json::obj([
+        (
+            "winner",
+            match outcome.winner {
+                Some(i) => Json::num(i as f64),
+                None => Json::Null,
+            },
+        ),
+        (
+            "jobs",
+            Json::Arr(
+                outcome
+                    .results
+                    .iter()
+                    .map(|r| {
+                        let mut obj = match batch_report_json(&r.batch) {
+                            Json::Obj(map) => map,
+                            _ => unreachable!("batch_report_json returns an object"),
+                        };
+                        obj.insert("label".into(), Json::str(r.label.clone()));
+                        Json::Obj(obj)
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchRunner;
+    use cnash_core::{CNashConfig, CNashSolver};
+    use cnash_game::games;
+    use cnash_game::support_enum::enumerate_equilibria;
+
+    #[test]
+    fn batch_report_serialises_to_valid_json() {
+        let game = games::battle_of_the_sexes();
+        let truth = enumerate_equilibria(&game, 1e-9);
+        let solver =
+            CNashSolver::new(&game, CNashConfig::ideal(12).with_iterations(1000), 0).unwrap();
+        let batch = BatchRunner::new(5, 0).threads(2).evaluate(&solver, &truth);
+        let text = batch_report_json(&batch).pretty();
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(doc.get("executed_runs").unwrap().as_usize().unwrap(), 5);
+        let report = doc.get("report").unwrap();
+        assert_eq!(report.get("solver").unwrap().as_str().unwrap(), "C-Nash");
+        assert!(report.get("success_rate_pct").unwrap().as_f64().unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,817 @@
+//! Serializable instance library: games, solver configurations and job
+//! specs as JSON documents.
+//!
+//! Batches can be described in a JSON *jobs file*, loaded with
+//! [`BatchSpec::from_json`], executed on the [`crate::PortfolioRunner`],
+//! and dumped back out as machine-readable reports — the interchange
+//! format a server frontend or experiment-management tooling would
+//! speak. Example jobs file:
+//!
+//! ```json
+//! {
+//!   "threads": 8,
+//!   "mode": "portfolio",
+//!   "jobs": [
+//!     {
+//!       "game": {"builtin": "battle_of_the_sexes"},
+//!       "solver": {"type": "cnash", "preset": "paper", "intervals": 12,
+//!                  "iterations": 2000, "hardware_seed": 0},
+//!       "runs": 500,
+//!       "base_seed": 0,
+//!       "early_stop": {"successes": 1}
+//!     }
+//!   ]
+//! }
+//! ```
+
+use crate::batch::EarlyStop;
+use crate::json::{Json, JsonError};
+use crate::portfolio::{PortfolioJob, PortfolioStop};
+use cnash_core::baselines::DWaveNashSolver;
+use cnash_core::{CNashConfig, CNashSolver, IdealSolver, NashSolver};
+use cnash_device::corners::ProcessCorner;
+use cnash_game::games;
+use cnash_game::library;
+use cnash_game::support_enum::enumerate_equilibria;
+use cnash_game::{BimatrixGame, Matrix};
+use cnash_qubo::dwave::DWaveModel;
+use std::fmt;
+
+/// Error constructing domain objects from specs (or parsing their JSON).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<JsonError> for SpecError {
+    fn from(e: JsonError) -> Self {
+        SpecError {
+            message: e.to_string(),
+        }
+    }
+}
+
+fn spec_err<T>(message: impl Into<String>) -> Result<T, SpecError> {
+    Err(SpecError {
+        message: message.into(),
+    })
+}
+
+/// Encodes a 64-bit seed losslessly: as a JSON number when exactly
+/// representable in an `f64`, as a decimal string above 2^53.
+fn seed_to_json(v: u64) -> Json {
+    if v <= (1u64 << 53) {
+        Json::num(v as f64)
+    } else {
+        Json::str(v.to_string())
+    }
+}
+
+/// Decodes a seed written by [`seed_to_json`] (number or string form).
+fn seed_from_json(json: &Json) -> Result<u64, SpecError> {
+    match json {
+        Json::Str(s) => s.parse::<u64>().map_err(|_| SpecError {
+            message: format!("invalid seed `{s}`"),
+        }),
+        other => Ok(other.as_u64()?),
+    }
+}
+
+/// A named entry of the builtin game registry.
+pub type BuiltinGame = (&'static str, fn() -> BimatrixGame);
+
+/// The games addressable by name in jobs files.
+///
+/// Covers the paper's three benchmarks plus the extended library.
+pub fn builtin_games() -> Vec<BuiltinGame> {
+    vec![
+        ("battle_of_the_sexes", games::battle_of_the_sexes),
+        ("bird_game", games::bird_game),
+        (
+            "modified_prisoners_dilemma",
+            games::modified_prisoners_dilemma,
+        ),
+        ("prisoners_dilemma", games::prisoners_dilemma),
+        ("matching_pennies", games::matching_pennies),
+        ("rock_paper_scissors", games::rock_paper_scissors),
+        ("stag_hunt", games::stag_hunt),
+        ("hawk_dove", games::hawk_dove),
+        ("chicken", library::chicken),
+        ("inspection_game", library::inspection_game),
+        ("travelers_dilemma_mini", library::travelers_dilemma_mini),
+        ("public_goods_binary", library::public_goods_binary),
+        (
+            "asymmetric_matching_pennies",
+            library::asymmetric_matching_pennies,
+        ),
+        ("deadlock", library::deadlock),
+    ]
+}
+
+/// A (de)serializable description of a [`BimatrixGame`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GameSpec {
+    /// A named game from [`builtin_games`].
+    Builtin(String),
+    /// Explicit payoff matrices.
+    Explicit {
+        /// Game name (reports).
+        name: String,
+        /// Row player's payoffs, row-major.
+        row_payoffs: Vec<Vec<f64>>,
+        /// Column player's payoffs, row-major.
+        col_payoffs: Vec<Vec<f64>>,
+    },
+}
+
+impl GameSpec {
+    /// Captures an existing game as an explicit spec.
+    pub fn from_game(game: &BimatrixGame) -> GameSpec {
+        let to_rows = |m: &Matrix| (0..m.rows()).map(|i| m.row(i).to_vec()).collect::<Vec<_>>();
+        GameSpec::Explicit {
+            name: game.name().to_string(),
+            row_payoffs: to_rows(game.row_payoffs()),
+            col_payoffs: to_rows(game.col_payoffs()),
+        }
+    }
+
+    /// Instantiates the game.
+    ///
+    /// # Errors
+    ///
+    /// Errors on unknown builtin names or malformed matrices.
+    pub fn build(&self) -> Result<BimatrixGame, SpecError> {
+        match self {
+            GameSpec::Builtin(name) => builtin_games()
+                .into_iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, f)| f())
+                .ok_or(())
+                .or_else(|()| spec_err(format!("unknown builtin game `{name}`"))),
+            GameSpec::Explicit {
+                name,
+                row_payoffs,
+                col_payoffs,
+            } => {
+                let m = Matrix::from_rows(row_payoffs).map_err(|e| SpecError {
+                    message: format!("row_payoffs: {e}"),
+                })?;
+                let n = Matrix::from_rows(col_payoffs).map_err(|e| SpecError {
+                    message: format!("col_payoffs: {e}"),
+                })?;
+                BimatrixGame::new(name.clone(), m, n).map_err(|e| SpecError {
+                    message: format!("game `{name}`: {e}"),
+                })
+            }
+        }
+    }
+
+    /// Serialises to JSON.
+    pub fn to_json(&self) -> Json {
+        match self {
+            GameSpec::Builtin(name) => Json::obj([("builtin", Json::str(name.clone()))]),
+            GameSpec::Explicit {
+                name,
+                row_payoffs,
+                col_payoffs,
+            } => {
+                let mat = |rows: &Vec<Vec<f64>>| {
+                    Json::Arr(
+                        rows.iter()
+                            .map(|r| Json::Arr(r.iter().map(|&v| Json::Num(v)).collect()))
+                            .collect(),
+                    )
+                };
+                Json::obj([
+                    ("name", Json::str(name.clone())),
+                    ("row_payoffs", mat(row_payoffs)),
+                    ("col_payoffs", mat(col_payoffs)),
+                ])
+            }
+        }
+    }
+
+    /// Deserialises from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Errors on missing keys or wrong node types.
+    pub fn from_json(json: &Json) -> Result<GameSpec, SpecError> {
+        if let Some(builtin) = json.opt("builtin") {
+            return Ok(GameSpec::Builtin(builtin.as_str()?.to_string()));
+        }
+        let mat = |key: &str| -> Result<Vec<Vec<f64>>, SpecError> {
+            json.get(key)?
+                .as_arr()?
+                .iter()
+                .map(|row| {
+                    row.as_arr()?
+                        .iter()
+                        .map(|v| Ok(v.as_f64()?))
+                        .collect::<Result<Vec<f64>, SpecError>>()
+                })
+                .collect()
+        };
+        Ok(GameSpec::Explicit {
+            name: json.get("name")?.as_str()?.to_string(),
+            row_payoffs: mat("row_payoffs")?,
+            col_payoffs: mat("col_payoffs")?,
+        })
+    }
+}
+
+/// A (de)serializable description of a [`CNashConfig`].
+///
+/// Hardware sub-models (crossbar, WTA trees) ride on the named preset —
+/// `"ideal"` or `"paper"`, optionally at a process `corner` — with the
+/// algorithmic knobs overridable individually.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigSpec {
+    /// `"ideal"` or `"paper"`.
+    pub preset: String,
+    /// Probability grid intervals.
+    pub intervals: u32,
+    /// Process corner (paper preset only), e.g. `"tt"`, `"snfp"`.
+    pub corner: Option<String>,
+    /// SA iterations per run.
+    pub iterations: Option<usize>,
+    /// Measured-gap hit threshold.
+    pub gap_tolerance: Option<f64>,
+    /// Route Phase-1 maxima through the WTA model.
+    pub use_wta: Option<bool>,
+}
+
+impl ConfigSpec {
+    /// Spec for the paper's hardware at `intervals` grid intervals.
+    pub fn paper(intervals: u32) -> Self {
+        Self {
+            preset: "paper".into(),
+            intervals,
+            corner: None,
+            iterations: None,
+            gap_tolerance: None,
+            use_wta: None,
+        }
+    }
+
+    /// Spec for the idealised pipeline at `intervals` grid intervals.
+    pub fn ideal(intervals: u32) -> Self {
+        Self {
+            preset: "ideal".into(),
+            ..Self::paper(intervals)
+        }
+    }
+
+    /// Returns a copy with an iteration budget override.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = Some(iterations);
+        self
+    }
+
+    /// Builds the concrete configuration.
+    ///
+    /// # Errors
+    ///
+    /// Errors on unknown presets or corners.
+    pub fn build(&self) -> Result<CNashConfig, SpecError> {
+        let corner = match &self.corner {
+            None => None,
+            Some(name) => Some(
+                ProcessCorner::ALL
+                    .into_iter()
+                    .find(|c| c.to_string() == *name)
+                    .ok_or(())
+                    .or_else(|()| spec_err(format!("unknown process corner `{name}`")))?,
+            ),
+        };
+        let mut config = match (self.preset.as_str(), corner) {
+            ("ideal", None) => CNashConfig::ideal(self.intervals),
+            ("ideal", Some(_)) => return spec_err("the ideal preset has no process corners"),
+            ("paper", None) => CNashConfig::paper(self.intervals),
+            ("paper", Some(c)) => CNashConfig::paper_at_corner(self.intervals, c),
+            (other, _) => return spec_err(format!("unknown preset `{other}`")),
+        };
+        if let Some(iterations) = self.iterations {
+            config.iterations = iterations;
+        }
+        if let Some(gap) = self.gap_tolerance {
+            config.gap_tolerance = gap;
+        }
+        if let Some(use_wta) = self.use_wta {
+            config.use_wta = use_wta;
+        }
+        Ok(config)
+    }
+
+    /// Serialises to JSON (only the explicitly set overrides).
+    pub fn to_json(&self) -> Json {
+        let mut obj = vec![
+            ("preset".to_string(), Json::str(self.preset.clone())),
+            ("intervals".to_string(), Json::num(self.intervals)),
+        ];
+        if let Some(c) = &self.corner {
+            obj.push(("corner".into(), Json::str(c.clone())));
+        }
+        if let Some(i) = self.iterations {
+            obj.push(("iterations".into(), Json::num(i as f64)));
+        }
+        if let Some(g) = self.gap_tolerance {
+            obj.push(("gap_tolerance".into(), Json::num(g)));
+        }
+        if let Some(w) = self.use_wta {
+            obj.push(("use_wta".into(), Json::Bool(w)));
+        }
+        Json::Obj(obj.into_iter().collect())
+    }
+
+    /// Deserialises from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Errors on missing keys or wrong node types.
+    pub fn from_json(json: &Json) -> Result<ConfigSpec, SpecError> {
+        Ok(ConfigSpec {
+            preset: json.get("preset")?.as_str()?.to_string(),
+            intervals: json.get("intervals")?.as_usize()? as u32,
+            corner: json
+                .opt("corner")
+                .map(|c| Ok::<_, SpecError>(c.as_str()?.to_string()))
+                .transpose()?,
+            iterations: json.opt("iterations").map(|v| v.as_usize()).transpose()?,
+            gap_tolerance: json.opt("gap_tolerance").map(|v| v.as_f64()).transpose()?,
+            use_wta: json.opt("use_wta").map(|v| v.as_bool()).transpose()?,
+        })
+    }
+}
+
+/// A (de)serializable description of a solver variant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverSpec {
+    /// The full C-Nash architecture on a silicon instance.
+    CNash {
+        /// Solver configuration.
+        config: ConfigSpec,
+        /// Silicon instance seed (device variability, WTA mismatch).
+        hardware_seed: u64,
+    },
+    /// The exact-arithmetic ablation.
+    Ideal {
+        /// Solver configuration.
+        config: ConfigSpec,
+    },
+    /// The S-QUBO baseline on an emulated D-Wave annealer.
+    DWave {
+        /// `"2000q"` or `"advantage4.1"`.
+        model: String,
+        /// Annealer reads per run.
+        reads_per_run: usize,
+    },
+}
+
+impl SolverSpec {
+    /// Builds the concrete solver for `game`.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the spec is invalid or the game cannot be mapped onto
+    /// the hardware model.
+    pub fn build(&self, game: &BimatrixGame) -> Result<Box<dyn NashSolver>, SpecError> {
+        match self {
+            SolverSpec::CNash {
+                config,
+                hardware_seed,
+            } => {
+                let solver =
+                    CNashSolver::new(game, config.build()?, *hardware_seed).map_err(|e| {
+                        SpecError {
+                            message: format!("cnash: {e}"),
+                        }
+                    })?;
+                Ok(Box::new(solver))
+            }
+            SolverSpec::Ideal { config } => Ok(Box::new(IdealSolver::new(game, config.build()?))),
+            SolverSpec::DWave {
+                model,
+                reads_per_run,
+            } => {
+                let model = match model.as_str() {
+                    "2000q" => DWaveModel::dwave_2000q(),
+                    "advantage4.1" => DWaveModel::advantage_4_1(),
+                    other => return spec_err(format!("unknown D-Wave model `{other}`")),
+                };
+                let solver =
+                    DWaveNashSolver::new(game, model, *reads_per_run).map_err(|e| SpecError {
+                        message: format!("dwave: {e}"),
+                    })?;
+                Ok(Box::new(solver))
+            }
+        }
+    }
+
+    /// Serialises to JSON.
+    pub fn to_json(&self) -> Json {
+        match self {
+            SolverSpec::CNash {
+                config,
+                hardware_seed,
+            } => {
+                let mut obj = match config.to_json() {
+                    Json::Obj(map) => map,
+                    _ => unreachable!("ConfigSpec::to_json returns an object"),
+                };
+                obj.insert("type".into(), Json::str("cnash"));
+                obj.insert("hardware_seed".into(), seed_to_json(*hardware_seed));
+                Json::Obj(obj)
+            }
+            SolverSpec::Ideal { config } => {
+                let mut obj = match config.to_json() {
+                    Json::Obj(map) => map,
+                    _ => unreachable!("ConfigSpec::to_json returns an object"),
+                };
+                obj.insert("type".into(), Json::str("ideal"));
+                Json::Obj(obj)
+            }
+            SolverSpec::DWave {
+                model,
+                reads_per_run,
+            } => Json::obj([
+                ("type", Json::str("dwave")),
+                ("model", Json::str(model.clone())),
+                ("reads_per_run", Json::num(*reads_per_run as f64)),
+            ]),
+        }
+    }
+
+    /// Deserialises from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Errors on unknown solver types or malformed fields.
+    pub fn from_json(json: &Json) -> Result<SolverSpec, SpecError> {
+        match json.get("type")?.as_str()? {
+            "cnash" => Ok(SolverSpec::CNash {
+                config: ConfigSpec::from_json(json)?,
+                hardware_seed: json
+                    .opt("hardware_seed")
+                    .map(seed_from_json)
+                    .transpose()?
+                    .unwrap_or(0),
+            }),
+            "ideal" => Ok(SolverSpec::Ideal {
+                config: ConfigSpec::from_json(json)?,
+            }),
+            "dwave" => Ok(SolverSpec::DWave {
+                model: json.get("model")?.as_str()?.to_string(),
+                reads_per_run: json
+                    .opt("reads_per_run")
+                    .map(|v| v.as_usize())
+                    .transpose()?
+                    .unwrap_or(1),
+            }),
+            other => spec_err(format!("unknown solver type `{other}`")),
+        }
+    }
+
+    /// A short display label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            SolverSpec::CNash { hardware_seed, .. } => format!("cnash(hw{hardware_seed})"),
+            SolverSpec::Ideal { .. } => "ideal".to_string(),
+            SolverSpec::DWave { model, .. } => format!("dwave({model})"),
+        }
+    }
+}
+
+/// A (de)serializable batch job: `(game, solver-config, run-budget)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// The instance to solve.
+    pub game: GameSpec,
+    /// The solver variant to run.
+    pub solver: SolverSpec,
+    /// Independent runs scheduled.
+    pub runs: usize,
+    /// First seed of the batch.
+    pub base_seed: u64,
+    /// Optional early-stop condition.
+    pub early_stop: Option<EarlyStop>,
+    /// Optional display label (defaults to solver + game).
+    pub label: Option<String>,
+}
+
+impl JobSpec {
+    /// Prepares the job for the portfolio runner: builds the game and
+    /// solver and enumerates the ground-truth equilibria.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the game or solver cannot be built.
+    pub fn prepare(&self) -> Result<PortfolioJob, SpecError> {
+        let game = self.game.build()?;
+        let solver = self.solver.build(&game)?;
+        let ground_truth = enumerate_equilibria(&game, 1e-9);
+        let label = self
+            .label
+            .clone()
+            .unwrap_or_else(|| format!("{} on {}", self.solver.label(), game.name()));
+        Ok(PortfolioJob {
+            label,
+            solver,
+            ground_truth,
+            runs: self.runs,
+            base_seed: self.base_seed,
+            early_stop: self.early_stop,
+        })
+    }
+
+    /// Serialises to JSON.
+    pub fn to_json(&self) -> Json {
+        let mut obj = vec![
+            ("game".to_string(), self.game.to_json()),
+            ("solver".to_string(), self.solver.to_json()),
+            ("runs".to_string(), Json::num(self.runs as f64)),
+            ("base_seed".to_string(), seed_to_json(self.base_seed)),
+        ];
+        match self.early_stop {
+            Some(EarlyStop::Successes(n)) => obj.push((
+                "early_stop".into(),
+                Json::obj([("successes", Json::num(n as f64))]),
+            )),
+            Some(EarlyStop::Coverage(n)) => obj.push((
+                "early_stop".into(),
+                Json::obj([("coverage", Json::num(n as f64))]),
+            )),
+            None => {}
+        }
+        if let Some(label) = &self.label {
+            obj.push(("label".into(), Json::str(label.clone())));
+        }
+        Json::Obj(obj.into_iter().collect())
+    }
+
+    /// Deserialises from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Errors on missing keys or malformed fields.
+    pub fn from_json(json: &Json) -> Result<JobSpec, SpecError> {
+        let early_stop = match json.opt("early_stop") {
+            None => None,
+            Some(stop) => {
+                if let Some(n) = stop.opt("successes") {
+                    Some(EarlyStop::Successes(n.as_usize()?))
+                } else if let Some(n) = stop.opt("coverage") {
+                    Some(EarlyStop::Coverage(n.as_usize()?))
+                } else {
+                    return spec_err("early_stop needs `successes` or `coverage`");
+                }
+            }
+        };
+        let runs = json.get("runs")?.as_usize()?;
+        if runs == 0 {
+            return spec_err("runs must be positive");
+        }
+        Ok(JobSpec {
+            game: GameSpec::from_json(json.get("game")?)?,
+            solver: SolverSpec::from_json(json.get("solver")?)?,
+            runs,
+            base_seed: json
+                .opt("base_seed")
+                .map(seed_from_json)
+                .transpose()?
+                .unwrap_or(0),
+            early_stop,
+            label: json
+                .opt("label")
+                .map(|v| Ok::<_, SpecError>(v.as_str()?.to_string()))
+                .transpose()?,
+        })
+    }
+}
+
+/// A whole jobs file: jobs plus execution policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSpec {
+    /// The jobs, in submission order.
+    pub jobs: Vec<JobSpec>,
+    /// `FirstTarget` (portfolio) or `Independent` execution.
+    pub stop: PortfolioStop,
+    /// Worker threads (`0`/absent = all cores).
+    pub threads: usize,
+}
+
+impl BatchSpec {
+    /// Parses a jobs file.
+    ///
+    /// # Errors
+    ///
+    /// Errors on malformed JSON or invalid job specs.
+    pub fn from_json(text: &str) -> Result<BatchSpec, SpecError> {
+        let doc = Json::parse(text)?;
+        let jobs = doc
+            .get("jobs")?
+            .as_arr()?
+            .iter()
+            .map(JobSpec::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        if jobs.is_empty() {
+            return spec_err("jobs file contains no jobs");
+        }
+        let stop = match doc.opt("mode").map(|m| m.as_str()).transpose()? {
+            None | Some("portfolio") => PortfolioStop::FirstTarget,
+            Some("independent") => PortfolioStop::Independent,
+            Some(other) => return spec_err(format!("unknown mode `{other}`")),
+        };
+        Ok(BatchSpec {
+            jobs,
+            stop,
+            threads: doc
+                .opt("threads")
+                .map(|v| v.as_usize())
+                .transpose()?
+                .unwrap_or(0),
+        })
+    }
+
+    /// Serialises the jobs file.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "mode",
+                Json::str(match self.stop {
+                    PortfolioStop::FirstTarget => "portfolio",
+                    PortfolioStop::Independent => "independent",
+                }),
+            ),
+            ("threads", Json::num(self.threads as f64)),
+            (
+                "jobs",
+                Json::Arr(self.jobs.iter().map(JobSpec::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_job() -> JobSpec {
+        JobSpec {
+            game: GameSpec::Builtin("battle_of_the_sexes".into()),
+            solver: SolverSpec::CNash {
+                config: ConfigSpec::ideal(12).with_iterations(2000),
+                hardware_seed: 3,
+            },
+            runs: 25,
+            base_seed: 7,
+            early_stop: Some(EarlyStop::Successes(2)),
+            label: None,
+        }
+    }
+
+    #[test]
+    fn job_spec_round_trips_through_json() {
+        let spec = BatchSpec {
+            jobs: vec![sample_job()],
+            stop: PortfolioStop::FirstTarget,
+            threads: 4,
+        };
+        let text = spec.to_json().pretty();
+        let again = BatchSpec::from_json(&text).unwrap();
+        assert_eq!(spec, again);
+    }
+
+    #[test]
+    fn explicit_game_round_trips_and_builds() {
+        let game = games::matching_pennies();
+        let spec = GameSpec::from_game(&game);
+        let again = GameSpec::from_json(&Json::parse(&spec.to_json().pretty()).unwrap()).unwrap();
+        assert_eq!(spec, again);
+        let rebuilt = again.build().unwrap();
+        assert_eq!(rebuilt, game);
+    }
+
+    #[test]
+    fn builtin_registry_builds_every_game() {
+        for (name, _) in builtin_games() {
+            let game = GameSpec::Builtin(name.to_string()).build().unwrap();
+            assert!(game.row_actions() > 0);
+        }
+    }
+
+    #[test]
+    fn config_spec_matches_presets() {
+        assert_eq!(
+            ConfigSpec::ideal(12).build().unwrap(),
+            CNashConfig::ideal(12)
+        );
+        assert_eq!(
+            ConfigSpec::paper(12).build().unwrap(),
+            CNashConfig::paper(12)
+        );
+        let spec = ConfigSpec {
+            corner: Some("snfp".into()),
+            iterations: Some(777),
+            ..ConfigSpec::paper(12)
+        };
+        let config = spec.build().unwrap();
+        assert_eq!(config.iterations, 777);
+        assert_eq!(
+            config.wta.effective_offset(),
+            CNashConfig::paper_at_corner(12, ProcessCorner::Snfp)
+                .wta
+                .effective_offset()
+        );
+    }
+
+    #[test]
+    fn solver_specs_build_and_run() {
+        let game = games::battle_of_the_sexes();
+        let specs = [
+            SolverSpec::CNash {
+                config: ConfigSpec::ideal(12).with_iterations(1000),
+                hardware_seed: 0,
+            },
+            SolverSpec::Ideal {
+                config: ConfigSpec::ideal(12).with_iterations(1000),
+            },
+            SolverSpec::DWave {
+                model: "2000q".into(),
+                reads_per_run: 1,
+            },
+            SolverSpec::DWave {
+                model: "advantage4.1".into(),
+                reads_per_run: 2,
+            },
+        ];
+        for spec in specs {
+            let solver = spec.build(&game).unwrap();
+            let out = solver.run(1);
+            assert!(out.total_time > 0.0);
+            let round =
+                SolverSpec::from_json(&Json::parse(&spec.to_json().pretty()).unwrap()).unwrap();
+            assert_eq!(round, spec);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert!(GameSpec::Builtin("no_such_game".into()).build().is_err());
+        assert!(ConfigSpec {
+            preset: "quantum".into(),
+            ..ConfigSpec::ideal(12)
+        }
+        .build()
+        .is_err());
+        assert!(ConfigSpec {
+            corner: Some("xx".into()),
+            ..ConfigSpec::paper(12)
+        }
+        .build()
+        .is_err());
+        assert!(SolverSpec::DWave {
+            model: "5000q".into(),
+            reads_per_run: 1
+        }
+        .build(&games::battle_of_the_sexes())
+        .is_err());
+        assert!(BatchSpec::from_json("{\"jobs\": []}").is_err());
+        assert!(BatchSpec::from_json("not json").is_err());
+        assert!(BatchSpec::from_json(r#"{"jobs": [{"runs": 0}], "mode": "portfolio"}"#).is_err());
+    }
+
+    #[test]
+    fn seeds_above_f64_precision_round_trip() {
+        // Seeds past 2^53 are not exactly representable as JSON numbers;
+        // they must survive a round trip losslessly (string encoding).
+        let spec = JobSpec {
+            base_seed: u64::MAX - 1,
+            solver: SolverSpec::CNash {
+                config: ConfigSpec::ideal(12),
+                hardware_seed: (1 << 53) + 1,
+            },
+            ..sample_job()
+        };
+        let text = spec.to_json().pretty();
+        let again = JobSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(again, spec);
+    }
+
+    #[test]
+    fn prepared_job_carries_ground_truth() {
+        let job = sample_job().prepare().unwrap();
+        assert_eq!(job.ground_truth.len(), 3, "BoS has 3 equilibria");
+        assert_eq!(job.runs, 25);
+        assert!(job.label.contains("cnash"));
+    }
+}

@@ -57,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("WTA settling across corners (Fig. 7b):");
     for c in corner_sweep(10e-6, 1e-12, 1e-9) {
-        println!("  {:>4}: {:.3} ns", c.corner.to_string(), c.settling_time * 1e9);
+        println!(
+            "  {:>4}: {:.3} ns",
+            c.corner.to_string(),
+            c.settling_time * 1e9
+        );
     }
 
     // --- Full two-phase objective evaluation (Fig. 6) ---

@@ -28,8 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             truth.len()
         );
 
-        let cnash_cfg =
-            CNashConfig::paper(12).with_iterations(bench.paper_iterations / 5);
+        let cnash_cfg = CNashConfig::paper(12).with_iterations(bench.paper_iterations / 5);
         let cnash = CNashSolver::new(game, cnash_cfg, 0)?;
         let q2000 = DWaveNashSolver::new(game, DWaveModel::dwave_2000q(), 1)?;
         let advantage = DWaveNashSolver::new(game, DWaveModel::advantage_4_1(), 1)?;

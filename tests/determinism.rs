@@ -14,12 +14,8 @@ fn cnash_full_report_is_deterministic() {
     let truth = enumerate_equilibria(&game, 1e-9);
     let runner = ExperimentRunner::new(10, 42);
     let make = || {
-        let solver = CNashSolver::new(
-            &game,
-            CNashConfig::paper(12).with_iterations(2000),
-            7,
-        )
-        .expect("maps");
+        let solver =
+            CNashSolver::new(&game, CNashConfig::paper(12).with_iterations(2000), 7).expect("maps");
         runner.evaluate(&solver, &truth)
     };
     let a = make();
@@ -36,8 +32,7 @@ fn dwave_report_is_deterministic() {
     let truth = enumerate_equilibria(&game, 1e-9);
     let runner = ExperimentRunner::new(10, 3);
     let make = || {
-        let solver =
-            DWaveNashSolver::new(&game, DWaveModel::advantage_4_1(), 2).expect("builds");
+        let solver = DWaveNashSolver::new(&game, DWaveModel::advantage_4_1(), 2).expect("builds");
         runner.evaluate(&solver, &truth)
     };
     let a = make();
@@ -60,12 +55,8 @@ fn different_hardware_seeds_give_different_silicon() {
 #[test]
 fn different_run_seeds_explore_differently() {
     let game = games::modified_prisoners_dilemma();
-    let solver = CNashSolver::new(
-        &game,
-        CNashConfig::paper(12).with_iterations(2000),
-        0,
-    )
-    .expect("maps");
+    let solver =
+        CNashSolver::new(&game, CNashConfig::paper(12).with_iterations(2000), 0).expect("maps");
     let outcomes: Vec<_> = (0..8).map(|s| solver.run(s)).collect();
     let distinct_profiles = outcomes
         .iter()

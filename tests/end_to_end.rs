@@ -64,12 +64,8 @@ fn solver_ordering_on_bird_game() {
     let truth = enumerate_equilibria(&game, 1e-9);
     let runner = ExperimentRunner::new(60, 3);
 
-    let cnash = CNashSolver::new(
-        &game,
-        CNashConfig::paper(12).with_iterations(3000),
-        0,
-    )
-    .expect("maps");
+    let cnash =
+        CNashSolver::new(&game, CNashConfig::paper(12).with_iterations(3000), 0).expect("maps");
     let q2000 = DWaveNashSolver::new(&game, DWaveModel::dwave_2000q(), 1).expect("builds");
     let advantage = DWaveNashSolver::new(&game, DWaveModel::advantage_4_1(), 1).expect("builds");
 
@@ -100,12 +96,8 @@ fn only_cnash_finds_mixed_solutions() {
     let truth = enumerate_equilibria(&game, 1e-9);
     let runner = ExperimentRunner::new(40, 11);
 
-    let cnash = CNashSolver::new(
-        &game,
-        CNashConfig::paper(12).with_iterations(5000),
-        2,
-    )
-    .expect("maps");
+    let cnash =
+        CNashSolver::new(&game, CNashConfig::paper(12).with_iterations(5000), 2).expect("maps");
     let rc = runner.evaluate(&cnash, &truth);
     assert!(rc.distribution.mixed_ne > 0, "C-Nash found no mixed NE");
     assert!(rc
@@ -126,12 +118,8 @@ fn tts_ordering_matches_fig10() {
     let truth = enumerate_equilibria(&game, 1e-9);
     let runner = ExperimentRunner::new(30, 0);
 
-    let cnash = CNashSolver::new(
-        &game,
-        CNashConfig::paper(12).with_iterations(10_000),
-        0,
-    )
-    .expect("maps");
+    let cnash =
+        CNashSolver::new(&game, CNashConfig::paper(12).with_iterations(10_000), 0).expect("maps");
     let q2000 = DWaveNashSolver::new(&game, DWaveModel::dwave_2000q(), 1).expect("builds");
 
     let rc = runner.evaluate(&cnash, &truth);
@@ -151,19 +139,18 @@ fn tts_ordering_matches_fig10() {
 #[test]
 fn mixed_only_game_separates_solvers() {
     let game = games::matching_pennies();
-    let cnash = CNashSolver::new(
-        &game,
-        CNashConfig::paper(12).with_iterations(10_000),
-        0,
-    )
-    .expect("maps");
+    let cnash =
+        CNashSolver::new(&game, CNashConfig::paper(12).with_iterations(10_000), 0).expect("maps");
     let mut cnash_successes = 0;
     for seed in 0..10 {
         if cnash.run(seed).is_equilibrium {
             cnash_successes += 1;
         }
     }
-    assert!(cnash_successes >= 5, "C-Nash solved only {cnash_successes}/10");
+    assert!(
+        cnash_successes >= 5,
+        "C-Nash solved only {cnash_successes}/10"
+    );
 
     let baseline = DWaveNashSolver::new(&game, DWaveModel::dwave_2000q(), 5).expect("builds");
     for seed in 0..10 {

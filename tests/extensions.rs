@@ -19,18 +19,10 @@ use cnash_game::MixedStrategy;
 #[test]
 fn reduced_and_direct_solvers_agree() {
     let g = cnash_game::games::modified_prisoners_dilemma();
-    let direct = CNashSolver::new(
-        &g,
-        CNashConfig::paper(12).with_iterations(5000),
-        0,
-    )
-    .expect("maps");
-    let reduced = ReducedCNashSolver::new(
-        &g,
-        CNashConfig::paper(12).with_iterations(5000),
-        0,
-    )
-    .expect("maps");
+    let direct =
+        CNashSolver::new(&g, CNashConfig::paper(12).with_iterations(5000), 0).expect("maps");
+    let reduced =
+        ReducedCNashSolver::new(&g, CNashConfig::paper(12).with_iterations(5000), 0).expect("maps");
     for seed in 0..5 {
         let d = direct.run(seed);
         let r = reduced.run(seed);
@@ -53,12 +45,8 @@ fn reduced_and_direct_solvers_agree() {
 #[test]
 fn certificates_match_solver_verdicts() {
     let g = cnash_game::games::bird_game();
-    let solver = CNashSolver::new(
-        &g,
-        CNashConfig::paper(12).with_iterations(4000),
-        1,
-    )
-    .expect("maps");
+    let solver =
+        CNashSolver::new(&g, CNashConfig::paper(12).with_iterations(4000), 1).expect("maps");
     for seed in 0..10 {
         let out = solver.run(seed);
         let (p, q) = out.profile.expect("profile");
@@ -80,9 +68,9 @@ fn dynamics_cross_check_on_library_games() {
     let truth = enumerate_equilibria(&g, 1e-9);
     let fp = fictitious_play(&g, 0, 0, 300_000).expect("runs");
     assert!(fp.gap < 0.02, "FP gap {}", fp.gap);
-    assert!(truth.iter().any(|e| {
-        e.row.linf_distance(&fp.row) < 0.05 && e.col.linf_distance(&fp.col) < 0.05
-    }));
+    assert!(truth
+        .iter()
+        .any(|e| { e.row.linf_distance(&fp.row) < 0.05 && e.col.linf_distance(&fp.col) < 0.05 }));
 
     // Replicator dynamics on dominance-solvable deadlock.
     let g = library::deadlock();
@@ -109,14 +97,9 @@ fn reduction_on_library_games() {
 fn binary_mapping_consistent_with_unary() {
     let g = cnash_game::games::modified_prisoners_dilemma();
     let qp = QuantizedPayoffs::from_integer_matrix(g.row_payoffs()).expect("integer");
-    let sliced = BitSlicedCrossbar::build(
-        qp,
-        12,
-        CellParams::default(),
-        VariabilityModel::none(),
-        0,
-    )
-    .expect("builds");
+    let sliced =
+        BitSlicedCrossbar::build(qp, 12, CellParams::default(), VariabilityModel::none(), 0)
+            .expect("builds");
     assert!(sliced.cell_count() < sliced.unary_cell_count());
 
     let p = [0u32, 0, 0, 0, 6, 6, 0, 0];
@@ -149,12 +132,8 @@ fn ageing_supports_store_once_usage() {
 #[test]
 fn tempering_collects_multiple_solutions_per_run() {
     let g = cnash_game::games::modified_prisoners_dilemma();
-    let solver = CNashSolver::new(
-        &g,
-        CNashConfig::paper(12).with_iterations(12_000),
-        0,
-    )
-    .expect("maps");
+    let solver =
+        CNashSolver::new(&g, CNashConfig::paper(12).with_iterations(12_000), 0).expect("maps");
     let mut tempered_hits = 0;
     for seed in 0..3 {
         tempered_hits += solver.run_tempered(seed, 6).solutions.len();

@@ -14,14 +14,7 @@ fn bird_crossbar() -> Crossbar {
     let g = games::bird_game();
     let q = QuantizedPayoffs::from_integer_matrix(g.row_payoffs()).expect("integer");
     let spec = MappingSpec::new(12, q.max_element()).expect("valid");
-    Crossbar::build(
-        q,
-        spec,
-        CellParams::default(),
-        VariabilityModel::none(),
-        0,
-    )
-    .expect("builds")
+    Crossbar::build(q, spec, CellParams::default(), VariabilityModel::none(), 0).expect("builds")
 }
 
 /// A handful of dead cells shifts reads by at most the lost unary units.

@@ -48,9 +48,7 @@ fn pure_enumeration_consistency() {
         let pure_direct = game.pure_equilibria(1e-9);
         let pure_from_enum: Vec<(usize, usize)> = all
             .iter()
-            .filter_map(|e| {
-                Some((e.row.pure_action(1e-6)?, e.col.pure_action(1e-6)?))
-            })
+            .filter_map(|e| Some((e.row.pure_action(1e-6)?, e.col.pure_action(1e-6)?)))
             .collect();
         for ij in &pure_from_enum {
             assert!(

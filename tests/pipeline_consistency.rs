@@ -89,14 +89,22 @@ fn squbo_pure_ground_states_match_pure_equilibria() {
         let (x, e) = squbo.qubo().brute_force_minimum();
         let pure = game.pure_equilibria(1e-9);
         if pure.is_empty() {
-            assert!(e > 1e-6, "{}: no pure NE but zero ground energy", game.name());
+            assert!(
+                e > 1e-6,
+                "{}: no pure NE but zero ground energy",
+                game.name()
+            );
         } else {
             assert!(e.abs() < 1e-9, "{}: ground energy {e}", game.name());
             let d = squbo.decode(&x);
             let (p, q) = d.profile.expect("one-hot ground state");
             let i = p.pure_action(1e-9).expect("pure");
             let j = q.pure_action(1e-9).expect("pure");
-            assert!(pure.contains(&(i, j)), "{}: ({i},{j}) not a pure NE", game.name());
+            assert!(
+                pure.contains(&(i, j)),
+                "{}: ({i},{j}) not a pure NE",
+                game.name()
+            );
         }
     }
 }
@@ -120,7 +128,10 @@ fn payoff_offset_invariance_through_hardware() {
     let q = MixedStrategy::new(vec![0.25, 0.25, 0.5]).expect("valid");
     let ga = a.nash_gap(&p, &q).expect("read");
     let gb = b.nash_gap(&p, &q).expect("read");
-    assert!((ga - gb).abs() < 1e-4, "offset changed hardware gap: {ga} vs {gb}");
+    assert!(
+        (ga - gb).abs() < 1e-4,
+        "offset changed hardware gap: {ga} vs {gb}"
+    );
 }
 
 /// The WTA path and the exact-max path agree to within the tree's error

@@ -1,0 +1,89 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the `criterion_group!` / `criterion_main!` /
+//! [`Criterion::bench_function`] surface the workspace's benches use.
+//! Measurement is a simple calibrated wall-clock loop (no statistics,
+//! plots or comparison with saved baselines) — enough to get relative
+//! timings out of `cargo bench` in hermetic environments.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver handed to each registered bench function.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as the benchmark `id` and prints its mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        // Calibrate: one iteration to size the measurement loop.
+        let mut probe = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut probe);
+        let per_iter = probe.elapsed.max(Duration::from_nanos(1));
+        let iters = (self.measurement.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut bencher = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let mean = bencher.elapsed.as_secs_f64() / iters as f64;
+        println!("{id:<50} {:>12.3} µs/iter ({iters} iters)", mean * 1e6);
+        self
+    }
+}
+
+/// Timing loop runner.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Prevents the compiler from optimising a value away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles bench functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

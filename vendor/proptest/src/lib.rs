@@ -1,0 +1,352 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset of the proptest API used by this workspace's
+//! property tests: the [`proptest!`] macro, range / collection / sample
+//! strategies, `prop_map`, tuple composition and the `prop_assert*`
+//! macros. Cases are generated from a deterministic per-test seed
+//! (derived from the test's name), so failures are reproducible; there
+//! is no shrinking.
+
+use rand::rngs::StdRng;
+use rand::{SampleRange, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A generator of random values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                self.clone().sample_from(rng)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                self.clone().sample_from(rng)
+            }
+        }
+    )*};
+}
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+pub mod prop {
+    //! Built-in strategy constructors (`prop::...` paths).
+
+    pub mod bool {
+        //! Boolean strategies.
+        use crate::Strategy;
+        use rand::rngs::StdRng;
+        use rand::RngExt;
+
+        /// Strategy producing a fair coin flip.
+        #[derive(Debug, Clone, Copy)]
+        pub struct AnyBool;
+
+        impl Strategy for AnyBool {
+            type Value = bool;
+            fn generate(&self, rng: &mut StdRng) -> bool {
+                rng.random()
+            }
+        }
+
+        /// Uniformly random `bool`.
+        pub const ANY: AnyBool = AnyBool;
+    }
+
+    pub mod collection {
+        //! Collection strategies.
+        use crate::Strategy;
+        use rand::rngs::StdRng;
+
+        /// Acceptable length arguments for [`vec`]: an exact length or a
+        /// range of lengths.
+        pub trait VecLen {
+            /// Draws a concrete length.
+            fn pick(&self, rng: &mut StdRng) -> usize;
+        }
+
+        impl VecLen for usize {
+            fn pick(&self, _rng: &mut StdRng) -> usize {
+                *self
+            }
+        }
+
+        impl VecLen for ::std::ops::Range<usize> {
+            fn pick(&self, rng: &mut StdRng) -> usize {
+                rand::RngExt::random_range(rng, self.clone())
+            }
+        }
+
+        impl VecLen for ::std::ops::RangeInclusive<usize> {
+            fn pick(&self, rng: &mut StdRng) -> usize {
+                rand::RngExt::random_range(rng, self.clone())
+            }
+        }
+
+        /// Strategy producing `Vec`s of (possibly ranged) length.
+        pub struct VecStrategy<S, L> {
+            element: S,
+            len: L,
+        }
+
+        /// A vector of `len` elements drawn from `element`.
+        pub fn vec<S: Strategy, L: VecLen>(element: S, len: L) -> VecStrategy<S, L> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy, L: VecLen> Strategy for VecStrategy<S, L> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let n = self.len.pick(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub mod sample {
+        //! Sampling from explicit value lists.
+        use crate::Strategy;
+        use rand::rngs::StdRng;
+        use rand::RngExt;
+
+        /// Strategy choosing uniformly among a fixed set of values.
+        pub struct Select<T> {
+            items: Vec<T>,
+        }
+
+        /// Uniform choice among `items`.
+        ///
+        /// # Panics
+        ///
+        /// Panics (on generation) if `items` is empty.
+        pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+            Select { items }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut StdRng) -> T {
+                assert!(!self.items.is_empty(), "select() needs at least one item");
+                self.items[rng.random_range(0..self.items.len())].clone()
+            }
+        }
+    }
+}
+
+/// Derives a deterministic RNG for a named test.
+pub fn test_rng(test_name: &str) -> StdRng {
+    // FNV-1a over the test name: stable across platforms and builds.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running the body over many random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg); $($rest)*);
+    };
+    (@fns ($cfg:expr); ) => {};
+    (@fns ($cfg:expr);
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(msg) = outcome {
+                    panic!(
+                        "property `{}` failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        msg
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@fns ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Fails the enclosing property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the enclosing property case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// Fails the enclosing property case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+pub mod prelude {
+    //! One-stop imports for property tests.
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 0u64..100, y in -1.0f64..1.0) {
+            prop_assert!(x < 100);
+            prop_assert!((-1.0..1.0).contains(&y), "y = {y} out of bounds");
+        }
+
+        #[test]
+        fn vec_and_map_compose(
+            v in prop::collection::vec(0u32..10, 5),
+            flag in prop::bool::ANY,
+            pick in prop::sample::select(vec![1u8, 3, 5]),
+        ) {
+            prop_assert_eq!(v.len(), 5);
+            prop_assert!(v.iter().all(|&x| x < 10));
+            prop_assert!(usize::from(flag) <= 1);
+            prop_assert_ne!(pick, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_is_honoured(x in 0u8..=255) {
+            prop_assert!(u16::from(x) < 256);
+        }
+    }
+
+    #[test]
+    fn tuple_and_prop_map() {
+        let strat = (0u32..4, 0u32..4).prop_map(|(a, b)| a + b);
+        let mut rng = crate::test_rng("tuple_and_prop_map");
+        for _ in 0..100 {
+            assert!(crate::Strategy::generate(&strat, &mut rng) <= 6);
+        }
+    }
+}
