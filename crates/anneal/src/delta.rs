@@ -1,0 +1,340 @@
+//! Incremental (delta) energy evaluation for the Metropolis driver.
+//!
+//! Algorithm 1 proposes *one* elementary move per iteration — a single
+//! `1/I` unit transfer for strategy states, a single bit flip for QUBOs —
+//! yet the straightforward driver re-evaluates the whole objective on
+//! every proposal: `O(n·m)` work for an `O(1)` state change. The
+//! [`DeltaEnergy`] trait inverts that: an evaluator keeps internal caches
+//! keyed to the current state, a proposal updates only the cache regions
+//! the move touches and returns the energy change, and rejected proposals
+//! roll the caches back.
+//!
+//! Production implementations live next to the hardware models:
+//!
+//! * `cnash-crossbar`'s `DeltaBiCrossbar` caches the per-data-line
+//!   accumulated currents of both arrays in [`PairwiseSum`] trees,
+//! * `cnash-qubo`'s local-field annealer caches per-variable fields.
+//!
+//! # Bit-identical incrementality
+//!
+//! Floating-point addition is not associative, so "subtract the old term,
+//! add the new one" drifts away from a from-scratch evaluation. Evaluators
+//! that need *bit-identical* equivalence with full re-evaluation (the
+//! contract the crossbar implementation provides and the property tests
+//! pin) sum through [`PairwiseSum`]: a fixed-shape binary reduction tree
+//! whose root is a pure function of the leaves, so updating a leaf and
+//! re-reducing its path reproduces exactly the value a full rebuild
+//! computes.
+
+use crate::engine::{HitRecorder, SaOptions, SaRun};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// An incrementally evaluable objective for the Metropolis driver.
+///
+/// The evaluator owns the walk state. At most one proposal may be
+/// outstanding: after [`propose`](DeltaEnergy::propose) the evaluator
+/// *is* in the candidate state and must receive either
+/// [`commit`](DeltaEnergy::commit) or [`revert`](DeltaEnergy::revert)
+/// before the next proposal.
+///
+/// # Contract
+///
+/// * `propose(mv)` returns `E(after) − E(before)` where both energies are
+///   the values [`energy`](DeltaEnergy::energy) would report — the driver
+///   folds the delta into its bookkeeping, so a sloppy delta corrupts the
+///   acceptance statistics.
+/// * `revert` must restore `state()`, `energy()` and every internal cache
+///   to exactly (bitwise) their pre-proposal values.
+pub trait DeltaEnergy {
+    /// The walk state (a strategy pair, a QUBO assignment, ...).
+    type State: Clone + PartialEq;
+    /// An elementary move between neighbouring states.
+    type Move;
+
+    /// The current state (the candidate while a proposal is pending).
+    fn state(&self) -> &Self::State;
+
+    /// Energy of the current state.
+    fn energy(&self) -> f64;
+
+    /// Samples a move from the current state's neighbourhood; `None` when
+    /// the state has no neighbours (degenerate instances).
+    fn sample_move(&self, rng: &mut StdRng) -> Option<Self::Move>;
+
+    /// Applies `mv` to the state and caches, returning the energy delta.
+    fn propose(&mut self, mv: Self::Move) -> f64;
+
+    /// Accepts the pending proposal.
+    fn commit(&mut self);
+
+    /// Rejects the pending proposal, restoring the pre-proposal state.
+    fn revert(&mut self);
+}
+
+/// Runs simulated annealing through a [`DeltaEnergy`] evaluator instead
+/// of a full re-evaluation per proposal (Algorithm 1, incremental form).
+///
+/// Acceptance logic, RNG consumption and hit/trace bookkeeping mirror
+/// [`crate::engine::simulated_annealing`] exactly: an evaluator whose
+/// deltas are bit-identical to full re-evaluation walks the same
+/// trajectory as the full driver under the same seed.
+pub fn simulated_annealing_delta<E: DeltaEnergy>(
+    evaluator: &mut E,
+    opts: &SaOptions,
+) -> SaRun<E::State> {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut current_energy = evaluator.energy();
+    let mut best_state = evaluator.state().clone();
+    let mut best_energy = current_energy;
+    let mut first_hit = None;
+    let mut accepted = 0;
+    let mut trace = Vec::new();
+    let mut hits = HitRecorder::new(opts.record_hits);
+
+    let hit = |e: f64| opts.target_energy.is_some_and(|t| e <= t);
+    if hit(current_energy) {
+        first_hit = Some(0);
+        hits.record(evaluator.state());
+    }
+
+    for iter in 0..opts.iterations {
+        let temp = opts.schedule.temperature(iter, opts.iterations);
+        // A state without neighbours proposes itself: delta 0, accepted —
+        // the same no-op iteration the full driver executes.
+        let (delta, pending) = match evaluator.sample_move(&mut rng) {
+            Some(mv) => (evaluator.propose(mv), true),
+            None => (0.0, false),
+        };
+        if delta <= 0.0 || rng.random::<f64>() < (-delta / temp).exp() {
+            if pending {
+                evaluator.commit();
+            }
+            current_energy = evaluator.energy();
+            accepted += 1;
+            if current_energy < best_energy {
+                best_energy = current_energy;
+                best_state = evaluator.state().clone();
+            }
+            if hit(current_energy) {
+                if first_hit.is_none() {
+                    first_hit = Some(iter + 1);
+                }
+                hits.record(evaluator.state());
+            }
+        } else if pending {
+            evaluator.revert();
+        }
+        if opts.record_trace {
+            trace.push(current_energy);
+        }
+    }
+
+    let (hit_states, hits_truncated) = hits.into_parts();
+    SaRun {
+        best_state,
+        best_energy,
+        final_state: evaluator.state().clone(),
+        final_energy: current_energy,
+        first_hit,
+        accepted,
+        iterations: opts.iterations,
+        trace,
+        hit_states,
+        hits_truncated,
+    }
+}
+
+/// A fixed-shape pairwise summation tree over `f64` terms with `O(log n)`
+/// single-leaf updates.
+///
+/// The tree is an implicit perfect binary tree padded with `0.0` leaves;
+/// every internal node is the sum of its two children. Because the
+/// reduction shape depends only on the leaf count, the root is a pure
+/// function of the leaf values: rebuilding from scratch and any sequence
+/// of leaf updates arriving at the same leaves produce *bitwise* the same
+/// root — the property incremental evaluators need to stay exactly in
+/// sync with full evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairwiseSum {
+    /// 1-indexed heap layout; `nodes[1]` is the root, leaves start at
+    /// `cap`.
+    nodes: Vec<f64>,
+    cap: usize,
+    len: usize,
+}
+
+impl PairwiseSum {
+    /// Builds a tree over `terms` (any length, including 0).
+    pub fn new(terms: &[f64]) -> Self {
+        let len = terms.len();
+        let cap = len.next_power_of_two().max(1);
+        let mut nodes = vec![0.0; 2 * cap];
+        nodes[cap..cap + len].copy_from_slice(terms);
+        for i in (1..cap).rev() {
+            nodes[i] = nodes[2 * i] + nodes[2 * i + 1];
+        }
+        Self { nodes, cap, len }
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the tree holds no terms.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The current value of leaf `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn leaf(&self, i: usize) -> f64 {
+        assert!(i < self.len, "leaf {i} out of range");
+        self.nodes[self.cap + i]
+    }
+
+    /// Sets leaf `i` to `value` and re-reduces its root path, returning
+    /// the previous leaf value (for undo logs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn update(&mut self, i: usize, value: f64) -> f64 {
+        assert!(i < self.len, "leaf {i} out of range");
+        let mut node = self.cap + i;
+        let old = self.nodes[node];
+        self.nodes[node] = value;
+        // Walk to the root keeping the fresh child value in a register;
+        // the sibling is `node ^ 1`. IEEE-754 addition is commutative
+        // (only association changes results), so `v + sibling` matches
+        // the build pass's `left + right` bitwise for either child.
+        let mut v = value;
+        while node > 1 {
+            v += self.nodes[node ^ 1];
+            node /= 2;
+            self.nodes[node] = v;
+        }
+        old
+    }
+
+    /// The pairwise sum of all leaves.
+    pub fn total(&self) -> f64 {
+        self.nodes[1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Schedule;
+
+    #[test]
+    fn pairwise_sum_matches_rebuild_after_updates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [0usize, 1, 2, 3, 7, 8, 9, 31, 100] {
+            let mut terms: Vec<f64> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let mut tree = PairwiseSum::new(&terms);
+            assert_eq!(tree.total(), PairwiseSum::new(&terms).total());
+            for _ in 0..50 {
+                if n == 0 {
+                    break;
+                }
+                let i = rng.random_range(0..n);
+                let v = rng.random_range(-1.0..1.0);
+                terms[i] = v;
+                tree.update(i, v);
+                // Bitwise equality with a from-scratch rebuild.
+                assert_eq!(tree.total(), PairwiseSum::new(&terms).total());
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_sum_update_returns_old_value_and_undoes() {
+        let terms = [1.5, 2.5, 3.5];
+        let mut tree = PairwiseSum::new(&terms);
+        let before = tree.total();
+        let old = tree.update(1, 9.0);
+        assert_eq!(old, 2.5);
+        assert_ne!(tree.total(), before);
+        tree.update(1, old);
+        assert_eq!(tree.total(), before);
+        assert_eq!(tree.leaf(1), 2.5);
+    }
+
+    #[test]
+    fn empty_tree_totals_zero() {
+        let tree = PairwiseSum::new(&[]);
+        assert!(tree.is_empty());
+        assert_eq!(tree.total(), 0.0);
+    }
+
+    /// A revertible evaluator over integer states with energy `x²`.
+    struct Quadratic {
+        x: i64,
+        pending: i64,
+    }
+
+    impl DeltaEnergy for Quadratic {
+        type State = i64;
+        type Move = i64;
+
+        fn state(&self) -> &i64 {
+            &self.x
+        }
+
+        fn energy(&self) -> f64 {
+            (self.x * self.x) as f64
+        }
+
+        fn sample_move(&self, rng: &mut StdRng) -> Option<i64> {
+            Some(if rng.random::<bool>() { 1 } else { -1 })
+        }
+
+        fn propose(&mut self, step: i64) -> f64 {
+            let before = self.energy();
+            self.x += step;
+            self.pending = step;
+            self.energy() - before
+        }
+
+        fn commit(&mut self) {
+            self.pending = 0;
+        }
+
+        fn revert(&mut self) {
+            self.x -= self.pending;
+            self.pending = 0;
+        }
+    }
+
+    #[test]
+    fn delta_driver_matches_full_driver_bitwise() {
+        // Integer energies are exact in f64, so the incremental deltas
+        // equal full re-evaluation bitwise and the two drivers must walk
+        // the same trajectory under the same seed.
+        for seed in 0..20u64 {
+            let opts = SaOptions {
+                iterations: 2000,
+                schedule: Schedule::geometric(10.0, 1e-3),
+                seed,
+                target_energy: Some(0.0),
+                record_trace: true,
+                record_hits: true,
+            };
+            let full = crate::engine::simulated_annealing(
+                50i64,
+                |&x| (x * x) as f64,
+                |&x, rng| if rng.random::<bool>() { x + 1 } else { x - 1 },
+                &opts,
+            );
+            let mut eval = Quadratic { x: 50, pending: 0 };
+            let delta = simulated_annealing_delta(&mut eval, &opts);
+            assert_eq!(full, delta);
+        }
+    }
+}

@@ -35,6 +35,58 @@ pub struct SaOptions {
 /// Cap on recorded hit states per run.
 pub const MAX_HIT_STATES: usize = 64;
 
+/// Capped recorder of *distinct* solution-hit states, shared by every
+/// driver that logs hits (full/delta SA, tempering, the D-Wave
+/// baseline): dedups against what it already holds, keeps at most
+/// [`MAX_HIT_STATES`] states, and raises `truncated` when a distinct
+/// state is dropped at the cap. Centralising this keeps the full and
+/// delta drivers bitwise in lockstep and the `truncated` lower-bound
+/// semantics uniform.
+#[derive(Debug, Clone)]
+pub struct HitRecorder<S> {
+    enabled: bool,
+    states: Vec<S>,
+    truncated: bool,
+}
+
+impl<S: Clone + PartialEq> HitRecorder<S> {
+    /// Creates a recorder; a disabled one ignores every record.
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            states: Vec::new(),
+            truncated: false,
+        }
+    }
+
+    /// Records `state` if it is distinct and the cap allows; flags
+    /// truncation otherwise.
+    pub fn record(&mut self, state: &S) {
+        if self.enabled && !self.states.contains(state) {
+            if self.states.len() < MAX_HIT_STATES {
+                self.states.push(state.clone());
+            } else {
+                self.truncated = true;
+            }
+        }
+    }
+
+    /// States recorded so far, in visit order.
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// Whether a distinct state was dropped at the cap.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Consumes the recorder into `(states, truncated)`.
+    pub fn into_parts(self) -> (Vec<S>, bool) {
+        (self.states, self.truncated)
+    }
+}
+
 impl Default for SaOptions {
     fn default() -> Self {
         Self {
@@ -71,6 +123,11 @@ pub struct SaRun<S> {
     /// Distinct states visited with energy `≤ target_energy` (empty
     /// unless `record_hits`), in visit order.
     pub hit_states: Vec<S>,
+    /// `true` if at least one distinct hit state was dropped because the
+    /// [`MAX_HIT_STATES`] cap was reached — `hit_states` is then a strict
+    /// prefix of the run's discoveries, and coverage statistics built on
+    /// it undercount.
+    pub hits_truncated: bool,
 }
 
 impl<S> SaRun<S> {
@@ -103,17 +160,12 @@ pub fn simulated_annealing<S: Clone + PartialEq>(
     let mut first_hit = None;
     let mut accepted = 0;
     let mut trace = Vec::new();
-    let mut hit_states: Vec<S> = Vec::new();
+    let mut hits = HitRecorder::new(opts.record_hits);
 
     let hit = |e: f64| opts.target_energy.is_some_and(|t| e <= t);
-    let record_hit = |s: &S, hits: &mut Vec<S>| {
-        if opts.record_hits && hits.len() < MAX_HIT_STATES && !hits.contains(s) {
-            hits.push(s.clone());
-        }
-    };
     if hit(current_energy) {
         first_hit = Some(0);
-        record_hit(&current, &mut hit_states);
+        hits.record(&current);
     }
 
     for iter in 0..opts.iterations {
@@ -135,7 +187,7 @@ pub fn simulated_annealing<S: Clone + PartialEq>(
                 if first_hit.is_none() {
                     first_hit = Some(iter + 1);
                 }
-                record_hit(&current, &mut hit_states);
+                hits.record(&current);
             }
         }
         if opts.record_trace {
@@ -143,6 +195,7 @@ pub fn simulated_annealing<S: Clone + PartialEq>(
         }
     }
 
+    let (hit_states, hits_truncated) = hits.into_parts();
     SaRun {
         best_state,
         best_energy,
@@ -153,6 +206,7 @@ pub fn simulated_annealing<S: Clone + PartialEq>(
         iterations: opts.iterations,
         trace,
         hit_states,
+        hits_truncated,
     }
 }
 
@@ -238,6 +292,29 @@ mod tests {
             &opts,
         );
         assert_eq!(run.trace.len(), 50);
+    }
+
+    #[test]
+    fn hit_truncation_is_flagged() {
+        // A deterministic downhill walk through > MAX_HIT_STATES distinct
+        // states, all under the target: the cap must trip the flag.
+        let opts = SaOptions {
+            iterations: MAX_HIT_STATES + 20,
+            target_energy: Some(0.0),
+            record_hits: true,
+            ..SaOptions::default()
+        };
+        let run = simulated_annealing(0i64, |&x| -(x as f64), |&x, _| x + 1, &opts);
+        assert_eq!(run.hit_states.len(), MAX_HIT_STATES);
+        assert!(run.hits_truncated);
+        // Under the cap the flag stays clear.
+        let short = SaOptions {
+            iterations: 10,
+            ..opts
+        };
+        let run = simulated_annealing(0i64, |&x| -(x as f64), |&x, _| x + 1, &short);
+        assert!(!run.hits_truncated);
+        assert_eq!(run.hit_states.len(), 11);
     }
 
     #[test]

@@ -11,7 +11,12 @@
 //!   ("satisfied by circuits" in the paper's words),
 //! * [`engine`] — a generic seeded Metropolis driver with best-so-far
 //!   tracking, first-solution-hit recording (for time-to-solution) and an
-//!   optional energy trace.
+//!   optional energy trace,
+//! * [`delta`] — the incremental-evaluation subsystem: the
+//!   [`delta::DeltaEnergy`] trait (`propose → commit/revert`), the
+//!   matching driver [`delta::simulated_annealing_delta`], and the
+//!   [`delta::PairwiseSum`] reduction tree that keeps incremental sums
+//!   bit-identical to full re-evaluation.
 //!
 //! The hardware-in-the-loop objective (bi-crossbar + WTA) is composed on
 //! top of this by `cnash-core`.
@@ -42,11 +47,13 @@
 //! ```
 
 pub mod adaptive;
+pub mod delta;
 pub mod engine;
 pub mod moves;
 pub mod schedule;
 pub mod tempering;
 
+pub use delta::{simulated_annealing_delta, DeltaEnergy, PairwiseSum};
 pub use engine::{simulated_annealing, SaOptions, SaRun};
-pub use moves::GridStrategyPair;
+pub use moves::{GridStrategyPair, StrategyMove};
 pub use schedule::Schedule;

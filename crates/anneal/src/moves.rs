@@ -10,6 +10,33 @@
 use cnash_game::{GameError, MixedStrategy};
 use rand::{Rng, RngExt};
 
+/// One elementary SA move: transfer a single `1/I` probability unit from
+/// action `from` to action `to` of one player. Moves are self-describing
+/// and invertible, which is what lets incremental evaluators
+/// ([`crate::delta::DeltaEnergy`]) update caches for exactly the touched
+/// rows/columns instead of re-evaluating the whole state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StrategyMove {
+    /// `true` moves a row-player (`p`) unit, `false` a column-player (`q`)
+    /// unit.
+    pub row_player: bool,
+    /// Donor action index (loses one unit; must hold at least one).
+    pub from: usize,
+    /// Recipient action index (gains one unit; distinct from `from`).
+    pub to: usize,
+}
+
+impl StrategyMove {
+    /// The inverse move (transfers the unit back).
+    pub fn inverse(self) -> Self {
+        Self {
+            row_player: self.row_player,
+            from: self.to,
+            to: self.from,
+        }
+    }
+}
+
 /// A strategy pair on the `1/I` probability grid.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct GridStrategyPair {
@@ -102,35 +129,90 @@ impl GridStrategyPair {
             .expect("invariant: counts sum to intervals")
     }
 
-    /// Proposes a neighbour: transfers one unit between two distinct
-    /// actions of a uniformly chosen player. With a single action per
-    /// player no move exists and the state is returned unchanged.
-    pub fn neighbour<R: Rng + ?Sized>(&self, rng: &mut R) -> Self {
-        let mut next = self.clone();
+    /// Samples one elementary move: a unit transfer between two distinct
+    /// actions of a uniformly chosen player. Returns `None` when no move
+    /// exists (single action per player).
+    ///
+    /// The RNG consumption is identical to [`GridStrategyPair::neighbour`]
+    /// (which is sample + apply), so full-evaluation and incremental SA
+    /// walks driven by the same seed propose the same move sequence.
+    pub fn sample_move<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<StrategyMove> {
         let move_row = if self.p.len() > 1 && self.q.len() > 1 {
             rng.random::<bool>()
         } else {
             self.p.len() > 1
         };
-        let counts = if move_row { &mut next.p } else { &mut next.q };
+        let counts = if move_row { &self.p } else { &self.q };
         if counts.len() <= 1 {
-            return next;
+            return None;
         }
-        // Donor: uniform among actions holding at least one unit.
-        let donors: Vec<usize> = counts
+        // Donor: uniform among actions holding at least one unit (at most
+        // `I` of them, counted without allocating).
+        let donors = counts.iter().filter(|&&c| c > 0).count();
+        let pick = rng.random_range(0..donors);
+        let from = counts
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0)
-            .map(|(i, _)| i)
-            .collect();
-        let from = donors[rng.random_range(0..donors.len())];
+            .nth(pick)
+            .expect("pick < donor count")
+            .0;
         // Recipient: uniform among the other actions.
         let mut to = rng.random_range(0..counts.len() - 1);
         if to >= from {
             to += 1;
         }
-        counts[from] -= 1;
-        counts[to] += 1;
+        Some(StrategyMove {
+            row_player: move_row,
+            from,
+            to,
+        })
+    }
+
+    /// Applies a move in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the move indices are out of range or the donor action
+    /// holds no unit (the simplex invariant would break).
+    pub fn apply(&mut self, mv: StrategyMove) {
+        let counts = if mv.row_player {
+            &mut self.p
+        } else {
+            &mut self.q
+        };
+        assert!(
+            mv.from != mv.to && mv.from < counts.len() && mv.to < counts.len(),
+            "move ({}, {}) out of range",
+            mv.from,
+            mv.to
+        );
+        assert!(
+            counts[mv.from] > 0,
+            "donor action {} holds no unit",
+            mv.from
+        );
+        counts[mv.from] -= 1;
+        counts[mv.to] += 1;
+    }
+
+    /// Undoes a previously applied move.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`GridStrategyPair::apply`].
+    pub fn unapply(&mut self, mv: StrategyMove) {
+        self.apply(mv.inverse());
+    }
+
+    /// Proposes a neighbour: transfers one unit between two distinct
+    /// actions of a uniformly chosen player. With a single action per
+    /// player no move exists and the state is returned unchanged.
+    pub fn neighbour<R: Rng + ?Sized>(&self, rng: &mut R) -> Self {
+        let mut next = self.clone();
+        if let Some(mv) = self.sample_move(rng) {
+            next.apply(mv);
+        }
         next
     }
 }
@@ -232,6 +314,61 @@ mod tests {
             }
         }
         assert!(found || n == s);
+    }
+
+    #[test]
+    fn sample_apply_matches_neighbour_rng_stream() {
+        // `neighbour` is defined as sample + apply; both paths driven by
+        // the same seed must produce identical states forever.
+        let mut rng_a = StdRng::seed_from_u64(21);
+        let mut rng_b = StdRng::seed_from_u64(21);
+        let mut a = GridStrategyPair::random(4, 3, 12, &mut rng_a).unwrap();
+        let mut b = a.clone();
+        // Re-sync rng_b past the state-construction draws.
+        let _ = GridStrategyPair::random(4, 3, 12, &mut rng_b).unwrap();
+        for _ in 0..500 {
+            a = a.neighbour(&mut rng_a);
+            if let Some(mv) = b.sample_move(&mut rng_b) {
+                b.apply(mv);
+            }
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn unapply_restores_state() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let original = GridStrategyPair::random(3, 4, 6, &mut rng).unwrap();
+        let mut s = original.clone();
+        let mut applied = Vec::new();
+        for _ in 0..100 {
+            if let Some(mv) = s.sample_move(&mut rng) {
+                s.apply(mv);
+                applied.push(mv);
+            }
+        }
+        for mv in applied.into_iter().rev() {
+            s.unapply(mv);
+        }
+        assert_eq!(s, original);
+    }
+
+    #[test]
+    fn single_action_pair_samples_no_move() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = GridStrategyPair::new(vec![12], vec![12], 12).unwrap();
+        assert_eq!(s.sample_move(&mut rng), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "holds no unit")]
+    fn apply_rejects_empty_donor() {
+        let mut s = GridStrategyPair::new(vec![12, 0], vec![6, 6], 12).unwrap();
+        s.apply(StrategyMove {
+            row_player: true,
+            from: 1,
+            to: 0,
+        });
     }
 
     #[test]

@@ -57,6 +57,8 @@ pub struct TemperingRun<S> {
     pub swaps_proposed: usize,
     /// Distinct states that hit the target energy (visit order, ≤ 64).
     pub hit_states: Vec<S>,
+    /// `true` if a distinct hit state was dropped at the cap.
+    pub hits_truncated: bool,
 }
 
 /// Runs replica-exchange Metropolis over the given energy/neighbour
@@ -95,12 +97,12 @@ pub fn parallel_tempering<S: Clone + PartialEq>(
     let mut best_energy = energies[0];
     let mut swaps_accepted = 0;
     let mut swaps_proposed = 0;
-    let mut hit_states: Vec<S> = Vec::new();
+    let mut hits = crate::engine::HitRecorder::new(true);
 
     let hit = |e: f64| opts.target_energy.is_some_and(|t| e <= t);
     for (s, &e) in states.iter().zip(&energies) {
-        if hit(e) && !hit_states.contains(s) && hit_states.len() < 64 {
-            hit_states.push(s.clone());
+        if hit(e) {
+            hits.record(s);
         }
     }
 
@@ -116,8 +118,8 @@ pub fn parallel_tempering<S: Clone + PartialEq>(
                     best_energy = e;
                     best_state = states[r].clone();
                 }
-                if hit(e) && hit_states.len() < 64 && !hit_states.contains(&states[r]) {
-                    hit_states.push(states[r].clone());
+                if hit(e) {
+                    hits.record(&states[r]);
                 }
             }
         }
@@ -134,12 +136,14 @@ pub fn parallel_tempering<S: Clone + PartialEq>(
         }
     }
 
+    let (hit_states, hits_truncated) = hits.into_parts();
     TemperingRun {
         best_state,
         best_energy,
         swaps_accepted,
         swaps_proposed,
         hit_states,
+        hits_truncated,
     }
 }
 

@@ -57,6 +57,16 @@ const FLAGS: &[FlagSpec] = &[
         value: Some("PATH"),
         help: "JSON jobs file to run through the portfolio runtime",
     },
+    FlagSpec {
+        name: "--quick",
+        value: None,
+        help: "reduced measurement grid for CI smoke runs (perf binary)",
+    },
+    FlagSpec {
+        name: "--out",
+        value: Some("PATH"),
+        help: "output path for machine-readable BENCH_*.json artefacts",
+    },
 ];
 
 /// Parsed command-line options of a reproduction binary.
@@ -72,6 +82,10 @@ pub struct Cli {
     pub threads: usize,
     /// Optional JSON jobs file.
     pub jobs_file: Option<String>,
+    /// Reduced measurement grid (CI smoke runs).
+    pub quick: bool,
+    /// Output path for machine-readable BENCH artefacts.
+    pub out: Option<String>,
 }
 
 impl Cli {
@@ -125,7 +139,9 @@ impl Cli {
                 "--seed" => cli.seed = parsed(value.expect("has value"))?,
                 "--threads" => cli.threads = parsed(value.expect("has value"))? as usize,
                 "--full" => cli.full = true,
+                "--quick" => cli.quick = true,
                 "--jobs-file" => cli.jobs_file = Some(value.expect("has value").to_string()),
+                "--out" => cli.out = Some(value.expect("has value").to_string()),
                 _ => unreachable!("flag table covers every match arm"),
             }
             i += 1;
@@ -233,6 +249,9 @@ mod tests {
             "4",
             "--jobs-file",
             "jobs.json",
+            "--quick",
+            "--out",
+            "BENCH_sa_hotpath.json",
         ]))
         .unwrap();
         assert_eq!(
@@ -243,6 +262,8 @@ mod tests {
                 seed: 9,
                 threads: 4,
                 jobs_file: Some("jobs.json".into()),
+                quick: true,
+                out: Some("BENCH_sa_hotpath.json".into()),
             }
         );
     }

@@ -78,7 +78,7 @@ impl NashSolver for DWaveNashSolver {
             .sample(self.squbo.qubo(), self.reads_per_run, seed);
         let mut best: Option<(usize, f64, Vec<bool>)> = None;
         let mut first_true_hit: Option<usize> = None;
-        let mut solutions: Vec<(cnash_game::MixedStrategy, cnash_game::MixedStrategy)> = Vec::new();
+        let mut solutions = cnash_anneal::engine::HitRecorder::new(true);
         for (k, x) in samples.into_iter().enumerate() {
             let e = self.squbo.qubo().energy(&x);
             if best.as_ref().is_none_or(|(_, be, _)| e < *be) {
@@ -90,12 +90,11 @@ impl NashSolver for DWaveNashSolver {
                     if first_true_hit.is_none() {
                         first_true_hit = Some(k);
                     }
-                    if solutions.len() < 64 && !solutions.contains(&(p.clone(), q.clone())) {
-                        solutions.push((p, q));
-                    }
+                    solutions.record(&(p, q));
                 }
             }
         }
+        let (solutions, solutions_truncated) = solutions.into_parts();
         let (_, best_energy, best_x) = best.expect("at least one read");
         let decoded = self.squbo.decode(&best_x);
         let is_eq = decoded
@@ -111,6 +110,7 @@ impl NashSolver for DWaveNashSolver {
             total_time: self.model.qpu_access_time(self.reads_per_run),
             measured_objective: best_energy,
             solutions,
+            solutions_truncated,
         }
     }
 }

@@ -73,6 +73,10 @@ pub struct GameReport {
     pub tts99: f64,
     /// Mean model time of one full run (s).
     pub mean_run_time: f64,
+    /// `true` when at least one folded run truncated its recorded
+    /// solution set at the per-run cap — `covered` and `distinct_found`
+    /// are then lower bounds, not exact counts.
+    pub hits_truncated: bool,
 }
 
 impl GameReport {
@@ -135,6 +139,7 @@ pub struct ReportAccumulator {
     folded: usize,
     total_model_time: f64,
     run_time_sum: f64,
+    hits_truncated: bool,
 }
 
 impl ReportAccumulator {
@@ -153,6 +158,7 @@ impl ReportAccumulator {
             folded: 0,
             total_model_time: 0.0,
             run_time_sum: 0.0,
+            hits_truncated: false,
         }
     }
 
@@ -166,6 +172,7 @@ impl ReportAccumulator {
     pub fn fold(&mut self, out: &RunOutcome) {
         self.folded += 1;
         self.run_time_sum += out.total_time;
+        self.hits_truncated |= out.solutions_truncated;
         let verified = out.is_equilibrium
             && match &out.profile {
                 Some((p, q)) => self.game.is_equilibrium(p, q, Self::TOL),
@@ -223,6 +230,11 @@ impl ReportAccumulator {
         coverage(&self.distinct, ground_truth, Self::TOL)
     }
 
+    /// Whether any folded run truncated its recorded solutions.
+    pub fn hits_truncated(&self) -> bool {
+        self.hits_truncated
+    }
+
     /// Finalises the aggregate into a [`GameReport`].
     ///
     /// Zero folded runs (a batch cancelled before any work completed)
@@ -249,6 +261,7 @@ impl ReportAccumulator {
             },
             tts99: tts99(mean_run_time, p_success),
             mean_run_time,
+            hits_truncated: self.hits_truncated,
         }
     }
 }
@@ -336,5 +349,32 @@ mod tests {
     #[should_panic(expected = "at least one run")]
     fn zero_runs_rejected() {
         let _ = ExperimentRunner::new(0, 0);
+    }
+
+    #[test]
+    fn truncated_runs_flag_the_report() {
+        use crate::solver::RunOutcome;
+        let g = games::battle_of_the_sexes();
+        let mut acc = ReportAccumulator::new("t", &g);
+        let clean = RunOutcome {
+            profile: None,
+            is_equilibrium: false,
+            hit_time: None,
+            total_time: 1e-6,
+            measured_objective: 1.0,
+            solutions: Vec::new(),
+            solutions_truncated: false,
+        };
+        acc.fold(&clean);
+        assert!(!acc.hits_truncated());
+        acc.fold(&RunOutcome {
+            solutions_truncated: true,
+            ..clean.clone()
+        });
+        assert!(acc.hits_truncated());
+        // The flag is sticky and lands in the finished report.
+        acc.fold(&clean);
+        let report = acc.finish(&[]);
+        assert!(report.hits_truncated);
     }
 }

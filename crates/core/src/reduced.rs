@@ -105,6 +105,7 @@ impl NashSolver for ReducedCNashSolver {
             total_time: inner_out.total_time,
             measured_objective: inner_out.measured_objective,
             solutions,
+            solutions_truncated: inner_out.solutions_truncated,
         }
     }
 }

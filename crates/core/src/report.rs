@@ -127,6 +127,7 @@ mod tests {
             mean_time_to_solution: 1.5e-5,
             tts99: 2.0e-4,
             mean_run_time: 7e-5,
+            hits_truncated: false,
         }
     }
 

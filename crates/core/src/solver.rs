@@ -3,9 +3,10 @@
 use crate::config::CNashConfig;
 use crate::error::CoreError;
 use crate::timing::CimTimingModel;
+use cnash_anneal::delta::simulated_annealing_delta;
 use cnash_anneal::engine::{simulated_annealing, SaOptions};
 use cnash_anneal::moves::GridStrategyPair;
-use cnash_crossbar::BiCrossbar;
+use cnash_crossbar::{BiCrossbar, DeltaBiCrossbar, PhaseOneMax};
 use cnash_game::{BimatrixGame, MixedStrategy};
 use cnash_wta::WtaTree;
 use rand::rngs::StdRng;
@@ -31,6 +32,10 @@ pub struct RunOutcome {
     /// the solver's own detector flagged). One run can discover several
     /// equilibria; Fig. 9 coverage unions these across runs.
     pub solutions: Vec<(MixedStrategy, MixedStrategy)>,
+    /// `true` when `solutions` was capped (the run discovered more
+    /// distinct candidates than the recorder keeps) — coverage built on
+    /// this run undercounts, and reports surface the flag.
+    pub solutions_truncated: bool,
 }
 
 /// Common interface of C-Nash and the baselines.
@@ -49,6 +54,42 @@ pub trait NashSolver: Send + Sync {
     /// Executes one independent run with the given seed.
     fn run(&self, seed: u64) -> RunOutcome;
 }
+
+/// Phase-1 maxima routed through the solver's WTA-tree model (or the
+/// exact max when the `use_wta` ablation switch is off) — the
+/// `cnash-core` composition hook that puts the analog max back on top of
+/// [`DeltaBiCrossbar`]'s incrementally maintained payoff vectors.
+#[derive(Debug, Clone)]
+pub struct WtaMax<'a> {
+    row: &'a WtaTree,
+    col: &'a WtaTree,
+    use_wta: bool,
+}
+
+impl PhaseOneMax for WtaMax<'_> {
+    fn max_row(&self, reads: &[f64]) -> f64 {
+        if self.use_wta {
+            self.row.eval_value(reads)
+        } else {
+            reads.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    fn max_col(&self, reads: &[f64]) -> f64 {
+        if self.use_wta {
+            self.col.eval_value(reads)
+        } else {
+            reads.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+}
+
+/// Payoff-matrix cell count (`n·m`) above which [`NashSolver::run`]
+/// drives the incremental delta evaluator instead of full per-proposal
+/// re-evaluation. 64 cells = the paper's largest benchmark (8×8), where
+/// the measured speedup straddles 1× — everything larger wins clearly
+/// (see `BENCH_sa_hotpath.json` trajectory in the README).
+pub const DELTA_EVAL_MIN_CELLS: usize = 64;
 
 /// The full C-Nash architecture: FeFET bi-crossbar + WTA trees + two-phase
 /// SA logic.
@@ -136,6 +177,28 @@ impl CNashSolver {
         alpha + beta - ph2.row_value - ph2.col_value
     }
 
+    /// Builds the incremental evaluator of this solver's pipeline at
+    /// `state`: the same physics as [`CNashSolver::evaluate`], but a
+    /// single-unit move updates only the touched rows/columns
+    /// (`O((n+m)·log nm)` instead of `O(n·m)` per SA proposal). This is
+    /// the hot path [`NashSolver::run`] drives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Crossbar`] if the state's geometry does not
+    /// match the hardware.
+    pub fn delta_evaluator(
+        &self,
+        state: GridStrategyPair,
+    ) -> Result<DeltaBiCrossbar<'_, WtaMax<'_>>, CoreError> {
+        let max = WtaMax {
+            row: &self.wta_row,
+            col: &self.wta_col,
+            use_wta: self.config.use_wta,
+        };
+        Ok(DeltaBiCrossbar::new(&self.hardware, state, max)?)
+    }
+
     /// Per-iteration latency of this instance (s).
     pub fn iteration_latency(&self) -> f64 {
         self.timing
@@ -190,6 +253,7 @@ impl CNashSolver {
             total_time: (sweeps * replicas) as f64 * lat,
             measured_objective: run.best_energy,
             solutions,
+            solutions_truncated: run.hits_truncated,
         }
     }
 }
@@ -213,7 +277,20 @@ impl NashSolver for CNashSolver {
             record_hits: true,
         };
         let init = self.initial_state(seed);
-        let sa = simulated_annealing(init, |s| self.evaluate(s), |s, rng| s.neighbour(rng), &opts);
+        // The incremental evaluator's fixed per-proposal overhead (read
+        // requantization, WTA re-reduction, undo bookkeeping) only
+        // amortises once the full two-phase read it replaces is large
+        // enough; BENCH_sa_hotpath.json puts the crossover around 8×8.
+        // Below it — the paper's own benchmark games — the classic full
+        // re-evaluation stays the faster production path.
+        let sa = if self.game.row_actions() * self.game.col_actions() > DELTA_EVAL_MIN_CELLS {
+            let mut evaluator = self
+                .delta_evaluator(init)
+                .expect("initial state matches the hardware geometry");
+            simulated_annealing_delta(&mut evaluator, &opts)
+        } else {
+            simulated_annealing(init, |s| self.evaluate(s), |s, rng| s.neighbour(rng), &opts)
+        };
         // Algorithm 1 returns the final accepted strategy pair. (Tracking
         // the measured-best state instead would let static read-noise
         // outliers dominate — a solver on real hardware cannot tell a
@@ -233,6 +310,7 @@ impl NashSolver for CNashSolver {
             total_time: sa.iterations as f64 * lat,
             measured_objective: sa.final_energy,
             solutions,
+            solutions_truncated: sa.hits_truncated,
         }
     }
 }
@@ -310,6 +388,7 @@ impl NashSolver for IdealSolver {
             total_time: sa.iterations as f64 * lat,
             measured_objective: sa.final_energy,
             solutions,
+            solutions_truncated: sa.hits_truncated,
         }
     }
 }
@@ -317,6 +396,7 @@ impl NashSolver for IdealSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cnash_anneal::delta::DeltaEnergy;
     use cnash_game::games;
 
     #[test]
@@ -366,6 +446,37 @@ mod tests {
                 .nash_gap(&state.p_strategy(), &state.q_strategy())
                 .unwrap();
             assert!((hw - exact).abs() < 1e-4, "hw {hw} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn delta_run_matches_full_reevaluation_bitwise() {
+        // The incremental evaluator against the full driver re-evaluating
+        // every candidate from scratch through the same canonical
+        // pipeline: identical trajectories, bit for bit — with the full
+        // paper noise model (variability + 8-bit ADC + WTA trees) on.
+        let g = games::battle_of_the_sexes();
+        let s = CNashSolver::new(&g, CNashConfig::paper(12).with_iterations(400), 3).unwrap();
+        for seed in 0..3u64 {
+            let opts = SaOptions {
+                iterations: 400,
+                schedule: s.config().schedule,
+                seed,
+                target_energy: Some(s.config().gap_tolerance),
+                record_trace: true,
+                record_hits: true,
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let init = GridStrategyPair::random(2, 2, 12, &mut rng).unwrap();
+            let full = simulated_annealing(
+                init.clone(),
+                |st| s.delta_evaluator(st.clone()).expect("geometry").energy(),
+                |st, r| st.neighbour(r),
+                &opts,
+            );
+            let mut evaluator = s.delta_evaluator(init).unwrap();
+            let delta = simulated_annealing_delta(&mut evaluator, &opts);
+            assert_eq!(full, delta);
         }
     }
 

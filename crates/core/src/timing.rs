@@ -1,7 +1,7 @@
 //! Time-to-solution models (paper Fig. 10).
 //!
 //! The paper derives C-Nash run times from the operational frequency of
-//! the FeFET crossbar array demonstrated by Soliman et al. [29], scaled to
+//! the FeFET crossbar array demonstrated by Soliman et al. \[29], scaled to
 //! 1-bit/1-bit precision, and compares against D-Wave QPU access times.
 //! This module holds the per-iteration latency model of the CiM pipeline;
 //! the QPU model lives in [`cnash_qubo::dwave::DWaveModel`].
@@ -12,7 +12,7 @@ use cnash_wta::WtaConfig;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CimTimingModel {
     /// Crossbar read settling time per phase (s). Derived from the
-    /// ~500 MHz 1-bit array operation of [29] plus DESTINY-extracted
+    /// ~500 MHz 1-bit array operation of \[29] plus DESTINY-extracted
     /// 28 nm wiring parasitics.
     pub crossbar_settle: f64,
     /// ADC conversion time per phase (s).

@@ -39,6 +39,20 @@ pub struct Crossbar {
     cell_current: Vec<f64>,
     /// Per-element `(I+1)×(I+1)` prefix tables, element-major.
     prefix: Vec<f64>,
+    /// Column-major mirror of `prefix` (same values, elements ordered
+    /// `(ej, ei)`). The incremental evaluator refreshes whole *columns*
+    /// of an array after a move; in the row-major table those blocks sit
+    /// a full matrix row apart (a TLB miss per element at 64×64), in the
+    /// mirror they are contiguous.
+    prefix_colmajor: Vec<f64>,
+    /// Compact all-word-lines slice of `prefix` (`r = I` fixed), used by
+    /// Phase-1 readers and the incremental evaluator: `(I+1)` values per
+    /// element, element-major. ~`I+1`× smaller than the full tables, so
+    /// the per-move scattered accesses of the delta path stay cache
+    /// resident.
+    mv_prefix: Vec<f64>,
+    /// Column-major mirror of `mv_prefix`.
+    mv_prefix_colmajor: Vec<f64>,
     phys_rows: usize,
     phys_cols: usize,
     nominal_on: f64,
@@ -94,6 +108,9 @@ impl Crossbar {
             payoffs,
             cell_current,
             prefix: Vec::new(),
+            prefix_colmajor: Vec::new(),
+            mv_prefix: Vec::new(),
+            mv_prefix_colmajor: Vec::new(),
             phys_rows,
             phys_cols,
             nominal_on: unit_current(&cell_params),
@@ -130,12 +147,55 @@ impl Crossbar {
             }
         }
         self.prefix = prefix;
+        let block = side * side;
+        let mut prefix_colmajor = vec![0.0; n * m * block];
+        let mut mv_prefix = vec![0.0; n * m * side];
+        let mut mv_prefix_colmajor = vec![0.0; n * m * side];
+        for ei in 0..n {
+            for ej in 0..m {
+                let e = ei * m + ej;
+                let et = ej * n + ei;
+                prefix_colmajor[et * block..(et + 1) * block]
+                    .copy_from_slice(&self.prefix[e * block..(e + 1) * block]);
+                let mv_row = &self.prefix[e * block + i * side..e * block + (i + 1) * side];
+                mv_prefix[e * side..(e + 1) * side].copy_from_slice(mv_row);
+                mv_prefix_colmajor[et * side..(et + 1) * side].copy_from_slice(mv_row);
+            }
+        }
+        self.prefix_colmajor = prefix_colmajor;
+        self.mv_prefix = mv_prefix;
+        self.mv_prefix_colmajor = mv_prefix_colmajor;
     }
 
-    fn prefix_at(&self, ei: usize, ej: usize, r: u32, g: u32) -> f64 {
+    /// Summed current of the `(r, g)`-activated sub-block of element
+    /// `(ei, ej)` — the quantity the incremental evaluator's reduction
+    /// trees hold as leaves.
+    pub(crate) fn prefix_at(&self, ei: usize, ej: usize, r: u32, g: u32) -> f64 {
         let side = self.spec.intervals as usize + 1;
         let base = (ei * self.payoffs.cols() + ej) * side * side;
         self.prefix[base + r as usize * side + g as usize]
+    }
+
+    /// [`Crossbar::prefix_at`] with all `I` word lines of the row group
+    /// active (`r = I`) — the Phase-1 case, served from the compact
+    /// cache.
+    pub(crate) fn mv_prefix_at(&self, ei: usize, ej: usize, g: u32) -> f64 {
+        let side = self.spec.intervals as usize + 1;
+        self.mv_prefix[(ei * self.payoffs.cols() + ej) * side + g as usize]
+    }
+
+    /// [`Crossbar::prefix_at`] served from the column-major mirror —
+    /// bitwise the same value, contiguous when walking one column.
+    pub(crate) fn prefix_at_colmajor(&self, ei: usize, ej: usize, r: u32, g: u32) -> f64 {
+        let side = self.spec.intervals as usize + 1;
+        let base = (ej * self.payoffs.rows() + ei) * side * side;
+        self.prefix_colmajor[base + r as usize * side + g as usize]
+    }
+
+    /// [`Crossbar::mv_prefix_at`] served from the column-major mirror.
+    pub(crate) fn mv_prefix_at_colmajor(&self, ei: usize, ej: usize, g: u32) -> f64 {
+        let side = self.spec.intervals as usize + 1;
+        self.mv_prefix_colmajor[(ej * self.payoffs.rows() + ei) * side + g as usize]
     }
 
     /// Mapping spec.
@@ -213,11 +273,10 @@ impl Crossbar {
     pub fn read_mv(&self, q: &[u32]) -> Result<Vec<f64>, CrossbarError> {
         let full = vec![self.spec.intervals; self.payoffs.rows()];
         self.check_counts(&full, q)?;
-        let i = self.spec.intervals;
         Ok((0..self.payoffs.rows())
             .map(|ei| {
                 (0..self.payoffs.cols())
-                    .map(|ej| self.prefix_at(ei, ej, i, q[ej]))
+                    .map(|ej| self.mv_prefix_at(ei, ej, q[ej]))
                     .sum()
             })
             .collect())

@@ -149,6 +149,21 @@ impl BiCrossbar {
         &self.xbar_nt
     }
 
+    /// ADC in front of the `M` array.
+    pub(crate) fn adc_m(&self) -> &AdcSpec {
+        &self.adc_m
+    }
+
+    /// ADC in front of the `Nᵀ` array.
+    pub(crate) fn adc_nt(&self) -> &AdcSpec {
+        &self.adc_nt
+    }
+
+    /// Payoff quantization scale.
+    pub(crate) fn scale(&self) -> f64 {
+        self.scale
+    }
+
     /// Grid activation counts for a strategy pair.
     ///
     /// # Errors

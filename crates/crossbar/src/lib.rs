@@ -17,7 +17,7 @@
 //! [`array::Crossbar`] samples one device per physical cell (threshold and
 //! resistor variability) and pre-computes per-block prefix sums so a read
 //! costs `O(n·m)` lookups instead of `O(cells)` — bit-exact with the naive
-//! cell-by-cell sum, which [`array`]'s tests verify.
+//! cell-by-cell sum, which [mod@array]'s tests verify.
 //!
 //! # Example
 //!
@@ -40,6 +40,7 @@ pub mod adc;
 pub mod array;
 pub mod bicrossbar;
 pub mod binary_mapping;
+pub mod delta;
 pub mod error;
 pub mod mapping;
 pub mod offset;
@@ -48,6 +49,7 @@ pub mod stats;
 pub use adc::AdcSpec;
 pub use array::Crossbar;
 pub use bicrossbar::{BiCrossbar, CrossbarConfig};
+pub use delta::{DeltaBiCrossbar, ExactMax, PhaseOneMax};
 pub use error::CrossbarError;
 pub use mapping::MappingSpec;
 pub use offset::QuantizedPayoffs;

@@ -121,4 +121,100 @@ proptest! {
         let qp = QuantizedPayoffs::from_integer_matrix(&shifted).expect("integer");
         prop_assert!(qp.reconstruct().max_abs_diff(&shifted) < 1e-9);
     }
+
+    /// **Delta-vs-full equivalence (Eq. 9 hot path).** Over random
+    /// bimatrix games, hardware instances (ideal and full paper noise)
+    /// and random propose/commit/revert walks, the incrementally
+    /// maintained energy is *bit-identical* to a from-scratch full
+    /// evaluation at every visited state.
+    #[test]
+    fn delta_walk_bit_identical_to_full_evaluation(
+        n in 2usize..5,
+        m in 2usize..5,
+        seed in 0u64..200,
+        paper in prop::bool::ANY,
+        steps in 1usize..60,
+    ) {
+        use cnash_anneal::delta::DeltaEnergy;
+        use cnash_anneal::moves::GridStrategyPair;
+        use cnash_crossbar::{DeltaBiCrossbar, ExactMax};
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+
+        let game = cnash_game::generators::random_integer_game(n, m, 6, seed)
+            .expect("valid dims");
+        let cfg = if paper {
+            CrossbarConfig::paper(12)
+        } else {
+            CrossbarConfig::ideal(12)
+        };
+        let hw = BiCrossbar::build(&game, &cfg, seed).expect("integer payoffs map");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD417A);
+        let init = GridStrategyPair::random(n, m, 12, &mut rng).expect("non-empty");
+        let mut eval = DeltaBiCrossbar::new(&hw, init, ExactMax).expect("geometry");
+        for _ in 0..steps {
+            let Some(mv) = eval.sample_move(&mut rng) else { break };
+            let before = eval.energy();
+            let delta = eval.propose(mv);
+            prop_assert_eq!(delta, eval.energy() - before);
+            if rng.random::<bool>() {
+                eval.commit();
+            } else {
+                eval.revert();
+                prop_assert_eq!(eval.energy(), before);
+            }
+            // Full evaluation: rebuild every cache from scratch at the
+            // current state. Must agree bit for bit.
+            let full = DeltaBiCrossbar::new(&hw, eval.state().clone(), ExactMax)
+                .expect("geometry")
+                .energy();
+            prop_assert_eq!(eval.energy(), full);
+        }
+    }
+
+    /// **Delta-vs-full SA equivalence.** The incremental Metropolis
+    /// driver and the classic driver re-evaluating every candidate from
+    /// scratch walk bit-identical trajectories: same best energy, same
+    /// best state, same acceptance count.
+    #[test]
+    fn delta_sa_run_matches_full_sa_run(
+        n in 2usize..4,
+        m in 2usize..4,
+        seed in 0u64..50,
+    ) {
+        use cnash_anneal::delta::{simulated_annealing_delta, DeltaEnergy};
+        use cnash_anneal::engine::{simulated_annealing, SaOptions};
+        use cnash_anneal::moves::GridStrategyPair;
+        use cnash_anneal::schedule::Schedule;
+        use cnash_crossbar::{DeltaBiCrossbar, ExactMax};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let game = cnash_game::generators::random_integer_game(n, m, 5, seed)
+            .expect("valid dims");
+        let hw = BiCrossbar::build(&game, &CrossbarConfig::paper(12), seed).expect("maps");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let init = GridStrategyPair::random(n, m, 12, &mut rng).expect("non-empty");
+        let opts = SaOptions {
+            iterations: 150,
+            schedule: Schedule::geometric(1.0, 1e-3),
+            seed,
+            target_energy: Some(0.05),
+            record_trace: true,
+            record_hits: true,
+        };
+        let full = simulated_annealing(
+            init.clone(),
+            |s| {
+                DeltaBiCrossbar::new(&hw, s.clone(), ExactMax)
+                    .expect("geometry")
+                    .energy()
+            },
+            |s, r| s.neighbour(r),
+            &opts,
+        );
+        let mut eval = DeltaBiCrossbar::new(&hw, init, ExactMax).expect("geometry");
+        let delta = simulated_annealing_delta(&mut eval, &opts);
+        prop_assert_eq!(full, delta);
+    }
 }

@@ -1,20 +1,20 @@
 //! Behavioural FeFET device substrate for the C-Nash reproduction.
 //!
 //! The paper simulates its circuits in Cadence SPECTRE with the Preisach
-//! FeFET compact model [27] and TSMC 28 nm MOSFETs. This crate provides the
+//! FeFET compact model \[27] and TSMC 28 nm MOSFETs. This crate provides the
 //! behavioural equivalents that the architecture actually consumes:
 //!
 //! * [`preisach`] — a hysteron-ensemble Preisach model mapping programming
 //!   pulses to remnant polarization and threshold-voltage shift (Fig. 2a),
 //! * [`fefet`] — a two-state FeFET with an ID–VG characteristic built from
 //!   a subthreshold exponential and an ON-region saturation (Fig. 2b),
-//! * [`cell`] — the 1FeFET1R structure of Yin et al. [25], whose series
+//! * [`cell`] — the 1FeFET1R structure of Yin et al. \[25], whose series
 //!   resistor clamps the ON current and thereby suppresses device-to-device
 //!   ON-current variability (Fig. 2c/d); the cell natively computes
 //!   `i = p × m × q` when inputs drive its gate (WL) and drain (DL),
 //! * [`variability`] — device-to-device variability: `σ(V_TH) = 40 mV`
-//!   from Soliman et al. [29] and 8 % resistor spread from Saito et
-//!   al. [30],
+//!   from Soliman et al. \[29] and 8 % resistor spread from Saito et
+//!   al. \[30],
 //! * [`corners`] — the five process corners (tt/ss/ff/snfp/fnsp) used in
 //!   the WTA robustness study (Fig. 7b),
 //! * [`montecarlo`] — a seeded Monte-Carlo runner with summary statistics,

@@ -1,7 +1,7 @@
 //! Multi-level-cell (MLC) FeFET storage (extension).
 //!
 //! The crossbar demonstration the paper derives its timing from (Soliman
-//! et al. [29]) is a *multi-level cell* FeFET array; C-Nash scales it "to
+//! et al. \[29]) is a *multi-level cell* FeFET array; C-Nash scales it "to
 //! a precision of 1-bit/1-bit". This module models the MLC device the
 //! paper scaled *down from*: partial-polarization programming yields
 //! several threshold levels per transistor, trading cells-per-element

@@ -5,7 +5,7 @@
 //! down-switching voltages. Sweeping the gate voltage flips the hysterons
 //! whose thresholds are crossed; the mean hysteron state is the normalised
 //! remnant polarization `P ∈ [−1, 1]`, which shifts the FeFET threshold
-//! voltage linearly (Ni et al. [27] use the same abstraction inside their
+//! voltage linearly (Ni et al. \[27] use the same abstraction inside their
 //! circuit-compatible compact model).
 //!
 //! C-Nash only needs the two saturated states (binary storage), but the

@@ -2,8 +2,8 @@
 //!
 //! The paper's robustness study (Sec. 4.1) assumes a `σ = 40 mV` FeFET
 //! threshold-voltage spread (from the multi-level-cell crossbar
-//! demonstration of Soliman et al. [29]) and an 8 % resistor spread (from
-//! the 1T1R analog CiM array of Saito et al. [30]). Every cell of a
+//! demonstration of Soliman et al. \[29]) and an 8 % resistor spread (from
+//! the 1T1R analog CiM array of Saito et al. \[30]). Every cell of a
 //! simulated crossbar draws one [`DeviceSample`] at construction.
 
 use rand::rngs::StdRng;
@@ -19,7 +19,7 @@ pub struct VariabilityModel {
 }
 
 impl VariabilityModel {
-    /// The paper's values: `σ(V_TH) = 40 mV` [29], 8 % resistor σ [30].
+    /// The paper's values: `σ(V_TH) = 40 mV` \[29], 8 % resistor σ \[30].
     pub fn paper() -> Self {
         Self {
             sigma_vth: 0.040,

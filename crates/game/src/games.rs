@@ -1,6 +1,6 @@
 //! Named benchmark game instances.
 //!
-//! The three paper benchmarks (Sec. 4.2) come from Khan et al. [8]:
+//! The three paper benchmarks (Sec. 4.2) come from Khan et al. \[8]:
 //! *Battle of the Sexes* (2 actions), *Bird Game* (3 actions) and *Modified
 //! Prisoner's Dilemma* (8 actions). Battle of the Sexes uses the standard
 //! textbook payoffs. The exact payoff matrices of the other two instances
@@ -43,7 +43,7 @@ pub fn battle_of_the_sexes() -> BimatrixGame {
 /// (the birds split the two best sites either way) and one mixed
 /// equilibrium `p = q = (2/3, 1/3, 0)` — all on the `1/12` grid.
 ///
-/// The original instance from Khan et al. [8] reports 6 target solutions;
+/// The original instance from Khan et al. \[8] reports 6 target solutions;
 /// our stand-in has 3 (see DESIGN.md: the *coverage-relative* comparison
 /// of Fig. 9 is preserved).
 pub fn bird_game() -> BimatrixGame {

@@ -1,7 +1,7 @@
 //! Support-enumeration computation of all Nash equilibria.
 //!
 //! This is the ground-truth solver of the reproduction, playing the role
-//! Nashpy [31] plays in the paper: given a bimatrix game it enumerates every
+//! Nashpy \[31] plays in the paper: given a bimatrix game it enumerates every
 //! pair of equal-size supports `(S, T)`, solves the indifference conditions
 //! on each support, and keeps the solutions that satisfy feasibility and
 //! best-response conditions. For nondegenerate games this finds *all*

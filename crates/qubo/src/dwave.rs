@@ -16,7 +16,7 @@
 //! (2000Q ≳ Advantage 4.1 on these small games, both degrading with game
 //! size); absolute percentages are not claimed.
 
-use crate::annealer::{anneal, AnnealParams};
+use crate::annealer::{anneal_incremental, AnnealParams};
 use crate::model::Qubo;
 use crate::topology::Topology;
 use rand::rngs::StdRng;
@@ -99,7 +99,7 @@ impl DWaveModel {
     /// Draws one sample (one annealing read + chain-break corruption).
     pub fn sample_once(&self, qubo: &Qubo, seed: u64) -> Vec<bool> {
         let params = AnnealParams::new(self.sweeps_per_read, self.t_max, self.t_min);
-        let result = anneal(qubo, &params, seed);
+        let result = anneal_incremental(qubo, &params, seed);
         let mut x = result.best_assignment;
         let p_break = self.chain_break_probability(qubo.num_vars());
         if p_break > 0.0 {

@@ -1,6 +1,6 @@
 //! QUBO machinery and the D-Wave baseline emulation.
 //!
-//! The paper's baselines (Khan et al. [8]) solve Nash-equilibrium problems
+//! The paper's baselines (Khan et al. \[8]) solve Nash-equilibrium problems
 //! on D-Wave quantum annealers by converting the Mangasarian–Stone
 //! quadratic program into *slack-QUBO* (S-QUBO) form (Eq. 6): inequality
 //! constraints become squared equality penalties with extra slack
@@ -50,7 +50,9 @@ pub mod model;
 pub mod squbo;
 pub mod topology;
 
-pub use annealer::{anneal, AnnealParams, AnnealResult};
+pub use annealer::{
+    anneal, anneal_incremental, AnnealParams, AnnealResult, LocalFields, QuboDelta,
+};
 pub use dwave::DWaveModel;
 pub use model::Qubo;
 pub use squbo::{SQubo, SQuboWeights};

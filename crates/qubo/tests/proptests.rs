@@ -8,6 +8,27 @@ use cnash_qubo::model::Qubo;
 use cnash_qubo::squbo::{SQubo, SQuboWeights};
 use proptest::prelude::*;
 
+/// Arbitrary QUBO with small *integer* coefficients — every derived sum
+/// is exact in f64.
+fn arb_int_qubo(n: usize) -> impl Strategy<Value = Qubo> {
+    (
+        prop::collection::vec(-5i32..=5, n),
+        prop::collection::vec(-3i32..=3, n * n),
+    )
+        .prop_map(move |(lin, quad)| {
+            let mut q = Qubo::new(n);
+            for (i, &l) in lin.iter().enumerate() {
+                q.add_linear(i, f64::from(l));
+            }
+            for i in 0..n {
+                for j in i + 1..n {
+                    q.add_coupling(i, j, f64::from(quad[i * n + j]));
+                }
+            }
+            q
+        })
+}
+
 fn arb_qubo(n: usize) -> impl Strategy<Value = Qubo> {
     (
         prop::collection::vec(-3.0f64..3.0, n),
@@ -109,6 +130,98 @@ proptest! {
         let (_, emin) = q.brute_force_minimum();
         let r = anneal(&q, &AnnealParams::new(30, 5.0, 0.1), seed);
         prop_assert!(r.best_energy >= emin - 1e-9);
+    }
+
+    /// **Delta-vs-full equivalence (QUBO hot path).** Over random
+    /// integer-coefficient QUBOs — every coefficient and running sum
+    /// exact in f64, the case produced by S-QUBO transformations of
+    /// integer games — the local-field incremental annealer and the
+    /// O(n)-scan full annealer return bit-identical results: best
+    /// energy, best assignment, trajectory statistics.
+    #[test]
+    fn incremental_anneal_bit_identical_on_integer_qubos(
+        q in arb_int_qubo(14),
+        seed in 0u64..50,
+        sweeps in 5usize..60,
+    ) {
+        let params = AnnealParams::new(sweeps, 8.0, 0.05);
+        let full = anneal(&q, &params, seed);
+        let inc = cnash_qubo::annealer::anneal_incremental(&q, &params, seed);
+        prop_assert_eq!(full, inc);
+    }
+
+    /// The equivalence also holds end-to-end through the S-QUBO of a
+    /// random integer game — the production baseline path.
+    #[test]
+    fn incremental_anneal_bit_identical_on_squbos(
+        n in 2usize..4,
+        game_seed in 0u64..30,
+        seed in 0u64..10,
+    ) {
+        let game = random_integer_game(n, n, 6, game_seed).expect("valid");
+        let s = SQubo::build(&game, &SQuboWeights::default()).expect("integer payoffs");
+        let params = AnnealParams::new(40, 10.0, 0.05);
+        let full = anneal(s.qubo(), &params, seed);
+        let inc = cnash_qubo::annealer::anneal_incremental(s.qubo(), &params, seed);
+        prop_assert_eq!(full, inc);
+    }
+
+    /// The generic incremental Metropolis driver over [`QuboDelta`]
+    /// walks bit-identical trajectories to the classic driver that
+    /// fully re-evaluates `Qubo::energy` on every proposal — the same
+    /// delta-vs-full contract the crossbar evaluator satisfies, through
+    /// the same `cnash-anneal` machinery.
+    #[test]
+    fn qubo_delta_generic_driver_matches_full_driver(
+        q in arb_int_qubo(10),
+        seed in 0u64..30,
+    ) {
+        use cnash_anneal::delta::simulated_annealing_delta;
+        use cnash_anneal::engine::{simulated_annealing, SaOptions};
+        use cnash_anneal::Schedule;
+        use cnash_qubo::QuboDelta;
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+
+        let init: Vec<bool> = {
+            let mut r = StdRng::seed_from_u64(seed ^ 0xF00D);
+            (0..q.num_vars()).map(|_| r.random()).collect()
+        };
+        let opts = SaOptions {
+            iterations: 300,
+            schedule: Schedule::geometric(5.0, 0.01),
+            seed,
+            target_energy: Some(0.0),
+            record_trace: true,
+            record_hits: true,
+        };
+        let full = simulated_annealing(
+            init.clone(),
+            |x: &Vec<bool>| q.energy(x),
+            |x, rng| {
+                let k = rng.random_range(0..x.len());
+                let mut y = x.clone();
+                y[k] = !y[k];
+                y
+            },
+            &opts,
+        );
+        let mut eval = QuboDelta::new(&q, init);
+        let delta = simulated_annealing_delta(&mut eval, &opts);
+        prop_assert_eq!(full, delta);
+    }
+
+    /// On arbitrary float QUBOs the two paths may round differently, but
+    /// the incremental path's energy bookkeeping must stay consistent
+    /// with a from-scratch energy evaluation of its reported best state.
+    #[test]
+    fn incremental_anneal_bookkeeping_consistent_on_float_qubos(
+        q in arb_qubo(12),
+        seed in 0u64..20,
+    ) {
+        let params = AnnealParams::new(30, 5.0, 0.1);
+        let r = cnash_qubo::annealer::anneal_incremental(&q, &params, seed);
+        prop_assert!((q.energy(&r.best_assignment) - r.best_energy).abs() < 1e-6);
     }
 }
 

@@ -52,6 +52,7 @@ pub fn game_report_json(report: &GameReport) -> Json {
         ),
         ("tts99_s", Json::Num(report.tts99)),
         ("mean_run_time_s", Json::Num(report.mean_run_time)),
+        ("hits_truncated", Json::Bool(report.hits_truncated)),
     ])
 }
 
@@ -119,5 +120,6 @@ mod tests {
         let report = doc.get("report").unwrap();
         assert_eq!(report.get("solver").unwrap().as_str().unwrap(), "C-Nash");
         assert!(report.get("success_rate_pct").unwrap().as_f64().unwrap() > 0.0);
+        assert!(!report.get("hits_truncated").unwrap().as_bool().unwrap());
     }
 }

@@ -15,6 +15,23 @@ use cnash_game::{games, BimatrixGame, MixedStrategy};
 use cnash_runtime::{BatchRunner, EarlyStop};
 use proptest::prelude::*;
 
+/// Worker counts pinned by CI's determinism matrix: the workflow runs
+/// this suite with `CNASH_TEST_THREADS` ∈ {1, 2, 8} and every
+/// determinism property additionally compares against the pair
+/// `(t, 2t + 1)`. The derived odd count lands outside the inline
+/// {1, 2, 8} comparisons (3, 5, 17 across the matrix; 4 and 9 for the
+/// local default of 4), so each matrix job pins seed-ordered folding at
+/// worker counts — including chunk-boundary-unfriendly odd ones — that
+/// no other job or inline assertion covers.
+fn matrix_threads() -> (usize, usize) {
+    let t = std::env::var("CNASH_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(4);
+    (t, 2 * t + 1)
+}
+
 /// A solver that lies: it flags every run as a success but returns a
 /// profile that is *not* an equilibrium of its game.
 struct LyingSolver {
@@ -56,6 +73,7 @@ impl NashSolver for LyingSolver {
             hit_time: Some(1e-6),
             total_time: 1e-5,
             measured_objective: 0.0,
+            solutions_truncated: false,
         }
     }
 }
@@ -103,6 +121,7 @@ impl NashSolver for SometimesSolver {
                 total_time: 1e-5,
                 measured_objective: 0.0,
                 solutions: vec![self.truth.clone()],
+                solutions_truncated: false,
             }
         } else {
             RunOutcome {
@@ -112,6 +131,7 @@ impl NashSolver for SometimesSolver {
                 total_time: 1e-5,
                 measured_objective: 1.0,
                 solutions: Vec::new(),
+                solutions_truncated: false,
             }
         }
     }
@@ -140,9 +160,16 @@ proptest! {
         let one = runner.threads(1).evaluate(&solver, &truth);
         let two = runner.threads(2).evaluate(&solver, &truth);
         let eight = runner.threads(8).evaluate(&solver, &truth);
+        let (t, odd) = matrix_threads();
+        let matrix = runner.threads(t).evaluate(&solver, &truth);
+        let matrix_odd = runner.threads(odd).evaluate(&solver, &truth);
         prop_assert_eq!(&one.report, &two.report);
         prop_assert_eq!(&one.report, &eight.report);
+        prop_assert_eq!(&one.report, &matrix.report);
+        prop_assert_eq!(&one.report, &matrix_odd.report);
         prop_assert_eq!(one.executed_runs, eight.executed_runs);
+        prop_assert_eq!(one.executed_runs, matrix.executed_runs);
+        prop_assert_eq!(one.executed_runs, matrix_odd.executed_runs);
     }
 
     /// Determinism holds under early stop too: the stop index is decided
@@ -163,9 +190,18 @@ proptest! {
         let runner = BatchRunner::new(60, base_seed).early_stop(EarlyStop::Successes(target));
         let one = runner.threads(1).evaluate(&solver, &truth);
         let eight = runner.threads(8).evaluate(&solver, &truth);
+        let (t, odd) = matrix_threads();
+        let matrix = runner.threads(t).evaluate(&solver, &truth);
+        let matrix_odd = runner.threads(odd).evaluate(&solver, &truth);
         prop_assert_eq!(one.executed_runs, eight.executed_runs);
+        prop_assert_eq!(one.executed_runs, matrix.executed_runs);
+        prop_assert_eq!(one.executed_runs, matrix_odd.executed_runs);
         prop_assert_eq!(&one.report, &eight.report);
+        prop_assert_eq!(&one.report, &matrix.report);
+        prop_assert_eq!(&one.report, &matrix_odd.report);
         prop_assert_eq!(one.stopped_early, eight.stopped_early);
+        prop_assert_eq!(one.stopped_early, matrix.stopped_early);
+        prop_assert_eq!(one.stopped_early, matrix_odd.stopped_early);
     }
 
     /// A lying solver can never trigger an early stop: every claimed

@@ -133,6 +133,37 @@ impl WtaTree {
         }
     }
 
+    /// The maximum value alone — [`WtaTree::eval`] without the
+    /// winning-path bookkeeping, for hot paths that only need the analog
+    /// max (one tournament buffer, no per-level allocations). Bitwise the
+    /// same value as `eval(currents).value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `currents.len() != inputs`.
+    pub fn eval_value(&self, currents: &[f64]) -> f64 {
+        assert_eq!(
+            currents.len(),
+            self.inputs,
+            "expected {} inputs",
+            self.inputs
+        );
+        let width = 1usize << self.levels;
+        let mut values: Vec<f64> = currents.to_vec();
+        values.resize(width, 0.0);
+        let mut cell_idx = 0;
+        let mut span = width;
+        while span > 1 {
+            for k in 0..span / 2 {
+                let out = self.cells[cell_idx].compare(values[2 * k], values[2 * k + 1]);
+                cell_idx += 1;
+                values[k] = out;
+            }
+            span /= 2;
+        }
+        values[0]
+    }
+
     /// Worst-case relative error bound of the tree output: offsets
     /// compound multiplicatively over `K` levels.
     pub fn error_bound(&self) -> f64 {
@@ -179,6 +210,16 @@ mod tests {
         let out = t.eval(&[1e-6, 2e-6, 1.5e-6]);
         assert_eq!(out.argmax, 1);
         assert_eq!(out.value, 2e-6);
+    }
+
+    #[test]
+    fn eval_value_matches_eval_bitwise() {
+        let cfg = WtaConfig::nominal();
+        for (inputs, seed) in [(1usize, 0u64), (3, 1), (8, 2), (11, 3), (64, 4)] {
+            let t = WtaTree::build(inputs, &cfg, seed);
+            let currents: Vec<f64> = (0..inputs).map(|k| (k as f64 * 0.37).sin().abs()).collect();
+            assert_eq!(t.eval_value(&currents), t.eval(&currents).value);
+        }
     }
 
     #[test]

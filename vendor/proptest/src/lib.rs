@@ -127,7 +127,7 @@ pub mod prop {
         use crate::Strategy;
         use rand::rngs::StdRng;
 
-        /// Acceptable length arguments for [`vec`]: an exact length or a
+        /// Acceptable length arguments for [`fn@vec`]: an exact length or a
         /// range of lengths.
         pub trait VecLen {
             /// Draws a concrete length.
