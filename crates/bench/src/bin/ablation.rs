@@ -16,7 +16,7 @@ use cnash_game::games;
 use cnash_game::support_enum::enumerate_equilibria;
 
 fn main() {
-    let cli = Cli::parse();
+    let cli = Cli::parse_for(&["--runs", "--seed", "--full", "--threads"]);
     let runs = cli.runs.min(300);
     let runner = ExperimentRunner::new(runs, cli.seed);
 

@@ -13,7 +13,11 @@ use cnash_runtime::report::portfolio_json;
 use cnash_runtime::{BatchSpec, PortfolioRunner};
 
 fn main() {
-    let cli = Cli::parse();
+    // Restricted flag subset: everything else in the shared table
+    // (--runs, --full, ...) has no meaning here — run budgets live in
+    // the jobs file — and is rejected with a usage message instead of
+    // being silently ignored.
+    let cli = Cli::parse_for(&["--jobs-file", "--threads"]);
     let Some(path) = &cli.jobs_file else {
         eprintln!("error: the batch binary needs --jobs-file PATH");
         std::process::exit(2);

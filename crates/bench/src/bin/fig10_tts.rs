@@ -8,7 +8,7 @@ use cnash_bench::{evaluate_paper_benchmarks, Cli};
 use cnash_core::report::{format_time, render_table};
 
 fn main() {
-    let cli = Cli::parse();
+    let cli = Cli::parse_for(&["--runs", "--seed", "--full", "--threads"]);
     let evals = evaluate_paper_benchmarks(&cli);
 
     let mut rows = Vec::new();

@@ -7,7 +7,7 @@ use cnash_bench::{evaluate_paper_benchmarks, Cli};
 use cnash_core::report::{distribution_row, render_table};
 
 fn main() {
-    let cli = Cli::parse();
+    let cli = Cli::parse_for(&["--runs", "--seed", "--full", "--threads"]);
     let evals = evaluate_paper_benchmarks(&cli);
 
     for eval in &evals {

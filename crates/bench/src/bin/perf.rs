@@ -186,7 +186,7 @@ type CrossbarGrid = Vec<(usize, u32, usize)>;
 type QuboGrid = Vec<(usize, f64, usize)>;
 
 fn main() {
-    let cli = Cli::parse();
+    let cli = Cli::parse_for(&["--quick", "--seed", "--out"]);
     let seed = cli.seed;
 
     // The 64×64 crossbar point is the acceptance gate and belongs to

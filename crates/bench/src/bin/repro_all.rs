@@ -10,7 +10,7 @@ use cnash_bench::{evaluate_paper_benchmarks, Cli};
 use cnash_core::report::{coverage_row, distribution_row, render_table, success_row, tts_row};
 
 fn main() {
-    let cli = Cli::parse();
+    let cli = Cli::parse_for(&["--runs", "--seed", "--full", "--threads"]);
     let evals = evaluate_paper_benchmarks(&cli);
     let all: Vec<&cnash_core::GameReport> = evals.iter().flat_map(|e| e.reports.iter()).collect();
 

@@ -20,7 +20,7 @@ use cnash_game::support_enum::enumerate_equilibria;
 use cnash_qubo::squbo::{SQubo, SQuboWeights};
 
 fn main() {
-    let cli = Cli::parse();
+    let cli = Cli::parse_for(&["--runs", "--seed", "--full", "--threads"]);
     let runs = cli.runs.min(200);
     let eps = 0.1;
 

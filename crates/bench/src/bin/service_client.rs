@@ -1,0 +1,98 @@
+//! CLI client for the solver service.
+//!
+//! `cargo run --release -p cnash-bench --bin service_client -- \
+//!      --addr HOST:PORT --requests PATH [--golden] [--serial]`
+//!
+//! Streams a JSON-lines request file (one protocol request per line,
+//! see `cnash_service::protocol`; blank lines and `#` comments are
+//! skipped) to the daemon and prints one response line per request on
+//! stdout:
+//!
+//! * `--serial` awaits each response before sending the next request,
+//!   which pins the service's execution order to the request order —
+//!   required for byte-deterministic `cache_hit`/`stats` fields;
+//!   without it requests are pipelined across the daemon's shards.
+//! * `--golden` normalises responses for golden-file diffing: the
+//!   wall-clock fields are stripped and the document re-serialised
+//!   canonically. CI's `service-smoke` job runs with both flags and
+//!   diffs stdout against `tests/golden/service_reports.golden`.
+//!
+//! Exits 0 when every request got a response (error *responses* are
+//! legitimate protocol output), 1 when the connection died early, 2 on
+//! usage errors.
+
+use cnash_bench::client::{normalise_response, ServiceConn};
+use cnash_bench::Cli;
+
+fn main() {
+    let cli = Cli::parse_for(&["--addr", "--requests", "--golden", "--serial"]);
+    let (Some(addr), Some(requests)) = (&cli.addr, &cli.requests) else {
+        eprintln!("error: service_client needs --addr HOST:PORT and --requests PATH");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(requests) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {requests}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let lines: Vec<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+
+    let mut conn = match ServiceConn::connect(addr.as_str()) {
+        Ok(conn) => conn,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let emit = |line: &str| {
+        if cli.golden {
+            println!("{}", normalise_response(line));
+        } else {
+            println!("{line}");
+        }
+    };
+
+    let mut received = 0usize;
+    if cli.serial {
+        for line in &lines {
+            match conn.round_trip(line) {
+                Ok(response) => {
+                    emit(&response);
+                    received += 1;
+                }
+                Err(e) => {
+                    eprintln!("error: request {} got no response: {e}", received + 1);
+                    std::process::exit(1);
+                }
+            }
+        }
+    } else {
+        for line in &lines {
+            if let Err(e) = conn.send_line(line) {
+                eprintln!("error: send failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        conn.finish_writes();
+        while let Ok(Some(response)) = conn.recv_line() {
+            emit(&response);
+            received += 1;
+        }
+    }
+
+    if received < lines.len() {
+        eprintln!(
+            "error: sent {} requests but received {} responses",
+            lines.len(),
+            received
+        );
+        std::process::exit(1);
+    }
+}

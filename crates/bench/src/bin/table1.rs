@@ -17,7 +17,7 @@ const PAPER: [[Option<f64>; 3]; 3] = [
 ];
 
 fn main() {
-    let cli = Cli::parse();
+    let cli = Cli::parse_for(&["--runs", "--seed", "--full", "--threads"]);
     let evals = evaluate_paper_benchmarks(&cli);
 
     let mut rows = Vec::new();

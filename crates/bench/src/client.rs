@@ -1,0 +1,112 @@
+//! Client-side plumbing for the solver service's JSON-lines protocol.
+//!
+//! Shared by the `service_client` CLI, the `service_bench` harness and
+//! the repository-root round-trip test: a thin line-framed connection
+//! plus the golden-file normalisation (strip wall-clock fields,
+//! re-serialise canonically).
+
+use cnash_runtime::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A line-framed connection to the solver service.
+pub struct ServiceConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServiceConn {
+    /// Connects to the service.
+    ///
+    /// # Errors
+    ///
+    /// Propagates resolution/connection errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self { reader, writer })
+    }
+
+    /// Sends one request line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.trim().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Receives one response line (`None` on EOF).
+    ///
+    /// # Errors
+    ///
+    /// Propagates read errors.
+    pub fn recv_line(&mut self) -> std::io::Result<Option<String>> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line)? {
+            0 => Ok(None),
+            _ => Ok(Some(line.trim_end().to_string())),
+        }
+    }
+
+    /// Sends a request and awaits its response (serial mode).
+    ///
+    /// # Errors
+    ///
+    /// Errors if the connection drops before the response arrives.
+    pub fn round_trip(&mut self, line: &str) -> std::io::Result<String> {
+        self.send_line(line)?;
+        self.recv_line()?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "service closed the connection before responding",
+            )
+        })
+    }
+
+    /// Half-closes the write side so the service sees EOF and the
+    /// remaining responses can be drained with [`ServiceConn::recv_line`].
+    pub fn finish_writes(&mut self) {
+        let _ = self.writer.shutdown(std::net::Shutdown::Write);
+    }
+}
+
+/// Normalises a response line for golden-file comparison: parses it,
+/// strips the wall-clock fields and re-serialises canonically
+/// (sorted keys, compact framing). Unparseable lines pass through
+/// untouched so a diff still shows them.
+pub fn normalise_response(line: &str) -> String {
+    match Json::parse(line) {
+        Ok(mut doc) => {
+            cnash_service::strip_timing(&mut doc);
+            doc.compact()
+        }
+        Err(_) => line.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnash_service::{serve, ServiceConfig};
+
+    #[test]
+    fn round_trips_against_a_live_service() {
+        let handle = serve(ServiceConfig::default()).unwrap();
+        let mut conn = ServiceConn::connect(handle.addr()).unwrap();
+        let pong = conn.round_trip(r#"{"op":"ping","id":1}"#).unwrap();
+        assert!(pong.contains("\"pong\":true"));
+        conn.finish_writes();
+        assert_eq!(conn.recv_line().unwrap(), None, "EOF after half-close");
+        handle.stop();
+    }
+
+    #[test]
+    fn normalise_strips_wall_clock_and_canonicalises() {
+        let raw = r#"{"wall_ms": 3.5, "ok": true, "program_ms": 1.0, "id": 2}"#;
+        assert_eq!(normalise_response(raw), r#"{"id":2,"ok":true}"#);
+        assert_eq!(normalise_response("garbage"), "garbage");
+    }
+}

@@ -14,6 +14,8 @@
 //! Paper-vs-measured numbers for every artefact are recorded in
 //! `EXPERIMENTS.md` at the repository root.
 
+pub mod client;
+
 use cnash_core::baselines::DWaveNashSolver;
 use cnash_core::{CNashConfig, CNashSolver, GameReport, NashSolver};
 use cnash_game::games::{paper_benchmarks, PaperBenchmark};
@@ -67,6 +69,26 @@ const FLAGS: &[FlagSpec] = &[
         value: Some("PATH"),
         help: "output path for machine-readable BENCH_*.json artefacts",
     },
+    FlagSpec {
+        name: "--addr",
+        value: Some("HOST:PORT"),
+        help: "solver-service address (service_client)",
+    },
+    FlagSpec {
+        name: "--requests",
+        value: Some("PATH"),
+        help: "JSON-lines request file to stream to the service",
+    },
+    FlagSpec {
+        name: "--golden",
+        value: None,
+        help: "strip wall-clock fields from responses (golden-file diffing)",
+    },
+    FlagSpec {
+        name: "--serial",
+        value: None,
+        help: "await each response before sending the next request",
+    },
 ];
 
 /// Parsed command-line options of a reproduction binary.
@@ -86,24 +108,58 @@ pub struct Cli {
     pub quick: bool,
     /// Output path for machine-readable BENCH artefacts.
     pub out: Option<String>,
+    /// Solver-service address (service binaries).
+    pub addr: Option<String>,
+    /// JSON-lines request file for the service client.
+    pub requests: Option<String>,
+    /// Strip wall-clock fields from service responses.
+    pub golden: bool,
+    /// Await each service response before sending the next request.
+    pub serial: bool,
 }
 
 impl Cli {
     /// Parses `std::env::args`. Unknown flags abort with a usage message.
     pub fn parse() -> Self {
+        Self::parse_supporting(None)
+    }
+
+    /// Parses `std::env::args` against a restricted flag subset: flags
+    /// outside `supported` abort with a usage message listing only the
+    /// binary's own flags — a binary never silently ignores an option
+    /// that does not apply to it.
+    pub fn parse_for(supported: &[&str]) -> Self {
+        Self::parse_supporting(Some(supported))
+    }
+
+    fn parse_supporting(supported: Option<&[&str]>) -> Self {
         let args: Vec<String> = std::env::args().skip(1).collect();
-        match Self::parse_from(&args) {
+        match Self::parse_from_supporting(&args, supported) {
             Ok(cli) => cli,
-            Err(msg) => usage(&msg),
+            Err(msg) => usage(&msg, supported),
         }
     }
 
-    /// Parses an explicit argument list.
+    /// Parses an explicit argument list (all flags allowed).
     ///
     /// # Errors
     ///
     /// Returns a message describing the first invalid or unknown flag.
     pub fn parse_from(args: &[String]) -> Result<Self, String> {
+        Self::parse_from_supporting(args, None)
+    }
+
+    /// Parses an explicit argument list against a flag subset
+    /// (`None` = the full table).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid, unknown or
+    /// unsupported flag.
+    pub fn parse_from_supporting(
+        args: &[String],
+        supported: Option<&[&str]>,
+    ) -> Result<Self, String> {
         let mut cli = Cli {
             runs: 500,
             ..Cli::default()
@@ -115,6 +171,11 @@ impl Cli {
                 .iter()
                 .find(|f| f.name == arg)
                 .ok_or_else(|| format!("unknown flag {arg}"))?;
+            if let Some(subset) = supported {
+                if !subset.contains(&arg) {
+                    return Err(format!("flag {arg} is not supported by this binary"));
+                }
+            }
             let value = if spec.value.is_some() {
                 i += 1;
                 Some(
@@ -140,8 +201,12 @@ impl Cli {
                 "--threads" => cli.threads = parsed(value.expect("has value"))? as usize,
                 "--full" => cli.full = true,
                 "--quick" => cli.quick = true,
+                "--golden" => cli.golden = true,
+                "--serial" => cli.serial = true,
                 "--jobs-file" => cli.jobs_file = Some(value.expect("has value").to_string()),
                 "--out" => cli.out = Some(value.expect("has value").to_string()),
+                "--addr" => cli.addr = Some(value.expect("has value").to_string()),
+                "--requests" => cli.requests = Some(value.expect("has value").to_string()),
                 _ => unreachable!("flag table covers every match arm"),
             }
             i += 1;
@@ -168,13 +233,18 @@ impl Cli {
     }
 }
 
-fn usage(msg: &str) -> ! {
+fn usage(msg: &str, supported: Option<&[&str]>) -> ! {
     eprintln!("error: {msg}");
     eprintln!("usage: <bin> [flags]");
     for f in FLAGS {
+        if let Some(subset) = supported {
+            if !subset.contains(&f.name) {
+                continue;
+            }
+        }
         match f.value {
-            Some(v) => eprintln!("  {} {:<6} {}", f.name, v, f.help),
-            None => eprintln!("  {:<15} {}", f.name, f.help),
+            Some(v) => eprintln!("  {} {:<9} {}", f.name, v, f.help),
+            None => eprintln!("  {:<18} {}", f.name, f.help),
         }
     }
     std::process::exit(2);
@@ -252,6 +322,12 @@ mod tests {
             "--quick",
             "--out",
             "BENCH_sa_hotpath.json",
+            "--addr",
+            "127.0.0.1:7401",
+            "--requests",
+            "reqs.jsonl",
+            "--golden",
+            "--serial",
         ]))
         .unwrap();
         assert_eq!(
@@ -264,8 +340,31 @@ mod tests {
                 jobs_file: Some("jobs.json".into()),
                 quick: true,
                 out: Some("BENCH_sa_hotpath.json".into()),
+                addr: Some("127.0.0.1:7401".into()),
+                requests: Some("reqs.jsonl".into()),
+                golden: true,
+                serial: true,
             }
         );
+    }
+
+    #[test]
+    fn restricted_binaries_reject_flags_outside_their_subset() {
+        let subset: &[&str] = &["--jobs-file", "--threads"];
+        let ok = Cli::parse_from_supporting(
+            &args(&["--jobs-file", "jobs.json", "--threads", "2"]),
+            Some(subset),
+        )
+        .unwrap();
+        assert_eq!(ok.jobs_file.as_deref(), Some("jobs.json"));
+        // A flag that exists in the global table but not in this
+        // binary's subset is an error, never silently ignored.
+        let err = Cli::parse_from_supporting(&args(&["--runs", "5"]), Some(subset)).unwrap_err();
+        assert!(err.contains("--runs"), "{err}");
+        assert!(err.contains("not supported"), "{err}");
+        // Truly unknown flags keep their own message.
+        let err = Cli::parse_from_supporting(&args(&["--warp"]), Some(subset)).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
     }
 
     #[test]

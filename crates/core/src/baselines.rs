@@ -5,6 +5,7 @@ use crate::solver::{NashSolver, RunOutcome};
 use cnash_game::BimatrixGame;
 use cnash_qubo::dwave::DWaveModel;
 use cnash_qubo::squbo::{SQubo, SQuboWeights};
+use std::sync::Arc;
 
 /// A quantum-annealer Nash solver: Eq. 6 S-QUBO + emulated QPU sampling.
 ///
@@ -17,7 +18,7 @@ pub struct DWaveNashSolver {
     name: String,
     game: BimatrixGame,
     model: DWaveModel,
-    squbo: SQubo,
+    squbo: Arc<SQubo>,
     reads_per_run: usize,
 }
 
@@ -34,6 +35,47 @@ impl DWaveNashSolver {
         reads_per_run: usize,
     ) -> Result<Self, CoreError> {
         let squbo = SQubo::build(game, &SQuboWeights::default())?;
+        Ok(Self {
+            name: model.name.clone(),
+            game: game.clone(),
+            model,
+            squbo: Arc::new(squbo),
+            reads_per_run,
+        })
+    }
+
+    /// Shares this solver's programmed S-QUBO instance (cheap: an `Arc`
+    /// clone; the Eq. 6 build with its slack-variable blow-up is the
+    /// expensive part of instantiating a baseline solver).
+    pub fn programmed(&self) -> Arc<SQubo> {
+        Arc::clone(&self.squbo)
+    }
+
+    /// Rebuilds a baseline solver around an already-built S-QUBO,
+    /// skipping the QUBO construction. The device model and reads
+    /// budget are per-request state and do not affect the programmed
+    /// instance, so one cached S-QUBO serves every model/read sweep
+    /// over the same game.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the S-QUBO's shape does
+    /// not match the game.
+    pub fn from_programmed(
+        game: &BimatrixGame,
+        model: DWaveModel,
+        reads_per_run: usize,
+        squbo: Arc<SQubo>,
+    ) -> Result<Self, CoreError> {
+        let dims = (game.row_actions(), game.col_actions());
+        if squbo.shape() != dims {
+            return Err(CoreError::InvalidConfig(format!(
+                "programmed S-QUBO is {:?}, game `{}` is {:?}",
+                squbo.shape(),
+                game.name(),
+                dims
+            )));
+        }
         Ok(Self {
             name: model.name.clone(),
             game: game.clone(),
@@ -132,6 +174,29 @@ mod tests {
         let eq = Equilibrium::from_profile(&g, p, q);
         // Baselines can only ever return pure profiles.
         assert_eq!(eq.kind(1e-9), StrategyKind::Pure);
+    }
+
+    #[test]
+    fn reprogrammed_baseline_is_bit_identical() {
+        let g = games::battle_of_the_sexes();
+        let cold = DWaveNashSolver::new(&g, DWaveModel::dwave_2000q(), 5).unwrap();
+        // Same game, different model/reads: the cached S-QUBO is shared.
+        let warm =
+            DWaveNashSolver::from_programmed(&g, DWaveModel::dwave_2000q(), 5, cold.programmed())
+                .unwrap();
+        assert_eq!(cold.run(3), warm.run(3));
+        let advantage =
+            DWaveNashSolver::from_programmed(&g, DWaveModel::advantage_4_1(), 2, cold.programmed())
+                .unwrap();
+        assert_eq!(advantage.reads_per_run(), 2);
+        // Shape mismatches are rejected.
+        assert!(DWaveNashSolver::from_programmed(
+            &games::bird_game(),
+            DWaveModel::dwave_2000q(),
+            1,
+            cold.programmed()
+        )
+        .is_err());
     }
 
     #[test]

@@ -51,5 +51,5 @@ pub mod timing;
 pub use config::CNashConfig;
 pub use error::CoreError;
 pub use experiment::{ExperimentRunner, GameReport};
-pub use solver::{CNashSolver, IdealSolver, NashSolver, RunOutcome, WtaMax};
+pub use solver::{CNashSolver, IdealSolver, NashSolver, ProgrammedCNash, RunOutcome, WtaMax};
 pub use timing::CimTimingModel;

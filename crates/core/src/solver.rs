@@ -11,6 +11,7 @@ use cnash_game::{BimatrixGame, MixedStrategy};
 use cnash_wta::WtaTree;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Outcome of one solver run.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,6 +92,31 @@ impl PhaseOneMax for WtaMax<'_> {
 /// (see `BENCH_sa_hotpath.json` trajectory in the README).
 pub const DELTA_EVAL_MIN_CELLS: usize = 64;
 
+/// The programmed hardware of a [`CNashSolver`]: the mapped bi-crossbar
+/// and both WTA trees, shared by reference counting.
+///
+/// Programming is the expensive part of instantiating a solver — the
+/// `O(n·m·I²·t)` device-sampling mapping pass — while everything else in
+/// a solver is cheap per-request state. A service that sees the same
+/// game (by canonical fingerprint) twice extracts this with
+/// [`CNashSolver::programmed`] on the first request and rebuilds cheap
+/// solver handles around it with [`CNashSolver::from_programmed`] on
+/// every later one, including parameter sweeps that only change the
+/// iteration budget, gap tolerance or WTA routing flag.
+#[derive(Debug, Clone)]
+pub struct ProgrammedCNash {
+    hardware: Arc<BiCrossbar>,
+    wta_row: Arc<WtaTree>,
+    wta_col: Arc<WtaTree>,
+}
+
+impl ProgrammedCNash {
+    /// The programmed bi-crossbar.
+    pub fn hardware(&self) -> &BiCrossbar {
+        &self.hardware
+    }
+}
+
 /// The full C-Nash architecture: FeFET bi-crossbar + WTA trees + two-phase
 /// SA logic.
 #[derive(Debug, Clone)]
@@ -98,9 +124,9 @@ pub struct CNashSolver {
     name: String,
     game: BimatrixGame,
     config: CNashConfig,
-    hardware: BiCrossbar,
-    wta_row: WtaTree,
-    wta_col: WtaTree,
+    hardware: Arc<BiCrossbar>,
+    wta_row: Arc<WtaTree>,
+    wta_col: Arc<WtaTree>,
     timing: CimTimingModel,
 }
 
@@ -132,9 +158,74 @@ impl CNashSolver {
             name: "C-Nash".into(),
             game: game.clone(),
             config,
-            hardware,
-            wta_row,
-            wta_col,
+            hardware: Arc::new(hardware),
+            wta_row: Arc::new(wta_row),
+            wta_col: Arc::new(wta_col),
+            timing: CimTimingModel::nominal(),
+        })
+    }
+
+    /// Shares this solver's programmed hardware (cheap: three `Arc`
+    /// clones, no device re-sampling).
+    pub fn programmed(&self) -> ProgrammedCNash {
+        ProgrammedCNash {
+            hardware: Arc::clone(&self.hardware),
+            wta_row: Arc::clone(&self.wta_row),
+            wta_col: Arc::clone(&self.wta_col),
+        }
+    }
+
+    /// Rebuilds a solver handle around already-programmed hardware,
+    /// skipping the mapping/programming pass entirely.
+    ///
+    /// The caller is responsible for pairing the instance with the same
+    /// `(game, crossbar config, WTA config, hardware seed)` it was
+    /// programmed from — an instance cache does this by keying on the
+    /// game's canonical fingerprint plus the config fingerprints.
+    /// Geometry and interval count are re-validated here, so a
+    /// mis-keyed cache fails loudly instead of producing wrong physics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the instance's geometry
+    /// or interval count does not match `(game, config)`.
+    pub fn from_programmed(
+        game: &BimatrixGame,
+        config: CNashConfig,
+        programmed: ProgrammedCNash,
+    ) -> Result<Self, CoreError> {
+        let dims = (game.row_actions(), game.col_actions());
+        if programmed.hardware.actions() != dims {
+            return Err(CoreError::InvalidConfig(format!(
+                "programmed instance is {:?}, game `{}` is {:?}",
+                programmed.hardware.actions(),
+                game.name(),
+                dims
+            )));
+        }
+        if programmed.hardware.intervals() != config.intervals {
+            return Err(CoreError::InvalidConfig(format!(
+                "programmed instance has {} intervals, config wants {}",
+                programmed.hardware.intervals(),
+                config.intervals
+            )));
+        }
+        if programmed.wta_row.inputs() != dims.0 || programmed.wta_col.inputs() != dims.1 {
+            return Err(CoreError::InvalidConfig(format!(
+                "programmed WTA trees are {}x{}, game `{}` is {:?}",
+                programmed.wta_row.inputs(),
+                programmed.wta_col.inputs(),
+                game.name(),
+                dims
+            )));
+        }
+        Ok(Self {
+            name: "C-Nash".into(),
+            game: game.clone(),
+            config,
+            hardware: programmed.hardware,
+            wta_row: programmed.wta_row,
+            wta_col: programmed.wta_col,
             timing: CimTimingModel::nominal(),
         })
     }
@@ -478,6 +569,47 @@ mod tests {
             let delta = simulated_annealing_delta(&mut evaluator, &opts);
             assert_eq!(full, delta);
         }
+    }
+
+    #[test]
+    fn reprogrammed_solver_is_bit_identical() {
+        // A solver rebuilt around cached hardware must be the same
+        // silicon: identical run trajectories, bit for bit, even with
+        // the full paper noise model on.
+        let g = games::bird_game();
+        let cold = CNashSolver::new(&g, CNashConfig::paper(12), 9).unwrap();
+        let warm =
+            CNashSolver::from_programmed(&g, CNashConfig::paper(12), cold.programmed()).unwrap();
+        for seed in 0..3 {
+            assert_eq!(cold.run(seed), warm.run(seed));
+        }
+        // Parameter sweeps reuse the same programming with different
+        // algorithmic knobs.
+        let swept = CNashSolver::from_programmed(
+            &g,
+            CNashConfig::paper(12).with_iterations(500),
+            cold.programmed(),
+        )
+        .unwrap();
+        assert_eq!(swept.config().iterations, 500);
+        assert!(swept.run(1).total_time > 0.0);
+    }
+
+    #[test]
+    fn from_programmed_rejects_mismatched_instances() {
+        let bos = games::battle_of_the_sexes(); // 2x2
+        let bird = games::bird_game(); // 3x3
+        let programmed = CNashSolver::new(&bos, CNashConfig::paper(12), 0)
+            .unwrap()
+            .programmed();
+        assert!(matches!(
+            CNashSolver::from_programmed(&bird, CNashConfig::paper(12), programmed.clone()),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            CNashSolver::from_programmed(&bos, CNashConfig::paper(16), programmed),
+            Err(CoreError::InvalidConfig(_))
+        ));
     }
 
     #[test]

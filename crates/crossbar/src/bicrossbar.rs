@@ -54,6 +54,24 @@ impl CrossbarConfig {
             adc_bits: Some(8),
         }
     }
+
+    /// Fingerprint of everything that influences *programming* a
+    /// bi-crossbar from a given game: two configs with equal
+    /// fingerprints produce interchangeable [`BiCrossbar`]s for the same
+    /// `(game, seed)` pair, which is what instance caches key on.
+    ///
+    /// Hashes the `Debug` rendering of the full config (every field of
+    /// [`CrossbarConfig`] feeds `BiCrossbar::build`, and `Debug` of
+    /// `f64` is the shortest round-trip form, so distinct configs render
+    /// distinctly). The fingerprint is an **in-process** cache key — it
+    /// is not stable across versions of this crate and must not be
+    /// persisted.
+    pub fn program_fingerprint(&self) -> u64 {
+        let mut h = cnash_game::canonical::Hasher64::new();
+        h.write_str("crossbar-config")
+            .write_str(&format!("{self:?}"));
+        h.finish()
+    }
 }
 
 /// Phase-1 read result: digitised payoff-vector values in payoff units.
@@ -137,6 +155,13 @@ impl BiCrossbar {
     /// Interval count `I`.
     pub fn intervals(&self) -> u32 {
         self.intervals
+    }
+
+    /// Action counts `(n, m)` of the game this bi-crossbar was
+    /// programmed for — the geometry a reused (cached) instance must be
+    /// validated against before serving a request.
+    pub fn actions(&self) -> (usize, usize) {
+        (self.xbar_m.payoffs().rows(), self.xbar_m.payoffs().cols())
     }
 
     /// The array storing `M`.
@@ -255,6 +280,30 @@ impl BiCrossbar {
 mod tests {
     use super::*;
     use cnash_game::games;
+
+    #[test]
+    fn actions_reports_the_programmed_geometry() {
+        let g = games::bird_game();
+        let xbar = BiCrossbar::build(&g, &CrossbarConfig::ideal(12), 0).unwrap();
+        assert_eq!(xbar.actions(), (g.row_actions(), g.col_actions()));
+    }
+
+    #[test]
+    fn program_fingerprint_separates_configs() {
+        let ideal = CrossbarConfig::ideal(12);
+        assert_eq!(
+            ideal.program_fingerprint(),
+            CrossbarConfig::ideal(12).program_fingerprint()
+        );
+        assert_ne!(
+            ideal.program_fingerprint(),
+            CrossbarConfig::ideal(16).program_fingerprint()
+        );
+        assert_ne!(
+            ideal.program_fingerprint(),
+            CrossbarConfig::paper(12).program_fingerprint()
+        );
+    }
 
     #[test]
     fn ideal_gap_matches_exact_math() {

@@ -1,0 +1,218 @@
+//! Canonical game identity: a name-independent fingerprint of a
+//! [`BimatrixGame`]'s payoff structure.
+//!
+//! Long-running services memoize *programmed instances* (crossbar
+//! mappings, QUBO builds) across requests. Two requests describing the
+//! same payoffs must hit the same cache line even when the games carry
+//! different display names or arrived through different spec forms
+//! (builtin, explicit matrices, seeded generator) — so the cache key
+//! must be derived from the game's **canonical form**:
+//!
+//! * the shape `(n, m)` and the two payoff matrices, row-major,
+//! * each payoff canonicalised to its IEEE-754 bit pattern with the
+//!   single redundancy removed (`-0.0` → `+0.0`),
+//! * the display name excluded.
+//!
+//! [`BimatrixGame::canonical_fingerprint`] hashes that canonical byte
+//! stream with 64-bit FNV-1a ([`Hasher64`]), which is stable across
+//! platforms, builds and process runs. The fingerprint identifies the
+//! *strategic* instance: games differing only in name collide (by
+//! design), games differing in any payoff or in shape do not (up to the
+//! 64-bit collision bound, amply below the size of any in-process
+//! cache).
+
+use crate::bimatrix::BimatrixGame;
+use crate::matrix::Matrix;
+
+/// Streaming 64-bit FNV-1a hasher.
+///
+/// Deterministic and dependency-free; the same construction the
+/// workspace's vendored proptest uses for test seeds. Collisions are
+/// harmless for in-process memoization (a collision could only alias
+/// two cache keys, and 64 bits make that astronomically unlikely at
+/// cache sizes that fit in memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hasher64 {
+    state: u64,
+}
+
+impl Hasher64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Creates a hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self {
+            state: Self::OFFSET_BASIS,
+        }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// Absorbs a `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Absorbs a `usize` widened to 64 bits (platform-independent).
+    pub fn write_usize(&mut self, v: usize) -> &mut Self {
+        self.write_u64(v as u64)
+    }
+
+    /// Absorbs an `f64` by canonical bit pattern (`-0.0` → `+0.0`, so
+    /// numerically equal payoffs hash equal).
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        let canonical = if v == 0.0 { 0.0f64 } else { v };
+        self.write_u64(canonical.to_bits())
+    }
+
+    /// Absorbs a string (length-prefixed, so concatenations cannot
+    /// alias).
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Hasher64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn write_matrix(h: &mut Hasher64, m: &Matrix) {
+    h.write_usize(m.rows());
+    h.write_usize(m.cols());
+    for i in 0..m.rows() {
+        for &v in m.row(i) {
+            h.write_f64(v);
+        }
+    }
+}
+
+/// The canonical fingerprint of a game's payoff structure (shape + both
+/// payoff matrices; the display name is excluded). See the module docs
+/// for the exact canonical form.
+pub fn game_fingerprint(game: &BimatrixGame) -> u64 {
+    let mut h = Hasher64::new();
+    h.write_str("cnash-game-v1");
+    write_matrix(&mut h, game.row_payoffs());
+    write_matrix(&mut h, game.col_payoffs());
+    h.finish()
+}
+
+impl BimatrixGame {
+    /// The canonical, name-independent fingerprint of this game
+    /// ([`game_fingerprint`]): equal-payoff games hash equal whatever
+    /// they are called, which is what instance caches key on.
+    pub fn canonical_fingerprint(&self) -> u64 {
+        game_fingerprint(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::games;
+
+    #[test]
+    fn name_does_not_affect_the_fingerprint() {
+        let a = games::battle_of_the_sexes();
+        let b = BimatrixGame::new(
+            "совершенно другое имя",
+            a.row_payoffs().clone(),
+            a.col_payoffs().clone(),
+        )
+        .unwrap();
+        assert_eq!(a.canonical_fingerprint(), b.canonical_fingerprint());
+    }
+
+    #[test]
+    fn any_payoff_change_changes_the_fingerprint() {
+        let a = games::battle_of_the_sexes();
+        let mut rows: Vec<Vec<f64>> = (0..a.row_payoffs().rows())
+            .map(|i| a.row_payoffs().row(i).to_vec())
+            .collect();
+        rows[1][1] += 1.0;
+        let m = Matrix::from_rows(&rows).unwrap();
+        let b = BimatrixGame::new(a.name(), m, a.col_payoffs().clone()).unwrap();
+        assert_ne!(a.canonical_fingerprint(), b.canonical_fingerprint());
+    }
+
+    #[test]
+    fn swapping_the_players_matrices_changes_the_fingerprint() {
+        let a = games::battle_of_the_sexes();
+        let b =
+            BimatrixGame::new(a.name(), a.col_payoffs().clone(), a.row_payoffs().clone()).unwrap();
+        assert_ne!(a.canonical_fingerprint(), b.canonical_fingerprint());
+    }
+
+    #[test]
+    fn shape_is_part_of_the_identity() {
+        // A 1x4 and a 2x2 game with the same flattened payoffs must not
+        // collide: the shape prefix separates them.
+        let flat = [1.0, 2.0, 3.0, 4.0];
+        let wide = Matrix::new(1, 4, flat.to_vec()).unwrap();
+        let square = Matrix::new(2, 2, flat.to_vec()).unwrap();
+        let a = BimatrixGame::new("wide", wide.clone(), wide).unwrap();
+        let b = BimatrixGame::new("square", square.clone(), square).unwrap();
+        assert_ne!(a.canonical_fingerprint(), b.canonical_fingerprint());
+    }
+
+    #[test]
+    fn negative_zero_is_canonicalised() {
+        let m = |z: f64| Matrix::new(1, 1, vec![z]).unwrap();
+        let a = BimatrixGame::new("z", m(0.0), m(0.0)).unwrap();
+        let b = BimatrixGame::new("z", m(-0.0), m(-0.0)).unwrap();
+        assert_eq!(a.canonical_fingerprint(), b.canonical_fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_calls() {
+        let g = games::matching_pennies();
+        assert_eq!(g.canonical_fingerprint(), g.canonical_fingerprint());
+        // Distinct builtin games are distinct instances.
+        assert_ne!(
+            games::matching_pennies().canonical_fingerprint(),
+            games::prisoners_dilemma().canonical_fingerprint()
+        );
+    }
+
+    #[test]
+    fn hasher_primitives_do_not_alias() {
+        let h = |f: &dyn Fn(&mut Hasher64)| {
+            let mut h = Hasher64::new();
+            f(&mut h);
+            h.finish()
+        };
+        assert_ne!(
+            h(&|h| {
+                h.write_str("ab");
+            }),
+            h(&|h| {
+                h.write_str("a").write_str("b");
+            }),
+            "length prefixes must separate string boundaries"
+        );
+        assert_ne!(
+            h(&|h| {
+                h.write_u64(1);
+            }),
+            h(&|h| {
+                h.write_f64(1.0);
+            })
+        );
+    }
+}

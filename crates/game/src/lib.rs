@@ -37,6 +37,7 @@
 //! ```
 
 pub mod bimatrix;
+pub mod canonical;
 pub mod equilibrium;
 pub mod error;
 pub mod fictitious_play;

@@ -237,6 +237,13 @@ impl SQubo {
         &self.weights
     }
 
+    /// Action counts `(n, m)` of the game this S-QUBO encodes — the
+    /// geometry a reused (cached) programmed instance is validated
+    /// against before serving a request.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.n, self.m)
+    }
+
     /// Direct (non-QUBO) evaluation of Eq. 6 for verification.
     ///
     /// # Panics

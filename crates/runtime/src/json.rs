@@ -92,6 +92,47 @@ impl Json {
         out
     }
 
+    /// Serialises to a single line with no whitespace — the framing the
+    /// JSON-lines service protocol requires (one document per `\n`).
+    /// Object keys are sorted (BTreeMap), so the output is canonical:
+    /// equal documents always serialise to equal byte strings.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => write_number(*v, out),
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -468,6 +509,21 @@ mod tests {
         let doc = Json::parse(text).unwrap();
         let again = Json::parse(&doc.pretty()).unwrap();
         assert_eq!(doc, again);
+    }
+
+    #[test]
+    fn compact_is_single_line_and_round_trips() {
+        let text = r#"{"jobs": [{"runs": 500, "name": "b\"os\"", "ratio": -0.25, "x": null}], "nested": [[1, 2], []], "ok": true}"#;
+        let doc = Json::parse(text).unwrap();
+        let line = doc.compact();
+        assert!(!line.contains('\n'));
+        assert!(!line.contains(": "), "no decorative whitespace");
+        assert_eq!(Json::parse(&line).unwrap(), doc);
+        // Canonical: equal documents serialise to equal bytes whatever
+        // the insertion order of their keys.
+        let a = Json::obj([("b", Json::num(1.0)), ("a", Json::num(2.0))]);
+        let b = Json::obj([("a", Json::num(2.0)), ("b", Json::num(1.0))]);
+        assert_eq!(a.compact(), b.compact());
     }
 
     #[test]

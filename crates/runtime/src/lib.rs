@@ -57,7 +57,7 @@ pub mod spec;
 
 pub use batch::{BatchReport, BatchRunner, EarlyStop};
 pub use json::{Json, JsonError};
-pub use pool::CancelToken;
+pub use pool::{CancelToken, WorkQueue};
 pub use portfolio::{
     PortfolioJob, PortfolioJobResult, PortfolioOutcome, PortfolioRunner, PortfolioStop,
 };

@@ -10,32 +10,173 @@
 //! regardless of completion order, which is what makes downstream
 //! floating-point aggregation bit-identical at any thread count.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// A cooperative cancellation flag shared between the scheduler, its
 /// workers, and — for portfolios — sibling jobs.
+///
+/// Tokens form a hierarchy: [`CancelToken::child`] derives a token that
+/// observes its parent's cancellation but whose own [`cancel`]
+/// (triggered, e.g., by a batch's verified early stop) never propagates
+/// *upward*. A long-running service hands every batch a child of its
+/// shutdown token: shutdown still cancels every in-flight batch, while
+/// one batch stopping early cannot leak cancellation into unrelated
+/// jobs sharing the root.
+///
+/// [`cancel`]: CancelToken::cancel
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
+    parent: Option<Box<CancelToken>>,
 }
 
 impl CancelToken {
-    /// Creates a fresh, un-cancelled token.
+    /// Creates a fresh, un-cancelled root token.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Broadcasts cancellation to every holder of this token.
+    /// Derives a child token: cancelled when either its own
+    /// [`CancelToken::cancel`] fires or any ancestor cancels; its own
+    /// cancellation is invisible to the parent and to siblings.
+    pub fn child(&self) -> CancelToken {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            parent: Some(Box::new(self.clone())),
+        }
+    }
+
+    /// Broadcasts cancellation to every holder of this token and to its
+    /// descendants (never to ancestors).
     pub fn cancel(&self) {
         self.flag.store(true, Ordering::SeqCst);
     }
 
-    /// Whether cancellation was requested.
+    /// Whether cancellation was requested here or on an ancestor.
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::SeqCst)
+        self.flag.load(Ordering::SeqCst) || self.parent.as_ref().is_some_and(|p| p.is_cancelled())
+    }
+}
+
+#[derive(Debug)]
+struct WorkQueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A blocking, stealable FIFO queue — the substrate of sharded
+/// schedulers built on this pool module.
+///
+/// Each scheduler shard owns one queue: the owner blocks on
+/// [`WorkQueue::pop_timeout`] (FIFO — oldest item first), while idle
+/// siblings take from the *opposite* end with the non-blocking
+/// [`WorkQueue::steal`], the classic owner/thief split that keeps the
+/// two ends from contending on the same items. [`WorkQueue::close`]
+/// wakes every blocked owner so shard workers can drain and exit on
+/// shutdown; items already queued at close time remain poppable (drain
+/// semantics), only new pushes are refused.
+#[derive(Debug)]
+pub struct WorkQueue<T> {
+    state: Mutex<WorkQueueState<T>>,
+    cv: Condvar,
+}
+
+impl<T> WorkQueue<T> {
+    /// Creates an empty, open queue.
+    pub fn new() -> Self {
+        Self {
+            state: Mutex::new(WorkQueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueues an item at the back and wakes one waiting owner.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back if the queue is closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("work queue poisoned");
+        if state.closed {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking up to `timeout`.
+    ///
+    /// Returns `None` on timeout or when the queue is closed *and*
+    /// drained. A closed queue with items left keeps handing them out.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        // Track a deadline across wakeups: a notify whose item a thief
+        // stole must not restart the clock, or sustained push/steal
+        // traffic could block this call far past `timeout`.
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.state.lock().expect("work queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            let remaining = deadline.checked_duration_since(std::time::Instant::now())?;
+            let (next, result) = self
+                .cv
+                .wait_timeout(state, remaining)
+                .expect("work queue poisoned");
+            state = next;
+            if result.timed_out() {
+                return state.items.pop_front();
+            }
+        }
+    }
+
+    /// Takes the *newest* item without blocking — the thief's end.
+    pub fn steal(&self) -> Option<T> {
+        self.state
+            .lock()
+            .expect("work queue poisoned")
+            .items
+            .pop_back()
+    }
+
+    /// Closes the queue: further pushes fail, blocked owners wake, and
+    /// already-queued items remain consumable until drained.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("work queue poisoned");
+        state.closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Whether [`WorkQueue::close`] was called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("work queue poisoned").closed
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("work queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Default for WorkQueue<T> {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -230,6 +371,97 @@ mod tests {
         cancel.cancel();
         let n = fan_out_ordered(50, 4, &cancel, |k| k, |_, _| ControlFlow::Continue(()));
         assert!(n <= 50);
+    }
+
+    #[test]
+    fn child_tokens_inherit_downward_but_never_leak_upward() {
+        let root = CancelToken::new();
+        let a = root.child();
+        let b = root.child();
+        let grandchild = a.child();
+        // A child cancelling itself (an early-stopping batch) is
+        // invisible to the root and to siblings...
+        a.cancel();
+        assert!(a.is_cancelled());
+        assert!(grandchild.is_cancelled(), "descendants observe it");
+        assert!(!root.is_cancelled());
+        assert!(!b.is_cancelled());
+        // ...while the root cancelling (service shutdown) reaches every
+        // descendant.
+        root.cancel();
+        assert!(b.is_cancelled());
+        // Clones share the flag; children do not.
+        let c = CancelToken::new();
+        let clone = c.clone();
+        clone.cancel();
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn work_queue_is_fifo_for_owners_and_lifo_for_thieves() {
+        let q = WorkQueue::new();
+        for k in 0..4 {
+            q.push(k).unwrap();
+        }
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(0));
+        assert_eq!(q.steal(), Some(3));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(1));
+        assert_eq!(q.steal(), Some(2));
+        assert_eq!(q.steal(), None);
+    }
+
+    #[test]
+    fn work_queue_close_wakes_blocked_owners_and_drains() {
+        let q = Arc::new(WorkQueue::<u32>::new());
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_timeout(Duration::from_secs(30)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(7).unwrap();
+        assert_eq!(waiter.join().unwrap(), Some(7));
+
+        q.push(8).unwrap();
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.push(9), Err(9), "closed queue refuses new work");
+        // Drain semantics: items queued before close stay consumable.
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(8));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn work_queue_cross_thread_stealing_loses_nothing() {
+        let q = Arc::new(WorkQueue::new());
+        for k in 0..200u32 {
+            q.push(k).unwrap();
+        }
+        q.close();
+        let mut handles = Vec::new();
+        for thief in 0..4 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                let mut taken = Vec::new();
+                loop {
+                    let item = if thief % 2 == 0 {
+                        q.steal()
+                    } else {
+                        q.pop_timeout(Duration::from_millis(1))
+                    };
+                    match item {
+                        Some(v) => taken.push(v),
+                        None => break taken,
+                    }
+                }
+            }));
+        }
+        let mut all: Vec<u32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..200).collect::<Vec<_>>());
     }
 
     #[test]

@@ -31,6 +31,7 @@ use cnash_core::baselines::DWaveNashSolver;
 use cnash_core::{CNashConfig, CNashSolver, IdealSolver, NashSolver};
 use cnash_device::corners::ProcessCorner;
 use cnash_game::games;
+use cnash_game::generators;
 use cnash_game::library;
 use cnash_game::support_enum::enumerate_equilibria;
 use cnash_game::{BimatrixGame, Matrix};
@@ -86,6 +87,11 @@ fn seed_from_json(json: &Json) -> Result<u64, SpecError> {
     }
 }
 
+/// Upper bound on `rows × cols` of a [`GameSpec::Random`] instance
+/// (1M cells ≈ 16 MB of payoffs): specs arrive over the wire, and one
+/// request must not be able to demand an unbounded allocation.
+pub const MAX_RANDOM_CELLS: usize = 1 << 20;
+
 /// A named entry of the builtin game registry.
 pub type BuiltinGame = (&'static str, fn() -> BimatrixGame);
 
@@ -131,6 +137,22 @@ pub enum GameSpec {
         /// Column player's payoffs, row-major.
         col_payoffs: Vec<Vec<f64>>,
     },
+    /// A seeded random integer game
+    /// (`cnash_game::generators::random_integer_game`) — lets jobs files
+    /// and service requests name large scaling instances without
+    /// shipping `rows × cols` payoff matrices over the wire. The same
+    /// `(rows, cols, max_payoff, seed)` always builds the same game, so
+    /// instance caches treat it like any other spec form.
+    Random {
+        /// Row-player actions.
+        rows: usize,
+        /// Column-player actions.
+        cols: usize,
+        /// Payoffs are drawn uniformly from `0..=max_payoff`.
+        max_payoff: u32,
+        /// Generator seed.
+        seed: u64,
+    },
 }
 
 impl GameSpec {
@@ -172,6 +194,26 @@ impl GameSpec {
                     message: format!("game `{name}`: {e}"),
                 })
             }
+            GameSpec::Random {
+                rows,
+                cols,
+                max_payoff,
+                seed,
+            } => {
+                // Specs arrive over the wire: bound the allocation
+                // before the generator materialises two rows×cols
+                // matrices (and before rows*cols could overflow).
+                if rows.checked_mul(*cols).is_none_or(|c| c > MAX_RANDOM_CELLS) {
+                    return spec_err(format!(
+                        "random game: {rows}x{cols} exceeds the {MAX_RANDOM_CELLS}-cell limit"
+                    ));
+                }
+                generators::random_integer_game(*rows, *cols, *max_payoff, *seed).map_err(|e| {
+                    SpecError {
+                        message: format!("random game: {e}"),
+                    }
+                })
+            }
         }
     }
 
@@ -197,6 +239,20 @@ impl GameSpec {
                     ("col_payoffs", mat(col_payoffs)),
                 ])
             }
+            GameSpec::Random {
+                rows,
+                cols,
+                max_payoff,
+                seed,
+            } => Json::obj([(
+                "random",
+                Json::obj([
+                    ("rows", Json::num(*rows as f64)),
+                    ("cols", Json::num(*cols as f64)),
+                    ("max_payoff", Json::num(*max_payoff)),
+                    ("seed", seed_to_json(*seed)),
+                ]),
+            )]),
         }
     }
 
@@ -208,6 +264,25 @@ impl GameSpec {
     pub fn from_json(json: &Json) -> Result<GameSpec, SpecError> {
         if let Some(builtin) = json.opt("builtin") {
             return Ok(GameSpec::Builtin(builtin.as_str()?.to_string()));
+        }
+        if let Some(random) = json.opt("random") {
+            let max_payoff = random.get("max_payoff")?.as_usize()?;
+            if max_payoff > u32::MAX as usize {
+                return spec_err(format!(
+                    "random game: max_payoff {max_payoff} exceeds {}",
+                    u32::MAX
+                ));
+            }
+            return Ok(GameSpec::Random {
+                rows: random.get("rows")?.as_usize()?,
+                cols: random.get("cols")?.as_usize()?,
+                max_payoff: max_payoff as u32,
+                seed: random
+                    .opt("seed")
+                    .map(seed_from_json)
+                    .transpose()?
+                    .unwrap_or(0),
+            });
         }
         let mat = |key: &str| -> Result<Vec<Vec<f64>>, SpecError> {
             json.get(key)?
@@ -699,6 +774,50 @@ mod tests {
         assert_eq!(spec, again);
         let rebuilt = again.build().unwrap();
         assert_eq!(rebuilt, game);
+    }
+
+    #[test]
+    fn random_game_spec_round_trips_and_builds_deterministically() {
+        let spec = GameSpec::Random {
+            rows: 6,
+            cols: 4,
+            max_payoff: 3,
+            seed: 11,
+        };
+        let again = GameSpec::from_json(&Json::parse(&spec.to_json().pretty()).unwrap()).unwrap();
+        assert_eq!(again, spec);
+        let a = spec.build().unwrap();
+        let b = again.build().unwrap();
+        assert_eq!(a, b, "same spec must build the same game");
+        assert_eq!((a.row_actions(), a.col_actions()), (6, 4));
+        assert!(GameSpec::Random {
+            rows: 0,
+            cols: 4,
+            max_payoff: 3,
+            seed: 0
+        }
+        .build()
+        .is_err());
+        // Wire-facing bounds: oversized grids (including rows*cols
+        // overflow) and out-of-range payoff scales are rejected loudly.
+        assert!(GameSpec::Random {
+            rows: usize::MAX,
+            cols: usize::MAX,
+            max_payoff: 3,
+            seed: 0
+        }
+        .build()
+        .is_err());
+        assert!(GameSpec::Random {
+            rows: 2048,
+            cols: 2048,
+            max_payoff: 3,
+            seed: 0
+        }
+        .build()
+        .is_err());
+        let oversized = r#"{"random": {"rows": 2, "cols": 2, "max_payoff": 4294967299}}"#;
+        assert!(GameSpec::from_json(&Json::parse(oversized).unwrap()).is_err());
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! The solver daemon.
+//!
+//! `cargo run --release -p cnash-service --bin serviced -- \
+//!      [--addr HOST:PORT] [--shards S] [--batch-threads T]`
+//!
+//! Binds the address (default `127.0.0.1:0` — an OS-chosen ephemeral
+//! port), prints one readiness line
+//! (`cnash-service listening on HOST:PORT`) to stdout, and serves until
+//! a client sends `{"op":"shutdown"}`. The wire protocol is documented
+//! in `cnash_service::protocol`; `cnash-bench`'s `service_client`
+//! binary is the matching CLI.
+
+use cnash_service::{serve, ServiceConfig};
+use std::io::Write;
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: serviced [flags]");
+    eprintln!("  --addr HOST:PORT   bind address [127.0.0.1:0 = ephemeral port]");
+    eprintln!("  --shards S         scheduler shards [0 = one per core]");
+    eprintln!("  --batch-threads T  worker threads per batch job [1]");
+    std::process::exit(2);
+}
+
+fn parse_config() -> ServiceConfig {
+    let mut config = ServiceConfig::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if !matches!(flag, "--addr" | "--shards" | "--batch-threads") {
+            usage(&format!("unknown flag {flag}"));
+        }
+        i += 1;
+        let value = args
+            .get(i)
+            .unwrap_or_else(|| usage(&format!("{flag} needs a value")));
+        let count = |v: &str| {
+            v.parse::<usize>()
+                .unwrap_or_else(|_| usage(&format!("{flag} needs a non-negative integer")))
+        };
+        match flag {
+            "--addr" => config.addr = value.clone(),
+            "--shards" => config.shards = count(value),
+            "--batch-threads" => config.batch_threads = count(value).max(1),
+            _ => unreachable!("flag validated above"),
+        }
+        i += 1;
+    }
+    config
+}
+
+fn main() {
+    let config = parse_config();
+    let handle = match serve(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("error: cannot bind: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("cnash-service listening on {}", handle.addr());
+    std::io::stdout().flush().expect("stdout");
+    handle.join();
+    println!("cnash-service stopped");
+}

@@ -1,0 +1,61 @@
+//! # cnash-service: the persistent solver daemon
+//!
+//! Everything below this crate solves *one* batch and exits; this
+//! crate is the long-running layer that serves solve traffic
+//! continuously — the ROADMAP's service axis:
+//!
+//! * [`protocol`] — JSON-lines over TCP: `ping` / `solve` / `stats` /
+//!   `shutdown` requests, one JSON object per line, responses streamed
+//!   back **in request order** per connection;
+//! * [`cache`] — the instance cache: programmed bi-crossbars and
+//!   S-QUBOs memoized by the game's canonical payoff fingerprint
+//!   (`cnash_game::canonical`) plus the programming-relevant config
+//!   fingerprints, with single-flight builds and cached ground truth —
+//!   repeated and parameter-swept requests skip the `O(n·m)`
+//!   mapping/programming path entirely;
+//! * [`sched`] — a sharded work-stealing scheduler on
+//!   `cnash-runtime`'s pool primitives: round-robin submission onto
+//!   per-shard queues, idle shards steal, cancellation broadcasts on
+//!   shutdown;
+//! * [`server`] — the TCP accept loop and per-connection reorder
+//!   buffer gluing it together.
+//!
+//! The determinism contract extends the runtime's: for a fixed request
+//! sequence on one connection, every response payload except the
+//! wall-clock fields is bit-identical whatever the shard count, batch
+//! thread count or steal interleaving ([`protocol::strip_timing`]
+//! removes the wall-clock fields; CI's `service-smoke` job diffs the
+//! stripped stream against a golden file).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cnash_service::{serve, ServiceConfig};
+//! use std::io::{BufRead, BufReader, Write};
+//! use std::net::TcpStream;
+//!
+//! let handle = serve(ServiceConfig::default()).unwrap();
+//! let mut conn = TcpStream::connect(handle.addr()).unwrap();
+//! conn.write_all(
+//!     b"{\"op\":\"solve\",\"id\":1,\"job\":{\
+//!        \"game\":{\"builtin\":\"matching_pennies\"},\
+//!        \"solver\":{\"type\":\"cnash\",\"preset\":\"ideal\",\
+//!                    \"intervals\":12,\"iterations\":2000},\
+//!        \"runs\":2}}\n",
+//! )
+//! .unwrap();
+//! let mut line = String::new();
+//! BufReader::new(conn.try_clone().unwrap()).read_line(&mut line).unwrap();
+//! assert!(line.contains("\"ok\":true"));
+//! handle.stop();
+//! ```
+
+pub mod cache;
+pub mod protocol;
+pub mod sched;
+pub mod server;
+
+pub use cache::{CacheStats, InstanceCache, PreparedJob};
+pub use protocol::{strip_timing, Request, TruthPolicy};
+pub use sched::Scheduler;
+pub use server::{serve, ServiceConfig, ServiceHandle, ShutdownSignal};

@@ -1,0 +1,242 @@
+//! The JSON-lines wire protocol of the solver service.
+//!
+//! Every request and every response is a single-line JSON object
+//! terminated by `\n` ([`Json::compact`] framing). Requests carry an
+//! `op` discriminator and an optional client-chosen `id` that the
+//! service echoes back verbatim:
+//!
+//! ```json
+//! {"op":"ping","id":1}
+//! {"op":"solve","id":2,"job":{...jobs-file job spec...}}
+//! {"op":"solve","id":3,"job":{...},"ground_truth":"skip"}
+//! {"op":"stats","id":4}
+//! {"op":"shutdown","id":5}
+//! ```
+//!
+//! The `job` payload is exactly one entry of a `cnash-runtime` jobs
+//! file ([`JobSpec`]); `ground_truth` selects whether the service
+//! enumerates the game's ground-truth equilibria for coverage
+//! statistics (`"enumerate"`, the default) or skips enumeration
+//! (`"skip"` — required for large instances where support enumeration
+//! is intractable; the report then has `target_count = 0`).
+//!
+//! ## Ordering and determinism
+//!
+//! Responses on a connection are streamed **in request order**, even
+//! though solve jobs execute concurrently across the scheduler's
+//! shards. Combined with the runtime's determinism contract (seed-
+//! ordered folding), the *deterministic* part of every solve response —
+//! everything except the `wall_ms`/`program_ms` wall-clock fields — is
+//! a pure function of the request sequence, whatever the shard count,
+//! thread count or steal interleaving. [`strip_timing`] removes exactly
+//! the wall-clock fields, which is what the golden-file smoke test
+//! diffs against.
+//!
+//! `stats` responses report cache counters at *emission* time (after
+//! every earlier response on the connection has been emitted); they are
+//! deterministic whenever no later-submitted or concurrent work races
+//! them — in particular a `stats` as the final query of a connection.
+
+use cnash_runtime::spec::JobSpec;
+use cnash_runtime::{Json, SpecError};
+
+/// How a solve request obtains ground-truth equilibria.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TruthPolicy {
+    /// Support-enumerate (and cache) the game's equilibria — exact
+    /// coverage statistics, intractable for large games.
+    Enumerate,
+    /// Skip enumeration: `covered`/`target_count` report against an
+    /// empty ground truth.
+    Skip,
+}
+
+/// A parsed service request.
+#[derive(Debug)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Schedule one batch job.
+    Solve {
+        /// The job to run.
+        job: Box<JobSpec>,
+        /// Ground-truth policy.
+        truth: TruthPolicy,
+    },
+    /// Cache / scheduler statistics.
+    Stats,
+    /// Orderly daemon shutdown.
+    Shutdown,
+}
+
+/// A request line decoded far enough to answer it: the echoed `id` and
+/// either the request or the error to report.
+#[derive(Debug)]
+pub struct Envelope {
+    /// The client's `id` node, echoed verbatim (`Json::Null` if absent
+    /// or the line was unparseable).
+    pub id: Json,
+    /// The decoded request.
+    pub request: Result<Request, SpecError>,
+}
+
+/// Decodes one request line.
+///
+/// Never fails outright: undecodable lines produce an [`Envelope`]
+/// whose `request` is the error to send back, with whatever `id` could
+/// still be recovered.
+pub fn parse_request(line: &str) -> Envelope {
+    let doc = match Json::parse(line) {
+        Ok(doc) => doc,
+        Err(e) => {
+            return Envelope {
+                id: Json::Null,
+                request: Err(SpecError {
+                    message: format!("malformed request line: {e}"),
+                }),
+            }
+        }
+    };
+    let id = doc.opt("id").cloned().unwrap_or(Json::Null);
+    let request = decode(&doc);
+    Envelope { id, request }
+}
+
+fn decode(doc: &Json) -> Result<Request, SpecError> {
+    let op = doc
+        .get("op")
+        .and_then(Json::as_str)
+        .map_err(|e| SpecError {
+            message: format!("request needs a string `op`: {e}"),
+        })?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "solve" => {
+            let job = doc.get("job").map_err(|e| SpecError {
+                message: format!("solve request: {e}"),
+            })?;
+            let truth = match doc.opt("ground_truth").map(Json::as_str).transpose()? {
+                None | Some("enumerate") => TruthPolicy::Enumerate,
+                Some("skip") => TruthPolicy::Skip,
+                Some(other) => {
+                    return Err(SpecError {
+                        message: format!(
+                            "unknown ground_truth policy `{other}` (expected `enumerate` or `skip`)"
+                        ),
+                    })
+                }
+            };
+            Ok(Request::Solve {
+                job: Box::new(JobSpec::from_json(job)?),
+                truth,
+            })
+        }
+        other => Err(SpecError {
+            message: format!("unknown op `{other}`"),
+        }),
+    }
+}
+
+/// Builds an error response.
+pub fn error_response(id: &Json, message: &str) -> Json {
+    Json::obj([
+        ("id", id.clone()),
+        ("ok", Json::Bool(false)),
+        ("error", Json::str(message)),
+    ])
+}
+
+/// Builds the `ping` response.
+pub fn pong_response(id: &Json) -> Json {
+    Json::obj([
+        ("id", id.clone()),
+        ("ok", Json::Bool(true)),
+        ("pong", Json::Bool(true)),
+    ])
+}
+
+/// Builds the `shutdown` acknowledgement.
+pub fn shutdown_response(id: &Json) -> Json {
+    Json::obj([
+        ("id", id.clone()),
+        ("ok", Json::Bool(true)),
+        ("shutting_down", Json::Bool(true)),
+    ])
+}
+
+/// Removes the wall-clock fields (`wall_ms`, `program_ms`) from a
+/// response, leaving only the deterministic payload — the golden-file
+/// normal form (see the module docs).
+pub fn strip_timing(response: &mut Json) {
+    if let Json::Obj(map) = response {
+        map.remove("wall_ms");
+        map.remove("program_ms");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op() {
+        assert!(matches!(
+            parse_request(r#"{"op":"ping","id":1}"#).request,
+            Ok(Request::Ping)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"stats"}"#).request,
+            Ok(Request::Stats)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"shutdown","id":"bye"}"#).request,
+            Ok(Request::Shutdown)
+        ));
+        let line = r#"{"op":"solve","id":7,"job":{"game":{"builtin":"matching_pennies"},
+            "solver":{"type":"ideal","preset":"ideal","intervals":12},"runs":3},
+            "ground_truth":"skip"}"#
+            .replace('\n', " ");
+        let env = parse_request(&line);
+        assert_eq!(env.id, Json::num(7.0));
+        match env.request {
+            Ok(Request::Solve { job, truth }) => {
+                assert_eq!(job.runs, 3);
+                assert_eq!(truth, TruthPolicy::Skip);
+            }
+            other => panic!("expected solve, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovers_ids_from_bad_requests() {
+        let env = parse_request(r#"{"op":"warp","id":9}"#);
+        assert_eq!(env.id, Json::num(9.0));
+        assert!(env.request.is_err());
+        let env = parse_request("not json at all");
+        assert_eq!(env.id, Json::Null);
+        assert!(env.request.is_err());
+        assert!(parse_request(r#"{"op":"solve","id":1}"#).request.is_err());
+        assert!(
+            parse_request(r#"{"op":"solve","id":1,"job":{},"ground_truth":"maybe"}"#)
+                .request
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn strip_timing_removes_only_wall_clock_fields() {
+        let mut doc = Json::obj([
+            ("id", Json::num(1.0)),
+            ("wall_ms", Json::Num(12.5)),
+            ("program_ms", Json::Num(3.25)),
+            ("cache_hit", Json::Bool(true)),
+        ]);
+        strip_timing(&mut doc);
+        assert_eq!(
+            doc,
+            Json::obj([("id", Json::num(1.0)), ("cache_hit", Json::Bool(true))])
+        );
+    }
+}

@@ -1,0 +1,525 @@
+//! The TCP front-end: accept loop, per-connection ordered streaming,
+//! and the solve executor gluing protocol → cache → scheduler →
+//! runtime.
+
+use crate::cache::InstanceCache;
+use crate::protocol::{self, Request, TruthPolicy};
+use crate::sched::Scheduler;
+use cnash_runtime::report::game_report_json;
+use cnash_runtime::spec::JobSpec;
+use cnash_runtime::{BatchRunner, CancelToken, Json};
+use std::collections::{BTreeMap, HashMap};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address. Port `0` asks the OS for an ephemeral port —
+    /// read the actual one from [`ServiceHandle::addr`].
+    pub addr: String,
+    /// Scheduler shards (`0` = one per available core).
+    pub shards: usize,
+    /// Worker threads per batch job. The default of `1` trades
+    /// per-job latency for throughput: with every shard busy, extra
+    /// per-batch threads would only oversubscribe the cores.
+    pub batch_threads: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            shards: 0,
+            batch_threads: 1,
+        }
+    }
+}
+
+/// A signal that shuts the daemon down from any thread (idempotent).
+#[derive(Clone)]
+pub struct ShutdownSignal {
+    cancel: CancelToken,
+    fired: Arc<AtomicBool>,
+    addr: SocketAddr,
+    /// Open connections, closed on fire so blocked readers see EOF.
+    connections: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    next_conn: Arc<AtomicU64>,
+}
+
+impl ShutdownSignal {
+    /// Requests shutdown: cancels in-flight batches, closes every open
+    /// connection (their readers observe EOF) and unblocks the accept
+    /// loop.
+    pub fn fire(&self) {
+        if self.fired.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.cancel.cancel();
+        for (_, stream) in self.connections.lock().expect("registry poisoned").iter() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        // Poke the listener so its blocking accept() observes the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn is_fired(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    /// Registers a live connection; returns the deregistration token.
+    fn register(&self, stream: TcpStream) -> u64 {
+        let token = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        self.connections
+            .lock()
+            .expect("registry poisoned")
+            .insert(token, stream);
+        // A connection accepted in the middle of fire() might miss the
+        // close loop; re-check after registering.
+        if self.is_fired() {
+            if let Some(stream) = self
+                .connections
+                .lock()
+                .expect("registry poisoned")
+                .remove(&token)
+            {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        token
+    }
+
+    /// Removes a connection from the registry (the socket itself closes
+    /// when its last clone drops, or explicitly on fire).
+    fn deregister(&self, token: u64) {
+        self.connections
+            .lock()
+            .expect("registry poisoned")
+            .remove(&token);
+    }
+}
+
+/// A running service instance.
+pub struct ServiceHandle {
+    addr: SocketAddr,
+    signal: ShutdownSignal,
+    accept: JoinHandle<()>,
+}
+
+impl ServiceHandle {
+    /// The bound address (with the OS-chosen port when the config asked
+    /// for port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A clonable handle that can shut the daemon down.
+    pub fn shutdown_signal(&self) -> ShutdownSignal {
+        self.signal.clone()
+    }
+
+    /// Blocks until the daemon exits (a `shutdown` request, or
+    /// [`ShutdownSignal::fire`]).
+    pub fn join(self) {
+        self.accept.join().expect("accept loop panicked");
+    }
+
+    /// Fires shutdown and waits for exit.
+    pub fn stop(self) {
+        self.signal.fire();
+        self.join();
+    }
+}
+
+/// Binds the listener and spawns the daemon: scheduler shards, accept
+/// loop, connection handlers.
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unavailable.
+pub fn serve(config: ServiceConfig) -> std::io::Result<ServiceHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let signal = ShutdownSignal {
+        cancel: CancelToken::new(),
+        fired: Arc::new(AtomicBool::new(false)),
+        addr,
+        connections: Arc::new(Mutex::new(HashMap::new())),
+        next_conn: Arc::new(AtomicU64::new(0)),
+    };
+    let cache = Arc::new(InstanceCache::new());
+    let scheduler = Arc::new(Scheduler::new(config.shards));
+
+    let accept = {
+        let signal = signal.clone();
+        std::thread::Builder::new()
+            .name("cnash-accept".into())
+            .spawn(move || accept_loop(listener, config, cache, scheduler, signal))
+            .expect("spawn accept loop")
+    };
+    Ok(ServiceHandle {
+        addr,
+        signal,
+        accept,
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    config: ServiceConfig,
+    cache: Arc<InstanceCache>,
+    scheduler: Arc<Scheduler>,
+    signal: ShutdownSignal,
+) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if signal.is_fired() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let cache = Arc::clone(&cache);
+        let scheduler = Arc::clone(&scheduler);
+        let signal = signal.clone();
+        let config = config.clone();
+        connections.retain(|h| !h.is_finished());
+        connections.push(
+            std::thread::Builder::new()
+                .name("cnash-conn".into())
+                .spawn(move || handle_connection(stream, &config, &cache, &scheduler, &signal))
+                .expect("spawn connection handler"),
+        );
+    }
+    for conn in connections {
+        let _ = conn.join();
+    }
+    // Drain the scheduler once every connection has finished
+    // submitting; queued jobs observe the cancelled token and finish
+    // fast. Threads removed by the `retain` above have finished and
+    // dropped their handles, but give any last-instant drop a moment.
+    let mut scheduler = scheduler;
+    loop {
+        match Arc::try_unwrap(scheduler) {
+            Ok(sched) => {
+                sched.shutdown();
+                return;
+            }
+            Err(still_shared) => {
+                scheduler = still_shared;
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+/// What a connection's writer emits for one request slot.
+enum Out {
+    /// A finished response.
+    Ready(Json),
+    /// A response computed at emission time — after every earlier
+    /// response has been written — used by `stats`, whose counters must
+    /// reflect the completed prefix.
+    Lazy(Box<dyn FnOnce() -> Json + Send>),
+    /// Like [`Out::Lazy`], but the connection is closed right after the
+    /// response is flushed — the `shutdown` acknowledgement (the daemon
+    /// must answer the prefix, then this, then tear the socket down so
+    /// the reader unblocks even against a silent client).
+    Final(Box<dyn FnOnce() -> Json + Send>),
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    config: &ServiceConfig,
+    cache: &Arc<InstanceCache>,
+    scheduler: &Arc<Scheduler>,
+    signal: &ShutdownSignal,
+) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    // A connection that cannot be registered could never be closed by
+    // ShutdownSignal::fire — its blocked reader would hang shutdown
+    // against a silent client — so refuse it outright (this only
+    // happens when fd duplication fails, i.e. the process is already
+    // resource-exhausted).
+    let registration = match stream.try_clone() {
+        Ok(clone) => signal.register(clone),
+        Err(_) => return,
+    };
+    let (tx, rx) = mpsc::channel::<(u64, Out)>();
+
+    // Writer: reorder (seq, response) pairs into request order.
+    let writer = std::thread::Builder::new()
+        .name("cnash-conn-writer".into())
+        .spawn(move || {
+            let mut out = BufWriter::new(stream);
+            let mut pending: BTreeMap<u64, Out> = BTreeMap::new();
+            let mut next = 0u64;
+            for (seq, response) in rx {
+                pending.insert(seq, response);
+                while let Some(slot) = pending.remove(&next) {
+                    next += 1;
+                    let (doc, close_after) = match slot {
+                        Out::Ready(doc) => (doc, false),
+                        Out::Lazy(thunk) => (thunk(), false),
+                        Out::Final(thunk) => (thunk(), true),
+                    };
+                    if out.write_all(doc.compact().as_bytes()).is_err()
+                        || out.write_all(b"\n").is_err()
+                        || out.flush().is_err()
+                    {
+                        return; // client went away
+                    }
+                    if close_after {
+                        let _ = out.get_ref().shutdown(std::net::Shutdown::Both);
+                        return;
+                    }
+                }
+            }
+        })
+        .expect("spawn connection writer");
+
+    let mut reader = BufReader::new(read_half);
+    let mut line = String::new();
+    let mut seq = 0u64;
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break, // EOF or torn connection
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let envelope = protocol::parse_request(line.trim());
+        let id = envelope.id;
+        let out = match envelope.request {
+            Err(e) => Out::Ready(protocol::error_response(&id, &e.message)),
+            Ok(Request::Ping) => Out::Ready(protocol::pong_response(&id)),
+            Ok(Request::Stats) => {
+                let cache = Arc::clone(cache);
+                let shards = scheduler.shard_count();
+                Out::Lazy(Box::new(move || {
+                    Json::obj([
+                        ("id", id.clone()),
+                        ("ok", Json::Bool(true)),
+                        ("stats", cache.stats().to_json()),
+                        ("shards", Json::num(shards as f64)),
+                    ])
+                }))
+            }
+            Ok(Request::Shutdown) => {
+                let signal = signal.clone();
+                Out::Final(Box::new(move || {
+                    // Leave this connection out of fire()'s close loop
+                    // so the acknowledgement still reaches the client;
+                    // the writer closes the socket right after it.
+                    signal.deregister(registration);
+                    signal.fire();
+                    protocol::shutdown_response(&id)
+                }))
+            }
+            Ok(Request::Solve { job, truth }) => {
+                let cache = Arc::clone(cache);
+                let tx = tx.clone();
+                let my_seq = seq;
+                let cancel = signal.cancel.clone();
+                let batch_threads = config.batch_threads;
+                let job_id = id.clone();
+                let submitted = scheduler.submit(Box::new(move || {
+                    // A panicking solve must still produce a response:
+                    // the writer's reorder buffer cannot advance past a
+                    // missing sequence number, so a lost response would
+                    // wedge every later reply on this connection.
+                    let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        execute_solve(&cache, &job, truth, batch_threads, &cancel, &job_id)
+                    }))
+                    .unwrap_or_else(|_| {
+                        protocol::error_response(&job_id, "internal error: solve panicked")
+                    });
+                    let _ = tx.send((my_seq, Out::Ready(response)));
+                }));
+                match submitted {
+                    Ok(()) => {
+                        seq += 1;
+                        continue; // the job sends its own response
+                    }
+                    Err(_) => Out::Ready(protocol::error_response(&id, "service is shutting down")),
+                }
+            }
+        };
+        let _ = tx.send((seq, out));
+        seq += 1;
+    }
+    drop(tx); // writer drains in-flight job responses, then exits
+    let _ = writer.join();
+    signal.deregister(registration);
+}
+
+/// Runs one solve request to completion and builds its response.
+fn execute_solve(
+    cache: &InstanceCache,
+    job: &JobSpec,
+    truth: TruthPolicy,
+    batch_threads: usize,
+    cancel: &CancelToken,
+    id: &Json,
+) -> Json {
+    let start = Instant::now();
+    let prepared = match cache.prepare(&job.game, &job.solver) {
+        Ok(prepared) => prepared,
+        Err(e) => return protocol::error_response(id, &e.message),
+    };
+    let program_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let ground_truth = match truth {
+        TruthPolicy::Enumerate => cache.ground_truth(&prepared.game),
+        TruthPolicy::Skip => Arc::new(Vec::new()),
+    };
+    let mut runner = BatchRunner::new(job.runs, job.base_seed).threads(batch_threads);
+    runner.early_stop = job.early_stop;
+    // A *child* of the daemon's shutdown token: shutdown cancels this
+    // batch, but the batch's own early stop (which cancels its token to
+    // halt its pool) cannot leak into sibling jobs on other shards.
+    let batch_token = cancel.child();
+    let batch = runner.evaluate_cancellable(prepared.solver.as_ref(), &ground_truth, &batch_token);
+
+    let label = job
+        .label
+        .clone()
+        .unwrap_or_else(|| format!("{} on {}", job.solver.label(), prepared.game.name()));
+    Json::obj([
+        ("id", id.clone()),
+        ("ok", Json::Bool(true)),
+        ("label", Json::str(label)),
+        ("cache_hit", Json::Bool(prepared.cache_hit)),
+        ("report", game_report_json(&batch.report)),
+        ("scheduled_runs", Json::num(batch.scheduled_runs as f64)),
+        ("executed_runs", Json::num(batch.executed_runs as f64)),
+        ("stopped_early", Json::Bool(batch.stopped_early)),
+        ("cancelled", Json::Bool(batch.cancelled)),
+        ("wall_ms", Json::Num(start.elapsed().as_secs_f64() * 1e3)),
+        ("program_ms", Json::Num(program_ms)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn send_lines(addr: SocketAddr, lines: &[&str]) -> Vec<String> {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        for line in lines {
+            stream.write_all(line.as_bytes()).unwrap();
+            stream.write_all(b"\n").unwrap();
+        }
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let reader = BufReader::new(stream);
+        reader.lines().map(|l| l.unwrap()).collect()
+    }
+
+    const SOLVE_BOS: &str = r#"{"op":"solve","id":2,"job":{"game":{"builtin":"battle_of_the_sexes"},"solver":{"type":"cnash","preset":"paper","intervals":12,"iterations":1500,"hardware_seed":1},"runs":4,"base_seed":0}}"#;
+
+    #[test]
+    fn round_trips_pipelined_requests_in_order() {
+        let handle = serve(ServiceConfig {
+            shards: 2,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let addr = handle.addr();
+        let responses = send_lines(
+            addr,
+            &[
+                r#"{"op":"ping","id":1}"#,
+                SOLVE_BOS,
+                SOLVE_BOS.replace(r#""id":2"#, r#""id":3"#).as_str(),
+                r#"{"op":"bogus","id":4}"#,
+            ],
+        );
+        assert_eq!(responses.len(), 4);
+        let docs: Vec<Json> = responses.iter().map(|l| Json::parse(l).unwrap()).collect();
+        // Responses arrive in request order whatever the shard timing.
+        for (k, doc) in docs.iter().enumerate() {
+            assert_eq!(doc.get("id").unwrap().as_usize().unwrap(), k + 1);
+        }
+        assert!(docs[0].get("pong").unwrap().as_bool().unwrap());
+        for doc in &docs[1..3] {
+            assert!(doc.get("ok").unwrap().as_bool().unwrap());
+            let report = doc.get("report").unwrap();
+            assert_eq!(report.get("runs").unwrap().as_usize().unwrap(), 4);
+        }
+        // Identical pipelined jobs: single-flight programming means
+        // exactly one of the two built the instance — the other hit,
+        // whichever shard won the race.
+        let hits = docs[1..3]
+            .iter()
+            .filter(|d| d.get("cache_hit").unwrap().as_bool().unwrap())
+            .count();
+        assert_eq!(hits, 1);
+        assert!(!docs[3].get("ok").unwrap().as_bool().unwrap());
+        // The deterministic payloads of identical jobs are identical.
+        let mut a = docs[1].clone();
+        let mut b = docs[2].clone();
+        protocol::strip_timing(&mut a);
+        protocol::strip_timing(&mut b);
+        if let (Json::Obj(a), Json::Obj(b)) = (&mut a, &mut b) {
+            a.remove("id");
+            b.remove("id");
+            a.remove("cache_hit");
+            b.remove("cache_hit");
+        }
+        assert_eq!(a, b);
+        handle.stop();
+    }
+
+    #[test]
+    fn shutdown_op_terminates_the_daemon_after_answering() {
+        let handle = serve(ServiceConfig::default()).unwrap();
+        let addr = handle.addr();
+        let responses = send_lines(
+            addr,
+            &[
+                r#"{"op":"solve","id":1,"job":{"game":{"builtin":"matching_pennies"},"solver":{"type":"ideal","preset":"ideal","intervals":12,"iterations":1500},"runs":2}}"#,
+                r#"{"op":"stats","id":2}"#,
+                r#"{"op":"shutdown","id":3}"#,
+            ],
+        );
+        assert_eq!(responses.len(), 3);
+        let stats = Json::parse(&responses[1]).unwrap();
+        // The stats response post-dates the solve: its counters include
+        // the miss.
+        assert_eq!(
+            stats
+                .get("stats")
+                .unwrap()
+                .get("instance_misses")
+                .unwrap()
+                .as_usize()
+                .unwrap(),
+            1
+        );
+        let bye = Json::parse(&responses[2]).unwrap();
+        assert!(bye.get("shutting_down").unwrap().as_bool().unwrap());
+        handle.join(); // returns: the daemon exited on its own
+    }
+
+    #[test]
+    fn truth_skip_reports_empty_ground_truth() {
+        let handle = serve(ServiceConfig::default()).unwrap();
+        let responses = send_lines(
+            handle.addr(),
+            &[
+                r#"{"op":"solve","id":1,"job":{"game":{"random":{"rows":6,"cols":6,"max_payoff":3,"seed":4}},"solver":{"type":"cnash","preset":"paper","intervals":12,"iterations":400,"hardware_seed":0},"runs":2},"ground_truth":"skip"}"#,
+            ],
+        );
+        let doc = Json::parse(&responses[0]).unwrap();
+        assert!(doc.get("ok").unwrap().as_bool().unwrap());
+        let report = doc.get("report").unwrap();
+        assert_eq!(report.get("target_count").unwrap().as_usize().unwrap(), 0);
+        handle.stop();
+    }
+}

@@ -1,0 +1,111 @@
+//! End-to-end service round trip against the checked-in golden files.
+//!
+//! Replays `tests/golden/service_jobs.jsonl` against an in-process
+//! daemon exactly the way CI's `service-smoke` job drives the real
+//! binaries (`--serial --golden`), and requires the normalised response
+//! stream to **byte-match** `tests/golden/service_reports.golden`.
+//! A second pass replays the same script pipelined (no serialisation)
+//! and checks the order- and schedule-independent invariants: response
+//! order, ok-flags, and bit-identical solve reports.
+
+use cnash_bench::client::{normalise_response, ServiceConn};
+use cnash_runtime::Json;
+use cnash_service::{serve, ServiceConfig};
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .canonicalize()
+        .expect("golden dir exists")
+}
+
+fn request_lines() -> Vec<String> {
+    let text = std::fs::read_to_string(golden_dir().join("service_jobs.jsonl"))
+        .expect("request script exists");
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(String::from)
+        .collect()
+}
+
+fn golden_lines() -> Vec<String> {
+    let text = std::fs::read_to_string(golden_dir().join("service_reports.golden"))
+        .expect("golden file exists");
+    text.lines().map(String::from).collect()
+}
+
+/// The golden stats line reports `"shards":2`; the servers here must
+/// match what CI's smoke job passes to `serviced`.
+fn config() -> ServiceConfig {
+    ServiceConfig {
+        shards: 2,
+        ..ServiceConfig::default()
+    }
+}
+
+#[test]
+fn serial_replay_matches_the_golden_file_bytewise() {
+    let handle = serve(config()).expect("bind ephemeral port");
+    let mut conn = ServiceConn::connect(handle.addr()).expect("connect");
+    let mut produced = Vec::new();
+    for line in request_lines() {
+        let response = conn.round_trip(&line).expect("response per request");
+        produced.push(normalise_response(&response));
+    }
+    handle.join(); // the script ends in a shutdown op
+    let golden = golden_lines();
+    assert_eq!(
+        produced.len(),
+        golden.len(),
+        "one response per request line"
+    );
+    for (k, (got, want)) in produced.iter().zip(&golden).enumerate() {
+        assert_eq!(got, want, "line {} diverged from the golden file", k + 1);
+    }
+}
+
+#[test]
+fn pipelined_replay_is_report_identical_and_ordered() {
+    let handle = serve(config()).expect("bind ephemeral port");
+    let mut conn = ServiceConn::connect(handle.addr()).expect("connect");
+    let requests = request_lines();
+    for line in &requests {
+        conn.send_line(line).expect("send");
+    }
+    conn.finish_writes();
+    let mut produced = Vec::new();
+    while let Ok(Some(line)) = conn.recv_line() {
+        produced.push(normalise_response(&line));
+    }
+    handle.join();
+    let golden = golden_lines();
+    assert_eq!(produced.len(), golden.len());
+    for (k, (got, want)) in produced.iter().zip(&golden).enumerate() {
+        let got = Json::parse(got).expect("parseable response");
+        let want = Json::parse(want).expect("parseable golden line");
+        // Responses stream in request order whatever the shard timing.
+        assert_eq!(
+            got.get("id").unwrap().as_u64().unwrap(),
+            (k + 1) as u64,
+            "response order"
+        );
+        assert_eq!(
+            got.get("ok").unwrap().as_bool().unwrap(),
+            want.get("ok").unwrap().as_bool().unwrap()
+        );
+        // Solve *reports* are schedule-independent (the runtime's
+        // determinism contract); cache_hit attribution and the stats
+        // counters may legitimately differ under pipelining, so only
+        // the report payload is pinned here.
+        if let Ok(report) = want.get("report") {
+            assert_eq!(
+                got.get("report").expect("solve response has report"),
+                report,
+                "line {}: report diverged under pipelining",
+                k + 1
+            );
+        }
+    }
+}
