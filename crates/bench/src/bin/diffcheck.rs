@@ -1,0 +1,102 @@
+//! Differential oracle fuzzing over the structured game families.
+//!
+//! `cargo run --release -p cnash-bench --bin diffcheck -- \
+//!      [--quick] [--seed S] [--corrupt] [--out PATH] [--jobs-file PATH]`
+//!
+//! Grid mode (default) sweeps the family × size × seed grid
+//! (`cnash_bench::diffcheck`): per point it cross-checks the two exact
+//! oracles against each other, then runs every solver in the suite and
+//! certificate-verifies each claimed equilibrium. `--quick` is the
+//! PR-time grid; the nightly CI job runs the full grid with a
+//! date-derived `--seed`.
+//!
+//! On a mismatch the offending game is minimized by action deletion and
+//! written to `--out` (default `DIFFCHECK_counterexample.json`) as a
+//! single-run jobs file with explicit payoffs. `--jobs-file PATH`
+//! replays such a file, re-verifying every claim — how a nightly
+//! counterexample artifact is reproduced locally.
+//!
+//! `--corrupt` wraps every solver in a deliberate liar (claimed hits
+//! swapped for worst responses): the run must fail with a minimized
+//! counterexample, proving the failure path end to end. A counterexample
+//! produced under `--corrupt` replays with `--corrupt`.
+//!
+//! Exits 0 when every claim verified, 1 on a differential failure
+//! (counterexample written in grid mode), 2 on usage/configuration
+//! errors. The machine-readable sweep summary goes to stdout.
+
+use cnash_bench::diffcheck::{
+    family_grid, replay, run_grid, solver_suite, summary_json, DiffOptions,
+};
+use cnash_bench::Cli;
+use cnash_runtime::BatchSpec;
+
+fn main() {
+    let cli = Cli::parse_for(&["--quick", "--seed", "--corrupt", "--out", "--jobs-file"]);
+
+    let (outcome, grid_mode) = if let Some(path) = &cli.jobs_file {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let spec = match BatchSpec::from_json(&text) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        (replay(&spec, cli.corrupt), false)
+    } else {
+        let opts = DiffOptions::new(cli.quick, cli.seed, cli.corrupt);
+        let points = family_grid(&opts);
+        let solvers = solver_suite(&opts);
+        eprintln!(
+            "diffcheck: {} grid points x {} solvers x {} runs{}{}",
+            points.len(),
+            solvers.len(),
+            opts.runs,
+            if opts.quick { " (--quick)" } else { "" },
+            if opts.corrupt {
+                " [CORRUPT test hook active]"
+            } else {
+                ""
+            }
+        );
+        (run_grid(&points, &solvers, &opts), true)
+    };
+
+    let outcome = match outcome {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!("{}", summary_json(&outcome).pretty());
+    let Some(failure) = &outcome.failure else {
+        return;
+    };
+
+    eprintln!("error: {}: {}", failure.class.name(), failure.detail);
+    if grid_mode {
+        let path = cli
+            .out
+            .as_deref()
+            .unwrap_or("DIFFCHECK_counterexample.json");
+        if let Err(e) = std::fs::write(path, failure.counterexample.to_json().pretty()) {
+            eprintln!("error: cannot write counterexample to {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("counterexample written to {path}");
+        eprintln!(
+            "replay with: cargo run --release -p cnash-bench --bin diffcheck -- --jobs-file {path}{}",
+            if cli.corrupt { " --corrupt" } else { "" }
+        );
+    }
+    std::process::exit(1);
+}

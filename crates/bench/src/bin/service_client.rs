@@ -18,10 +18,11 @@
 //!   diffs stdout against `tests/golden/service_reports.golden`.
 //!
 //! Exits 0 when every request got a response (error *responses* are
-//! legitimate protocol output), 1 when the connection died early, 2 on
-//! usage errors.
+//! legitimate protocol output), 1 when the connection dropped
+//! mid-stream or a response line was not valid protocol JSON — partial
+//! output is never silently truncated — and 2 on usage errors.
 
-use cnash_bench::client::{normalise_response, ServiceConn};
+use cnash_bench::client::{normalise_response, validate_response, ServiceConn};
 use cnash_bench::Cli;
 
 fn main() {
@@ -51,7 +52,19 @@ fn main() {
         }
     };
 
-    let emit = |line: &str| {
+    // Every daemon response must be a single JSON object: an
+    // unparseable line means the stream is corrupt (or the peer is not
+    // the solver service), and continuing would silently produce bogus
+    // output downstream.
+    let emit = |line: &str, index: usize| {
+        if let Err(e) = validate_response(line) {
+            eprintln!(
+                "error: response {} is not valid protocol JSON: {e}",
+                index + 1
+            );
+            eprintln!("error: offending line: {line}");
+            std::process::exit(1);
+        }
         if cli.golden {
             println!("{}", normalise_response(line));
         } else {
@@ -64,11 +77,16 @@ fn main() {
         for line in &lines {
             match conn.round_trip(line) {
                 Ok(response) => {
-                    emit(&response);
+                    emit(&response, received);
                     received += 1;
                 }
                 Err(e) => {
-                    eprintln!("error: request {} got no response: {e}", received + 1);
+                    eprintln!(
+                        "error: connection lost after {received}/{} responses \
+                         (request {} got no response): {e}",
+                        lines.len(),
+                        received + 1
+                    );
                     std::process::exit(1);
                 }
             }
@@ -81,17 +99,29 @@ fn main() {
             }
         }
         conn.finish_writes();
-        while let Ok(Some(response)) = conn.recv_line() {
-            emit(&response);
-            received += 1;
+        loop {
+            match conn.recv_line() {
+                Ok(Some(response)) => {
+                    emit(&response, received);
+                    received += 1;
+                }
+                Ok(None) => break, // clean EOF: the daemon drained the stream
+                Err(e) => {
+                    eprintln!(
+                        "error: connection dropped mid-stream after {received}/{} responses: {e}",
+                        lines.len()
+                    );
+                    std::process::exit(1);
+                }
+            }
         }
     }
 
     if received < lines.len() {
         eprintln!(
-            "error: sent {} requests but received {} responses",
-            lines.len(),
-            received
+            "error: sent {} requests but received only {received} responses \
+             (daemon closed the connection early)",
+            lines.len()
         );
         std::process::exit(1);
     }

@@ -73,10 +73,37 @@ impl ServiceConn {
     }
 }
 
+/// Checks that a response line is what the protocol promises: a single
+/// JSON *object*. The `service_client` binary calls this on every
+/// received line and exits non-zero on the first violation — a corrupt
+/// or truncated line must never be passed downstream as if it were a
+/// report.
+///
+/// # Errors
+///
+/// Returns a description of why the line is not a protocol response.
+pub fn validate_response(line: &str) -> Result<(), String> {
+    match Json::parse(line) {
+        Ok(Json::Obj(_)) => Ok(()),
+        Ok(other) => Err(format!(
+            "expected a JSON object, got {}",
+            match other {
+                Json::Arr(_) => "an array",
+                Json::Str(_) => "a string",
+                Json::Num(_) => "a number",
+                Json::Bool(_) => "a boolean",
+                _ => "null",
+            }
+        )),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
 /// Normalises a response line for golden-file comparison: parses it,
 /// strips the wall-clock fields and re-serialises canonically
 /// (sorted keys, compact framing). Unparseable lines pass through
-/// untouched so a diff still shows them.
+/// untouched so a diff still shows them (the `service_client` binary
+/// rejects them via [`validate_response`] before ever getting here).
 pub fn normalise_response(line: &str) -> String {
     match Json::parse(line) {
         Ok(mut doc) => {
@@ -108,5 +135,46 @@ mod tests {
         let raw = r#"{"wall_ms": 3.5, "ok": true, "program_ms": 1.0, "id": 2}"#;
         assert_eq!(normalise_response(raw), r#"{"id":2,"ok":true}"#);
         assert_eq!(normalise_response("garbage"), "garbage");
+    }
+
+    #[test]
+    fn validate_rejects_non_protocol_lines() {
+        assert!(validate_response(r#"{"id":1,"ok":true}"#).is_ok());
+        // Truncated JSON (a dropped connection mid-line), non-objects
+        // and plain garbage are all protocol violations.
+        assert!(validate_response(r#"{"id":1,"ok":tr"#).is_err());
+        assert!(validate_response("[1,2,3]").is_err());
+        assert!(validate_response("42").is_err());
+        assert!(validate_response("HTTP/1.1 400 Bad Request").is_err());
+    }
+
+    #[test]
+    fn dropped_connection_surfaces_as_an_error_not_eof() {
+        // A peer that vanishes mid-stream must yield a distinguishable
+        // outcome from a clean EOF so the client can exit non-zero with
+        // the right message. `round_trip` maps clean EOF to an error
+        // too: no response is never success.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accept = std::thread::spawn(move || {
+            // Accept and immediately drop the socket: the client's read
+            // sees EOF before any response arrives.
+            let _ = listener.accept().unwrap();
+        });
+        let mut conn = ServiceConn::connect(addr).unwrap();
+        accept.join().unwrap();
+        // Depending on timing the OS reports the vanished peer as a
+        // clean EOF (mapped to UnexpectedEof) or a connection reset —
+        // either way round_trip must be an error, never Ok.
+        let err = conn.round_trip(r#"{"op":"ping"}"#).unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::BrokenPipe
+            ),
+            "unexpected error kind: {err:?}"
+        );
     }
 }

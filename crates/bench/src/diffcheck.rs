@@ -1,0 +1,757 @@
+//! Differential oracle fuzzing: structured game families vs exact
+//! oracles vs hardware solvers.
+//!
+//! The repository has two exact Nash oracles that share no code
+//! (`cnash_game::support_enum`, `cnash_game::lemke_howson`), an
+//! independent verification layer (`cnash_core::certificate`), and two
+//! hardware solver stacks (C-Nash crossbar, S-QUBO/D-Wave). This module
+//! drives all of them against each other over a *family × size × seed*
+//! grid of structured games (`cnash_game::families`) — GAMUT-style
+//! differential testing:
+//!
+//! 1. **Oracle self-consistency** — per grid point, support enumeration
+//!    must find at least one equilibrium (Nash's theorem), and every
+//!    Lemke–Howson solution must certificate-verify *and* appear in the
+//!    enumerated set.
+//! 2. **Solver soundness** — every solver run that *claims* a hit
+//!    (`RunOutcome::is_equilibrium`) is re-verified through an
+//!    independently computed [`Certificate`]. A claim the certificate
+//!    rejects is a **false equilibrium** — the one mismatch class that
+//!    is always a bug. Runs that find nothing are **missed but
+//!    allowed** (the solvers are stochastic); certificate-valid hits
+//!    absent from the enumerated set are **unlisted-valid** (possible
+//!    on degenerate games with equilibrium continua) and merely
+//!    counted.
+//!
+//! On failure the harness **minimizes** the offending game by greedy
+//! action deletion (re-running the failing solver seed after each
+//! candidate deletion) and emits a single-job, explicit-payoff,
+//! replayable jobs file — `--jobs-file` replays it, re-verifying the
+//! claims with certificates.
+//!
+//! The `corrupt` flag is the harness's own test hook: it wraps every
+//! solver so that claimed hits are swapped for a worst-response profile
+//! *while keeping the claim flag set* — a deliberately lying solver the
+//! pipeline must catch, minimize and report. CI runs it to prove the
+//! failure path stays live.
+
+use cnash_core::certificate::Certificate;
+use cnash_core::NashSolver;
+use cnash_game::canonical::Hasher64;
+use cnash_game::lemke_howson::lemke_howson_all_labels;
+use cnash_game::support_enum::enumerate_equilibria;
+use cnash_game::{BimatrixGame, Equilibrium, Matrix, MixedStrategy};
+use cnash_runtime::spec::{BatchSpec, ConfigSpec, GameSpec, JobSpec, SolverSpec};
+use cnash_runtime::{Json, PortfolioStop, SpecError};
+
+/// Tolerance at which solvers claim hits (`RunOutcome::is_equilibrium`
+/// uses exact regrets at `1e-6`); certificates re-check the same
+/// criterion independently.
+pub const CLAIM_TOL: f64 = 1e-6;
+/// Tolerance for oracle cross-checks (Lemke–Howson's own filter).
+pub const ORACLE_TOL: f64 = 1e-7;
+/// Profile tolerance when matching a hit against the enumerated set.
+pub const MATCH_TOL: f64 = 1e-4;
+
+/// Options of one differential-fuzz sweep.
+#[derive(Debug, Clone)]
+pub struct DiffOptions {
+    /// Reduced PR-time grid (nightly runs the full grid).
+    pub quick: bool,
+    /// Base seed, offsetting every family/run seed in the grid (the
+    /// nightly job derives it from the date).
+    pub base_seed: u64,
+    /// Solver runs per (grid point, solver).
+    pub runs: usize,
+    /// Test hook: corrupt claimed hits to exercise the failure path.
+    pub corrupt: bool,
+}
+
+impl DiffOptions {
+    /// Standard options for a sweep.
+    pub fn new(quick: bool, base_seed: u64, corrupt: bool) -> Self {
+        Self {
+            quick,
+            base_seed,
+            runs: if quick { 4 } else { 12 },
+            corrupt,
+        }
+    }
+}
+
+/// The family × size × seed grid, plus a uniform-random baseline column
+/// ([`GameSpec::Random`]) so the legacy generator is fuzzed too.
+pub fn family_grid(opts: &DiffOptions) -> Vec<GameSpec> {
+    use cnash_game::families::Family;
+    let sizes: &[usize] = if opts.quick { &[2, 3] } else { &[2, 3, 4, 5] };
+    let seeds = if opts.quick { 2u64 } else { 5 };
+    let mut grid = Vec::new();
+    for family in Family::ALL {
+        for &size in sizes {
+            for s in 0..seeds {
+                grid.push(GameSpec::Family {
+                    family: family.name().into(),
+                    size,
+                    scale: None,
+                    knob: None,
+                    seed: opts.base_seed.wrapping_add(s),
+                });
+            }
+        }
+    }
+    for &size in sizes {
+        for s in 0..seeds {
+            grid.push(GameSpec::Random {
+                rows: size,
+                cols: size,
+                max_payoff: 6,
+                seed: opts.base_seed.wrapping_add(s),
+            });
+        }
+    }
+    grid
+}
+
+/// The solver suite swept per grid point: both C-Nash presets and the
+/// S-QUBO baseline.
+pub fn solver_suite(opts: &DiffOptions) -> Vec<SolverSpec> {
+    let iterations = if opts.quick { 800 } else { 3000 };
+    vec![
+        SolverSpec::CNash {
+            config: ConfigSpec::ideal(12).with_iterations(iterations),
+            hardware_seed: 1,
+        },
+        SolverSpec::CNash {
+            config: ConfigSpec::paper(12).with_iterations(iterations),
+            hardware_seed: 1,
+        },
+        SolverSpec::DWave {
+            model: "2000q".into(),
+            reads_per_run: 1,
+        },
+    ]
+}
+
+/// Counters of one sweep (all mismatch classes surfaced).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiffCounters {
+    /// Grid points checked.
+    pub points: usize,
+    /// Ground-truth equilibria enumerated across the grid.
+    pub oracle_equilibria: usize,
+    /// Lemke–Howson solutions cross-checked against enumeration.
+    pub lh_cross_checked: usize,
+    /// Solver runs executed.
+    pub solver_runs: usize,
+    /// Runs claiming an equilibrium hit.
+    pub claimed_hits: usize,
+    /// Claimed hits that certificate-verified *and* matched an
+    /// enumerated equilibrium.
+    pub verified_hits: usize,
+    /// Claimed hits that certificate-verified but matched no enumerated
+    /// equilibrium (possible on degenerate games — counted, allowed).
+    pub unlisted_valid_hits: usize,
+    /// Runs that found nothing (missed but allowed — the solvers are
+    /// stochastic).
+    pub missed_runs: usize,
+}
+
+/// The mismatch classes that fail a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureClass {
+    /// A solver claimed a hit the certificate rejects.
+    FalseEquilibrium,
+    /// The exact oracles disagree with each other (or enumeration found
+    /// no equilibrium at all).
+    OracleDisagreement,
+}
+
+impl FailureClass {
+    /// Stable wire/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureClass::FalseEquilibrium => "false_equilibrium",
+            FailureClass::OracleDisagreement => "oracle_disagreement",
+        }
+    }
+}
+
+/// A reproducible sweep failure.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Mismatch class.
+    pub class: FailureClass,
+    /// Human-readable description (game, solver, seed, regrets).
+    pub detail: String,
+    /// Minimized single-job jobs file reproducing the failure
+    /// (explicit payoffs — self-contained).
+    pub counterexample: BatchSpec,
+}
+
+/// Result of one sweep: counters plus the first failure, if any.
+#[derive(Debug, Clone)]
+pub struct DiffOutcome {
+    /// Aggregate counters.
+    pub counters: DiffCounters,
+    /// The first failure encountered (the sweep stops there).
+    pub failure: Option<Failure>,
+}
+
+/// Machine-readable sweep summary (stdout of the `diffcheck` binary).
+pub fn summary_json(outcome: &DiffOutcome) -> Json {
+    let c = &outcome.counters;
+    let n = |v: usize| Json::num(v as f64);
+    let mut obj = vec![
+        ("points".to_string(), n(c.points)),
+        ("oracle_equilibria".to_string(), n(c.oracle_equilibria)),
+        ("lh_cross_checked".to_string(), n(c.lh_cross_checked)),
+        ("solver_runs".to_string(), n(c.solver_runs)),
+        ("claimed_hits".to_string(), n(c.claimed_hits)),
+        ("verified_hits".to_string(), n(c.verified_hits)),
+        ("unlisted_valid_hits".to_string(), n(c.unlisted_valid_hits)),
+        ("missed_runs".to_string(), n(c.missed_runs)),
+        ("ok".to_string(), Json::Bool(outcome.failure.is_none())),
+    ];
+    if let Some(f) = &outcome.failure {
+        obj.push(("failure_class".into(), Json::str(f.class.name())));
+        obj.push(("failure_detail".into(), Json::str(f.detail.clone())));
+    }
+    Json::Obj(obj.into_iter().collect())
+}
+
+/// The worst-response corruption: all mass on the row action with the
+/// *lowest* payoff against `q` — the most wrong pure claim available.
+pub fn worst_response(game: &BimatrixGame, q: &MixedStrategy) -> MixedStrategy {
+    let payoffs = game
+        .row_payoff_vector(q)
+        .expect("profile shapes match the game");
+    let worst = payoffs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite payoffs"))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    MixedStrategy::pure(game.row_actions(), worst).expect("non-empty action set")
+}
+
+/// A deliberately lying solver: claimed hits keep their claim flag but
+/// have the row strategy swapped for the worst response — the test hook
+/// proving the differential pipeline catches false equilibria.
+pub struct CorruptingSolver {
+    inner: Box<dyn NashSolver>,
+}
+
+impl CorruptingSolver {
+    /// Wraps `inner`.
+    pub fn new(inner: Box<dyn NashSolver>) -> Self {
+        Self { inner }
+    }
+}
+
+impl NashSolver for CorruptingSolver {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn game(&self) -> &BimatrixGame {
+        self.inner.game()
+    }
+
+    fn run(&self, seed: u64) -> cnash_core::RunOutcome {
+        let mut out = self.inner.run(seed);
+        if out.is_equilibrium {
+            if let Some((_, q)) = out.profile.take() {
+                let lie = worst_response(self.inner.game(), &q);
+                out.profile = Some((lie, q));
+            }
+        }
+        out
+    }
+}
+
+fn build_solver(
+    spec: &SolverSpec,
+    game: &BimatrixGame,
+    corrupt: bool,
+) -> Result<Box<dyn NashSolver>, SpecError> {
+    let solver = spec.build(game)?;
+    Ok(if corrupt {
+        Box::new(CorruptingSolver::new(solver))
+    } else {
+        solver
+    })
+}
+
+/// Deterministic per-(point, solver) run-seed base: mixing the game's
+/// canonical fingerprint and the solver spec decorrelates the grid
+/// while keeping every failing seed replayable from the jobs file.
+fn run_seed_base(base_seed: u64, game: &BimatrixGame, solver: &SolverSpec) -> u64 {
+    let mut h = Hasher64::new();
+    h.write_str("diffcheck-runs")
+        .write_u64(base_seed)
+        .write_u64(game.canonical_fingerprint())
+        .write_str(&format!("{solver:?}"));
+    h.finish()
+}
+
+/// `Some(detail)` if the claimed profile fails independent certificate
+/// verification — the false-equilibrium predicate.
+fn claim_rejected(game: &BimatrixGame, p: &MixedStrategy, q: &MixedStrategy) -> Option<String> {
+    match Certificate::build(game, p.clone(), q.clone(), CLAIM_TOL) {
+        Err(e) => Some(format!("certificate construction failed: {e}")),
+        Ok(cert) if !cert.is_valid() => Some(format!(
+            "claimed equilibrium has regrets ({:.3e}, {:.3e}) above {CLAIM_TOL:.0e}",
+            cert.regrets.0, cert.regrets.1
+        )),
+        Ok(_) => None,
+    }
+}
+
+/// `true` if running `solver_spec` (optionally corrupted) at `seed` on
+/// `game` still produces a certificate-rejected claim — the predicate
+/// counterexample minimization shrinks against.
+fn reproduces(game: &BimatrixGame, solver_spec: &SolverSpec, seed: u64, corrupt: bool) -> bool {
+    let Ok(solver) = build_solver(solver_spec, game, corrupt) else {
+        return false;
+    };
+    let out = solver.run(seed);
+    match (out.is_equilibrium, &out.profile) {
+        (true, Some((p, q))) => claim_rejected(game, p, q).is_some(),
+        _ => false,
+    }
+}
+
+fn drop_row(game: &BimatrixGame, i: usize) -> Option<BimatrixGame> {
+    sub_game(game, |r, _| r != i, |_, _| true)
+}
+
+fn drop_col(game: &BimatrixGame, j: usize) -> Option<BimatrixGame> {
+    sub_game(game, |_, _| true, |c, _| c != j)
+}
+
+fn sub_game(
+    game: &BimatrixGame,
+    keep_row: impl Fn(usize, usize) -> bool,
+    keep_col: impl Fn(usize, usize) -> bool,
+) -> Option<BimatrixGame> {
+    let filter = |m: &Matrix| -> Vec<Vec<f64>> {
+        (0..m.rows())
+            .filter(|&r| keep_row(r, m.rows()))
+            .map(|r| {
+                m.row(r)
+                    .iter()
+                    .enumerate()
+                    .filter(|(c, _)| keep_col(*c, m.cols()))
+                    .map(|(_, &v)| v)
+                    .collect()
+            })
+            .collect()
+    };
+    let rows = filter(game.row_payoffs());
+    if rows.is_empty() || rows[0].is_empty() {
+        return None;
+    }
+    BimatrixGame::new(
+        format!("{}~min", game.name().trim_end_matches("~min")),
+        Matrix::from_rows(&rows).ok()?,
+        Matrix::from_rows(&filter(game.col_payoffs())).ok()?,
+    )
+    .ok()
+}
+
+/// Greedy delta-debugging: keeps deleting single actions while the
+/// failure predicate still reproduces.
+fn minimize(game: &BimatrixGame, still_fails: impl Fn(&BimatrixGame) -> bool) -> BimatrixGame {
+    let mut current = game.clone();
+    loop {
+        let mut next = None;
+        for i in 0..current.row_actions() {
+            if current.row_actions() > 1 {
+                if let Some(cand) = drop_row(&current, i) {
+                    if still_fails(&cand) {
+                        next = Some(cand);
+                        break;
+                    }
+                }
+            }
+        }
+        if next.is_none() {
+            for j in 0..current.col_actions() {
+                if current.col_actions() > 1 {
+                    if let Some(cand) = drop_col(&current, j) {
+                        if still_fails(&cand) {
+                            next = Some(cand);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        match next {
+            Some(cand) => current = cand,
+            None => return current,
+        }
+    }
+}
+
+/// Packages a minimized failure as a single-run, explicit-payoff,
+/// replayable jobs file.
+fn counterexample(game: &BimatrixGame, solver: &SolverSpec, seed: u64, label: String) -> BatchSpec {
+    BatchSpec {
+        jobs: vec![JobSpec {
+            game: GameSpec::from_game(game),
+            solver: solver.clone(),
+            runs: 1,
+            base_seed: seed,
+            early_stop: None,
+            label: Some(label),
+        }],
+        stop: PortfolioStop::Independent,
+        threads: 1,
+    }
+}
+
+/// Oracle spec used for oracle-disagreement counterexamples (replay
+/// recomputes both oracles on the captured game; the solver entry is a
+/// cheap placeholder so the jobs file stays loadable everywhere).
+fn oracle_placeholder_solver() -> SolverSpec {
+    SolverSpec::Ideal {
+        config: ConfigSpec::ideal(12).with_iterations(1),
+    }
+}
+
+fn check_oracles(
+    game: &BimatrixGame,
+    counters: &mut DiffCounters,
+) -> Result<Vec<Equilibrium>, Failure> {
+    let truth = enumerate_equilibria(game, 1e-9);
+    if truth.is_empty() {
+        return Err(Failure {
+            class: FailureClass::OracleDisagreement,
+            detail: format!(
+                "{}: support enumeration found no equilibrium (Nash's theorem guarantees one)",
+                game.name()
+            ),
+            counterexample: counterexample(
+                game,
+                &oracle_placeholder_solver(),
+                0,
+                format!("diffcheck oracle_disagreement: {}", game.name()),
+            ),
+        });
+    }
+    counters.oracle_equilibria += truth.len();
+    for eq in lemke_howson_all_labels(game) {
+        counters.lh_cross_checked += 1;
+        let cert_ok = Certificate::build(game, eq.row.clone(), eq.col.clone(), ORACLE_TOL)
+            .map(|c| c.is_valid())
+            .unwrap_or(false);
+        let enumerated = truth.iter().any(|t| t.same_profile(&eq, 1e-5));
+        if !cert_ok || !enumerated {
+            let game_min = minimize(game, |g| {
+                let t = enumerate_equilibria(g, 1e-9);
+                lemke_howson_all_labels(g).iter().any(|e| {
+                    let ok = Certificate::build(g, e.row.clone(), e.col.clone(), ORACLE_TOL)
+                        .map(|c| c.is_valid())
+                        .unwrap_or(false);
+                    !ok || !t.iter().any(|x| x.same_profile(e, 1e-5))
+                })
+            });
+            return Err(Failure {
+                class: FailureClass::OracleDisagreement,
+                detail: format!(
+                    "{}: Lemke–Howson solution {eq} {}",
+                    game.name(),
+                    if cert_ok {
+                        "is missing from the enumerated equilibrium set"
+                    } else {
+                        "fails certificate verification"
+                    }
+                ),
+                counterexample: counterexample(
+                    &game_min,
+                    &oracle_placeholder_solver(),
+                    0,
+                    format!("diffcheck oracle_disagreement: {}", game.name()),
+                ),
+            });
+        }
+    }
+    Ok(truth)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_run(
+    game: &BimatrixGame,
+    truth: &[Equilibrium],
+    solver_spec: &SolverSpec,
+    solver: &dyn NashSolver,
+    seed: u64,
+    corrupt: bool,
+    counters: &mut DiffCounters,
+) -> Option<Failure> {
+    counters.solver_runs += 1;
+    let out = solver.run(seed);
+    let (claimed, profile) = (out.is_equilibrium, out.profile);
+    let Some((p, q)) = profile else {
+        counters.missed_runs += 1;
+        return None;
+    };
+    if !claimed {
+        counters.missed_runs += 1;
+        return None;
+    }
+    counters.claimed_hits += 1;
+    if let Some(why) = claim_rejected(game, &p, &q) {
+        let game_min = minimize(game, |g| reproduces(g, solver_spec, seed, corrupt));
+        let label = format!(
+            "diffcheck false_equilibrium: {} via {} seed {seed}",
+            game.name(),
+            solver_spec.label()
+        );
+        return Some(Failure {
+            class: FailureClass::FalseEquilibrium,
+            detail: format!(
+                "{} via {} (run seed {seed}): {why}",
+                game.name(),
+                solver_spec.label()
+            ),
+            counterexample: counterexample(&game_min, solver_spec, seed, label),
+        });
+    }
+    if truth
+        .iter()
+        .any(|t| t.row.linf_distance(&p) < MATCH_TOL && t.col.linf_distance(&q) < MATCH_TOL)
+    {
+        counters.verified_hits += 1;
+    } else {
+        counters.unlisted_valid_hits += 1;
+    }
+    None
+}
+
+/// Sweeps the grid: oracle self-consistency per point, then every
+/// solver × run, certificate-checking each claimed hit. Stops at the
+/// first failure (already minimized into a replayable jobs file).
+///
+/// # Errors
+///
+/// Returns [`SpecError`] if a grid spec itself cannot be built — a
+/// configuration bug, not a differential finding.
+pub fn run_grid(
+    points: &[GameSpec],
+    solvers: &[SolverSpec],
+    opts: &DiffOptions,
+) -> Result<DiffOutcome, SpecError> {
+    let mut counters = DiffCounters::default();
+    for spec in points {
+        let game = spec.build()?;
+        counters.points += 1;
+        let truth = match check_oracles(&game, &mut counters) {
+            Ok(truth) => truth,
+            Err(failure) => {
+                return Ok(DiffOutcome {
+                    counters,
+                    failure: Some(failure),
+                })
+            }
+        };
+        for solver_spec in solvers {
+            let solver = build_solver(solver_spec, &game, opts.corrupt)?;
+            let base = run_seed_base(opts.base_seed, &game, solver_spec);
+            for k in 0..opts.runs {
+                if let Some(failure) = check_run(
+                    &game,
+                    &truth,
+                    solver_spec,
+                    solver.as_ref(),
+                    base.wrapping_add(k as u64),
+                    opts.corrupt,
+                    &mut counters,
+                ) {
+                    return Ok(DiffOutcome {
+                        counters,
+                        failure: Some(failure),
+                    });
+                }
+            }
+        }
+    }
+    Ok(DiffOutcome {
+        counters,
+        failure: None,
+    })
+}
+
+/// Replays a (counterexample) jobs file: re-runs every job's seeds and
+/// certificate-checks each claimed hit, plus the oracle cross-check on
+/// every game small enough to enumerate. Used to reproduce nightly
+/// artifacts locally.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] if a job's game or solver cannot be built.
+pub fn replay(spec: &BatchSpec, corrupt: bool) -> Result<DiffOutcome, SpecError> {
+    let mut counters = DiffCounters::default();
+    for job in &spec.jobs {
+        let game = job.game.build()?;
+        counters.points += 1;
+        let truth = match check_oracles(&game, &mut counters) {
+            Ok(truth) => truth,
+            Err(failure) => {
+                return Ok(DiffOutcome {
+                    counters,
+                    failure: Some(failure),
+                })
+            }
+        };
+        let solver = build_solver(&job.solver, &game, corrupt)?;
+        for k in 0..job.runs {
+            if let Some(failure) = check_run(
+                &game,
+                &truth,
+                &job.solver,
+                solver.as_ref(),
+                job.base_seed.wrapping_add(k as u64),
+                corrupt,
+                &mut counters,
+            ) {
+                return Ok(DiffOutcome {
+                    counters,
+                    failure: Some(failure),
+                });
+            }
+        }
+    }
+    Ok(DiffOutcome {
+        counters,
+        failure: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dominance_point(size: usize) -> GameSpec {
+        GameSpec::Family {
+            family: "dominance_solvable".into(),
+            size,
+            scale: None,
+            knob: None,
+            seed: 3,
+        }
+    }
+
+    fn ideal_solver(iterations: usize) -> SolverSpec {
+        SolverSpec::CNash {
+            config: ConfigSpec::ideal(12).with_iterations(iterations),
+            hardware_seed: 1,
+        }
+    }
+
+    #[test]
+    fn honest_solvers_verify_on_a_known_target() {
+        let opts = DiffOptions {
+            quick: true,
+            base_seed: 0,
+            runs: 3,
+            corrupt: false,
+        };
+        let outcome = run_grid(&[dominance_point(2)], &[ideal_solver(800)], &opts).unwrap();
+        assert!(outcome.failure.is_none(), "{:?}", outcome.failure);
+        let c = outcome.counters;
+        assert_eq!(c.points, 1);
+        assert_eq!(c.solver_runs, 3);
+        assert_eq!(c.claimed_hits + c.missed_runs, 3);
+        assert!(
+            c.claimed_hits > 0,
+            "dominance-solvable 2x2 must be hit within 3 runs"
+        );
+        // Dominance-solvable truth is a single pure profile: every
+        // verified hit matched it, nothing can be unlisted.
+        assert_eq!(c.verified_hits, c.claimed_hits);
+        assert_eq!(c.unlisted_valid_hits, 0);
+        assert_eq!(c.oracle_equilibria, 1);
+    }
+
+    #[test]
+    fn corrupt_hook_is_caught_minimized_and_replayable() {
+        let opts = DiffOptions {
+            quick: true,
+            base_seed: 0,
+            runs: 6,
+            corrupt: true,
+        };
+        let outcome = run_grid(&[dominance_point(3)], &[ideal_solver(1200)], &opts).unwrap();
+        let failure = outcome.failure.expect("the lying solver must be caught");
+        assert_eq!(failure.class, FailureClass::FalseEquilibrium);
+        assert!(failure.detail.contains("regrets"), "{}", failure.detail);
+
+        // The counterexample is a self-contained, minimized jobs file.
+        let jobs = &failure.counterexample;
+        assert_eq!(jobs.jobs.len(), 1);
+        assert_eq!(jobs.jobs[0].runs, 1);
+        let min_game = jobs.jobs[0].game.build().unwrap();
+        assert!(
+            min_game.row_actions() + min_game.col_actions() < 6,
+            "minimization must shrink the 3x3 game, got {}x{}",
+            min_game.row_actions(),
+            min_game.col_actions()
+        );
+
+        // Round-trip through the serialized jobs file, then replay:
+        // corrupt replay reproduces the failure, honest replay is clean.
+        let text = jobs.to_json().pretty();
+        let parsed = BatchSpec::from_json(&text).unwrap();
+        let again = replay(&parsed, true).unwrap();
+        let refailure = again.failure.expect("replay must reproduce");
+        assert_eq!(refailure.class, FailureClass::FalseEquilibrium);
+        let honest = replay(&parsed, false).unwrap();
+        assert!(honest.failure.is_none(), "{:?}", honest.failure);
+    }
+
+    #[test]
+    fn summary_json_reports_failure_class() {
+        let clean = DiffOutcome {
+            counters: DiffCounters {
+                points: 2,
+                solver_runs: 6,
+                ..DiffCounters::default()
+            },
+            failure: None,
+        };
+        let doc = summary_json(&clean);
+        assert!(doc.get("ok").unwrap().as_bool().unwrap());
+        assert_eq!(doc.get("points").unwrap().as_usize().unwrap(), 2);
+
+        let failed = DiffOutcome {
+            counters: DiffCounters::default(),
+            failure: Some(Failure {
+                class: FailureClass::OracleDisagreement,
+                detail: "boom".into(),
+                counterexample: counterexample(
+                    &cnash_game::games::matching_pennies(),
+                    &oracle_placeholder_solver(),
+                    0,
+                    "x".into(),
+                ),
+            }),
+        };
+        let doc = summary_json(&failed);
+        assert!(!doc.get("ok").unwrap().as_bool().unwrap());
+        assert_eq!(
+            doc.get("failure_class").unwrap().as_str().unwrap(),
+            "oracle_disagreement"
+        );
+    }
+
+    #[test]
+    fn worst_response_has_positive_regret_on_nontrivial_games() {
+        let g = cnash_game::games::battle_of_the_sexes();
+        let q = MixedStrategy::pure(2, 0).unwrap();
+        let lie = worst_response(&g, &q);
+        let cert = Certificate::build(&g, lie, q, CLAIM_TOL).unwrap();
+        assert!(!cert.is_valid());
+    }
+}

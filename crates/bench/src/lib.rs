@@ -15,6 +15,7 @@
 //! `EXPERIMENTS.md` at the repository root.
 
 pub mod client;
+pub mod diffcheck;
 
 use cnash_core::baselines::DWaveNashSolver;
 use cnash_core::{CNashConfig, CNashSolver, GameReport, NashSolver};
@@ -89,6 +90,11 @@ const FLAGS: &[FlagSpec] = &[
         value: None,
         help: "await each response before sending the next request",
     },
+    FlagSpec {
+        name: "--corrupt",
+        value: None,
+        help: "test hook: corrupt solver answers to exercise the diffcheck failure path",
+    },
 ];
 
 /// Parsed command-line options of a reproduction binary.
@@ -116,6 +122,8 @@ pub struct Cli {
     pub golden: bool,
     /// Await each service response before sending the next request.
     pub serial: bool,
+    /// Corrupt solver answers (diffcheck failure-path test hook).
+    pub corrupt: bool,
 }
 
 impl Cli {
@@ -203,6 +211,7 @@ impl Cli {
                 "--quick" => cli.quick = true,
                 "--golden" => cli.golden = true,
                 "--serial" => cli.serial = true,
+                "--corrupt" => cli.corrupt = true,
                 "--jobs-file" => cli.jobs_file = Some(value.expect("has value").to_string()),
                 "--out" => cli.out = Some(value.expect("has value").to_string()),
                 "--addr" => cli.addr = Some(value.expect("has value").to_string()),
@@ -328,6 +337,7 @@ mod tests {
             "reqs.jsonl",
             "--golden",
             "--serial",
+            "--corrupt",
         ]))
         .unwrap();
         assert_eq!(
@@ -344,6 +354,7 @@ mod tests {
                 requests: Some("reqs.jsonl".into()),
                 golden: true,
                 serial: true,
+                corrupt: true,
             }
         );
     }

@@ -1,0 +1,626 @@
+//! GAMUT-style structured game-family generators.
+//!
+//! The paper's evaluation exercises a handful of named games plus
+//! uniform random integer games ([`crate::generators`]). Differential
+//! testing of the hardware solvers needs *structurally diverse*
+//! instances — games whose equilibrium landscapes stress different
+//! solver behaviours — so this module adds six seeded families in the
+//! spirit of the GAMUT benchmark generator suite:
+//!
+//! | family               | structure                               | stresses |
+//! |----------------------|-----------------------------------------|----------|
+//! | `congestion`         | resource-choice potential game          | collision avoidance, several pure NE |
+//! | `dominance_solvable` | strict-dominance chain, unique pure NE  | convergence to a known target |
+//! | `covariant`          | payoff correlation ρ ∈ [−1, 1]          | common-interest ↔ zero-sum spectrum |
+//! | `sparse`             | mostly-zero payoffs                     | plateaus, weak gradients |
+//! | `degenerate`         | tied payoff levels + duplicated actions | equilibrium continua, oracle corner cases |
+//! | `anti_coordination`  | hawk–dove grid (collisions punished)    | asymmetric pure NE + interior mixed NE |
+//!
+//! Every generator emits **non-negative integer payoffs**, so each
+//! instance is exactly representable on the C-Nash crossbar's unary
+//! cell mapping and buildable as an S-QUBO, and every generator is a
+//! pure function of its parameters and seed — the same `(family, size,
+//! scale, knob, seed)` tuple always builds the same game, which is what
+//! lets jobs files, the solver service and the differential-fuzz
+//! harness name instances over the wire without shipping payoff
+//! matrices (see `cnash_runtime::spec::GameSpec::Family`).
+//!
+//! The [`Family`] enum is the registry the wire form and the fuzz grid
+//! iterate over; the per-family free functions are the underlying
+//! constructors with their parameters spelled out.
+
+use crate::bimatrix::BimatrixGame;
+use crate::error::GameError;
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The structured game families, in registry order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Resource-choice congestion (exact potential) games.
+    Congestion,
+    /// Iterated-strict-dominance chains with a unique pure equilibrium.
+    DominanceSolvable,
+    /// Covariant-payoff games with tunable correlation ρ.
+    Covariant,
+    /// Sparse payoff games (most entries zero).
+    Sparse,
+    /// Degenerate many-equilibria games (tied levels, duplicate actions).
+    Degenerate,
+    /// Anti-coordination / hawk–dove grids.
+    AntiCoordination,
+}
+
+impl Family {
+    /// Every family, in registry order (the order fuzz grids sweep).
+    pub const ALL: [Family; 6] = [
+        Family::Congestion,
+        Family::DominanceSolvable,
+        Family::Covariant,
+        Family::Sparse,
+        Family::Degenerate,
+        Family::AntiCoordination,
+    ];
+
+    /// The family's wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Congestion => "congestion",
+            Family::DominanceSolvable => "dominance_solvable",
+            Family::Covariant => "covariant",
+            Family::Sparse => "sparse",
+            Family::Degenerate => "degenerate",
+            Family::AntiCoordination => "anti_coordination",
+        }
+    }
+
+    /// Resolves a wire name.
+    pub fn from_name(name: &str) -> Option<Family> {
+        Family::ALL.into_iter().find(|f| f.name() == name)
+    }
+
+    /// Default payoff scale (largest payoff magnitude). Kept small on
+    /// purpose: the crossbar's unary mapping spends `max payoff` cells
+    /// per element, so the scale bounds hardware size.
+    pub fn default_scale(self) -> u32 {
+        match self {
+            Family::DominanceSolvable => 3,
+            Family::Degenerate => 4,
+            _ => 6,
+        }
+    }
+
+    /// Default family knob (see [`Family::knob_meaning`]).
+    pub fn default_knob(self) -> i64 {
+        match self {
+            Family::Congestion => 6,        // max collision delay
+            Family::DominanceSolvable => 1, // dominance gap
+            Family::Covariant => 50,        // ρ = +0.5
+            Family::Sparse => 30,           // 30 % fill density
+            Family::Degenerate => 2,        // two payoff levels
+            Family::AntiCoordination => 1,  // collision payoff cap
+        }
+    }
+
+    /// What the family-specific `knob` parameter means.
+    pub fn knob_meaning(self) -> &'static str {
+        match self {
+            Family::Congestion => "max collision delay (0..=u32::MAX)",
+            Family::DominanceSolvable => "dominance gap (1..=1_000_000)",
+            Family::Covariant => "payoff correlation in percent (-100..=100)",
+            Family::Sparse => "fill density in percent (1..=100)",
+            Family::Degenerate => "distinct payoff levels (1..=scale+1)",
+            Family::AntiCoordination => "collision payoff cap (0..scale)",
+        }
+    }
+
+    /// Builds the `size × size` instance of this family.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::EmptyActionSet`] if `size == 0` and
+    /// [`GameError::InvalidParameter`] if `scale == 0` or `knob` is
+    /// outside the family's range ([`Family::knob_meaning`]).
+    pub fn build(
+        self,
+        size: usize,
+        scale: u32,
+        knob: i64,
+        seed: u64,
+    ) -> Result<BimatrixGame, GameError> {
+        match self {
+            Family::Congestion => congestion_game(size, scale, knob, seed),
+            Family::DominanceSolvable => dominance_solvable_game(size, scale, knob, seed),
+            Family::Covariant => covariant_game(size, scale, knob, seed),
+            Family::Sparse => sparse_game(size, scale, knob, seed),
+            Family::Degenerate => degenerate_game(size, scale, knob, seed),
+            Family::AntiCoordination => anti_coordination_game(size, scale, knob, seed),
+        }
+    }
+}
+
+/// Upper bound on a family's payoff scale. The crossbar's unary
+/// mapping spends `max payoff` cells per element, so scales anywhere
+/// near this are already absurd in hardware terms; bounding here also
+/// keeps every internal payoff computation (`scale + gap` bonuses,
+/// level interpolation) comfortably inside exact-integer arithmetic
+/// for wire-supplied parameters.
+pub const MAX_SCALE: u32 = 1_000_000;
+
+fn validate(size: usize, scale: u32) -> Result<(), GameError> {
+    if size == 0 {
+        return Err(GameError::EmptyActionSet);
+    }
+    if scale == 0 {
+        return Err(GameError::InvalidParameter("scale must be positive".into()));
+    }
+    if scale > MAX_SCALE {
+        return Err(GameError::InvalidParameter(format!(
+            "scale {scale} exceeds MAX_SCALE ({MAX_SCALE})"
+        )));
+    }
+    Ok(())
+}
+
+fn knob_err<T>(family: Family, knob: i64) -> Result<T, GameError> {
+    Err(GameError::InvalidParameter(format!(
+        "{} knob {knob} out of range: {}",
+        family.name(),
+        family.knob_meaning()
+    )))
+}
+
+fn game_from_rows(
+    family: Family,
+    size: usize,
+    seed: u64,
+    m: Vec<Vec<f64>>,
+    b: Vec<Vec<f64>>,
+) -> Result<BimatrixGame, GameError> {
+    BimatrixGame::new(
+        format!("{}-{size}x{size}-seed{seed}", family.name()),
+        Matrix::from_rows(&m)?,
+        Matrix::from_rows(&b)?,
+    )
+}
+
+/// A two-player resource-choice **congestion game**: each action picks
+/// one of `size` resources with a seeded integer benefit; choosing the
+/// same resource as the opponent costs a per-resource collision delay.
+/// This is an exact potential game — a player's payoff depends only on
+/// their own resource and whether it collided — so pure equilibria
+/// exist and mostly avoid collisions.
+///
+/// `knob` caps the collision delay (delays are drawn in
+/// `0..=min(knob, benefit)` so payoffs stay non-negative).
+///
+/// # Errors
+///
+/// See [`Family::build`].
+pub fn congestion_game(
+    size: usize,
+    scale: u32,
+    knob: i64,
+    seed: u64,
+) -> Result<BimatrixGame, GameError> {
+    validate(size, scale)?;
+    if !(0..=u32::MAX as i64).contains(&knob) {
+        return knob_err(Family::Congestion, knob);
+    }
+    let max_delay = knob as u32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let benefit: Vec<u32> = (0..size).map(|_| rng.random_range(1..=scale)).collect();
+    let delay: Vec<u32> = benefit
+        .iter()
+        .map(|&b| rng.random_range(0..=b.min(max_delay)))
+        .collect();
+    let payoff = |own: usize, other: usize| -> f64 {
+        let collided = if own == other { delay[own] } else { 0 };
+        (benefit[own] - collided) as f64
+    };
+    let m = (0..size)
+        .map(|i| (0..size).map(|j| payoff(i, j)).collect())
+        .collect();
+    let b = (0..size)
+        .map(|i| (0..size).map(|j| payoff(j, i)).collect())
+        .collect();
+    game_from_rows(Family::Congestion, size, seed, m, b)
+}
+
+/// An iterated-strict-dominance chain: random noise in `0..=scale` plus
+/// a per-action bonus that makes action `i` strictly dominate action
+/// `i + 1` for both players, whatever the opponent does. The unique
+/// Nash equilibrium is the pure profile `(0, 0)` — a known target the
+/// differential harness can assert solvers converge toward.
+///
+/// `knob` is the dominance gap: consecutive actions differ by at least
+/// `gap` in payoff for every opponent action.
+///
+/// # Errors
+///
+/// See [`Family::build`].
+pub fn dominance_solvable_game(
+    size: usize,
+    scale: u32,
+    knob: i64,
+    seed: u64,
+) -> Result<BimatrixGame, GameError> {
+    validate(size, scale)?;
+    if !(1..=1_000_000).contains(&knob) {
+        return knob_err(Family::DominanceSolvable, knob);
+    }
+    let gap = knob as u32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Noise spans 0..=scale; a bonus step of scale + gap therefore
+    // guarantees strict dominance with margin >= gap. Computed in f64
+    // (exact for integers far beyond MAX_SCALE-bounded inputs) so no
+    // intermediate fixed-width product can wrap.
+    let step = (scale + gap) as f64;
+    let bonus = |k: usize| (size - 1 - k) as f64 * step;
+    let mut draw = |own_bonus: f64| -> f64 { own_bonus + rng.random_range(0..=scale) as f64 };
+    let m = (0..size)
+        .map(|i| (0..size).map(|_| draw(bonus(i))).collect())
+        .collect();
+    let b = (0..size)
+        .map(|i| {
+            let _ = i;
+            (0..size).map(|j| draw(bonus(j))).collect()
+        })
+        .collect();
+    game_from_rows(Family::DominanceSolvable, size, seed, m, b)
+}
+
+/// A **covariant-payoff game**: each cell's two payoffs are correlated
+/// with tunable ρ. At `knob = 100` (ρ = 1) the players share one payoff
+/// function (pure coordination); at `knob = −100` (ρ = −1) payoffs sum
+/// to `scale` in every cell (an affine zero-sum game); in between, each
+/// cell is correlated with probability `|ρ|` and independent otherwise
+/// — the GAMUT covariant-game spectrum, discretised to integers.
+///
+/// # Errors
+///
+/// See [`Family::build`].
+pub fn covariant_game(
+    size: usize,
+    scale: u32,
+    knob: i64,
+    seed: u64,
+) -> Result<BimatrixGame, GameError> {
+    validate(size, scale)?;
+    if !(-100..=100).contains(&knob) {
+        return knob_err(Family::Covariant, knob);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = vec![vec![0.0; size]; size];
+    let mut b = vec![vec![0.0; size]; size];
+    for (row_m, row_b) in m.iter_mut().zip(b.iter_mut()) {
+        for (cell_m, cell_b) in row_m.iter_mut().zip(row_b.iter_mut()) {
+            let a = rng.random_range(0..=scale);
+            let correlated = (rng.random_range(0..100u32) as i64) < knob.abs();
+            let other = if correlated {
+                if knob >= 0 {
+                    a
+                } else {
+                    scale - a
+                }
+            } else {
+                rng.random_range(0..=scale)
+            };
+            *cell_m = a as f64;
+            *cell_b = other as f64;
+        }
+    }
+    game_from_rows(Family::Covariant, size, seed, m, b)
+}
+
+/// A **sparse payoff game**: each payoff entry is zero except with
+/// `knob` percent probability, in which case it is uniform in
+/// `1..=scale`. Sparse games have flat plateaus (weak SA gradients) and
+/// — at low densities — equilibrium continua, stressing both the
+/// annealers and the oracles.
+///
+/// # Errors
+///
+/// See [`Family::build`].
+pub fn sparse_game(
+    size: usize,
+    scale: u32,
+    knob: i64,
+    seed: u64,
+) -> Result<BimatrixGame, GameError> {
+    validate(size, scale)?;
+    if !(1..=100).contains(&knob) {
+        return knob_err(Family::Sparse, knob);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut draw = |_: usize| -> f64 {
+        let filled = (rng.random_range(0..100u32) as i64) < knob;
+        if filled {
+            rng.random_range(1..=scale) as f64
+        } else {
+            0.0
+        }
+    };
+    let m = (0..size)
+        .map(|_| (0..size).map(&mut draw).collect())
+        .collect();
+    let b = (0..size)
+        .map(|_| (0..size).map(&mut draw).collect())
+        .collect();
+    game_from_rows(Family::Sparse, size, seed, m, b)
+}
+
+/// A deliberately **degenerate** game: payoffs are drawn from only
+/// `knob` distinct levels (spread over `0..=scale`), and for
+/// `size >= 2` one row strategy and one column strategy are exact
+/// duplicates of another in *both* payoff matrices. Tied best responses
+/// and duplicate actions produce equilibrium continua — the corner
+/// cases where naive oracles and solvers disagree first.
+///
+/// # Errors
+///
+/// See [`Family::build`].
+pub fn degenerate_game(
+    size: usize,
+    scale: u32,
+    knob: i64,
+    seed: u64,
+) -> Result<BimatrixGame, GameError> {
+    validate(size, scale)?;
+    if !(1..=scale as i64 + 1).contains(&knob) {
+        return knob_err(Family::Degenerate, knob);
+    }
+    let levels = knob as u32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut draw = |_: usize| -> f64 {
+        let idx = rng.random_range(0..levels);
+        if levels == 1 {
+            scale as f64
+        } else {
+            // u64 keeps idx * scale exact for MAX_SCALE-bounded inputs
+            // (a u32 product would wrap near levels == scale + 1).
+            (idx as u64 * scale as u64 / (levels as u64 - 1)) as f64
+        }
+    };
+    let mut m: Vec<Vec<f64>> = (0..size)
+        .map(|_| (0..size).map(&mut draw).collect())
+        .collect();
+    let mut b: Vec<Vec<f64>> = (0..size)
+        .map(|_| (0..size).map(&mut draw).collect())
+        .collect();
+    if size >= 2 {
+        // Duplicate a row strategy and a column strategy in both
+        // matrices: the duplicated actions are strategically identical.
+        let r_src = rng.random_range(0..size as u32) as usize;
+        let r_dst = (r_src + 1 + rng.random_range(0..size as u32 - 1) as usize) % size;
+        m[r_dst] = m[r_src].clone();
+        b[r_dst] = b[r_src].clone();
+        let c_src = rng.random_range(0..size as u32) as usize;
+        let c_dst = (c_src + 1 + rng.random_range(0..size as u32 - 1) as usize) % size;
+        for row in m.iter_mut().chain(b.iter_mut()) {
+            row[c_dst] = row[c_src];
+        }
+    }
+    game_from_rows(Family::Degenerate, size, seed, m, b)
+}
+
+/// An **anti-coordination / hawk–dove grid**: colliding on the same
+/// action pays at most `knob` (the crash payoff cap), while
+/// mis-coordinating pays in `knob+1..=scale` — the opposite incentive
+/// structure of a coordination game. At `size = 2` this is the classic
+/// hawk–dove/chicken shape: both off-diagonal pure profiles are
+/// equilibria and an interior mixed equilibrium exists between them.
+///
+/// # Errors
+///
+/// See [`Family::build`]. `knob` must satisfy `0 <= knob < scale`.
+pub fn anti_coordination_game(
+    size: usize,
+    scale: u32,
+    knob: i64,
+    seed: u64,
+) -> Result<BimatrixGame, GameError> {
+    validate(size, scale)?;
+    if !(0..scale as i64).contains(&knob) {
+        return knob_err(Family::AntiCoordination, knob);
+    }
+    let crash = knob as u32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut draw = |i: usize, j: usize| -> f64 {
+        if i == j {
+            rng.random_range(0..=crash) as f64
+        } else {
+            rng.random_range(crash + 1..=scale) as f64
+        }
+    };
+    let m = (0..size)
+        .map(|i| (0..size).map(|j| draw(i, j)).collect())
+        .collect();
+    let b = (0..size)
+        .map(|i| (0..size).map(|j| draw(i, j)).collect())
+        .collect();
+    game_from_rows(Family::AntiCoordination, size, seed, m, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::support_enum::enumerate_equilibria;
+
+    fn default_build(f: Family, size: usize, seed: u64) -> BimatrixGame {
+        f.build(size, f.default_scale(), f.default_knob(), seed)
+            .unwrap()
+    }
+
+    #[test]
+    fn registry_names_round_trip() {
+        for f in Family::ALL {
+            assert_eq!(Family::from_name(f.name()), Some(f));
+        }
+        assert_eq!(Family::from_name("no_such_family"), None);
+    }
+
+    #[test]
+    fn every_family_is_deterministic_integer_and_named() {
+        for f in Family::ALL {
+            for seed in [0, 7] {
+                let a = default_build(f, 3, seed);
+                let b = default_build(f, 3, seed);
+                assert_eq!(a.row_payoffs(), b.row_payoffs(), "{}", f.name());
+                assert_eq!(a.col_payoffs(), b.col_payoffs(), "{}", f.name());
+                assert!(a.row_payoffs().is_nonneg_integer(1e-9), "{}", f.name());
+                assert!(a.col_payoffs().is_nonneg_integer(1e-9), "{}", f.name());
+                assert!(a.name().contains(f.name()));
+                assert_eq!((a.row_actions(), a.col_actions()), (3, 3));
+            }
+            let a = default_build(f, 4, 1);
+            let b = default_build(f, 4, 2);
+            assert_ne!(
+                a.row_payoffs(),
+                b.row_payoffs(),
+                "{}: seeds must differ",
+                f.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_family_has_equilibria_at_small_sizes() {
+        for f in Family::ALL {
+            for size in [2, 3] {
+                for seed in 0..4 {
+                    let g = default_build(f, size, seed);
+                    assert!(
+                        !enumerate_equilibria(&g, 1e-9).is_empty(),
+                        "{} size {size} seed {seed} has no equilibria",
+                        f.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn congestion_payoff_ignores_opponent_unless_colliding() {
+        let g = congestion_game(4, 6, 6, 11).unwrap();
+        let m = g.row_payoffs();
+        for i in 0..4 {
+            let free: Vec<f64> = (0..4).filter(|&j| j != i).map(|j| m[(i, j)]).collect();
+            assert!(
+                free.iter().all(|&v| v == free[0]),
+                "row payoff must only depend on own resource off-collision"
+            );
+            assert!(m[(i, i)] <= free[0], "collision can only cost");
+        }
+    }
+
+    #[test]
+    fn dominance_solvable_has_unique_equilibrium_at_origin() {
+        for seed in 0..6 {
+            let g = dominance_solvable_game(4, 3, 1, seed).unwrap();
+            // Strict dominance: row i beats row i+1 everywhere.
+            let m = g.row_payoffs();
+            for i in 0..3 {
+                for j in 0..4 {
+                    assert!(m[(i, j)] > m[(i + 1, j)], "seed {seed}: not a chain");
+                }
+            }
+            let eqs = enumerate_equilibria(&g, 1e-9);
+            assert_eq!(eqs.len(), 1, "seed {seed}");
+            assert_eq!(eqs[0].row.pure_action(1e-9), Some(0));
+            assert_eq!(eqs[0].col.pure_action(1e-9), Some(0));
+        }
+    }
+
+    #[test]
+    fn covariant_extremes_are_coordination_and_constant_sum() {
+        let common = covariant_game(4, 6, 100, 3).unwrap();
+        assert_eq!(common.row_payoffs(), common.col_payoffs());
+        let opposed = covariant_game(4, 6, -100, 3).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(
+                    opposed.row_payoffs()[(i, j)] + opposed.col_payoffs()[(i, j)],
+                    6.0,
+                    "rho=-1 must be constant-sum"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_density_controls_fill() {
+        let dense = sparse_game(5, 6, 100, 9).unwrap();
+        assert!(dense.row_payoffs().min() >= 1.0, "100% density: no zeros");
+        let sparse = sparse_game(5, 6, 10, 9).unwrap();
+        let zeros = sparse
+            .row_payoffs()
+            .as_slice()
+            .iter()
+            .chain(sparse.col_payoffs().as_slice())
+            .filter(|&&v| v == 0.0)
+            .count();
+        assert!(zeros > 25, "10% density should leave most cells empty");
+    }
+
+    #[test]
+    fn degenerate_duplicates_a_row_and_a_column_strategy() {
+        for seed in 0..6 {
+            let g = degenerate_game(4, 4, 2, seed).unwrap();
+            let (m, b) = (g.row_payoffs(), g.col_payoffs());
+            let dup_row = (0..4).any(|i| {
+                (i + 1..4).any(|k| (0..4).all(|j| m[(i, j)] == m[(k, j)] && b[(i, j)] == b[(k, j)]))
+            });
+            let dup_col = (0..4).any(|j| {
+                (j + 1..4).any(|k| (0..4).all(|i| m[(i, j)] == m[(i, k)] && b[(i, j)] == b[(i, k)]))
+            });
+            assert!(dup_row && dup_col, "seed {seed}: no duplicated strategies");
+        }
+    }
+
+    #[test]
+    fn anti_coordination_2x2_has_both_off_diagonal_equilibria() {
+        for seed in 0..6 {
+            let g = anti_coordination_game(2, 6, 1, seed).unwrap();
+            let pure = g.pure_equilibria(1e-9);
+            assert!(pure.contains(&(0, 1)), "seed {seed}: {pure:?}");
+            assert!(pure.contains(&(1, 0)), "seed {seed}: {pure:?}");
+            assert!(!pure.contains(&(0, 0)) && !pure.contains(&(1, 1)));
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_parameters() {
+        assert!(congestion_game(0, 6, 6, 0).is_err());
+        assert!(congestion_game(3, 0, 6, 0).is_err());
+        // Wire-reachable scales above MAX_SCALE are rejected before any
+        // arithmetic can wrap (dominance bonuses, degenerate levels).
+        for f in Family::ALL {
+            assert!(
+                f.build(3, MAX_SCALE + 1, f.default_knob(), 0).is_err(),
+                "{}: oversized scale accepted",
+                f.name()
+            );
+        }
+        assert!(dominance_solvable_game(3, u32::MAX, 1, 0).is_err());
+        assert!(degenerate_game(3, u32::MAX, u32::MAX as i64, 0).is_err());
+        assert!(congestion_game(3, 6, -1, 0).is_err());
+        assert!(dominance_solvable_game(3, 3, 0, 0).is_err());
+        assert!(covariant_game(3, 6, 101, 0).is_err());
+        assert!(covariant_game(3, 6, -101, 0).is_err());
+        assert!(sparse_game(3, 6, 0, 0).is_err());
+        assert!(sparse_game(3, 6, 101, 0).is_err());
+        assert!(degenerate_game(3, 4, 0, 0).is_err());
+        assert!(degenerate_game(3, 4, 6, 0).is_err());
+        assert!(anti_coordination_game(3, 6, 6, 0).is_err());
+        assert!(anti_coordination_game(3, 6, -1, 0).is_err());
+    }
+
+    #[test]
+    fn enum_build_matches_direct_constructors() {
+        let direct = covariant_game(3, 6, -40, 5).unwrap();
+        let via_enum = Family::Covariant.build(3, 6, -40, 5).unwrap();
+        assert_eq!(direct, via_enum);
+    }
+}

@@ -17,7 +17,10 @@
 //!   cross-check the enumeration,
 //! * [`games`] — named benchmark instances, including the three games of the
 //!   paper's evaluation section,
-//! * [`generators`] — seeded random game generators for scaling studies.
+//! * [`generators`] — seeded random game generators for scaling studies,
+//! * [`families`] — GAMUT-style structured game families (congestion,
+//!   dominance-solvable, covariant, sparse, degenerate,
+//!   anti-coordination) for differential testing at scale.
 //!
 //! # Example
 //!
@@ -40,6 +43,7 @@ pub mod bimatrix;
 pub mod canonical;
 pub mod equilibrium;
 pub mod error;
+pub mod families;
 pub mod fictitious_play;
 pub mod games;
 pub mod generators;

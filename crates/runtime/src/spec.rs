@@ -30,6 +30,7 @@ use crate::portfolio::{PortfolioJob, PortfolioStop};
 use cnash_core::baselines::DWaveNashSolver;
 use cnash_core::{CNashConfig, CNashSolver, IdealSolver, NashSolver};
 use cnash_device::corners::ProcessCorner;
+use cnash_game::families::Family;
 use cnash_game::games;
 use cnash_game::generators;
 use cnash_game::library;
@@ -153,6 +154,28 @@ pub enum GameSpec {
         /// Generator seed.
         seed: u64,
     },
+    /// A structured game-family instance
+    /// (`cnash_game::families::Family`) — the GAMUT-style generators
+    /// the differential-fuzz harness sweeps. Like [`GameSpec::Random`],
+    /// the same `(family, size, scale, knob, seed)` tuple always builds
+    /// the same game, so family instances are first-class citizens of
+    /// jobs files, the service protocol and the instance cache (keys
+    /// are canonical payoff fingerprints, so a family instance and the
+    /// equivalent explicit matrices share a cache line).
+    Family {
+        /// Family wire name (`congestion`, `dominance_solvable`,
+        /// `covariant`, `sparse`, `degenerate`, `anti_coordination`).
+        family: String,
+        /// Actions per player (families are square).
+        size: usize,
+        /// Payoff scale (`None` = family default).
+        scale: Option<u32>,
+        /// Family-specific knob, e.g. correlation ρ percent for
+        /// `covariant` (`None` = family default).
+        knob: Option<i64>,
+        /// Generator seed.
+        seed: u64,
+    },
 }
 
 impl GameSpec {
@@ -214,6 +237,32 @@ impl GameSpec {
                     }
                 })
             }
+            GameSpec::Family {
+                family,
+                size,
+                scale,
+                knob,
+                seed,
+            } => {
+                let fam = Family::from_name(family)
+                    .ok_or(())
+                    .or_else(|()| spec_err(format!("unknown game family `{family}`")))?;
+                // Same wire-facing allocation bound as Random specs.
+                if size.checked_mul(*size).is_none_or(|c| c > MAX_RANDOM_CELLS) {
+                    return spec_err(format!(
+                        "family game: {size}x{size} exceeds the {MAX_RANDOM_CELLS}-cell limit"
+                    ));
+                }
+                fam.build(
+                    *size,
+                    scale.unwrap_or_else(|| fam.default_scale()),
+                    knob.unwrap_or_else(|| fam.default_knob()),
+                    *seed,
+                )
+                .map_err(|e| SpecError {
+                    message: format!("family game `{family}`: {e}"),
+                })
+            }
         }
     }
 
@@ -253,6 +302,26 @@ impl GameSpec {
                     ("seed", seed_to_json(*seed)),
                 ]),
             )]),
+            GameSpec::Family {
+                family,
+                size,
+                scale,
+                knob,
+                seed,
+            } => {
+                let mut obj = vec![
+                    ("name".to_string(), Json::str(family.clone())),
+                    ("size".to_string(), Json::num(*size as f64)),
+                ];
+                if let Some(s) = scale {
+                    obj.push(("scale".into(), Json::num(*s)));
+                }
+                if let Some(k) = knob {
+                    obj.push(("knob".into(), Json::num(*k as f64)));
+                }
+                obj.push(("seed".into(), seed_to_json(*seed)));
+                Json::obj([("family", Json::Obj(obj.into_iter().collect()))])
+            }
         }
     }
 
@@ -264,6 +333,45 @@ impl GameSpec {
     pub fn from_json(json: &Json) -> Result<GameSpec, SpecError> {
         if let Some(builtin) = json.opt("builtin") {
             return Ok(GameSpec::Builtin(builtin.as_str()?.to_string()));
+        }
+        if let Some(family) = json.opt("family") {
+            let scale = match family.opt("scale") {
+                None => None,
+                Some(v) => {
+                    let s = v.as_usize()?;
+                    if s > u32::MAX as usize {
+                        return spec_err(format!("family game: scale {s} exceeds {}", u32::MAX));
+                    }
+                    Some(s as u32)
+                }
+            };
+            let knob = match family.opt("knob") {
+                None => None,
+                Some(v) => {
+                    let raw = v.as_f64()?;
+                    if raw.fract() != 0.0 {
+                        return spec_err(format!("family game: knob {raw} is not an integer"));
+                    }
+                    // `i64::MAX as f64` rounds up to exactly 2^63, so
+                    // `>=` (not `>`) is what excludes the values whose
+                    // `as i64` cast would saturate.
+                    if raw >= i64::MAX as f64 || raw < i64::MIN as f64 {
+                        return spec_err(format!("family game: knob {raw} is out of range"));
+                    }
+                    Some(raw as i64)
+                }
+            };
+            return Ok(GameSpec::Family {
+                family: family.get("name")?.as_str()?.to_string(),
+                size: family.get("size")?.as_usize()?,
+                scale,
+                knob,
+                seed: family
+                    .opt("seed")
+                    .map(seed_from_json)
+                    .transpose()?
+                    .unwrap_or(0),
+            });
         }
         if let Some(random) = json.opt("random") {
             let max_payoff = random.get("max_payoff")?.as_usize()?;
@@ -818,6 +926,100 @@ mod tests {
         .is_err());
         let oversized = r#"{"random": {"rows": 2, "cols": 2, "max_payoff": 4294967299}}"#;
         assert!(GameSpec::from_json(&Json::parse(oversized).unwrap()).is_err());
+    }
+
+    #[test]
+    fn family_spec_round_trips_and_builds_deterministically() {
+        use cnash_game::families::Family;
+        // Defaults elided on the wire round-trip as `None`.
+        let minimal = GameSpec::Family {
+            family: "covariant".into(),
+            size: 3,
+            scale: None,
+            knob: None,
+            seed: 9,
+        };
+        let again =
+            GameSpec::from_json(&Json::parse(&minimal.to_json().pretty()).unwrap()).unwrap();
+        assert_eq!(again, minimal);
+        assert_eq!(minimal.build().unwrap(), again.build().unwrap());
+
+        // Explicit scale and a negative knob survive the wire.
+        let full = GameSpec::Family {
+            family: "covariant".into(),
+            size: 4,
+            scale: Some(8),
+            knob: Some(-75),
+            seed: 2,
+        };
+        let text = full.to_json().pretty();
+        let again = GameSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(again, full);
+        let game = again.build().unwrap();
+        assert_eq!((game.row_actions(), game.col_actions()), (4, 4));
+        assert!(game.row_payoffs().is_nonneg_integer(1e-9));
+
+        // Every registry family is reachable by wire name.
+        for fam in Family::ALL {
+            let spec = GameSpec::Family {
+                family: fam.name().into(),
+                size: 2,
+                scale: None,
+                knob: None,
+                seed: 0,
+            };
+            assert!(spec.build().is_ok(), "{}", fam.name());
+        }
+
+        // Unknown names, oversized grids and bad knobs fail loudly.
+        assert!(GameSpec::Family {
+            family: "quantum_chess".into(),
+            size: 2,
+            scale: None,
+            knob: None,
+            seed: 0,
+        }
+        .build()
+        .is_err());
+        assert!(GameSpec::Family {
+            family: "sparse".into(),
+            size: 2048,
+            scale: None,
+            knob: None,
+            seed: 0,
+        }
+        .build()
+        .is_err());
+        assert!(GameSpec::Family {
+            family: "covariant".into(),
+            size: 3,
+            scale: Some(6),
+            knob: Some(250),
+            seed: 0,
+        }
+        .build()
+        .is_err());
+        let fractional = r#"{"family": {"name": "sparse", "size": 2, "knob": 0.5}}"#;
+        assert!(GameSpec::from_json(&Json::parse(fractional).unwrap()).is_err());
+        // Integral but out-of-i64-range knobs get a range error (not a
+        // bogus "not an integer"), and 2^63 exactly must not saturate.
+        for bad in [
+            r#"{"family": {"name": "sparse", "size": 2, "knob": 1e300}}"#,
+            r#"{"family": {"name": "sparse", "size": 2, "knob": 9223372036854775808}}"#,
+        ] {
+            let err = GameSpec::from_json(&Json::parse(bad).unwrap()).unwrap_err();
+            assert!(err.message.contains("out of range"), "{}", err.message);
+        }
+        // Oversized scales are rejected by the family itself.
+        assert!(GameSpec::Family {
+            family: "dominance_solvable".into(),
+            size: 3,
+            scale: Some(u32::MAX),
+            knob: None,
+            seed: 0,
+        }
+        .build()
+        .is_err());
     }
 
     #[test]

@@ -22,8 +22,24 @@ use proptest::prelude::*;
 // ---- strategies --------------------------------------------------------
 
 fn game_spec(which: u8, rows: usize, cols: usize, cells: &[f64], seed: u64) -> GameSpec {
-    match which % 3 {
+    match which % 4 {
         0 => GameSpec::Builtin("battle_of_the_sexes".into()),
+        3 => {
+            // `which % 4 == 3` fixes the low bits, so the sub-choices
+            // derive from `which / 4` (which does cover all residues):
+            // every registry family and all four scale/knob elision
+            // combinations round-trip over the proptest case budget.
+            let sel = which as usize / 4;
+            let fam = cnash_game::families::Family::ALL[sel % 6];
+            GameSpec::Family {
+                family: fam.name().into(),
+                size: rows.max(2),
+                scale: if sel.is_multiple_of(2) { None } else { Some(6) },
+                // Every registry family accepts knob = 1.
+                knob: if sel.is_multiple_of(3) { None } else { Some(1) },
+                seed,
+            }
+        }
         1 => {
             let payoff = |offset: usize| -> Vec<Vec<f64>> {
                 (0..rows)

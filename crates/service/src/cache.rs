@@ -398,6 +398,43 @@ mod tests {
     }
 
     #[test]
+    fn family_specs_share_cache_lines_with_explicit_payoffs() {
+        // A GameSpec::Family instance and the explicit capture of the
+        // game it builds are the same canonical instance: one
+        // programming pass serves both, and different seeds do not.
+        let cache = InstanceCache::new();
+        let family = GameSpec::Family {
+            family: "anti_coordination".into(),
+            size: 3,
+            scale: None,
+            knob: None,
+            seed: 4,
+        };
+        let explicit = GameSpec::from_game(&family.build().unwrap());
+        assert!(!cache.prepare(&family, &cnash_spec(500)).unwrap().cache_hit);
+        assert!(
+            cache
+                .prepare(&explicit, &cnash_spec(500))
+                .unwrap()
+                .cache_hit
+        );
+        let other_seed = GameSpec::Family {
+            family: "anti_coordination".into(),
+            size: 3,
+            scale: None,
+            knob: None,
+            seed: 5,
+        };
+        assert!(
+            !cache
+                .prepare(&other_seed, &cnash_spec(500))
+                .unwrap()
+                .cache_hit
+        );
+        assert_eq!(cache.stats().instances, 2);
+    }
+
+    #[test]
     fn dwave_instances_share_across_models_and_reads() {
         let cache = InstanceCache::new();
         let game = GameSpec::Builtin("prisoners_dilemma".into());

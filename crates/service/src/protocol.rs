@@ -14,7 +14,13 @@
 //! ```
 //!
 //! The `job` payload is exactly one entry of a `cnash-runtime` jobs
-//! file ([`JobSpec`]); `ground_truth` selects whether the service
+//! file ([`JobSpec`]), so every `GameSpec` wire form is addressable —
+//! including seeded generator instances (`{"game":{"random":{...}}}`)
+//! and structured family instances
+//! (`{"game":{"family":{"name":"covariant","size":8,"knob":-50,"seed":3}}}`,
+//! see `cnash_game::families`), which the instance cache keys by the
+//! *built* game's canonical payoff fingerprint exactly like any other
+//! spec form; `ground_truth` selects whether the service
 //! enumerates the game's ground-truth equilibria for coverage
 //! statistics (`"enumerate"`, the default) or skips enumeration
 //! (`"skip"` — required for large instances where support enumeration

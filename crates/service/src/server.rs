@@ -508,6 +508,33 @@ mod tests {
     }
 
     #[test]
+    fn family_games_solve_and_share_the_instance_cache() {
+        // A family instance named over the wire and the same game sent
+        // again must hit the programmed-instance cache the second time
+        // (canonical fingerprints are spec-form independent).
+        let handle = serve(ServiceConfig::default()).unwrap();
+        let solve = r#"{"op":"solve","id":1,"job":{"game":{"family":{"name":"dominance_solvable","size":3,"seed":5}},"solver":{"type":"cnash","preset":"paper","intervals":12,"iterations":800,"hardware_seed":0},"runs":2}}"#;
+        let responses = send_lines(
+            handle.addr(),
+            &[solve, solve.replace(r#""id":1"#, r#""id":2"#).as_str()],
+        );
+        assert_eq!(responses.len(), 2);
+        let docs: Vec<Json> = responses.iter().map(|l| Json::parse(l).unwrap()).collect();
+        for doc in &docs {
+            assert!(doc.get("ok").unwrap().as_bool().unwrap(), "{doc:?}");
+            let report = doc.get("report").unwrap();
+            // Dominance-solvable games have exactly one equilibrium.
+            assert_eq!(report.get("target_count").unwrap().as_usize().unwrap(), 1);
+        }
+        let hits = docs
+            .iter()
+            .filter(|d| d.get("cache_hit").unwrap().as_bool().unwrap())
+            .count();
+        assert_eq!(hits, 1, "repeat family request must hit the cache");
+        handle.stop();
+    }
+
+    #[test]
     fn truth_skip_reports_empty_ground_truth() {
         let handle = serve(ServiceConfig::default()).unwrap();
         let responses = send_lines(
