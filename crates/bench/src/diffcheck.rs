@@ -23,11 +23,23 @@
 //!    on degenerate games with equilibrium continua) and merely
 //!    counted.
 //!
-//! On failure the harness **minimizes** the offending game by greedy
-//! action deletion (re-running the failing solver seed after each
-//! candidate deletion) and emits a single-job, explicit-payoff,
-//! replayable jobs file — `--jobs-file` replays it, re-verifying the
-//! claims with certificates.
+//! On failure the harness **minimizes** the offending game before
+//! reporting it, alternating three shrinking passes to a fixpoint
+//! (each re-running the failing solver seed against every candidate):
+//!
+//! * **action deletion** — greedy single row/column removal,
+//! * **scale reduction** — halving every payoff (truncating toward
+//!   zero, so integer payoffs stay integer),
+//! * **payoff zeroing** — setting individual payoff cells to `0`,
+//!
+//! and emits a single-job, explicit-payoff, replayable jobs file —
+//! `--jobs-file` replays it, re-verifying the claims with certificates.
+//!
+//! The sweep parallelises **per grid point** over the `cnash-runtime`
+//! worker pool ([`DiffOptions::threads`]): points are claimed by idle
+//! workers but folded in grid order, so the summary counters, the
+//! continuum-class histogram and the first (minimized) counterexample
+//! are bit-identical to a single-threaded sweep at any thread count.
 //!
 //! The `corrupt` flag is the harness's own test hook: it wraps every
 //! solver so that claimed hits are swapped for a worst-response profile
@@ -38,11 +50,15 @@
 use cnash_core::certificate::Certificate;
 use cnash_core::NashSolver;
 use cnash_game::canonical::Hasher64;
+use cnash_game::equilibrium::continuum_representatives;
 use cnash_game::lemke_howson::lemke_howson_all_labels;
 use cnash_game::support_enum::enumerate_equilibria;
-use cnash_game::{BimatrixGame, Equilibrium, Matrix, MixedStrategy};
+use cnash_game::{BimatrixGame, Equilibrium, Matrix, MixedStrategy, SupportClass};
+use cnash_runtime::pool::fan_out_ordered;
 use cnash_runtime::spec::{BatchSpec, ConfigSpec, GameSpec, JobSpec, SolverSpec};
-use cnash_runtime::{Json, PortfolioStop, SpecError};
+use cnash_runtime::{CancelToken, Json, PortfolioStop, SpecError};
+use std::collections::BTreeMap;
+use std::ops::ControlFlow;
 
 /// Tolerance at which solvers claim hits (`RunOutcome::is_equilibrium`
 /// uses exact regrets at `1e-6`); certificates re-check the same
@@ -52,6 +68,11 @@ pub const CLAIM_TOL: f64 = 1e-6;
 pub const ORACLE_TOL: f64 = 1e-7;
 /// Profile tolerance when matching a hit against the enumerated set.
 pub const MATCH_TOL: f64 = 1e-4;
+/// Payoff-tie slack when computing best-response closures
+/// (support-pair classes for continuum matching).
+pub const CLASS_TOL: f64 = 1e-6;
+/// Probability tolerance when extracting a profile's support.
+pub const SUPPORT_TOL: f64 = 1e-9;
 
 /// Options of one differential-fuzz sweep.
 #[derive(Debug, Clone)]
@@ -65,6 +86,9 @@ pub struct DiffOptions {
     pub runs: usize,
     /// Test hook: corrupt claimed hits to exercise the failure path.
     pub corrupt: bool,
+    /// Worker threads sweeping the grid (`0` = all cores). Purely a
+    /// wall-clock knob: results are bit-identical at any count.
+    pub threads: usize,
 }
 
 impl DiffOptions {
@@ -73,18 +97,35 @@ impl DiffOptions {
         Self {
             quick,
             base_seed,
-            runs: if quick { 4 } else { 12 },
+            runs: if quick { 4 } else { 16 },
             corrupt,
+            threads: 1,
         }
+    }
+
+    /// Sets the worker-thread count (`0` = all cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
 /// The family × size × seed grid, plus a uniform-random baseline column
 /// ([`GameSpec::Random`]) so the legacy generator is fuzzed too.
+///
+/// The full (nightly) grid is sized for the parallel sweep: every size
+/// up to the paper's 8-action benchmarks × 10 seeds per family (~3.5×
+/// the pre-parallel grid's points, ~4.7× its solver runs with the
+/// full-run budget of 16, at roughly double the per-run cost at the
+/// top sizes).
 pub fn family_grid(opts: &DiffOptions) -> Vec<GameSpec> {
     use cnash_game::families::Family;
-    let sizes: &[usize] = if opts.quick { &[2, 3] } else { &[2, 3, 4, 5] };
-    let seeds = if opts.quick { 2u64 } else { 5 };
+    let sizes: &[usize] = if opts.quick {
+        &[2, 3]
+    } else {
+        &[2, 3, 4, 5, 6, 7, 8]
+    };
+    let seeds = if opts.quick { 2u64 } else { 10 };
     let mut grid = Vec::new();
     for family in Family::ALL {
         for &size in sizes {
@@ -151,9 +192,47 @@ pub struct DiffCounters {
     /// Claimed hits that certificate-verified but matched no enumerated
     /// equilibrium (possible on degenerate games — counted, allowed).
     pub unlisted_valid_hits: usize,
+    /// Unlisted-valid hits structurally matched to an enumerated
+    /// continuum representative (support-pair class — see
+    /// `cnash_game::SupportClass`).
+    pub unlisted_classified_hits: usize,
+    /// Unlisted-valid hits matching no known support-pair class — a
+    /// continuum the oracle failed to characterise (counted, surfaced
+    /// in the summary, gated to zero on the quick grid in CI).
+    pub unlisted_unclassified_hits: usize,
     /// Runs that found nothing (missed but allowed — the solvers are
     /// stochastic).
     pub missed_runs: usize,
+}
+
+impl DiffCounters {
+    /// Adds `other`'s counts into `self` (grid-order folding). The
+    /// exhaustive destructuring makes forgetting a new field here a
+    /// compile error, not a counter that silently folds to zero.
+    fn absorb(&mut self, other: &DiffCounters) {
+        let DiffCounters {
+            points,
+            oracle_equilibria,
+            lh_cross_checked,
+            solver_runs,
+            claimed_hits,
+            verified_hits,
+            unlisted_valid_hits,
+            unlisted_classified_hits,
+            unlisted_unclassified_hits,
+            missed_runs,
+        } = *other;
+        self.points += points;
+        self.oracle_equilibria += oracle_equilibria;
+        self.lh_cross_checked += lh_cross_checked;
+        self.solver_runs += solver_runs;
+        self.claimed_hits += claimed_hits;
+        self.verified_hits += verified_hits;
+        self.unlisted_valid_hits += unlisted_valid_hits;
+        self.unlisted_classified_hits += unlisted_classified_hits;
+        self.unlisted_unclassified_hits += unlisted_unclassified_hits;
+        self.missed_runs += missed_runs;
+    }
 }
 
 /// The mismatch classes that fail a sweep.
@@ -188,11 +267,15 @@ pub struct Failure {
     pub counterexample: BatchSpec,
 }
 
-/// Result of one sweep: counters plus the first failure, if any.
+/// Result of one sweep: counters, the continuum-class histogram and the
+/// first failure, if any.
 #[derive(Debug, Clone)]
 pub struct DiffOutcome {
     /// Aggregate counters.
     pub counters: DiffCounters,
+    /// Support-pair class label → unlisted-valid hits matched to it.
+    /// Hits no class explains are keyed `"?<own class>"`.
+    pub continuum_classes: BTreeMap<String, usize>,
     /// The first failure encountered (the sweep stops there).
     pub failure: Option<Failure>,
 }
@@ -209,6 +292,24 @@ pub fn summary_json(outcome: &DiffOutcome) -> Json {
         ("claimed_hits".to_string(), n(c.claimed_hits)),
         ("verified_hits".to_string(), n(c.verified_hits)),
         ("unlisted_valid_hits".to_string(), n(c.unlisted_valid_hits)),
+        (
+            "unlisted_classified_hits".to_string(),
+            n(c.unlisted_classified_hits),
+        ),
+        (
+            "unlisted_unclassified_hits".to_string(),
+            n(c.unlisted_unclassified_hits),
+        ),
+        (
+            "continuum_classes".to_string(),
+            Json::Obj(
+                outcome
+                    .continuum_classes
+                    .iter()
+                    .map(|(label, count)| (label.clone(), n(*count)))
+                    .collect(),
+            ),
+        ),
         ("missed_runs".to_string(), n(c.missed_runs)),
         ("ok".to_string(), Json::Bool(outcome.failure.is_none())),
     ];
@@ -359,38 +460,120 @@ fn sub_game(
     .ok()
 }
 
-/// Greedy delta-debugging: keeps deleting single actions while the
-/// failure predicate still reproduces.
-fn minimize(game: &BimatrixGame, still_fails: impl Fn(&BimatrixGame) -> bool) -> BimatrixGame {
+/// One greedy action-deletion step: the first single row (then column)
+/// whose removal still reproduces the failure.
+fn try_action_deletion(
+    current: &BimatrixGame,
+    still_fails: &impl Fn(&BimatrixGame) -> bool,
+) -> Option<BimatrixGame> {
+    if current.row_actions() > 1 {
+        for i in 0..current.row_actions() {
+            if let Some(cand) = drop_row(current, i) {
+                if still_fails(&cand) {
+                    return Some(cand);
+                }
+            }
+        }
+    }
+    if current.col_actions() > 1 {
+        for j in 0..current.col_actions() {
+            if let Some(cand) = drop_col(current, j) {
+                if still_fails(&cand) {
+                    return Some(cand);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Rebuilds `game` with both payoff matrices mapped through `f`
+/// (name preserved — the `~min` marker is applied by deletion).
+fn map_payoffs(game: &BimatrixGame, f: impl Fn(f64) -> f64) -> Option<BimatrixGame> {
+    BimatrixGame::new(
+        game.name().to_string(),
+        game.row_payoffs().map(&f),
+        game.col_payoffs().map(&f),
+    )
+    .ok()
+}
+
+/// One scale-reduction step: halving every payoff (truncated toward
+/// zero, keeping integer payoffs integer) while the failure reproduces.
+fn try_scale_reduction(
+    current: &BimatrixGame,
+    still_fails: &impl Fn(&BimatrixGame) -> bool,
+) -> Option<BimatrixGame> {
+    let halved = map_payoffs(current, |v| (v / 2.0).trunc())?;
+    let unchanged = halved.row_payoffs() == current.row_payoffs()
+        && halved.col_payoffs() == current.col_payoffs();
+    (!unchanged && still_fails(&halved)).then_some(halved)
+}
+
+/// One payoff-zeroing step: the first nonzero cell (row matrix first,
+/// row-major) whose zeroing still reproduces the failure.
+fn try_payoff_zeroing(
+    current: &BimatrixGame,
+    still_fails: &impl Fn(&BimatrixGame) -> bool,
+) -> Option<BimatrixGame> {
+    for which in 0..2 {
+        let m = if which == 0 {
+            current.row_payoffs()
+        } else {
+            current.col_payoffs()
+        };
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                if m[(r, c)] == 0.0 {
+                    continue;
+                }
+                let mut zeroed = m.clone();
+                zeroed[(r, c)] = 0.0;
+                let cand = if which == 0 {
+                    BimatrixGame::new(
+                        current.name().to_string(),
+                        zeroed,
+                        current.col_payoffs().clone(),
+                    )
+                } else {
+                    BimatrixGame::new(
+                        current.name().to_string(),
+                        current.row_payoffs().clone(),
+                        zeroed,
+                    )
+                };
+                if let Ok(cand) = cand {
+                    if still_fails(&cand) {
+                        return Some(cand);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Greedy delta-debugging to a fixpoint: alternates action deletion,
+/// payoff-scale halving (toward 0) and single-cell payoff zeroing,
+/// keeping each candidate only while the failure predicate still
+/// reproduces. Deterministic: passes and candidates are tried in a
+/// fixed order, so the same input always shrinks to the same game.
+pub fn minimize(game: &BimatrixGame, still_fails: impl Fn(&BimatrixGame) -> bool) -> BimatrixGame {
     let mut current = game.clone();
     loop {
-        let mut next = None;
-        for i in 0..current.row_actions() {
-            if current.row_actions() > 1 {
-                if let Some(cand) = drop_row(&current, i) {
-                    if still_fails(&cand) {
-                        next = Some(cand);
-                        break;
-                    }
-                }
-            }
+        if let Some(next) = try_action_deletion(&current, &still_fails) {
+            current = next;
+            continue;
         }
-        if next.is_none() {
-            for j in 0..current.col_actions() {
-                if current.col_actions() > 1 {
-                    if let Some(cand) = drop_col(&current, j) {
-                        if still_fails(&cand) {
-                            next = Some(cand);
-                            break;
-                        }
-                    }
-                }
-            }
+        if let Some(next) = try_scale_reduction(&current, &still_fails) {
+            current = next;
+            continue;
         }
-        match next {
-            Some(cand) => current = cand,
-            None => return current,
+        if let Some(next) = try_payoff_zeroing(&current, &still_fails) {
+            current = next;
+            continue;
         }
+        return current;
     }
 }
 
@@ -480,15 +663,50 @@ fn check_oracles(
     Ok(truth)
 }
 
+/// Classifies a certificate-valid hit absent from the enumerated set
+/// against the oracle's continuum representatives: first by exact
+/// support-pair-class equality, then by support containment in a class.
+fn classify_unlisted(
+    game: &BimatrixGame,
+    reps: &[SupportClass],
+    p: &MixedStrategy,
+    q: &MixedStrategy,
+    counters: &mut DiffCounters,
+    classes: &mut BTreeMap<String, usize>,
+) {
+    counters.unlisted_valid_hits += 1;
+    let own = SupportClass::of_profile(game, p, q, CLASS_TOL).ok();
+    let matched = reps
+        .iter()
+        .find(|c| Some(*c) == own.as_ref())
+        .or_else(|| reps.iter().find(|c| c.contains_profile(p, q, SUPPORT_TOL)));
+    let label = match matched {
+        Some(class) => {
+            counters.unlisted_classified_hits += 1;
+            class.label()
+        }
+        None => {
+            counters.unlisted_unclassified_hits += 1;
+            format!(
+                "?{}",
+                own.map_or_else(|| "r{}xc{}".to_string(), |c| c.label())
+            )
+        }
+    };
+    *classes.entry(label).or_insert(0) += 1;
+}
+
 #[allow(clippy::too_many_arguments)]
 fn check_run(
     game: &BimatrixGame,
     truth: &[Equilibrium],
+    reps: &[SupportClass],
     solver_spec: &SolverSpec,
     solver: &dyn NashSolver,
     seed: u64,
     corrupt: bool,
     counters: &mut DiffCounters,
+    classes: &mut BTreeMap<String, usize>,
 ) -> Option<Failure> {
     counters.solver_runs += 1;
     let out = solver.run(seed);
@@ -525,14 +743,73 @@ fn check_run(
     {
         counters.verified_hits += 1;
     } else {
-        counters.unlisted_valid_hits += 1;
+        classify_unlisted(game, reps, &p, &q, counters, classes);
     }
     None
 }
 
-/// Sweeps the grid: oracle self-consistency per point, then every
-/// solver × run, certificate-checking each claimed hit. Stops at the
-/// first failure (already minimized into a replayable jobs file).
+/// Everything one grid point contributes to a sweep, computed
+/// independently of every other point so the pool can fan points out.
+#[derive(Debug, Default)]
+struct PointOutcome {
+    counters: DiffCounters,
+    classes: BTreeMap<String, usize>,
+    failure: Option<Failure>,
+}
+
+/// Checks one grid point end to end: oracle self-consistency, then
+/// every solver × run with certificate verification and continuum
+/// classification. Stops at the point's first failure (minimized).
+fn check_point(
+    spec: &GameSpec,
+    solvers: &[SolverSpec],
+    opts: &DiffOptions,
+) -> Result<PointOutcome, SpecError> {
+    let mut out = PointOutcome::default();
+    let game = spec.build()?;
+    out.counters.points += 1;
+    let truth = match check_oracles(&game, &mut out.counters) {
+        Ok(truth) => truth,
+        Err(failure) => {
+            out.failure = Some(failure);
+            return Ok(out);
+        }
+    };
+    let reps = continuum_representatives(&game, &truth, CLASS_TOL).map_err(|e| SpecError {
+        message: format!("continuum representatives: {e}"),
+    })?;
+    for solver_spec in solvers {
+        let solver = build_solver(solver_spec, &game, opts.corrupt)?;
+        let base = run_seed_base(opts.base_seed, &game, solver_spec);
+        for k in 0..opts.runs {
+            if let Some(failure) = check_run(
+                &game,
+                &truth,
+                &reps,
+                solver_spec,
+                solver.as_ref(),
+                base.wrapping_add(k as u64),
+                opts.corrupt,
+                &mut out.counters,
+                &mut out.classes,
+            ) {
+                out.failure = Some(failure);
+                return Ok(out);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Sweeps the grid on the `cnash-runtime` worker pool: each grid point
+/// runs as an independent job ([`DiffOptions::threads`] workers, `0` =
+/// all cores), and per-point results are **folded in grid order** —
+/// idle workers claim whatever point is next, but the summary counters,
+/// the continuum-class histogram and the first failure (already
+/// minimized into a replayable jobs file) are bit-identical to a
+/// single-threaded sweep. The sweep stops at the first failing point in
+/// grid order; later points already in flight are cancelled and their
+/// results discarded.
 ///
 /// # Errors
 ///
@@ -544,42 +821,42 @@ pub fn run_grid(
     opts: &DiffOptions,
 ) -> Result<DiffOutcome, SpecError> {
     let mut counters = DiffCounters::default();
-    for spec in points {
-        let game = spec.build()?;
-        counters.points += 1;
-        let truth = match check_oracles(&game, &mut counters) {
-            Ok(truth) => truth,
-            Err(failure) => {
-                return Ok(DiffOutcome {
-                    counters,
-                    failure: Some(failure),
-                })
+    let mut classes = BTreeMap::new();
+    let mut failure = None;
+    let mut spec_err = None;
+    let cancel = CancelToken::new();
+    fan_out_ordered(
+        points.len(),
+        opts.threads,
+        &cancel,
+        |k| check_point(&points[k], solvers, opts),
+        |_, result| match result {
+            Err(e) => {
+                spec_err = Some(e);
+                ControlFlow::Break(())
             }
-        };
-        for solver_spec in solvers {
-            let solver = build_solver(solver_spec, &game, opts.corrupt)?;
-            let base = run_seed_base(opts.base_seed, &game, solver_spec);
-            for k in 0..opts.runs {
-                if let Some(failure) = check_run(
-                    &game,
-                    &truth,
-                    solver_spec,
-                    solver.as_ref(),
-                    base.wrapping_add(k as u64),
-                    opts.corrupt,
-                    &mut counters,
-                ) {
-                    return Ok(DiffOutcome {
-                        counters,
-                        failure: Some(failure),
-                    });
+            Ok(point) => {
+                counters.absorb(&point.counters);
+                for (label, count) in point.classes {
+                    *classes.entry(label).or_insert(0) += count;
+                }
+                match point.failure {
+                    Some(f) => {
+                        failure = Some(f);
+                        ControlFlow::Break(())
+                    }
+                    None => ControlFlow::Continue(()),
                 }
             }
-        }
+        },
+    );
+    if let Some(e) = spec_err {
+        return Err(e);
     }
     Ok(DiffOutcome {
         counters,
-        failure: None,
+        continuum_classes: classes,
+        failure,
     })
 }
 
@@ -593,6 +870,7 @@ pub fn run_grid(
 /// Returns [`SpecError`] if a job's game or solver cannot be built.
 pub fn replay(spec: &BatchSpec, corrupt: bool) -> Result<DiffOutcome, SpecError> {
     let mut counters = DiffCounters::default();
+    let mut classes = BTreeMap::new();
     for job in &spec.jobs {
         let game = job.game.build()?;
         counters.points += 1;
@@ -601,23 +879,30 @@ pub fn replay(spec: &BatchSpec, corrupt: bool) -> Result<DiffOutcome, SpecError>
             Err(failure) => {
                 return Ok(DiffOutcome {
                     counters,
+                    continuum_classes: classes,
                     failure: Some(failure),
                 })
             }
         };
+        let reps = continuum_representatives(&game, &truth, CLASS_TOL).map_err(|e| SpecError {
+            message: format!("continuum representatives: {e}"),
+        })?;
         let solver = build_solver(&job.solver, &game, corrupt)?;
         for k in 0..job.runs {
             if let Some(failure) = check_run(
                 &game,
                 &truth,
+                &reps,
                 &job.solver,
                 solver.as_ref(),
                 job.base_seed.wrapping_add(k as u64),
                 corrupt,
                 &mut counters,
+                &mut classes,
             ) {
                 return Ok(DiffOutcome {
                     counters,
+                    continuum_classes: classes,
                     failure: Some(failure),
                 });
             }
@@ -625,6 +910,7 @@ pub fn replay(spec: &BatchSpec, corrupt: bool) -> Result<DiffOutcome, SpecError>
     }
     Ok(DiffOutcome {
         counters,
+        continuum_classes: classes,
         failure: None,
     })
 }
@@ -657,6 +943,7 @@ mod tests {
             base_seed: 0,
             runs: 3,
             corrupt: false,
+            threads: 1,
         };
         let outcome = run_grid(&[dominance_point(2)], &[ideal_solver(800)], &opts).unwrap();
         assert!(outcome.failure.is_none(), "{:?}", outcome.failure);
@@ -682,6 +969,7 @@ mod tests {
             base_seed: 0,
             runs: 6,
             corrupt: true,
+            threads: 1,
         };
         let outcome = run_grid(&[dominance_point(3)], &[ideal_solver(1200)], &opts).unwrap();
         let failure = outcome.failure.expect("the lying solver must be caught");
@@ -719,14 +1007,25 @@ mod tests {
                 solver_runs: 6,
                 ..DiffCounters::default()
             },
+            continuum_classes: BTreeMap::from([("r{0,1}xc{0}".to_string(), 3)]),
             failure: None,
         };
         let doc = summary_json(&clean);
         assert!(doc.get("ok").unwrap().as_bool().unwrap());
         assert_eq!(doc.get("points").unwrap().as_usize().unwrap(), 2);
+        assert_eq!(
+            doc.get("continuum_classes")
+                .unwrap()
+                .get("r{0,1}xc{0}")
+                .unwrap()
+                .as_usize()
+                .unwrap(),
+            3
+        );
 
         let failed = DiffOutcome {
             counters: DiffCounters::default(),
+            continuum_classes: BTreeMap::new(),
             failure: Some(Failure {
                 class: FailureClass::OracleDisagreement,
                 detail: "boom".into(),
@@ -744,6 +1043,206 @@ mod tests {
             doc.get("failure_class").unwrap().as_str().unwrap(),
             "oracle_disagreement"
         );
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        // A small multi-point grid with unlisted (continuum) hits:
+        // degenerate + sparse points plus a clean dominance target.
+        let points: Vec<GameSpec> = ["degenerate", "sparse", "dominance_solvable"]
+            .iter()
+            .flat_map(|family| {
+                (0..2).map(|seed| GameSpec::Family {
+                    family: family.to_string(),
+                    size: 3,
+                    scale: None,
+                    knob: None,
+                    seed,
+                })
+            })
+            .collect();
+        let solvers = [ideal_solver(400)];
+        let base = DiffOptions {
+            quick: true,
+            base_seed: 0,
+            runs: 4,
+            corrupt: false,
+            threads: 1,
+        };
+        let serial = run_grid(&points, &solvers, &base).unwrap();
+        for threads in [2, 4, 8] {
+            let opts = base.clone().with_threads(threads);
+            let parallel = run_grid(&points, &solvers, &opts).unwrap();
+            assert_eq!(parallel.counters, serial.counters, "threads={threads}");
+            assert_eq!(
+                parallel.continuum_classes, serial.continuum_classes,
+                "threads={threads}"
+            );
+            assert_eq!(
+                summary_json(&parallel).pretty(),
+                summary_json(&serial).pretty(),
+                "threads={threads}: summary must be byte-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_stops_at_the_same_first_failure() {
+        // Corrupt sweep over several points: whatever the thread count,
+        // the fold must stop at the first failing point in grid order
+        // and report the identical minimized counterexample.
+        let points: Vec<GameSpec> = (0..4).map(|seed| dominance_point_seeded(3, seed)).collect();
+        let solvers = [ideal_solver(800)];
+        let base = DiffOptions {
+            quick: true,
+            base_seed: 0,
+            runs: 4,
+            corrupt: true,
+            threads: 1,
+        };
+        let serial = run_grid(&points, &solvers, &base).unwrap();
+        let serial_failure = serial.failure.expect("corrupt sweep must fail");
+        for threads in [3, 8] {
+            let opts = base.clone().with_threads(threads);
+            let parallel = run_grid(&points, &solvers, &opts).unwrap();
+            let failure = parallel.failure.expect("corrupt sweep must fail");
+            assert_eq!(parallel.counters, serial.counters, "threads={threads}");
+            assert_eq!(failure.detail, serial_failure.detail);
+            assert_eq!(
+                failure.counterexample.to_json().pretty(),
+                serial_failure.counterexample.to_json().pretty(),
+                "threads={threads}: counterexample must be byte-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn continuum_hits_on_degenerate_families_are_classified() {
+        // Degenerate and sparse families produce equilibrium continua;
+        // every certificate-valid hit off the enumerated set must be
+        // matched to a support-pair class — none left unclassified.
+        let mut points = Vec::new();
+        for family in ["degenerate", "sparse"] {
+            for size in [2, 3] {
+                for seed in 0..2 {
+                    points.push(GameSpec::Family {
+                        family: family.into(),
+                        size,
+                        scale: None,
+                        knob: None,
+                        seed,
+                    });
+                }
+            }
+        }
+        let opts = DiffOptions {
+            quick: true,
+            base_seed: 0,
+            runs: 4,
+            corrupt: false,
+            threads: 0,
+        };
+        let outcome = run_grid(&points, &solver_suite(&opts), &opts).unwrap();
+        assert!(outcome.failure.is_none(), "{:?}", outcome.failure);
+        let c = outcome.counters;
+        assert!(
+            c.unlisted_valid_hits > 0,
+            "degenerate/sparse grid should produce continuum hits (got {c:?})"
+        );
+        assert_eq!(
+            c.unlisted_classified_hits, c.unlisted_valid_hits,
+            "every unlisted hit must be classified: {:?}",
+            outcome.continuum_classes
+        );
+        assert_eq!(c.unlisted_unclassified_hits, 0);
+        assert!(!outcome.continuum_classes.is_empty());
+        assert!(
+            outcome
+                .continuum_classes
+                .keys()
+                .all(|k| !k.starts_with('?')),
+            "{:?}",
+            outcome.continuum_classes
+        );
+    }
+
+    fn dominance_point_seeded(size: usize, seed: u64) -> GameSpec {
+        GameSpec::Family {
+            family: "dominance_solvable".into(),
+            size,
+            scale: None,
+            knob: None,
+            seed,
+        }
+    }
+
+    /// The corrupt-ideal failure predicate the minimizer tests shrink
+    /// against: a deterministic, always-reproducing mismatch.
+    fn corrupt_predicate(seed: u64) -> impl Fn(&BimatrixGame) -> bool {
+        move |g: &BimatrixGame| reproduces(g, &ideal_solver(400), seed, true)
+    }
+
+    #[test]
+    fn minimizer_output_still_reproduces_the_mismatch_class() {
+        // Property: across families and seeds, whenever the original
+        // game reproduces a false-equilibrium mismatch, the shrunk game
+        // must reproduce the *same* mismatch class (and never grow).
+        use cnash_game::families::Family;
+        let mut shrunk_any = false;
+        for family in Family::ALL {
+            for seed in 0..3u64 {
+                let game = family
+                    .build(3, family.default_scale(), family.default_knob(), seed)
+                    .unwrap();
+                let fails = corrupt_predicate(7);
+                if !fails(&game) {
+                    continue;
+                }
+                let min = minimize(&game, &fails);
+                assert!(
+                    fails(&min),
+                    "{}: minimized game no longer reproduces",
+                    game.name()
+                );
+                assert!(min.row_actions() <= game.row_actions());
+                assert!(min.col_actions() <= game.col_actions());
+                assert!(min.row_payoffs().max() <= game.row_payoffs().max());
+                shrunk_any |= min.row_actions() + min.col_actions()
+                    < game.row_actions() + game.col_actions()
+                    || min.row_payoffs().max() < game.row_payoffs().max();
+            }
+        }
+        assert!(shrunk_any, "no family instance was shrunk at all");
+    }
+
+    #[test]
+    fn minimizer_is_deterministic_and_shrinks_payoff_values() {
+        // Fixed-seed regression: shrinking the same input twice yields
+        // the same game bitwise, and the value passes (scale halving +
+        // cell zeroing) drive payoffs toward 0 beyond action deletion.
+        let game = dominance_point_seeded(3, 3).build().unwrap();
+        let fails = corrupt_predicate(7);
+        assert!(fails(&game), "predicate must hold on the seed game");
+        let a = minimize(&game, &fails);
+        let b = minimize(&game, &fails);
+        assert_eq!(a.row_payoffs(), b.row_payoffs(), "nondeterministic shrink");
+        assert_eq!(a.col_payoffs(), b.col_payoffs(), "nondeterministic shrink");
+        assert!(
+            a.row_actions() + a.col_actions() < game.row_actions() + game.col_actions(),
+            "action deletion must shrink the 3x3 seed game"
+        );
+        let max_payoff = |g: &BimatrixGame| g.row_payoffs().max().max(g.col_payoffs().max());
+        assert!(
+            max_payoff(&a) < max_payoff(&game),
+            "value shrinking must reduce the payoff scale ({} -> {})",
+            max_payoff(&game),
+            max_payoff(&a)
+        );
+        // Exhaustive 1-minimality at the fixpoint: no further single
+        // deletion, halving or zeroing still reproduces.
+        assert!(try_action_deletion(&a, &&fails).is_none());
+        assert!(try_scale_reduction(&a, &&fails).is_none());
+        assert!(try_payoff_zeroing(&a, &&fails).is_none());
     }
 
     #[test]

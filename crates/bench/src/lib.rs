@@ -1,6 +1,52 @@
-//! Shared plumbing for the reproduction binaries.
+//! Reproduction binaries and the differential-verification harness.
 //!
-//! Every binary accepts:
+//! This crate carries two kinds of executables: the **paper-artefact
+//! binaries** (Table 1, Figs. 7–10, `batch`, `perf`, the service
+//! clients) and the **`diffcheck` differential oracle fuzzer** — the
+//! repository's strongest evidence that the analog C-Nash pipeline
+//! finds true Nash equilibria. Paper-vs-measured numbers for every
+//! artefact are recorded in `EXPERIMENTS.md` at the repository root;
+//! the full correctness chain is documented in `docs/VERIFICATION.md`.
+//!
+//! # Differential-fuzzing methodology ([`diffcheck`])
+//!
+//! The harness sweeps a **family × size × seed grid** of structured
+//! games (`cnash_game::families` — six GAMUT-style seeded generators —
+//! plus a uniform-random baseline column) and checks two layers per
+//! grid point, fanned across the `cnash-runtime` worker pool with
+//! grid-order folding, so summaries are bit-identical at any thread
+//! count:
+//!
+//! 1. **Oracle self-consistency.** The two exact oracles share no code
+//!    (support enumeration, Lemke–Howson). Per point, enumeration must
+//!    find at least one equilibrium (Nash's theorem), and every
+//!    Lemke–Howson solution must certificate-verify *and* appear in
+//!    the enumerated set. Any violation is an `oracle_disagreement` —
+//!    a fatal finding against the ground truth itself.
+//! 2. **Solver soundness.** Every hardware-solver run that *claims* a
+//!    hit is re-verified through an independently computed
+//!    `cnash_core::certificate::Certificate`.
+//!
+//! ## Mismatch taxonomy
+//!
+//! * **`false_equilibrium`** — a claimed hit the certificate rejects.
+//!   The one class that is always a bug; it fails the sweep and is
+//!   minimized into a replayable counterexample jobs file.
+//! * **missed but allowed** — a run that found nothing. The solvers
+//!   are stochastic; misses are counted, never fatal.
+//! * **unlisted-valid** — a certificate-valid hit absent from the
+//!   enumerated set. Possible on degenerate games whose equilibria
+//!   form *continua* a finite enumeration can only sample; each such
+//!   hit is matched **structurally** against the oracle's continuum
+//!   representatives (support-pair classes,
+//!   `cnash_game::SupportClass`) and reported under its class label.
+//!   A hit no class explains is counted `unlisted_unclassified` and
+//!   gated to zero on the quick grid in CI.
+//!
+//! # Shared CLI
+//!
+//! Every binary accepts a subset of one flag table (unsupported flags
+//! are rejected, never ignored):
 //!
 //! * `--runs N` — independent runs per (solver, game) pair (default 500),
 //! * `--full` — the paper's full 5000 runs with the paper's iteration
@@ -9,10 +55,10 @@
 //! * `--threads T` — worker threads for the parallel runtime
 //!   (default 0 = all cores),
 //! * `--jobs-file PATH` — run a JSON jobs file through the portfolio
-//!   runtime instead of the built-in benchmarks (the `batch` binary).
-//!
-//! Paper-vs-measured numbers for every artefact are recorded in
-//! `EXPERIMENTS.md` at the repository root.
+//!   runtime (the `batch` binary) or replay a counterexample
+//!   (`diffcheck`),
+//! * `--help` — binary-specific usage (for `diffcheck`: including its
+//!   exit-code contract).
 
 pub mod client;
 pub mod diffcheck;
@@ -95,6 +141,11 @@ const FLAGS: &[FlagSpec] = &[
         value: None,
         help: "test hook: corrupt solver answers to exercise the diffcheck failure path",
     },
+    FlagSpec {
+        name: "--help",
+        value: None,
+        help: "print the binary's usage (and exit-code contract) and exit",
+    },
 ];
 
 /// Parsed command-line options of a reproduction binary.
@@ -124,6 +175,8 @@ pub struct Cli {
     pub serial: bool,
     /// Corrupt solver answers (diffcheck failure-path test hook).
     pub corrupt: bool,
+    /// Print usage and exit (binaries print their own detail text).
+    pub help: bool,
 }
 
 impl Cli {
@@ -212,6 +265,7 @@ impl Cli {
                 "--golden" => cli.golden = true,
                 "--serial" => cli.serial = true,
                 "--corrupt" => cli.corrupt = true,
+                "--help" => cli.help = true,
                 "--jobs-file" => cli.jobs_file = Some(value.expect("has value").to_string()),
                 "--out" => cli.out = Some(value.expect("has value").to_string()),
                 "--addr" => cli.addr = Some(value.expect("has value").to_string()),
@@ -242,9 +296,11 @@ impl Cli {
     }
 }
 
-fn usage(msg: &str, supported: Option<&[&str]>) -> ! {
-    eprintln!("error: {msg}");
-    eprintln!("usage: <bin> [flags]");
+/// The flag-table help text for a binary's flag subset (`None` = every
+/// flag) — what `usage` prints, exposed so binaries can build their own
+/// `--help` output around it.
+pub fn usage_lines(supported: Option<&[&str]>) -> String {
+    let mut out = String::new();
     for f in FLAGS {
         if let Some(subset) = supported {
             if !subset.contains(&f.name) {
@@ -252,10 +308,17 @@ fn usage(msg: &str, supported: Option<&[&str]>) -> ! {
             }
         }
         match f.value {
-            Some(v) => eprintln!("  {} {:<9} {}", f.name, v, f.help),
-            None => eprintln!("  {:<18} {}", f.name, f.help),
+            Some(v) => out.push_str(&format!("  {} {:<9} {}\n", f.name, v, f.help)),
+            None => out.push_str(&format!("  {:<18} {}\n", f.name, f.help)),
         }
     }
+    out
+}
+
+fn usage(msg: &str, supported: Option<&[&str]>) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: <bin> [flags]");
+    eprint!("{}", usage_lines(supported));
     std::process::exit(2);
 }
 
@@ -355,8 +418,23 @@ mod tests {
                 golden: true,
                 serial: true,
                 corrupt: true,
+                help: false,
             }
         );
+    }
+
+    #[test]
+    fn help_flag_parses_and_is_subset_gated() {
+        let cli = Cli::parse_from(&args(&["--help"])).unwrap();
+        assert!(cli.help);
+        let cli =
+            Cli::parse_from_supporting(&args(&["--help"]), Some(&["--help", "--quick"])).unwrap();
+        assert!(cli.help);
+        assert!(Cli::parse_from_supporting(&args(&["--help"]), Some(&["--quick"])).is_err());
+        // The usage text respects the subset filter.
+        let lines = usage_lines(Some(&["--quick", "--help"]));
+        assert!(lines.contains("--quick") && lines.contains("--help"));
+        assert!(!lines.contains("--runs"));
     }
 
     #[test]

@@ -1,6 +1,8 @@
-//! Equilibrium records and solution classification.
+//! Equilibrium records, solution classification and continuum
+//! representatives.
 
 use crate::bimatrix::BimatrixGame;
+use crate::error::GameError;
 use crate::strategy::MixedStrategy;
 use std::fmt;
 
@@ -60,6 +62,116 @@ impl Equilibrium {
     pub fn same_profile(&self, other: &Equilibrium, tol: f64) -> bool {
         self.row.linf_distance(&other.row) <= tol && self.col.linf_distance(&other.col) <= tol
     }
+
+    /// The support-pair class this equilibrium belongs to
+    /// (see [`SupportClass::of_profile`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::ShapeMismatch`] if the profile does not fit
+    /// `game`.
+    pub fn support_class(&self, game: &BimatrixGame, tol: f64) -> Result<SupportClass, GameError> {
+        SupportClass::of_profile(game, &self.row, &self.col, tol)
+    }
+}
+
+/// A **continuum representative**: the best-response-closure support
+/// pair of an equilibrium.
+///
+/// On degenerate games (tied payoff levels, duplicated strategies) the
+/// equilibria form *continua* — connected families of profiles that a
+/// finite enumeration can only sample. Points of one continuum face
+/// cannot be matched by profile distance against the sampled set, but
+/// they share structure: the set of **pure best responses** each side's
+/// strategy leaves available. `SupportClass` captures exactly that pair
+/// (`rows` = the row player's best responses to `q`, `cols` = the
+/// column player's best responses to `p`, both sorted), so two
+/// equilibria of the same face — e.g. a pure profile and a mixture over
+/// a duplicated copy of the same action — map to the *same* class even
+/// though their probability vectors differ arbitrarily.
+///
+/// Every equilibrium's support is contained in its own class (that is
+/// the best-response condition), so classes both label continua and act
+/// as membership certificates: a profile whose support pair sits inside
+/// an enumerated equilibrium's class mixes only actions that class
+/// proves optimal.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SupportClass {
+    /// Row actions that are best responses (sorted, deduplicated).
+    pub rows: Vec<usize>,
+    /// Column actions that are best responses (sorted, deduplicated).
+    pub cols: Vec<usize>,
+}
+
+impl SupportClass {
+    /// The support-pair class of profile `(p, q)`: the row player's
+    /// pure best responses to `q` and the column player's pure best
+    /// responses to `p`, each within a payoff slack of `tol`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::ShapeMismatch`] if the strategy lengths do
+    /// not match the game.
+    pub fn of_profile(
+        game: &BimatrixGame,
+        p: &MixedStrategy,
+        q: &MixedStrategy,
+        tol: f64,
+    ) -> Result<SupportClass, GameError> {
+        Ok(SupportClass {
+            rows: game.row_best_responses(q, tol)?,
+            cols: game.col_best_responses(p, tol)?,
+        })
+    }
+
+    /// `true` if `(p, q)` mixes only actions this class proves optimal:
+    /// `supp(p) ⊆ rows` and `supp(q) ⊆ cols` (supports extracted at
+    /// probability tolerance `tol`).
+    pub fn contains_profile(&self, p: &MixedStrategy, q: &MixedStrategy, tol: f64) -> bool {
+        p.support(tol).iter().all(|a| self.rows.contains(a))
+            && q.support(tol).iter().all(|a| self.cols.contains(a))
+    }
+
+    /// Stable human/report label, e.g. `r{0,2}xc{1}`.
+    pub fn label(&self) -> String {
+        let join = |v: &[usize]| {
+            v.iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        format!("r{{{}}}xc{{{}}}", join(&self.rows), join(&self.cols))
+    }
+}
+
+impl fmt::Display for SupportClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// The deduplicated support-pair classes of an enumerated equilibrium
+/// set — the oracle's continuum representatives, sorted for
+/// reproducible reporting.
+///
+/// # Errors
+///
+/// Returns [`GameError::ShapeMismatch`] if an equilibrium does not fit
+/// `game`.
+pub fn continuum_representatives(
+    game: &BimatrixGame,
+    eqs: &[Equilibrium],
+    tol: f64,
+) -> Result<Vec<SupportClass>, GameError> {
+    let mut classes: Vec<SupportClass> = Vec::new();
+    for eq in eqs {
+        let class = eq.support_class(game, tol)?;
+        if !classes.contains(&class) {
+            classes.push(class);
+        }
+    }
+    classes.sort();
+    Ok(classes)
 }
 
 impl fmt::Display for Equilibrium {
@@ -167,5 +279,60 @@ mod tests {
     fn strategy_kind_display() {
         assert_eq!(StrategyKind::Pure.to_string(), "pure");
         assert_eq!(StrategyKind::Mixed.to_string(), "mixed");
+    }
+
+    #[test]
+    fn support_class_contains_its_own_equilibrium() {
+        let g = games::battle_of_the_sexes();
+        for eq in crate::support_enum::enumerate_equilibria(&g, 1e-9) {
+            let class = eq.support_class(&g, 1e-6).unwrap();
+            assert!(
+                class.contains_profile(&eq.row, &eq.col, 1e-9),
+                "{class}: must contain its own support"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicated_action_continuum_shares_one_class() {
+        // A game where row 1 duplicates row 0 (in both matrices): the
+        // pure equilibrium at (0, 0) and any mixture over rows {0, 1}
+        // are points of one continuum and must land in the same class.
+        let m = crate::Matrix::from_rows(&[vec![3.0, 0.0], vec![3.0, 0.0]]).unwrap();
+        let b = crate::Matrix::from_rows(&[vec![2.0, 0.0], vec![2.0, 0.0]]).unwrap();
+        let g = BimatrixGame::new("dup", m, b).unwrap();
+        let pure = SupportClass::of_profile(
+            &g,
+            &MixedStrategy::pure(2, 0).unwrap(),
+            &MixedStrategy::pure(2, 0).unwrap(),
+            1e-6,
+        )
+        .unwrap();
+        let mixed = SupportClass::of_profile(
+            &g,
+            &MixedStrategy::new(vec![0.25, 0.75]).unwrap(),
+            &MixedStrategy::pure(2, 0).unwrap(),
+            1e-6,
+        )
+        .unwrap();
+        assert_eq!(pure, mixed);
+        assert_eq!(pure.rows, vec![0, 1], "duplicate rows tie as responses");
+        assert!(mixed.contains_profile(
+            &MixedStrategy::new(vec![0.5, 0.5]).unwrap(),
+            &MixedStrategy::pure(2, 0).unwrap(),
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn representatives_dedup_and_sort() {
+        let g = games::battle_of_the_sexes();
+        let eqs = crate::support_enum::enumerate_equilibria(&g, 1e-9);
+        let reps = continuum_representatives(&g, &eqs, 1e-6).unwrap();
+        assert_eq!(reps.len(), 3, "BoS: three distinct classes");
+        for w in reps.windows(2) {
+            assert!(w[0] < w[1], "sorted and deduplicated");
+        }
+        assert_eq!(reps[0].label(), "r{0}xc{0}");
     }
 }

@@ -18,12 +18,44 @@
 //!
 //! Every generator emits **non-negative integer payoffs**, so each
 //! instance is exactly representable on the C-Nash crossbar's unary
-//! cell mapping and buildable as an S-QUBO, and every generator is a
-//! pure function of its parameters and seed — the same `(family, size,
-//! scale, knob, seed)` tuple always builds the same game, which is what
-//! lets jobs files, the solver service and the differential-fuzz
-//! harness name instances over the wire without shipping payoff
-//! matrices (see `cnash_runtime::spec::GameSpec::Family`).
+//! cell mapping and buildable as an S-QUBO.
+//!
+//! ## Generator parameters: `scale` and `knob`
+//!
+//! All families share two tuning parameters beyond `size` and `seed`:
+//!
+//! * **`scale`** is the largest payoff magnitude a generator may emit
+//!   (bounded by [`MAX_SCALE`]). It is deliberately small by default
+//!   ([`Family::default_scale`]): the crossbar's unary mapping spends
+//!   `max payoff` cells per matrix element, so the scale directly
+//!   bounds the simulated hardware size.
+//! * **`knob`** is the family-specific structural parameter — what it
+//!   means, and its valid range, is documented per family by
+//!   [`Family::knob_meaning`] (correlation percent for `covariant`,
+//!   fill density for `sparse`, dominance gap for `dominance_solvable`,
+//!   payoff levels for `degenerate`, collision cap for
+//!   `anti_coordination`, max collision delay for `congestion`).
+//!   Out-of-range knobs are rejected with
+//!   [`GameError::InvalidParameter`], never clamped — a wire-supplied
+//!   spec either builds exactly what it names or fails loudly.
+//!
+//! ## Seeding contract
+//!
+//! Every generator is a **pure function** of `(size, scale, knob,
+//! seed)`: it draws from a `StdRng` seeded with exactly the given
+//! `seed` and consumes randomness in a fixed documented order, so the
+//! same tuple always rebuilds the *same* game — bit-for-bit, on every
+//! platform, in every thread. This is what lets jobs files, the solver
+//! service and the differential-fuzz harness name instances over the
+//! wire without shipping payoff matrices (see
+//! `cnash_runtime::spec::GameSpec::Family`), and what makes a
+//! `diffcheck` counterexample replayable from its spec alone. Distinct
+//! seeds produce statistically independent instances; the generators
+//! never derive sub-seeds from each other, so `(family, seed)` pairs
+//! can be swept in any order. Changing a generator's draw order is a
+//! **breaking change** to this contract (it silently reshuffles every
+//! seeded instance downstream) and must be treated like a wire-format
+//! change.
 //!
 //! The [`Family`] enum is the registry the wire form and the fuzz grid
 //! iterate over; the per-family free functions are the underlying

@@ -57,7 +57,7 @@ pub mod strategy;
 pub mod support_enum;
 
 pub use bimatrix::BimatrixGame;
-pub use equilibrium::{Equilibrium, StrategyKind};
+pub use equilibrium::{Equilibrium, StrategyKind, SupportClass};
 pub use error::GameError;
 pub use matrix::Matrix;
 pub use strategy::MixedStrategy;

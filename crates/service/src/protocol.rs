@@ -23,8 +23,21 @@
 //! spec form; `ground_truth` selects whether the service
 //! enumerates the game's ground-truth equilibria for coverage
 //! statistics (`"enumerate"`, the default) or skips enumeration
-//! (`"skip"` — required for large instances where support enumeration
-//! is intractable; the report then has `target_count = 0`).
+//! (`"skip"` — the report then has `target_count = 0`).
+//!
+//! ## Ground-truth degradation (oversized instances)
+//!
+//! Support enumeration is exponential in the action count and hard-
+//! bounded at `cnash_game::support_enum::MAX_ENUM_ACTIONS` (16) actions
+//! per player. A `solve` whose game exceeds that bound under the
+//! default `"enumerate"` policy is **not** an error: the service
+//! automatically degrades the request to `"skip"` and answers normally,
+//! adding `"ground_truth_degraded": true` to the solve response. The
+//! flag is present **only** when the degrade happened — an explicit
+//! `"skip"` request, or an enumerable game, never carries it — so
+//! clients that care about exact coverage statistics should check for
+//! it: a degraded response's `covered`/`target_count` fields report
+//! against an *empty* ground truth the client did not ask for.
 //!
 //! ## Ordering and determinism
 //!

@@ -5,6 +5,7 @@
 use crate::cache::InstanceCache;
 use crate::protocol::{self, Request, TruthPolicy};
 use crate::sched::Scheduler;
+use cnash_game::support_enum::MAX_ENUM_ACTIONS;
 use cnash_runtime::report::game_report_json;
 use cnash_runtime::spec::JobSpec;
 use cnash_runtime::{BatchRunner, CancelToken, Json};
@@ -375,9 +376,16 @@ fn execute_solve(
     };
     let program_ms = start.elapsed().as_secs_f64() * 1e3;
 
+    // `enumerate` on a game past the support-enumeration bound would
+    // panic inside the oracle; degrade to `skip` instead and flag the
+    // response so clients know their coverage statistics are against an
+    // empty ground truth they did not ask for.
+    let enumerable = prepared.game.row_actions() <= MAX_ENUM_ACTIONS
+        && prepared.game.col_actions() <= MAX_ENUM_ACTIONS;
+    let degraded = truth == TruthPolicy::Enumerate && !enumerable;
     let ground_truth = match truth {
-        TruthPolicy::Enumerate => cache.ground_truth(&prepared.game),
-        TruthPolicy::Skip => Arc::new(Vec::new()),
+        TruthPolicy::Enumerate if !degraded => cache.ground_truth(&prepared.game),
+        _ => Arc::new(Vec::new()),
     };
     let mut runner = BatchRunner::new(job.runs, job.base_seed).threads(batch_threads);
     runner.early_stop = job.early_stop;
@@ -391,7 +399,7 @@ fn execute_solve(
         .label
         .clone()
         .unwrap_or_else(|| format!("{} on {}", job.solver.label(), prepared.game.name()));
-    Json::obj([
+    let mut response = Json::obj([
         ("id", id.clone()),
         ("ok", Json::Bool(true)),
         ("label", Json::str(label)),
@@ -403,7 +411,15 @@ fn execute_solve(
         ("cancelled", Json::Bool(batch.cancelled)),
         ("wall_ms", Json::Num(start.elapsed().as_secs_f64() * 1e3)),
         ("program_ms", Json::Num(program_ms)),
-    ])
+    ]);
+    // Only present (as `true`) when the degrade actually happened, so
+    // existing golden streams are unchanged.
+    if degraded {
+        if let Json::Obj(map) = &mut response {
+            map.insert("ground_truth_degraded".into(), Json::Bool(true));
+        }
+    }
+    response
 }
 
 #[cfg(test)]
@@ -547,6 +563,48 @@ mod tests {
         assert!(doc.get("ok").unwrap().as_bool().unwrap());
         let report = doc.get("report").unwrap();
         assert_eq!(report.get("target_count").unwrap().as_usize().unwrap(), 0);
+        // An explicit skip is what the client asked for — not a degrade.
+        assert!(doc.opt("ground_truth_degraded").is_none());
+        handle.stop();
+    }
+
+    #[test]
+    fn oversized_enumerate_degrades_to_skip_with_a_flag() {
+        // 18 actions per player is past the support-enumeration bound
+        // (MAX_ENUM_ACTIONS = 16): the default `enumerate` policy used
+        // to panic the solve; it must now degrade to `skip`, answer
+        // normally against an empty ground truth, and flag the degrade.
+        let handle = serve(ServiceConfig::default()).unwrap();
+        let responses = send_lines(
+            handle.addr(),
+            &[
+                r#"{"op":"solve","id":1,"job":{"game":{"random":{"rows":18,"cols":18,"max_payoff":3,"seed":4}},"solver":{"type":"cnash","preset":"paper","intervals":12,"iterations":200,"hardware_seed":0},"runs":1}}"#,
+                r#"{"op":"solve","id":2,"job":{"game":{"random":{"rows":4,"cols":4,"max_payoff":3,"seed":4}},"solver":{"type":"cnash","preset":"paper","intervals":12,"iterations":200,"hardware_seed":0},"runs":1}}"#,
+            ],
+        );
+        assert_eq!(responses.len(), 2);
+        let big = Json::parse(&responses[0]).unwrap();
+        assert!(big.get("ok").unwrap().as_bool().unwrap(), "{big:?}");
+        assert!(
+            big.get("ground_truth_degraded").unwrap().as_bool().unwrap(),
+            "oversized enumerate must be flagged"
+        );
+        let report = big.get("report").unwrap();
+        assert_eq!(report.get("target_count").unwrap().as_usize().unwrap(), 0);
+        // An enumerable game keeps the exact path and carries no flag.
+        let small = Json::parse(&responses[1]).unwrap();
+        assert!(small.get("ok").unwrap().as_bool().unwrap());
+        assert!(small.opt("ground_truth_degraded").is_none());
+        assert!(
+            small
+                .get("report")
+                .unwrap()
+                .get("target_count")
+                .unwrap()
+                .as_usize()
+                .unwrap()
+                > 0
+        );
         handle.stop();
     }
 }
