@@ -83,6 +83,7 @@ pub fn simulated_annealing_delta<E: DeltaEnergy>(
     evaluator: &mut E,
     opts: &SaOptions,
 ) -> SaRun<E::State> {
+    let trace_every = cnash_telemetry::hot::sa_trace_interval();
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut current_energy = evaluator.energy();
     let mut best_state = evaluator.state().clone();
@@ -128,7 +129,24 @@ pub fn simulated_annealing_delta<E: DeltaEnergy>(
         if opts.record_trace {
             trace.push(current_energy);
         }
+        if trace_every != 0 && (iter + 1) % trace_every as usize == 0 {
+            cnash_telemetry::hot::SA_TRACE.push(
+                "sa_energy",
+                format!(
+                    "seed={} iter={} energy={}",
+                    opts.seed,
+                    iter + 1,
+                    current_energy
+                ),
+            );
+        }
     }
+
+    // Same end-of-run aggregates as the full driver: telemetry reads
+    // the walk, never steers it, keeping the two drivers in lockstep.
+    cnash_telemetry::hot::SA_RUNS.inc();
+    cnash_telemetry::hot::SA_SWEEPS.add(opts.iterations as u64);
+    cnash_telemetry::hot::SA_ACCEPTS.add(accepted as u64);
 
     let (hit_states, hits_truncated) = hits.into_parts();
     SaRun {

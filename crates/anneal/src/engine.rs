@@ -146,12 +146,20 @@ impl<S> SaRun<S> {
 ///
 /// `energy` may be stateful (hardware in the loop); it is invoked once for
 /// the initial state and once per proposal.
+///
+/// Telemetry: run aggregates land in [`cnash_telemetry::hot`] once at
+/// the end of the run, and an energy sample is pushed to
+/// `hot::SA_TRACE` every `hot::sa_trace_interval()`-th iteration (the
+/// interval is read once, at run start). Neither touches the RNG or
+/// any decision, so the walk — and the returned [`SaRun`] — is
+/// bit-identical with telemetry on or off.
 pub fn simulated_annealing<S: Clone + PartialEq>(
     init: S,
     mut energy: impl FnMut(&S) -> f64,
     mut neighbour: impl FnMut(&S, &mut StdRng) -> S,
     opts: &SaOptions,
 ) -> SaRun<S> {
+    let trace_every = cnash_telemetry::hot::sa_trace_interval();
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut current = init;
     let mut current_energy = energy(&current);
@@ -193,7 +201,22 @@ pub fn simulated_annealing<S: Clone + PartialEq>(
         if opts.record_trace {
             trace.push(current_energy);
         }
+        if trace_every != 0 && (iter + 1) % trace_every as usize == 0 {
+            cnash_telemetry::hot::SA_TRACE.push(
+                "sa_energy",
+                format!(
+                    "seed={} iter={} energy={}",
+                    opts.seed,
+                    iter + 1,
+                    current_energy
+                ),
+            );
+        }
     }
+
+    cnash_telemetry::hot::SA_RUNS.inc();
+    cnash_telemetry::hot::SA_SWEEPS.add(opts.iterations as u64);
+    cnash_telemetry::hot::SA_ACCEPTS.add(accepted as u64);
 
     let (hit_states, hits_truncated) = hits.into_parts();
     SaRun {

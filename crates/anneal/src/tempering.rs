@@ -136,6 +136,10 @@ pub fn parallel_tempering<S: Clone + PartialEq>(
         }
     }
 
+    cnash_telemetry::hot::SA_RUNS.inc();
+    cnash_telemetry::hot::SA_SWEEPS.add((opts.sweeps * k) as u64);
+    cnash_telemetry::hot::SA_SWAPS.add(swaps_accepted as u64);
+
     let (hit_states, hits_truncated) = hits.into_parts();
     TemperingRun {
         best_state,

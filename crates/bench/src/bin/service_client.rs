@@ -16,6 +16,10 @@
 //!   wall-clock fields are stripped and the document re-serialised
 //!   canonically. CI's `service-smoke` job runs with both flags and
 //!   diffs stdout against `tests/golden/service_reports.golden`.
+//! * `--stats-json PATH` fetches the daemon's `stats` over a fresh
+//!   connection *after* the replay and writes the pretty-printed
+//!   response to `PATH` — the daemon must still be up, so the request
+//!   file must not end in a `shutdown`.
 //!
 //! Exits 0 when every request got a response (error *responses* are
 //! legitimate protocol output), 1 when the connection dropped
@@ -24,9 +28,16 @@
 
 use cnash_bench::client::{normalise_response, validate_response, ServiceConn};
 use cnash_bench::Cli;
+use cnash_runtime::Json;
 
 fn main() {
-    let cli = Cli::parse_for(&["--addr", "--requests", "--golden", "--serial"]);
+    let cli = Cli::parse_for(&[
+        "--addr",
+        "--requests",
+        "--golden",
+        "--serial",
+        "--stats-json",
+    ]);
     let (Some(addr), Some(requests)) = (&cli.addr, &cli.requests) else {
         eprintln!("error: service_client needs --addr HOST:PORT and --requests PATH");
         std::process::exit(2);
@@ -124,5 +135,30 @@ fn main() {
             lines.len()
         );
         std::process::exit(1);
+    }
+
+    if let Some(path) = &cli.stats_json {
+        let mut conn = ServiceConn::connect(addr.as_str()).unwrap_or_else(|e| {
+            eprintln!(
+                "error: cannot reconnect for --stats-json (did the replay shut the daemon \
+                 down?): {e}"
+            );
+            std::process::exit(1);
+        });
+        let response = conn
+            .round_trip(r#"{"op":"stats","id":"stats-json"}"#)
+            .unwrap_or_else(|e| {
+                eprintln!("error: stats request failed: {e}");
+                std::process::exit(1);
+            });
+        let doc = Json::parse(&response).unwrap_or_else(|e| {
+            eprintln!("error: stats response is not valid JSON: {e}");
+            std::process::exit(1);
+        });
+        if let Err(e) = std::fs::write(path, doc.pretty()) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
     }
 }

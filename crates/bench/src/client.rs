@@ -100,14 +100,21 @@ pub fn validate_response(line: &str) -> Result<(), String> {
 }
 
 /// Normalises a response line for golden-file comparison: parses it,
-/// strips the wall-clock fields and re-serialises canonically
-/// (sorted keys, compact framing). Unparseable lines pass through
-/// untouched so a diff still shows them (the `service_client` binary
-/// rejects them via [`validate_response`] before ever getting here).
+/// strips the wall-clock fields (`wall_ms`/`program_ms`), the
+/// toolchain-dependent `build` block of a ping and the
+/// scheduling-dependent `scheduler` block of a stats response, then
+/// re-serialises canonically (sorted keys, compact framing).
+/// Unparseable lines pass through untouched so a diff still shows them
+/// (the `service_client` binary rejects them via [`validate_response`]
+/// before ever getting here).
 pub fn normalise_response(line: &str) -> String {
     match Json::parse(line) {
         Ok(mut doc) => {
             cnash_service::strip_timing(&mut doc);
+            if let Json::Obj(map) = &mut doc {
+                map.remove("build");
+                map.remove("scheduler");
+            }
             doc.compact()
         }
         Err(_) => line.to_string(),
@@ -135,6 +142,17 @@ mod tests {
         let raw = r#"{"wall_ms": 3.5, "ok": true, "program_ms": 1.0, "id": 2}"#;
         assert_eq!(normalise_response(raw), r#"{"id":2,"ok":true}"#);
         assert_eq!(normalise_response("garbage"), "garbage");
+        // Toolchain- and scheduling-dependent blocks go too.
+        let ping = r#"{"id":1,"ok":true,"pong":true,"build":{"version":"0.2.0"}}"#;
+        assert_eq!(
+            normalise_response(ping),
+            r#"{"id":1,"ok":true,"pong":true}"#
+        );
+        let stats = r#"{"id":2,"ok":true,"scheduler":{"jobs_stolen":3},"shards":2}"#;
+        assert_eq!(
+            normalise_response(stats),
+            r#"{"id":2,"ok":true,"shards":2}"#
+        );
     }
 
     #[test]

@@ -57,8 +57,10 @@ use cnash_game::{BimatrixGame, Equilibrium, Matrix, MixedStrategy, SupportClass}
 use cnash_runtime::pool::fan_out_ordered;
 use cnash_runtime::spec::{BatchSpec, ConfigSpec, GameSpec, JobSpec, SolverSpec};
 use cnash_runtime::{CancelToken, Json, PortfolioStop, SpecError};
+use cnash_telemetry::{HistSnapshot, Histogram};
 use std::collections::BTreeMap;
 use std::ops::ControlFlow;
+use std::time::Instant;
 
 /// Tolerance at which solvers claim hits (`RunOutcome::is_equilibrium`
 /// uses exact regrets at `1e-6`); certificates re-check the same
@@ -278,6 +280,15 @@ pub struct DiffOutcome {
     pub continuum_classes: BTreeMap<String, usize>,
     /// The first failure encountered (the sweep stops there).
     pub failure: Option<Failure>,
+    /// Per-grid-point wall-time distribution (nanoseconds), folded
+    /// bucket-wise so the snapshot is identical whatever order workers
+    /// finished in. Wall-clock, so *values* vary run to run — the
+    /// summary exposes it only under `timing_`-prefixed keys, which
+    /// golden comparisons strip ([`strip_timing_keys`], CI's
+    /// `grep -v '"timing_'`). On a cancelled sweep the count may
+    /// exceed `counters.points`: in-flight points past the first
+    /// failure are discarded from the fold but their time was spent.
+    pub point_timing: HistSnapshot,
 }
 
 /// Machine-readable sweep summary (stdout of the `diffcheck` binary).
@@ -313,11 +324,39 @@ pub fn summary_json(outcome: &DiffOutcome) -> Json {
         ("missed_runs".to_string(), n(c.missed_runs)),
         ("ok".to_string(), Json::Bool(outcome.failure.is_none())),
     ];
+    // Wall-clock per-point timing rides along under a `timing_` prefix:
+    // flat scalar keys so the pretty form keeps one line per key and
+    // byte-level comparisons can drop them all with one filter
+    // (`strip_timing_keys` in tests, `grep -v '"timing_'` in CI).
+    let t = &outcome.point_timing;
+    let us = |ns: u64| Json::uint(ns / 1_000);
+    obj.push(("timing_points_measured".into(), Json::uint(t.count)));
+    obj.push(("timing_point_us_total".into(), us(t.sum)));
+    obj.push((
+        "timing_point_us_mean".into(),
+        Json::num((t.mean() / 1_000.0 * 10.0).round() / 10.0),
+    ));
+    obj.push(("timing_point_us_p50".into(), us(t.quantile(0.50))));
+    obj.push(("timing_point_us_p90".into(), us(t.quantile(0.90))));
+    obj.push(("timing_point_us_p99".into(), us(t.quantile(0.99))));
+    obj.push((
+        "timing_point_us_max".into(),
+        us(if t.count == 0 { 0 } else { t.max }),
+    ));
     if let Some(f) = &outcome.failure {
         obj.push(("failure_class".into(), Json::str(f.class.name())));
         obj.push(("failure_detail".into(), Json::str(f.detail.clone())));
     }
     Json::Obj(obj.into_iter().collect())
+}
+
+/// Removes every top-level `timing_`-prefixed key from a summary — the
+/// in-process mirror of CI's `grep -v '"timing_'` filter, for tests
+/// that compare summaries byte-for-byte across thread counts or runs.
+pub fn strip_timing_keys(doc: &mut Json) {
+    if let Json::Obj(map) = doc {
+        map.retain(|key, _| !key.starts_with("timing_"));
+    }
 }
 
 /// The worst-response corruption: all mass on the row action with the
@@ -825,11 +864,20 @@ pub fn run_grid(
     let mut failure = None;
     let mut spec_err = None;
     let cancel = CancelToken::new();
+    // Timed on the worker, folded bucket-wise: the log-bucketed
+    // histogram merge is commutative, so the timing snapshot does not
+    // depend on which worker finished which point first.
+    let timing = Histogram::new();
     fan_out_ordered(
         points.len(),
         opts.threads,
         &cancel,
-        |k| check_point(&points[k], solvers, opts),
+        |k| {
+            let started = Instant::now();
+            let result = check_point(&points[k], solvers, opts);
+            timing.record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            result
+        },
         |_, result| match result {
             Err(e) => {
                 spec_err = Some(e);
@@ -857,6 +905,7 @@ pub fn run_grid(
         counters,
         continuum_classes: classes,
         failure,
+        point_timing: timing.snapshot(),
     })
 }
 
@@ -871,17 +920,21 @@ pub fn run_grid(
 pub fn replay(spec: &BatchSpec, corrupt: bool) -> Result<DiffOutcome, SpecError> {
     let mut counters = DiffCounters::default();
     let mut classes = BTreeMap::new();
+    let timing = Histogram::new();
     for job in &spec.jobs {
+        let job_started = Instant::now();
         let game = job.game.build()?;
         counters.points += 1;
         let truth = match check_oracles(&game, &mut counters) {
             Ok(truth) => truth,
             Err(failure) => {
+                timing.record(u64::try_from(job_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
                 return Ok(DiffOutcome {
                     counters,
                     continuum_classes: classes,
                     failure: Some(failure),
-                })
+                    point_timing: timing.snapshot(),
+                });
             }
         };
         let reps = continuum_representatives(&game, &truth, CLASS_TOL).map_err(|e| SpecError {
@@ -900,18 +953,22 @@ pub fn replay(spec: &BatchSpec, corrupt: bool) -> Result<DiffOutcome, SpecError>
                 &mut counters,
                 &mut classes,
             ) {
+                timing.record(u64::try_from(job_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
                 return Ok(DiffOutcome {
                     counters,
                     continuum_classes: classes,
                     failure: Some(failure),
+                    point_timing: timing.snapshot(),
                 });
             }
         }
+        timing.record(u64::try_from(job_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
     }
     Ok(DiffOutcome {
         counters,
         continuum_classes: classes,
         failure: None,
+        point_timing: timing.snapshot(),
     })
 }
 
@@ -1009,6 +1066,7 @@ mod tests {
             },
             continuum_classes: BTreeMap::from([("r{0,1}xc{0}".to_string(), 3)]),
             failure: None,
+            point_timing: HistSnapshot::empty(),
         };
         let doc = summary_json(&clean);
         assert!(doc.get("ok").unwrap().as_bool().unwrap());
@@ -1026,6 +1084,7 @@ mod tests {
         let failed = DiffOutcome {
             counters: DiffCounters::default(),
             continuum_classes: BTreeMap::new(),
+            point_timing: HistSnapshot::empty(),
             failure: Some(Failure {
                 class: FailureClass::OracleDisagreement,
                 detail: "boom".into(),
@@ -1070,6 +1129,13 @@ mod tests {
             threads: 1,
         };
         let serial = run_grid(&points, &solvers, &base).unwrap();
+        // Wall-clock timing keys can never be byte-stable; everything
+        // else must be. Strip them exactly the way CI does.
+        let stripped = |outcome: &DiffOutcome| {
+            let mut doc = summary_json(outcome);
+            strip_timing_keys(&mut doc);
+            doc.pretty()
+        };
         for threads in [2, 4, 8] {
             let opts = base.clone().with_threads(threads);
             let parallel = run_grid(&points, &solvers, &opts).unwrap();
@@ -1079,11 +1145,67 @@ mod tests {
                 "threads={threads}"
             );
             assert_eq!(
-                summary_json(&parallel).pretty(),
-                summary_json(&serial).pretty(),
-                "threads={threads}: summary must be byte-identical"
+                stripped(&parallel),
+                stripped(&serial),
+                "threads={threads}: stripped summary must be byte-identical"
+            );
+            // Timing itself is still *collected* at any thread count:
+            // one sample per grid point, clean sweep.
+            assert_eq!(
+                parallel.point_timing.count,
+                points.len() as u64,
+                "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn summary_timing_keys_are_flat_and_strippable() {
+        let opts = DiffOptions {
+            quick: true,
+            base_seed: 0,
+            runs: 1,
+            corrupt: false,
+            threads: 1,
+        };
+        let outcome = run_grid(&[dominance_point(2)], &[ideal_solver(200)], &opts).unwrap();
+        assert_eq!(outcome.point_timing.count, 1);
+        let mut doc = summary_json(&outcome);
+        let timing_keys: Vec<&str> = match &doc {
+            Json::Obj(map) => map
+                .keys()
+                .filter(|k| k.starts_with("timing_"))
+                .map(String::as_str)
+                .collect(),
+            other => panic!("summary must be an object, got {other:?}"),
+        };
+        assert_eq!(
+            timing_keys,
+            [
+                "timing_point_us_max",
+                "timing_point_us_mean",
+                "timing_point_us_p50",
+                "timing_point_us_p90",
+                "timing_point_us_p99",
+                "timing_point_us_total",
+                "timing_points_measured",
+            ]
+        );
+        assert_eq!(
+            doc.get("timing_points_measured").unwrap().as_u64().unwrap(),
+            1
+        );
+        // Flat scalars: the pretty form keeps one `"timing_` line per
+        // key, so CI can drop them all with `grep -v '"timing_'` —
+        // the in-process strip helper must agree with that filter.
+        let pretty = doc.pretty();
+        assert_eq!(
+            pretty.lines().filter(|l| l.contains("\"timing_")).count(),
+            timing_keys.len()
+        );
+        strip_timing_keys(&mut doc);
+        assert!(!doc.pretty().contains("timing_"));
+        assert!(doc.get("ok").unwrap().as_bool().unwrap());
     }
 
     #[test]

@@ -132,6 +132,11 @@ const FLAGS: &[FlagSpec] = &[
         help: "strip wall-clock fields from responses (golden-file diffing)",
     },
     FlagSpec {
+        name: "--stats-json",
+        value: Some("PATH"),
+        help: "after the replay, fetch the daemon's stats and write them to PATH",
+    },
+    FlagSpec {
         name: "--serial",
         value: None,
         help: "await each response before sending the next request",
@@ -171,6 +176,8 @@ pub struct Cli {
     pub requests: Option<String>,
     /// Strip wall-clock fields from service responses.
     pub golden: bool,
+    /// Write the daemon's post-replay stats response to this path.
+    pub stats_json: Option<String>,
     /// Await each service response before sending the next request.
     pub serial: bool,
     /// Corrupt solver answers (diffcheck failure-path test hook).
@@ -270,6 +277,7 @@ impl Cli {
                 "--out" => cli.out = Some(value.expect("has value").to_string()),
                 "--addr" => cli.addr = Some(value.expect("has value").to_string()),
                 "--requests" => cli.requests = Some(value.expect("has value").to_string()),
+                "--stats-json" => cli.stats_json = Some(value.expect("has value").to_string()),
                 _ => unreachable!("flag table covers every match arm"),
             }
             i += 1;
@@ -399,6 +407,8 @@ mod tests {
             "--requests",
             "reqs.jsonl",
             "--golden",
+            "--stats-json",
+            "stats.json",
             "--serial",
             "--corrupt",
         ]))
@@ -416,6 +426,7 @@ mod tests {
                 addr: Some("127.0.0.1:7401".into()),
                 requests: Some("reqs.jsonl".into()),
                 golden: true,
+                stats_json: Some("stats.json".into()),
                 serial: true,
                 corrupt: true,
                 help: false,

@@ -4,14 +4,21 @@
 //! access, so the instance library carries its own dependency-free JSON
 //! implementation instead of `serde_json`. It supports the full JSON
 //! grammar (objects, arrays, strings with escapes, numbers, booleans,
-//! null); numbers are modelled as `f64`, which is exact for every
-//! payoff, seed index and count this workspace serialises (< 2^53).
+//! null); general numbers are modelled as `f64`, which is exact for
+//! every payoff, seed index and count this workspace serialises
+//! (< 2^53). Unsigned counters that may legitimately exceed 2^53
+//! (cache hit totals, telemetry counters) are carried exactly by the
+//! dedicated [`Json::Uint`] variant ([`Json::uint`] emitter): the
+//! parser likewise decodes digit-only literals above 2^53 as `Uint`,
+//! so such counters round-trip without the silent precision loss an
+//! `f64` would introduce. `Num` and `Uint` nodes holding the same
+//! mathematical value compare equal and serialise identically.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A JSON document node.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum Json {
     /// `null`.
     Null,
@@ -19,12 +26,41 @@ pub enum Json {
     Bool(bool),
     /// Any JSON number.
     Num(f64),
+    /// A non-negative integer carried exactly. `f64` loses precision
+    /// past 2^53; counters (cache hits, telemetry totals) use this
+    /// variant so every `u64` value survives serialisation.
+    Uint(u64),
     /// A string.
     Str(String),
     /// An array.
     Arr(Vec<Json>),
     /// An object. Keys are sorted (BTreeMap), so output is canonical.
     Obj(BTreeMap<String, Json>),
+}
+
+impl PartialEq for Json {
+    /// Structural equality, except that `Num`/`Uint` compare by
+    /// mathematical value: `Uint(5) == Num(5.0)`. A parse of a
+    /// serialised document therefore always equals the original, even
+    /// though small integers parse back as `Num`.
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Json::Null, Json::Null) => true,
+            (Json::Bool(a), Json::Bool(b)) => a == b,
+            (Json::Num(a), Json::Num(b)) => a == b,
+            (Json::Uint(a), Json::Uint(b)) => a == b,
+            (Json::Num(n), Json::Uint(u)) | (Json::Uint(u), Json::Num(n)) => {
+                // An integral f64 in [0, 2^64) is an exact integer, so
+                // the cast below is lossless. (`u64::MAX as f64`
+                // rounds up to 2^64, which the `<` correctly excludes.)
+                n.fract() == 0.0 && *n >= 0.0 && *n < u64::MAX as f64 && *n as u64 == *u
+            }
+            (Json::Str(a), Json::Str(b)) => a == b,
+            (Json::Arr(a), Json::Arr(b)) => a == b,
+            (Json::Obj(a), Json::Obj(b)) => a == b,
+            _ => false,
+        }
+    }
 }
 
 /// Error produced by [`Json::parse`] or typed accessors.
@@ -67,6 +103,12 @@ impl Json {
         Json::Num(v.into())
     }
 
+    /// Builds an exact unsigned-integer node. Use this for counters:
+    /// unlike [`Json::num`]`(x as f64)`, no value of `v` is rounded.
+    pub fn uint(v: u64) -> Json {
+        Json::Uint(v)
+    }
+
     /// Parses a JSON document.
     ///
     /// # Errors
@@ -107,6 +149,7 @@ impl Json {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Num(v) => write_number(*v, out),
+            Json::Uint(u) => out.push_str(&u.to_string()),
             Json::Str(s) => write_string(s, out),
             Json::Arr(items) => {
                 out.push('[');
@@ -138,6 +181,7 @@ impl Json {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Num(v) => write_number(*v, out),
+            Json::Uint(u) => out.push_str(&u.to_string()),
             Json::Str(s) => write_string(s, out),
             Json::Arr(items) => {
                 if items.is_empty() {
@@ -220,7 +264,9 @@ impl Json {
         }
     }
 
-    /// This node as a number.
+    /// This node as a number. Exact for `Num`; a `Uint` above 2^53
+    /// rounds to the nearest representable `f64` (use [`Json::as_u64`]
+    /// for exact counter reads).
     ///
     /// # Errors
     ///
@@ -228,6 +274,7 @@ impl Json {
     pub fn as_f64(&self) -> Result<f64, JsonError> {
         match self {
             Json::Num(v) => Ok(*v),
+            Json::Uint(u) => Ok(*u as f64),
             other => err(format!("expected number, found {}", other.kind()), 0),
         }
     }
@@ -236,22 +283,31 @@ impl Json {
     ///
     /// # Errors
     ///
-    /// Errors if the node is not a non-negative integral number.
+    /// Errors if the node is not a non-negative integral number, or
+    /// (for `Num`) exceeds 2^53 where `f64` integrality is ambiguous.
     pub fn as_usize(&self) -> Result<usize, JsonError> {
+        usize::try_from(self.as_u64()?).map_err(|_| JsonError {
+            message: "integer exceeds usize".to_string(),
+            offset: 0,
+        })
+    }
+
+    /// This node as a `u64`. Exact for the full `u64` range when the
+    /// node is a `Uint`.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the node is not a non-negative integral number, or
+    /// (for `Num`) exceeds 2^53 where `f64` integrality is ambiguous.
+    pub fn as_u64(&self) -> Result<u64, JsonError> {
+        if let Json::Uint(u) = self {
+            return Ok(*u);
+        }
         let v = self.as_f64()?;
         if v < 0.0 || v.fract() != 0.0 || v > (1u64 << 53) as f64 {
             return err(format!("expected non-negative integer, found {v}"), 0);
         }
-        Ok(v as usize)
-    }
-
-    /// This node as a `u64`.
-    ///
-    /// # Errors
-    ///
-    /// Errors if the node is not a non-negative integral number.
-    pub fn as_u64(&self) -> Result<u64, JsonError> {
-        Ok(self.as_usize()? as u64)
+        Ok(v as u64)
     }
 
     /// This node as a bool.
@@ -282,7 +338,7 @@ impl Json {
         match self {
             Json::Null => "null",
             Json::Bool(_) => "bool",
-            Json::Num(_) => "number",
+            Json::Num(_) | Json::Uint(_) => "number",
             Json::Str(_) => "string",
             Json::Arr(_) => "array",
             Json::Obj(_) => "object",
@@ -374,6 +430,15 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
         *pos += 1;
     }
     let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii digits");
+    // Digit-only literals past 2^53 cannot survive an f64 round trip;
+    // decode them into the exact-integer variant instead.
+    if text.bytes().all(|b| b.is_ascii_digit()) {
+        if let Ok(u) = text.parse::<u64>() {
+            if u > (1u64 << 53) {
+                return Ok(Json::Uint(u));
+            }
+        }
+    }
     match text.parse::<f64>() {
         Ok(v) if v.is_finite() => Ok(Json::Num(v)),
         _ => err(format!("invalid number `{text}`"), start),
@@ -583,5 +648,50 @@ mod tests {
         assert_eq!(Json::Num(5000.0).pretty().trim(), "5000");
         assert_eq!(Json::Num(0.25).pretty().trim(), "0.25");
         assert_eq!(Json::Num(f64::INFINITY).pretty().trim(), "null");
+    }
+
+    #[test]
+    fn uint_round_trips_past_the_f64_precision_cliff() {
+        // 2^53 + 1 is the first integer an f64 cannot represent.
+        let cliff = (1u64 << 53) + 1;
+        for v in [cliff, u64::MAX - 1, u64::MAX] {
+            let doc = Json::uint(v);
+            assert_eq!(doc.compact(), v.to_string());
+            let back = Json::parse(&doc.compact()).unwrap();
+            assert_eq!(back.as_u64().unwrap(), v, "exact round trip");
+            assert!(matches!(back, Json::Uint(_)));
+        }
+        // Below the cliff the parser keeps producing Num, as before.
+        assert!(matches!(Json::parse("5000").unwrap(), Json::Num(_)));
+        // Signed/fractional/exponent forms never take the Uint path.
+        assert!(matches!(Json::parse("-5").unwrap(), Json::Num(_)));
+        assert!(matches!(Json::parse("1e300").unwrap(), Json::Num(_)));
+    }
+
+    #[test]
+    fn uint_and_num_compare_by_value() {
+        assert_eq!(Json::uint(5000), Json::num(5000.0));
+        assert_eq!(Json::num(0.0), Json::uint(0));
+        assert_ne!(Json::uint(5), Json::num(5.5));
+        assert_ne!(Json::uint(u64::MAX), Json::num(u64::MAX as f64));
+        // Nested: a document using Uint equals its parse (which may
+        // demote small values to Num).
+        let doc = Json::obj([("hits", Json::uint(42)), ("rate", Json::num(0.5))]);
+        assert_eq!(Json::parse(&doc.compact()).unwrap(), doc);
+    }
+
+    #[test]
+    fn uint_accessors_are_exact() {
+        let big = Json::uint((1u64 << 60) + 7);
+        assert_eq!(big.as_u64().unwrap(), (1u64 << 60) + 7);
+        assert_eq!(big.as_usize().unwrap(), (1usize << 60) + 7);
+        assert_eq!(big.as_f64().unwrap(), ((1u64 << 60) + 7) as f64);
+        // A Num past 2^53 still refuses integer reads (ambiguous),
+        // while a Uint there is exact.
+        assert!(Json::num(((1u64 << 53) + 2) as f64).as_u64().is_err());
+        assert_eq!(
+            Json::uint((1u64 << 53) + 2).as_u64().unwrap(),
+            (1u64 << 53) + 2
+        );
     }
 }

@@ -14,7 +14,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A cooperative cancellation flag shared between the scheduler, its
 /// workers, and — for portfolios — sibling jobs.
@@ -208,6 +208,14 @@ pub fn effective_threads(requested: usize) -> usize {
 /// timing-dependent).
 ///
 /// Returns the number of items delivered to the sink.
+///
+/// Telemetry: per-task execution time and the delay between an item
+/// finishing and the in-order fold consuming it are recorded into
+/// [`cnash_telemetry::hot`] (`POOL_TASK_NS`, `POOL_FOLD_WAIT_NS`),
+/// along with task and per-worker fold counts. Timing is skipped
+/// entirely when telemetry is disabled, and nothing recorded feeds
+/// back into scheduling — delivery order (and thus every folded
+/// result) is identical with telemetry on or off.
 pub fn fan_out_ordered<T: Send>(
     total: usize,
     threads: usize,
@@ -218,6 +226,7 @@ pub fn fan_out_ordered<T: Send>(
     if total == 0 {
         return 0;
     }
+    let timing_on = cnash_telemetry::enabled();
     let threads = effective_threads(threads).min(total);
     // Bound the reorder buffer: workers stop claiming indices more than
     // `window` ahead of the fold watermark, so a single slow item keeps
@@ -228,8 +237,12 @@ pub fn fan_out_ordered<T: Send>(
     let mut delivered = 0usize;
 
     std::thread::scope(|scope| {
-        let (tx, rx) = mpsc::channel::<(usize, T)>();
-        for _ in 0..threads {
+        // Each result carries its producing worker and (when telemetry
+        // is on) its completion instant, so the fold can credit the
+        // worker and measure how long the item sat in the reorder
+        // buffer.
+        let (tx, rx) = mpsc::channel::<(usize, T, usize, Option<Instant>)>();
+        for worker in 0..threads {
             let tx = tx.clone();
             let next = &next;
             let watermark = &watermark;
@@ -254,9 +267,17 @@ pub fn fan_out_ordered<T: Send>(
                     if k >= total {
                         break;
                     }
+                    let started = timing_on.then(Instant::now);
+                    let item = work(k);
+                    cnash_telemetry::hot::POOL_TASKS.inc();
+                    let done = started.map(|s| {
+                        cnash_telemetry::hot::POOL_TASK_NS
+                            .record(u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                        Instant::now()
+                    });
                     // The aggregator may have hung up after a break;
                     // losing the send is fine then.
-                    if tx.send((k, work(k))).is_err() {
+                    if tx.send((k, item, worker, done)).is_err() {
                         break;
                     }
                 }
@@ -265,15 +286,20 @@ pub fn fan_out_ordered<T: Send>(
         drop(tx);
 
         // Reorder completion-order arrivals into index order.
-        let mut pending: BTreeMap<usize, T> = BTreeMap::new();
+        let mut pending: BTreeMap<usize, (T, usize, Option<Instant>)> = BTreeMap::new();
         let mut next_fold = 0usize;
-        'recv: for (k, item) in rx {
-            pending.insert(k, item);
-            while let Some(item) = pending.remove(&next_fold) {
+        'recv: for (k, item, worker, done) in rx {
+            pending.insert(k, (item, worker, done));
+            while let Some((item, worker, done)) = pending.remove(&next_fold) {
                 let idx = next_fold;
                 next_fold += 1;
                 watermark.store(next_fold, Ordering::Relaxed);
                 delivered += 1;
+                cnash_telemetry::hot::record_worker_fold(worker);
+                if let Some(done) = done {
+                    cnash_telemetry::hot::POOL_FOLD_WAIT_NS
+                        .record(u64::try_from(done.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                }
                 if sink(idx, item).is_break() {
                     cancel.cancel();
                     break 'recv;

@@ -1,0 +1,18 @@
+//! Captures the compiler version at build time so the daemon can
+//! report it (`serviced --version`, the `build` block of a ping
+//! response) without shelling out at runtime.
+
+use std::process::Command;
+
+fn main() {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".into());
+    let version = Command::new(&rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .map(|out| String::from_utf8_lossy(&out.stdout).trim().to_string())
+        .unwrap_or_else(|| "rustc (unknown)".into());
+    println!("cargo:rustc-env=CNASH_RUSTC_VERSION={version}");
+    println!("cargo:rerun-if-env-changed=RUSTC");
+}

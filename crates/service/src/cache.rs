@@ -32,8 +32,8 @@ use cnash_qubo::dwave::DWaveModel;
 use cnash_qubo::squbo::{SQubo, SQuboWeights};
 use cnash_runtime::spec::{GameSpec, SolverSpec};
 use cnash_runtime::{Json, SpecError};
+use cnash_telemetry::{Counter, Registry};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Ground-truth enumeration tolerance (the workspace-wide epsilon used
@@ -79,15 +79,19 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Serialises the snapshot (all counts as JSON numbers).
+    /// Serialises the snapshot. Counts are emitted as [`Json::uint`] so
+    /// long-running daemons report them exactly: the old `as f64` path
+    /// silently lost precision past 2^53. The rendered bytes are
+    /// unchanged for values below that cliff (integers print as
+    /// integers either way).
     pub fn to_json(&self) -> Json {
         Json::obj([
-            ("instance_hits", Json::num(self.instance_hits as f64)),
-            ("instance_misses", Json::num(self.instance_misses as f64)),
-            ("instances", Json::num(self.instances as f64)),
-            ("truth_hits", Json::num(self.truth_hits as f64)),
-            ("truth_misses", Json::num(self.truth_misses as f64)),
-            ("truths", Json::num(self.truths as f64)),
+            ("instance_hits", Json::uint(self.instance_hits)),
+            ("instance_misses", Json::uint(self.instance_misses)),
+            ("instances", Json::uint(self.instances)),
+            ("truth_hits", Json::uint(self.truth_hits)),
+            ("truth_misses", Json::uint(self.truth_misses)),
+            ("truths", Json::uint(self.truths)),
         ])
     }
 }
@@ -114,10 +118,10 @@ pub struct InstanceCache {
     truths: Mutex<HashMap<u64, TruthSlot>>,
     max_instances: usize,
     max_truths: usize,
-    instance_hits: AtomicU64,
-    instance_misses: AtomicU64,
-    truth_hits: AtomicU64,
-    truth_misses: AtomicU64,
+    instance_hits: Arc<Counter>,
+    instance_misses: Arc<Counter>,
+    truth_hits: Arc<Counter>,
+    truth_misses: Arc<Counter>,
 }
 
 impl Default for InstanceCache {
@@ -132,6 +136,20 @@ impl InstanceCache {
         Self::default()
     }
 
+    /// Creates an empty cache whose hit/miss counters live in
+    /// `registry` (as `cache_instance_hits`, `cache_instance_misses`,
+    /// `cache_truth_hits`, `cache_truth_misses`), so a metrics snapshot
+    /// of the registry sees them without asking the cache.
+    pub fn with_registry(registry: &Registry) -> Self {
+        Self {
+            instance_hits: registry.counter("cache_instance_hits"),
+            instance_misses: registry.counter("cache_instance_misses"),
+            truth_hits: registry.counter("cache_truth_hits"),
+            truth_misses: registry.counter("cache_truth_misses"),
+            ..Self::default()
+        }
+    }
+
     /// Creates an empty cache bounded at `max_instances` programmed
     /// instances and `max_truths` ground-truth sets (each clamped to at
     /// least 1).
@@ -141,21 +159,21 @@ impl InstanceCache {
             truths: Mutex::new(HashMap::new()),
             max_instances: max_instances.max(1),
             max_truths: max_truths.max(1),
-            instance_hits: AtomicU64::new(0),
-            instance_misses: AtomicU64::new(0),
-            truth_hits: AtomicU64::new(0),
-            truth_misses: AtomicU64::new(0),
+            instance_hits: Arc::new(Counter::new()),
+            instance_misses: Arc::new(Counter::new()),
+            truth_hits: Arc::new(Counter::new()),
+            truth_misses: Arc::new(Counter::new()),
         }
     }
 
     /// A snapshot of the hit/miss counters and entry counts.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            instance_hits: self.instance_hits.load(Ordering::Relaxed),
-            instance_misses: self.instance_misses.load(Ordering::Relaxed),
+            instance_hits: self.instance_hits.get(),
+            instance_misses: self.instance_misses.get(),
             instances: self.instances.lock().expect("cache poisoned").len() as u64,
-            truth_hits: self.truth_hits.load(Ordering::Relaxed),
-            truth_misses: self.truth_misses.load(Ordering::Relaxed),
+            truth_hits: self.truth_hits.get(),
+            truth_misses: self.truth_misses.get(),
             truths: self.truths.lock().expect("cache poisoned").len() as u64,
         }
     }
@@ -289,9 +307,9 @@ impl InstanceCache {
             }
         };
         if hit {
-            self.truth_hits.fetch_add(1, Ordering::Relaxed);
+            self.truth_hits.inc();
         } else {
-            self.truth_misses.fetch_add(1, Ordering::Relaxed);
+            self.truth_misses.inc();
         }
         Arc::clone(slot.get_or_init(|| Arc::new(enumerate_equilibria(game, TRUTH_TOL))))
     }
@@ -311,9 +329,9 @@ impl InstanceCache {
 
     fn count_instance(&self, hit: bool) {
         if hit {
-            self.instance_hits.fetch_add(1, Ordering::Relaxed);
+            self.instance_hits.inc();
         } else {
-            self.instance_misses.fetch_add(1, Ordering::Relaxed);
+            self.instance_misses.inc();
         }
     }
 }
@@ -488,6 +506,38 @@ mod tests {
         assert_eq!(stats.instances, 1, "the failed slot is held");
         // Finding the cached failure is not a hit — nothing was served.
         assert_eq!((stats.instance_hits, stats.instance_misses), (0, 2));
+    }
+
+    #[test]
+    fn registry_backed_counters_are_visible_in_snapshots() {
+        let registry = Registry::new();
+        let cache = InstanceCache::with_registry(&registry);
+        let game = GameSpec::Builtin("battle_of_the_sexes".into());
+        assert!(!cache.prepare(&game, &cnash_spec(100)).unwrap().cache_hit);
+        assert!(cache.prepare(&game, &cnash_spec(100)).unwrap().cache_hit);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["cache_instance_hits"], 1);
+        assert_eq!(snap.counters["cache_instance_misses"], 1);
+        // The cache's own stats read the same counters.
+        let stats = cache.stats();
+        assert_eq!((stats.instance_hits, stats.instance_misses), (1, 1));
+    }
+
+    #[test]
+    fn stats_json_is_exact_past_the_f64_cliff() {
+        let stats = CacheStats {
+            instance_hits: (1u64 << 53) + 1,
+            instance_misses: 0,
+            instances: 0,
+            truth_hits: 0,
+            truth_misses: 0,
+            truths: 0,
+        };
+        let json = stats.to_json();
+        assert_eq!(
+            json.get("instance_hits").unwrap().as_u64().unwrap(),
+            (1u64 << 53) + 1
+        );
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! continuously — the ROADMAP's service axis:
 //!
 //! * [`protocol`] — JSON-lines over TCP: `ping` / `solve` / `stats` /
-//!   `shutdown` requests, one JSON object per line, responses streamed
-//!   back **in request order** per connection;
+//!   `metrics` / `shutdown` requests, one JSON object per line,
+//!   responses streamed back **in request order** per connection;
 //! * [`cache`] — the instance cache: programmed bi-crossbars and
 //!   S-QUBOs memoized by the game's canonical payoff fingerprint
 //!   (`cnash_game::canonical`) plus the programming-relevant config

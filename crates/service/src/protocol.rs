@@ -10,7 +10,8 @@
 //! {"op":"solve","id":2,"job":{...jobs-file job spec...}}
 //! {"op":"solve","id":3,"job":{...},"ground_truth":"skip"}
 //! {"op":"stats","id":4}
-//! {"op":"shutdown","id":5}
+//! {"op":"metrics","id":5}
+//! {"op":"shutdown","id":6}
 //! ```
 //!
 //! The `job` payload is exactly one entry of a `cnash-runtime` jobs
@@ -55,9 +56,55 @@
 //! every earlier response on the connection has been emitted); they are
 //! deterministic whenever no later-submitted or concurrent work races
 //! them — in particular a `stats` as the final query of a connection.
+//!
+//! ## The `metrics` response schema
+//!
+//! `{"op":"metrics"}` returns the daemon's full telemetry snapshot.
+//! The schema below is **stable**: fields are only ever added, never
+//! renamed or removed, and all counts are exact JSON integers
+//! ([`Json::uint`] — no `f64` precision cliff). Like `stats`, the
+//! snapshot is taken at emission time.
+//!
+//! ```json
+//! {"id":5,"ok":true,"metrics":{
+//!   "enabled":true,
+//!   "counters":{"cache_instance_hits":63, "op_solve":64, "sa_runs":640, ...},
+//!   "gauges":{"sched_queue_depth_0":0, ...},
+//!   "histograms":{"op_solve_ns":{"count":64,"sum_ns":812345678,
+//!     "min_ns":901234,"max_ns":55123456,"mean_ns":12692901.2,
+//!     "p50_ns":11534335,"p90_ns":23068671,"p99_ns":50331647,"p999_ns":55123456}, ...},
+//!   "events":{"dropped":0,"entries":[{"seq":0,"at_us":1754650000000000,
+//!     "kind":"...","detail":"..."}]},
+//!   "sa_trace":{"dropped":0,"entries":[...]},
+//!   "pool_worker_folds":[1024,1019,997,1008]
+//! }}
+//! ```
+//!
+//! * `enabled` — the process-wide telemetry switch
+//!   ([`cnash_telemetry::enabled`]). Counters keep counting when it is
+//!   off; only timing spans and event pushes stop.
+//! * `counters` / `gauges` / `histograms` — the daemon registry
+//!   (per-op latencies `op_<name>_ns`, scheduler `sched_*`, cache
+//!   `cache_*`) merged with the process-global hot-path aggregates
+//!   (`sa_runs`, `sa_sweeps`, `sa_accepts`, `sa_swaps`, `pool_tasks`,
+//!   `pool_task_ns`, `pool_fold_wait_ns`). Histogram quantiles are the
+//!   log-bucketed upper bounds (≤ ~3.2% relative error), clamped to
+//!   the observed `max_ns`; `min_ns` is 0 while a histogram is empty.
+//! * `events` — the registry event ring, oldest first, with the exact
+//!   count of evicted entries; `sa_trace` — the sampled annealer
+//!   energy trajectory ring (empty unless sampling is enabled, see
+//!   `serviced --sa-trace-interval` /
+//!   [`cnash_telemetry::hot::set_sa_trace_interval`]).
+//! * `pool_worker_folds` — per-worker-slot fold counts from the
+//!   deterministic fold pool, trimmed to the highest slot seen.
+//!
+//! Because the hot-path aggregates are process-global, embedded
+//! daemons sharing one process also share those totals; the
+//! registry-backed sections are strictly per-daemon.
 
 use cnash_runtime::spec::JobSpec;
 use cnash_runtime::{Json, SpecError};
+use cnash_telemetry::{hot, Event, HistSnapshot, RegistrySnapshot};
 
 /// How a solve request obtains ground-truth equilibria.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +131,8 @@ pub enum Request {
     },
     /// Cache / scheduler statistics.
     Stats,
+    /// Full telemetry snapshot (see the module docs for the schema).
+    Metrics,
     /// Orderly daemon shutdown.
     Shutdown,
 }
@@ -131,6 +180,7 @@ fn decode(doc: &Json) -> Result<Request, SpecError> {
     match op {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         "solve" => {
             let job = doc.get("job").map_err(|e| SpecError {
@@ -167,12 +217,130 @@ pub fn error_response(id: &Json, message: &str) -> Json {
     ])
 }
 
-/// Builds the `ping` response.
+/// The daemon's build identity: crate version and the compiler that
+/// produced the binary (both captured at compile time).
+pub fn build_info() -> Json {
+    Json::obj([
+        ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+        ("rustc", Json::str(env!("CNASH_RUSTC_VERSION"))),
+    ])
+}
+
+/// Builds the `ping` response. Carries the daemon's [`build_info`] so
+/// a liveness probe doubles as a version check (golden-file tooling
+/// strips the `build` block — it varies with the toolchain).
 pub fn pong_response(id: &Json) -> Json {
     Json::obj([
         ("id", id.clone()),
         ("ok", Json::Bool(true)),
         ("pong", Json::Bool(true)),
+        ("build", build_info()),
+    ])
+}
+
+/// Renders one histogram snapshot in the wire schema (see module
+/// docs): exact integer count/sum/min/max plus log-bucketed
+/// percentiles, all in nanoseconds.
+fn histogram_json(h: &HistSnapshot) -> Json {
+    Json::obj([
+        ("count", Json::uint(h.count)),
+        ("sum_ns", Json::uint(h.sum)),
+        ("min_ns", Json::uint(if h.count == 0 { 0 } else { h.min })),
+        ("max_ns", Json::uint(h.max)),
+        ("mean_ns", Json::num(h.mean())),
+        ("p50_ns", Json::uint(h.quantile(0.50))),
+        ("p90_ns", Json::uint(h.quantile(0.90))),
+        ("p99_ns", Json::uint(h.quantile(0.99))),
+        ("p999_ns", Json::uint(h.quantile(0.999))),
+    ])
+}
+
+/// Renders an event list plus its exact eviction count.
+fn events_json(entries: &[Event], dropped: u64) -> Json {
+    Json::obj([
+        ("dropped", Json::uint(dropped)),
+        (
+            "entries",
+            Json::Arr(
+                entries
+                    .iter()
+                    .map(|e| {
+                        Json::obj([
+                            ("seq", Json::uint(e.seq)),
+                            ("at_us", Json::uint(e.at_us)),
+                            ("kind", Json::str(e.kind)),
+                            ("detail", Json::str(&e.detail)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Builds the `metrics` response from the daemon's registry snapshot,
+/// folding in the process-global hot-path aggregates
+/// ([`cnash_telemetry::hot`]). The schema is documented (and kept
+/// stable) in the module docs.
+pub fn metrics_response(id: &Json, snapshot: &RegistrySnapshot) -> Json {
+    let mut counters: Vec<(String, Json)> = snapshot
+        .counters
+        .iter()
+        .map(|(name, &v)| (name.clone(), Json::uint(v)))
+        .collect();
+    for (name, counter) in [
+        ("pool_tasks", &hot::POOL_TASKS),
+        ("sa_accepts", &hot::SA_ACCEPTS),
+        ("sa_runs", &hot::SA_RUNS),
+        ("sa_swaps", &hot::SA_SWAPS),
+        ("sa_sweeps", &hot::SA_SWEEPS),
+    ] {
+        counters.push((name.to_string(), Json::uint(counter.get())));
+    }
+    counters.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let gauges: Vec<(String, Json)> = snapshot
+        .gauges
+        .iter()
+        .map(|(name, &v)| {
+            let value = u64::try_from(v).map_or_else(|_| Json::num(v as f64), Json::uint);
+            (name.clone(), value)
+        })
+        .collect();
+
+    let mut histograms: Vec<(String, Json)> = snapshot
+        .histograms
+        .iter()
+        .map(|(name, h)| (name.clone(), histogram_json(h)))
+        .collect();
+    for (name, hist) in [
+        ("pool_fold_wait_ns", &hot::POOL_FOLD_WAIT_NS),
+        ("pool_task_ns", &hot::POOL_TASK_NS),
+    ] {
+        histograms.push((name.to_string(), histogram_json(&hist.snapshot())));
+    }
+    histograms.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let (trace, trace_dropped) = hot::SA_TRACE.snapshot();
+    let metrics = Json::obj([
+        ("enabled", Json::Bool(cnash_telemetry::enabled())),
+        ("counters", Json::Obj(counters.into_iter().collect())),
+        ("gauges", Json::Obj(gauges.into_iter().collect())),
+        ("histograms", Json::Obj(histograms.into_iter().collect())),
+        (
+            "events",
+            events_json(&snapshot.events, snapshot.events_dropped),
+        ),
+        ("sa_trace", events_json(&trace, trace_dropped)),
+        (
+            "pool_worker_folds",
+            Json::Arr(hot::worker_folds().into_iter().map(Json::uint).collect()),
+        ),
+    ]);
+    Json::obj([
+        ("id", id.clone()),
+        ("ok", Json::Bool(true)),
+        ("metrics", metrics),
     ])
 }
 
@@ -210,6 +378,10 @@ mod tests {
             Ok(Request::Stats)
         ));
         assert!(matches!(
+            parse_request(r#"{"op":"metrics","id":5}"#).request,
+            Ok(Request::Metrics)
+        ));
+        assert!(matches!(
             parse_request(r#"{"op":"shutdown","id":"bye"}"#).request,
             Ok(Request::Shutdown)
         ));
@@ -242,6 +414,71 @@ mod tests {
                 .request
                 .is_err()
         );
+    }
+
+    #[test]
+    fn pong_carries_build_info() {
+        let pong = pong_response(&Json::num(1.0));
+        let build = pong.get("build").unwrap();
+        assert_eq!(
+            build.get("version").unwrap().as_str().unwrap(),
+            env!("CARGO_PKG_VERSION")
+        );
+        assert!(build
+            .get("rustc")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("rustc"));
+    }
+
+    #[test]
+    fn metrics_response_has_the_documented_shape() {
+        let reg = cnash_telemetry::Registry::new();
+        reg.counter("op_ping").add(3);
+        reg.gauge("sched_queue_depth_0").set(0);
+        reg.histogram("op_solve_ns").record(1500);
+        let _ = reg.events().push("smoke", "hello".into());
+        let resp = metrics_response(&Json::num(9.0), &reg.snapshot());
+        assert_eq!(resp.get("ok").unwrap(), &Json::Bool(true));
+        let m = resp.get("metrics").unwrap();
+        assert!(matches!(m.get("enabled").unwrap(), Json::Bool(_)));
+        let counters = m.get("counters").unwrap();
+        assert_eq!(counters.get("op_ping").unwrap().as_u64().unwrap(), 3);
+        // The process-global hot aggregates are merged in by name.
+        for name in [
+            "sa_runs",
+            "sa_sweeps",
+            "sa_accepts",
+            "sa_swaps",
+            "pool_tasks",
+        ] {
+            assert!(
+                counters.get(name).unwrap().as_u64().is_ok(),
+                "missing {name}"
+            );
+        }
+        assert_eq!(
+            m.get("gauges").unwrap().get("sched_queue_depth_0").unwrap(),
+            &Json::uint(0)
+        );
+        let hist = m.get("histograms").unwrap().get("op_solve_ns").unwrap();
+        for key in [
+            "count", "sum_ns", "min_ns", "max_ns", "mean_ns", "p50_ns", "p90_ns", "p99_ns",
+            "p999_ns",
+        ] {
+            assert!(hist.get(key).is_ok(), "missing histogram field {key}");
+        }
+        assert_eq!(hist.get("count").unwrap().as_u64().unwrap(), 1);
+        // Quantiles clamp to the observed max: a single observation is
+        // every percentile.
+        assert_eq!(hist.get("p999_ns").unwrap().as_u64().unwrap(), 1500);
+        let events = m.get("events").unwrap();
+        assert_eq!(events.get("dropped").unwrap().as_u64().unwrap(), 0);
+        let entry = &events.get("entries").unwrap().as_arr().unwrap()[0];
+        assert_eq!(entry.get("kind").unwrap().as_str().unwrap(), "smoke");
+        assert!(m.get("sa_trace").unwrap().get("dropped").is_ok());
+        assert!(m.get("pool_worker_folds").unwrap().as_arr().is_ok());
     }
 
     #[test]

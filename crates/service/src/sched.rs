@@ -18,6 +18,7 @@
 
 use cnash_runtime::pool::effective_threads;
 use cnash_runtime::WorkQueue;
+use cnash_telemetry::{Counter, Gauge, Registry};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -26,25 +27,80 @@ use std::time::Duration;
 /// A unit of scheduled work.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Telemetry handles shared by the submit path and every shard loop.
+///
+/// Queue-depth gauges count jobs *queued but not yet started*: `inc` on
+/// a successful push, `dec` the moment a shard pops (or steals) the
+/// job. `executed` counts completed job runs; `steals` the subset that
+/// ran on a shard other than the one they were submitted to.
+#[derive(Debug)]
+struct SchedTelemetry {
+    depth: Vec<Arc<Gauge>>,
+    executed: Arc<Counter>,
+    steals: Arc<Counter>,
+}
+
+impl SchedTelemetry {
+    /// Fresh, unregistered instruments (scheduler-local stats).
+    fn local(count: usize) -> Self {
+        Self {
+            depth: (0..count).map(|_| Arc::new(Gauge::new())).collect(),
+            executed: Arc::new(Counter::new()),
+            steals: Arc::new(Counter::new()),
+        }
+    }
+
+    /// Instruments owned by `registry` under the stable names
+    /// `sched_queue_depth_<shard>`, `sched_jobs_executed` and
+    /// `sched_steals`.
+    fn registered(count: usize, registry: &Registry) -> Self {
+        Self {
+            depth: (0..count)
+                .map(|me| registry.gauge(&format!("sched_queue_depth_{me}")))
+                .collect(),
+            executed: registry.counter("sched_jobs_executed"),
+            steals: registry.counter("sched_steals"),
+        }
+    }
+}
+
 /// Sharded work-stealing executor.
 pub struct Scheduler {
     shards: Vec<Arc<WorkQueue<Job>>>,
     workers: Vec<JoinHandle<()>>,
     next: AtomicUsize,
+    telemetry: Arc<SchedTelemetry>,
 }
 
 impl Scheduler {
     /// Spawns `shards` worker shards (`0` = one per available core).
     pub fn new(shards: usize) -> Self {
+        Self::build(shards, None)
+    }
+
+    /// Spawns a scheduler whose queue-depth gauges and steal/executed
+    /// counters live in `registry`, under the stable names
+    /// `sched_queue_depth_<shard>`, `sched_jobs_executed` and
+    /// `sched_steals`.
+    pub fn with_registry(shards: usize, registry: &Registry) -> Self {
+        Self::build(shards, Some(registry))
+    }
+
+    fn build(shards: usize, registry: Option<&Registry>) -> Self {
         let count = effective_threads(shards);
+        let telemetry = Arc::new(match registry {
+            Some(reg) => SchedTelemetry::registered(count, reg),
+            None => SchedTelemetry::local(count),
+        });
         let queues: Vec<Arc<WorkQueue<Job>>> =
             (0..count).map(|_| Arc::new(WorkQueue::new())).collect();
         let workers = (0..count)
             .map(|me| {
                 let queues = queues.clone();
+                let telemetry = Arc::clone(&telemetry);
                 std::thread::Builder::new()
                     .name(format!("cnash-shard-{me}"))
-                    .spawn(move || shard_loop(me, &queues))
+                    .spawn(move || shard_loop(me, &queues, &telemetry))
                     .expect("spawn shard worker")
             })
             .collect();
@@ -52,12 +108,23 @@ impl Scheduler {
             shards: queues,
             workers,
             next: AtomicUsize::new(0),
+            telemetry,
         }
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Total jobs executed to completion (any shard).
+    pub fn jobs_executed(&self) -> u64 {
+        self.telemetry.executed.get()
+    }
+
+    /// Jobs that ran on a shard other than the one they were queued on.
+    pub fn jobs_stolen(&self) -> u64 {
+        self.telemetry.steals.get()
     }
 
     /// Submits a job (round-robin shard assignment).
@@ -67,7 +134,17 @@ impl Scheduler {
     /// Returns the job back if the scheduler is shut down.
     pub fn submit(&self, job: Job) -> Result<(), Job> {
         let shard = self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len();
-        self.shards[shard].push(job)
+        // Gauge up *before* the push: a shard may pop the job
+        // immediately, and its `dec` must never observe the gauge
+        // before our `inc` (the depth would transiently read −1).
+        self.telemetry.depth[shard].inc();
+        match self.shards[shard].push(job) {
+            Ok(()) => Ok(()),
+            Err(job) => {
+                self.telemetry.depth[shard].dec();
+                Err(job)
+            }
+        }
     }
 
     /// Closes every shard queue and joins the workers once queued work
@@ -93,20 +170,25 @@ fn run_isolated(job: Job) {
     }
 }
 
-fn shard_loop(me: usize, queues: &[Arc<WorkQueue<Job>>]) {
+fn shard_loop(me: usize, queues: &[Arc<WorkQueue<Job>>], telemetry: &SchedTelemetry) {
     let own = &queues[me];
     loop {
         // Own work first (FIFO).
         if let Some(job) = own.pop_timeout(Duration::from_millis(20)) {
+            telemetry.depth[me].dec();
             run_isolated(job);
+            telemetry.executed.inc();
             continue;
         }
         // Idle: steal the newest job from the first busy sibling.
         let stolen = (1..queues.len())
-            .map(|k| &queues[(me + k) % queues.len()])
-            .find_map(|q| q.steal());
-        if let Some(job) = stolen {
+            .map(|k| (me + k) % queues.len())
+            .find_map(|victim| queues[victim].steal().map(|job| (victim, job)));
+        if let Some((victim, job)) = stolen {
+            telemetry.depth[victim].dec();
+            telemetry.steals.inc();
             run_isolated(job);
+            telemetry.executed.inc();
             continue;
         }
         if own.is_closed() {
@@ -180,6 +262,29 @@ mod tests {
         // The job after the panicking one still runs on the same shard.
         assert_eq!(rx.recv_timeout(Duration::from_secs(10)), Ok(42));
         sched.shutdown(); // and shutdown joins cleanly (no poisoned worker)
+    }
+
+    #[test]
+    fn telemetry_accounts_for_every_job_and_settles_to_empty_queues() {
+        let registry = Registry::new();
+        let sched = Scheduler::with_registry(2, &registry);
+        let (tx, rx) = mpsc::channel();
+        for k in 0..20usize {
+            let tx = tx.clone();
+            sched
+                .submit(Box::new(move || tx.send(k).unwrap()))
+                .unwrap_or_else(|_| panic!("open scheduler accepts work"));
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 20);
+        assert!(sched.jobs_executed() <= 20);
+        sched.shutdown();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["sched_jobs_executed"], 20);
+        assert!(snap.counters["sched_steals"] <= 20);
+        // Every queued job was consumed: the depth gauges settle at 0.
+        assert_eq!(snap.gauges["sched_queue_depth_0"], 0);
+        assert_eq!(snap.gauges["sched_queue_depth_1"], 0);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use cnash_game::support_enum::MAX_ENUM_ACTIONS;
 use cnash_runtime::report::game_report_json;
 use cnash_runtime::spec::JobSpec;
 use cnash_runtime::{BatchRunner, CancelToken, Json};
+use cnash_telemetry::{Registry, TelemetrySpan};
 use std::collections::{BTreeMap, HashMap};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -109,6 +110,7 @@ pub struct ServiceHandle {
     addr: SocketAddr,
     signal: ShutdownSignal,
     accept: JoinHandle<()>,
+    registry: Arc<Registry>,
 }
 
 impl ServiceHandle {
@@ -116,6 +118,13 @@ impl ServiceHandle {
     /// for port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The daemon's telemetry registry (per-op latency histograms,
+    /// scheduler gauges, cache counters) — what the `metrics` op and
+    /// `serviced --metrics-file` snapshot.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// A clonable handle that can shut the daemon down.
@@ -152,20 +161,23 @@ pub fn serve(config: ServiceConfig) -> std::io::Result<ServiceHandle> {
         connections: Arc::new(Mutex::new(HashMap::new())),
         next_conn: Arc::new(AtomicU64::new(0)),
     };
-    let cache = Arc::new(InstanceCache::new());
-    let scheduler = Arc::new(Scheduler::new(config.shards));
+    let registry = Arc::new(Registry::new());
+    let cache = Arc::new(InstanceCache::with_registry(&registry));
+    let scheduler = Arc::new(Scheduler::with_registry(config.shards, &registry));
 
     let accept = {
         let signal = signal.clone();
+        let registry = Arc::clone(&registry);
         std::thread::Builder::new()
             .name("cnash-accept".into())
-            .spawn(move || accept_loop(listener, config, cache, scheduler, signal))
+            .spawn(move || accept_loop(listener, config, cache, scheduler, registry, signal))
             .expect("spawn accept loop")
     };
     Ok(ServiceHandle {
         addr,
         signal,
         accept,
+        registry,
     })
 }
 
@@ -174,6 +186,7 @@ fn accept_loop(
     config: ServiceConfig,
     cache: Arc<InstanceCache>,
     scheduler: Arc<Scheduler>,
+    registry: Arc<Registry>,
     signal: ShutdownSignal,
 ) {
     let mut connections: Vec<JoinHandle<()>> = Vec::new();
@@ -184,13 +197,16 @@ fn accept_loop(
         let Ok(stream) = stream else { continue };
         let cache = Arc::clone(&cache);
         let scheduler = Arc::clone(&scheduler);
+        let registry = Arc::clone(&registry);
         let signal = signal.clone();
         let config = config.clone();
         connections.retain(|h| !h.is_finished());
         connections.push(
             std::thread::Builder::new()
                 .name("cnash-conn".into())
-                .spawn(move || handle_connection(stream, &config, &cache, &scheduler, &signal))
+                .spawn(move || {
+                    handle_connection(stream, &config, &cache, &scheduler, &registry, &signal)
+                })
                 .expect("spawn connection handler"),
         );
     }
@@ -236,8 +252,15 @@ fn handle_connection(
     config: &ServiceConfig,
     cache: &Arc<InstanceCache>,
     scheduler: &Arc<Scheduler>,
+    registry: &Arc<Registry>,
     signal: &ShutdownSignal,
 ) {
+    // Per-op latency sinks, registered once per connection and shared
+    // with every job / lazy thunk this connection spawns.
+    let op_ping = registry.histogram("op_ping_ns");
+    let op_solve = registry.histogram("op_solve_ns");
+    let op_stats = registry.histogram("op_stats_ns");
+    let op_metrics = registry.histogram("op_metrics_ns");
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -299,17 +322,45 @@ fn handle_connection(
         let id = envelope.id;
         let out = match envelope.request {
             Err(e) => Out::Ready(protocol::error_response(&id, &e.message)),
-            Ok(Request::Ping) => Out::Ready(protocol::pong_response(&id)),
+            Ok(Request::Ping) => {
+                let span = TelemetrySpan::start(&op_ping);
+                let pong = protocol::pong_response(&id);
+                span.finish();
+                Out::Ready(pong)
+            }
             Ok(Request::Stats) => {
                 let cache = Arc::clone(cache);
-                let shards = scheduler.shard_count();
+                let scheduler = Arc::clone(scheduler);
+                let sink = Arc::clone(&op_stats);
                 Out::Lazy(Box::new(move || {
-                    Json::obj([
+                    let span = TelemetrySpan::start(&sink);
+                    let doc = Json::obj([
                         ("id", id.clone()),
                         ("ok", Json::Bool(true)),
                         ("stats", cache.stats().to_json()),
-                        ("shards", Json::num(shards as f64)),
-                    ])
+                        ("shards", Json::num(scheduler.shard_count() as f64)),
+                        // Grouped so golden-file tooling can strip the
+                        // scheduling-dependent counts in one move.
+                        (
+                            "scheduler",
+                            Json::obj([
+                                ("jobs_executed", Json::uint(scheduler.jobs_executed())),
+                                ("jobs_stolen", Json::uint(scheduler.jobs_stolen())),
+                            ]),
+                        ),
+                    ]);
+                    span.finish();
+                    doc
+                }))
+            }
+            Ok(Request::Metrics) => {
+                let registry = Arc::clone(registry);
+                let sink = Arc::clone(&op_metrics);
+                Out::Lazy(Box::new(move || {
+                    let span = TelemetrySpan::start(&sink);
+                    let doc = protocol::metrics_response(&id, &registry.snapshot());
+                    span.finish();
+                    doc
                 }))
             }
             Ok(Request::Shutdown) => {
@@ -330,7 +381,9 @@ fn handle_connection(
                 let cancel = signal.cancel.clone();
                 let batch_threads = config.batch_threads;
                 let job_id = id.clone();
+                let sink = Arc::clone(&op_solve);
                 let submitted = scheduler.submit(Box::new(move || {
+                    let span = TelemetrySpan::start(&sink);
                     // A panicking solve must still produce a response:
                     // the writer's reorder buffer cannot advance past a
                     // missing sequence number, so a lost response would
@@ -341,6 +394,7 @@ fn handle_connection(
                     .unwrap_or_else(|_| {
                         protocol::error_response(&job_id, "internal error: solve panicked")
                     });
+                    span.finish();
                     let _ = tx.send((my_seq, Out::Ready(response)));
                 }));
                 match submitted {
@@ -521,6 +575,64 @@ mod tests {
         let bye = Json::parse(&responses[2]).unwrap();
         assert!(bye.get("shutting_down").unwrap().as_bool().unwrap());
         handle.join(); // returns: the daemon exited on its own
+    }
+
+    #[test]
+    fn metrics_op_reports_per_op_latencies_and_cache_counters() {
+        let handle = serve(ServiceConfig::default()).unwrap();
+        let responses = send_lines(
+            handle.addr(),
+            &[
+                r#"{"op":"ping","id":1}"#,
+                SOLVE_BOS,
+                r#"{"op":"metrics","id":3}"#,
+            ],
+        );
+        assert_eq!(responses.len(), 3);
+        let ping = Json::parse(&responses[0]).unwrap();
+        assert!(ping.get("build").unwrap().get("version").is_ok());
+        let doc = Json::parse(&responses[2]).unwrap();
+        assert!(doc.get("ok").unwrap().as_bool().unwrap());
+        let m = doc.get("metrics").unwrap();
+        let counters = m.get("counters").unwrap();
+        // One solve, cold cache: exactly one programming miss, and the
+        // scheduler executed exactly that one job.
+        assert_eq!(
+            counters
+                .get("cache_instance_misses")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
+            1
+        );
+        assert_eq!(
+            counters
+                .get("sched_jobs_executed")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
+            1
+        );
+        // The metrics snapshot post-dates the emitted ping and solve:
+        // both latency histograms hold exactly one observation.
+        let hists = m.get("histograms").unwrap();
+        for name in ["op_ping_ns", "op_solve_ns"] {
+            assert_eq!(
+                hists
+                    .get(name)
+                    .unwrap()
+                    .get("count")
+                    .unwrap()
+                    .as_u64()
+                    .unwrap(),
+                1,
+                "histogram {name}"
+            );
+        }
+        // The solve drove the annealer: the process-global run counter
+        // is at least the 4 runs of this batch.
+        assert!(counters.get("sa_runs").unwrap().as_u64().unwrap() >= 4);
+        handle.stop();
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Fixed-capacity structured event log.
+//!
+//! A bounded ring of [`Event`]s guarded by a mutex — events are *rare*
+//! (connection errors, shutdowns, degraded requests, sampled SA
+//! traces), so a lock is the right tool; the lock-free machinery lives
+//! in the counters and histograms that sit on hot paths. Every event
+//! gets a process-unique, strictly increasing sequence number, and the
+//! ring keeps exact books: `dropped = next_seq - retained`, so a reader
+//! can always tell how much history it lost.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// One structured log entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Strictly increasing sequence number (0-based, never reused).
+    pub seq: u64,
+    /// Microseconds since the Unix epoch at push time.
+    pub at_us: u64,
+    /// Short machine-readable kind, e.g. `"conn_error"`, `"sa_trace"`.
+    pub kind: &'static str,
+    /// Free-form detail payload.
+    pub detail: String,
+}
+
+struct Ring {
+    buf: VecDeque<Event>,
+    next_seq: u64,
+}
+
+/// A bounded, drop-counting event ring.
+pub struct EventLog {
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+impl EventLog {
+    /// An empty log retaining at most `capacity` events (`capacity`
+    /// is clamped to at least 1).
+    #[must_use]
+    pub const fn new(capacity: usize) -> Self {
+        Self {
+            capacity: if capacity == 0 { 1 } else { capacity },
+            ring: Mutex::new(Ring {
+                buf: VecDeque::new(),
+                next_seq: 0,
+            }),
+        }
+    }
+
+    /// Appends an event, evicting the oldest once full. Returns the
+    /// assigned sequence number. A no-op returning `None` when
+    /// telemetry is globally disabled.
+    pub fn push(&self, kind: &'static str, detail: String) -> Option<u64> {
+        if !crate::enabled() {
+            return None;
+        }
+        let at_us = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
+        let mut ring = self.ring.lock().expect("event log lock");
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.buf.len() == self.capacity {
+            ring.buf.pop_front();
+        }
+        ring.buf.push_back(Event {
+            seq,
+            at_us,
+            kind,
+            detail,
+        });
+        Some(seq)
+    }
+
+    /// The retained events (oldest first) and the exact number of
+    /// events evicted so far.
+    #[must_use]
+    pub fn snapshot(&self) -> (Vec<Event>, u64) {
+        let ring = self.ring.lock().expect("event log lock");
+        let dropped = ring.next_seq - ring.buf.len() as u64;
+        (ring.buf.iter().cloned().collect(), dropped)
+    }
+
+    /// Total events ever pushed.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.ring.lock().expect("event log lock").next_seq
+    }
+
+    /// Maximum retained events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLog")
+            .field("capacity", &self.capacity)
+            .field("total", &self.total())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_are_dense_and_drops_exact() {
+        let log = EventLog::new(4);
+        for k in 0..10u64 {
+            assert_eq!(log.push("tick", format!("k={k}")), Some(k));
+        }
+        let (events, dropped) = log.snapshot();
+        assert_eq!(dropped, 6);
+        assert_eq!(events.len(), 4);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "oldest evicted first");
+        assert_eq!(log.total(), 10);
+    }
+
+    #[test]
+    fn under_capacity_drops_nothing() {
+        let log = EventLog::new(8);
+        log.push("a", String::new());
+        log.push("b", "x".into());
+        let (events, dropped) = log.snapshot();
+        assert_eq!(dropped, 0);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].kind, "b");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let log = EventLog::new(0);
+        assert_eq!(log.capacity(), 1);
+        log.push("a", String::new());
+        log.push("b", String::new());
+        let (events, dropped) = log.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(dropped, 1);
+    }
+}

@@ -1,0 +1,268 @@
+//! Log-bucketed latency histograms with exact merge.
+//!
+//! The bucket layout is the classic HDR-style compromise: values below
+//! `2 * SUB` (64) get one bucket each (exact), and every octave above
+//! that is split into `SUB` (32) sub-buckets, so the relative
+//! quantization error is bounded by `1/SUB ≈ 3%` at any magnitude up
+//! to `u64::MAX`. That yields a fixed [`BUCKETS`] (1920) array of
+//! atomic cells — recording is two relaxed `fetch_add`s plus a
+//! `fetch_min`/`fetch_max`, and needs no locks.
+//!
+//! Percentiles are read from a [`HistSnapshot`]: the reported
+//! `pXX` value is the **upper bound** of the bucket containing the
+//! rank-`ceil(q·count)` observation (clamped to the observed max), so a
+//! reported p99 is always ≥ the true p99 and within one sub-bucket of
+//! it. Snapshots merge bucket-wise ([`HistSnapshot::merge`]), which is
+//! associative and commutative — the deterministic-merge property the
+//! sharded recorders rely on, proptested in `tests/proptests.rs`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the sub-buckets per octave.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave (32): bounds the relative error at ~3%.
+const SUB: u64 = 1 << SUB_BITS;
+/// Total bucket count: 64 exact buckets + 32 per octave for octaves
+/// `1..=58` (the last of which tops out at `u64::MAX`).
+pub const BUCKETS: usize = (SUB as usize) * 2 + (SUB as usize) * 58;
+
+/// Maps a value to its bucket index. Total and monotone over `u64`.
+#[inline]
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB * 2 {
+        value as usize
+    } else {
+        let exp = 63 - value.leading_zeros(); // floor(log2), >= SUB_BITS + 1
+        let octave = (exp - SUB_BITS) as usize;
+        let mantissa = ((value >> (exp - SUB_BITS)) - SUB) as usize;
+        (SUB as usize) * (octave + 1) + mantissa
+    }
+}
+
+/// The inclusive `[lo, hi]` value range of a bucket.
+#[must_use]
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    let sub = SUB as usize;
+    if index < sub * 2 {
+        return (index as u64, index as u64);
+    }
+    let octave = (index / sub - 1) as u32;
+    let mantissa = (index % sub) as u64;
+    // Computed in u128: the top bucket's exclusive upper bound is 2^64.
+    let lo = u128::from(SUB + mantissa) << octave;
+    let hi = (u128::from(SUB + mantissa + 1) << octave) - 1;
+    (lo as u64, hi.min(u128::from(u64::MAX)) as u64)
+}
+
+/// A lock-free recording histogram.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current state out. Concurrent recording makes the
+    /// copy a consistent lower bound, exact once writers are quiescent.
+    #[must_use]
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = vec![0u64; BUCKETS];
+        for (slot, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        HistSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A plain-data copy of a histogram, mergeable and queryable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (wrapping at `u64::MAX`).
+    pub sum: u64,
+    /// Smallest observation (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// An empty snapshot (the merge identity).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            buckets: vec![0u64; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Folds `other` in, bucket-wise. Associative and commutative, so
+    /// shards may be merged in any order with identical results.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine = mine.wrapping_add(*theirs);
+        }
+        self.count = self.count.wrapping_add(other.count);
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket holding the rank-`ceil(q·count)` observation, clamped to
+    /// the observed `max`. Returns 0 for an empty snapshot.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_bounds(index).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean observation (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_total_and_monotone_at_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(63), 63);
+        assert_eq!(bucket_index(64), 64);
+        assert_eq!(bucket_index(127), 95);
+        assert_eq!(bucket_index(128), 96);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        let mut last = 0;
+        for v in [0u64, 1, 63, 64, 65, 1000, 65_536, 1 << 40, u64::MAX] {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "index must be monotone in the value");
+            last = idx;
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_their_members() {
+        for v in [0u64, 1, 31, 63, 64, 97, 128, 1000, 123_456_789, u64::MAX] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+        }
+        assert_eq!(bucket_bounds(BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn exact_region_is_exact() {
+        let h = Histogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 64);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 63);
+        assert_eq!(snap.quantile(0.5), 31);
+        assert_eq!(snap.quantile(1.0), 63);
+    }
+
+    #[test]
+    fn quantiles_are_upper_bounds_within_one_sub_bucket() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let p99 = snap.quantile(0.99);
+        assert!(p99 >= 9900, "p99 must not under-report: {p99}");
+        assert!(
+            p99 as f64 <= 9900.0 * (1.0 + 2.0 / SUB as f64),
+            "p99 too loose: {p99}"
+        );
+        assert_eq!(snap.quantile(1.0), 10_000);
+    }
+
+    #[test]
+    fn empty_snapshot_is_merge_identity() {
+        let h = Histogram::new();
+        h.record(5);
+        h.record(500);
+        let snap = h.snapshot();
+        let mut merged = HistSnapshot::empty();
+        merged.merge(&snap);
+        assert_eq!(merged, snap);
+        assert_eq!(HistSnapshot::empty().quantile(0.99), 0);
+        assert!((snap.mean() - 252.5).abs() < 1e-9);
+    }
+}

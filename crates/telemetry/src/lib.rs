@@ -1,0 +1,57 @@
+//! In-process telemetry for the C-Nash stack: counters, gauges,
+//! latency histograms, RAII spans, and a structured event log.
+//!
+//! Hand-rolled and dependency-free — this crate sits below
+//! `cnash-runtime` in the workspace graph so the worker pool and the
+//! annealer can instrument their hot paths without a cycle; the
+//! service layer renders [`RegistrySnapshot`]s to JSON on its side of
+//! the fence (schema in `cnash-service`'s `protocol` docs and
+//! `docs/OBSERVABILITY.md`).
+//!
+//! Design points:
+//!
+//! - **Recording is lock-free.** [`Counter`] shards writes over padded
+//!   atomic cells; [`Histogram`] is a fixed array of atomic buckets
+//!   (log-spaced, ≤ ~3% relative error, exact below 64). Locks appear
+//!   only around rare paths (event log, registry name maps).
+//! - **Merges are deterministic.** [`HistSnapshot::merge`] is a
+//!   bucket-wise add — associative, commutative, proptested — so
+//!   sharded recorders can be combined in any order bit-identically.
+//! - **A global kill switch.** [`set_enabled`]`(false)` turns spans
+//!   and event pushes into no-ops (one relaxed load); counters are so
+//!   cheap they stay on. `telemetry_bench` gates the enabled-vs-
+//!   disabled overhead of the full service path at < 5%.
+//! - **No behavioural feedback.** Nothing in this crate is consulted
+//!   by solver logic; instrumented code records *after* decisions are
+//!   made (the annealer once per run), keeping solver output
+//!   bit-identical with telemetry on or off.
+
+mod counter;
+mod events;
+mod hist;
+pub mod hot;
+mod registry;
+mod span;
+
+pub use counter::{Counter, Gauge, COUNTER_SHARDS};
+pub use events::{Event, EventLog};
+pub use hist::{bucket_bounds, bucket_index, HistSnapshot, Histogram, BUCKETS};
+pub use registry::{Registry, RegistrySnapshot};
+pub use span::TelemetrySpan;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Global recording switch (default on).
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Turns span timing and event logging on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether telemetry recording is enabled.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}

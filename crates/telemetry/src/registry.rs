@@ -1,0 +1,174 @@
+//! Named-metric registry and plain-data snapshots.
+//!
+//! A [`Registry`] owns one namespace of counters, gauges and
+//! histograms plus an event log. Components register (or re-look-up)
+//! metrics by name at startup and then hold the returned `Arc` across
+//! the hot path — the registry locks are touched only at registration
+//! and snapshot time, never per-operation.
+//!
+//! The crate deliberately knows nothing about JSON: a
+//! [`RegistrySnapshot`] is plain data, and the service layer (which
+//! owns the wire format) renders it. Registries are per-instance on
+//! purpose — each `serve()` call gets its own, so tests and embedded
+//! daemons never observe each other's counts. Process-global hot-path
+//! metrics (annealer, worker pool) live in [`crate::hot`] instead.
+
+use crate::counter::{Counter, Gauge};
+use crate::events::{Event, EventLog};
+use crate::hist::{HistSnapshot, Histogram};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Default event-log capacity for a registry.
+const EVENT_CAPACITY: usize = 256;
+
+/// One namespace of named metrics.
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    events: EventLog,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            events: EventLog::new(EVENT_CAPACITY),
+        }
+    }
+
+    /// Gets or creates the counter named `name`.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("registry lock");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// Gets or creates the gauge named `name`.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("registry lock");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// Gets or creates the histogram named `name`.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("registry lock");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// The registry's event log.
+    #[must_use]
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// Copies every metric out. Name maps are `BTreeMap`s, so
+    /// iteration (and any rendering built on it) is deterministically
+    /// ordered.
+    #[must_use]
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect();
+        let (events, events_dropped) = self.events.snapshot();
+        RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+            events,
+            events_dropped,
+        }
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").finish_non_exhaustive()
+    }
+}
+
+/// Plain-data copy of a [`Registry`] at one instant.
+#[derive(Clone, Debug)]
+pub struct RegistrySnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistSnapshot>,
+    /// Retained events, oldest first.
+    pub events: Vec<Event>,
+    /// Events evicted from the ring so far.
+    pub events_dropped: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_is_the_same_metric() {
+        let reg = Registry::new();
+        let a = reg.counter("requests");
+        let b = reg.counter("requests");
+        a.add(5);
+        b.add(2);
+        assert_eq!(reg.counter("requests").get(), 7);
+        assert!(Arc::ptr_eq(&a, &b));
+        reg.gauge("depth").set(3);
+        reg.histogram("lat").record(10);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["requests"], 7);
+        assert_eq!(snap.gauges["depth"], 3);
+        assert_eq!(snap.histograms["lat"].count, 1);
+        assert_eq!(snap.events_dropped, 0);
+    }
+
+    #[test]
+    fn registries_are_isolated() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("x").inc();
+        assert_eq!(b.counter("x").get(), 0);
+    }
+}

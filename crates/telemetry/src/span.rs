@@ -1,0 +1,83 @@
+//! Span-scoped timers: an RAII guard that records its lifetime into a
+//! [`Histogram`](crate::Histogram) in nanoseconds when dropped.
+//!
+//! When telemetry is globally disabled ([`crate::set_enabled`]) the
+//! guard is inert: no clock read on construction, no record on drop —
+//! this is what keeps the disabled-path overhead at a single relaxed
+//! atomic load, the property `telemetry_bench` gates.
+
+use crate::hist::Histogram;
+use std::time::Instant;
+
+/// Times a scope into a histogram of nanoseconds.
+///
+/// ```
+/// use cnash_telemetry::{Histogram, TelemetrySpan};
+/// static LATENCY: Histogram = Histogram::new();
+/// {
+///     let _span = TelemetrySpan::start(&LATENCY);
+///     // ... the timed work ...
+/// }
+/// assert!(LATENCY.count() >= 1);
+/// ```
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct TelemetrySpan<'a> {
+    sink: &'a Histogram,
+    started: Option<Instant>,
+}
+
+impl<'a> TelemetrySpan<'a> {
+    /// Starts a span (a no-op guard when telemetry is disabled).
+    #[inline]
+    pub fn start(sink: &'a Histogram) -> Self {
+        let started = crate::enabled().then(Instant::now);
+        Self { sink, started }
+    }
+
+    /// Ends the span early, recording now instead of at scope exit.
+    pub fn finish(self) {
+        drop(self);
+    }
+
+    /// Abandons the span: nothing is recorded. For paths that turn out
+    /// not to be the operation the histogram measures (e.g. an early
+    /// protocol error).
+    pub fn cancel(mut self) {
+        self.started = None;
+    }
+}
+
+impl Drop for TelemetrySpan<'_> {
+    fn drop(&mut self) {
+        if let Some(started) = self.started {
+            self.sink
+                .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_once_on_drop() {
+        let hist = Histogram::new();
+        {
+            let _span = TelemetrySpan::start(&hist);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 1);
+        assert!(snap.min >= 1_000_000, "slept >= 1ms, recorded {}", snap.min);
+    }
+
+    #[test]
+    fn cancel_records_nothing() {
+        let hist = Histogram::new();
+        TelemetrySpan::start(&hist).cancel();
+        assert_eq!(hist.count(), 0);
+        TelemetrySpan::start(&hist).finish();
+        assert_eq!(hist.count(), 1);
+    }
+}

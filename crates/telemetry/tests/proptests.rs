@@ -1,0 +1,138 @@
+//! Property tests of the three telemetry invariants the stack leans
+//! on:
+//!
+//! 1. **Histogram bucketing** — every recorded value lands in a bucket
+//!    whose bounds bracket it, and a reported quantile never
+//!    under-reports: it is ≥ the true rank statistic and ≤ that
+//!    statistic's own bucket upper bound (the documented ≤ ~3%
+//!    over-report).
+//! 2. **Deterministic merge** — merging sharded recorders is order-
+//!    invariant and equal to recording everything into one histogram.
+//! 3. **Ring-buffer accounting** — the event log's dropped count is
+//!    exactly `pushes - capacity` once it overflows, and the retained
+//!    window is the dense suffix of sequence numbers.
+
+use cnash_telemetry::{bucket_bounds, bucket_index, EventLog, HistSnapshot, Histogram};
+use proptest::prelude::*;
+
+/// The true rank-`ceil(q·n)` order statistic of `values`.
+fn true_quantile(values: &[u64], q: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #[test]
+    fn bucket_bounds_bracket_every_value(
+        v in prop::collection::vec(0u64..u64::MAX, 1..64),
+    ) {
+        for &value in &v {
+            let idx = bucket_index(value);
+            let (lo, hi) = bucket_bounds(idx);
+            prop_assert!(lo <= value && value <= hi, "{value} outside [{lo}, {hi}]");
+            // Adjacent buckets tile the axis: the next bucket starts
+            // right after this one ends.
+            if hi < u64::MAX {
+                prop_assert_eq!(bucket_index(hi + 1), idx + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_bracket_the_true_order_statistic(
+        values in prop::collection::vec(0u64..10_000_000, 1..80),
+        q_mille in 1u64..=1000,
+    ) {
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.max, *values.iter().max().unwrap());
+        prop_assert_eq!(snap.min, *values.iter().min().unwrap());
+
+        let q = q_mille as f64 / 1000.0;
+        let reported = snap.quantile(q);
+        let truth = true_quantile(&values, q);
+        prop_assert!(reported >= truth, "q={q}: {reported} under-reports {truth}");
+        let ceiling = bucket_bounds(bucket_index(truth)).1.min(snap.max);
+        prop_assert!(
+            reported <= ceiling,
+            "q={q}: {reported} above the true statistic's bucket cap {ceiling}"
+        );
+    }
+
+    #[test]
+    fn sharded_merge_is_order_invariant_and_lossless(
+        shards in prop::collection::vec(
+            prop::collection::vec(0u64..1_000_000, 0..30),
+            1..6,
+        ),
+    ) {
+        // One recorder per shard, plus a reference recording everything.
+        let reference = Histogram::new();
+        let snaps: Vec<HistSnapshot> = shards
+            .iter()
+            .map(|shard| {
+                let h = Histogram::new();
+                for &v in shard {
+                    h.record(v);
+                    reference.record(v);
+                }
+                h.snapshot()
+            })
+            .collect();
+
+        let mut forward = HistSnapshot::empty();
+        for s in &snaps {
+            forward.merge(s);
+        }
+        let mut backward = HistSnapshot::empty();
+        for s in snaps.iter().rev() {
+            backward.merge(s);
+        }
+        // Pairwise tree merge (a third association order).
+        let mut tree: Vec<HistSnapshot> = snaps.clone();
+        while tree.len() > 1 {
+            let mut next = Vec::new();
+            for pair in tree.chunks(2) {
+                let mut acc = pair[0].clone();
+                if let Some(rhs) = pair.get(1) {
+                    acc.merge(rhs);
+                }
+                next.push(acc);
+            }
+            tree = next;
+        }
+
+        prop_assert_eq!(&forward, &backward);
+        prop_assert_eq!(&forward, &tree[0]);
+        prop_assert_eq!(&forward, &reference.snapshot());
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            prop_assert_eq!(forward.quantile(q), backward.quantile(q));
+        }
+    }
+
+    #[test]
+    fn event_ring_drop_accounting_is_exact(
+        capacity in 1usize..16,
+        pushes in 0u64..100,
+    ) {
+        let log = EventLog::new(capacity);
+        for k in 0..pushes {
+            let seq = log.push("tick", format!("k={k}")).expect("telemetry enabled");
+            prop_assert_eq!(seq, k);
+        }
+        let (events, dropped) = log.snapshot();
+        let retained = pushes.min(capacity as u64);
+        prop_assert_eq!(events.len() as u64, retained);
+        prop_assert_eq!(dropped, pushes - retained);
+        for (offset, event) in events.iter().enumerate() {
+            prop_assert_eq!(event.seq, pushes - retained + offset as u64);
+        }
+        prop_assert_eq!(log.total(), pushes);
+    }
+}

@@ -1,0 +1,63 @@
+//! Telemetry must observe, never steer: recording counters, spans and
+//! sampled energy traces around the anneal hot path may not change a
+//! single bit of any solver output.
+//!
+//! The recorder switches are process-global
+//! (`cnash_telemetry::set_enabled`,
+//! `cnash_telemetry::hot::set_sa_trace_interval`), so everything here
+//! lives in **one** `#[test]` — a second test toggling the switches
+//! from a parallel test thread would race the property being checked.
+
+use cnash_core::{CNashConfig, CNashSolver, NashSolver};
+use cnash_runtime::spec::GameSpec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For arbitrary small games, run seeds and silicon, the complete
+    /// run outcome (profile, equilibrium flag, model times, objective)
+    /// is bit-identical whether telemetry is enabled or disabled, and
+    /// whether the annealer's energy-trajectory sampling is off or
+    /// firing every few iterations. `RunOutcome` carries only model
+    /// time (no wall clock), so the `Debug` rendering is a faithful
+    /// bit-level fingerprint.
+    #[test]
+    fn solver_output_is_bit_identical_under_every_recorder_mode(
+        rows in 2usize..5,
+        cols in 2usize..5,
+        game_seed in 0u64..100,
+        run_seed in 0u64..100,
+        hardware_seed in 0u64..8,
+        trace_every in 1u64..16,
+    ) {
+        let game = GameSpec::Random { rows, cols, max_payoff: 4, seed: game_seed }
+            .build()
+            .expect("random spec builds");
+        let solve = || {
+            let solver = CNashSolver::new(
+                &game,
+                CNashConfig::paper(12).with_iterations(400),
+                hardware_seed,
+            )
+            .expect("game maps onto the crossbar");
+            format!("{:?}", solver.run(run_seed))
+        };
+
+        // Baseline: the production default (recording on, trace off),
+        // then every other recorder mode.
+        let modes = [(true, 0), (false, 0), (true, trace_every), (false, trace_every)];
+        let mut outputs = Vec::new();
+        for (enabled, interval) in modes {
+            cnash_telemetry::set_enabled(enabled);
+            cnash_telemetry::hot::set_sa_trace_interval(interval);
+            outputs.push(solve());
+        }
+        cnash_telemetry::set_enabled(true);
+        cnash_telemetry::hot::set_sa_trace_interval(0);
+
+        prop_assert_eq!(&outputs[1], &outputs[0]);
+        prop_assert_eq!(&outputs[2], &outputs[0]);
+        prop_assert_eq!(&outputs[3], &outputs[0]);
+    }
+}
