@@ -53,7 +53,7 @@ use cnash_game::canonical::Hasher64;
 use cnash_game::equilibrium::continuum_representatives;
 use cnash_game::lemke_howson::lemke_howson_all_labels;
 use cnash_game::support_enum::enumerate_equilibria;
-use cnash_game::{BimatrixGame, Equilibrium, Matrix, MixedStrategy, SupportClass};
+use cnash_game::{BimatrixGame, Equilibrium, Game, Matrix, MixedStrategy, Profile, SupportClass};
 use cnash_runtime::pool::fan_out_ordered;
 use cnash_runtime::spec::{BatchSpec, ConfigSpec, GameSpec, JobSpec, SolverSpec};
 use cnash_runtime::{CancelToken, Json, PortfolioStop, SpecError};
@@ -75,6 +75,10 @@ pub const MATCH_TOL: f64 = 1e-4;
 pub const CLASS_TOL: f64 = 1e-6;
 /// Probability tolerance when extracting a profile's support.
 pub const SUPPORT_TOL: f64 = 1e-9;
+/// Convergence gate on the CFR column: per grid point, the best run's
+/// exact exploitability must stay below this (`cfr_exploitability_ok`
+/// in the summary — gated in CI alongside the mismatch counters).
+pub const CFR_EXPLOITABILITY_TOL: f64 = 1e-3;
 
 /// Options of one differential-fuzz sweep.
 #[derive(Debug, Clone)]
@@ -135,6 +139,8 @@ pub fn family_grid(opts: &DiffOptions) -> Vec<GameSpec> {
                 grid.push(GameSpec::Family {
                     family: family.name().into(),
                     size,
+                    rows: None,
+                    cols: None,
                     scale: None,
                     knob: None,
                     seed: opts.base_seed.wrapping_add(s),
@@ -155,10 +161,13 @@ pub fn family_grid(opts: &DiffOptions) -> Vec<GameSpec> {
     grid
 }
 
-/// The solver suite swept per grid point: both C-Nash presets and the
-/// S-QUBO baseline.
+/// The solver suite swept per grid point: both C-Nash presets, the
+/// S-QUBO baseline, and the classical CFR column (external-sampling
+/// regret matching through the generic `Game` trait — its per-point
+/// exploitability is gated by [`CFR_EXPLOITABILITY_TOL`]).
 pub fn solver_suite(opts: &DiffOptions) -> Vec<SolverSpec> {
     let iterations = if opts.quick { 800 } else { 3000 };
+    let cfr_iterations = if opts.quick { 20_000 } else { 60_000 };
     vec![
         SolverSpec::CNash {
             config: ConfigSpec::ideal(12).with_iterations(iterations),
@@ -171,6 +180,9 @@ pub fn solver_suite(opts: &DiffOptions) -> Vec<SolverSpec> {
         SolverSpec::DWave {
             model: "2000q".into(),
             reads_per_run: 1,
+        },
+        SolverSpec::Cfr {
+            iterations: cfr_iterations,
         },
     ]
 }
@@ -280,6 +292,15 @@ pub struct DiffOutcome {
     pub continuum_classes: BTreeMap<String, usize>,
     /// The first failure encountered (the sweep stops there).
     pub failure: Option<Failure>,
+    /// Grid points the CFR column ran on (0 when the suite has no CFR
+    /// entry).
+    pub cfr_points: usize,
+    /// Worst per-point CFR convergence across the grid: the max over
+    /// points of the *best* run's exact exploitability (min over that
+    /// point's CFR runs of `RunOutcome::measured_objective`). Both
+    /// reductions are commutative, so the value is bit-identical at any
+    /// thread count. `0.0` when no CFR ran.
+    pub cfr_exploitability_max: f64,
     /// Per-grid-point wall-time distribution (nanoseconds), folded
     /// bucket-wise so the snapshot is identical whatever order workers
     /// finished in. Wall-clock, so *values* vary run to run — the
@@ -322,6 +343,17 @@ pub fn summary_json(outcome: &DiffOutcome) -> Json {
             ),
         ),
         ("missed_runs".to_string(), n(c.missed_runs)),
+        ("cfr_points".to_string(), n(outcome.cfr_points)),
+        (
+            "cfr_exploitability_max".to_string(),
+            Json::num(outcome.cfr_exploitability_max),
+        ),
+        (
+            "cfr_exploitability_ok".to_string(),
+            Json::Bool(
+                outcome.cfr_points == 0 || outcome.cfr_exploitability_max <= CFR_EXPLOITABILITY_TOL,
+            ),
+        ),
         ("ok".to_string(), Json::Bool(outcome.failure.is_none())),
     ];
     // Wall-clock per-point timing rides along under a `timing_` prefix:
@@ -393,16 +425,21 @@ impl NashSolver for CorruptingSolver {
         self.inner.name()
     }
 
-    fn game(&self) -> &BimatrixGame {
+    fn game(&self) -> &dyn Game {
         self.inner.game()
     }
 
     fn run(&self, seed: u64) -> cnash_core::RunOutcome {
         let mut out = self.inner.run(seed);
         if out.is_equilibrium {
-            if let Some((_, q)) = out.profile.take() {
-                let lie = worst_response(self.inner.game(), &q);
-                out.profile = Some((lie, q));
+            if let Some((_, q)) = out.profile.take().and_then(Profile::into_pair) {
+                let game = self
+                    .inner
+                    .game()
+                    .as_bimatrix()
+                    .expect("diffcheck sweeps bimatrix games");
+                let lie = worst_response(game, &q);
+                out.profile = Some(Profile::pair(lie, q));
             }
         }
         out
@@ -455,7 +492,7 @@ fn reproduces(game: &BimatrixGame, solver_spec: &SolverSpec, seed: u64, corrupt:
         return false;
     };
     let out = solver.run(seed);
-    match (out.is_equilibrium, &out.profile) {
+    match (out.is_equilibrium, out.pair()) {
         (true, Some((p, q))) => claim_rejected(game, p, q).is_some(),
         _ => false,
     }
@@ -746,11 +783,18 @@ fn check_run(
     corrupt: bool,
     counters: &mut DiffCounters,
     classes: &mut BTreeMap<String, usize>,
+    cfr_best: &mut Option<f64>,
 ) -> Option<Failure> {
     counters.solver_runs += 1;
     let out = solver.run(seed);
-    let (claimed, profile) = (out.is_equilibrium, out.profile);
-    let Some((p, q)) = profile else {
+    if matches!(solver_spec, SolverSpec::Cfr { .. }) {
+        // The CFR column's convergence metric: the exact exploitability
+        // of the returned (average or claimed) profile, best run wins.
+        let x = out.measured_objective;
+        *cfr_best = Some(cfr_best.map_or(x, |best| best.min(x)));
+    }
+    let claimed = out.is_equilibrium;
+    let Some((p, q)) = out.profile.and_then(Profile::into_pair) else {
         counters.missed_runs += 1;
         return None;
     };
@@ -794,6 +838,9 @@ struct PointOutcome {
     counters: DiffCounters,
     classes: BTreeMap<String, usize>,
     failure: Option<Failure>,
+    /// Best (minimum over runs) exact CFR exploitability at this point;
+    /// `None` when the suite has no CFR column.
+    cfr_exploitability: Option<f64>,
 }
 
 /// Checks one grid point end to end: oracle self-consistency, then
@@ -831,6 +878,7 @@ fn check_point(
                 opts.corrupt,
                 &mut out.counters,
                 &mut out.classes,
+                &mut out.cfr_exploitability,
             ) {
                 out.failure = Some(failure);
                 return Ok(out);
@@ -863,6 +911,8 @@ pub fn run_grid(
     let mut classes = BTreeMap::new();
     let mut failure = None;
     let mut spec_err = None;
+    let mut cfr_points = 0usize;
+    let mut cfr_exploitability_max = 0.0f64;
     let cancel = CancelToken::new();
     // Timed on the worker, folded bucket-wise: the log-bucketed
     // histogram merge is commutative, so the timing snapshot does not
@@ -888,6 +938,10 @@ pub fn run_grid(
                 for (label, count) in point.classes {
                     *classes.entry(label).or_insert(0) += count;
                 }
+                if let Some(x) = point.cfr_exploitability {
+                    cfr_points += 1;
+                    cfr_exploitability_max = cfr_exploitability_max.max(x);
+                }
                 match point.failure {
                     Some(f) => {
                         failure = Some(f);
@@ -905,6 +959,8 @@ pub fn run_grid(
         counters,
         continuum_classes: classes,
         failure,
+        cfr_points,
+        cfr_exploitability_max,
         point_timing: timing.snapshot(),
     })
 }
@@ -920,6 +976,8 @@ pub fn run_grid(
 pub fn replay(spec: &BatchSpec, corrupt: bool) -> Result<DiffOutcome, SpecError> {
     let mut counters = DiffCounters::default();
     let mut classes = BTreeMap::new();
+    let mut cfr_points = 0usize;
+    let mut cfr_exploitability_max = 0.0f64;
     let timing = Histogram::new();
     for job in &spec.jobs {
         let job_started = Instant::now();
@@ -933,6 +991,8 @@ pub fn replay(spec: &BatchSpec, corrupt: bool) -> Result<DiffOutcome, SpecError>
                     counters,
                     continuum_classes: classes,
                     failure: Some(failure),
+                    cfr_points,
+                    cfr_exploitability_max,
                     point_timing: timing.snapshot(),
                 });
             }
@@ -941,6 +1001,7 @@ pub fn replay(spec: &BatchSpec, corrupt: bool) -> Result<DiffOutcome, SpecError>
             message: format!("continuum representatives: {e}"),
         })?;
         let solver = build_solver(&job.solver, &game, corrupt)?;
+        let mut cfr_best = None;
         for k in 0..job.runs {
             if let Some(failure) = check_run(
                 &game,
@@ -952,15 +1013,22 @@ pub fn replay(spec: &BatchSpec, corrupt: bool) -> Result<DiffOutcome, SpecError>
                 corrupt,
                 &mut counters,
                 &mut classes,
+                &mut cfr_best,
             ) {
                 timing.record(u64::try_from(job_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
                 return Ok(DiffOutcome {
                     counters,
                     continuum_classes: classes,
                     failure: Some(failure),
+                    cfr_points,
+                    cfr_exploitability_max,
                     point_timing: timing.snapshot(),
                 });
             }
+        }
+        if let Some(x) = cfr_best {
+            cfr_points += 1;
+            cfr_exploitability_max = cfr_exploitability_max.max(x);
         }
         timing.record(u64::try_from(job_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
     }
@@ -968,6 +1036,8 @@ pub fn replay(spec: &BatchSpec, corrupt: bool) -> Result<DiffOutcome, SpecError>
         counters,
         continuum_classes: classes,
         failure: None,
+        cfr_points,
+        cfr_exploitability_max,
         point_timing: timing.snapshot(),
     })
 }
@@ -980,6 +1050,8 @@ mod tests {
         GameSpec::Family {
             family: "dominance_solvable".into(),
             size,
+            rows: None,
+            cols: None,
             scale: None,
             knob: None,
             seed: 3,
@@ -1066,11 +1138,18 @@ mod tests {
             },
             continuum_classes: BTreeMap::from([("r{0,1}xc{0}".to_string(), 3)]),
             failure: None,
+            cfr_points: 2,
+            cfr_exploitability_max: 5e-4,
             point_timing: HistSnapshot::empty(),
         };
         let doc = summary_json(&clean);
         assert!(doc.get("ok").unwrap().as_bool().unwrap());
         assert_eq!(doc.get("points").unwrap().as_usize().unwrap(), 2);
+        assert_eq!(doc.get("cfr_points").unwrap().as_usize().unwrap(), 2);
+        assert!(
+            doc.get("cfr_exploitability_ok").unwrap().as_bool().unwrap(),
+            "5e-4 is within the CFR gate"
+        );
         assert_eq!(
             doc.get("continuum_classes")
                 .unwrap()
@@ -1084,6 +1163,8 @@ mod tests {
         let failed = DiffOutcome {
             counters: DiffCounters::default(),
             continuum_classes: BTreeMap::new(),
+            cfr_points: 1,
+            cfr_exploitability_max: 2e-2,
             point_timing: HistSnapshot::empty(),
             failure: Some(Failure {
                 class: FailureClass::OracleDisagreement,
@@ -1102,6 +1183,57 @@ mod tests {
             doc.get("failure_class").unwrap().as_str().unwrap(),
             "oracle_disagreement"
         );
+        assert!(
+            !doc.get("cfr_exploitability_ok").unwrap().as_bool().unwrap(),
+            "2e-2 violates the CFR gate"
+        );
+    }
+
+    #[test]
+    fn cfr_column_converges_within_the_gate_on_a_mixed_grid() {
+        // Matching-pennies-style families have no pure equilibrium, so
+        // the CFR column cannot claim and must still drive its average
+        // profile under the exploitability gate; dominance-solvable
+        // points are claimable outright.
+        let points = vec![
+            GameSpec::Builtin("matching_pennies".into()),
+            dominance_point(3),
+            GameSpec::Family {
+                family: "covariant".into(),
+                size: 3,
+                rows: None,
+                cols: None,
+                scale: None,
+                knob: None,
+                seed: 1,
+            },
+        ];
+        let opts = DiffOptions::new(true, 0, false).with_threads(0);
+        let suite = solver_suite(&opts);
+        assert!(
+            suite.iter().any(|s| matches!(s, SolverSpec::Cfr { .. })),
+            "the default suite carries the CFR column"
+        );
+        let outcome = run_grid(&points, &suite, &opts).unwrap();
+        assert!(outcome.failure.is_none(), "{:?}", outcome.failure);
+        assert_eq!(outcome.cfr_points, points.len());
+        assert!(
+            outcome.cfr_exploitability_max <= CFR_EXPLOITABILITY_TOL,
+            "CFR exploitability {} above the {CFR_EXPLOITABILITY_TOL:e} gate",
+            outcome.cfr_exploitability_max
+        );
+        let doc = summary_json(&outcome);
+        assert!(doc.get("cfr_exploitability_ok").unwrap().as_bool().unwrap());
+        // Without the CFR column nothing is tracked and the gate is
+        // vacuously satisfied.
+        let no_cfr: Vec<SolverSpec> = suite
+            .into_iter()
+            .filter(|s| !matches!(s, SolverSpec::Cfr { .. }))
+            .collect();
+        let outcome = run_grid(&points[..1], &no_cfr, &opts).unwrap();
+        assert_eq!(outcome.cfr_points, 0);
+        let doc = summary_json(&outcome);
+        assert!(doc.get("cfr_exploitability_ok").unwrap().as_bool().unwrap());
     }
 
     #[test]
@@ -1114,6 +1246,8 @@ mod tests {
                 (0..2).map(|seed| GameSpec::Family {
                     family: family.to_string(),
                     size: 3,
+                    rows: None,
+                    cols: None,
                     scale: None,
                     knob: None,
                     seed,
@@ -1250,6 +1384,8 @@ mod tests {
                     points.push(GameSpec::Family {
                         family: family.into(),
                         size,
+                        rows: None,
+                        cols: None,
                         scale: None,
                         knob: None,
                         seed,
@@ -1292,6 +1428,8 @@ mod tests {
         GameSpec::Family {
             family: "dominance_solvable".into(),
             size,
+            rows: None,
+            cols: None,
             scale: None,
             knob: None,
             seed,

@@ -2,7 +2,7 @@
 
 use crate::error::CoreError;
 use crate::solver::{NashSolver, RunOutcome};
-use cnash_game::BimatrixGame;
+use cnash_game::{BimatrixGame, Game, Profile};
 use cnash_qubo::dwave::DWaveModel;
 use cnash_qubo::squbo::{SQubo, SQuboWeights};
 use std::sync::Arc;
@@ -110,7 +110,7 @@ impl NashSolver for DWaveNashSolver {
         &self.name
     }
 
-    fn game(&self) -> &BimatrixGame {
+    fn game(&self) -> &dyn Game {
         &self.game
     }
 
@@ -132,7 +132,7 @@ impl NashSolver for DWaveNashSolver {
                     if first_true_hit.is_none() {
                         first_true_hit = Some(k);
                     }
-                    solutions.record(&(p, q));
+                    solutions.record(&Profile::pair(p, q));
                 }
             }
         }
@@ -145,7 +145,7 @@ impl NashSolver for DWaveNashSolver {
             .map(|(p, q)| self.game.is_equilibrium(p, q, 1e-9))
             .unwrap_or(false);
         RunOutcome {
-            profile: decoded.profile,
+            profile: decoded.profile.map(|(p, q)| Profile::pair(p, q)),
             is_equilibrium: is_eq,
             hit_time: first_true_hit
                 .map(|k| self.model.programming_time + (k + 1) as f64 * self.per_read_time()),
@@ -170,7 +170,7 @@ mod tests {
         let s = DWaveNashSolver::new(&g, DWaveModel::dwave_2000q(), 50).unwrap();
         let out = s.run(1);
         assert!(out.is_equilibrium, "2000Q should solve BoS easily");
-        let (p, q) = out.profile.expect("decoded");
+        let (p, q) = out.into_pair().expect("decoded");
         let eq = Equilibrium::from_profile(&g, p, q);
         // Baselines can only ever return pure profiles.
         assert_eq!(eq.kind(1e-9), StrategyKind::Pure);
@@ -205,7 +205,7 @@ mod tests {
         let g = games::bird_game();
         let s = DWaveNashSolver::new(&g, DWaveModel::advantage_4_1(), 10).unwrap();
         for seed in 0..10 {
-            if let Some((p, q)) = s.run(seed).profile {
+            if let Some((p, q)) = s.run(seed).into_pair() {
                 assert!(p.is_pure(1e-9) && q.is_pure(1e-9));
             }
         }

@@ -1,0 +1,383 @@
+//! Counterfactual-regret solver family (extension): external-sampling
+//! regret matching over the generic [`Game`] trait.
+//!
+//! [`CfrSolver`] is the first solver in the workspace written against
+//! [`Game`] alone — it never downcasts to a bimatrix view, so it runs
+//! unchanged on any N-player strategic-form game. Each iteration samples
+//! every opponent's action from their current regret-matching strategy
+//! (external sampling, Lanctot et al. 2009), updates clipped cumulative
+//! regrets (RM+, Tammelin 2014), and folds the current strategy into a
+//! linearly weighted average. The average profile converges to the
+//! coarse-correlated-equilibrium set; for the two-player slice this is
+//! cross-checked against the exact oracles by the `diffcheck` harness.
+//!
+//! # Claim discipline
+//!
+//! A learning dynamic's average strategy is an *approximate* profile, so
+//! the solver never claims it as an equilibrium. Instead it keeps two
+//! candidates per checkpoint:
+//!
+//! * the **best average iterate** — the checkpointed average profile
+//!   with the lowest exact exploitability seen so far, returned with
+//!   `is_equilibrium: false` and the exploitability as
+//!   `measured_objective`, and
+//! * the **pure snap** — the per-player argmax of the average strategy,
+//!   claimed (`is_equilibrium: true`) only when its exact per-player
+//!   regrets are within [`CfrConfig::claim_tolerance`]. Pure profiles
+//!   evaluate exactly in floating point, so a claim is a certificate,
+//!   not a heuristic; the run stops at the claiming checkpoint.
+
+use crate::error::CoreError;
+use crate::solver::{NashSolver, RunOutcome};
+use cnash_anneal::engine::HitRecorder;
+use cnash_game::{Game, MixedStrategy, Profile};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Nominal per-iteration latency (seconds) used for the abstract time
+/// axis of [`RunOutcome`]. CFR is a software baseline with no hardware
+/// time model; a fixed constant keeps runs bit-reproducible (wall-clock
+/// timing would break golden-stream comparisons).
+const CFR_ITERATION_TIME: f64 = 20e-9;
+
+/// Seed-stream tag so CFR draws differ from the SA solvers at equal
+/// seeds.
+const CFR_SEED_TAG: u64 = 0xCF12_3CF1;
+
+/// Tuning knobs for [`CfrSolver`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CfrConfig {
+    /// External-sampling iterations per run.
+    pub iterations: usize,
+    /// Number of evenly spaced checkpoints at which the average profile
+    /// is exactly evaluated (and the pure snap tested). Clamped to at
+    /// least one; the final iteration always checkpoints.
+    pub checkpoints: usize,
+    /// Maximum exact per-player regret for the pure snap to be claimed
+    /// as an equilibrium.
+    pub claim_tolerance: f64,
+}
+
+impl CfrConfig {
+    /// Default configuration sized for the benchmark-scale games in
+    /// this workspace (actions ≤ 8 per player).
+    pub fn new(iterations: usize) -> Self {
+        Self {
+            iterations,
+            checkpoints: 64,
+            claim_tolerance: 1e-9,
+        }
+    }
+}
+
+impl Default for CfrConfig {
+    fn default() -> Self {
+        Self::new(50_000)
+    }
+}
+
+/// External-sampling CFR solver over any [`Game`].
+pub struct CfrSolver {
+    game: Box<dyn Game>,
+    config: CfrConfig,
+}
+
+impl CfrSolver {
+    /// Wraps `game` with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if `iterations` is zero, the
+    /// game has no players, or any player has an empty action set.
+    pub fn new(game: Box<dyn Game>, config: CfrConfig) -> Result<Self, CoreError> {
+        if config.iterations == 0 {
+            return Err(CoreError::InvalidConfig("cfr needs iterations > 0".into()));
+        }
+        if game.players() == 0 {
+            return Err(CoreError::InvalidConfig(
+                "cfr needs at least 1 player".into(),
+            ));
+        }
+        for p in 0..game.players() {
+            if game.num_actions(p) == 0 {
+                return Err(CoreError::InvalidConfig(format!(
+                    "cfr needs a non-empty action set for player {p}"
+                )));
+            }
+        }
+        Ok(Self { game, config })
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &CfrConfig {
+        &self.config
+    }
+
+    /// Regret-matching strategy: positive regrets normalised, uniform
+    /// when no action has positive regret.
+    fn matched_strategy(regrets: &[f64]) -> Vec<f64> {
+        let positive: f64 = regrets.iter().filter(|r| **r > 0.0).sum();
+        if positive > 0.0 {
+            regrets.iter().map(|r| r.max(0.0) / positive).collect()
+        } else {
+            vec![1.0 / regrets.len() as f64; regrets.len()]
+        }
+    }
+
+    fn sample(strategy: &[f64], rng: &mut StdRng) -> usize {
+        let draw: f64 = rng.random();
+        let mut acc = 0.0;
+        for (a, w) in strategy.iter().enumerate() {
+            acc += w;
+            if draw < acc {
+                return a;
+            }
+        }
+        strategy.len() - 1
+    }
+
+    /// Normalises the weighted strategy sums into a [`Profile`].
+    fn average_profile(sums: &[Vec<f64>]) -> Profile {
+        let strategies = sums
+            .iter()
+            .map(|s| {
+                let total: f64 = s.iter().sum();
+                MixedStrategy::new(s.iter().map(|w| w / total).collect())
+                    .expect("weighted sums normalise to a distribution")
+            })
+            .collect();
+        Profile::new(strategies).expect("game has at least one player")
+    }
+
+    /// Per-player argmax of the average, as a pure profile.
+    fn pure_snap(sums: &[Vec<f64>]) -> Profile {
+        let strategies = sums
+            .iter()
+            .map(|s| {
+                let mut best = 0;
+                for (a, w) in s.iter().enumerate() {
+                    if *w > s[best] {
+                        best = a;
+                    }
+                }
+                MixedStrategy::pure(s.len(), best).expect("argmax is in range")
+            })
+            .collect();
+        Profile::new(strategies).expect("game has at least one player")
+    }
+
+    /// Largest exact per-player regret of `profile` (∞-norm, not the
+    /// exploitability sum — claims bound every player individually).
+    fn max_regret(&self, profile: &Profile) -> f64 {
+        (0..self.game.players())
+            .map(|p| self.game.regret(p, profile))
+            .fold(0.0, f64::max)
+    }
+}
+
+impl NashSolver for CfrSolver {
+    fn name(&self) -> &str {
+        "cfr"
+    }
+
+    fn game(&self) -> &dyn Game {
+        self.game.as_ref()
+    }
+
+    fn run(&self, seed: u64) -> RunOutcome {
+        let game = self.game.as_ref();
+        let players = game.players();
+        let mut rng = StdRng::seed_from_u64(seed ^ CFR_SEED_TAG);
+        let mut regrets: Vec<Vec<f64>> = (0..players)
+            .map(|p| vec![0.0; game.num_actions(p)])
+            .collect();
+        let mut sums: Vec<Vec<f64>> = (0..players)
+            .map(|p| vec![0.0; game.num_actions(p)])
+            .collect();
+        let every = (self.config.iterations / self.config.checkpoints.max(1)).max(1);
+
+        let mut best: Option<(Profile, f64)> = None;
+        let mut claim: Option<(Profile, usize)> = None;
+        let mut solutions = HitRecorder::new(true);
+        let mut ran = 0;
+
+        for t in 1..=self.config.iterations {
+            ran = t;
+            let strategies: Vec<Vec<f64>> =
+                regrets.iter().map(|r| Self::matched_strategy(r)).collect();
+            // External sampling: one joint pure draw from the current
+            // strategies serves every traverser this iteration.
+            let sampled: Vec<usize> = strategies
+                .iter()
+                .map(|s| Self::sample(s, &mut rng))
+                .collect();
+            for p in 0..players {
+                let mut actions = sampled.clone();
+                let utilities: Vec<f64> = (0..game.num_actions(p))
+                    .map(|a| {
+                        actions[p] = a;
+                        game.pure_payoff(p, &actions)
+                    })
+                    .collect();
+                let node_value: f64 = strategies[p]
+                    .iter()
+                    .zip(&utilities)
+                    .map(|(w, u)| w * u)
+                    .sum();
+                for (a, u) in utilities.iter().enumerate() {
+                    // RM+: clip cumulative regrets at zero.
+                    regrets[p][a] = (regrets[p][a] + u - node_value).max(0.0);
+                }
+                // Linear averaging: later iterates dominate the average.
+                for (a, w) in strategies[p].iter().enumerate() {
+                    sums[p][a] += t as f64 * w;
+                }
+            }
+            if t % every == 0 || t == self.config.iterations {
+                let snap = Self::pure_snap(&sums);
+                if self.max_regret(&snap) <= self.config.claim_tolerance {
+                    solutions.record(&snap);
+                    claim = Some((snap, t));
+                    break;
+                }
+                let average = Self::average_profile(&sums);
+                let exploitability = game.exploitability(&average);
+                if best.as_ref().is_none_or(|(_, e)| exploitability < *e) {
+                    best = Some((average, exploitability));
+                }
+            }
+        }
+
+        let (solutions, solutions_truncated) = solutions.into_parts();
+        let total_time = ran as f64 * CFR_ITERATION_TIME;
+        match claim {
+            Some((snap, t)) => {
+                let objective = game.exploitability(&snap);
+                RunOutcome {
+                    profile: Some(snap),
+                    is_equilibrium: true,
+                    hit_time: Some(t as f64 * CFR_ITERATION_TIME),
+                    total_time,
+                    measured_objective: objective,
+                    solutions,
+                    solutions_truncated,
+                }
+            }
+            None => {
+                let (average, exploitability) = best.expect("final iteration always checkpoints");
+                RunOutcome {
+                    profile: Some(average),
+                    is_equilibrium: false,
+                    hit_time: None,
+                    total_time,
+                    measured_objective: exploitability,
+                    solutions,
+                    solutions_truncated,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnash_game::games;
+
+    fn solver(game: impl Game + 'static, iterations: usize) -> CfrSolver {
+        CfrSolver::new(Box::new(game), CfrConfig::new(iterations)).unwrap()
+    }
+
+    #[test]
+    fn claims_the_pure_equilibrium_of_prisoners_dilemma() {
+        let s = solver(games::prisoners_dilemma(), 5_000);
+        let out = s.run(0);
+        assert!(out.is_equilibrium);
+        assert!(out.hit_time.is_some());
+        assert!(out.measured_objective.abs() < 1e-12);
+        let (p, q) = out.pair().expect("bimatrix profile");
+        assert_eq!(p.pure_action(1e-9), Some(1), "defect is dominant");
+        assert_eq!(q.pure_action(1e-9), Some(1));
+    }
+
+    #[test]
+    fn claims_are_exactly_verified_on_bos() {
+        let g = games::battle_of_the_sexes();
+        let s = solver(g.clone(), 20_000);
+        for seed in 0..5 {
+            let out = s.run(seed);
+            if out.is_equilibrium {
+                let (p, q) = out.pair().expect("bimatrix profile");
+                assert!(g.is_equilibrium(p, q, 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn never_claims_on_matching_pennies_but_converges() {
+        // The unique NE is fully mixed — no pure snap can ever verify,
+        // so CFR must report a low-exploitability average instead.
+        let s = solver(games::matching_pennies(), 50_000);
+        let out = s.run(3);
+        assert!(!out.is_equilibrium);
+        assert!(out.hit_time.is_none());
+        assert!(
+            out.measured_objective < 1e-2,
+            "exploitability {}",
+            out.measured_objective
+        );
+        let (p, _) = out.pair().expect("bimatrix profile");
+        assert!((p.prob(0) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let s = solver(games::bird_game(), 2_000);
+        assert_eq!(s.run(7), s.run(7));
+    }
+
+    #[test]
+    fn solves_a_three_player_game_through_the_trait() {
+        // Pure coordination for three players: payoff 1 iff everyone
+        // picks the same action. No bimatrix view exists, which is the
+        // point — CFR runs on the trait alone.
+        struct Coordination3;
+        impl Game for Coordination3 {
+            fn name(&self) -> &str {
+                "coordination-3p"
+            }
+            fn players(&self) -> usize {
+                3
+            }
+            fn num_actions(&self, _player: usize) -> usize {
+                2
+            }
+            fn pure_payoff(&self, _player: usize, actions: &[usize]) -> f64 {
+                if actions.iter().all(|a| *a == actions[0]) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            fn fingerprint(&self) -> u64 {
+                3
+            }
+        }
+        let s = solver(Coordination3, 10_000);
+        assert!(s.game().as_bimatrix().is_none());
+        let out = s.run(1);
+        assert!(out.is_equilibrium, "3-player coordination has pure NEs");
+        let profile = out.profile.expect("profile");
+        assert_eq!(profile.players(), 3);
+        let first = profile.strategy(0).pure_action(1e-9);
+        assert!(first.is_some());
+        for p in 1..3 {
+            assert_eq!(profile.strategy(p).pure_action(1e-9), first);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(CfrSolver::new(Box::new(games::bird_game()), CfrConfig::new(0)).is_err());
+    }
+}

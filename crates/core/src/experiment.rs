@@ -15,7 +15,7 @@
 use crate::solver::{NashSolver, RunOutcome};
 use crate::timing::tts99;
 use cnash_game::equilibrium::{coverage, StrategyKind};
-use cnash_game::{BimatrixGame, Equilibrium};
+use cnash_game::{BimatrixGame, Equilibrium, Game};
 
 /// Per-run solution classification tallies (Fig. 8 buckets).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -148,10 +148,21 @@ impl ReportAccumulator {
     pub const TOL: f64 = 1e-6;
 
     /// Creates an empty accumulator for a (solver, game) pair.
-    pub fn new(solver_name: &str, game: &BimatrixGame) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// Panics if `game` is not bimatrix — the report's classification
+    /// buckets (pure/mixed kinds, coverage against enumeration oracles)
+    /// are defined on two-player strategic form. N-player game kinds
+    /// need their own report shape before they can ride this
+    /// accumulator.
+    pub fn new(solver_name: &str, game: &dyn Game) -> Self {
         Self {
             solver: solver_name.to_string(),
-            game: game.clone(),
+            game: game
+                .as_bimatrix()
+                .expect("report accumulator requires a bimatrix game")
+                .clone(),
             dist: SolutionDistribution::default(),
             distinct: Vec::new(),
             successes: 0,
@@ -174,11 +185,11 @@ impl ReportAccumulator {
         self.run_time_sum += out.total_time;
         self.hits_truncated |= out.solutions_truncated;
         let verified = out.is_equilibrium
-            && match &out.profile {
+            && match out.pair() {
                 Some((p, q)) => self.game.is_equilibrium(p, q, Self::TOL),
                 None => false,
             };
-        match (&out.profile, verified) {
+        match (out.pair(), verified) {
             (Some((p, q)), true) => {
                 self.successes += 1;
                 let eq = Equilibrium::from_profile(&self.game, p.clone(), q.clone());
@@ -196,7 +207,10 @@ impl ReportAccumulator {
         }
         // Every solver-flagged solution the run passed through counts
         // toward coverage, after exact verification.
-        for (p, q) in &out.solutions {
+        for profile in &out.solutions {
+            let Some((p, q)) = profile.as_pair() else {
+                continue;
+            };
             if self.game.is_equilibrium(p, q, Self::TOL) {
                 let eq = Equilibrium::from_profile(&self.game, p.clone(), q.clone());
                 self.insert_distinct(eq);

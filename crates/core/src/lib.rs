@@ -17,7 +17,9 @@
 //!    `1/I` strategy grid until it finds pure or mixed equilibria.
 //!
 //! Baselines ([`baselines`]) run the lossy S-QUBO transformation on
-//! emulated D-Wave annealers (`cnash-qubo`). [`experiment`] reproduces the
+//! emulated D-Wave annealers (`cnash-qubo`); [`cfr`] adds a classical
+//! external-sampling CFR baseline written against the generic
+//! `cnash_game::Game` trait. [`experiment`] reproduces the
 //! paper's evaluation artefacts (Table 1, Figs. 8–10); [`timing`] holds
 //! the CiM and QPU time models.
 //!
@@ -31,7 +33,7 @@
 //! let game = games::battle_of_the_sexes();
 //! let solver = CNashSolver::new(&game, CNashConfig::ideal(12), 42)?;
 //! let run = solver.run(7);
-//! let (p, q) = run.profile.expect("C-Nash always returns a profile");
+//! let (p, q) = run.into_pair().expect("C-Nash always returns a profile");
 //! assert!(game.is_equilibrium(&p, &q, 1e-6));
 //! # Ok(())
 //! # }
@@ -39,6 +41,7 @@
 
 pub mod baselines;
 pub mod certificate;
+pub mod cfr;
 pub mod config;
 pub mod energy;
 pub mod error;
@@ -48,6 +51,7 @@ pub mod report;
 pub mod solver;
 pub mod timing;
 
+pub use cfr::{CfrConfig, CfrSolver};
 pub use config::CNashConfig;
 pub use error::CoreError;
 pub use experiment::{ExperimentRunner, GameReport};

@@ -12,7 +12,7 @@ use crate::config::CNashConfig;
 use crate::error::CoreError;
 use crate::solver::{CNashSolver, NashSolver, RunOutcome};
 use cnash_game::reduction::{eliminate_dominated, ReducedGame};
-use cnash_game::{BimatrixGame, MixedStrategy};
+use cnash_game::{BimatrixGame, Game, MixedStrategy, Profile};
 
 /// C-Nash on the dominance-reduced game, reporting in the original
 /// action space.
@@ -82,22 +82,24 @@ impl NashSolver for ReducedCNashSolver {
         &self.name
     }
 
-    fn game(&self) -> &BimatrixGame {
+    fn game(&self) -> &dyn Game {
         &self.original
     }
 
     fn run(&self, seed: u64) -> RunOutcome {
         let inner_out = self.inner.run(seed);
-        let profile = inner_out.profile.map(|(p, q)| self.lift(&p, &q));
+        let lift_profile = |profile: &Profile| {
+            let (p, q) = profile.as_pair().expect("inner solver is bimatrix");
+            let (p, q) = self.lift(p, q);
+            Profile::pair(p, q)
+        };
+        let profile = inner_out.profile.as_ref().map(lift_profile);
         let is_eq = profile
             .as_ref()
+            .and_then(Profile::as_pair)
             .map(|(p, q)| self.original.is_equilibrium(p, q, 1e-6))
             .unwrap_or(false);
-        let solutions = inner_out
-            .solutions
-            .iter()
-            .map(|(p, q)| self.lift(p, q))
-            .collect();
+        let solutions = inner_out.solutions.iter().map(lift_profile).collect();
         RunOutcome {
             profile,
             is_equilibrium: is_eq,
@@ -123,10 +125,10 @@ mod tests {
         let s =
             ReducedCNashSolver::new(&g, CNashConfig::paper(12).with_iterations(5000), 0).unwrap();
         let out = s.run(1);
-        let (p, q) = out.profile.expect("profile");
+        assert!(out.is_equilibrium);
+        let (p, q) = out.into_pair().expect("profile");
         assert_eq!(p.len(), 8, "profile must be in the original action space");
         assert_eq!(q.len(), 8);
-        assert!(out.is_equilibrium);
         // All mass on the defect block.
         for a in p.support(1e-9) {
             assert!(a >= 4);

@@ -7,7 +7,7 @@ use cnash_anneal::delta::simulated_annealing_delta;
 use cnash_anneal::engine::{simulated_annealing, SaOptions};
 use cnash_anneal::moves::GridStrategyPair;
 use cnash_crossbar::{BiCrossbar, DeltaBiCrossbar, PhaseOneMax};
-use cnash_game::{BimatrixGame, MixedStrategy};
+use cnash_game::{BimatrixGame, Game, MixedStrategy, Profile};
 use cnash_wta::WtaTree;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -19,7 +19,7 @@ pub struct RunOutcome {
     /// The best strategy profile returned by the run (`None` when a
     /// baseline's decoded assignment violates the one-hot constraints —
     /// an "error solution" in the paper's Fig. 8 vocabulary).
-    pub profile: Option<(MixedStrategy, MixedStrategy)>,
+    pub profile: Option<Profile>,
     /// Exact (software-verified) equilibrium check of the profile.
     pub is_equilibrium: bool,
     /// Model time until the solver first *detected* a solution (s).
@@ -32,11 +32,24 @@ pub struct RunOutcome {
     /// All distinct candidate solutions the run *passed through* (states
     /// the solver's own detector flagged). One run can discover several
     /// equilibria; Fig. 9 coverage unions these across runs.
-    pub solutions: Vec<(MixedStrategy, MixedStrategy)>,
+    pub solutions: Vec<Profile>,
     /// `true` when `solutions` was capped (the run discovered more
     /// distinct candidates than the recorder keeps) — coverage built on
     /// this run undercounts, and reports surface the flag.
     pub solutions_truncated: bool,
+}
+
+impl RunOutcome {
+    /// Two-player `(row, col)` view of the returned profile — `None`
+    /// when no profile was returned or the game is not two-player.
+    pub fn pair(&self) -> Option<(&MixedStrategy, &MixedStrategy)> {
+        self.profile.as_ref().and_then(Profile::as_pair)
+    }
+
+    /// Consumes the outcome into its `(row, col)` profile, if any.
+    pub fn into_pair(self) -> Option<(MixedStrategy, MixedStrategy)> {
+        self.profile.and_then(Profile::into_pair)
+    }
 }
 
 /// Common interface of C-Nash and the baselines.
@@ -49,8 +62,10 @@ pub trait NashSolver: Send + Sync {
     /// Human-readable solver name (used in reports).
     fn name(&self) -> &str;
 
-    /// The game being solved.
-    fn game(&self) -> &BimatrixGame;
+    /// The game being solved, behind the generic [`Game`] interface.
+    /// Bimatrix-only machinery (crossbar mapping, QUBO reduction, exact
+    /// oracles) recovers the typed view with [`Game::as_bimatrix`].
+    fn game(&self) -> &dyn Game;
 
     /// Executes one independent run with the given seed.
     fn run(&self, seed: u64) -> RunOutcome;
@@ -335,11 +350,11 @@ impl CNashSolver {
         let solutions = run
             .hit_states
             .iter()
-            .map(|s| (s.p_strategy(), s.q_strategy()))
+            .map(|s| Profile::pair(s.p_strategy(), s.q_strategy()))
             .collect();
         RunOutcome {
             is_equilibrium: self.game.is_equilibrium(&p, &q, 1e-6),
-            profile: Some((p, q)),
+            profile: Some(Profile::pair(p, q)),
             hit_time: None, // exchange steps break the linear-time mapping
             total_time: (sweeps * replicas) as f64 * lat,
             measured_objective: run.best_energy,
@@ -354,7 +369,7 @@ impl NashSolver for CNashSolver {
         &self.name
     }
 
-    fn game(&self) -> &BimatrixGame {
+    fn game(&self) -> &dyn Game {
         &self.game
     }
 
@@ -392,11 +407,11 @@ impl NashSolver for CNashSolver {
         let solutions = sa
             .hit_states
             .iter()
-            .map(|s| (s.p_strategy(), s.q_strategy()))
+            .map(|s| Profile::pair(s.p_strategy(), s.q_strategy()))
             .collect();
         RunOutcome {
             is_equilibrium: self.game.is_equilibrium(&p, &q, 1e-6),
-            profile: Some((p, q)),
+            profile: Some(Profile::pair(p, q)),
             hit_time: sa.first_hit.map(|k| k as f64 * lat),
             total_time: sa.iterations as f64 * lat,
             measured_objective: sa.final_energy,
@@ -440,7 +455,7 @@ impl NashSolver for IdealSolver {
         &self.name
     }
 
-    fn game(&self) -> &BimatrixGame {
+    fn game(&self) -> &dyn Game {
         &self.game
     }
 
@@ -470,11 +485,11 @@ impl NashSolver for IdealSolver {
         let solutions = sa
             .hit_states
             .iter()
-            .map(|s| (s.p_strategy(), s.q_strategy()))
+            .map(|s| Profile::pair(s.p_strategy(), s.q_strategy()))
             .collect();
         RunOutcome {
             is_equilibrium: self.game.is_equilibrium(&p, &q, 1e-6),
-            profile: Some((p, q)),
+            profile: Some(Profile::pair(p, q)),
             hit_time: sa.first_hit.map(|k| k as f64 * lat),
             total_time: sa.iterations as f64 * lat,
             measured_objective: sa.final_energy,
@@ -521,7 +536,7 @@ mod tests {
         let s = CNashSolver::new(&g, CNashConfig::ideal(12), 0).unwrap();
         let out = s.run(5);
         assert!(out.is_equilibrium);
-        let (p, _) = out.profile.expect("cnash always returns a profile");
+        let (p, _) = out.into_pair().expect("cnash always returns a profile");
         assert!(!p.is_pure(1e-6), "matching pennies NE is mixed");
     }
 

@@ -48,7 +48,7 @@ impl Hasher64 {
     }
 
     /// Absorbs raw bytes.
-    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+    pub(crate) fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
         for &b in bytes {
             self.state ^= u64::from(b);
             self.state = self.state.wrapping_mul(Self::PRIME);
@@ -62,13 +62,13 @@ impl Hasher64 {
     }
 
     /// Absorbs a `usize` widened to 64 bits (platform-independent).
-    pub fn write_usize(&mut self, v: usize) -> &mut Self {
+    pub(crate) fn write_usize(&mut self, v: usize) -> &mut Self {
         self.write_u64(v as u64)
     }
 
     /// Absorbs an `f64` by canonical bit pattern (`-0.0` → `+0.0`, so
     /// numerically equal payoffs hash equal).
-    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+    pub(crate) fn write_f64(&mut self, v: f64) -> &mut Self {
         let canonical = if v == 0.0 { 0.0f64 } else { v };
         self.write_u64(canonical.to_bits())
     }

@@ -41,8 +41,8 @@
 //!
 //! ## Seeding contract
 //!
-//! Every generator is a **pure function** of `(size, scale, knob,
-//! seed)`: it draws from a `StdRng` seeded with exactly the given
+//! Every generator is a **pure function** of `(rows, cols, scale,
+//! knob, seed)`: it draws from a `StdRng` seeded with exactly the given
 //! `seed` and consumes randomness in a fixed documented order, so the
 //! same tuple always rebuilds the *same* game — bit-for-bit, on every
 //! platform, in every thread. This is what lets jobs files, the solver
@@ -55,7 +55,11 @@
 //! can be swept in any order. Changing a generator's draw order is a
 //! **breaking change** to this contract (it silently reshuffles every
 //! seeded instance downstream) and must be treated like a wire-format
-//! change.
+//! change. In particular, the rectangular generalisation
+//! ([`Family::build_rect`]) loops row-major over `rows × cols`, so a
+//! square `build_rect(n, n, ..)` consumes randomness in exactly the
+//! order the original square generators did and rebuilds the same
+//! instances bit-for-bit.
 //!
 //! The [`Family`] enum is the registry the wire form and the fuzz grid
 //! iterate over; the per-family free functions are the underlying
@@ -161,13 +165,37 @@ impl Family {
         knob: i64,
         seed: u64,
     ) -> Result<BimatrixGame, GameError> {
+        self.build_rect(size, size, scale, knob, seed)
+    }
+
+    /// Builds the rectangular `rows × cols` instance of this family
+    /// (the row player has `rows` actions, the column player `cols`).
+    ///
+    /// Square calls (`rows == cols == n`) are bit-identical to
+    /// [`Family::build`]`(n, ..)` — the rectangular generators consume
+    /// randomness in the same row-major order, which the seeding
+    /// contract above makes a load-bearing guarantee.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::EmptyActionSet`] if either dimension is
+    /// zero and [`GameError::InvalidParameter`] if `scale == 0` or
+    /// `knob` is outside the family's range ([`Family::knob_meaning`]).
+    pub fn build_rect(
+        self,
+        rows: usize,
+        cols: usize,
+        scale: u32,
+        knob: i64,
+        seed: u64,
+    ) -> Result<BimatrixGame, GameError> {
         match self {
-            Family::Congestion => congestion_game(size, scale, knob, seed),
-            Family::DominanceSolvable => dominance_solvable_game(size, scale, knob, seed),
-            Family::Covariant => covariant_game(size, scale, knob, seed),
-            Family::Sparse => sparse_game(size, scale, knob, seed),
-            Family::Degenerate => degenerate_game(size, scale, knob, seed),
-            Family::AntiCoordination => anti_coordination_game(size, scale, knob, seed),
+            Family::Congestion => congestion_rect(rows, cols, scale, knob, seed),
+            Family::DominanceSolvable => dominance_solvable_rect(rows, cols, scale, knob, seed),
+            Family::Covariant => covariant_rect(rows, cols, scale, knob, seed),
+            Family::Sparse => sparse_rect(rows, cols, scale, knob, seed),
+            Family::Degenerate => degenerate_rect(rows, cols, scale, knob, seed),
+            Family::AntiCoordination => anti_coordination_rect(rows, cols, scale, knob, seed),
         }
     }
 }
@@ -180,8 +208,8 @@ impl Family {
 /// for wire-supplied parameters.
 pub const MAX_SCALE: u32 = 1_000_000;
 
-fn validate(size: usize, scale: u32) -> Result<(), GameError> {
-    if size == 0 {
+fn validate(rows: usize, cols: usize, scale: u32) -> Result<(), GameError> {
+    if rows == 0 || cols == 0 {
         return Err(GameError::EmptyActionSet);
     }
     if scale == 0 {
@@ -205,13 +233,14 @@ fn knob_err<T>(family: Family, knob: i64) -> Result<T, GameError> {
 
 fn game_from_rows(
     family: Family,
-    size: usize,
+    rows: usize,
+    cols: usize,
     seed: u64,
     m: Vec<Vec<f64>>,
     b: Vec<Vec<f64>>,
 ) -> Result<BimatrixGame, GameError> {
     BimatrixGame::new(
-        format!("{}-{size}x{size}-seed{seed}", family.name()),
+        format!("{}-{rows}x{cols}-seed{seed}", family.name()),
         Matrix::from_rows(&m)?,
         Matrix::from_rows(&b)?,
     )
@@ -236,13 +265,30 @@ pub fn congestion_game(
     knob: i64,
     seed: u64,
 ) -> Result<BimatrixGame, GameError> {
-    validate(size, scale)?;
+    congestion_rect(size, size, scale, knob, seed)
+}
+
+/// Rectangular congestion: `max(rows, cols)` resources get seeded
+/// benefits/delays; the row player picks among the first `rows`, the
+/// column player among the first `cols`. Square calls draw exactly the
+/// sequence [`congestion_game`] historically drew.
+fn congestion_rect(
+    rows: usize,
+    cols: usize,
+    scale: u32,
+    knob: i64,
+    seed: u64,
+) -> Result<BimatrixGame, GameError> {
+    validate(rows, cols, scale)?;
     if !(0..=u32::MAX as i64).contains(&knob) {
         return knob_err(Family::Congestion, knob);
     }
     let max_delay = knob as u32;
+    let resources = rows.max(cols);
     let mut rng = StdRng::seed_from_u64(seed);
-    let benefit: Vec<u32> = (0..size).map(|_| rng.random_range(1..=scale)).collect();
+    let benefit: Vec<u32> = (0..resources)
+        .map(|_| rng.random_range(1..=scale))
+        .collect();
     let delay: Vec<u32> = benefit
         .iter()
         .map(|&b| rng.random_range(0..=b.min(max_delay)))
@@ -251,13 +297,13 @@ pub fn congestion_game(
         let collided = if own == other { delay[own] } else { 0 };
         (benefit[own] - collided) as f64
     };
-    let m = (0..size)
-        .map(|i| (0..size).map(|j| payoff(i, j)).collect())
+    let m = (0..rows)
+        .map(|i| (0..cols).map(|j| payoff(i, j)).collect())
         .collect();
-    let b = (0..size)
-        .map(|i| (0..size).map(|j| payoff(j, i)).collect())
+    let b = (0..rows)
+        .map(|i| (0..cols).map(|j| payoff(j, i)).collect())
         .collect();
-    game_from_rows(Family::Congestion, size, seed, m, b)
+    game_from_rows(Family::Congestion, rows, cols, seed, m, b)
 }
 
 /// An iterated-strict-dominance chain: random noise in `0..=scale` plus
@@ -278,7 +324,20 @@ pub fn dominance_solvable_game(
     knob: i64,
     seed: u64,
 ) -> Result<BimatrixGame, GameError> {
-    validate(size, scale)?;
+    dominance_solvable_rect(size, size, scale, knob, seed)
+}
+
+/// Rectangular dominance chain: each player's bonus ladder spans their
+/// own action count, so both chains still terminate in the unique pure
+/// equilibrium `(0, 0)`.
+fn dominance_solvable_rect(
+    rows: usize,
+    cols: usize,
+    scale: u32,
+    knob: i64,
+    seed: u64,
+) -> Result<BimatrixGame, GameError> {
+    validate(rows, cols, scale)?;
     if !(1..=1_000_000).contains(&knob) {
         return knob_err(Family::DominanceSolvable, knob);
     }
@@ -289,18 +348,16 @@ pub fn dominance_solvable_game(
     // (exact for integers far beyond MAX_SCALE-bounded inputs) so no
     // intermediate fixed-width product can wrap.
     let step = (scale + gap) as f64;
-    let bonus = |k: usize| (size - 1 - k) as f64 * step;
+    let row_bonus = |k: usize| (rows - 1 - k) as f64 * step;
+    let col_bonus = |k: usize| (cols - 1 - k) as f64 * step;
     let mut draw = |own_bonus: f64| -> f64 { own_bonus + rng.random_range(0..=scale) as f64 };
-    let m = (0..size)
-        .map(|i| (0..size).map(|_| draw(bonus(i))).collect())
+    let m = (0..rows)
+        .map(|i| (0..cols).map(|_| draw(row_bonus(i))).collect())
         .collect();
-    let b = (0..size)
-        .map(|i| {
-            let _ = i;
-            (0..size).map(|j| draw(bonus(j))).collect()
-        })
+    let b = (0..rows)
+        .map(|_| (0..cols).map(|j| draw(col_bonus(j))).collect())
         .collect();
-    game_from_rows(Family::DominanceSolvable, size, seed, m, b)
+    game_from_rows(Family::DominanceSolvable, rows, cols, seed, m, b)
 }
 
 /// A **covariant-payoff game**: each cell's two payoffs are correlated
@@ -319,13 +376,25 @@ pub fn covariant_game(
     knob: i64,
     seed: u64,
 ) -> Result<BimatrixGame, GameError> {
-    validate(size, scale)?;
+    covariant_rect(size, size, scale, knob, seed)
+}
+
+/// Rectangular covariant game: the per-cell correlation structure is
+/// shape-agnostic, so this is a plain row-major `rows × cols` sweep.
+fn covariant_rect(
+    rows: usize,
+    cols: usize,
+    scale: u32,
+    knob: i64,
+    seed: u64,
+) -> Result<BimatrixGame, GameError> {
+    validate(rows, cols, scale)?;
     if !(-100..=100).contains(&knob) {
         return knob_err(Family::Covariant, knob);
     }
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut m = vec![vec![0.0; size]; size];
-    let mut b = vec![vec![0.0; size]; size];
+    let mut m = vec![vec![0.0; cols]; rows];
+    let mut b = vec![vec![0.0; cols]; rows];
     for (row_m, row_b) in m.iter_mut().zip(b.iter_mut()) {
         for (cell_m, cell_b) in row_m.iter_mut().zip(row_b.iter_mut()) {
             let a = rng.random_range(0..=scale);
@@ -343,7 +412,7 @@ pub fn covariant_game(
             *cell_b = other as f64;
         }
     }
-    game_from_rows(Family::Covariant, size, seed, m, b)
+    game_from_rows(Family::Covariant, rows, cols, seed, m, b)
 }
 
 /// A **sparse payoff game**: each payoff entry is zero except with
@@ -361,7 +430,18 @@ pub fn sparse_game(
     knob: i64,
     seed: u64,
 ) -> Result<BimatrixGame, GameError> {
-    validate(size, scale)?;
+    sparse_rect(size, size, scale, knob, seed)
+}
+
+/// Rectangular sparse game: independent per-cell draws, row-major.
+fn sparse_rect(
+    rows: usize,
+    cols: usize,
+    scale: u32,
+    knob: i64,
+    seed: u64,
+) -> Result<BimatrixGame, GameError> {
+    validate(rows, cols, scale)?;
     if !(1..=100).contains(&knob) {
         return knob_err(Family::Sparse, knob);
     }
@@ -374,13 +454,13 @@ pub fn sparse_game(
             0.0
         }
     };
-    let m = (0..size)
-        .map(|_| (0..size).map(&mut draw).collect())
+    let m = (0..rows)
+        .map(|_| (0..cols).map(&mut draw).collect())
         .collect();
-    let b = (0..size)
-        .map(|_| (0..size).map(&mut draw).collect())
+    let b = (0..rows)
+        .map(|_| (0..cols).map(&mut draw).collect())
         .collect();
-    game_from_rows(Family::Sparse, size, seed, m, b)
+    game_from_rows(Family::Sparse, rows, cols, seed, m, b)
 }
 
 /// A deliberately **degenerate** game: payoffs are drawn from only
@@ -399,7 +479,22 @@ pub fn degenerate_game(
     knob: i64,
     seed: u64,
 ) -> Result<BimatrixGame, GameError> {
-    validate(size, scale)?;
+    degenerate_rect(size, size, scale, knob, seed)
+}
+
+/// Rectangular degenerate game: level draws sweep `rows × cols`
+/// row-major, then the row duplication indexes `rows` and the column
+/// duplication indexes `cols` — the same two draw pairs, in the same
+/// order, the square generator made (each dimension needs >= 2 actions
+/// for its duplication to exist).
+fn degenerate_rect(
+    rows: usize,
+    cols: usize,
+    scale: u32,
+    knob: i64,
+    seed: u64,
+) -> Result<BimatrixGame, GameError> {
+    validate(rows, cols, scale)?;
     if !(1..=scale as i64 + 1).contains(&knob) {
         return knob_err(Family::Degenerate, knob);
     }
@@ -415,26 +510,28 @@ pub fn degenerate_game(
             (idx as u64 * scale as u64 / (levels as u64 - 1)) as f64
         }
     };
-    let mut m: Vec<Vec<f64>> = (0..size)
-        .map(|_| (0..size).map(&mut draw).collect())
+    let mut m: Vec<Vec<f64>> = (0..rows)
+        .map(|_| (0..cols).map(&mut draw).collect())
         .collect();
-    let mut b: Vec<Vec<f64>> = (0..size)
-        .map(|_| (0..size).map(&mut draw).collect())
+    let mut b: Vec<Vec<f64>> = (0..rows)
+        .map(|_| (0..cols).map(&mut draw).collect())
         .collect();
-    if size >= 2 {
-        // Duplicate a row strategy and a column strategy in both
-        // matrices: the duplicated actions are strategically identical.
-        let r_src = rng.random_range(0..size as u32) as usize;
-        let r_dst = (r_src + 1 + rng.random_range(0..size as u32 - 1) as usize) % size;
+    // Duplicate a row strategy and a column strategy in both matrices:
+    // the duplicated actions are strategically identical.
+    if rows >= 2 {
+        let r_src = rng.random_range(0..rows as u32) as usize;
+        let r_dst = (r_src + 1 + rng.random_range(0..rows as u32 - 1) as usize) % rows;
         m[r_dst] = m[r_src].clone();
         b[r_dst] = b[r_src].clone();
-        let c_src = rng.random_range(0..size as u32) as usize;
-        let c_dst = (c_src + 1 + rng.random_range(0..size as u32 - 1) as usize) % size;
+    }
+    if cols >= 2 {
+        let c_src = rng.random_range(0..cols as u32) as usize;
+        let c_dst = (c_src + 1 + rng.random_range(0..cols as u32 - 1) as usize) % cols;
         for row in m.iter_mut().chain(b.iter_mut()) {
             row[c_dst] = row[c_src];
         }
     }
-    game_from_rows(Family::Degenerate, size, seed, m, b)
+    game_from_rows(Family::Degenerate, rows, cols, seed, m, b)
 }
 
 /// An **anti-coordination / hawk–dove grid**: colliding on the same
@@ -453,7 +550,20 @@ pub fn anti_coordination_game(
     knob: i64,
     seed: u64,
 ) -> Result<BimatrixGame, GameError> {
-    validate(size, scale)?;
+    anti_coordination_rect(size, size, scale, knob, seed)
+}
+
+/// Rectangular anti-coordination: "collision" still means equal action
+/// indices (possible only on the shared `min(rows, cols)` diagonal), so
+/// the off-diagonal reward structure survives the shape change.
+fn anti_coordination_rect(
+    rows: usize,
+    cols: usize,
+    scale: u32,
+    knob: i64,
+    seed: u64,
+) -> Result<BimatrixGame, GameError> {
+    validate(rows, cols, scale)?;
     if !(0..scale as i64).contains(&knob) {
         return knob_err(Family::AntiCoordination, knob);
     }
@@ -466,13 +576,13 @@ pub fn anti_coordination_game(
             rng.random_range(crash + 1..=scale) as f64
         }
     };
-    let m = (0..size)
-        .map(|i| (0..size).map(|j| draw(i, j)).collect())
+    let m = (0..rows)
+        .map(|i| (0..cols).map(|j| draw(i, j)).collect())
         .collect();
-    let b = (0..size)
-        .map(|i| (0..size).map(|j| draw(i, j)).collect())
+    let b = (0..rows)
+        .map(|i| (0..cols).map(|j| draw(i, j)).collect())
         .collect();
-    game_from_rows(Family::AntiCoordination, size, seed, m, b)
+    game_from_rows(Family::AntiCoordination, rows, cols, seed, m, b)
 }
 
 #[cfg(test)]
@@ -654,5 +764,87 @@ mod tests {
         let direct = covariant_game(3, 6, -40, 5).unwrap();
         let via_enum = Family::Covariant.build(3, 6, -40, 5).unwrap();
         assert_eq!(direct, via_enum);
+    }
+
+    #[test]
+    fn square_build_rect_is_bit_identical_to_build() {
+        // The seeding contract: build_rect(n, n, ..) must consume
+        // randomness in exactly the order build(n, ..) always did.
+        for f in Family::ALL {
+            for size in [1, 2, 3, 5] {
+                for seed in 0..3 {
+                    let square = f
+                        .build(size, f.default_scale(), f.default_knob(), seed)
+                        .unwrap();
+                    let rect = f
+                        .build_rect(size, size, f.default_scale(), f.default_knob(), seed)
+                        .unwrap();
+                    assert_eq!(square, rect, "{} size {size} seed {seed}", f.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rectangular_builds_have_the_requested_shape() {
+        for f in Family::ALL {
+            for (rows, cols) in [(2, 5), (5, 2), (1, 4), (4, 1), (3, 4)] {
+                let g = f
+                    .build_rect(rows, cols, f.default_scale(), f.default_knob(), 3)
+                    .unwrap_or_else(|e| panic!("{} {rows}x{cols}: {e}", f.name()));
+                assert_eq!(
+                    (g.row_actions(), g.col_actions()),
+                    (rows, cols),
+                    "{}",
+                    f.name()
+                );
+                assert!(g.row_payoffs().is_nonneg_integer(1e-9), "{}", f.name());
+                assert!(g.col_payoffs().is_nonneg_integer(1e-9), "{}", f.name());
+                assert!(g.name().contains(&format!("{rows}x{cols}")), "{}", f.name());
+                // Determinism holds for rectangular shapes too.
+                let again = f
+                    .build_rect(rows, cols, f.default_scale(), f.default_knob(), 3)
+                    .unwrap();
+                assert_eq!(g, again, "{}", f.name());
+            }
+            assert!(f
+                .build_rect(0, 3, f.default_scale(), f.default_knob(), 0)
+                .is_err());
+            assert!(f
+                .build_rect(3, 0, f.default_scale(), f.default_knob(), 0)
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn rectangular_dominance_chain_still_targets_the_origin() {
+        for seed in 0..4 {
+            let g = Family::DominanceSolvable
+                .build_rect(4, 2, 3, 1, seed)
+                .unwrap();
+            let eqs = enumerate_equilibria(&g, 1e-9);
+            assert_eq!(eqs.len(), 1, "seed {seed}");
+            assert_eq!(eqs[0].row.pure_action(1e-9), Some(0));
+            assert_eq!(eqs[0].col.pure_action(1e-9), Some(0));
+        }
+    }
+
+    #[test]
+    fn rectangular_degenerate_still_duplicates_where_possible() {
+        let g = Family::Degenerate.build_rect(3, 2, 4, 2, 1).unwrap();
+        let (m, b) = (g.row_payoffs(), g.col_payoffs());
+        let dup_row = (0..3).any(|i| {
+            (i + 1..3).any(|k| (0..2).all(|j| m[(i, j)] == m[(k, j)] && b[(i, j)] == b[(k, j)]))
+        });
+        let dup_col = (0..2).any(|j| {
+            (j + 1..2).any(|k| (0..3).all(|i| m[(i, j)] == m[(i, k)] && b[(i, j)] == b[(i, k)]))
+        });
+        assert!(
+            dup_row && dup_col,
+            "3x2 degenerate must duplicate both ways"
+        );
+        // A single-action dimension simply skips its duplication.
+        assert!(Family::Degenerate.build_rect(1, 3, 4, 2, 0).is_ok());
+        assert!(Family::Degenerate.build_rect(3, 1, 4, 2, 0).is_ok());
     }
 }

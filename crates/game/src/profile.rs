@@ -1,0 +1,170 @@
+//! N-player strategy profiles.
+//!
+//! A [`Profile`] is one [`MixedStrategy`] per player, in player order.
+//! It is the unit solvers exchange with the [`crate::Game`] trait:
+//! bimatrix call sites view it as a `(row, col)` pair via
+//! [`Profile::as_pair`] / [`Profile::into_pair`], while N-player games
+//! index it by player.
+
+use crate::error::GameError;
+use crate::strategy::MixedStrategy;
+use std::fmt;
+
+/// One mixed strategy per player, in player order.
+///
+/// Invariant: a profile holds at least one strategy (a game has at
+/// least one player), so `strategies()[0]` never panics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    strategies: Vec<MixedStrategy>,
+}
+
+impl Profile {
+    /// Builds a profile from per-player strategies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidParameter`] on an empty strategy
+    /// list — a game has at least one player.
+    pub fn new(strategies: Vec<MixedStrategy>) -> Result<Profile, GameError> {
+        if strategies.is_empty() {
+            return Err(GameError::InvalidParameter(
+                "a profile needs at least one player".into(),
+            ));
+        }
+        Ok(Profile { strategies })
+    }
+
+    /// Builds the two-player profile `(row, col)` — the bimatrix case.
+    pub fn pair(row: MixedStrategy, col: MixedStrategy) -> Profile {
+        Profile {
+            strategies: vec![row, col],
+        }
+    }
+
+    /// Number of players.
+    pub fn players(&self) -> usize {
+        self.strategies.len()
+    }
+
+    /// The strategy of `player`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `player >= self.players()`.
+    pub fn strategy(&self, player: usize) -> &MixedStrategy {
+        &self.strategies[player]
+    }
+
+    /// All strategies, in player order.
+    pub fn strategies(&self) -> &[MixedStrategy] {
+        &self.strategies
+    }
+
+    /// Two-player view as `(row, col)`; `None` unless exactly 2 players.
+    pub fn as_pair(&self) -> Option<(&MixedStrategy, &MixedStrategy)> {
+        match self.strategies.as_slice() {
+            [row, col] => Some((row, col)),
+            _ => None,
+        }
+    }
+
+    /// Consumes the profile into `(row, col)`; `None` unless exactly
+    /// 2 players.
+    pub fn into_pair(self) -> Option<(MixedStrategy, MixedStrategy)> {
+        let mut it = self.strategies.into_iter();
+        match (it.next(), it.next(), it.next()) {
+            (Some(row), Some(col), None) => Some((row, col)),
+            _ => None,
+        }
+    }
+
+    /// Largest per-player [`MixedStrategy::linf_distance`]; infinite if
+    /// the player counts differ.
+    pub fn linf_distance(&self, other: &Profile) -> f64 {
+        if self.players() != other.players() {
+            return f64::INFINITY;
+        }
+        self.strategies
+            .iter()
+            .zip(&other.strategies)
+            .map(|(a, b)| a.linf_distance(b))
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for Profile {
+    /// Renders as `[(0.5000, 0.5000), (1.0000, 0.0000)]`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, s) in self.strategies.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_round_trips_and_indexes() {
+        let p = MixedStrategy::pure(2, 0).unwrap();
+        let q = MixedStrategy::uniform(3).unwrap();
+        let profile = Profile::pair(p.clone(), q.clone());
+        assert_eq!(profile.players(), 2);
+        assert_eq!(profile.strategy(0), &p);
+        assert_eq!(profile.strategy(1), &q);
+        let (a, b) = profile.as_pair().unwrap();
+        assert_eq!((a, b), (&p, &q));
+        let (a, b) = profile.clone().into_pair().unwrap();
+        assert_eq!((a, b), (p, q));
+    }
+
+    #[test]
+    fn non_pair_profiles_have_no_pair_view() {
+        let s = MixedStrategy::uniform(2).unwrap();
+        let one = Profile::new(vec![s.clone()]).unwrap();
+        assert_eq!(one.players(), 1);
+        assert!(one.as_pair().is_none());
+        assert!(one.into_pair().is_none());
+        let three = Profile::new(vec![s.clone(), s.clone(), s]).unwrap();
+        assert!(three.as_pair().is_none());
+        assert!(three.clone().into_pair().is_none());
+        assert_eq!(three.strategies().len(), 3);
+    }
+
+    #[test]
+    fn empty_profile_is_rejected() {
+        assert!(Profile::new(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn linf_distance_folds_the_worst_player() {
+        let a = Profile::pair(
+            MixedStrategy::pure(2, 0).unwrap(),
+            MixedStrategy::uniform(2).unwrap(),
+        );
+        let b = Profile::pair(
+            MixedStrategy::pure(2, 0).unwrap(),
+            MixedStrategy::pure(2, 0).unwrap(),
+        );
+        assert!((a.linf_distance(&b) - 0.5).abs() < 1e-12);
+        assert_eq!(a.linf_distance(&a), 0.0);
+        let one = Profile::new(vec![MixedStrategy::uniform(2).unwrap()]).unwrap();
+        assert_eq!(a.linf_distance(&one), f64::INFINITY);
+    }
+
+    #[test]
+    fn display_lists_all_players() {
+        let profile = Profile::pair(
+            MixedStrategy::uniform(2).unwrap(),
+            MixedStrategy::pure(2, 1).unwrap(),
+        );
+        assert_eq!(profile.to_string(), "[(0.5000, 0.5000), (0.0000, 1.0000)]");
+    }
+}

@@ -188,7 +188,7 @@ impl LocalFields {
     /// # Panics
     ///
     /// Panics if `k` is out of range or lengths mismatch.
-    pub fn apply_flip(&mut self, qubo: &Qubo, x: &[bool], k: usize) {
+    pub(crate) fn apply_flip(&mut self, qubo: &Qubo, x: &[bool], k: usize) {
         let n = qubo.num_vars();
         assert_eq!(x.len(), n, "assignment length mismatch");
         assert!(k < n, "variable {k} out of range");

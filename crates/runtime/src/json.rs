@@ -334,6 +334,28 @@ impl Json {
         }
     }
 
+    /// Errors if this object holds a key outside `allowed`, naming the
+    /// offending key and the `context` it appeared in. Wire-facing
+    /// parsers call this after reading their known fields so a typo
+    /// (`"iteratons"`) fails loudly instead of silently falling back to
+    /// a default. Non-object nodes pass — their shape errors surface
+    /// from the typed accessors instead.
+    ///
+    /// # Errors
+    ///
+    /// Errors on the first unknown key (keys are sorted, so the error
+    /// is deterministic).
+    pub fn expect_keys(&self, context: &str, allowed: &[&str]) -> Result<(), JsonError> {
+        if let Json::Obj(map) = self {
+            for key in map.keys() {
+                if !allowed.contains(&key.as_str()) {
+                    return err(format!("unknown key `{key}` in {context}"), 0);
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn kind(&self) -> &'static str {
         match self {
             Json::Null => "null",
@@ -678,6 +700,17 @@ mod tests {
         // demote small values to Num).
         let doc = Json::obj([("hits", Json::uint(42)), ("rate", Json::num(0.5))]);
         assert_eq!(Json::parse(&doc.compact()).unwrap(), doc);
+    }
+
+    #[test]
+    fn expect_keys_names_the_offending_key() {
+        let doc = Json::parse(r#"{"runs": 3, "iteratons": 5}"#).unwrap();
+        let err = doc.expect_keys("job", &["runs", "iterations"]).unwrap_err();
+        assert!(err.message.contains("`iteratons`"), "{}", err.message);
+        assert!(err.message.contains("job"), "{}", err.message);
+        assert!(doc.expect_keys("job", &["runs", "iteratons"]).is_ok());
+        // Non-objects pass: their shape errors come from the accessors.
+        assert!(Json::num(1.0).expect_keys("job", &[]).is_ok());
     }
 
     #[test]

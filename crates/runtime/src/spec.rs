@@ -28,7 +28,7 @@ use crate::batch::EarlyStop;
 use crate::json::{Json, JsonError};
 use crate::portfolio::{PortfolioJob, PortfolioStop};
 use cnash_core::baselines::DWaveNashSolver;
-use cnash_core::{CNashConfig, CNashSolver, IdealSolver, NashSolver};
+use cnash_core::{CNashConfig, CNashSolver, CfrConfig, CfrSolver, IdealSolver, NashSolver};
 use cnash_device::corners::ProcessCorner;
 use cnash_game::families::Family;
 use cnash_game::games;
@@ -91,7 +91,7 @@ fn seed_from_json(json: &Json) -> Result<u64, SpecError> {
 /// Upper bound on `rows × cols` of a [`GameSpec::Random`] instance
 /// (1M cells ≈ 16 MB of payoffs): specs arrive over the wire, and one
 /// request must not be able to demand an unbounded allocation.
-pub const MAX_RANDOM_CELLS: usize = 1 << 20;
+pub(crate) const MAX_RANDOM_CELLS: usize = 1 << 20;
 
 /// A named entry of the builtin game registry.
 pub type BuiltinGame = (&'static str, fn() -> BimatrixGame);
@@ -157,17 +157,25 @@ pub enum GameSpec {
     /// A structured game-family instance
     /// (`cnash_game::families::Family`) — the GAMUT-style generators
     /// the differential-fuzz harness sweeps. Like [`GameSpec::Random`],
-    /// the same `(family, size, scale, knob, seed)` tuple always builds
-    /// the same game, so family instances are first-class citizens of
-    /// jobs files, the service protocol and the instance cache (keys
-    /// are canonical payoff fingerprints, so a family instance and the
-    /// equivalent explicit matrices share a cache line).
+    /// the same `(family, rows, cols, scale, knob, seed)` tuple always
+    /// builds the same game, so family instances are first-class
+    /// citizens of jobs files, the service protocol and the instance
+    /// cache (keys are canonical payoff fingerprints, so a family
+    /// instance and the equivalent explicit matrices share a cache
+    /// line).
     Family {
         /// Family wire name (`congestion`, `dominance_solvable`,
         /// `covariant`, `sparse`, `degenerate`, `anti_coordination`).
         family: String,
-        /// Actions per player (families are square).
+        /// Actions per player when no per-dimension override is given.
         size: usize,
+        /// Row-player action count override (`None` = `size`). With
+        /// `rows == cols == size` the instance is bit-identical to the
+        /// square spec — the generators' draw order is part of the
+        /// wire-format contract.
+        rows: Option<usize>,
+        /// Column-player action count override (`None` = `size`).
+        cols: Option<usize>,
         /// Payoff scale (`None` = family default).
         scale: Option<u32>,
         /// Family-specific knob, e.g. correlation ρ percent for
@@ -240,6 +248,8 @@ impl GameSpec {
             GameSpec::Family {
                 family,
                 size,
+                rows,
+                cols,
                 scale,
                 knob,
                 seed,
@@ -247,14 +257,17 @@ impl GameSpec {
                 let fam = Family::from_name(family)
                     .ok_or(())
                     .or_else(|()| spec_err(format!("unknown game family `{family}`")))?;
+                let rows = rows.unwrap_or(*size);
+                let cols = cols.unwrap_or(*size);
                 // Same wire-facing allocation bound as Random specs.
-                if size.checked_mul(*size).is_none_or(|c| c > MAX_RANDOM_CELLS) {
+                if rows.checked_mul(cols).is_none_or(|c| c > MAX_RANDOM_CELLS) {
                     return spec_err(format!(
-                        "family game: {size}x{size} exceeds the {MAX_RANDOM_CELLS}-cell limit"
+                        "family game: {rows}x{cols} exceeds the {MAX_RANDOM_CELLS}-cell limit"
                     ));
                 }
-                fam.build(
-                    *size,
+                fam.build_rect(
+                    rows,
+                    cols,
                     scale.unwrap_or_else(|| fam.default_scale()),
                     knob.unwrap_or_else(|| fam.default_knob()),
                     *seed,
@@ -305,6 +318,8 @@ impl GameSpec {
             GameSpec::Family {
                 family,
                 size,
+                rows,
+                cols,
                 scale,
                 knob,
                 seed,
@@ -313,6 +328,12 @@ impl GameSpec {
                     ("name".to_string(), Json::str(family.clone())),
                     ("size".to_string(), Json::num(*size as f64)),
                 ];
+                if let Some(r) = rows {
+                    obj.push(("rows".into(), Json::num(*r as f64)));
+                }
+                if let Some(c) = cols {
+                    obj.push(("cols".into(), Json::num(*c as f64)));
+                }
                 if let Some(s) = scale {
                     obj.push(("scale".into(), Json::num(*s)));
                 }
@@ -329,12 +350,20 @@ impl GameSpec {
     ///
     /// # Errors
     ///
-    /// Errors on missing keys or wrong node types.
+    /// Errors on missing keys, wrong node types, or unknown keys (the
+    /// error names the offending key — a typo must not silently become
+    /// a default).
     pub fn from_json(json: &Json) -> Result<GameSpec, SpecError> {
         if let Some(builtin) = json.opt("builtin") {
+            json.expect_keys("builtin game spec", &["builtin"])?;
             return Ok(GameSpec::Builtin(builtin.as_str()?.to_string()));
         }
         if let Some(family) = json.opt("family") {
+            json.expect_keys("family game spec", &["family"])?;
+            family.expect_keys(
+                "family game spec",
+                &["name", "size", "rows", "cols", "scale", "knob", "seed"],
+            )?;
             let scale = match family.opt("scale") {
                 None => None,
                 Some(v) => {
@@ -364,6 +393,8 @@ impl GameSpec {
             return Ok(GameSpec::Family {
                 family: family.get("name")?.as_str()?.to_string(),
                 size: family.get("size")?.as_usize()?,
+                rows: family.opt("rows").map(|v| v.as_usize()).transpose()?,
+                cols: family.opt("cols").map(|v| v.as_usize()).transpose()?,
                 scale,
                 knob,
                 seed: family
@@ -374,6 +405,8 @@ impl GameSpec {
             });
         }
         if let Some(random) = json.opt("random") {
+            json.expect_keys("random game spec", &["random"])?;
+            random.expect_keys("random game spec", &["rows", "cols", "max_payoff", "seed"])?;
             let max_payoff = random.get("max_payoff")?.as_usize()?;
             if max_payoff > u32::MAX as usize {
                 return spec_err(format!(
@@ -392,6 +425,10 @@ impl GameSpec {
                     .unwrap_or(0),
             });
         }
+        json.expect_keys(
+            "explicit game spec",
+            &["name", "row_payoffs", "col_payoffs"],
+        )?;
         let mat = |key: &str| -> Result<Vec<Vec<f64>>, SpecError> {
             json.get(key)?
                 .as_arr()?
@@ -558,6 +595,13 @@ pub enum SolverSpec {
         /// Annealer reads per run.
         reads_per_run: usize,
     },
+    /// The classical external-sampling CFR baseline
+    /// (`cnash_core::CfrSolver`) — the first solver running against the
+    /// generic `cnash_game::Game` trait rather than a bimatrix view.
+    Cfr {
+        /// External-sampling iterations per run.
+        iterations: usize,
+    },
 }
 
 impl SolverSpec {
@@ -597,6 +641,13 @@ impl SolverSpec {
                     })?;
                 Ok(Box::new(solver))
             }
+            SolverSpec::Cfr { iterations } => {
+                let solver = CfrSolver::new(Box::new(game.clone()), CfrConfig::new(*iterations))
+                    .map_err(|e| SpecError {
+                        message: format!("cfr: {e}"),
+                    })?;
+                Ok(Box::new(solver))
+            }
         }
     }
 
@@ -631,6 +682,10 @@ impl SolverSpec {
                 ("model", Json::str(model.clone())),
                 ("reads_per_run", Json::num(*reads_per_run as f64)),
             ]),
+            SolverSpec::Cfr { iterations } => Json::obj([
+                ("type", Json::str("cfr")),
+                ("iterations", Json::num(*iterations as f64)),
+            ]),
         }
     }
 
@@ -638,28 +693,63 @@ impl SolverSpec {
     ///
     /// # Errors
     ///
-    /// Errors on unknown solver types or malformed fields.
+    /// Errors on unknown solver types, malformed fields, or unknown
+    /// keys (validated per variant, since the `ConfigSpec` fields are
+    /// flattened into the same object as the `type` tag).
     pub fn from_json(json: &Json) -> Result<SolverSpec, SpecError> {
+        const CONFIG_KEYS: [&str; 6] = [
+            "preset",
+            "intervals",
+            "corner",
+            "iterations",
+            "gap_tolerance",
+            "use_wta",
+        ];
+        fn with_config<'a>(extra: &[&'a str]) -> Vec<&'a str> {
+            let mut keys = vec!["type"];
+            keys.extend_from_slice(&CONFIG_KEYS);
+            keys.extend_from_slice(extra);
+            keys
+        }
         match json.get("type")?.as_str()? {
-            "cnash" => Ok(SolverSpec::CNash {
-                config: ConfigSpec::from_json(json)?,
-                hardware_seed: json
-                    .opt("hardware_seed")
-                    .map(seed_from_json)
-                    .transpose()?
-                    .unwrap_or(0),
-            }),
-            "ideal" => Ok(SolverSpec::Ideal {
-                config: ConfigSpec::from_json(json)?,
-            }),
-            "dwave" => Ok(SolverSpec::DWave {
-                model: json.get("model")?.as_str()?.to_string(),
-                reads_per_run: json
-                    .opt("reads_per_run")
-                    .map(|v| v.as_usize())
-                    .transpose()?
-                    .unwrap_or(1),
-            }),
+            "cnash" => {
+                json.expect_keys("cnash solver spec", &with_config(&["hardware_seed"]))?;
+                Ok(SolverSpec::CNash {
+                    config: ConfigSpec::from_json(json)?,
+                    hardware_seed: json
+                        .opt("hardware_seed")
+                        .map(seed_from_json)
+                        .transpose()?
+                        .unwrap_or(0),
+                })
+            }
+            "ideal" => {
+                json.expect_keys("ideal solver spec", &with_config(&[]))?;
+                Ok(SolverSpec::Ideal {
+                    config: ConfigSpec::from_json(json)?,
+                })
+            }
+            "dwave" => {
+                json.expect_keys("dwave solver spec", &["type", "model", "reads_per_run"])?;
+                Ok(SolverSpec::DWave {
+                    model: json.get("model")?.as_str()?.to_string(),
+                    reads_per_run: json
+                        .opt("reads_per_run")
+                        .map(|v| v.as_usize())
+                        .transpose()?
+                        .unwrap_or(1),
+                })
+            }
+            "cfr" => {
+                json.expect_keys("cfr solver spec", &["type", "iterations"])?;
+                Ok(SolverSpec::Cfr {
+                    iterations: json
+                        .opt("iterations")
+                        .map(|v| v.as_usize())
+                        .transpose()?
+                        .unwrap_or_else(|| CfrConfig::default().iterations),
+                })
+            }
             other => spec_err(format!("unknown solver type `{other}`")),
         }
     }
@@ -670,6 +760,7 @@ impl SolverSpec {
             SolverSpec::CNash { hardware_seed, .. } => format!("cnash(hw{hardware_seed})"),
             SolverSpec::Ideal { .. } => "ideal".to_string(),
             SolverSpec::DWave { model, .. } => format!("dwave({model})"),
+            SolverSpec::Cfr { .. } => "cfr".to_string(),
         }
     }
 }
@@ -745,11 +836,16 @@ impl JobSpec {
     ///
     /// # Errors
     ///
-    /// Errors on missing keys or malformed fields.
+    /// Errors on missing keys, malformed fields, or unknown keys.
     pub fn from_json(json: &Json) -> Result<JobSpec, SpecError> {
+        json.expect_keys(
+            "job spec",
+            &["game", "solver", "runs", "base_seed", "early_stop", "label"],
+        )?;
         let early_stop = match json.opt("early_stop") {
             None => None,
             Some(stop) => {
+                stop.expect_keys("early_stop", &["successes", "coverage"])?;
                 if let Some(n) = stop.opt("successes") {
                     Some(EarlyStop::Successes(n.as_usize()?))
                 } else if let Some(n) = stop.opt("coverage") {
@@ -797,9 +893,10 @@ impl BatchSpec {
     ///
     /// # Errors
     ///
-    /// Errors on malformed JSON or invalid job specs.
+    /// Errors on malformed JSON, invalid job specs, or unknown keys.
     pub fn from_json(text: &str) -> Result<BatchSpec, SpecError> {
         let doc = Json::parse(text)?;
+        doc.expect_keys("jobs file", &["jobs", "mode", "threads"])?;
         let jobs = doc
             .get("jobs")?
             .as_arr()?
@@ -935,6 +1032,8 @@ mod tests {
         let minimal = GameSpec::Family {
             family: "covariant".into(),
             size: 3,
+            rows: None,
+            cols: None,
             scale: None,
             knob: None,
             seed: 9,
@@ -948,6 +1047,8 @@ mod tests {
         let full = GameSpec::Family {
             family: "covariant".into(),
             size: 4,
+            rows: None,
+            cols: None,
             scale: Some(8),
             knob: Some(-75),
             seed: 2,
@@ -964,6 +1065,8 @@ mod tests {
             let spec = GameSpec::Family {
                 family: fam.name().into(),
                 size: 2,
+                rows: None,
+                cols: None,
                 scale: None,
                 knob: None,
                 seed: 0,
@@ -975,6 +1078,8 @@ mod tests {
         assert!(GameSpec::Family {
             family: "quantum_chess".into(),
             size: 2,
+            rows: None,
+            cols: None,
             scale: None,
             knob: None,
             seed: 0,
@@ -984,6 +1089,8 @@ mod tests {
         assert!(GameSpec::Family {
             family: "sparse".into(),
             size: 2048,
+            rows: None,
+            cols: None,
             scale: None,
             knob: None,
             seed: 0,
@@ -993,6 +1100,8 @@ mod tests {
         assert!(GameSpec::Family {
             family: "covariant".into(),
             size: 3,
+            rows: None,
+            cols: None,
             scale: Some(6),
             knob: Some(250),
             seed: 0,
@@ -1014,6 +1123,8 @@ mod tests {
         assert!(GameSpec::Family {
             family: "dominance_solvable".into(),
             size: 3,
+            rows: None,
+            cols: None,
             scale: Some(u32::MAX),
             knob: None,
             seed: 0,
@@ -1074,6 +1185,7 @@ mod tests {
                 model: "advantage4.1".into(),
                 reads_per_run: 2,
             },
+            SolverSpec::Cfr { iterations: 500 },
         ];
         for spec in specs {
             let solver = spec.build(&game).unwrap();
@@ -1126,6 +1238,139 @@ mod tests {
         let text = spec.to_json().pretty();
         let again = JobSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(again, spec);
+    }
+
+    #[test]
+    fn rectangular_family_spec_round_trips_and_builds() {
+        let rect = GameSpec::Family {
+            family: "dominance_solvable".into(),
+            size: 3,
+            rows: Some(5),
+            cols: Some(2),
+            scale: None,
+            knob: None,
+            seed: 4,
+        };
+        let text = rect.to_json().pretty();
+        assert!(text.contains("\"rows\""));
+        assert!(text.contains("\"cols\""));
+        let again = GameSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(again, rect);
+        let game = again.build().unwrap();
+        assert_eq!((game.row_actions(), game.col_actions()), (5, 2));
+
+        // A square override is bit-identical to the plain square spec —
+        // the draw order is part of the wire contract.
+        let square = GameSpec::Family {
+            family: "congestion".into(),
+            size: 3,
+            rows: None,
+            cols: None,
+            scale: None,
+            knob: None,
+            seed: 8,
+        };
+        let overridden = GameSpec::Family {
+            family: "congestion".into(),
+            size: 3,
+            rows: Some(3),
+            cols: Some(3),
+            scale: None,
+            knob: None,
+            seed: 8,
+        };
+        assert_eq!(square.build().unwrap(), overridden.build().unwrap());
+
+        // One-sided overrides keep `size` for the other dimension, and
+        // the allocation bound applies to the overridden shape.
+        let one_sided = GameSpec::Family {
+            family: "sparse".into(),
+            size: 2,
+            rows: Some(4),
+            cols: None,
+            scale: None,
+            knob: None,
+            seed: 0,
+        };
+        let game = one_sided.build().unwrap();
+        assert_eq!((game.row_actions(), game.col_actions()), (4, 2));
+        assert!(GameSpec::Family {
+            family: "sparse".into(),
+            size: 2,
+            rows: Some(2048),
+            cols: Some(2048),
+            scale: None,
+            knob: None,
+            seed: 0,
+        }
+        .build()
+        .is_err());
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected_naming_the_key() {
+        let cases = [
+            (r#"{"builtin": "chicken", "extra": 1}"#, "`extra`"),
+            (
+                r#"{"family": {"name": "sparse", "size": 2, "siize": 3}}"#,
+                "`siize`",
+            ),
+            (
+                r#"{"random": {"rows": 2, "cols": 2, "max_payof": 4}}"#,
+                "`max_payof`",
+            ),
+            (
+                r#"{"name": "g", "row_payoffs": [[0]], "col_payoffs": [[0]], "pay": 1}"#,
+                "`pay`",
+            ),
+        ];
+        for (text, key) in cases {
+            let err = GameSpec::from_json(&Json::parse(text).unwrap()).unwrap_err();
+            assert!(err.message.contains(key), "{}: {}", text, err.message);
+            assert!(err.message.contains("unknown key"), "{}", err.message);
+        }
+        let solver_cases = [
+            (r#"{"type": "cfr", "iteratons": 5}"#, "`iteratons`"),
+            (
+                r#"{"type": "ideal", "preset": "ideal", "intervals": 12, "hardware_seed": 1}"#,
+                "`hardware_seed`",
+            ),
+            (
+                r#"{"type": "dwave", "model": "2000q", "preset": "paper"}"#,
+                "`preset`",
+            ),
+            (
+                r#"{"type": "cnash", "preset": "ideal", "intervals": 12, "reads_per_run": 1}"#,
+                "`reads_per_run`",
+            ),
+        ];
+        for (text, key) in solver_cases {
+            let err = SolverSpec::from_json(&Json::parse(text).unwrap()).unwrap_err();
+            assert!(err.message.contains(key), "{}: {}", text, err.message);
+        }
+        let job = r#"{"jobs": [{"game": {"builtin": "chicken"},
+            "solver": {"type": "cfr"}, "runs": 1, "early_stop": {"succeses": 1}}]}"#;
+        let err = BatchSpec::from_json(job).unwrap_err();
+        assert!(err.message.contains("`succeses`"), "{}", err.message);
+        let batch = r#"{"jobs": [{"game": {"builtin": "chicken"},
+            "solver": {"type": "cfr"}, "runs": 1}], "threds": 2}"#;
+        let err = BatchSpec::from_json(batch).unwrap_err();
+        assert!(err.message.contains("`threds`"), "{}", err.message);
+    }
+
+    #[test]
+    fn cfr_spec_defaults_and_labels() {
+        let spec = SolverSpec::from_json(&Json::parse(r#"{"type": "cfr"}"#).unwrap()).unwrap();
+        assert_eq!(
+            spec,
+            SolverSpec::Cfr {
+                iterations: CfrConfig::default().iterations
+            }
+        );
+        assert_eq!(spec.label(), "cfr");
+        assert!(SolverSpec::Cfr { iterations: 0 }
+            .build(&games::battle_of_the_sexes())
+            .is_err());
     }
 
     #[test]

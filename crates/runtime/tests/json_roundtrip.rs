@@ -12,7 +12,7 @@
 
 use cnash_core::experiment::ReportAccumulator;
 use cnash_core::RunOutcome;
-use cnash_game::{games, MixedStrategy};
+use cnash_game::{games, MixedStrategy, Profile};
 use cnash_runtime::batch::{BatchReport, EarlyStop};
 use cnash_runtime::report::{batch_report_json, game_report_json};
 use cnash_runtime::spec::{BatchSpec, ConfigSpec, GameSpec, JobSpec, SolverSpec};
@@ -34,6 +34,17 @@ fn game_spec(which: u8, rows: usize, cols: usize, cells: &[f64], seed: u64) -> G
             GameSpec::Family {
                 family: fam.name().into(),
                 size: rows.max(2),
+                // Rectangular overrides (PR-7) must round-trip too.
+                rows: if sel.is_multiple_of(5) {
+                    Some(cols.max(1))
+                } else {
+                    None
+                },
+                cols: if sel % 7 == 1 {
+                    Some(rows.max(1))
+                } else {
+                    None
+                },
                 scale: if sel.is_multiple_of(2) { None } else { Some(6) },
                 // Every registry family accepts knob = 1.
                 knob: if sel.is_multiple_of(3) { None } else { Some(1) },
@@ -66,7 +77,7 @@ fn game_spec(which: u8, rows: usize, cols: usize, cells: &[f64], seed: u64) -> G
 }
 
 fn solver_spec(which: u8, iterations: usize, seed: u64) -> SolverSpec {
-    match which % 4 {
+    match which % 5 {
         0 => SolverSpec::CNash {
             config: ConfigSpec::paper(12).with_iterations(iterations),
             hardware_seed: seed,
@@ -82,6 +93,9 @@ fn solver_spec(which: u8, iterations: usize, seed: u64) -> SolverSpec {
         },
         2 => SolverSpec::Ideal {
             config: ConfigSpec::ideal(12).with_iterations(iterations),
+        },
+        3 => SolverSpec::Cfr {
+            iterations: iterations.max(1),
         },
         _ => SolverSpec::DWave {
             model: "2000q".into(),
@@ -203,27 +217,30 @@ fn outcome(kind: u8, time: f64, truncated: bool) -> RunOutcome {
     match kind % 4 {
         // Pure equilibrium hit, solutions recorded.
         0 => RunOutcome {
-            profile: Some(pure(0)),
+            profile: Some(Profile::pair(pure(0).0, pure(0).1)),
             is_equilibrium: game.is_equilibrium(&pure(0).0, &pure(0).1, 1e-9),
             hit_time: Some(time / 2.0),
             total_time: time,
             measured_objective: 0.0,
-            solutions: vec![pure(0), mixed()],
+            solutions: vec![
+                Profile::pair(pure(0).0, pure(0).1),
+                Profile::pair(mixed().0, mixed().1),
+            ],
             solutions_truncated: truncated,
         },
         // Mixed equilibrium hit.
         1 => RunOutcome {
-            profile: Some(mixed()),
+            profile: Some(Profile::pair(mixed().0, mixed().1)),
             is_equilibrium: true,
             hit_time: Some(time),
             total_time: time,
             measured_objective: 0.0,
-            solutions: vec![mixed()],
+            solutions: vec![Profile::pair(mixed().0, mixed().1)],
             solutions_truncated: truncated,
         },
         // Error: non-equilibrium profile.
         2 => RunOutcome {
-            profile: Some((pure(0).0, pure(1).1)),
+            profile: Some(Profile::pair(pure(0).0, pure(1).1)),
             is_equilibrium: false,
             hit_time: None,
             total_time: time,

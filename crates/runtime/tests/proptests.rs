@@ -11,7 +11,7 @@
 
 use cnash_core::{CNashConfig, CNashSolver, NashSolver, RunOutcome};
 use cnash_game::support_enum::enumerate_equilibria;
-use cnash_game::{games, BimatrixGame, MixedStrategy};
+use cnash_game::{games, BimatrixGame, Game, MixedStrategy, Profile};
 use cnash_runtime::{BatchRunner, EarlyStop};
 use proptest::prelude::*;
 
@@ -47,8 +47,8 @@ impl LyingSolver {
         }
     }
 
-    fn bogus_profile(&self) -> (MixedStrategy, MixedStrategy) {
-        (
+    fn bogus_profile(&self) -> Profile {
+        Profile::pair(
             MixedStrategy::pure(self.game.row_actions(), 0).expect("valid"),
             MixedStrategy::pure(self.game.col_actions(), 0).expect("valid"),
         )
@@ -60,7 +60,7 @@ impl NashSolver for LyingSolver {
         "liar"
     }
 
-    fn game(&self) -> &BimatrixGame {
+    fn game(&self) -> &dyn Game {
         &self.game
     }
 
@@ -82,7 +82,7 @@ impl NashSolver for LyingSolver {
 /// seed and errors otherwise.
 struct SometimesSolver {
     game: BimatrixGame,
-    truth: (MixedStrategy, MixedStrategy),
+    truth: Profile,
     hit_every: u64,
 }
 
@@ -90,11 +90,11 @@ impl SometimesSolver {
     fn new(hit_every: u64) -> Self {
         let game = games::prisoners_dilemma();
         // (Defect, Defect) IS the prisoner's dilemma equilibrium.
-        let truth = (
+        let truth = Profile::pair(
             MixedStrategy::pure(game.row_actions(), 1).expect("valid"),
             MixedStrategy::pure(game.col_actions(), 1).expect("valid"),
         );
-        assert!(game.is_equilibrium(&truth.0, &truth.1, 1e-9));
+        assert!(game.is_equilibrium_profile(&truth, 1e-9));
         Self {
             game,
             truth,
@@ -108,7 +108,7 @@ impl NashSolver for SometimesSolver {
         "sometimes"
     }
 
-    fn game(&self) -> &BimatrixGame {
+    fn game(&self) -> &dyn Game {
         &self.game
     }
 
@@ -212,7 +212,7 @@ proptest! {
         threads in 1usize..9,
     ) {
         let solver = LyingSolver::new();
-        let truth = enumerate_equilibria(solver.game(), 1e-9);
+        let truth = enumerate_equilibria(&solver.game, 1e-9);
         let out = BatchRunner::new(runs, 0)
             .threads(threads)
             .early_stop(EarlyStop::FIRST_VERIFIED)
@@ -221,7 +221,7 @@ proptest! {
         prop_assert_eq!(out.executed_runs, runs);
         // And nothing unverified leaks into the distinct-equilibria set.
         for eq in &out.report.distinct_found {
-            prop_assert!(solver.game().is_equilibrium(&eq.row, &eq.col, 1e-6));
+            prop_assert!(solver.game.is_equilibrium(&eq.row, &eq.col, 1e-6));
         }
     }
 
@@ -233,7 +233,7 @@ proptest! {
         threads in 1usize..9,
     ) {
         let solver = SometimesSolver::new(hit_every);
-        let truth = enumerate_equilibria(solver.game(), 1e-9);
+        let truth = enumerate_equilibria(&solver.game, 1e-9);
         let out = BatchRunner::new(64, 1)
             .threads(threads)
             .early_stop(EarlyStop::FIRST_VERIFIED)

@@ -56,7 +56,8 @@ pub struct PreparedJob {
     /// The solver, ready to run.
     pub solver: Box<dyn NashSolver>,
     /// Whether the programmed instance came out of the cache (always
-    /// `false` for solvers with no programming step, e.g. `ideal`).
+    /// `false` for solvers with no programming step, e.g. `ideal` or
+    /// `cfr`).
     pub cache_hit: bool,
 }
 
@@ -140,7 +141,7 @@ impl InstanceCache {
     /// `registry` (as `cache_instance_hits`, `cache_instance_misses`,
     /// `cache_truth_hits`, `cache_truth_misses`), so a metrics snapshot
     /// of the registry sees them without asking the cache.
-    pub fn with_registry(registry: &Registry) -> Self {
+    pub(crate) fn with_registry(registry: &Registry) -> Self {
         Self {
             instance_hits: registry.counter("cache_instance_hits"),
             instance_misses: registry.counter("cache_instance_misses"),
@@ -288,6 +289,18 @@ impl InstanceCache {
                     cache_hit: false,
                 })
             }
+            SolverSpec::Cfr { .. } => {
+                // CFR runs in software against the generic game trait —
+                // no crossbar, no QUBO, nothing to memoize. Counted as a
+                // miss like `ideal`.
+                self.count_instance(false);
+                let solver = solver_spec.build(&game)?;
+                Ok(PreparedJob {
+                    game,
+                    solver,
+                    cache_hit: false,
+                })
+            }
         }
     }
 
@@ -424,6 +437,8 @@ mod tests {
         let family = GameSpec::Family {
             family: "anti_coordination".into(),
             size: 3,
+            rows: None,
+            cols: None,
             scale: None,
             knob: None,
             seed: 4,
@@ -439,6 +454,8 @@ mod tests {
         let other_seed = GameSpec::Family {
             family: "anti_coordination".into(),
             size: 3,
+            rows: None,
+            cols: None,
             scale: None,
             knob: None,
             seed: 5,
@@ -488,6 +505,19 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         let stats = cache.stats();
         assert_eq!((stats.truth_hits, stats.truth_misses), (1, 1));
+    }
+
+    #[test]
+    fn cfr_is_uncacheable_and_solves_through_the_trait() {
+        let cache = InstanceCache::new();
+        let spec = SolverSpec::Cfr { iterations: 4000 };
+        let game = GameSpec::Builtin("prisoners_dilemma".into());
+        let a = cache.prepare(&game, &spec).unwrap();
+        assert!(!a.cache_hit);
+        assert!(!cache.prepare(&game, &spec).unwrap().cache_hit);
+        assert_eq!(cache.stats().instances, 0, "nothing to memoize");
+        let out = a.solver.run(1);
+        assert!(out.is_equilibrium, "PD's pure equilibrium is claimable");
     }
 
     #[test]

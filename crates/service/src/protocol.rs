@@ -40,6 +40,19 @@
 //! it: a degraded response's `covered`/`target_count` fields report
 //! against an *empty* ground truth the client did not ask for.
 //!
+//! ## Strict request parsing
+//!
+//! Request objects are validated **strictly**: any key the selected
+//! `op` does not define is an error naming the offending key (e.g.
+//! `unknown key \`jobb\` in solve request` — the usual failure is a
+//! typo that would otherwise silently fall back to a default). Every
+//! op accepts `op` and `id`; `solve` additionally accepts `job` and
+//! `ground_truth`. The same policy applies recursively to the `job`
+//! payload — `cnash-runtime` rejects unknown keys in game, solver,
+//! job and early-stop objects with the same message shape
+//! (`Json::expect_keys`). Like every other decode failure the error is
+//! reported per-line in an [`Envelope`]; the connection stays up.
+//!
 //! ## Ordering and determinism
 //!
 //! Responses on a connection are streamed **in request order**, even
@@ -153,7 +166,7 @@ pub struct Envelope {
 /// Never fails outright: undecodable lines produce an [`Envelope`]
 /// whose `request` is the error to send back, with whatever `id` could
 /// still be recovered.
-pub fn parse_request(line: &str) -> Envelope {
+pub(crate) fn parse_request(line: &str) -> Envelope {
     let doc = match Json::parse(line) {
         Ok(doc) => doc,
         Err(e) => {
@@ -177,12 +190,28 @@ fn decode(doc: &Json) -> Result<Request, SpecError> {
         .map_err(|e| SpecError {
             message: format!("request needs a string `op`: {e}"),
         })?;
+    // Unknown keys are rejected naming the key (see the module docs):
+    // a typo'd field must not silently act as its default.
+    const BARE_KEYS: &[&str] = &["op", "id"];
     match op {
-        "ping" => Ok(Request::Ping),
-        "stats" => Ok(Request::Stats),
-        "metrics" => Ok(Request::Metrics),
-        "shutdown" => Ok(Request::Shutdown),
+        "ping" => {
+            doc.expect_keys("ping request", BARE_KEYS)?;
+            Ok(Request::Ping)
+        }
+        "stats" => {
+            doc.expect_keys("stats request", BARE_KEYS)?;
+            Ok(Request::Stats)
+        }
+        "metrics" => {
+            doc.expect_keys("metrics request", BARE_KEYS)?;
+            Ok(Request::Metrics)
+        }
+        "shutdown" => {
+            doc.expect_keys("shutdown request", BARE_KEYS)?;
+            Ok(Request::Shutdown)
+        }
         "solve" => {
+            doc.expect_keys("solve request", &["op", "id", "job", "ground_truth"])?;
             let job = doc.get("job").map_err(|e| SpecError {
                 message: format!("solve request: {e}"),
             })?;
@@ -209,7 +238,7 @@ fn decode(doc: &Json) -> Result<Request, SpecError> {
 }
 
 /// Builds an error response.
-pub fn error_response(id: &Json, message: &str) -> Json {
+pub(crate) fn error_response(id: &Json, message: &str) -> Json {
     Json::obj([
         ("id", id.clone()),
         ("ok", Json::Bool(false)),
@@ -229,7 +258,7 @@ pub fn build_info() -> Json {
 /// Builds the `ping` response. Carries the daemon's [`build_info`] so
 /// a liveness probe doubles as a version check (golden-file tooling
 /// strips the `build` block — it varies with the toolchain).
-pub fn pong_response(id: &Json) -> Json {
+pub(crate) fn pong_response(id: &Json) -> Json {
     Json::obj([
         ("id", id.clone()),
         ("ok", Json::Bool(true)),
@@ -345,7 +374,7 @@ pub fn metrics_response(id: &Json, snapshot: &RegistrySnapshot) -> Json {
 }
 
 /// Builds the `shutdown` acknowledgement.
-pub fn shutdown_response(id: &Json) -> Json {
+pub(crate) fn shutdown_response(id: &Json) -> Json {
     Json::obj([
         ("id", id.clone()),
         ("ok", Json::Bool(true)),
@@ -414,6 +443,31 @@ mod tests {
                 .request
                 .is_err()
         );
+    }
+
+    #[test]
+    fn unknown_request_keys_are_rejected_naming_the_key() {
+        let cases = [
+            (r#"{"op":"ping","id":1,"pong":true}"#, "pong"),
+            (r#"{"op":"stats","verbose":true}"#, "verbose"),
+            (r#"{"op":"metrics","id":2,"format":"json"}"#, "format"),
+            (r#"{"op":"shutdown","id":3,"force":true}"#, "force"),
+            (
+                r#"{"op":"solve","id":4,"jobb":{"game":{"builtin":"matching_pennies"}}}"#,
+                "jobb",
+            ),
+        ];
+        for (line, key) in cases {
+            let err = parse_request(line).request.expect_err(line).message;
+            assert!(
+                err.contains(&format!("unknown key `{key}`")),
+                "{line}: {err}"
+            );
+        }
+        // The strictness recurses into the job payload via the runtime.
+        let line = r#"{"op":"solve","id":5,"job":{"game":{"builtin":"matching_pennies"},"solver":{"type":"ideal"},"runz":2}}"#;
+        let err = parse_request(line).request.expect_err(line).message;
+        assert!(err.contains("unknown key `runz`"), "{err}");
     }
 
     #[test]

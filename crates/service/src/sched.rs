@@ -82,7 +82,7 @@ impl Scheduler {
     /// counters live in `registry`, under the stable names
     /// `sched_queue_depth_<shard>`, `sched_jobs_executed` and
     /// `sched_steals`.
-    pub fn with_registry(shards: usize, registry: &Registry) -> Self {
+    pub(crate) fn with_registry(shards: usize, registry: &Registry) -> Self {
         Self::build(shards, Some(registry))
     }
 

@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nC-Nash runs:");
     for seed in 0..5 {
         let out = solver.run(seed);
-        let (p, q) = out.profile.expect("C-Nash always returns a profile");
+        let (p, q) = out.pair().expect("C-Nash always returns a profile");
         println!(
             "  seed {seed}: p*={p} q*={q}  equilibrium={}  model-time={:.2} us",
             out.is_equilibrium,
@@ -38,11 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. One run, inspected in detail.
     let out = solver.run(7);
-    let (p, q) = out.profile.expect("profile");
-    let (f1, f2) = game.payoffs(&p, &q)?;
+    let (p, q) = out.pair().expect("profile");
+    let (f1, f2) = game.payoffs(p, q)?;
     println!("\nselected solution: p*={p}, q*={q}");
     println!("expected payoffs: player1={f1:.3}, player2={f2:.3}");
-    println!("exact Nash gap: {:.2e}", game.nash_gap(&p, &q)?);
+    println!("exact Nash gap: {:.2e}", game.nash_gap(p, q)?);
     if let Some(t) = out.hit_time {
         println!("model time to first detection: {:.2} us", t * 1e6);
     }

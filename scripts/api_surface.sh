@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Regenerates docs/API_SURFACE.txt — the committed snapshot of every
+# workspace crate's public API surface (pub items and re-exports,
+# excluding binary targets and #[cfg(test)] modules' bodies are not
+# distinguished: the snapshot is a line-level approximation from
+# source, not rustdoc JSON, so it stays toolchain-independent).
+#
+# CI's `api-surface` job runs this script and fails if the committed
+# snapshot differs — public-API changes must land with a regenerated
+# snapshot in the same diff, making API breaks deliberate and visible
+# in review. Regenerate with:
+#
+#     scripts/api_surface.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=docs/API_SURFACE.txt
+{
+    echo "# Public API surface — regenerate with scripts/api_surface.sh"
+    echo "# One line per \`pub\` item or re-export, per crate source file"
+    echo "# (binary targets under src/bin are not part of the library API)."
+    find crates -name '*.rs' -path '*/src/*' ! -path '*/src/bin/*' \
+        | LC_ALL=C sort \
+        | while read -r f; do
+            awk -v file="$f" '
+                /^[[:space:]]*pub (fn|unsafe fn|struct|enum|trait|const|static|type|mod|use) / {
+                    line = $0
+                    sub(/^[[:space:]]+/, "", line)
+                    # Normalize away bodies/signatures: keep the item
+                    # kind and name, cut at the first delimiter that
+                    # starts generics, arguments, values or bodies.
+                    if (line ~ /^pub use /) {
+                        sub(/;.*$/, "", line)
+                    } else {
+                        sub(/[({;=].*$/, "", line)
+                        sub(/<.*$/, "", line)
+                        sub(/:.*$/, "", line)
+                        sub(/[[:space:]]+$/, "", line)
+                    }
+                    print file ": " line
+                }
+            ' "$f"
+        done
+} > "$out"
+echo "wrote $out ($(grep -c ': pub ' "$out") items)"

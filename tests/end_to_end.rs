@@ -20,7 +20,7 @@ fn cnash_solves_every_benchmark() {
             let out = solver.run(seed);
             if out.is_equilibrium {
                 successes += 1;
-                let (p, q) = out.profile.expect("profile");
+                let (p, q) = out.into_pair().expect("profile");
                 assert!(bench.game.is_equilibrium(&p, &q, 1e-6));
             }
         }

@@ -28,7 +28,7 @@ fn reduced_and_direct_solvers_agree() {
         let r = reduced.run(seed);
         // Both succeed and return verifiable equilibria (not necessarily
         // the same one — different grids walk differently).
-        if let (Some((dp, dq)), Some((rp, rq))) = (&d.profile, &r.profile) {
+        if let (Some((dp, dq)), Some((rp, rq))) = (d.pair(), r.pair()) {
             if d.is_equilibrium {
                 assert!(g.is_equilibrium(dp, dq, 1e-6));
             }
@@ -49,9 +49,10 @@ fn certificates_match_solver_verdicts() {
         CNashSolver::new(&g, CNashConfig::paper(12).with_iterations(4000), 1).expect("maps");
     for seed in 0..10 {
         let out = solver.run(seed);
-        let (p, q) = out.profile.expect("profile");
+        let claimed = out.is_equilibrium;
+        let (p, q) = out.into_pair().expect("profile");
         let cert = Certificate::build(&g, p, q, 1e-6).expect("builds");
-        assert_eq!(cert.is_valid(), out.is_equilibrium, "seed {seed}");
+        assert_eq!(cert.is_valid(), claimed, "seed {seed}");
         if cert.is_valid() {
             assert!(cert.support_condition_holds());
         }
