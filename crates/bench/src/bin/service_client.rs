@@ -103,11 +103,17 @@ fn main() {
             }
         }
     } else {
+        let mut sent = 0usize;
         for line in &lines {
             if let Err(e) = conn.send_line(line) {
-                eprintln!("error: send failed: {e}");
+                eprintln!(
+                    "error: send failed: {sent}/{} requests sent, \
+                     {received}/{0} responses received: {e}",
+                    lines.len()
+                );
                 std::process::exit(1);
             }
+            sent += 1;
         }
         conn.finish_writes();
         loop {
@@ -119,7 +125,8 @@ fn main() {
                 Ok(None) => break, // clean EOF: the daemon drained the stream
                 Err(e) => {
                     eprintln!(
-                        "error: connection dropped mid-stream after {received}/{} responses: {e}",
+                        "error: connection dropped mid-stream: {sent}/{} requests sent, \
+                         {received}/{0} responses received: {e}",
                         lines.len()
                     );
                     std::process::exit(1);

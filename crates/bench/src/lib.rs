@@ -127,6 +127,16 @@ const FLAGS: &[FlagSpec] = &[
         help: "JSON-lines request file to stream to the service",
     },
     FlagSpec {
+        name: "--conns",
+        value: Some("N"),
+        help: "concurrent connections to open (service_load) [1000]",
+    },
+    FlagSpec {
+        name: "--per-conn",
+        value: Some("K"),
+        help: "pipelined requests per connection (service_load) [8]",
+    },
+    FlagSpec {
         name: "--golden",
         value: None,
         help: "strip wall-clock fields from responses (golden-file diffing)",
@@ -174,6 +184,10 @@ pub struct Cli {
     pub addr: Option<String>,
     /// JSON-lines request file for the service client.
     pub requests: Option<String>,
+    /// Concurrent connections to open (service_load).
+    pub conns: usize,
+    /// Pipelined requests per connection (service_load).
+    pub per_conn: usize,
     /// Strip wall-clock fields from service responses.
     pub golden: bool,
     /// Write the daemon's post-replay stats response to this path.
@@ -230,6 +244,8 @@ impl Cli {
     ) -> Result<Self, String> {
         let mut cli = Cli {
             runs: 500,
+            conns: 1000,
+            per_conn: 8,
             ..Cli::default()
         };
         let mut i = 0;
@@ -266,6 +282,18 @@ impl Cli {
                     }
                 }
                 "--seed" => cli.seed = parsed(value.expect("has value"))?,
+                "--conns" => {
+                    cli.conns = parsed(value.expect("has value"))? as usize;
+                    if cli.conns == 0 {
+                        return Err("--conns needs a positive integer".into());
+                    }
+                }
+                "--per-conn" => {
+                    cli.per_conn = parsed(value.expect("has value"))? as usize;
+                    if cli.per_conn == 0 {
+                        return Err("--per-conn needs a positive integer".into());
+                    }
+                }
                 "--threads" => cli.threads = parsed(value.expect("has value"))? as usize,
                 "--full" => cli.full = true,
                 "--quick" => cli.quick = true,
@@ -406,6 +434,10 @@ mod tests {
             "127.0.0.1:7401",
             "--requests",
             "reqs.jsonl",
+            "--conns",
+            "64",
+            "--per-conn",
+            "3",
             "--golden",
             "--stats-json",
             "stats.json",
@@ -425,6 +457,8 @@ mod tests {
                 out: Some("BENCH_sa_hotpath.json".into()),
                 addr: Some("127.0.0.1:7401".into()),
                 requests: Some("reqs.jsonl".into()),
+                conns: 64,
+                per_conn: 3,
                 golden: true,
                 stats_json: Some("stats.json".into()),
                 serial: true,
@@ -489,6 +523,8 @@ mod tests {
         assert_eq!(cli.runs, 500);
         assert_eq!(cli.threads, 0);
         assert_eq!(cli.jobs_file, None);
+        assert_eq!(cli.conns, 1000);
+        assert_eq!(cli.per_conn, 8);
     }
 
     #[test]

@@ -2,8 +2,12 @@
 //!
 //! `cargo run --release -p cnash-service --bin serviced -- \
 //!      [--addr HOST:PORT] [--shards S] [--batch-threads T] \
-//!      [--metrics-file PATH] [--metrics-interval-ms MS] \
-//!      [--sa-trace-interval N]`
+//!      [--max-conns N] [--metrics-file PATH] \
+//!      [--metrics-interval-ms MS] [--sa-trace-interval N]`
+//!
+//! Operational behaviour (reactor architecture, backpressure and
+//! overload semantics, worked session transcripts) is documented in
+//! `docs/SERVICE.md`.
 //!
 //! Binds the address (default `127.0.0.1:0` — an OS-chosen ephemeral
 //! port), prints one readiness line
@@ -34,6 +38,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("  --addr HOST:PORT         bind address [127.0.0.1:0 = ephemeral port]");
     eprintln!("  --shards S               scheduler shards [0 = one per core]");
     eprintln!("  --batch-threads T        worker threads per batch job [1]");
+    eprintln!("  --max-conns N            open-connection cap [4096]");
     eprintln!("  --metrics-file PATH      append periodic telemetry snapshots (JSON lines)");
     eprintln!("  --metrics-interval-ms MS snapshot period for --metrics-file [1000]");
     eprintln!("  --sa-trace-interval N    sample annealer energy every N iterations [0 = off]");
@@ -73,6 +78,7 @@ fn parse_config() -> (ServiceConfig, DaemonOptions) {
             "--addr"
                 | "--shards"
                 | "--batch-threads"
+                | "--max-conns"
                 | "--metrics-file"
                 | "--metrics-interval-ms"
                 | "--sa-trace-interval"
@@ -91,6 +97,7 @@ fn parse_config() -> (ServiceConfig, DaemonOptions) {
             "--addr" => config.addr = value.clone(),
             "--shards" => config.shards = count(value),
             "--batch-threads" => config.batch_threads = count(value).max(1),
+            "--max-conns" => config.max_connections = count(value).max(1),
             "--metrics-file" => options.metrics_file = Some(value.clone()),
             "--metrics-interval-ms" => {
                 options.metrics_interval = Duration::from_millis(count(value).max(1) as u64);

@@ -1,0 +1,336 @@
+//! Incremental wire framing for the nonblocking server: byte chunks in,
+//! protocol lines out, plus the bounded per-connection write queue.
+//!
+//! Both halves are deliberately socket-free so the overload behaviour
+//! is unit-testable without a kernel in the loop:
+//!
+//! * [`LineFramer`] accumulates whatever `read` returned and yields
+//!   complete `\n`-terminated lines. A line that exceeds the limit is
+//!   reported once as [`FramedLine::Oversized`] and then *discarded
+//!   through its terminating newline*, so one abusive request costs the
+//!   connection exactly one error response — not the connection itself
+//!   and not unbounded memory.
+//! * [`WriteQueue`] holds serialized responses the kernel would not
+//!   take yet; the server pairs its byte count with the soft/hard
+//!   limits in `ServiceConfig` ([`overflow_verdict`]) to decide when
+//!   to stop reading a connection and when to drop it.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+
+/// One framing product out of [`LineFramer::next_line`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FramedLine {
+    /// A complete line, newline stripped (lossy UTF-8: the protocol
+    /// parser turns garbage bytes into a protocol error response).
+    Line(String),
+    /// A line that exceeded the length limit. Emitted exactly once per
+    /// offending line; the rest of the line is discarded silently.
+    Oversized,
+}
+
+/// Incremental `\n`-splitter with a length cap and discard-resync.
+#[derive(Debug)]
+pub struct LineFramer {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already scanned for `\n` (no O(n²) rescans).
+    scanned: usize,
+    /// Inside an oversized line, dropping bytes until its newline.
+    discarding: bool,
+    limit: usize,
+}
+
+impl LineFramer {
+    /// A framer that flags lines longer than `limit` bytes.
+    pub fn new(limit: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            scanned: 0,
+            discarding: false,
+            limit,
+        }
+    }
+
+    /// Appends bytes from the socket.
+    pub fn extend(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Bytes currently buffered (bounded by `limit` + one read chunk).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn find_newline(&self) -> Option<usize> {
+        self.buf[self.scanned..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|p| p + self.scanned)
+    }
+
+    /// Pops the next complete line, if one is buffered.
+    pub fn next_line(&mut self) -> Option<FramedLine> {
+        if self.discarding {
+            match self.find_newline() {
+                Some(pos) => {
+                    self.buf.drain(..=pos);
+                    self.scanned = 0;
+                    self.discarding = false;
+                }
+                None => {
+                    // Still inside the oversized line: drop it all.
+                    self.buf.clear();
+                    self.scanned = 0;
+                    return None;
+                }
+            }
+        }
+        match self.find_newline() {
+            Some(pos) if pos > self.limit => {
+                self.buf.drain(..=pos);
+                self.scanned = 0;
+                Some(FramedLine::Oversized)
+            }
+            Some(pos) => {
+                let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                self.scanned = 0;
+                Some(FramedLine::Line(
+                    String::from_utf8_lossy(&line[..line.len() - 1]).into_owned(),
+                ))
+            }
+            None if self.buf.len() > self.limit => {
+                // No newline yet and already past the cap: flag it
+                // and discard until the newline eventually arrives.
+                self.discarding = true;
+                self.buf.clear();
+                self.scanned = 0;
+                Some(FramedLine::Oversized)
+            }
+            None => {
+                self.scanned = self.buf.len();
+                None
+            }
+        }
+    }
+}
+
+/// FIFO of serialized response buffers awaiting a writable socket.
+#[derive(Debug, Default)]
+pub struct WriteQueue {
+    bufs: VecDeque<Vec<u8>>,
+    /// Bytes of the front buffer already written.
+    front_pos: usize,
+    bytes: usize,
+}
+
+impl WriteQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues one serialized response.
+    pub fn push(&mut self, buf: Vec<u8>) {
+        if buf.is_empty() {
+            return;
+        }
+        self.bytes += buf.len();
+        self.bufs.push_back(buf);
+    }
+
+    /// Bytes queued and not yet accepted by the kernel.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Whether everything queued has been written.
+    pub fn is_empty(&self) -> bool {
+        self.bufs.is_empty()
+    }
+
+    /// Writes as much as the sink takes, returning the bytes moved.
+    /// `WouldBlock` is a normal partial-progress outcome (`Ok`), not an
+    /// error; `Interrupted` is retried internally.
+    ///
+    /// # Errors
+    ///
+    /// Any other I/O error — the connection is torn.
+    pub fn write_to<W: Write>(&mut self, sink: &mut W) -> io::Result<usize> {
+        let mut total = 0;
+        while let Some(front) = self.bufs.front() {
+            match sink.write(&front[self.front_pos..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => {
+                    self.front_pos += n;
+                    self.bytes -= n;
+                    total += n;
+                    if self.front_pos == front.len() {
+                        self.bufs.pop_front();
+                        self.front_pos = 0;
+                    }
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(total)
+    }
+}
+
+/// What a connection's write-queue depth demands, given the configured
+/// soft and hard limits (see `ServiceConfig`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueVerdict {
+    /// Under the soft limit: keep reading requests.
+    Ok,
+    /// Over the soft limit: stop reading this connection (backpressure)
+    /// until the queue drains below half the soft limit.
+    Pause,
+    /// Over the hard cap: the client consumes responses slower than it
+    /// pipelines requests faster than memory allows — drop it.
+    Drop,
+}
+
+/// The backpressure decision for a queue of `bytes` bytes.
+pub fn overflow_verdict(bytes: usize, soft_limit: usize, hard_limit: usize) -> QueueVerdict {
+    if bytes > hard_limit {
+        QueueVerdict::Drop
+    } else if bytes > soft_limit {
+        QueueVerdict::Pause
+    } else {
+        QueueVerdict::Ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(framer: &mut LineFramer) -> Vec<FramedLine> {
+        std::iter::from_fn(|| framer.next_line()).collect()
+    }
+
+    #[test]
+    fn splits_lines_across_arbitrary_chunk_boundaries() {
+        let mut framer = LineFramer::new(1024);
+        for chunk in [&b"{\"op\":\"pi"[..], b"ng\"}\n{\"op\":", b"\"stats\"}\n"] {
+            framer.extend(chunk);
+        }
+        assert_eq!(
+            lines(&mut framer),
+            vec![
+                FramedLine::Line("{\"op\":\"ping\"}".into()),
+                FramedLine::Line("{\"op\":\"stats\"}".into()),
+            ]
+        );
+        assert_eq!(framer.buffered(), 0);
+    }
+
+    #[test]
+    fn one_byte_at_a_time_still_frames() {
+        let mut framer = LineFramer::new(64);
+        let mut seen = Vec::new();
+        for b in b"ab\ncd\n" {
+            framer.extend(&[*b]);
+            seen.extend(lines(&mut framer));
+        }
+        assert_eq!(
+            seen,
+            vec![FramedLine::Line("ab".into()), FramedLine::Line("cd".into())]
+        );
+    }
+
+    #[test]
+    fn oversized_line_is_flagged_once_and_resyncs_on_its_newline() {
+        let mut framer = LineFramer::new(8);
+        // 20 bytes, no newline yet: flagged once, memory released.
+        framer.extend(&[b'x'; 20]);
+        assert_eq!(framer.next_line(), Some(FramedLine::Oversized));
+        assert_eq!(framer.next_line(), None);
+        assert_eq!(framer.buffered(), 0, "discarded, not buffered");
+        // More of the same line: still discarding, still silent.
+        framer.extend(&[b'x'; 20]);
+        assert_eq!(framer.next_line(), None);
+        // The newline ends the discard; the next line parses normally.
+        framer.extend(b"tail\nok\n");
+        assert_eq!(framer.next_line(), Some(FramedLine::Line("ok".into())));
+        assert_eq!(framer.next_line(), None);
+    }
+
+    #[test]
+    fn oversized_line_arriving_whole_is_flagged_and_skipped() {
+        let mut framer = LineFramer::new(4);
+        framer.extend(b"toolongline\nok\n");
+        assert_eq!(framer.next_line(), Some(FramedLine::Oversized));
+        assert_eq!(framer.next_line(), Some(FramedLine::Line("ok".into())));
+        assert_eq!(framer.next_line(), None);
+    }
+
+    #[test]
+    fn non_utf8_bytes_survive_lossily() {
+        let mut framer = LineFramer::new(64);
+        framer.extend(&[0xff, 0xfe, b'\n']);
+        match framer.next_line() {
+            Some(FramedLine::Line(s)) => assert!(!s.is_empty()),
+            other => panic!("expected a lossy line, got {other:?}"),
+        }
+    }
+
+    struct Throttle {
+        taken: Vec<u8>,
+        accept: usize,
+    }
+
+    impl Write for Throttle {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.accept == 0 {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+            }
+            let n = buf.len().min(self.accept);
+            self.accept -= n;
+            self.taken.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_queue_tracks_partial_writes_exactly() {
+        let mut wq = WriteQueue::new();
+        wq.push(b"hello\n".to_vec());
+        wq.push(b"world\n".to_vec());
+        assert_eq!(wq.bytes(), 12);
+
+        let mut sink = Throttle {
+            taken: Vec::new(),
+            accept: 8, // splits the second buffer mid-way
+        };
+        assert_eq!(wq.write_to(&mut sink).unwrap(), 8);
+        assert_eq!(wq.bytes(), 4);
+        assert!(!wq.is_empty());
+        assert_eq!(sink.taken, b"hello\nwo");
+
+        sink.accept = usize::MAX;
+        assert_eq!(wq.write_to(&mut sink).unwrap(), 4);
+        assert!(wq.is_empty());
+        assert_eq!(wq.bytes(), 0);
+        assert_eq!(sink.taken, b"hello\nworld\n");
+    }
+
+    #[test]
+    fn overflow_verdicts_partition_the_depth_axis() {
+        assert_eq!(overflow_verdict(0, 10, 100), QueueVerdict::Ok);
+        assert_eq!(overflow_verdict(10, 10, 100), QueueVerdict::Ok);
+        assert_eq!(overflow_verdict(11, 10, 100), QueueVerdict::Pause);
+        assert_eq!(overflow_verdict(100, 10, 100), QueueVerdict::Pause);
+        assert_eq!(overflow_verdict(101, 10, 100), QueueVerdict::Drop);
+    }
+}

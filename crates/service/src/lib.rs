@@ -17,8 +17,13 @@
 //!   `cnash-runtime`'s pool primitives: round-robin submission onto
 //!   per-shard queues, idle shards steal, cancellation broadcasts on
 //!   shutdown;
-//! * [`server`] — the TCP accept loop and per-connection reorder
-//!   buffer gluing it together.
+//! * [`reactor`] — the hand-rolled nonblocking readiness layer
+//!   (epoll on Linux, poll(2) elsewhere) plus a cross-thread waker;
+//! * [`framing`] — incremental line framing and the bounded
+//!   per-connection write queue with backpressure verdicts;
+//! * [`server`] — the single-threaded reactor event loop driving
+//!   every connection's state machine (accept, frame, schedule,
+//!   reorder, flush, drain) on top of the three layers above.
 //!
 //! The determinism contract extends the runtime's: for a fixed request
 //! sequence on one connection, every response payload except the
@@ -51,7 +56,9 @@
 //! ```
 
 pub mod cache;
+pub mod framing;
 pub mod protocol;
+pub mod reactor;
 pub mod sched;
 pub mod server;
 

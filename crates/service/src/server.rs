@@ -1,22 +1,67 @@
-//! The TCP front-end: accept loop, per-connection ordered streaming,
-//! and the solve executor gluing protocol → cache → scheduler →
-//! runtime.
+//! The TCP front-end: a single-threaded nonblocking reactor driving
+//! every connection's state machine, plus the solve executor gluing
+//! protocol → cache → scheduler → runtime.
+//!
+//! # Reactor architecture
+//!
+//! One `cnash-reactor` thread owns the listener, every connection
+//! socket and the [`Poller`] (epoll on Linux). Per readiness tick it:
+//!
+//! 1. accepts new connections (dropping them over
+//!    [`ServiceConfig::max_connections`]),
+//! 2. reads ready connections through an incremental [`LineFramer`],
+//!    turning complete lines into response slots or scheduler jobs,
+//! 3. applies solve completions (scheduler shards push results into a
+//!    shared queue and nudge the [`Waker`]),
+//! 4. advances each connection's reorder buffer — responses stream
+//!    back **in request order** regardless of shard interleaving — and
+//!    writes as much as the kernel accepts into the socket.
+//!
+//! Responses the kernel will not take queue in a bounded per-connection
+//! [`WriteQueue`]: past the soft limit the reactor **stops reading**
+//! that connection (backpressure — a slow reader throttles itself, not
+//! the daemon), and past the hard cap the connection is dropped and
+//! counted (`conn_overflow_dropped`). Shutdown is graceful: the
+//! listener closes first, in-flight jobs drain (the shutdown signal
+//! cancels their batches, so they finish fast), queued responses flush,
+//! and only then do sockets close — bounded by
+//! [`ServiceConfig::drain_ms`].
 
 use crate::cache::InstanceCache;
+use crate::framing::{overflow_verdict, FramedLine, LineFramer, QueueVerdict, WriteQueue};
 use crate::protocol::{self, Request, TruthPolicy};
+use crate::reactor::{drain_wakeups, waker_fd, PollEvent, Poller, Waker};
 use crate::sched::Scheduler;
 use cnash_game::support_enum::MAX_ENUM_ACTIONS;
 use cnash_runtime::report::game_report_json;
 use cnash_runtime::spec::JobSpec;
 use cnash_runtime::{BatchRunner, CancelToken, Json};
-use cnash_telemetry::{Registry, TelemetrySpan};
+use cnash_telemetry::{Counter, Gauge, Histogram, Registry, TelemetrySpan};
 use std::collections::{BTreeMap, HashMap};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Hard cap on one request line; longer lines get one error response
+/// and are discarded through their terminating newline.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Poller token of the listening socket.
+const TOKEN_LISTENER: u64 = 0;
+/// Poller token of the waker's receive end.
+const TOKEN_WAKER: u64 = 1;
+/// First token handed to an accepted connection.
+const FIRST_CONN_TOKEN: u64 = 2;
+/// One `read` call's buffer.
+const READ_CHUNK: usize = 16 * 1024;
+/// Per-connection read budget per readiness tick — a firehose client
+/// cannot starve its peers for longer than this.
+const READ_BUDGET: usize = 64 * 1024;
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -30,6 +75,28 @@ pub struct ServiceConfig {
     /// per-job latency for throughput: with every shard busy, extra
     /// per-batch threads would only oversubscribe the cores.
     pub batch_threads: usize,
+    /// Open-connection cap; connections accepted past it are closed
+    /// immediately and counted under `conn_rejected`.
+    pub max_connections: usize,
+    /// Write-queue depth (bytes) past which the reactor stops reading
+    /// the connection until the queue drains below half this limit.
+    pub write_queue_soft_limit: usize,
+    /// Write-queue depth (bytes) past which the connection is dropped
+    /// and counted under `conn_overflow_dropped`. Only responses to
+    /// already-accepted requests (in-flight solves) can push the queue
+    /// beyond the soft limit, so this bounds per-connection memory at
+    /// roughly `hard limit + one maximal response`.
+    pub write_queue_hard_limit: usize,
+    /// Graceful-shutdown budget: how long the reactor waits for
+    /// in-flight jobs to drain and queued responses to flush before
+    /// force-closing the stragglers.
+    pub drain_ms: u64,
+    /// Optional `SO_SNDBUF` clamp for accepted connections. `None`
+    /// leaves the kernel's autotuning (tens of MB per connection on
+    /// loopback); a value bounds kernel memory per connection and makes
+    /// the reactor's write-queue backpressure engage early instead of
+    /// hiding behind kernel buffering.
+    pub send_buffer_bytes: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -38,6 +105,11 @@ impl Default for ServiceConfig {
             addr: "127.0.0.1:0".into(),
             shards: 0,
             batch_threads: 1,
+            max_connections: 4096,
+            write_queue_soft_limit: 256 * 1024,
+            write_queue_hard_limit: 8 * 1024 * 1024,
+            drain_ms: 5_000,
+            send_buffer_bytes: None,
         }
     }
 }
@@ -47,61 +119,23 @@ impl Default for ServiceConfig {
 pub struct ShutdownSignal {
     cancel: CancelToken,
     fired: Arc<AtomicBool>,
-    addr: SocketAddr,
-    /// Open connections, closed on fire so blocked readers see EOF.
-    connections: Arc<Mutex<HashMap<u64, TcpStream>>>,
-    next_conn: Arc<AtomicU64>,
+    waker: Waker,
 }
 
 impl ShutdownSignal {
-    /// Requests shutdown: cancels in-flight batches, closes every open
-    /// connection (their readers observe EOF) and unblocks the accept
-    /// loop.
+    /// Requests shutdown: cancels in-flight batches (they observe the
+    /// token and finish fast) and wakes the reactor, which stops
+    /// accepting, drains, flushes and exits.
     pub fn fire(&self) {
         if self.fired.swap(true, Ordering::SeqCst) {
             return;
         }
         self.cancel.cancel();
-        for (_, stream) in self.connections.lock().expect("registry poisoned").iter() {
-            let _ = stream.shutdown(std::net::Shutdown::Both);
-        }
-        // Poke the listener so its blocking accept() observes the flag.
-        let _ = TcpStream::connect(self.addr);
+        self.waker.wake();
     }
 
     fn is_fired(&self) -> bool {
         self.fired.load(Ordering::SeqCst)
-    }
-
-    /// Registers a live connection; returns the deregistration token.
-    fn register(&self, stream: TcpStream) -> u64 {
-        let token = self.next_conn.fetch_add(1, Ordering::Relaxed);
-        self.connections
-            .lock()
-            .expect("registry poisoned")
-            .insert(token, stream);
-        // A connection accepted in the middle of fire() might miss the
-        // close loop; re-check after registering.
-        if self.is_fired() {
-            if let Some(stream) = self
-                .connections
-                .lock()
-                .expect("registry poisoned")
-                .remove(&token)
-            {
-                let _ = stream.shutdown(std::net::Shutdown::Both);
-            }
-        }
-        token
-    }
-
-    /// Removes a connection from the registry (the socket itself closes
-    /// when its last clone drops, or explicitly on fire).
-    fn deregister(&self, token: u64) {
-        self.connections
-            .lock()
-            .expect("registry poisoned")
-            .remove(&token);
     }
 }
 
@@ -109,7 +143,7 @@ impl ShutdownSignal {
 pub struct ServiceHandle {
     addr: SocketAddr,
     signal: ShutdownSignal,
-    accept: JoinHandle<()>,
+    reactor: JoinHandle<()>,
     registry: Arc<Registry>,
 }
 
@@ -121,8 +155,8 @@ impl ServiceHandle {
     }
 
     /// The daemon's telemetry registry (per-op latency histograms,
-    /// scheduler gauges, cache counters) — what the `metrics` op and
-    /// `serviced --metrics-file` snapshot.
+    /// connection gauges, scheduler gauges, cache counters) — what the
+    /// `metrics` op and `serviced --metrics-file` snapshot.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
     }
@@ -135,7 +169,7 @@ impl ServiceHandle {
     /// Blocks until the daemon exits (a `shutdown` request, or
     /// [`ShutdownSignal::fire`]).
     pub fn join(self) {
-        self.accept.join().expect("accept loop panicked");
+        self.reactor.join().expect("reactor panicked");
     }
 
     /// Fires shutdown and waits for exit.
@@ -145,273 +179,594 @@ impl ServiceHandle {
     }
 }
 
-/// Binds the listener and spawns the daemon: scheduler shards, accept
-/// loop, connection handlers.
+/// Binds the listener and spawns the daemon: scheduler shards plus the
+/// reactor thread owning every socket.
 ///
 /// # Errors
 ///
-/// Returns the bind error if the address is unavailable.
-pub fn serve(config: ServiceConfig) -> std::io::Result<ServiceHandle> {
+/// Returns the bind error if the address is unavailable, or the errno
+/// of the poller/waker setup.
+pub fn serve(config: ServiceConfig) -> io::Result<ServiceHandle> {
     let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    let (waker, wake_rx) = Waker::new()?;
+    let mut poller = Poller::new()?;
+    poller.register(listener.as_raw_fd(), TOKEN_LISTENER, true, false)?;
+    poller.register(waker_fd(&wake_rx), TOKEN_WAKER, true, false)?;
+
     let signal = ShutdownSignal {
         cancel: CancelToken::new(),
         fired: Arc::new(AtomicBool::new(false)),
-        addr,
-        connections: Arc::new(Mutex::new(HashMap::new())),
-        next_conn: Arc::new(AtomicU64::new(0)),
+        waker,
     };
     let registry = Arc::new(Registry::new());
     let cache = Arc::new(InstanceCache::with_registry(&registry));
-    let scheduler = Arc::new(Scheduler::with_registry(config.shards, &registry));
-
-    let accept = {
-        let signal = signal.clone();
-        let registry = Arc::clone(&registry);
-        std::thread::Builder::new()
-            .name("cnash-accept".into())
-            .spawn(move || accept_loop(listener, config, cache, scheduler, registry, signal))
-            .expect("spawn accept loop")
+    let scheduler = Scheduler::with_registry(config.shards, &registry);
+    let reactor = Reactor {
+        listener,
+        wake_rx,
+        conns: HashMap::new(),
+        next_token: FIRST_CONN_TOKEN,
+        drain_deadline: None,
+        ctx: Ctx {
+            poller,
+            config,
+            cache,
+            scheduler,
+            registry: Arc::clone(&registry),
+            signal: signal.clone(),
+            completions: Arc::new(Mutex::new(Vec::new())),
+            metrics: ServiceMetrics::new(&registry),
+            draining: false,
+        },
     };
+    let thread = std::thread::Builder::new()
+        .name("cnash-reactor".into())
+        .spawn(move || reactor.run())?;
     Ok(ServiceHandle {
         addr,
         signal,
-        accept,
+        reactor: thread,
         registry,
     })
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    config: ServiceConfig,
-    cache: Arc<InstanceCache>,
-    scheduler: Arc<Scheduler>,
-    registry: Arc<Registry>,
-    signal: ShutdownSignal,
-) {
-    let mut connections: Vec<JoinHandle<()>> = Vec::new();
-    for stream in listener.incoming() {
-        if signal.is_fired() {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        let cache = Arc::clone(&cache);
-        let scheduler = Arc::clone(&scheduler);
-        let registry = Arc::clone(&registry);
-        let signal = signal.clone();
-        let config = config.clone();
-        connections.retain(|h| !h.is_finished());
-        connections.push(
-            std::thread::Builder::new()
-                .name("cnash-conn".into())
-                .spawn(move || {
-                    handle_connection(stream, &config, &cache, &scheduler, &registry, &signal)
-                })
-                .expect("spawn connection handler"),
-        );
-    }
-    for conn in connections {
-        let _ = conn.join();
-    }
-    // Drain the scheduler once every connection has finished
-    // submitting; queued jobs observe the cancelled token and finish
-    // fast. Threads removed by the `retain` above have finished and
-    // dropped their handles, but give any last-instant drop a moment.
-    let mut scheduler = scheduler;
-    loop {
-        match Arc::try_unwrap(scheduler) {
-            Ok(sched) => {
-                sched.shutdown();
-                return;
-            }
-            Err(still_shared) => {
-                scheduler = still_shared;
-                std::thread::sleep(Duration::from_millis(5));
-            }
+/// Connection-layer instruments, registered under stable names.
+struct ServiceMetrics {
+    /// Gauge: currently open connections.
+    conn_open: Arc<Gauge>,
+    /// Gauge: bytes queued across every connection's write queue.
+    conn_write_queue_bytes: Arc<Gauge>,
+    /// Connections the kernel handed to `accept` (including rejects).
+    conn_accepted: Arc<Counter>,
+    /// Connections closed for any reason (EOF, shutdown, drop).
+    conn_closed: Arc<Counter>,
+    /// Accepted connections closed immediately: over
+    /// `max_connections`, or arriving during drain.
+    conn_rejected: Arc<Counter>,
+    /// Connections dropped for exceeding the write-queue hard cap.
+    conn_overflow_dropped: Arc<Counter>,
+    /// Times a connection's reads were paused at the soft limit.
+    conn_backpressure_stalls: Arc<Counter>,
+    op_ping: Arc<Histogram>,
+    op_solve: Arc<Histogram>,
+    op_stats: Arc<Histogram>,
+    op_metrics: Arc<Histogram>,
+}
+
+impl ServiceMetrics {
+    fn new(registry: &Registry) -> Self {
+        Self {
+            conn_open: registry.gauge("conn_open"),
+            conn_write_queue_bytes: registry.gauge("conn_write_queue_bytes"),
+            conn_accepted: registry.counter("conn_accepted"),
+            conn_closed: registry.counter("conn_closed"),
+            conn_rejected: registry.counter("conn_rejected"),
+            conn_overflow_dropped: registry.counter("conn_overflow_dropped"),
+            conn_backpressure_stalls: registry.counter("conn_backpressure_stalls"),
+            op_ping: registry.histogram("op_ping_ns"),
+            op_solve: registry.histogram("op_solve_ns"),
+            op_stats: registry.histogram("op_stats_ns"),
+            op_metrics: registry.histogram("op_metrics_ns"),
         }
     }
 }
 
-/// What a connection's writer emits for one request slot.
-enum Out {
+/// One request's place in the response stream. Everything is plain
+/// data resolved on the reactor thread at emission time — `stats` and
+/// `metrics` must observe every earlier response, which is exactly
+/// when the reorder buffer reaches their sequence number.
+enum Slot {
     /// A finished response.
     Ready(Json),
-    /// A response computed at emission time — after every earlier
-    /// response has been written — used by `stats`, whose counters must
-    /// reflect the completed prefix.
-    Lazy(Box<dyn FnOnce() -> Json + Send>),
-    /// Like [`Out::Lazy`], but the connection is closed right after the
-    /// response is flushed — the `shutdown` acknowledgement (the daemon
-    /// must answer the prefix, then this, then tear the socket down so
-    /// the reader unblocks even against a silent client).
-    Final(Box<dyn FnOnce() -> Json + Send>),
+    /// `stats`, computed at emission (payload: request id).
+    Stats(Json),
+    /// `metrics`, computed at emission (payload: request id).
+    Metrics(Json),
+    /// `shutdown`: emit the acknowledgement, close this connection
+    /// once it flushes, and fire the daemon-wide shutdown.
+    Shutdown(Json),
 }
 
-fn handle_connection(
-    stream: TcpStream,
-    config: &ServiceConfig,
-    cache: &Arc<InstanceCache>,
-    scheduler: &Arc<Scheduler>,
-    registry: &Arc<Registry>,
-    signal: &ShutdownSignal,
-) {
-    // Per-op latency sinks, registered once per connection and shared
-    // with every job / lazy thunk this connection spawns.
-    let op_ping = registry.histogram("op_ping_ns");
-    let op_solve = registry.histogram("op_solve_ns");
-    let op_stats = registry.histogram("op_stats_ns");
-    let op_metrics = registry.histogram("op_metrics_ns");
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    // A connection that cannot be registered could never be closed by
-    // ShutdownSignal::fire — its blocked reader would hang shutdown
-    // against a silent client — so refuse it outright (this only
-    // happens when fd duplication fails, i.e. the process is already
-    // resource-exhausted).
-    let registration = match stream.try_clone() {
-        Ok(clone) => signal.register(clone),
-        Err(_) => return,
-    };
-    let (tx, rx) = mpsc::channel::<(u64, Out)>();
+/// A solve finished on some shard: `(connection token, seq, response)`.
+type Completion = (u64, u64, Json);
 
-    // Writer: reorder (seq, response) pairs into request order.
-    let writer = std::thread::Builder::new()
-        .name("cnash-conn-writer".into())
-        .spawn(move || {
-            let mut out = BufWriter::new(stream);
-            let mut pending: BTreeMap<u64, Out> = BTreeMap::new();
-            let mut next = 0u64;
-            for (seq, response) in rx {
-                pending.insert(seq, response);
-                while let Some(slot) = pending.remove(&next) {
-                    next += 1;
-                    let (doc, close_after) = match slot {
-                        Out::Ready(doc) => (doc, false),
-                        Out::Lazy(thunk) => (thunk(), false),
-                        Out::Final(thunk) => (thunk(), true),
-                    };
-                    if out.write_all(doc.compact().as_bytes()).is_err()
-                        || out.write_all(b"\n").is_err()
-                        || out.flush().is_err()
-                    {
-                        return; // client went away
-                    }
-                    if close_after {
-                        let _ = out.get_ref().shutdown(std::net::Shutdown::Both);
-                        return;
-                    }
+/// Why a connection is being closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Close {
+    /// Stream complete (EOF + drained), shutdown flush, or drain end.
+    Done,
+    /// Write-queue hard cap exceeded.
+    Overflow,
+    /// The socket failed mid-write or lost its poller registration.
+    Torn,
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    fd: RawFd,
+    token: u64,
+    framer: LineFramer,
+    wq: WriteQueue,
+    /// Out-of-order response slots awaiting their turn.
+    pending: BTreeMap<u64, Slot>,
+    /// Next sequence number to assign to an incoming request.
+    next_seq: u64,
+    /// Next sequence number to emit into the write queue.
+    next_emit: u64,
+    /// Solve jobs submitted to the scheduler, not yet completed.
+    in_flight: usize,
+    /// EOF observed (or the read side failed).
+    read_closed: bool,
+    /// A shutdown acknowledgement is queued: close once flushed.
+    close_after_flush: bool,
+    /// Reads paused by write-queue backpressure.
+    paused: bool,
+    /// Interest currently registered with the poller.
+    want_read: bool,
+    want_write: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, fd: RawFd, token: u64) -> Self {
+        Self {
+            stream,
+            fd,
+            token,
+            framer: LineFramer::new(MAX_LINE_BYTES),
+            wq: WriteQueue::new(),
+            pending: BTreeMap::new(),
+            next_seq: 0,
+            next_emit: 0,
+            in_flight: 0,
+            read_closed: false,
+            close_after_flush: false,
+            paused: false,
+            want_read: true,
+            want_write: false,
+        }
+    }
+
+    fn alloc_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+}
+
+/// Everything the per-connection logic needs besides the connection
+/// map itself — split out so `&mut Conn` (borrowed from the map) and
+/// `&mut Ctx` can coexist.
+struct Ctx {
+    poller: Poller,
+    config: ServiceConfig,
+    cache: Arc<InstanceCache>,
+    scheduler: Scheduler,
+    registry: Arc<Registry>,
+    signal: ShutdownSignal,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    metrics: ServiceMetrics,
+    draining: bool,
+}
+
+/// The event loop's owner: sockets, connection map, drain clock.
+struct Reactor {
+    listener: TcpListener,
+    wake_rx: UnixStream,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    drain_deadline: Option<Instant>,
+    ctx: Ctx,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events: Vec<PollEvent> = Vec::with_capacity(256);
+        loop {
+            // Draining polls on a short leash so the deadline fires
+            // even with no socket activity; otherwise block freely —
+            // completions and shutdown arrive through the waker.
+            let timeout = self.ctx.draining.then(|| Duration::from_millis(20));
+            if let Err(e) = self.ctx.poller.wait(&mut events, timeout) {
+                if e.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                break; // the poller itself failed: nothing left to drive
+            }
+            for &ev in &events {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => drain_wakeups(&self.wake_rx),
+                    token => self.conn_ready(token, ev),
                 }
             }
-        })
-        .expect("spawn connection writer");
+            self.apply_completions();
+            if self.ctx.signal.is_fired() && !self.ctx.draining {
+                self.begin_drain();
+            }
+            if self.ctx.draining {
+                if self.drain_deadline.is_some_and(|d| Instant::now() >= d) {
+                    for token in self.conns.keys().copied().collect::<Vec<_>>() {
+                        self.close_conn(token, Close::Done);
+                    }
+                }
+                if self.conns.is_empty() {
+                    break;
+                }
+            }
+        }
+        for token in self.conns.keys().copied().collect::<Vec<_>>() {
+            self.close_conn(token, Close::Done);
+        }
+        // Queued jobs observe the cancelled token and finish fast;
+        // their completions have nowhere to go and are dropped.
+        self.ctx.scheduler.shutdown();
+    }
 
-    let mut reader = BufReader::new(read_half);
-    let mut line = String::new();
-    let mut seq = 0u64;
-    loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => break, // EOF or torn connection
-            Ok(_) => {}
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.ctx.metrics.conn_accepted.inc();
+                    let over_cap = self.conns.len() >= self.ctx.config.max_connections;
+                    if self.ctx.draining || self.ctx.signal.is_fired() || over_cap {
+                        self.ctx.metrics.conn_rejected.inc();
+                        continue; // dropping the stream closes it
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        self.ctx.metrics.conn_rejected.inc();
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let fd = stream.as_raw_fd();
+                    if let Some(bytes) = self.ctx.config.send_buffer_bytes {
+                        let _ = crate::reactor::set_send_buffer(fd, bytes);
+                    }
+                    let token = self.next_token;
+                    if self.ctx.poller.register(fd, token, true, false).is_err() {
+                        self.ctx.metrics.conn_rejected.inc();
+                        continue;
+                    }
+                    self.next_token += 1;
+                    self.conns.insert(token, Conn::new(stream, fd, token));
+                    self.ctx.metrics.conn_open.inc();
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
         }
-        if line.trim().is_empty() {
-            continue;
+    }
+
+    fn conn_ready(&mut self, token: u64, ev: PollEvent) {
+        let verdict = match self.conns.get_mut(&token) {
+            None => return, // stale event for an already-closed conn
+            Some(conn) => {
+                if ev.readable {
+                    self.ctx.read_input(conn);
+                }
+                self.ctx.after_progress(conn)
+            }
+        };
+        if let Some(close) = verdict {
+            self.close_conn(token, close);
         }
-        let envelope = protocol::parse_request(line.trim());
+    }
+
+    fn apply_completions(&mut self) {
+        let batch: Vec<Completion> = {
+            let mut queue = self
+                .ctx
+                .completions
+                .lock()
+                .expect("completion queue poisoned");
+            std::mem::take(&mut *queue)
+        };
+        for (token, seq, response) in batch {
+            let verdict = match self.conns.get_mut(&token) {
+                None => continue, // the connection was dropped mid-solve
+                Some(conn) => {
+                    conn.in_flight -= 1;
+                    conn.pending.insert(seq, Slot::Ready(response));
+                    self.ctx.after_progress(conn)
+                }
+            };
+            if let Some(close) = verdict {
+                self.close_conn(token, close);
+            }
+        }
+    }
+
+    fn begin_drain(&mut self) {
+        self.ctx.draining = true;
+        self.drain_deadline =
+            Some(Instant::now() + Duration::from_millis(self.ctx.config.drain_ms));
+        let _ = self.ctx.poller.deregister(self.listener.as_raw_fd());
+        // Re-evaluate every connection under drain rules: reads stop,
+        // idle connections close now, busy ones close once their
+        // in-flight responses flush.
+        for token in self.conns.keys().copied().collect::<Vec<_>>() {
+            let verdict = match self.conns.get_mut(&token) {
+                None => continue,
+                Some(conn) => self.ctx.after_progress(conn),
+            };
+            if let Some(close) = verdict {
+                self.close_conn(token, close);
+            }
+        }
+    }
+
+    fn close_conn(&mut self, token: u64, close: Close) {
+        let Some(conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let _ = self.ctx.poller.deregister(conn.fd);
+        let metrics = &self.ctx.metrics;
+        metrics
+            .conn_write_queue_bytes
+            .add(-(conn.wq.bytes() as i64));
+        metrics.conn_open.dec();
+        metrics.conn_closed.inc();
+        if close == Close::Overflow {
+            metrics.conn_overflow_dropped.inc();
+        }
+        // Dropping `conn.stream` closes the socket (FIN, or RST for an
+        // overflow drop with unread input — either way the client sees
+        // the connection end).
+    }
+}
+
+impl Ctx {
+    /// Reads and processes as much input as budget, backpressure and
+    /// the kernel allow.
+    fn read_input(&mut self, conn: &mut Conn) {
+        if conn.read_closed || conn.paused || conn.close_after_flush || self.draining {
+            return;
+        }
+        let mut chunk = [0u8; READ_CHUNK];
+        let mut budget = READ_BUDGET;
+        'tick: while budget > 0 {
+            match (&conn.stream).read(&mut chunk) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    budget = budget.saturating_sub(n);
+                    conn.framer.extend(&chunk[..n]);
+                    while let Some(line) = conn.framer.next_line() {
+                        self.process_line(conn, line);
+                        if conn.close_after_flush {
+                            break 'tick; // requests after shutdown are not served
+                        }
+                    }
+                    // Checking between chunks bounds the queue overshoot
+                    // to one chunk's worth of requests.
+                    if conn.wq.bytes() > self.config.write_queue_soft_limit {
+                        break;
+                    }
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.read_closed = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Parses one framed line into a response slot or a scheduler job.
+    fn process_line(&mut self, conn: &mut Conn, line: FramedLine) {
+        let text = match line {
+            FramedLine::Oversized => {
+                let seq = conn.alloc_seq();
+                conn.pending.insert(
+                    seq,
+                    Slot::Ready(protocol::error_response(
+                        &Json::Null,
+                        &format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                    )),
+                );
+                return;
+            }
+            FramedLine::Line(text) => text,
+        };
+        let trimmed = text.trim();
+        if trimmed.is_empty() {
+            return; // blank lines consume no sequence number
+        }
+        let envelope = protocol::parse_request(trimmed);
         let id = envelope.id;
-        let out = match envelope.request {
-            Err(e) => Out::Ready(protocol::error_response(&id, &e.message)),
+        let seq = conn.alloc_seq();
+        let slot = match envelope.request {
+            Err(e) => Slot::Ready(protocol::error_response(&id, &e.message)),
             Ok(Request::Ping) => {
-                let span = TelemetrySpan::start(&op_ping);
+                let span = TelemetrySpan::start(&self.metrics.op_ping);
                 let pong = protocol::pong_response(&id);
                 span.finish();
-                Out::Ready(pong)
+                Slot::Ready(pong)
             }
-            Ok(Request::Stats) => {
-                let cache = Arc::clone(cache);
-                let scheduler = Arc::clone(scheduler);
-                let sink = Arc::clone(&op_stats);
-                Out::Lazy(Box::new(move || {
-                    let span = TelemetrySpan::start(&sink);
+            Ok(Request::Stats) => Slot::Stats(id),
+            Ok(Request::Metrics) => Slot::Metrics(id),
+            Ok(Request::Shutdown) => Slot::Shutdown(id),
+            Ok(Request::Solve { job, truth }) => {
+                match self.submit_solve(conn.token, seq, &id, *job, truth) {
+                    Ok(()) => {
+                        conn.in_flight += 1;
+                        return; // the completion queue delivers the slot
+                    }
+                    Err(error) => Slot::Ready(error),
+                }
+            }
+        };
+        conn.pending.insert(seq, slot);
+    }
+
+    /// Hands a solve to the scheduler; its completion flows back through
+    /// the shared queue + waker.
+    fn submit_solve(
+        &mut self,
+        token: u64,
+        seq: u64,
+        id: &Json,
+        job: JobSpec,
+        truth: TruthPolicy,
+    ) -> Result<(), Json> {
+        let cache = Arc::clone(&self.cache);
+        let cancel = self.signal.cancel.clone();
+        let batch_threads = self.config.batch_threads;
+        let sink = Arc::clone(&self.metrics.op_solve);
+        let completions = Arc::clone(&self.completions);
+        let waker = self.signal.waker.clone();
+        let job_id = id.clone();
+        self.scheduler
+            .submit(Box::new(move || {
+                let span = TelemetrySpan::start(&sink);
+                // A panicking solve must still produce a response: the
+                // reorder buffer cannot advance past a missing sequence
+                // number, so a lost response would wedge every later
+                // reply on this connection.
+                let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    execute_solve(&cache, &job, truth, batch_threads, &cancel, &job_id)
+                }))
+                .unwrap_or_else(|_| {
+                    protocol::error_response(&job_id, "internal error: solve panicked")
+                });
+                span.finish();
+                completions
+                    .lock()
+                    .expect("completion queue poisoned")
+                    .push((token, seq, response));
+                waker.wake();
+            }))
+            .map_err(|_| protocol::error_response(id, "service is shutting down"))
+    }
+
+    /// Emits every due slot into the write queue. `stats`/`metrics`
+    /// are computed here — with all earlier responses resolved — which
+    /// preserves the blocking server's lazy-evaluation semantics.
+    fn advance_reorder(&mut self, conn: &mut Conn) {
+        while !conn.close_after_flush {
+            let Some(slot) = conn.pending.remove(&conn.next_emit) else {
+                break;
+            };
+            conn.next_emit += 1;
+            let doc = match slot {
+                Slot::Ready(doc) => doc,
+                Slot::Stats(id) => {
+                    let span = TelemetrySpan::start(&self.metrics.op_stats);
                     let doc = Json::obj([
-                        ("id", id.clone()),
+                        ("id", id),
                         ("ok", Json::Bool(true)),
-                        ("stats", cache.stats().to_json()),
-                        ("shards", Json::num(scheduler.shard_count() as f64)),
+                        ("stats", self.cache.stats().to_json()),
+                        ("shards", Json::num(self.scheduler.shard_count() as f64)),
                         // Grouped so golden-file tooling can strip the
                         // scheduling-dependent counts in one move.
                         (
                             "scheduler",
                             Json::obj([
-                                ("jobs_executed", Json::uint(scheduler.jobs_executed())),
-                                ("jobs_stolen", Json::uint(scheduler.jobs_stolen())),
+                                ("jobs_executed", Json::uint(self.scheduler.jobs_executed())),
+                                ("jobs_stolen", Json::uint(self.scheduler.jobs_stolen())),
                             ]),
                         ),
                     ]);
                     span.finish();
                     doc
-                }))
-            }
-            Ok(Request::Metrics) => {
-                let registry = Arc::clone(registry);
-                let sink = Arc::clone(&op_metrics);
-                Out::Lazy(Box::new(move || {
-                    let span = TelemetrySpan::start(&sink);
-                    let doc = protocol::metrics_response(&id, &registry.snapshot());
+                }
+                Slot::Metrics(id) => {
+                    let span = TelemetrySpan::start(&self.metrics.op_metrics);
+                    let doc = protocol::metrics_response(&id, &self.registry.snapshot());
                     span.finish();
                     doc
-                }))
-            }
-            Ok(Request::Shutdown) => {
-                let signal = signal.clone();
-                Out::Final(Box::new(move || {
-                    // Leave this connection out of fire()'s close loop
-                    // so the acknowledgement still reaches the client;
-                    // the writer closes the socket right after it.
-                    signal.deregister(registration);
-                    signal.fire();
+                }
+                Slot::Shutdown(id) => {
+                    // Answer the prefix, then this acknowledgement, then
+                    // close — and take the whole daemon down with us.
+                    conn.close_after_flush = true;
+                    self.signal.fire();
                     protocol::shutdown_response(&id)
-                }))
-            }
-            Ok(Request::Solve { job, truth }) => {
-                let cache = Arc::clone(cache);
-                let tx = tx.clone();
-                let my_seq = seq;
-                let cancel = signal.cancel.clone();
-                let batch_threads = config.batch_threads;
-                let job_id = id.clone();
-                let sink = Arc::clone(&op_solve);
-                let submitted = scheduler.submit(Box::new(move || {
-                    let span = TelemetrySpan::start(&sink);
-                    // A panicking solve must still produce a response:
-                    // the writer's reorder buffer cannot advance past a
-                    // missing sequence number, so a lost response would
-                    // wedge every later reply on this connection.
-                    let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        execute_solve(&cache, &job, truth, batch_threads, &cancel, &job_id)
-                    }))
-                    .unwrap_or_else(|_| {
-                        protocol::error_response(&job_id, "internal error: solve panicked")
-                    });
-                    span.finish();
-                    let _ = tx.send((my_seq, Out::Ready(response)));
-                }));
-                match submitted {
-                    Ok(()) => {
-                        seq += 1;
-                        continue; // the job sends its own response
-                    }
-                    Err(_) => Out::Ready(protocol::error_response(&id, "service is shutting down")),
+                }
+            };
+            let mut bytes = doc.compact().into_bytes();
+            bytes.push(b'\n');
+            self.metrics.conn_write_queue_bytes.add(bytes.len() as i64);
+            conn.wq.push(bytes);
+        }
+    }
+
+    /// The per-connection maintenance pass run after any state change:
+    /// advance the reorder buffer, flush what the kernel takes, apply
+    /// the backpressure verdict, update poller interest, and decide
+    /// whether the connection is finished.
+    fn after_progress(&mut self, conn: &mut Conn) -> Option<Close> {
+        self.advance_reorder(conn);
+        match conn.wq.write_to(&mut (&conn.stream)) {
+            Ok(n) => self.metrics.conn_write_queue_bytes.add(-(n as i64)),
+            Err(_) => return Some(Close::Torn),
+        }
+        let soft = self.config.write_queue_soft_limit;
+        match overflow_verdict(conn.wq.bytes(), soft, self.config.write_queue_hard_limit) {
+            QueueVerdict::Drop => return Some(Close::Overflow),
+            QueueVerdict::Pause => {
+                if !conn.paused {
+                    conn.paused = true;
+                    self.metrics.conn_backpressure_stalls.inc();
                 }
             }
-        };
-        let _ = tx.send((seq, out));
-        seq += 1;
+            QueueVerdict::Ok => {
+                // Hysteresis: resume reads only once the queue has
+                // drained well clear of the limit.
+                if conn.paused && conn.wq.bytes() <= soft / 2 {
+                    conn.paused = false;
+                }
+            }
+        }
+        let idle = conn.in_flight == 0 && conn.pending.is_empty() && conn.wq.is_empty();
+        if conn.close_after_flush && conn.wq.is_empty() {
+            return Some(Close::Done);
+        }
+        if idle && (conn.read_closed || self.draining) {
+            return Some(Close::Done);
+        }
+        let want_read =
+            !conn.read_closed && !conn.paused && !conn.close_after_flush && !self.draining;
+        let want_write = !conn.wq.is_empty();
+        if (want_read, want_write) != (conn.want_read, conn.want_write) {
+            if self
+                .poller
+                .reregister(conn.fd, conn.token, want_read, want_write)
+                .is_err()
+            {
+                return Some(Close::Torn);
+            }
+            conn.want_read = want_read;
+            conn.want_write = want_write;
+        }
+        None
     }
-    drop(tx); // writer drains in-flight job responses, then exits
-    let _ = writer.join();
-    signal.deregister(registration);
 }
 
 /// Runs one solve request to completion and builds its response.
@@ -479,6 +834,7 @@ fn execute_solve(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{BufRead, BufReader, Write};
 
     fn send_lines(addr: SocketAddr, lines: &[&str]) -> Vec<String> {
         let mut stream = TcpStream::connect(addr).expect("connect");
@@ -613,6 +969,19 @@ mod tests {
                 .unwrap(),
             1
         );
+        // The connection layer reports itself: this one connection is
+        // open and nothing has been dropped or stalled.
+        assert_eq!(counters.get("conn_accepted").unwrap().as_u64().unwrap(), 1);
+        assert_eq!(
+            counters
+                .get("conn_overflow_dropped")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
+            0
+        );
+        let gauges = m.get("gauges").unwrap();
+        assert_eq!(gauges.get("conn_open").unwrap().as_u64().unwrap(), 1);
         // The metrics snapshot post-dates the emitted ping and solve:
         // both latency histograms hold exactly one observation.
         let hists = m.get("histograms").unwrap();
@@ -717,6 +1086,66 @@ mod tests {
                 .unwrap()
                 > 0
         );
+        handle.stop();
+    }
+
+    #[test]
+    fn oversized_request_line_gets_an_error_and_the_connection_survives() {
+        let handle = serve(ServiceConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        // A 2 MiB line (twice MAX_LINE_BYTES) followed by a valid ping.
+        let big = vec![b'x'; 2 * MAX_LINE_BYTES];
+        stream.write_all(&big).unwrap();
+        stream.write_all(b"\n").unwrap();
+        stream.write_all(b"{\"op\":\"ping\",\"id\":7}\n").unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let reader = BufReader::new(stream);
+        let responses: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+        assert_eq!(responses.len(), 2, "{responses:?}");
+        let err = Json::parse(&responses[0]).unwrap();
+        assert!(!err.get("ok").unwrap().as_bool().unwrap());
+        assert!(
+            err.get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("exceeds"),
+            "{err:?}"
+        );
+        let pong = Json::parse(&responses[1]).unwrap();
+        assert_eq!(pong.get("id").unwrap().as_usize().unwrap(), 7);
+        assert!(pong.get("pong").unwrap().as_bool().unwrap());
+        handle.stop();
+    }
+
+    #[test]
+    fn connection_cap_rejects_the_excess_connection() {
+        let handle = serve(ServiceConfig {
+            max_connections: 2,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let addr = handle.addr();
+        let keep_a = TcpStream::connect(addr).unwrap();
+        let keep_b = TcpStream::connect(addr).unwrap();
+        // Let the reactor accept both before the third arrives.
+        let mut third = TcpStream::connect(addr).unwrap();
+        third
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        // The daemon closes the excess connection without a response.
+        let mut sink = Vec::new();
+        let n = third.read_to_end(&mut sink).unwrap_or(0);
+        assert_eq!(n, 0, "rejected connection got bytes: {sink:?}");
+        // The two under the cap still work.
+        for conn in [keep_a, keep_b] {
+            let mut conn = conn;
+            conn.write_all(b"{\"op\":\"ping\",\"id\":1}\n").unwrap();
+            let mut reader = BufReader::new(conn);
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains("\"pong\":true"), "{line}");
+        }
         handle.stop();
     }
 }

@@ -1,0 +1,191 @@
+//! Overload behaviour of the service's reactor front end.
+//!
+//! The nonblocking rewrite's whole point is that one misbehaving client
+//! cannot take the daemon down with it. These tests drive the two
+//! canonical abuse patterns end-to-end over real sockets:
+//!
+//! * a **slow reader** that pipelines thousands of requests and then
+//!   reads the responses one byte at a time — the per-connection write
+//!   queue must bound memory by *pausing reads* (backpressure), and the
+//!   daemon must keep answering other connections at full speed;
+//! * a **malformed-line flood** — parse errors are per-request error
+//!   *responses* on that connection, never connection or daemon state.
+
+use cnash_runtime::Json;
+use cnash_service::{serve, ServiceConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Clamps the socket's kernel receive buffer. Without this the
+/// kernel's autotuned loopback buffers (tens of MB) would absorb the
+/// whole response stream and the daemon would never feel the slow
+/// reader at all.
+fn clamp_recv_buffer(stream: &TcpStream, bytes: i32) {
+    use std::os::unix::io::AsRawFd;
+    const SOL_SOCKET: i32 = if cfg!(target_os = "linux") { 1 } else { 0xffff };
+    const SO_RCVBUF: i32 = if cfg!(target_os = "linux") { 8 } else { 0x1002 };
+    extern "C" {
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            optname: i32,
+            optval: *const std::ffi::c_void,
+            optlen: u32,
+        ) -> i32;
+    }
+    let rc = unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_RCVBUF,
+            std::ptr::from_ref(&bytes).cast(),
+            std::mem::size_of::<i32>() as u32,
+        )
+    };
+    assert_eq!(rc, 0, "setsockopt(SO_RCVBUF)");
+}
+
+fn ping_ok(addr: SocketAddr, id: u64) -> Json {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    conn.write_all(format!("{{\"op\":\"ping\",\"id\":{id}}}\n").as_bytes())
+        .unwrap();
+    let mut line = String::new();
+    BufReader::new(conn).read_line(&mut line).unwrap();
+    let doc = Json::parse(&line).expect("protocol JSON");
+    assert!(doc.get("pong").unwrap().as_bool().unwrap(), "{line}");
+    doc
+}
+
+#[test]
+fn slow_reader_is_backpressured_while_the_daemon_stays_responsive() {
+    // Enough pings that the response stream (~0.5 MB) cannot hide in
+    // the kernel's socket buffers once both sides are clamped: the
+    // daemon must queue — and, with a tiny soft limit, stop reading —
+    // long before the client drains.
+    const PINGS: usize = 6_000;
+    let handle = serve(ServiceConfig {
+        write_queue_soft_limit: 2 * 1024,
+        send_buffer_bytes: Some(16 * 1024),
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+
+    let writer = TcpStream::connect(addr).expect("connect");
+    clamp_recv_buffer(&writer, 16 * 1024);
+    let mut reader = writer.try_clone().expect("clone");
+    let writer_thread = std::thread::spawn(move || {
+        let mut writer = writer;
+        let mut block = Vec::with_capacity(PINGS * 32);
+        for id in 1..=PINGS {
+            block.extend_from_slice(format!("{{\"op\":\"ping\",\"id\":{id}}}\n").as_bytes());
+        }
+        writer.write_all(&block).expect("pipelined requests");
+        writer.shutdown(Shutdown::Write).expect("half-close");
+    });
+
+    // The slow-reader phase: 1 byte every 10 ms. While this connection
+    // crawls, the daemon must answer a second connection instantly.
+    reader
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut trickled = Vec::new();
+    let mut byte = [0u8; 1];
+    for k in 0..30 {
+        reader.read_exact(&mut byte).expect("trickle byte");
+        trickled.push(byte[0]);
+        std::thread::sleep(Duration::from_millis(10));
+        if k % 10 == 0 {
+            ping_ok(addr, 900_000 + k);
+        }
+    }
+
+    // Full-speed drain: every pipelined response arrives, in order.
+    reader.set_read_timeout(None).unwrap();
+    reader.read_to_end(&mut trickled).expect("drain responses");
+    writer_thread.join().expect("writer thread");
+    let lines: Vec<&[u8]> = trickled
+        .split(|&b| b == b'\n')
+        .filter(|l| !l.is_empty())
+        .collect();
+    assert_eq!(lines.len(), PINGS, "every pipelined request answered");
+    for (k, line) in lines.iter().enumerate() {
+        let doc = Json::parse(std::str::from_utf8(line).unwrap()).expect("protocol JSON");
+        assert_eq!(
+            doc.get("id").unwrap().as_usize().unwrap(),
+            k + 1,
+            "responses stream in request order"
+        );
+    }
+
+    // The reactor must have paused reads at least once — that pause is
+    // what bounded the write queue instead of letting it absorb the
+    // whole megabyte.
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.write_all(b"{\"op\":\"metrics\",\"id\":1}\n").unwrap();
+    let mut line = String::new();
+    BufReader::new(conn).read_line(&mut line).unwrap();
+    let doc = Json::parse(&line).unwrap();
+    let counters = doc.get("metrics").unwrap().get("counters").unwrap();
+    let stalls = counters
+        .get("conn_backpressure_stalls")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert!(stalls >= 1, "expected at least one backpressure stall");
+    assert_eq!(
+        counters
+            .get("conn_overflow_dropped")
+            .unwrap()
+            .as_u64()
+            .unwrap(),
+        0,
+        "backpressure, not connection drops, absorbs a slow reader"
+    );
+    handle.stop();
+}
+
+#[test]
+fn malformed_line_flood_is_isolated_to_per_request_errors() {
+    let handle = serve(ServiceConfig::default()).unwrap();
+    let addr = handle.addr();
+
+    // A bystander connection opened before the flood...
+    let mut bystander = TcpStream::connect(addr).unwrap();
+    bystander
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    let mut flood = TcpStream::connect(addr).unwrap();
+    for k in 0..100 {
+        flood
+            .write_all(format!("this is not protocol json #{k}\n").as_bytes())
+            .unwrap();
+    }
+    flood.write_all(b"{\"op\":\"ping\",\"id\":7}\n").unwrap();
+    flood.shutdown(Shutdown::Write).unwrap();
+    let reader = BufReader::new(flood);
+    let responses: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+    // One response per line — all errors except the final valid ping,
+    // still in request order: garbage costs that request, nothing else.
+    assert_eq!(responses.len(), 101);
+    for line in &responses[..100] {
+        let doc = Json::parse(line).expect("protocol JSON");
+        assert!(!doc.get("ok").unwrap().as_bool().unwrap(), "{line}");
+    }
+    let pong = Json::parse(&responses[100]).unwrap();
+    assert_eq!(pong.get("id").unwrap().as_usize().unwrap(), 7);
+    assert!(pong.get("pong").unwrap().as_bool().unwrap());
+
+    // ...still gets its answer after the flood.
+    bystander
+        .write_all(b"{\"op\":\"ping\",\"id\":8}\n")
+        .unwrap();
+    let mut line = String::new();
+    BufReader::new(bystander).read_line(&mut line).unwrap();
+    assert!(line.contains("\"pong\":true"), "{line}");
+    handle.stop();
+}
