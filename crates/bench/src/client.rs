@@ -101,12 +101,17 @@ pub fn validate_response(line: &str) -> Result<(), String> {
 
 /// Normalises a response line for golden-file comparison: parses it,
 /// strips the wall-clock fields (`wall_ms`/`program_ms`), the
-/// toolchain-dependent `build` block of a ping and the
-/// scheduling-dependent `scheduler` block of a stats response, then
-/// re-serialises canonically (sorted keys, compact framing).
-/// Unparseable lines pass through untouched so a diff still shows them
-/// (the `service_client` binary rejects them via [`validate_response`]
-/// before ever getting here).
+/// toolchain-dependent `build` block of a ping, the
+/// scheduling-dependent `scheduler` block of a stats response, and the
+/// solution-store provenance — the `cache:"disk"` flag on a disk-served
+/// solve and the `store` stats block, both of which depend on what a
+/// daemon's store happened to hold, not on the request — then
+/// re-serialises canonically (sorted keys, compact framing). A
+/// store-less daemon's stream normalises to exactly what it did before
+/// stores existed, and a disk hit normalises byte-identically to the
+/// cold solve it replayed. Unparseable lines pass through untouched so
+/// a diff still shows them (the `service_client` binary rejects them
+/// via [`validate_response`] before ever getting here).
 pub fn normalise_response(line: &str) -> String {
     match Json::parse(line) {
         Ok(mut doc) => {
@@ -114,6 +119,8 @@ pub fn normalise_response(line: &str) -> String {
             if let Json::Obj(map) = &mut doc {
                 map.remove("build");
                 map.remove("scheduler");
+                map.remove("cache");
+                map.remove("store");
             }
             doc.compact()
         }
@@ -152,6 +159,15 @@ mod tests {
         assert_eq!(
             normalise_response(stats),
             r#"{"id":2,"ok":true,"shards":2}"#
+        );
+        // Store provenance goes too: a disk hit normalises to the cold
+        // solve it replayed, and store-bearing stats match store-less.
+        let disk_hit = r#"{"cache":"disk","id":3,"ok":true,"program_ms":0.0,"wall_ms":0.1}"#;
+        assert_eq!(normalise_response(disk_hit), r#"{"id":3,"ok":true}"#);
+        let stats = r#"{"id":4,"ok":true,"shards":2,"store":{"hits":7}}"#;
+        assert_eq!(
+            normalise_response(stats),
+            r#"{"id":4,"ok":true,"shards":2}"#
         );
     }
 

@@ -152,6 +152,16 @@ const FLAGS: &[FlagSpec] = &[
         help: "await each response before sending the next request",
     },
     FlagSpec {
+        name: "--store",
+        value: Some("PATH"),
+        help: "persistent solution-store log (presolve, store, store_bench)",
+    },
+    FlagSpec {
+        name: "--emit-requests",
+        value: Some("PATH"),
+        help: "write the swept jobs as service request lines (presolve)",
+    },
+    FlagSpec {
         name: "--corrupt",
         value: None,
         help: "test hook: corrupt solver answers to exercise the diffcheck failure path",
@@ -194,6 +204,10 @@ pub struct Cli {
     pub stats_json: Option<String>,
     /// Await each service response before sending the next request.
     pub serial: bool,
+    /// Persistent solution-store log path (store binaries).
+    pub store: Option<String>,
+    /// Write the swept jobs as service request lines (presolve).
+    pub emit_requests: Option<String>,
     /// Corrupt solver answers (diffcheck failure-path test hook).
     pub corrupt: bool,
     /// Print usage and exit (binaries print their own detail text).
@@ -306,6 +320,10 @@ impl Cli {
                 "--addr" => cli.addr = Some(value.expect("has value").to_string()),
                 "--requests" => cli.requests = Some(value.expect("has value").to_string()),
                 "--stats-json" => cli.stats_json = Some(value.expect("has value").to_string()),
+                "--store" => cli.store = Some(value.expect("has value").to_string()),
+                "--emit-requests" => {
+                    cli.emit_requests = Some(value.expect("has value").to_string());
+                }
                 _ => unreachable!("flag table covers every match arm"),
             }
             i += 1;
@@ -443,6 +461,10 @@ mod tests {
             "stats.json",
             "--serial",
             "--corrupt",
+            "--store",
+            "store.log",
+            "--emit-requests",
+            "presolved.jsonl",
         ]))
         .unwrap();
         assert_eq!(
@@ -463,6 +485,8 @@ mod tests {
                 stats_json: Some("stats.json".into()),
                 serial: true,
                 corrupt: true,
+                store: Some("store.log".into()),
+                emit_requests: Some("presolved.jsonl".into()),
                 help: false,
             }
         );
@@ -525,6 +549,8 @@ mod tests {
         assert_eq!(cli.jobs_file, None);
         assert_eq!(cli.conns, 1000);
         assert_eq!(cli.per_conn, 8);
+        assert_eq!(cli.store, None);
+        assert_eq!(cli.emit_requests, None);
     }
 
     #[test]

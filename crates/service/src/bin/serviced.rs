@@ -2,7 +2,7 @@
 //!
 //! `cargo run --release -p cnash-service --bin serviced -- \
 //!      [--addr HOST:PORT] [--shards S] [--batch-threads T] \
-//!      [--max-conns N] [--metrics-file PATH] \
+//!      [--max-conns N] [--store PATH] [--metrics-file PATH] \
 //!      [--metrics-interval-ms MS] [--sa-trace-interval N]`
 //!
 //! Operational behaviour (reactor architecture, backpressure and
@@ -15,6 +15,14 @@
 //! a client sends `{"op":"shutdown"}`. The wire protocol is documented
 //! in `cnash_service::protocol`; `cnash-bench`'s `service_client`
 //! binary is the matching CLI.
+//!
+//! With `--store PATH` the daemon opens (or creates) the persistent
+//! solution store at `PATH`, warm-boots from it — every record
+//! presolved by `cnash-bench`'s `presolve` sweeper or appended by a
+//! previous daemon run is served from disk with a `"cache":"disk"`
+//! provenance flag — and appends each fresh solve's deterministic
+//! payload. A second readiness line
+//! (`cnash-service store PATH: N records`) reports the warm-boot scan.
 //!
 //! With `--metrics-file PATH` the daemon appends one JSON line per
 //! `--metrics-interval-ms` (default 1000) to `PATH` — the `metrics`
@@ -39,6 +47,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("  --shards S               scheduler shards [0 = one per core]");
     eprintln!("  --batch-threads T        worker threads per batch job [1]");
     eprintln!("  --max-conns N            open-connection cap [4096]");
+    eprintln!("  --store PATH             persistent solution store (warm boot + disk hits)");
     eprintln!("  --metrics-file PATH      append periodic telemetry snapshots (JSON lines)");
     eprintln!("  --metrics-interval-ms MS snapshot period for --metrics-file [1000]");
     eprintln!("  --sa-trace-interval N    sample annealer energy every N iterations [0 = off]");
@@ -79,6 +88,7 @@ fn parse_config() -> (ServiceConfig, DaemonOptions) {
                 | "--shards"
                 | "--batch-threads"
                 | "--max-conns"
+                | "--store"
                 | "--metrics-file"
                 | "--metrics-interval-ms"
                 | "--sa-trace-interval"
@@ -98,6 +108,7 @@ fn parse_config() -> (ServiceConfig, DaemonOptions) {
             "--shards" => config.shards = count(value),
             "--batch-threads" => config.batch_threads = count(value).max(1),
             "--max-conns" => config.max_connections = count(value).max(1),
+            "--store" => config.store_path = Some(value.clone()),
             "--metrics-file" => options.metrics_file = Some(value.clone()),
             "--metrics-interval-ms" => {
                 options.metrics_interval = Duration::from_millis(count(value).max(1) as u64);
@@ -139,11 +150,27 @@ fn main() {
     let handle = match serve(config) {
         Ok(handle) => handle,
         Err(e) => {
-            eprintln!("error: cannot bind: {e}");
+            eprintln!("error: cannot start: {e}");
             std::process::exit(1);
         }
     };
     println!("cnash-service listening on {}", handle.addr());
+    if let Some(store) = handle.store() {
+        let report = store.open_report();
+        let health = if report.compacted {
+            format!(
+                " (recovered: {} corrupt skipped, {} tail bytes dropped)",
+                report.corrupt_skipped, report.truncated_tail_bytes
+            )
+        } else {
+            String::new()
+        };
+        println!(
+            "cnash-service store {}: {} records{health}",
+            store.path().display(),
+            report.records
+        );
+    }
     std::io::stdout().flush().expect("stdout");
 
     // Periodic telemetry snapshots: a detached writer ticking until the

@@ -192,7 +192,22 @@ impl InstanceCache {
         game_spec: &GameSpec,
         solver_spec: &SolverSpec,
     ) -> Result<PreparedJob, SpecError> {
-        let game = game_spec.build()?;
+        self.prepare_with_game(game_spec.build()?, solver_spec)
+    }
+
+    /// [`InstanceCache::prepare`] for a game that is already built —
+    /// the solve fast path builds the game once to derive the solution
+    /// store key and must not pay (or risk divergence from) a second
+    /// `GameSpec::build`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`InstanceCache::prepare`].
+    pub fn prepare_with_game(
+        &self,
+        game: BimatrixGame,
+        solver_spec: &SolverSpec,
+    ) -> Result<PreparedJob, SpecError> {
         let game_fp = game.canonical_fingerprint();
         match solver_spec {
             SolverSpec::CNash {

@@ -21,9 +21,16 @@
 //!   (epoll on Linux, poll(2) elsewhere) plus a cross-thread waker;
 //! * [`framing`] — incremental line framing and the bounded
 //!   per-connection write queue with backpressure verdicts;
+//! * [`store`] — the persistent pre-solve store: an append-only,
+//!   checksummed record log of deterministic solve payloads keyed by
+//!   canonical-game × solver/hardware fingerprints, rebuilt by one
+//!   scan on open (corruption is skipped and compacted, never a
+//!   crash). With `serviced --store <path>` the daemon warm-boots from
+//!   it and answers repeat solves in O(lookup) with a `"cache":"disk"`
+//!   provenance flag; the `presolve` sweeper fills it offline;
 //! * [`server`] — the single-threaded reactor event loop driving
 //!   every connection's state machine (accept, frame, schedule,
-//!   reorder, flush, drain) on top of the three layers above.
+//!   reorder, flush, drain) on top of the layers above.
 //!
 //! The determinism contract extends the runtime's: for a fixed request
 //! sequence on one connection, every response payload except the
@@ -61,8 +68,10 @@ pub mod protocol;
 pub mod reactor;
 pub mod sched;
 pub mod server;
+pub mod store;
 
 pub use cache::{CacheStats, InstanceCache, PreparedJob};
 pub use protocol::{strip_timing, Request, TruthPolicy};
 pub use sched::Scheduler;
-pub use server::{serve, ServiceConfig, ServiceHandle, ShutdownSignal};
+pub use server::{execute_solve, serve, ServiceConfig, ServiceHandle, ShutdownSignal};
+pub use store::{solve_key, FsckReport, OpenReport, SolutionStore, StoreStats};

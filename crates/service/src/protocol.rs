@@ -70,6 +70,25 @@
 //! deterministic whenever no later-submitted or concurrent work races
 //! them — in particular a `stats` as the final query of a connection.
 //!
+//! ## Disk provenance (`cache:"disk"`)
+//!
+//! A daemon started with `--store <path>` answers a repeat `solve` from
+//! its persistent solution store (`crate::store`): the response is the
+//! stored deterministic payload — byte-identical to what a cold solve
+//! would have produced — plus `"cache":"disk"`, a fresh `wall_ms`, and
+//! `program_ms` of `0.0` (nothing was programmed). Cold responses never
+//! carry a `cache` key, and a store-less daemon's wire output is
+//! byte-unchanged, so golden streams only need to strip `cache` (and
+//! the timing fields) to compare cold and disk-hit responses. The
+//! `cache_hit` boolean inside a disk-served payload refers to the
+//! in-memory instance cache *at record time*, not this request.
+//!
+//! With a store configured, `stats` responses additionally carry a
+//! `"store"` block (`hits`/`misses`/`appends`/`records`), and the
+//! `metrics` snapshot gains `store_hits`/`store_misses`/`store_appends`
+//! counters, a `store_records` gauge and a `store_open_scan_ns`
+//! histogram.
+//!
 //! ## The `metrics` response schema
 //!
 //! `{"op":"metrics"}` returns the daemon's full telemetry snapshot.

@@ -32,6 +32,7 @@ use crate::framing::{overflow_verdict, FramedLine, LineFramer, QueueVerdict, Wri
 use crate::protocol::{self, Request, TruthPolicy};
 use crate::reactor::{drain_wakeups, waker_fd, PollEvent, Poller, Waker};
 use crate::sched::Scheduler;
+use crate::store::{self, SolutionStore};
 use cnash_game::support_enum::MAX_ENUM_ACTIONS;
 use cnash_runtime::report::game_report_json;
 use cnash_runtime::spec::JobSpec;
@@ -97,6 +98,13 @@ pub struct ServiceConfig {
     /// the reactor's write-queue backpressure engage early instead of
     /// hiding behind kernel buffering.
     pub send_buffer_bytes: Option<usize>,
+    /// Optional path of a persistent [`SolutionStore`] log. When set,
+    /// the daemon warm-boots from it (one scan on open), answers repeat
+    /// solves from disk with a `"cache":"disk"` provenance field, and
+    /// appends every fresh solve's deterministic payload. `None` (the
+    /// default) keeps the service fully in-memory and its wire output
+    /// byte-identical to pre-store builds.
+    pub store_path: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -110,6 +118,7 @@ impl Default for ServiceConfig {
             write_queue_hard_limit: 8 * 1024 * 1024,
             drain_ms: 5_000,
             send_buffer_bytes: None,
+            store_path: None,
         }
     }
 }
@@ -145,6 +154,7 @@ pub struct ServiceHandle {
     signal: ShutdownSignal,
     reactor: JoinHandle<()>,
     registry: Arc<Registry>,
+    store: Option<Arc<SolutionStore>>,
 }
 
 impl ServiceHandle {
@@ -159,6 +169,12 @@ impl ServiceHandle {
     /// `metrics` op and `serviced --metrics-file` snapshot.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// The persistent solution store the daemon serves from, when one
+    /// was configured via [`ServiceConfig::store_path`].
+    pub fn store(&self) -> Option<&Arc<SolutionStore>> {
+        self.store.as_ref()
     }
 
     /// A clonable handle that can shut the daemon down.
@@ -202,6 +218,11 @@ pub fn serve(config: ServiceConfig) -> io::Result<ServiceHandle> {
     };
     let registry = Arc::new(Registry::new());
     let cache = Arc::new(InstanceCache::with_registry(&registry));
+    let store = config
+        .store_path
+        .as_deref()
+        .map(|path| SolutionStore::open_with_registry(path, &registry).map(Arc::new))
+        .transpose()?;
     let scheduler = Scheduler::with_registry(config.shards, &registry);
     let reactor = Reactor {
         listener,
@@ -213,6 +234,7 @@ pub fn serve(config: ServiceConfig) -> io::Result<ServiceHandle> {
             poller,
             config,
             cache,
+            store: store.clone(),
             scheduler,
             registry: Arc::clone(&registry),
             signal: signal.clone(),
@@ -229,6 +251,7 @@ pub fn serve(config: ServiceConfig) -> io::Result<ServiceHandle> {
         signal,
         reactor: thread,
         registry,
+        store,
     })
 }
 
@@ -363,6 +386,7 @@ struct Ctx {
     poller: Poller,
     config: ServiceConfig,
     cache: Arc<InstanceCache>,
+    store: Option<Arc<SolutionStore>>,
     scheduler: Scheduler,
     registry: Arc<Registry>,
     signal: ShutdownSignal,
@@ -636,6 +660,7 @@ impl Ctx {
         truth: TruthPolicy,
     ) -> Result<(), Json> {
         let cache = Arc::clone(&self.cache);
+        let store = self.store.clone();
         let cancel = self.signal.cancel.clone();
         let batch_threads = self.config.batch_threads;
         let sink = Arc::clone(&self.metrics.op_solve);
@@ -650,7 +675,15 @@ impl Ctx {
                 // number, so a lost response would wedge every later
                 // reply on this connection.
                 let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    execute_solve(&cache, &job, truth, batch_threads, &cancel, &job_id)
+                    execute_solve(
+                        &cache,
+                        store.as_deref(),
+                        &job,
+                        truth,
+                        batch_threads,
+                        &cancel,
+                        &job_id,
+                    )
                 }))
                 .unwrap_or_else(|_| {
                     protocol::error_response(&job_id, "internal error: solve panicked")
@@ -678,7 +711,7 @@ impl Ctx {
                 Slot::Ready(doc) => doc,
                 Slot::Stats(id) => {
                     let span = TelemetrySpan::start(&self.metrics.op_stats);
-                    let doc = Json::obj([
+                    let mut doc = Json::obj([
                         ("id", id),
                         ("ok", Json::Bool(true)),
                         ("stats", self.cache.stats().to_json()),
@@ -693,6 +726,11 @@ impl Ctx {
                             ]),
                         ),
                     ]);
+                    // Present only when a store is configured, so the
+                    // no-store golden streams are byte-unchanged.
+                    if let (Some(store), Json::Obj(map)) = (&self.store, &mut doc) {
+                        map.insert("store".into(), store.stats().to_json());
+                    }
                     span.finish();
                     doc
                 }
@@ -770,8 +808,22 @@ impl Ctx {
 }
 
 /// Runs one solve request to completion and builds its response.
-fn execute_solve(
+///
+/// When a [`SolutionStore`] is supplied, it is consulted *before* the
+/// instance cache: a resident record answers the request in O(lookup)
+/// — no programming, no anneal — with the stored deterministic payload
+/// plus a fresh `id`, a `"cache":"disk"` provenance field and this
+/// call's timing fields. A fresh (non-cancelled) solve's payload is
+/// appended on the way out, so the next identical request — in this
+/// process or any later one — is a disk hit.
+///
+/// Public because the offline `presolve` sweeper drives this exact
+/// function: sweeping through it (rather than a parallel code path)
+/// is what makes presolved records byte-identical to what the daemon
+/// would have produced live.
+pub fn execute_solve(
     cache: &InstanceCache,
+    store: Option<&SolutionStore>,
     job: &JobSpec,
     truth: TruthPolicy,
     batch_threads: usize,
@@ -779,7 +831,35 @@ fn execute_solve(
     id: &Json,
 ) -> Json {
     let start = Instant::now();
-    let prepared = match cache.prepare(&job.game, &job.solver) {
+    let game = match job.game.build() {
+        Ok(game) => game,
+        Err(e) => return protocol::error_response(id, &e.message),
+    };
+    // The store key is a pure function of the built game + request
+    // knobs, so it can be derived (and answered) before any expensive
+    // preparation.
+    let store_key = store.map(|s| {
+        let key = store::solve_key(&game, job, truth);
+        (s, key)
+    });
+    if let Some((store, key)) = store_key {
+        if let Some(payload) = store.lookup(key) {
+            // Records are checksummed, so this parse cannot fail short
+            // of a key collision; if it somehow does, fall through to a
+            // live solve rather than serving garbage.
+            if let Ok(Json::Obj(mut map)) = Json::parse(&payload) {
+                map.insert("id".into(), id.clone());
+                map.insert("cache".into(), Json::str("disk"));
+                map.insert(
+                    "wall_ms".into(),
+                    Json::Num(start.elapsed().as_secs_f64() * 1e3),
+                );
+                map.insert("program_ms".into(), Json::Num(0.0));
+                return Json::Obj(map);
+            }
+        }
+    }
+    let prepared = match cache.prepare_with_game(game, &job.solver) {
         Ok(prepared) => prepared,
         Err(e) => return protocol::error_response(id, &e.message),
     };
@@ -826,6 +906,21 @@ fn execute_solve(
     if degraded {
         if let Json::Obj(map) = &mut response {
             map.insert("ground_truth_degraded".into(), Json::Bool(true));
+        }
+    }
+    // Persist the deterministic payload: the response minus the
+    // request-scoped `id` and this call's timing fields. A cancelled
+    // batch is a partial result — never recorded.
+    if let Some((store, key)) = store_key {
+        if !batch.cancelled {
+            let mut payload = response.clone();
+            protocol::strip_timing(&mut payload);
+            if let Json::Obj(map) = &mut payload {
+                map.remove("id");
+            }
+            // Best effort: a full disk degrades the store to a cache,
+            // not the solve to an error.
+            let _ = store.append(key, &payload.compact());
         }
     }
     response
@@ -1116,6 +1211,67 @@ mod tests {
         assert_eq!(pong.get("id").unwrap().as_usize().unwrap(), 7);
         assert!(pong.get("pong").unwrap().as_bool().unwrap());
         handle.stop();
+    }
+
+    #[test]
+    fn store_serves_disk_hits_byte_identical_and_survives_restart() {
+        let path =
+            std::env::temp_dir().join(format!("cnash_server_store_{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let config = || ServiceConfig {
+            store_path: Some(path.to_string_lossy().into_owned()),
+            ..ServiceConfig::default()
+        };
+        // Deterministic payload comparison: everything but the request
+        // id, the provenance flag and the timing fields.
+        let normalise = |line: &str| {
+            let mut doc = Json::parse(line).unwrap();
+            protocol::strip_timing(&mut doc);
+            if let Json::Obj(map) = &mut doc {
+                map.remove("id");
+                map.remove("cache");
+            }
+            doc.compact()
+        };
+
+        let handle = serve(config()).unwrap();
+        let addr = handle.addr();
+        // Separate connections so the repeat request cannot race the
+        // cold solve across shards.
+        let cold = send_lines(addr, &[SOLVE_BOS]);
+        let warm = send_lines(addr, &[SOLVE_BOS, r#"{"op":"stats","id":9}"#]);
+        let cold_doc = Json::parse(&cold[0]).unwrap();
+        assert!(cold_doc.get("ok").unwrap().as_bool().unwrap());
+        assert!(
+            cold_doc.opt("cache").is_none(),
+            "cold solve has no provenance flag"
+        );
+        let warm_doc = Json::parse(&warm[0]).unwrap();
+        assert_eq!(warm_doc.get("cache").unwrap().as_str().unwrap(), "disk");
+        assert_eq!(
+            warm_doc.get("program_ms").unwrap().as_f64().unwrap(),
+            0.0,
+            "disk hits program nothing"
+        );
+        assert_eq!(normalise(&cold[0]), normalise(&warm[0]));
+        // The stats response gains a store block only on the store path.
+        let stats = Json::parse(&warm[1]).unwrap();
+        let store_stats = stats.get("store").unwrap();
+        assert_eq!(store_stats.get("hits").unwrap().as_u64().unwrap(), 1);
+        assert_eq!(store_stats.get("records").unwrap().as_u64().unwrap(), 1);
+        assert_eq!(handle.store().unwrap().len(), 1);
+        handle.stop();
+
+        // A fresh daemon on the same log warm-boots: the first request
+        // of its life is already a disk hit.
+        let handle = serve(config()).unwrap();
+        assert_eq!(handle.store().unwrap().open_report().records, 1);
+        let reborn = send_lines(handle.addr(), &[SOLVE_BOS]);
+        let doc = Json::parse(&reborn[0]).unwrap();
+        assert_eq!(doc.get("cache").unwrap().as_str().unwrap(), "disk");
+        assert_eq!(normalise(&cold[0]), normalise(&reborn[0]));
+        handle.stop();
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

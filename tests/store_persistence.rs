@@ -1,0 +1,134 @@
+//! End-to-end lifecycle of the persistent solution store, driven the
+//! way CI's `store-smoke` job drives the real binaries: solve against a
+//! `--store` daemon, replay from disk, survive a daemon restart — and a
+//! torn tail write — with byte-identical answers.
+//!
+//! The identity checks go through `cnash_bench::client::normalise_response`
+//! (the golden-file normaliser), pinning the contract the golden jobs
+//! rely on: a disk hit normalises to exactly what the cold solve
+//! normalised to, and a store-less daemon's responses are unchanged by
+//! the store feature existing.
+
+use cnash_bench::client::{normalise_response, ServiceConn};
+use cnash_runtime::Json;
+use cnash_service::{serve, ServiceConfig, SolutionStore};
+use std::path::PathBuf;
+
+fn temp_store(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "cnash-store-persistence-{tag}-{}.log",
+        std::process::id()
+    ))
+}
+
+fn store_config(path: &std::path::Path) -> ServiceConfig {
+    ServiceConfig {
+        shards: 2,
+        store_path: Some(path.to_string_lossy().into_owned()),
+        ..ServiceConfig::default()
+    }
+}
+
+const SOLVE: &str = r#"{"op":"solve","id":1,"job":{"game":{"builtin":"matching_pennies"},"solver":{"type":"cnash","preset":"paper","intervals":12,"iterations":400,"hardware_seed":7},"runs":2,"base_seed":11},"ground_truth":"enumerate"}"#;
+
+fn round_trip(conn: &mut ServiceConn, line: &str) -> Json {
+    let response = conn.round_trip(line).expect("response");
+    Json::parse(&response).expect("parseable response")
+}
+
+fn provenance(doc: &Json) -> Option<String> {
+    doc.get("cache")
+        .and_then(Json::as_str)
+        .map(String::from)
+        .ok()
+}
+
+#[test]
+fn disk_hits_are_byte_identical_across_restart_and_torn_writes() {
+    let path = temp_store("lifecycle");
+    let _ = std::fs::remove_file(&path);
+
+    // Daemon A: a cold solve populates the store; the identical request
+    // comes back from disk, byte-identical modulo provenance.
+    let handle = serve(store_config(&path)).expect("daemon A");
+    let mut conn = ServiceConn::connect(handle.addr()).expect("connect");
+    let cold = round_trip(&mut conn, SOLVE);
+    assert!(cold.get("ok").unwrap().as_bool().unwrap());
+    assert_eq!(provenance(&cold), None, "first solve cannot be a disk hit");
+    let cold_norm = normalise_response(&cold.compact());
+
+    let hit = round_trip(&mut conn, SOLVE);
+    assert_eq!(provenance(&hit).as_deref(), Some("disk"));
+    assert_eq!(
+        hit.get("program_ms").unwrap().as_f64().unwrap(),
+        0.0,
+        "a disk hit programs nothing"
+    );
+    assert_eq!(normalise_response(&hit.compact()), cold_norm);
+
+    // The stats response grows a store block (absent without --store —
+    // that side is pinned by the service golden files).
+    let stats = round_trip(&mut conn, r#"{"op":"stats","id":2}"#);
+    let store_stats = stats.get("store").expect("stats has store block");
+    assert_eq!(store_stats.get("hits").unwrap().as_u64().unwrap(), 1);
+    assert_eq!(store_stats.get("records").unwrap().as_u64().unwrap(), 1);
+    let _ = conn.round_trip(r#"{"op":"shutdown"}"#);
+    handle.join();
+
+    // Torn write: a crash mid-append leaves a partial record at the
+    // tail. The next boot must absorb it, not refuse to start.
+    {
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .expect("append garbage");
+        file.write_all(&[0xDE, 0xAD, 0xBE]).expect("torn tail");
+    }
+
+    // Daemon B, same path: warm boot recovers the record and serves the
+    // same bytes from disk on the very first request.
+    let handle = serve(store_config(&path)).expect("daemon B");
+    let report = handle.store().expect("store configured").open_report();
+    assert_eq!(report.records, 1, "warm boot kept the record");
+    assert_eq!(report.truncated_tail_bytes, 3, "torn tail was measured");
+    assert!(report.compacted, "recovery compacted the log");
+    let mut conn = ServiceConn::connect(handle.addr()).expect("connect B");
+    let warm = round_trip(&mut conn, SOLVE);
+    assert_eq!(provenance(&warm).as_deref(), Some("disk"));
+    assert_eq!(normalise_response(&warm.compact()), cold_norm);
+    let _ = conn.round_trip(r#"{"op":"shutdown"}"#);
+    handle.join();
+
+    // Recovery rewrote a clean log: fsck agrees.
+    let fsck = SolutionStore::fsck(&path).expect("fsck");
+    assert!(fsck.ok(), "recovered log is clean: {fsck:?}");
+    assert_eq!(fsck.records, 1);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn distinct_jobs_get_distinct_records() {
+    let path = temp_store("keys");
+    let _ = std::fs::remove_file(&path);
+    let handle = serve(store_config(&path)).expect("daemon");
+    let mut conn = ServiceConn::connect(handle.addr()).expect("connect");
+
+    // Same game, different base seed → different record; both then
+    // replay from disk independently.
+    let a = SOLVE;
+    let b = &SOLVE.replace(r#""base_seed":11"#, r#""base_seed":12"#);
+    assert_eq!(provenance(&round_trip(&mut conn, a)), None);
+    assert_eq!(
+        provenance(&round_trip(&mut conn, b)),
+        None,
+        "new seed, new solve"
+    );
+    let norm_a = normalise_response(&round_trip(&mut conn, a).compact());
+    let norm_b = normalise_response(&round_trip(&mut conn, b).compact());
+    assert_ne!(norm_a, norm_b, "different seeds produce different reports");
+    assert_eq!(handle.store().unwrap().len(), 2);
+    let _ = conn.round_trip(r#"{"op":"shutdown"}"#);
+    handle.join();
+    let _ = std::fs::remove_file(&path);
+}
