@@ -8,10 +8,14 @@
 //! (`cnash_bench::diffcheck`) on the `cnash-runtime` worker pool
 //! (`--threads`, 0 = all cores; results are folded in grid order, so
 //! the summary and any counterexample are bit-identical at any thread
-//! count): per point it cross-checks the two exact oracles against
-//! each other, then runs every solver in the suite and
-//! certificate-verifies each claimed equilibrium, matching
-//! continuum (unlisted-valid) hits structurally by support-pair class.
+//! count): per point it cross-checks the two float oracles against
+//! each other **and against the exact-rational trust anchor**
+//! (`cnash_game::exact_enum` over `cnash-exact` big-int fractions),
+//! then runs every solver in the suite and certificate-verifies each
+//! claimed equilibrium, matching continuum (unlisted-valid) hits
+//! structurally by support-pair class — including the exact oracle's
+//! simplex vertex representatives of exactly-singular support pairs,
+//! which drive the summary's `unclassified` count to zero.
 //! `--quick` is the PR-time grid; the nightly CI job runs the full
 //! grid with a date-derived `--seed`.
 //!
@@ -57,6 +61,22 @@ fn print_help() {
     println!("Differential oracle fuzzing over the family x size x seed grid.");
     println!();
     print!("{}", usage_lines(Some(SUPPORTED)));
+    println!();
+    println!("mismatch classes (failure_class in the summary):");
+    println!("  false_equilibrium          a solver claimed a hit the certificate");
+    println!("                             rejects [witness: float]");
+    println!("  oracle_disagreement        the float oracles disagree (Lemke-Howson");
+    println!("                             vs support enumeration) [witness: float]");
+    println!("  exact_oracle_disagreement  the exact-rational trust anchor refuted a");
+    println!("                             float-oracle result; the detail records");
+    println!("                             the witnessing oracle ([witness: float] =");
+    println!("                             a float equilibrium whose exact regret");
+    println!("                             exceeds the claiming tolerance,");
+    println!("                             [witness: exact] = an exactly-certified");
+    println!("                             equilibrium failing float verification)");
+    println!();
+    println!("minimized counterexamples carry the witness marker in their job label,");
+    println!("so a replayed artifact states which oracle observed the failure.");
     println!();
     println!("exit codes:");
     println!("  0  every claim verified (replay mode: the counterexample no");

@@ -1,8 +1,10 @@
 //! Differential oracle fuzzing: structured game families vs exact
 //! oracles vs hardware solvers.
 //!
-//! The repository has two exact Nash oracles that share no code
-//! (`cnash_game::support_enum`, `cnash_game::lemke_howson`), an
+//! The repository has two float Nash oracles that share no code
+//! (`cnash_game::support_enum`, `cnash_game::lemke_howson`), one
+//! exact-arithmetic **trust anchor** (`cnash_game::exact_enum`, built
+//! on the dependency-free `cnash-exact` rational stack), an
 //! independent verification layer (`cnash_core::certificate`), and two
 //! hardware solver stacks (C-Nash crossbar, S-QUBO/D-Wave). This module
 //! drives all of them against each other over a *family × size × seed*
@@ -13,7 +15,23 @@
 //!    must find at least one equilibrium (Nash's theorem), and every
 //!    Lemke–Howson solution must certificate-verify *and* appear in the
 //!    enumerated set.
-//! 2. **Solver soundness** — every solver run that *claims* a hit
+//! 2. **Exact-oracle cross-check** — the exact enumerator re-walks the
+//!    same support pairs in big-int rational arithmetic. Every
+//!    float-enumerated equilibrium must either match an exact one
+//!    (profile distance or support-class containment), or — if it is a
+//!    borderline ε-point — survive exact-substitution scrutiny: its
+//!    **exact** regret must stay within the claiming tolerance. A
+//!    float equilibrium the exact arithmetic refutes is an
+//!    `exact_oracle_disagreement`, as is an exactly-certified
+//!    equilibrium that fails float verification. The direction of
+//!    every check is fixed: float oracles are judged against the exact
+//!    one, never the reverse. Exact support classes (including the
+//!    simplex vertex representatives of exactly-singular support
+//!    pairs, which the float enumerator must drop) are merged into the
+//!    continuum representatives, so hits on continua the float oracle
+//!    cannot characterise classify instead of landing in
+//!    `unlisted_unclassified_hits`.
+//! 3. **Solver soundness** — every solver run that *claims* a hit
 //!    (`RunOutcome::is_equilibrium`) is re-verified through an
 //!    independently computed [`Certificate`]. A claim the certificate
 //!    rejects is a **false equilibrium** — the one mismatch class that
@@ -49,10 +67,12 @@
 
 use cnash_core::certificate::Certificate;
 use cnash_core::NashSolver;
+use cnash_exact::Rat;
 use cnash_game::canonical::Hasher64;
 use cnash_game::equilibrium::continuum_representatives;
+use cnash_game::exact_enum::{enumerate_exact, exact_profile_regret};
 use cnash_game::lemke_howson::lemke_howson_all_labels;
-use cnash_game::support_enum::enumerate_equilibria;
+use cnash_game::support_enum::{enumerate_equilibria, MAX_ENUM_ACTIONS};
 use cnash_game::{BimatrixGame, Equilibrium, Game, Matrix, MixedStrategy, Profile, SupportClass};
 use cnash_runtime::pool::fan_out_ordered;
 use cnash_runtime::spec::{BatchSpec, ConfigSpec, GameSpec, JobSpec, SolverSpec};
@@ -196,6 +216,12 @@ pub struct DiffCounters {
     pub oracle_equilibria: usize,
     /// Lemke–Howson solutions cross-checked against enumeration.
     pub lh_cross_checked: usize,
+    /// Grid points where the exact-rational oracle ran its cross-check
+    /// (every point whose game fits the enumeration bound).
+    pub exact_points: usize,
+    /// Float-oracle results the exact arithmetic refuted (each one also
+    /// stops the sweep with an `exact_oracle_disagreement` failure).
+    pub exact_disagreements: usize,
     /// Solver runs executed.
     pub solver_runs: usize,
     /// Runs claiming an equilibrium hit.
@@ -228,6 +254,8 @@ impl DiffCounters {
             points,
             oracle_equilibria,
             lh_cross_checked,
+            exact_points,
+            exact_disagreements,
             solver_runs,
             claimed_hits,
             verified_hits,
@@ -239,6 +267,8 @@ impl DiffCounters {
         self.points += points;
         self.oracle_equilibria += oracle_equilibria;
         self.lh_cross_checked += lh_cross_checked;
+        self.exact_points += exact_points;
+        self.exact_disagreements += exact_disagreements;
         self.solver_runs += solver_runs;
         self.claimed_hits += claimed_hits;
         self.verified_hits += verified_hits;
@@ -254,9 +284,16 @@ impl DiffCounters {
 pub enum FailureClass {
     /// A solver claimed a hit the certificate rejects.
     FalseEquilibrium,
-    /// The exact oracles disagree with each other (or enumeration found
+    /// The float oracles disagree with each other (or enumeration found
     /// no equilibrium at all).
     OracleDisagreement,
+    /// The exact-rational trust anchor refuted a float-oracle result:
+    /// either a float-enumerated equilibrium whose exact regret exceeds
+    /// the claiming tolerance, or an exactly-certified equilibrium that
+    /// fails float verification. The failure detail records which
+    /// oracle witnessed the refutation (`[witness: float]` /
+    /// `[witness: exact]`).
+    ExactOracleDisagreement,
 }
 
 impl FailureClass {
@@ -265,6 +302,7 @@ impl FailureClass {
         match self {
             FailureClass::FalseEquilibrium => "false_equilibrium",
             FailureClass::OracleDisagreement => "oracle_disagreement",
+            FailureClass::ExactOracleDisagreement => "exact_oracle_disagreement",
         }
     }
 }
@@ -320,6 +358,8 @@ pub fn summary_json(outcome: &DiffOutcome) -> Json {
         ("points".to_string(), n(c.points)),
         ("oracle_equilibria".to_string(), n(c.oracle_equilibria)),
         ("lh_cross_checked".to_string(), n(c.lh_cross_checked)),
+        ("exact_points".to_string(), n(c.exact_points)),
+        ("exact_disagreements".to_string(), n(c.exact_disagreements)),
         ("solver_runs".to_string(), n(c.solver_runs)),
         ("claimed_hits".to_string(), n(c.claimed_hits)),
         ("verified_hits".to_string(), n(c.verified_hits)),
@@ -332,6 +372,10 @@ pub fn summary_json(outcome: &DiffOutcome) -> Json {
             "unlisted_unclassified_hits".to_string(),
             n(c.unlisted_unclassified_hits),
         ),
+        // Gate alias: the headline count CI and the nightly full grid
+        // drive to zero now that exact support classes absorb the
+        // continua the float oracle cannot characterise.
+        ("unclassified".to_string(), n(c.unlisted_unclassified_hits)),
         (
             "continuum_classes".to_string(),
             Json::Obj(
@@ -688,14 +732,18 @@ fn check_oracles(
         return Err(Failure {
             class: FailureClass::OracleDisagreement,
             detail: format!(
-                "{}: support enumeration found no equilibrium (Nash's theorem guarantees one)",
+                "{}: support enumeration found no equilibrium (Nash's theorem \
+                 guarantees one) [witness: float]",
                 game.name()
             ),
             counterexample: counterexample(
                 game,
                 &oracle_placeholder_solver(),
                 0,
-                format!("diffcheck oracle_disagreement: {}", game.name()),
+                format!(
+                    "diffcheck oracle_disagreement: {} [witness: float]",
+                    game.name()
+                ),
             ),
         });
     }
@@ -719,7 +767,7 @@ fn check_oracles(
             return Err(Failure {
                 class: FailureClass::OracleDisagreement,
                 detail: format!(
-                    "{}: Lemke–Howson solution {eq} {}",
+                    "{}: Lemke–Howson solution {eq} {} [witness: float]",
                     game.name(),
                     if cert_ok {
                         "is missing from the enumerated equilibrium set"
@@ -731,12 +779,127 @@ fn check_oracles(
                     &game_min,
                     &oracle_placeholder_solver(),
                     0,
-                    format!("diffcheck oracle_disagreement: {}", game.name()),
+                    format!(
+                        "diffcheck oracle_disagreement: {} [witness: float]",
+                        game.name()
+                    ),
                 ),
             });
         }
     }
     Ok(truth)
+}
+
+/// One direction-of-trust cross-check of the float truth against the
+/// exact-rational oracle. `Ok` carries the exact equilibria's
+/// support-pair classes (for merging into the continuum
+/// representatives); `Err` carries `(detail, witness)` where the
+/// witness names the oracle whose result the refutation rests on.
+///
+/// Trust flows one way: every exactly-certified equilibrium must pass
+/// float verification (witness `exact` if not — the float pipeline is
+/// broken), and every float-enumerated equilibrium must either match
+/// the exact set (profile distance, or containment in an exact class)
+/// or — as a borderline ε-point — survive exact substitution with a
+/// regret inside the claiming tolerance (witness `float` if not — the
+/// float oracle listed a non-equilibrium).
+fn exact_cross_check(
+    game: &BimatrixGame,
+    truth: &[Equilibrium],
+) -> Result<Vec<SupportClass>, (String, &'static str)> {
+    let exact = enumerate_exact(game);
+    let mut converted = Vec::with_capacity(exact.len());
+    for ee in &exact {
+        let eq = ee
+            .to_equilibrium(game)
+            .map_err(|e| (format!("exact profile does not fit the game: {e}"), "exact"))?;
+        if !game.is_equilibrium(&eq.row, &eq.col, CLAIM_TOL) {
+            return Err((
+                format!(
+                    "exactly-certified equilibrium {eq} fails float verification at {CLAIM_TOL:.0e}"
+                ),
+                "exact",
+            ));
+        }
+        converted.push(eq);
+    }
+    let classes = continuum_representatives(game, &converted, CLASS_TOL)
+        .map_err(|e| (format!("exact continuum representatives: {e}"), "exact"))?;
+    let bound = Rat::from_f64(CLAIM_TOL).expect("tolerance is finite");
+    for t in truth {
+        let matched = converted.iter().any(|e| t.same_profile(e, MATCH_TOL))
+            || classes
+                .iter()
+                .any(|c| c.contains_profile(&t.row, &t.col, SUPPORT_TOL));
+        if matched {
+            continue;
+        }
+        let regret = exact_profile_regret(game, &t.row, &t.col);
+        if regret > bound {
+            return Err((
+                format!(
+                    "float-enumerated equilibrium {t} refuted by exact substitution \
+                     (exact regret ~{:.3e} > {CLAIM_TOL:.0e})",
+                    regret.to_f64()
+                ),
+                "float",
+            ));
+        }
+    }
+    Ok(classes)
+}
+
+/// Runs the exact-oracle cross-check on one grid point (skipped — with
+/// no `exact_points` tick — only when the game exceeds the enumeration
+/// bound). On disagreement the game is minimized against the
+/// cross-check predicate and packaged as a replayable counterexample
+/// whose label and detail record the witnessing oracle.
+fn check_exact_oracle(
+    game: &BimatrixGame,
+    truth: &[Equilibrium],
+    counters: &mut DiffCounters,
+) -> Result<Vec<SupportClass>, Failure> {
+    if game.row_actions() > MAX_ENUM_ACTIONS || game.col_actions() > MAX_ENUM_ACTIONS {
+        return Ok(Vec::new());
+    }
+    counters.exact_points += 1;
+    match exact_cross_check(game, truth) {
+        Ok(classes) => Ok(classes),
+        Err((why, witness)) => {
+            counters.exact_disagreements += 1;
+            let game_min = minimize(game, |g| {
+                g.row_actions() <= MAX_ENUM_ACTIONS
+                    && g.col_actions() <= MAX_ENUM_ACTIONS
+                    && exact_cross_check(g, &enumerate_equilibria(g, 1e-9)).is_err()
+            });
+            Err(Failure {
+                class: FailureClass::ExactOracleDisagreement,
+                detail: format!("{}: {why} [witness: {witness}]", game.name()),
+                counterexample: counterexample(
+                    &game_min,
+                    &oracle_placeholder_solver(),
+                    0,
+                    format!(
+                        "diffcheck exact_oracle_disagreement: {} [witness: {witness}]",
+                        game.name()
+                    ),
+                ),
+            })
+        }
+    }
+}
+
+/// Merges additional support-pair classes into the continuum
+/// representatives, deduplicating and restoring sorted order (so the
+/// per-point result stays bit-reproducible whatever oracle contributed
+/// which class).
+fn merge_classes(reps: &mut Vec<SupportClass>, extra: Vec<SupportClass>) {
+    for class in extra {
+        if !reps.contains(&class) {
+            reps.push(class);
+        }
+    }
+    reps.sort();
 }
 
 /// Classifies a certificate-valid hit absent from the enumerated set
@@ -806,14 +969,14 @@ fn check_run(
     if let Some(why) = claim_rejected(game, &p, &q) {
         let game_min = minimize(game, |g| reproduces(g, solver_spec, seed, corrupt));
         let label = format!(
-            "diffcheck false_equilibrium: {} via {} seed {seed}",
+            "diffcheck false_equilibrium: {} via {} seed {seed} [witness: float]",
             game.name(),
             solver_spec.label()
         );
         return Some(Failure {
             class: FailureClass::FalseEquilibrium,
             detail: format!(
-                "{} via {} (run seed {seed}): {why}",
+                "{} via {} (run seed {seed}): {why} [witness: float]",
                 game.name(),
                 solver_spec.label()
             ),
@@ -861,9 +1024,16 @@ fn check_point(
             return Ok(out);
         }
     };
-    let reps = continuum_representatives(&game, &truth, CLASS_TOL).map_err(|e| SpecError {
+    let mut reps = continuum_representatives(&game, &truth, CLASS_TOL).map_err(|e| SpecError {
         message: format!("continuum representatives: {e}"),
     })?;
+    match check_exact_oracle(&game, &truth, &mut out.counters) {
+        Ok(exact_classes) => merge_classes(&mut reps, exact_classes),
+        Err(failure) => {
+            out.failure = Some(failure);
+            return Ok(out);
+        }
+    }
     for solver_spec in solvers {
         let solver = build_solver(solver_spec, &game, opts.corrupt)?;
         let base = run_seed_base(opts.base_seed, &game, solver_spec);
@@ -997,9 +1167,24 @@ pub fn replay(spec: &BatchSpec, corrupt: bool) -> Result<DiffOutcome, SpecError>
                 });
             }
         };
-        let reps = continuum_representatives(&game, &truth, CLASS_TOL).map_err(|e| SpecError {
-            message: format!("continuum representatives: {e}"),
-        })?;
+        let mut reps =
+            continuum_representatives(&game, &truth, CLASS_TOL).map_err(|e| SpecError {
+                message: format!("continuum representatives: {e}"),
+            })?;
+        match check_exact_oracle(&game, &truth, &mut counters) {
+            Ok(exact_classes) => merge_classes(&mut reps, exact_classes),
+            Err(failure) => {
+                timing.record(u64::try_from(job_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                return Ok(DiffOutcome {
+                    counters,
+                    continuum_classes: classes,
+                    failure: Some(failure),
+                    cfr_points,
+                    cfr_exploitability_max,
+                    point_timing: timing.snapshot(),
+                });
+            }
+        }
         let solver = build_solver(&job.solver, &game, corrupt)?;
         let mut cfr_best = None;
         for k in 0..job.runs {
@@ -1263,6 +1448,26 @@ mod tests {
             threads: 1,
         };
         let serial = run_grid(&points, &solvers, &base).unwrap();
+        // The exact-oracle column rides in the same summary: it ran on
+        // every point, refuted nothing, and absorbed every continuum
+        // hit (`unclassified` is the gate alias CI greps for).
+        let serial_doc = summary_json(&serial);
+        assert_eq!(
+            serial_doc.get("exact_points").unwrap().as_usize().unwrap(),
+            points.len()
+        );
+        assert_eq!(
+            serial_doc
+                .get("exact_disagreements")
+                .unwrap()
+                .as_usize()
+                .unwrap(),
+            0
+        );
+        assert_eq!(
+            serial_doc.get("unclassified").unwrap().as_usize().unwrap(),
+            serial.counters.unlisted_unclassified_hits
+        );
         // Wall-clock timing keys can never be byte-stable; everything
         // else must be. Strip them exactly the way CI does.
         let stripped = |outcome: &DiffOutcome| {
@@ -1421,6 +1626,70 @@ mod tests {
                 .all(|k| !k.starts_with('?')),
             "{:?}",
             outcome.continuum_classes
+        );
+    }
+
+    #[test]
+    fn exact_classes_absorb_continua_at_sizes_that_used_to_unclassify() {
+        // Sizes >= 4 of the degenerate family are where the float
+        // enumerator's singular indifference systems used to leave
+        // `?`-labelled unclassified hits. With the exact oracle's
+        // vertex representatives merged into the continuum classes,
+        // every unlisted hit must classify.
+        let mut points = Vec::new();
+        for size in [4, 5] {
+            for seed in 0..3 {
+                points.push(GameSpec::Family {
+                    family: "degenerate".into(),
+                    size,
+                    rows: None,
+                    cols: None,
+                    scale: None,
+                    knob: None,
+                    seed,
+                });
+            }
+        }
+        let opts = DiffOptions {
+            quick: true,
+            base_seed: 0,
+            runs: 4,
+            corrupt: false,
+            threads: 0,
+        };
+        let outcome = run_grid(&points, &solver_suite(&opts), &opts).unwrap();
+        assert!(outcome.failure.is_none(), "{:?}", outcome.failure);
+        let c = outcome.counters;
+        assert_eq!(c.exact_points, points.len());
+        assert_eq!(c.exact_disagreements, 0);
+        assert_eq!(
+            c.unlisted_unclassified_hits, 0,
+            "exact representatives must absorb every continuum hit: {:?}",
+            outcome.continuum_classes
+        );
+    }
+
+    #[test]
+    fn exact_cross_check_refutes_a_fabricated_truth() {
+        // Cooperate/cooperate in the prisoner's dilemma is not an
+        // equilibrium; selling it as float truth must be refuted by
+        // exact substitution, witnessed by the float oracle.
+        let g = cnash_game::games::prisoners_dilemma();
+        let bogus = Equilibrium::from_profile(
+            &g,
+            MixedStrategy::pure(2, 0).unwrap(),
+            MixedStrategy::pure(2, 0).unwrap(),
+        );
+        let err = exact_cross_check(&g, &[bogus]).expect_err("must refute");
+        assert_eq!(err.1, "float");
+        assert!(err.0.contains("exact regret"), "{}", err.0);
+        // The genuine truth passes and returns the exact classes.
+        let truth = enumerate_equilibria(&g, 1e-9);
+        let classes = exact_cross_check(&g, &truth).unwrap();
+        assert!(!classes.is_empty());
+        assert_eq!(
+            FailureClass::ExactOracleDisagreement.name(),
+            "exact_oracle_disagreement"
         );
     }
 

@@ -1,0 +1,37 @@
+//! Exact rational arithmetic and an exact-rational simplex.
+//!
+//! This crate is the numerical trust anchor of the workspace: every
+//! other layer computes in `f64` and is checked *against* the exact
+//! arithmetic here, never the other way around. It is deliberately
+//! dependency-free (not even `rand`) so its verdicts share no code —
+//! and no rounding behaviour — with the float pipeline it certifies.
+//!
+//! Three layers, each textbook-simple on purpose:
+//!
+//! * [`BigInt`] — sign-magnitude arbitrary-precision integers on
+//!   `u32` limbs (`u64` intermediates), with schoolbook arithmetic,
+//!   long division and Euclidean gcd;
+//! * [`Rat`] — normalized big-int fractions (`den > 0`,
+//!   `gcd(num, den) = 1`) forming an ordered field, with exact
+//!   conversion from any finite `f64` (every finite float *is* a
+//!   dyadic rational) and round-trippable decimal parsing/printing;
+//! * [`simplex`] — a two-phase primal simplex over [`Rat`] using
+//!   Bland's rule (no cycling, hence guaranteed termination), exposing
+//!   LP feasibility and a basic-feasible-solution **vertex** of the
+//!   feasible region, plus [`linalg`] — exact Gaussian elimination
+//!   with rank detection for square systems.
+//!
+//! The intended consumer is exact support enumeration
+//! (`cnash_game::exact_enum`): indifference systems that are singular
+//! in `f64` — the source of every `?`-labelled unclassified continuum
+//! hit in the differential harness — are decided here exactly, with a
+//! vertex representative of the feasible region as the witness.
+
+pub mod bigint;
+pub mod linalg;
+pub mod rat;
+pub mod simplex;
+
+pub use bigint::BigInt;
+pub use rat::Rat;
+pub use simplex::{feasible_point, Constraint, LinearProgram, LpOutcome, Relation};

@@ -1,0 +1,111 @@
+//! Exact Gaussian elimination over [`Rat`].
+
+use crate::rat::Rat;
+
+/// Outcome of solving a square linear system exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinSolve {
+    /// The system has exactly one solution.
+    Unique(Vec<Rat>),
+    /// The coefficient matrix is rank-deficient: the system has either
+    /// no solution or an affine subspace of them. Exact enumeration
+    /// hands these to the simplex, which decides feasibility and
+    /// produces a vertex witness.
+    Singular,
+}
+
+/// Solves the square system `a · x = b` by fraction-exact
+/// Gauss–Jordan elimination with full row pivoting on the first
+/// nonzero entry — no tolerance anywhere: a pivot is zero iff it is
+/// *exactly* zero, which is precisely the singularity test `f64`
+/// elimination cannot perform.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `b` has the wrong length.
+pub fn solve(a: &[Vec<Rat>], b: &[Rat]) -> LinSolve {
+    let n = a.len();
+    assert!(a.iter().all(|row| row.len() == n), "matrix must be square");
+    assert_eq!(b.len(), n, "rhs length must match");
+    // Augmented matrix [a | b].
+    let mut m: Vec<Vec<Rat>> = a
+        .iter()
+        .zip(b)
+        .map(|(row, rhs)| {
+            let mut r = row.clone();
+            r.push(rhs.clone());
+            r
+        })
+        .collect();
+    for col in 0..n {
+        let Some(pivot) = (col..n).find(|&r| !m[r][col].is_zero()) else {
+            return LinSolve::Singular;
+        };
+        m.swap(col, pivot);
+        let inv = m[col][col].recip();
+        for x in &mut m[col][col..] {
+            *x = &*x * &inv;
+        }
+        for r in 0..n {
+            if r != col && !m[r][col].is_zero() {
+                let factor = m[r][col].clone();
+                let pivot_row = m[col][col..=n].to_vec();
+                for (x, p) in m[r][col..=n].iter_mut().zip(&pivot_row) {
+                    *x = &*x - &(&factor * p);
+                }
+            }
+        }
+    }
+    LinSolve::Unique(m.into_iter().map(|row| row[n].clone()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(a: i64, b: i64) -> Rat {
+        Rat::from_ratio(a, b)
+    }
+
+    #[test]
+    fn solves_a_unique_system() {
+        // 2x + y = 5, x - y = 1  =>  x = 2, y = 1
+        let a = vec![vec![r(2, 1), r(1, 1)], vec![r(1, 1), r(-1, 1)]];
+        let b = vec![r(5, 1), r(1, 1)];
+        assert_eq!(solve(&a, &b), LinSolve::Unique(vec![r(2, 1), r(1, 1)]));
+    }
+
+    #[test]
+    fn exact_fractions_no_drift() {
+        // Hilbert-like 3x3: catastrophically ill-conditioned in f64,
+        // trivially exact here.
+        let a: Vec<Vec<Rat>> = (1..=3)
+            .map(|i| (1..=3).map(|j| r(1, i + j - 1)).collect())
+            .collect();
+        let b = vec![r(1, 1), r(0, 1), r(0, 1)];
+        let LinSolve::Unique(x) = solve(&a, &b) else {
+            panic!("hilbert 3x3 is nonsingular");
+        };
+        // Residual must be exactly zero in every coordinate.
+        for (i, row) in a.iter().enumerate() {
+            let acc = row
+                .iter()
+                .zip(&x)
+                .fold(Rat::zero(), |acc, (c, v)| &acc + &(c * v));
+            assert_eq!(acc, b[i], "row {i} residual nonzero");
+        }
+    }
+
+    #[test]
+    fn detects_exact_singularity() {
+        // Second row is 2x the first: singular regardless of rhs.
+        let a = vec![vec![r(1, 1), r(2, 1)], vec![r(2, 1), r(4, 1)]];
+        assert_eq!(solve(&a, &[r(1, 1), r(2, 1)]), LinSolve::Singular);
+        assert_eq!(solve(&a, &[r(1, 1), r(3, 1)]), LinSolve::Singular);
+    }
+
+    #[test]
+    fn empty_system_is_unique() {
+        assert_eq!(solve(&[], &[]), LinSolve::Unique(vec![]));
+    }
+}

@@ -1,0 +1,387 @@
+//! Normalized big-int fractions forming an ordered field.
+
+use crate::bigint::BigInt;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+use std::str::FromStr;
+
+/// An exact rational number.
+///
+/// Canonical-form invariants, restored by every constructor and
+/// operation: the denominator is strictly positive, numerator and
+/// denominator are coprime, and zero is `0/1` — so structural equality
+/// is numeric equality and the canonical representation is unique.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl Rat {
+    /// Zero (`0/1`).
+    pub fn zero() -> Self {
+        Self {
+            num: BigInt::zero(),
+            den: BigInt::one(),
+        }
+    }
+
+    /// One (`1/1`).
+    pub fn one() -> Self {
+        Self {
+            num: BigInt::one(),
+            den: BigInt::one(),
+        }
+    }
+
+    /// `num / den` in canonical form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn new(num: BigInt, den: BigInt) -> Self {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        let (num, den) = if den.is_negative() {
+            (-num, -den)
+        } else {
+            (num, den)
+        };
+        let g = num.gcd(&den);
+        if g.is_zero() {
+            return Self::zero();
+        }
+        let (num, _) = num.div_rem(&g);
+        let (den, _) = den.div_rem(&g);
+        Self { num, den }
+    }
+
+    /// The exact integer `v`.
+    pub fn from_int(v: i64) -> Self {
+        Self {
+            num: BigInt::from(v),
+            den: BigInt::one(),
+        }
+    }
+
+    /// `a / b` as a rational.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is zero.
+    pub fn from_ratio(a: i64, b: i64) -> Self {
+        Self::new(BigInt::from(a), BigInt::from(b))
+    }
+
+    /// The **exact** value of a finite `f64` — every finite float is a
+    /// dyadic rational `m · 2^e`, so no rounding is involved: the
+    /// conversion satisfies `Rat::from_f64(x).unwrap().to_f64() == x`.
+    /// Returns `None` for NaN and infinities.
+    pub fn from_f64(x: f64) -> Option<Self> {
+        if !x.is_finite() {
+            return None;
+        }
+        let bits = x.to_bits();
+        let neg = bits >> 63 == 1;
+        let exp_field = (bits >> 52 & 0x7ff) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        // Normal: (2^52 + frac) * 2^(exp-1075); subnormal: frac * 2^-1074.
+        let (mantissa, exp) = if exp_field == 0 {
+            (frac, -1074i64)
+        } else {
+            (frac | 1 << 52, exp_field - 1075)
+        };
+        let m = BigInt::from(mantissa);
+        let m = if neg { -m } else { m };
+        Some(if exp >= 0 {
+            Self {
+                num: m.shl(exp as usize),
+                den: BigInt::one(),
+            }
+        } else {
+            Self::new(m, BigInt::pow2((-exp) as usize))
+        })
+    }
+
+    /// Numerator (canonical form).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (canonical form, always positive).
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// `true` iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// `true` iff strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// `true` iff strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.signum() > 0
+    }
+
+    /// Sign as `-1`, `0` or `1`.
+    pub fn signum(&self) -> i32 {
+        self.num.signum()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Self {
+        Self {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    pub fn recip(&self) -> Self {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        let (num, den) = if self.num.is_negative() {
+            (-&self.den, -&self.num)
+        } else {
+            (self.den.clone(), self.num.clone())
+        };
+        Self { num, den }
+    }
+
+    /// Nearest `f64`. Exact whenever both numerator and denominator
+    /// convert exactly (in particular for all values round-tripped
+    /// through [`Rat::from_f64`] that still fit the format); very large
+    /// magnitudes scale through a power-of-two split to avoid `inf/inf`.
+    pub fn to_f64(&self) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        let nb = self.num.bits() as i32;
+        let db = self.den.bits() as i32;
+        if nb <= 900 && db <= 900 {
+            return self.num.to_f64() / self.den.to_f64();
+        }
+        // Shift both so the f64 conversions stay finite, then rescale.
+        let shift_n = (nb - 512).max(0) as usize;
+        let shift_d = (db - 512).max(0) as usize;
+        let (n, _) = self.num.div_rem(&BigInt::pow2(shift_n));
+        let (d, _) = self.den.div_rem(&BigInt::pow2(shift_d));
+        (n.to_f64() / d.to_f64()) * 2f64.powi(shift_n as i32 - shift_d as i32)
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    /// Total order by cross-multiplication (denominators are positive,
+    /// so the comparison direction is preserved).
+    fn cmp(&self, other: &Self) -> Ordering {
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl Neg for &Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat {
+            num: -&self.num,
+            den: self.den.clone(),
+        }
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        -&self
+    }
+}
+
+impl Add for &Rat {
+    type Output = Rat;
+    fn add(self, rhs: &Rat) -> Rat {
+        Rat::new(
+            &(&self.num * &rhs.den) + &(&rhs.num * &self.den),
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl Sub for &Rat {
+    type Output = Rat;
+    fn sub(self, rhs: &Rat) -> Rat {
+        self + &(-rhs)
+    }
+}
+
+impl Mul for &Rat {
+    type Output = Rat;
+    fn mul(self, rhs: &Rat) -> Rat {
+        Rat::new(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl Div for &Rat {
+    type Output = Rat;
+    fn div(self, rhs: &Rat) -> Rat {
+        // a/b ÷ c/d = ad / bc, with `Rat::new` renormalizing sign+gcd.
+        Rat::new(&self.num * &rhs.den, &self.den * &rhs.num)
+    }
+}
+
+macro_rules! owned_ops {
+    ($($trait:ident :: $method:ident),*) => {$(
+        impl $trait for Rat {
+            type Output = Rat;
+            fn $method(self, rhs: Rat) -> Rat {
+                $trait::$method(&self, &rhs)
+            }
+        }
+    )*};
+}
+owned_ops!(Add::add, Sub::sub, Mul::mul, Div::div);
+
+impl FromStr for Rat {
+    type Err = String;
+
+    /// Parses `"a"` or `"a/b"` with optionally signed decimal parts.
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.split_once('/') {
+            None => Ok(Self {
+                num: s.parse::<BigInt>()?,
+                den: BigInt::one(),
+            }),
+            Some((a, b)) => {
+                let den: BigInt = b.parse()?;
+                if den.is_zero() {
+                    return Err(format!("zero denominator in rational literal {s:?}"));
+                }
+                Ok(Self::new(a.parse()?, den))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rat {
+    /// Canonical form: `"a"` for integers, `"a/b"` otherwise — so
+    /// `Display` → `FromStr` is the identity.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == BigInt::one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rat({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(a: i64, b: i64) -> Rat {
+        Rat::from_ratio(a, b)
+    }
+
+    #[test]
+    fn canonical_form() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(0, -7), Rat::zero());
+        assert_eq!(r(6, 3).to_string(), "2");
+        assert_eq!(r(-10, 4).to_string(), "-5/2");
+    }
+
+    #[test]
+    fn field_arithmetic() {
+        assert_eq!(&r(1, 3) + &r(1, 6), r(1, 2));
+        assert_eq!(&r(1, 3) - &r(1, 2), r(-1, 6));
+        assert_eq!(&r(2, 3) * &r(9, 4), r(3, 2));
+        assert_eq!(&r(2, 3) / &r(4, 9), r(3, 2));
+        assert_eq!(r(-5, 7).recip(), r(-7, 5));
+        assert_eq!(&r(3, 4) + &(-&r(3, 4)), Rat::zero());
+    }
+
+    #[test]
+    fn ordering_crosses_denominators() {
+        let mut v = vec![r(1, 2), r(-3, 2), r(0, 1), r(2, 3), r(-1, 3)];
+        v.sort();
+        assert_eq!(v, vec![r(-3, 2), r(-1, 3), Rat::zero(), r(1, 2), r(2, 3)]);
+    }
+
+    #[test]
+    fn f64_round_trip_is_exact() {
+        for x in [
+            0.0,
+            -0.0,
+            1.0,
+            0.5,
+            -0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MIN_POSITIVE / 4.0, // subnormal
+            f64::MAX,
+            -123456.789,
+        ] {
+            let q = Rat::from_f64(x).unwrap();
+            assert_eq!(q.to_f64(), x, "round trip failed for {x}");
+        }
+        assert_eq!(Rat::from_f64(0.25).unwrap(), r(1, 4));
+        assert_eq!(Rat::from_f64(-3.0).unwrap(), r(-3, 1));
+        assert!(Rat::from_f64(f64::NAN).is_none());
+        assert!(Rat::from_f64(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn to_f64_handles_huge_components() {
+        let big = BigInt::pow2(2000);
+        let q = Rat::new(big.clone(), &big * &BigInt::from(3i64));
+        let f = q.to_f64();
+        assert!((f - 1.0 / 3.0).abs() < 1e-12, "got {f}");
+        let huge = Rat::new(BigInt::pow2(3000), BigInt::one());
+        assert_eq!(huge.to_f64(), f64::INFINITY);
+    }
+
+    #[test]
+    fn parse_display_round_trip() {
+        for s in ["0", "-5", "1/2", "-7/3", "123456789012345678901/2"] {
+            let q: Rat = s.parse().unwrap();
+            assert_eq!(q.to_string(), s);
+        }
+        assert_eq!("4/8".parse::<Rat>().unwrap().to_string(), "1/2");
+        assert_eq!("6/-4".parse::<Rat>().unwrap().to_string(), "-3/2");
+        assert!("1/0".parse::<Rat>().is_err());
+        assert!("a/2".parse::<Rat>().is_err());
+        assert!("".parse::<Rat>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(BigInt::one(), BigInt::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn zero_reciprocal_panics() {
+        let _ = Rat::zero().recip();
+    }
+}

@@ -1,0 +1,540 @@
+//! A textbook two-phase primal simplex over exact rationals.
+//!
+//! Variables are implicitly nonnegative; constraints are arbitrary
+//! `=` / `≤` / `≥` rows. Phase 1 minimizes the sum of artificial
+//! variables to decide **feasibility** (and produce a basic feasible
+//! solution — a **vertex** of the feasible region); phase 2 minimizes
+//! a caller-supplied linear objective from that vertex.
+//!
+//! Pivoting uses **Bland's rule** (smallest-index entering column,
+//! smallest-basis-index leaving row among the minimum ratios), which
+//! provably never cycles — combined with exact arithmetic there is no
+//! tolerance, no epsilon-pivoting and no stall: the solver terminates
+//! with the mathematically correct answer on every input.
+
+use crate::linalg; // re-exported for discoverability next to the LP API
+use crate::rat::Rat;
+
+pub use linalg::{solve as solve_linear, LinSolve};
+
+/// Relation of one constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// Equality.
+    Eq,
+    /// Less-than-or-equal.
+    Le,
+    /// Greater-than-or-equal.
+    Ge,
+}
+
+/// One linear constraint `coeffs · x (=|≤|≥) rhs` over nonnegative `x`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint {
+    /// Coefficients, one per structural variable.
+    pub coeffs: Vec<Rat>,
+    /// Row relation.
+    pub rel: Relation,
+    /// Right-hand side.
+    pub rhs: Rat,
+}
+
+impl Constraint {
+    /// `coeffs · x = rhs`.
+    pub fn eq(coeffs: Vec<Rat>, rhs: Rat) -> Self {
+        Self {
+            coeffs,
+            rel: Relation::Eq,
+            rhs,
+        }
+    }
+
+    /// `coeffs · x ≤ rhs`.
+    pub fn le(coeffs: Vec<Rat>, rhs: Rat) -> Self {
+        Self {
+            coeffs,
+            rel: Relation::Le,
+            rhs,
+        }
+    }
+
+    /// `coeffs · x ≥ rhs`.
+    pub fn ge(coeffs: Vec<Rat>, rhs: Rat) -> Self {
+        Self {
+            coeffs,
+            rel: Relation::Ge,
+            rhs,
+        }
+    }
+}
+
+/// Result of optimizing a [`LinearProgram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpOutcome {
+    /// The constraint set is empty.
+    Infeasible,
+    /// The objective decreases without bound over the feasible region.
+    Unbounded,
+    /// An optimal vertex.
+    Optimal {
+        /// The optimal objective value.
+        value: Rat,
+        /// A minimizing vertex (structural variables only).
+        point: Vec<Rat>,
+    },
+}
+
+/// A linear program over `num_vars` nonnegative structural variables.
+#[derive(Debug, Clone, Default)]
+pub struct LinearProgram {
+    /// Structural variable count; every constraint row must match it.
+    num_vars: usize,
+    constraints: Vec<Constraint>,
+}
+
+/// Feasibility shortcut: a vertex of `{x ≥ 0 | constraints}`, or
+/// `None` if the region is empty. Equivalent to
+/// [`LinearProgram::feasible_point`] on a freshly built program.
+///
+/// # Panics
+///
+/// Panics if a constraint's coefficient count differs from `num_vars`.
+pub fn feasible_point(num_vars: usize, constraints: &[Constraint]) -> Option<Vec<Rat>> {
+    let mut lp = LinearProgram::new(num_vars);
+    for c in constraints {
+        lp.push(c.clone());
+    }
+    lp.feasible_point()
+}
+
+impl LinearProgram {
+    /// An empty program over `num_vars` nonnegative variables.
+    pub fn new(num_vars: usize) -> Self {
+        Self {
+            num_vars,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Structural variable count.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Adds a constraint row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's coefficient count differs from `num_vars`.
+    pub fn push(&mut self, c: Constraint) {
+        assert_eq!(
+            c.coeffs.len(),
+            self.num_vars,
+            "constraint arity must match the program"
+        );
+        self.constraints.push(c);
+    }
+
+    /// A vertex of the feasible region (phase 1 only), or `None` if
+    /// the region is empty.
+    pub fn feasible_point(&self) -> Option<Vec<Rat>> {
+        let mut t = Tableau::build(self);
+        if !t.phase1() {
+            return None;
+        }
+        Some(t.point(self.num_vars))
+    }
+
+    /// Two-phase minimization of `objective · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objective.len() != num_vars`.
+    pub fn minimize(&self, objective: &[Rat]) -> LpOutcome {
+        assert_eq!(
+            objective.len(),
+            self.num_vars,
+            "objective arity must match the program"
+        );
+        let mut t = Tableau::build(self);
+        if !t.phase1() {
+            return LpOutcome::Infeasible;
+        }
+        t.drop_artificials();
+        let mut cost = objective.to_vec();
+        cost.resize(t.cols, Rat::zero());
+        if !t.optimize(&cost) {
+            return LpOutcome::Unbounded;
+        }
+        let point = t.point(self.num_vars);
+        let value = objective
+            .iter()
+            .zip(&point)
+            .fold(Rat::zero(), |acc, (c, x)| &acc + &(c * x));
+        LpOutcome::Optimal { value, point }
+    }
+}
+
+/// Dense simplex tableau in fully reduced (dictionary) form: each
+/// basic variable's column is a unit vector, `rhs` stays ≥ 0.
+struct Tableau {
+    /// Row-major coefficient rows (length `cols` each).
+    rows: Vec<Vec<Rat>>,
+    /// Right-hand sides, one per row.
+    rhs: Vec<Rat>,
+    /// Basic variable (column index) of each row.
+    basis: Vec<usize>,
+    /// Total column count: structural + slack/surplus + artificial.
+    cols: usize,
+    /// First artificial column (artificials are the trailing columns).
+    art_start: usize,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram) -> Self {
+        let m = lp.constraints.len();
+        let n = lp.num_vars;
+        // One slack/surplus per inequality, one artificial per row that
+        // lacks a natural initial basic column.
+        let slacks = lp
+            .constraints
+            .iter()
+            .filter(|c| c.rel != Relation::Eq)
+            .count();
+        let art_start = n + slacks;
+        let mut rows = Vec::with_capacity(m);
+        let mut rhs = Vec::with_capacity(m);
+        let mut basis = Vec::with_capacity(m);
+        let mut next_slack = n;
+        let mut arts = 0usize;
+        for c in &lp.constraints {
+            // Normalize to rhs ≥ 0 (flips the inequality direction).
+            let flip = c.rhs.is_negative();
+            let sign = if flip { Rat::from_int(-1) } else { Rat::one() };
+            let mut row: Vec<Rat> = c.coeffs.iter().map(|x| x * &sign).collect();
+            row.resize(art_start, Rat::zero());
+            let b = &c.rhs * &sign;
+            let rel = match (c.rel, flip) {
+                (Relation::Eq, _) => Relation::Eq,
+                (Relation::Le, false) | (Relation::Ge, true) => Relation::Le,
+                (Relation::Ge, false) | (Relation::Le, true) => Relation::Ge,
+            };
+            let basic = match rel {
+                Relation::Le => {
+                    row[next_slack] = Rat::one();
+                    next_slack += 1;
+                    next_slack - 1
+                }
+                Relation::Ge => {
+                    row[next_slack] = Rat::from_int(-1);
+                    next_slack += 1;
+                    arts += 1;
+                    usize::MAX // artificial assigned below
+                }
+                Relation::Eq => {
+                    arts += 1;
+                    usize::MAX
+                }
+            };
+            rows.push(row);
+            rhs.push(b);
+            basis.push(basic);
+        }
+        let cols = art_start + arts;
+        let mut art = art_start;
+        for (i, b) in basis.iter_mut().enumerate() {
+            rows[i].resize(cols, Rat::zero());
+            if *b == usize::MAX {
+                rows[i][art] = Rat::one();
+                *b = art;
+                art += 1;
+            }
+        }
+        Self {
+            rows,
+            rhs,
+            basis,
+            cols,
+            art_start,
+        }
+    }
+
+    /// Reduced cost of column `j` under cost vector `c`:
+    /// `c_j − Σ_i c_{basis[i]} · T[i][j]`.
+    fn reduced_cost(&self, c: &[Rat], j: usize) -> Rat {
+        let mut acc = c[j].clone();
+        for (i, row) in self.rows.iter().enumerate() {
+            if !c[self.basis[i]].is_zero() && !row[j].is_zero() {
+                acc = &acc - &(&c[self.basis[i]] * &row[j]);
+            }
+        }
+        acc
+    }
+
+    /// Gauss–Jordan pivot on `(row, col)`.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let inv = self.rows[row][col].recip();
+        for x in self.rows[row].iter_mut() {
+            *x = &*x * &inv;
+        }
+        self.rhs[row] = &self.rhs[row] * &inv;
+        for i in 0..self.rows.len() {
+            if i == row || self.rows[i][col].is_zero() {
+                continue;
+            }
+            let f = self.rows[i][col].clone();
+            for j in 0..self.cols {
+                let delta = &f * &self.rows[row][j];
+                self.rows[i][j] = &self.rows[i][j] - &delta;
+            }
+            let delta = &f * &self.rhs[row];
+            self.rhs[i] = &self.rhs[i] - &delta;
+        }
+        self.basis[row] = col;
+    }
+
+    /// Bland-rule minimization of `c · x` from the current basis.
+    /// Returns `false` iff the objective is unbounded below.
+    fn optimize(&mut self, c: &[Rat]) -> bool {
+        loop {
+            // Entering: the smallest-index column with negative
+            // reduced cost (Bland's anti-cycling rule).
+            let Some(enter) = (0..self.cols).find(|&j| self.reduced_cost(c, j).is_negative())
+            else {
+                return true;
+            };
+            // Leaving: minimum ratio rhs/coeff over positive pivot
+            // coefficients, smallest basis index on ties.
+            let mut leave: Option<usize> = None;
+            for i in 0..self.rows.len() {
+                if !self.rows[i][enter].is_positive() {
+                    continue;
+                }
+                leave = Some(match leave {
+                    None => i,
+                    Some(best) => {
+                        let cur = &self.rhs[i] / &self.rows[i][enter];
+                        let b = &self.rhs[best] / &self.rows[best][enter];
+                        match cur.cmp(&b) {
+                            std::cmp::Ordering::Less => i,
+                            std::cmp::Ordering::Greater => best,
+                            std::cmp::Ordering::Equal => {
+                                if self.basis[i] < self.basis[best] {
+                                    i
+                                } else {
+                                    best
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            let Some(leave) = leave else {
+                return false;
+            };
+            self.pivot(leave, enter);
+        }
+    }
+
+    /// Phase 1: minimize the artificial sum. `true` iff feasible
+    /// (optimum exactly zero), with artificials driven out of the
+    /// basis wherever a structural pivot exists (rows where none does
+    /// are redundant and harmless: their artificial stays basic at 0).
+    fn phase1(&mut self) -> bool {
+        let mut c = vec![Rat::zero(); self.cols];
+        for x in &mut c[self.art_start..] {
+            *x = Rat::one();
+        }
+        let bounded = self.optimize(&c);
+        debug_assert!(bounded, "phase-1 objective is bounded below by 0");
+        let value = self
+            .basis
+            .iter()
+            .zip(&self.rhs)
+            .filter(|(&b, _)| b >= self.art_start)
+            .fold(Rat::zero(), |acc, (_, v)| &acc + &v.clone());
+        if !value.is_zero() {
+            return false;
+        }
+        // Pivot basic artificials (at value 0) out on any nonzero
+        // structural/slack column so phase 2 can drop their columns.
+        for i in 0..self.rows.len() {
+            if self.basis[i] >= self.art_start {
+                if let Some(j) = (0..self.art_start).find(|&j| !self.rows[i][j].is_zero()) {
+                    self.pivot(i, j);
+                }
+            }
+        }
+        true
+    }
+
+    /// Removes artificial columns (and any residual redundant rows
+    /// still basic in one) after a successful phase 1.
+    fn drop_artificials(&mut self) {
+        let art_start = self.art_start;
+        let keep: Vec<bool> = self.basis.iter().map(|&b| b < art_start).collect();
+        let mut idx = 0;
+        self.rows.retain(|_| {
+            idx += 1;
+            keep[idx - 1]
+        });
+        let mut idx = 0;
+        self.rhs.retain(|_| {
+            idx += 1;
+            keep[idx - 1]
+        });
+        let mut idx = 0;
+        self.basis.retain(|_| {
+            idx += 1;
+            keep[idx - 1]
+        });
+        for row in &mut self.rows {
+            row.truncate(art_start);
+        }
+        self.cols = art_start;
+    }
+
+    /// The current basic solution restricted to the first `n` columns.
+    fn point(&self, n: usize) -> Vec<Rat> {
+        let mut x = vec![Rat::zero(); n];
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b < n {
+                x[b] = self.rhs[i].clone();
+            }
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(a: i64, b: i64) -> Rat {
+        Rat::from_ratio(a, b)
+    }
+
+    fn ri(a: i64) -> Rat {
+        Rat::from_int(a)
+    }
+
+    #[test]
+    fn feasible_vertex_of_a_simplex() {
+        // x + y = 1, x, y >= 0: a vertex is (1,0) or (0,1).
+        let point = feasible_point(2, &[Constraint::eq(vec![ri(1), ri(1)], ri(1))]).unwrap();
+        assert_eq!(&point[0] + &point[1], ri(1));
+        assert!(point.iter().all(|v| !v.is_negative()));
+        assert!(
+            point.contains(&ri(0)),
+            "a basic feasible solution is a vertex, got {point:?}"
+        );
+    }
+
+    #[test]
+    fn infeasible_region_detected() {
+        // x + y = 1 and x + y >= 2 cannot both hold.
+        assert_eq!(
+            feasible_point(
+                2,
+                &[
+                    Constraint::eq(vec![ri(1), ri(1)], ri(1)),
+                    Constraint::ge(vec![ri(1), ri(1)], ri(2)),
+                ]
+            ),
+            None
+        );
+        // x <= -1 with x >= 0 is empty.
+        assert_eq!(
+            feasible_point(1, &[Constraint::le(vec![ri(1)], ri(-1))]),
+            None
+        );
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // -x - y <= -1  ==  x + y >= 1.
+        let p = feasible_point(2, &[Constraint::le(vec![ri(-1), ri(-1)], ri(-1))]).unwrap();
+        assert!(&p[0] + &p[1] >= ri(1));
+    }
+
+    #[test]
+    fn two_phase_minimization() {
+        // min x + 2y  s.t.  x + y >= 2, y >= 1/2  =>  x = 3/2, y = 1/2.
+        let mut lp = LinearProgram::new(2);
+        lp.push(Constraint::ge(vec![ri(1), ri(1)], ri(2)));
+        lp.push(Constraint::ge(vec![ri(0), ri(1)], r(1, 2)));
+        let LpOutcome::Optimal { value, point } = lp.minimize(&[ri(1), ri(2)]) else {
+            panic!("bounded feasible LP");
+        };
+        assert_eq!(value, r(5, 2));
+        assert_eq!(point, vec![r(3, 2), r(1, 2)]);
+    }
+
+    #[test]
+    fn unbounded_objective_detected() {
+        // min -x  s.t.  x >= 0 (no upper bound).
+        let lp = {
+            let mut lp = LinearProgram::new(1);
+            lp.push(Constraint::ge(vec![ri(1)], ri(0)));
+            lp
+        };
+        assert_eq!(lp.minimize(&[ri(-1)]), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn minimize_reports_infeasible() {
+        let mut lp = LinearProgram::new(1);
+        lp.push(Constraint::eq(vec![ri(1)], ri(-3)));
+        assert_eq!(lp.minimize(&[ri(1)]), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn redundant_rows_are_harmless() {
+        // Same equality twice: phase 1 leaves one artificial basic at
+        // zero on the redundant row; the answer is still correct.
+        let mut lp = LinearProgram::new(2);
+        lp.push(Constraint::eq(vec![ri(1), ri(1)], ri(1)));
+        lp.push(Constraint::eq(vec![ri(1), ri(1)], ri(1)));
+        lp.push(Constraint::eq(vec![ri(2), ri(2)], ri(2)));
+        let LpOutcome::Optimal { value, .. } = lp.minimize(&[ri(1), ri(0)]) else {
+            panic!("feasible");
+        };
+        assert_eq!(value, ri(0));
+    }
+
+    #[test]
+    fn degenerate_cycling_guard() {
+        // The classic Beale-style degenerate LP that cycles under
+        // naive most-negative pivoting; Bland's rule must terminate.
+        let mut lp = LinearProgram::new(4);
+        lp.push(Constraint::le(
+            vec![r(1, 4), ri(-60), r(-1, 25), ri(9)],
+            ri(0),
+        ));
+        lp.push(Constraint::le(
+            vec![r(1, 2), ri(-90), r(-1, 50), ri(3)],
+            ri(0),
+        ));
+        lp.push(Constraint::le(vec![ri(0), ri(0), ri(1), ri(0)], ri(1)));
+        let out = lp.minimize(&[r(-3, 4), ri(150), r(-1, 50), ri(6)]);
+        let LpOutcome::Optimal { value, .. } = out else {
+            panic!("Beale LP is bounded and feasible, got {out:?}");
+        };
+        assert_eq!(value, r(-1, 20));
+    }
+
+    #[test]
+    fn exact_fractional_vertex() {
+        // Indifference-style system: 3q0 - 2q1 = 0, q0 + q1 = 1
+        // => q = (2/5, 3/5), exactly.
+        let p = feasible_point(
+            2,
+            &[
+                Constraint::eq(vec![ri(3), ri(-2)], ri(0)),
+                Constraint::eq(vec![ri(1), ri(1)], ri(1)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(p, vec![r(2, 5), r(3, 5)]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the exact arithmetic stack: `Rat` must be
+//! an ordered field in the literal algebraic sense (laws hold as exact
+//! equalities, not up to tolerance), `BigInt`/`Rat` canonical forms
+//! must be unique, and the decimal text representation must
+//! round-trip. These are the laws every downstream exactness claim
+//! (Gauss rank detection, simplex feasibility, oracle refutation)
+//! silently leans on.
+
+use cnash_exact::{BigInt, Rat};
+use proptest::prelude::*;
+
+/// An arbitrary rational with numerator and denominator drawn well past
+/// the single-limb range, so limb-carry paths are exercised.
+fn arb_rat() -> impl Strategy<Value = Rat> {
+    (-3_000_000_000i64..3_000_000_000, 1i64..3_000_000_000)
+        .prop_map(|(n, d)| Rat::new(BigInt::from(n), BigInt::from(d)))
+}
+
+/// A small rational whose `f64` image is exact (numerator and
+/// denominator products stay far below 2^53).
+fn arb_small_rat() -> impl Strategy<Value = Rat> {
+    (-10_000i64..10_000, 1i64..10_000).prop_map(|(n, d)| Rat::from_ratio(n, d))
+}
+
+proptest! {
+    /// Addition and multiplication are associative and commutative,
+    /// and multiplication distributes over addition — exactly.
+    #[test]
+    fn field_laws_hold_exactly(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    /// Additive and multiplicative identities and inverses: `a − a = 0`
+    /// and `a · a⁻¹ = 1` as exact equalities.
+    #[test]
+    fn inverses_cancel_exactly(a in arb_rat()) {
+        prop_assert_eq!(&a + &Rat::zero(), a.clone());
+        prop_assert_eq!(&a * &Rat::one(), a.clone());
+        prop_assert_eq!(&a - &a, Rat::zero());
+        if !a.is_zero() {
+            prop_assert_eq!(&a * &a.recip(), Rat::one());
+            prop_assert_eq!(&a / &a, Rat::one());
+        }
+    }
+
+    /// Canonical form is unique: any numerator/denominator pair
+    /// describing the same value normalizes to coprime terms with a
+    /// positive denominator, so structural equality is value equality.
+    #[test]
+    fn gcd_normalization_is_canonical(
+        n in -100_000i64..100_000,
+        d in 1i64..100_000,
+        scale in 1i64..10_000,
+        sign in prop::sample::select(vec![1i64, -1]),
+    ) {
+        let plain = Rat::from_ratio(n, d);
+        let scaled = Rat::new(
+            BigInt::from(n * sign) * BigInt::from(scale),
+            BigInt::from(d * sign) * BigInt::from(scale),
+        );
+        prop_assert_eq!(&plain, &scaled);
+        // Canonical invariants: den > 0 and gcd(num, den) = 1.
+        prop_assert!(!scaled.denom().is_negative() && !scaled.denom().is_zero());
+        let g = scaled.numer().gcd(scaled.denom());
+        prop_assert!(g == BigInt::one() || scaled.numer().is_zero());
+    }
+
+    /// The order is total and transitive, and is exactly the order of
+    /// the rational values (cross-multiplication).
+    #[test]
+    fn order_is_total_and_transitive(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+        let mut v = [a.clone(), b.clone(), c.clone()];
+        v.sort();
+        prop_assert!(v[0] <= v[1] && v[1] <= v[2]);
+        prop_assert!(v[0] <= v[2], "transitivity through the middle element");
+        // Antisymmetry: mutual <= means equality.
+        if a <= b && b <= a {
+            prop_assert_eq!(&a, &b);
+        }
+        // Compatibility with addition: a <= b implies a + c <= b + c.
+        if a <= b {
+            prop_assert!(&a + &c <= &b + &c);
+        }
+    }
+
+    /// On small values the exact order agrees with the `f64` order of
+    /// the converted values (conversion is exact in this range, so the
+    /// orders must coincide, not merely approximate each other).
+    #[test]
+    fn order_agrees_with_f64_on_small_values(a in arb_small_rat(), b in arb_small_rat()) {
+        let (fa, fb) = (a.to_f64(), b.to_f64());
+        prop_assert_eq!(a.cmp(&b), fa.partial_cmp(&fb).expect("finite"));
+    }
+
+    /// Every finite f64 converts exactly and converts back to itself.
+    #[test]
+    fn f64_round_trip(x in -1e12f64..1e12) {
+        let q = Rat::from_f64(x).expect("finite");
+        prop_assert_eq!(q.to_f64(), x);
+    }
+
+    /// `Display` → `FromStr` is the identity, and arithmetic commutes
+    /// with the round-trip: parsing the printed operands and re-doing
+    /// the sum/product gives the printed result.
+    #[test]
+    fn add_mul_round_trip_through_strings(a in arb_rat(), b in arb_rat()) {
+        let reparse = |r: &Rat| r.to_string().parse::<Rat>().expect("display is parseable");
+        prop_assert_eq!(reparse(&a), a.clone());
+        let sum = &a + &b;
+        let product = &a * &b;
+        prop_assert_eq!(&reparse(&a) + &reparse(&b), reparse(&sum));
+        prop_assert_eq!(&reparse(&a) * &reparse(&b), reparse(&product));
+    }
+
+    /// BigInt decimal printing round-trips and respects ordering.
+    #[test]
+    fn bigint_string_round_trip(n in -4_000_000_000_000i64..4_000_000_000_000, k in 0usize..5) {
+        // Scale past the i64 range by repeated squaring-free shifts so
+        // multi-limb printing paths run too.
+        let mut big = BigInt::from(n);
+        for _ in 0..k {
+            big = &big * &BigInt::from(1_000_003i64);
+        }
+        let s = big.to_string();
+        prop_assert_eq!(s.parse::<BigInt>().expect("printed form parses"), big);
+    }
+}

@@ -18,6 +18,10 @@
 //!   (the paper used Nashpy the same way),
 //! * [`lemke_howson`] — an independent path-following solver used to
 //!   cross-check the enumeration,
+//! * [`exact_enum`] — exact-rational support enumeration (over
+//!   `cnash-exact` big-int fractions), the trust anchor both float
+//!   oracles are checked against: no tolerances, certified singular
+//!   continua, simplex vertex representatives,
 //! * [`games`] — named benchmark instances, including the three games of the
 //!   paper's evaluation section,
 //! * [`generators`] — seeded random game generators for scaling studies,
@@ -46,6 +50,7 @@ pub mod bimatrix;
 pub mod canonical;
 pub mod equilibrium;
 pub mod error;
+pub mod exact_enum;
 pub mod families;
 pub mod fictitious_play;
 pub mod game;

@@ -85,8 +85,9 @@ fn profile_key(e: &Equilibrium) -> Vec<f64> {
 }
 
 /// All subsets of `{0..n}` with exactly `k` elements, in lexicographic
-/// order of their bitmasks.
-fn subsets_of_size(n: usize, k: usize) -> Vec<Vec<usize>> {
+/// order of their bitmasks. Shared with the exact enumerator so both
+/// oracles walk support pairs in the same order.
+pub(crate) fn subsets_of_size(n: usize, k: usize) -> Vec<Vec<usize>> {
     let mut out = Vec::new();
     for mask in 0u32..(1u32 << n) {
         if mask.count_ones() as usize == k {
